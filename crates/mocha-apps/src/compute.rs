@@ -1,0 +1,123 @@
+//! A `Myhello`-style distributed computation (paper §2, Figures 1–2).
+//!
+//! The home application spawns `SumWorker` tasks at remote sites, each
+//! receiving a `Parameter` bag with a range to sum, and collects partial
+//! results through `Result` bags — PVM-style master/worker adapted to
+//! Mocha's remote-evaluation model, including a helper class that workers
+//! demand-pull.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mocha::hostfile::HostFile;
+use mocha::runtime::thread::ThreadRuntime;
+use mocha::spawn::{TaskRegistry, TaskSpec};
+use mocha::travelbag::{Parameter, TravelBag};
+use mocha::MochaError;
+use mocha_wire::SiteId;
+
+/// The worker task class name.
+pub const WORKER_CLASS: &str = "SumWorker";
+/// The helper class workers demand-pull at first use.
+pub const HELPER_CLASS: &str = "RangeMath";
+
+/// Builds the task registry for the distributed-sum application.
+pub fn registry() -> TaskRegistry {
+    let mut reg = TaskRegistry::new();
+    reg.register_code(HELPER_CLASS, vec![0x55; 16 * 1024]);
+    reg.register_task(
+        WORKER_CLASS,
+        TaskSpec {
+            requires: vec![HELPER_CLASS.to_string()],
+            compute: Duration::from_millis(2),
+            body: Arc::new(|params: &Parameter, ctx| {
+                let lo = params.get_i64("lo").map_err(|e| e.to_string())?;
+                let hi = params.get_i64("hi").map_err(|e| e.to_string())?;
+                if lo > hi {
+                    return Err(format!("empty range {lo}..{hi}"));
+                }
+                // Closed-form sum of lo..=hi (the "RangeMath" helper).
+                let n = hi - lo + 1;
+                let sum = (lo + hi) * n / 2;
+                ctx.println(format!("Returning as a return value {sum}"));
+                let mut result = TravelBag::new();
+                result.add("partial", sum);
+                Ok(result)
+            }),
+        },
+    );
+    reg
+}
+
+/// Sums `1..=n` by fanning out equal ranges to every non-home site of the
+/// runtime and adding the partial results.
+///
+/// # Errors
+///
+/// Propagates spawn failures (unknown class, dead site, remote error).
+pub fn distributed_sum(rt: &ThreadRuntime, n: i64) -> Result<i64, MochaError> {
+    let home = rt.handle(0);
+    let workers = (rt.site_count() - 1).max(1) as i64;
+    // Placement comes from a host file, as in the paper's Figure 1 setup.
+    let mut hosts = if rt.site_count() > 1 {
+        HostFile::all_remote(rt.site_count())
+    } else {
+        HostFile::new(vec![SiteId(0)])
+    };
+    let chunk = n / workers;
+    // Fan out asynchronously (ResultHandles), then gather.
+    let mut pending = Vec::new();
+    for w in 0..workers {
+        let lo = w * chunk + 1;
+        let hi = if w == workers - 1 { n } else { (w + 1) * chunk };
+        let mut params = Parameter::new();
+        params.add("lo", lo);
+        params.add("hi", hi);
+        pending.push(home.spawn_async(hosts.next_site(), WORKER_CLASS, &params)?);
+    }
+    let mut total = 0i64;
+    for rh in pending {
+        total += rh.wait()?.get_i64("partial")?;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributed_sum_is_correct() {
+        let rt = ThreadRuntime::builder()
+            .sites(4)
+            .registry(registry())
+            .build();
+        let total = distributed_sum(&rt, 1000).unwrap();
+        assert_eq!(total, 500_500);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn single_site_fallback_works() {
+        let rt = ThreadRuntime::builder()
+            .sites(1)
+            .registry(registry())
+            .build();
+        assert_eq!(distributed_sum(&rt, 10).unwrap(), 55);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn worker_rejects_empty_range() {
+        let rt = ThreadRuntime::builder()
+            .sites(2)
+            .registry(registry())
+            .build();
+        let mut params = Parameter::new();
+        params.add("lo", 5i64);
+        params.add("hi", 1i64);
+        let err = rt.handle(0).spawn(SiteId(1), WORKER_CLASS, &params);
+        assert!(matches!(err, Err(MochaError::SpawnFailed { .. })));
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,22 @@
+//! # mocha-apps — sample wide-area applications on Mocha
+//!
+//! * [`table_setting`] — the paper's §5.1 home-service application: a
+//!   formal dinner table setting coordinator shared between a retail
+//!   associate and several home users. Shared index replicas (guarded by
+//!   one `ReplicaLock`) select which flatware/plates/glassware are
+//!   displayed; a shared string carries comments; item images are cached
+//!   replicas without consistency maintenance.
+//! * [`compute`] — a `Myhello`-style distributed computation (paper §2,
+//!   Figures 1–2): spawn worker tasks at remote sites with a `Parameter`
+//!   travel bag, collect `Result` bags.
+//! * [`whiteboard`] — a collaborative whiteboard combining both
+//!   consistency models: the drawing under a `ReplicaLock` (entry
+//!   consistency, shared read locks), telepointers as unsynchronized
+//!   published replicas (§7's Bayou/Rover-style future work).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compute;
+pub mod table_setting;
+pub mod whiteboard;

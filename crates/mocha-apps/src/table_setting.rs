@@ -1,0 +1,371 @@
+//! The formal dinner table setting coordinator (paper §2 scenario, §5.1
+//! measured application).
+//!
+//! Every participant (the retail associate, the initiating consumer,
+//! invited friends) runs a participant handle. Pressing *next*/*previous*
+//! on a category updates a shared index replica under the application's
+//! `ReplicaLock`; a comment string replica lets users "send comments to
+//! each other"; the item images are replicas *not* associated with the
+//! lock — "cached at each host without any consistency maintenance being
+//! performed on them". A poller periodically reads the indexes and
+//! refreshes the local display.
+
+use mocha::app::UNGUARDED;
+use mocha::replica::{replica_id, ReplicaSpec};
+use mocha::runtime::thread::MochaHandle;
+use mocha::MochaError;
+use mocha_wire::{LockId, ReplicaId, ReplicaPayload};
+
+/// The lock guarding the three index replicas and the comment string.
+pub const SETTING_LOCK: LockId = LockId(1);
+
+/// A category of table-setting items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Forks, knives, spoons.
+    Flatware,
+    /// Dinner plates.
+    Plates,
+    /// Glasses and stemware.
+    Glassware,
+}
+
+impl Category {
+    /// All categories, in display order.
+    pub const ALL: [Category; 3] = [Category::Flatware, Category::Plates, Category::Glassware];
+
+    /// The shared index replica for this category.
+    pub fn index_replica(self) -> ReplicaId {
+        match self {
+            Category::Flatware => replica_id("flatwareIndex"),
+            Category::Plates => replica_id("plateIndex"),
+            Category::Glassware => replica_id("glasswareIndex"),
+        }
+    }
+
+    fn index_name(self) -> &'static str {
+        match self {
+            Category::Flatware => "flatwareIndex",
+            Category::Plates => "plateIndex",
+            Category::Glassware => "glasswareIndex",
+        }
+    }
+}
+
+/// The comment string replica (the paper's `StringReplica`).
+pub fn comment_replica() -> ReplicaId {
+    replica_id("text")
+}
+
+/// One catalog item: a name and its (synthetic) image bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Item {
+    /// Display name.
+    pub name: String,
+    /// Image bytes (cached at every site).
+    pub image: Vec<u8>,
+}
+
+/// The retail catalog: items per category.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    flatware: Vec<Item>,
+    plates: Vec<Item>,
+    glassware: Vec<Item>,
+}
+
+impl Catalog {
+    /// Builds a catalog from per-category item lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any category is empty.
+    pub fn new(flatware: Vec<Item>, plates: Vec<Item>, glassware: Vec<Item>) -> Catalog {
+        assert!(
+            !flatware.is_empty() && !plates.is_empty() && !glassware.is_empty(),
+            "every category needs at least one item"
+        );
+        Catalog {
+            flatware,
+            plates,
+            glassware,
+        }
+    }
+
+    /// The demo catalog used by the examples.
+    pub fn demo() -> Catalog {
+        fn item(name: &str, seed: u8) -> Item {
+            Item {
+                name: name.to_string(),
+                image: vec![seed; 8 * 1024], // ~8 KiB synthetic "GIF"
+            }
+        }
+        Catalog::new(
+            vec![
+                item("Baroque Silver", 1),
+                item("Modern Matte", 2),
+                item("Classic Hotel", 3),
+            ],
+            vec![
+                item("Bone China White", 4),
+                item("Cobalt Rim", 5),
+                item("Terracotta Rustic", 6),
+            ],
+            vec![
+                item("Cut Crystal", 7),
+                item("Plain Tumbler", 8),
+            ],
+        )
+    }
+
+    /// Items of a category.
+    pub fn items(&self, category: Category) -> &[Item] {
+        match category {
+            Category::Flatware => &self.flatware,
+            Category::Plates => &self.plates,
+            Category::Glassware => &self.glassware,
+        }
+    }
+}
+
+/// What a participant's display currently shows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableView {
+    /// Selected flatware item name.
+    pub flatware: String,
+    /// Selected plate item name.
+    pub plates: String,
+    /// Selected glassware item name.
+    pub glassware: String,
+    /// Latest comment.
+    pub comment: String,
+}
+
+/// One participant in the coordination session (a GUI instance in the
+/// paper).
+#[derive(Debug)]
+pub struct Participant {
+    handle: MochaHandle,
+    catalog: Catalog,
+}
+
+impl Participant {
+    /// Joins the session: registers the shared indexes + comment under the
+    /// setting lock, and the item images as unguarded cached replicas.
+    ///
+    /// # Errors
+    ///
+    /// Propagates registration failures.
+    pub fn join(handle: MochaHandle, catalog: Catalog) -> Result<Participant, MochaError> {
+        let mut guarded = vec![ReplicaSpec::new("text", ReplicaPayload::Utf8(String::new()))];
+        for cat in Category::ALL {
+            guarded.push(ReplicaSpec::new(
+                cat.index_name(),
+                ReplicaPayload::I32s(vec![0]),
+            ));
+        }
+        handle.register(SETTING_LOCK, guarded)?;
+        // Images: replicas with no ReplicaLock — cached per site.
+        let mut images = Vec::new();
+        for cat in Category::ALL {
+            for (i, item) in catalog.items(cat).iter().enumerate() {
+                images.push(ReplicaSpec::new(
+                    format!("image:{:?}:{i}", cat),
+                    ReplicaPayload::Bytes(item.image.clone()),
+                ));
+            }
+        }
+        handle.register(UNGUARDED, images)?;
+        Ok(Participant { handle, catalog })
+    }
+
+    /// The underlying Mocha handle.
+    pub fn handle(&self) -> &MochaHandle {
+        &self.handle
+    }
+
+    fn step(&self, category: Category, delta: i32) -> Result<i32, MochaError> {
+        let replica = category.index_replica();
+        let n = self.catalog.items(category).len() as i32;
+        self.handle.lock(SETTING_LOCK)?;
+        let current = match self.handle.read(replica)? {
+            ReplicaPayload::I32s(v) if !v.is_empty() => v[0],
+            _ => 0,
+        };
+        let next = (current + delta).rem_euclid(n);
+        self.handle.write(replica, ReplicaPayload::I32s(vec![next]))?;
+        self.handle.unlock(SETTING_LOCK, true)?;
+        Ok(next)
+    }
+
+    /// Presses the *next* button for a category (the paper's GUI
+    /// callback). Returns the new index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock/replica failures.
+    pub fn press_next(&self, category: Category) -> Result<i32, MochaError> {
+        self.step(category, 1)
+    }
+
+    /// Presses the *previous* button for a category. Returns the new
+    /// index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock/replica failures.
+    pub fn press_previous(&self, category: Category) -> Result<i32, MochaError> {
+        self.step(category, -1)
+    }
+
+    /// Sends a comment to the other participants.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock/replica failures.
+    pub fn send_comment(&self, text: &str) -> Result<(), MochaError> {
+        self.handle.lock(SETTING_LOCK)?;
+        self.handle
+            .write(comment_replica(), ReplicaPayload::Utf8(text.to_string()))?;
+        self.handle.unlock(SETTING_LOCK, true)?;
+        Ok(())
+    }
+
+    /// Polls the shared indexes and refreshes the local view (the paper's
+    /// per-GUI polling thread body).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock/replica failures.
+    pub fn poll_view(&self) -> Result<TableView, MochaError> {
+        self.handle.lock(SETTING_LOCK)?;
+        let mut indexes = [0usize; 3];
+        for (slot, cat) in indexes.iter_mut().zip(Category::ALL) {
+            *slot = match self.handle.read(cat.index_replica())? {
+                ReplicaPayload::I32s(v) if !v.is_empty() => v[0].max(0) as usize,
+                _ => 0,
+            };
+        }
+        let comment = match self.handle.read(comment_replica())? {
+            ReplicaPayload::Utf8(s) => s,
+            _ => String::new(),
+        };
+        self.handle.unlock(SETTING_LOCK, false)?;
+        let pick = |cat: Category, idx: usize| {
+            let items = self.catalog.items(cat);
+            items[idx % items.len()].name.clone()
+        };
+        Ok(TableView {
+            flatware: pick(Category::Flatware, indexes[0]),
+            plates: pick(Category::Plates, indexes[1]),
+            glassware: pick(Category::Glassware, indexes[2]),
+            comment,
+        })
+    }
+
+    /// Reads a cached image (no lock — no consistency maintenance).
+    ///
+    /// # Errors
+    ///
+    /// Propagates replica failures.
+    pub fn image(&self, category: Category, index: usize) -> Result<Vec<u8>, MochaError> {
+        let id = replica_id(&format!("image:{:?}:{index}", category));
+        match self.handle.read(id)? {
+            ReplicaPayload::Bytes(b) => Ok(b),
+            other => Ok(other.signature().as_bytes().to_vec()),
+        }
+    }
+
+    /// Replaces a catalog image and publishes it to every participant's
+    /// cache — no lock involved (the associate pushing a new promotional
+    /// shot; last-writer-wins consistency suffices for imagery).
+    ///
+    /// # Errors
+    ///
+    /// Propagates replica failures.
+    pub fn push_image(
+        &self,
+        category: Category,
+        index: usize,
+        bytes: Vec<u8>,
+    ) -> Result<(), MochaError> {
+        let id = replica_id(&format!("image:{:?}:{index}", category));
+        self.handle.write(id, ReplicaPayload::Bytes(bytes))?;
+        self.handle.publish(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocha::runtime::thread::ThreadRuntime;
+
+    #[test]
+    fn two_participants_coordinate_a_setting() {
+        let rt = ThreadRuntime::builder().sites(2).build();
+        let associate = Participant::join(rt.handle(0), Catalog::demo()).unwrap();
+        let consumer = Participant::join(rt.handle(1), Catalog::demo()).unwrap();
+
+        // The associate flips plates forward twice and comments.
+        associate.press_next(Category::Plates).unwrap();
+        associate.press_next(Category::Plates).unwrap();
+        associate.send_comment("Good Choice").unwrap();
+
+        // The consumer's poll sees the associate's selection.
+        let view = consumer.poll_view().unwrap();
+        assert_eq!(view.plates, "Terracotta Rustic");
+        assert_eq!(view.comment, "Good Choice");
+        assert_eq!(view.flatware, "Baroque Silver"); // untouched
+
+        // The consumer flips glassware backwards (wraps around).
+        consumer.press_previous(Category::Glassware).unwrap();
+        let view = associate.poll_view().unwrap();
+        assert_eq!(view.glassware, "Plain Tumbler");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn images_are_cached_locally_without_locking() {
+        let rt = ThreadRuntime::builder().sites(1).build();
+        let p = Participant::join(rt.handle(0), Catalog::demo()).unwrap();
+        let img = p.image(Category::Flatware, 0).unwrap();
+        assert_eq!(img.len(), 8 * 1024);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn pushed_images_reach_other_participants() {
+        let rt = ThreadRuntime::builder().sites(2).build();
+        let associate = Participant::join(rt.handle(0), Catalog::demo()).unwrap();
+        let consumer = Participant::join(rt.handle(1), Catalog::demo()).unwrap();
+        // Allow membership to propagate before the lock-free publish.
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        associate
+            .push_image(Category::Plates, 0, vec![0xEE; 4096])
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        assert_eq!(
+            consumer.image(Category::Plates, 0).unwrap(),
+            vec![0xEE; 4096],
+            "the new promotional image was cached at the consumer"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn indexes_wrap_in_both_directions() {
+        let rt = ThreadRuntime::builder().sites(1).build();
+        let p = Participant::join(rt.handle(0), Catalog::demo()).unwrap();
+        // Glassware has 2 items: next twice returns to 0.
+        assert_eq!(p.press_next(Category::Glassware).unwrap(), 1);
+        assert_eq!(p.press_next(Category::Glassware).unwrap(), 0);
+        assert_eq!(p.press_previous(Category::Glassware).unwrap(), 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn empty_catalog_rejected() {
+        let _ = Catalog::new(vec![], vec![], vec![]);
+    }
+}

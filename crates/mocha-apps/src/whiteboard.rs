@@ -1,0 +1,227 @@
+//! A collaborative whiteboard: a second home-service application in the
+//! §2 spirit, combining Mocha's two consistency models.
+//!
+//! * The **drawing** (a list of strokes) is a complex shared object under
+//!   a `ReplicaLock` — edits are serialized and every participant sees a
+//!   consistent stroke order.
+//! * Each participant's **telepointer** (cursor position) is an
+//!   unsynchronized cached replica, published last-writer-wins — stale
+//!   cursors are harmless, so no locking is warranted (the §7
+//!   non-synchronization-based model).
+
+use serde::{Deserialize, Serialize};
+
+use mocha::app::UNGUARDED;
+use mocha::replica::{replica_id, ObjectReplica, ReplicaSpec, SharedState};
+use mocha::runtime::thread::MochaHandle;
+use mocha::MochaError;
+use mocha_wire::{LockId, ReplicaId, ReplicaPayload, SiteId};
+
+/// The lock guarding the shared drawing.
+pub const BOARD_LOCK: LockId = LockId(7);
+
+/// One stroke on the board.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stroke {
+    /// Drawing participant.
+    pub author: u32,
+    /// Polyline points as (x, y) pairs.
+    pub points: Vec<(i32, i32)>,
+    /// 24-bit RGB colour.
+    pub color: u32,
+}
+
+/// The whole drawing: an ordered list of strokes.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Drawing {
+    /// Strokes in application order.
+    pub strokes: Vec<Stroke>,
+}
+
+/// A participant's telepointer position.
+pub type PointerPosition = (SiteId, (i32, i32));
+
+fn drawing_replica() -> ReplicaId {
+    replica_id("whiteboard:drawing")
+}
+
+fn pointer_replica(site: SiteId) -> ReplicaId {
+    replica_id(&format!("whiteboard:pointer:{site}"))
+}
+
+/// A participant's connection to the shared whiteboard.
+#[derive(Debug)]
+pub struct Whiteboard {
+    handle: MochaHandle,
+    peers: Vec<SiteId>,
+}
+
+impl Whiteboard {
+    /// Joins the board: registers the drawing (guarded) and one
+    /// telepointer cell per participant (unguarded).
+    ///
+    /// # Errors
+    ///
+    /// Propagates registration failures.
+    pub fn join(handle: MochaHandle, participants: &[SiteId]) -> Result<Whiteboard, MochaError> {
+        handle.register(
+            BOARD_LOCK,
+            vec![ReplicaSpec::new(
+                "whiteboard:drawing",
+                ObjectReplica::new("drawing", Drawing::default()).to_payload(),
+            )],
+        )?;
+        let pointers = participants
+            .iter()
+            .map(|site| {
+                ReplicaSpec::new(
+                    format!("whiteboard:pointer:{site}"),
+                    ReplicaPayload::I32s(vec![0, 0]),
+                )
+            })
+            .collect();
+        handle.register(UNGUARDED, pointers)?;
+        Ok(Whiteboard {
+            handle,
+            peers: participants.to_vec(),
+        })
+    }
+
+    /// Appends a stroke to the shared drawing (serialized under the board
+    /// lock).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock/replica failures.
+    pub fn draw(&self, stroke: Stroke) -> Result<(), MochaError> {
+        self.handle.lock(BOARD_LOCK)?;
+        let result = (|| {
+            let payload = self.handle.read(drawing_replica())?;
+            let mut drawing = ObjectReplica::<Drawing>::from_payload(&payload)?.value;
+            drawing.strokes.push(stroke);
+            self.handle.write(
+                drawing_replica(),
+                ObjectReplica::new("drawing", drawing).to_payload(),
+            )
+        })();
+        self.handle.unlock(BOARD_LOCK, result.is_ok())?;
+        result
+    }
+
+    /// Reads the current drawing (shared lock: concurrent with other
+    /// readers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock/replica failures.
+    pub fn view(&self) -> Result<Drawing, MochaError> {
+        self.handle.lock_shared(BOARD_LOCK)?;
+        let result = self
+            .handle
+            .read(drawing_replica())
+            .and_then(|p| ObjectReplica::<Drawing>::from_payload(&p).map(|o| o.value));
+        self.handle.unlock(BOARD_LOCK, false)?;
+        result
+    }
+
+    /// Moves this participant's telepointer — published without any lock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates replica failures.
+    pub fn move_pointer(&self, x: i32, y: i32) -> Result<(), MochaError> {
+        let cell = pointer_replica(self.handle.site());
+        self.handle.write(cell, ReplicaPayload::I32s(vec![x, y]))?;
+        self.handle.publish(cell)
+    }
+
+    /// Everyone's last-known telepointer positions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates replica failures.
+    pub fn pointers(&self) -> Result<Vec<PointerPosition>, MochaError> {
+        let mut out = Vec::new();
+        for site in &self.peers {
+            if let ReplicaPayload::I32s(v) = self.handle.read(pointer_replica(*site))? {
+                if v.len() == 2 {
+                    out.push((*site, (v[0], v[1])));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocha::runtime::thread::ThreadRuntime;
+    use std::time::Duration;
+
+    fn sites(n: usize) -> Vec<SiteId> {
+        (0..n as u32).map(SiteId).collect()
+    }
+
+    #[test]
+    fn strokes_serialize_across_participants() {
+        let rt = ThreadRuntime::builder().sites(3).build();
+        let boards: Vec<Whiteboard> = (0..3)
+            .map(|i| Whiteboard::join(rt.handle(i), &sites(3)).unwrap())
+            .collect();
+        let stroke = |author: u32, x: i32| Stroke {
+            author,
+            points: vec![(x, 0), (x, 10)],
+            color: 0xFF_00_00,
+        };
+        boards[0].draw(stroke(0, 1)).unwrap();
+        boards[1].draw(stroke(1, 2)).unwrap();
+        boards[2].draw(stroke(2, 3)).unwrap();
+        let view = boards[0].view().unwrap();
+        assert_eq!(view.strokes.len(), 3, "all strokes visible everywhere");
+        // Authors appear in lock-serialized order.
+        let authors: Vec<u32> = view.strokes.iter().map(|s| s.author).collect();
+        assert_eq!(authors, vec![0, 1, 2]);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn concurrent_drawing_never_loses_strokes() {
+        let rt = ThreadRuntime::builder().sites(3).build();
+        let mut workers = Vec::new();
+        for i in 0..3 {
+            let handle = rt.handle(i);
+            workers.push(std::thread::spawn(move || {
+                let board = Whiteboard::join(handle, &sites(3)).unwrap();
+                for k in 0..5 {
+                    board
+                        .draw(Stroke {
+                            author: i as u32,
+                            points: vec![(k, k)],
+                            color: 0,
+                        })
+                        .unwrap();
+                }
+            }));
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        let board = Whiteboard::join(rt.handle(0), &sites(3)).unwrap();
+        assert_eq!(board.view().unwrap().strokes.len(), 15);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn telepointers_propagate_without_locks() {
+        let rt = ThreadRuntime::builder().sites(2).build();
+        let a = Whiteboard::join(rt.handle(0), &sites(2)).unwrap();
+        let b = Whiteboard::join(rt.handle(1), &sites(2)).unwrap();
+        std::thread::sleep(Duration::from_millis(150)); // membership settle
+        a.move_pointer(12, 34).unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        let pointers = b.pointers().unwrap();
+        assert!(pointers.contains(&(SiteId(0), (12, 34))), "{pointers:?}");
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,33 @@
+//! Criterion wrappers for the reproduction's ablation studies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mocha_bench::{marshal_time, relay_ablation, Testbed};
+use mocha_wire::codec::CodecKind;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_codec");
+    for size in [4096usize, 262144] {
+        group.bench_with_input(BenchmarkId::new("jdk11", size), &size, |b, &s| {
+            b.iter(|| marshal_time(s, CodecKind::ByteAtATime));
+        });
+        group.bench_with_input(BenchmarkId::new("bulk", size), &size, |b, &s| {
+            b.iter(|| marshal_time(s, CodecKind::Bulk));
+        });
+    }
+    group.finish();
+}
+
+fn bench_relay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_relay");
+    group.sample_size(10);
+    group.bench_function("direct_16k", |b| {
+        b.iter(|| relay_ablation(Testbed::Wan, 16 * 1024, false));
+    });
+    group.bench_function("relayed_16k", |b| {
+        b.iter(|| relay_ablation(Testbed::Wan, 16 * 1024, true));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_relay);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion wrapper for the §5.1 home-service application breakdown.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mocha_bench::{home_service_breakdown, Testbed};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("home_service");
+    group.sample_size(10);
+    group.bench_function("wan_update_cycle", |b| {
+        b.iter(|| home_service_breakdown(Testbed::Wan));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

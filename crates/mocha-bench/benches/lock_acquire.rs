@@ -1,0 +1,22 @@
+//! Criterion wrapper for Table 1: lock acquisition latency.
+//!
+//! Reports wall-clock time to *simulate* the scenario; the simulated
+//! latency itself (the paper's number) is printed by the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mocha_bench::{lock_acquire_time, Testbed};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_lock_acquire");
+    group.sample_size(10);
+    group.bench_function("lan", |b| {
+        b.iter(|| lock_acquire_time(Testbed::Lan, 5));
+    });
+    group.bench_function("wan", |b| {
+        b.iter(|| lock_acquire_time(Testbed::Wan, 5));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion wrapper for Figure 8: marshaling cost, plus a real-time
+//! benchmark of the actual codec implementations (encode + decode of
+//! replica payloads), which exercises the genuine byte-shuffling path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mocha_bench::marshal_time;
+use mocha_wire::codec::CodecKind;
+use mocha_wire::message::ReplicaUpdate;
+use mocha_wire::{ReplicaId, ReplicaPayload};
+
+fn bench_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_marshal_model");
+    for size in [1024usize, 4096, 65536, 262144] {
+        group.bench_with_input(BenchmarkId::new("jdk11", size), &size, |b, &s| {
+            b.iter(|| marshal_time(s, CodecKind::ByteAtATime));
+        });
+    }
+    group.finish();
+}
+
+fn bench_real_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec_encode_decode");
+    for size in [1024usize, 65536, 262144] {
+        let updates = vec![ReplicaUpdate {
+            replica: ReplicaId(1),
+            payload: ReplicaPayload::Bytes(vec![0xAB; size]),
+        }];
+        group.bench_with_input(BenchmarkId::new("roundtrip", size), &size, |b, _| {
+            b.iter(|| {
+                let m = CodecKind::Bulk.marshaller();
+                let (bytes, _) = m.marshal(&updates);
+                let (back, _) = m.unmarshal(&bytes).unwrap();
+                back
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model, bench_real_codec);
+criterion_main!(benches);

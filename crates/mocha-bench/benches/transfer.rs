@@ -1,0 +1,28 @@
+//! Criterion wrapper for Figures 9–14: replica dissemination under both
+//! protocols. Each sample runs the full simulated scenario.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mocha_bench::{dissemination_time, Testbed};
+use mocha_net::ProtocolMode;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_14_dissemination");
+    group.sample_size(10);
+    for (figure, testbed, size) in [
+        ("fig9_lan_1k", Testbed::Lan, 1024usize),
+        ("fig10_wan_1k", Testbed::Wan, 1024),
+        ("fig11_lan_4k", Testbed::Lan, 4096),
+        ("fig12_wan_4k", Testbed::Wan, 4096),
+    ] {
+        for mode in [ProtocolMode::Basic, ProtocolMode::Hybrid] {
+            let name = format!("{figure}_{mode:?}");
+            group.bench_with_input(BenchmarkId::new(name, 3), &size, |b, &s| {
+                b.iter(|| dissemination_time(testbed, s, 3, mode));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,298 @@
+//! §5's small-message claim: "we have found Mocha's network communication
+//! library to be approximately twice as fast as TCP for sending small
+//! (i.e., less than 256 byte) messages."
+//!
+//! Measures the one-way latency of delivering one `size`-byte message from
+//! a cold start: MochaNet just sends (no connection state); TCP must
+//! handshake first and tear down after — exactly the overhead the library
+//! was built to avoid.
+
+use std::any::Any;
+use std::time::Duration;
+
+use mocha_net::tcp::{TcpEndpoint, TcpEvent};
+use mocha_net::{
+    Action, MsgClass, NetConfig, TcpConfig, TransportEvent, TransportMux,
+};
+use mocha_sim::{Host, HostCtx, NodeId, SimTime, World};
+use mocha_wire::SiteId;
+
+use crate::Testbed;
+
+/// Which wire protocol a probe uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wire {
+    /// Mocha's network object library.
+    MochaNet,
+    /// TCP with per-message connection setup and teardown.
+    Tcp,
+}
+
+fn site(node: NodeId) -> SiteId {
+    SiteId::from_raw(node.as_raw())
+}
+
+/// Sends one message via MochaNet on start.
+struct MochaSender {
+    peer: NodeId,
+    payload: Vec<u8>,
+    mux: TransportMux,
+}
+
+impl MochaSender {
+    fn drive(&mut self, ctx: &mut HostCtx<'_>) {
+        for action in self.mux.drain_actions() {
+            match action {
+                Action::Transmit { to, datagram } => {
+                    ctx.send_datagram(NodeId::from_raw(to.as_raw()), datagram);
+                }
+                Action::SetTimer { token, after } => ctx.set_timer(after, token),
+                Action::CancelTimer { token } => {
+                    ctx.cancel_timer(token);
+                }
+                Action::Charge(w) => ctx.charge(w),
+                Action::Event(_) => {}
+            }
+        }
+    }
+}
+
+impl Host for MochaSender {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        let peer = site(self.peer);
+        self.mux
+            .send(peer, 9, &self.payload.clone(), MsgClass::Control);
+        self.drive(ctx);
+    }
+    fn on_datagram(&mut self, ctx: &mut HostCtx<'_>, from: NodeId, bytes: Vec<u8>) {
+        self.mux.on_datagram(site(from), &bytes);
+        self.drive(ctx);
+    }
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: u64) {
+        self.mux.on_timer(token);
+        self.drive(ctx);
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Receives one message via MochaNet, recording delivery time.
+struct MochaReceiver {
+    mux: TransportMux,
+    delivered_at: Option<SimTime>,
+}
+
+impl MochaReceiver {
+    fn drive(&mut self, ctx: &mut HostCtx<'_>) {
+        for action in self.mux.drain_actions() {
+            match action {
+                Action::Transmit { to, datagram } => {
+                    ctx.send_datagram(NodeId::from_raw(to.as_raw()), datagram);
+                }
+                Action::SetTimer { token, after } => ctx.set_timer(after, token),
+                Action::CancelTimer { token } => {
+                    ctx.cancel_timer(token);
+                }
+                Action::Charge(w) => ctx.charge(w),
+                Action::Event(TransportEvent::Delivered { .. }) => {
+                    self.delivered_at.get_or_insert(ctx.now());
+                }
+                Action::Event(_) => {}
+            }
+        }
+    }
+}
+
+impl Host for MochaReceiver {
+    fn on_datagram(&mut self, ctx: &mut HostCtx<'_>, from: NodeId, bytes: Vec<u8>) {
+        self.mux.on_datagram(site(from), &bytes);
+        self.drive(ctx);
+    }
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: u64) {
+        self.mux.on_timer(token);
+        self.drive(ctx);
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Connects, sends one message, closes — the per-message TCP lifecycle.
+struct TcpSender {
+    peer: NodeId,
+    payload: Vec<u8>,
+    tcp: TcpEndpoint,
+}
+
+impl TcpSender {
+    fn drive(&mut self, ctx: &mut HostCtx<'_>) {
+        loop {
+            let mut progressed = false;
+            for action in self.tcp.drain_actions() {
+                progressed = true;
+                match action {
+                    Action::Transmit { to, datagram } => {
+                        ctx.send_datagram(NodeId::from_raw(to.as_raw()), datagram);
+                    }
+                    Action::SetTimer { token, after } => ctx.set_timer(after, token),
+                    Action::CancelTimer { token } => {
+                        ctx.cancel_timer(token);
+                    }
+                    Action::Charge(w) => ctx.charge(w),
+                    Action::Event(_) => {}
+                }
+            }
+            for event in self.tcp.drain_events() {
+                progressed = true;
+                match event {
+                    TcpEvent::Connected(conn) => {
+                        self.tcp.send_msg(conn, &self.payload.clone());
+                    }
+                    TcpEvent::AllAcked(conn) => self.tcp.close(conn),
+                    _ => {}
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+}
+
+impl Host for TcpSender {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        self.tcp.connect(site(self.peer));
+        self.drive(ctx);
+    }
+    fn on_datagram(&mut self, ctx: &mut HostCtx<'_>, from: NodeId, bytes: Vec<u8>) {
+        self.tcp.on_datagram(site(from), &bytes);
+        self.drive(ctx);
+    }
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: u64) {
+        self.tcp.on_timer(token);
+        self.drive(ctx);
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Accepts one connection and records when the message arrives.
+struct TcpReceiver {
+    tcp: TcpEndpoint,
+    delivered_at: Option<SimTime>,
+}
+
+impl TcpReceiver {
+    fn drive(&mut self, ctx: &mut HostCtx<'_>) {
+        loop {
+            let mut progressed = false;
+            for action in self.tcp.drain_actions() {
+                progressed = true;
+                match action {
+                    Action::Transmit { to, datagram } => {
+                        ctx.send_datagram(NodeId::from_raw(to.as_raw()), datagram);
+                    }
+                    Action::SetTimer { token, after } => ctx.set_timer(after, token),
+                    Action::CancelTimer { token } => {
+                        ctx.cancel_timer(token);
+                    }
+                    Action::Charge(w) => ctx.charge(w),
+                    Action::Event(_) => {}
+                }
+            }
+            for event in self.tcp.drain_events() {
+                progressed = true;
+                if let TcpEvent::MsgReceived(..) = event {
+                    self.delivered_at.get_or_insert(ctx.now());
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+}
+
+impl Host for TcpReceiver {
+    fn on_datagram(&mut self, ctx: &mut HostCtx<'_>, from: NodeId, bytes: Vec<u8>) {
+        self.tcp.on_datagram(site(from), &bytes);
+        self.drive(ctx);
+    }
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: u64) {
+        self.tcp.on_timer(token);
+        self.drive(ctx);
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// One-way latency of a cold `size`-byte message over `wire` on `testbed`.
+pub fn one_way_latency(testbed: Testbed, size: usize, wire: Wire) -> Duration {
+    let mut world = World::new(7);
+    world.set_default_link(testbed.link());
+    world.set_default_cpu(mocha_sim::profiles::ultra1());
+    let payload = vec![0x42u8; size];
+    match wire {
+        Wire::MochaNet => {
+            let receiver = world.add_host(Box::new(MochaReceiver {
+                mux: TransportMux::new(SiteId(0), NetConfig::basic()),
+                delivered_at: None,
+            }));
+            let _sender = world.add_host(Box::new(MochaSender {
+                peer: receiver,
+                payload,
+                mux: TransportMux::new(SiteId(1), NetConfig::basic()),
+            }));
+            world.run_until_idle();
+            world
+                .host_mut::<MochaReceiver>(receiver)
+                .delivered_at
+                .expect("message delivered")
+                .since_start()
+        }
+        Wire::Tcp => {
+            let receiver = world.add_host(Box::new(TcpReceiver {
+                tcp: TcpEndpoint::new(SiteId(0), TcpConfig::default()),
+                delivered_at: None,
+            }));
+            let _sender = world.add_host(Box::new(TcpSender {
+                peer: receiver,
+                payload,
+                tcp: TcpEndpoint::new(SiteId(1), TcpConfig::default()),
+            }));
+            world.run_until_idle();
+            world
+                .host_mut::<TcpReceiver>(receiver)
+                .delivered_at
+                .expect("message delivered")
+                .since_start()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mochanet_is_about_twice_as_fast_as_tcp_for_small_messages() {
+        for size in [64, 128, 256] {
+            let mocha = one_way_latency(Testbed::Lan, size, Wire::MochaNet);
+            let tcp = one_way_latency(Testbed::Lan, size, Wire::Tcp);
+            let ratio = tcp.as_secs_f64() / mocha.as_secs_f64();
+            assert!(
+                (1.5..=6.0).contains(&ratio),
+                "{size}B: TCP/MochaNet ratio {ratio:.2} (paper: ≈2); mocha {mocha:?} tcp {tcp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn both_wires_deliver() {
+        assert!(one_way_latency(Testbed::Wan, 100, Wire::MochaNet) > Duration::ZERO);
+        assert!(one_way_latency(Testbed::Wan, 100, Wire::Tcp) > Duration::ZERO);
+    }
+}

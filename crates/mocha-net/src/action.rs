@@ -1,0 +1,205 @@
+//! Actions emitted by transport state machines and events delivered upward.
+
+use std::fmt;
+use std::time::Duration;
+
+use mocha_sim::Work;
+use mocha_wire::SiteId;
+
+/// A MochaNet multiplexing port: which service on a site a message is for.
+pub type Port = u16;
+
+/// Identifies one logical message send through a transport, for correlating
+/// completion and failure notifications.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SendHandle(pub u64);
+
+impl SendHandle {
+    /// A handle that will never be issued (used for "no handle" contexts).
+    pub const NONE: SendHandle = SendHandle(0);
+}
+
+impl fmt::Debug for SendHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "send{}", self.0)
+    }
+}
+
+/// Classifies a message for protocol selection in the hybrid transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgClass {
+    /// Small control traffic: lock requests, grants, directives. Always
+    /// carried by MochaNet.
+    Control,
+    /// Bulk replica data. Carried by MochaNet in the basic prototype and by
+    /// TCP in the hybrid prototype.
+    Bulk,
+}
+
+/// An instruction from a transport state machine to its driver.
+///
+/// Drivers (the simulator host or a threaded runtime) must process actions
+/// **in order**: a [`Charge`](Action::Charge) preceding a
+/// [`Transmit`](Action::Transmit) delays that datagram's departure, which is
+/// how protocol CPU cost becomes visible in end-to-end latency.
+pub enum Action {
+    /// Put a datagram on the wire to `to`.
+    Transmit {
+        /// Destination site.
+        to: SiteId,
+        /// Raw datagram bytes (protocol discriminator included).
+        datagram: Vec<u8>,
+    },
+    /// Arm (or re-arm) a timer.
+    SetTimer {
+        /// Timer token (namespaced by the owning protocol).
+        token: u64,
+        /// Delay from now.
+        after: Duration,
+    },
+    /// Cancel a pending timer.
+    CancelTimer {
+        /// Timer token.
+        token: u64,
+    },
+    /// Charge CPU work to the local host.
+    Charge(Work),
+    /// Deliver an event to the layer above.
+    Event(TransportEvent),
+}
+
+impl fmt::Debug for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Transmit { to, datagram } => f
+                .debug_struct("Transmit")
+                .field("to", to)
+                .field("len", &datagram.len())
+                .finish(),
+            Action::SetTimer { token, after } => f
+                .debug_struct("SetTimer")
+                .field("token", &format_args!("{token:#x}"))
+                .field("after", after)
+                .finish(),
+            Action::CancelTimer { token } => f
+                .debug_struct("CancelTimer")
+                .field("token", &format_args!("{token:#x}"))
+                .finish(),
+            Action::Charge(w) => f.debug_tuple("Charge").field(w).finish(),
+            Action::Event(e) => f.debug_tuple("Event").field(e).finish(),
+        }
+    }
+}
+
+/// An upcall from the transport to the Mocha runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportEvent {
+    /// A complete message arrived.
+    Delivered {
+        /// Originating site.
+        from: SiteId,
+        /// Destination port.
+        port: Port,
+        /// Message payload (reassembled).
+        bytes: Vec<u8>,
+    },
+    /// Every byte of the identified send has been acknowledged by the peer.
+    MsgAcked {
+        /// Destination of the original send.
+        to: SiteId,
+        /// The send this acknowledges.
+        handle: SendHandle,
+    },
+    /// The identified send was abandoned after exhausting retries — the
+    /// timeout signal Mocha's failure detection is built on (§4).
+    SendFailed {
+        /// Destination of the original send.
+        to: SiteId,
+        /// The failed send.
+        handle: SendHandle,
+    },
+    /// The transport has given up on the peer entirely (all retries
+    /// exhausted); pending and future traffic will fail fast until traffic
+    /// from the peer is seen again.
+    PeerUnreachable {
+        /// The unreachable peer.
+        to: SiteId,
+    },
+}
+
+/// Convenience buffer for accumulating actions inside endpoints.
+#[derive(Default)]
+pub(crate) struct ActionSink {
+    actions: Vec<Action>,
+}
+
+impl ActionSink {
+    pub fn charge(&mut self, w: Work) {
+        if !w.is_none() {
+            self.actions.push(Action::Charge(w));
+        }
+    }
+
+    pub fn transmit(&mut self, to: SiteId, datagram: Vec<u8>) {
+        self.actions.push(Action::Transmit { to, datagram });
+    }
+
+    pub fn event(&mut self, e: TransportEvent) {
+        self.actions.push(Action::Event(e));
+    }
+
+    pub fn set_timer(&mut self, token: u64, after: Duration) {
+        self.actions.push(Action::SetTimer { token, after });
+    }
+
+    pub fn cancel_timer(&mut self, token: u64) {
+        self.actions.push(Action::CancelTimer { token });
+    }
+
+    pub fn drain(&mut self) -> Vec<Action> {
+        std::mem::take(&mut self.actions)
+    }
+
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_accumulates_in_order() {
+        let mut sink = ActionSink::default();
+        assert!(sink.is_empty());
+        sink.charge(Work::events(1));
+        sink.transmit(SiteId(1), vec![1]);
+        sink.event(TransportEvent::PeerUnreachable { to: SiteId(2) });
+        let actions = sink.drain();
+        assert_eq!(actions.len(), 3);
+        assert!(matches!(actions[0], Action::Charge(_)));
+        assert!(matches!(actions[1], Action::Transmit { .. }));
+        assert!(matches!(actions[2], Action::Event(_)));
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn zero_work_charges_are_elided() {
+        let mut sink = ActionSink::default();
+        sink.charge(Work::NONE);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn debug_formats_are_compact() {
+        let a = Action::Transmit {
+            to: SiteId(1),
+            datagram: vec![0; 10_000],
+        };
+        assert!(format!("{a:?}").len() < 80);
+        let h = SendHandle(9);
+        assert_eq!(format!("{h:?}"), "send9");
+    }
+}

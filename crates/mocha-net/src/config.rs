@@ -1,0 +1,189 @@
+//! Transport configuration.
+
+use std::time::Duration;
+
+/// Which of the paper's two prototypes a runtime uses for replica
+/// transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtocolMode {
+    /// Prototype 1: "all communication is performed using Mocha's network
+    /// object library".
+    #[default]
+    Basic,
+    /// Prototype 2: control over MochaNet, bulk replica data over TCP.
+    Hybrid,
+}
+
+/// Tuning for the MochaNet user-level protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MochaNetConfig {
+    /// Maximum payload bytes per fragment datagram.
+    pub mtu: usize,
+    /// Maximum fragments in flight per peer.
+    pub window: usize,
+    /// Retransmission timeout.
+    pub rto: Duration,
+    /// Retransmission rounds before the peer is declared unreachable and
+    /// pending sends fail — MochaNet's contribution to Mocha's
+    /// timeout-based failure detection.
+    pub max_retries: u32,
+}
+
+impl Default for MochaNetConfig {
+    fn default() -> Self {
+        MochaNetConfig {
+            mtu: 1400,
+            window: 32,
+            rto: Duration::from_millis(150),
+            max_retries: 5,
+        }
+    }
+}
+
+impl MochaNetConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mtu == 0 {
+            return Err("mtu must be positive".into());
+        }
+        if self.window == 0 {
+            return Err("window must be positive".into());
+        }
+        if self.rto.is_zero() {
+            return Err("rto must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Tuning for the simulated TCP used by the hybrid protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpConfig {
+    /// Maximum segment size (payload bytes per segment).
+    pub mss: usize,
+    /// Send window in bytes (flow/congestion control stand-in).
+    pub window_bytes: usize,
+    /// Retransmission timeout.
+    pub rto: Duration,
+    /// SYN retries before a connect fails.
+    pub max_syn_retries: u32,
+    /// Data retransmission rounds before the connection is reset.
+    pub max_retries: u32,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1400,
+            window_bytes: 64 * 1024,
+            rto: Duration::from_millis(200),
+            max_syn_retries: 4,
+            max_retries: 6,
+        }
+    }
+}
+
+impl TcpConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mss == 0 {
+            return Err("mss must be positive".into());
+        }
+        if self.window_bytes < self.mss {
+            return Err("window must hold at least one segment".into());
+        }
+        if self.rto.is_zero() {
+            return Err("rto must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Complete transport configuration for one site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetConfig {
+    /// Protocol selection for bulk transfers.
+    pub mode: ProtocolMode,
+    /// MochaNet tuning.
+    pub mochanet: MochaNetConfig,
+    /// TCP tuning.
+    pub tcp: TcpConfig,
+}
+
+impl NetConfig {
+    /// A configuration using the basic (MochaNet-only) prototype.
+    pub fn basic() -> NetConfig {
+        NetConfig {
+            mode: ProtocolMode::Basic,
+            ..NetConfig::default()
+        }
+    }
+
+    /// A configuration using the hybrid prototype.
+    pub fn hybrid() -> NetConfig {
+        NetConfig {
+            mode: ProtocolMode::Hybrid,
+            ..NetConfig::default()
+        }
+    }
+
+    /// Validates both protocol configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        self.mochanet.validate()?;
+        self.tcp.validate()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        NetConfig::default().validate().unwrap();
+        NetConfig::basic().validate().unwrap();
+        NetConfig::hybrid().validate().unwrap();
+    }
+
+    #[test]
+    fn modes_are_as_named() {
+        assert_eq!(NetConfig::basic().mode, ProtocolMode::Basic);
+        assert_eq!(NetConfig::hybrid().mode, ProtocolMode::Hybrid);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = MochaNetConfig::default();
+        c.mtu = 0;
+        assert!(c.validate().is_err());
+        let mut c = MochaNetConfig::default();
+        c.window = 0;
+        assert!(c.validate().is_err());
+        let mut c = MochaNetConfig::default();
+        c.rto = Duration::ZERO;
+        assert!(c.validate().is_err());
+
+        let mut t = TcpConfig::default();
+        t.mss = 0;
+        assert!(t.validate().is_err());
+        let mut t = TcpConfig::default();
+        t.window_bytes = 10;
+        assert!(t.validate().is_err());
+        let mut t = TcpConfig::default();
+        t.rto = Duration::ZERO;
+        assert!(t.validate().is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! # mocha-net — the Mocha reproduction's transport protocols
+//!
+//! The paper develops two prototypes for transferring replicas between
+//! hosts (§5):
+//!
+//! 1. **Basic** — everything over *Mocha's network object library*: a
+//!    user-level protocol providing "reliable, sequenced, delivery of
+//!    messages as well as performing fragmentation and reassembly",
+//!    scalable through "its own upward multiplexing of packets", and cheap
+//!    for small messages because "it avoids the heavy connection and
+//!    tear-down overheads associated with other transport protocols such as
+//!    TCP". Implemented in [`mochanet`].
+//! 2. **Hybrid** — small control messages over MochaNet; bulk replica data
+//!    over TCP, with MochaNet "used for establishing a TCP connection
+//!    (i.e., propagating TCP port numbers)". TCP's fragmentation runs at
+//!    kernel speed, which is what lets it win for large replicas.
+//!    Implemented in [`tcp`] (a faithful-overhead simulated TCP: 3-way
+//!    handshake, sliding window, per-segment acks, FIN teardown) and
+//!    composed in [`mux`].
+//!
+//! All protocol logic is written as event-driven state machines emitting
+//! [`Action`]s (transmit datagram, set/cancel timer, charge CPU work,
+//! deliver event upward), so the same code runs under the deterministic
+//! simulator and under a real threaded driver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod action;
+mod config;
+pub mod mochanet;
+pub mod mux;
+pub mod tcp;
+
+pub use action::{Action, MsgClass, Port, SendHandle, TransportEvent};
+pub use config::{MochaNetConfig, NetConfig, ProtocolMode, TcpConfig};
+pub use mux::TransportMux;
+
+/// Well-known MochaNet ports ("upward multiplexing") used by the Mocha
+/// runtime.
+pub mod ports {
+    use super::Port;
+
+    /// The home-site synchronization thread.
+    pub const SYNC: Port = 1;
+    /// A site's daemon thread.
+    pub const DAEMON: Port = 2;
+    /// Application-thread mailbox (grants, replica data for waiting
+    /// threads).
+    pub const APP: Port = 3;
+    /// Site manager (spawn requests, code shipping).
+    pub const SITE_MANAGER: Port = 4;
+    /// Internal hybrid-transport rendezvous messages.
+    pub const TCP_MEET: Port = 5;
+    /// Echo service for benchmarks.
+    pub const ECHO: Port = 6;
+}

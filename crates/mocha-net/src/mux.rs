@@ -1,0 +1,463 @@
+//! The per-site transport multiplexer: composes MochaNet and TCP into the
+//! paper's two prototypes.
+//!
+//! * [`ProtocolMode::Basic`] — every message travels over MochaNet.
+//! * [`ProtocolMode::Hybrid`] — control messages travel over MochaNet; each
+//!   bulk message opens a TCP connection, transfers, and tears it down,
+//!   with a small MochaNet rendezvous message first ("Mocha's network
+//!   communication is used for establishing a TCP connection (i.e.,
+//!   propagating TCP port numbers)").
+//!
+//! The mux presents one uniform interface to the Mocha runtime:
+//! [`TransportMux::send`] plus [`TransportEvent`]s out, hiding which wire
+//! protocol carried each message.
+
+use std::collections::HashMap;
+
+use mocha_wire::io::{ByteReader, ByteWriter};
+use mocha_wire::SiteId;
+
+use crate::action::{Action, MsgClass, Port, SendHandle, TransportEvent};
+use crate::config::{NetConfig, ProtocolMode};
+use crate::mochanet::{MochaNetEndpoint, PROTO_MOCHANET};
+use crate::ports;
+use crate::tcp::{ConnId, TcpEndpoint, TcpEvent, PROTO_TCP};
+
+/// A bulk transfer awaiting its TCP connection.
+#[derive(Debug)]
+struct PendingBulk {
+    to: SiteId,
+    port: Port,
+    handle: SendHandle,
+    bytes: Vec<u8>,
+}
+
+/// A bulk transfer in flight on an open connection.
+#[derive(Debug)]
+struct OpenSend {
+    to: SiteId,
+    handle: SendHandle,
+    acked: bool,
+}
+
+/// One site's complete transport stack.
+pub struct TransportMux {
+    me: SiteId,
+    cfg: NetConfig,
+    mochanet: MochaNetEndpoint,
+    tcp: TcpEndpoint,
+    next_handle: u64,
+    out: Vec<Action>,
+    pending_bulk: HashMap<ConnId, PendingBulk>,
+    open_sends: HashMap<ConnId, OpenSend>,
+}
+
+impl std::fmt::Debug for TransportMux {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransportMux")
+            .field("me", &self.me)
+            .field("mode", &self.cfg.mode)
+            .field("pending_bulk", &self.pending_bulk.len())
+            .field("open_sends", &self.open_sends.len())
+            .finish()
+    }
+}
+
+impl TransportMux {
+    /// Creates a transport stack for site `me`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`NetConfig::validate`].
+    pub fn new(me: SiteId, cfg: NetConfig) -> TransportMux {
+        cfg.validate().expect("invalid NetConfig");
+        TransportMux {
+            me,
+            cfg,
+            mochanet: MochaNetEndpoint::new(cfg.mochanet),
+            tcp: TcpEndpoint::new(me, cfg.tcp),
+            next_handle: 1,
+            out: Vec::new(),
+            pending_bulk: HashMap::new(),
+            open_sends: HashMap::new(),
+        }
+    }
+
+    /// The configured protocol mode.
+    pub fn mode(&self) -> ProtocolMode {
+        self.cfg.mode
+    }
+
+    /// This site's id.
+    pub fn me(&self) -> SiteId {
+        self.me
+    }
+
+    /// Sends `bytes` to `(to, port)`, choosing the wire protocol from the
+    /// configured mode and the message class. Returns a handle that later
+    /// [`TransportEvent::MsgAcked`] / [`TransportEvent::SendFailed`] events
+    /// reference.
+    pub fn send(&mut self, to: SiteId, port: Port, bytes: &[u8], class: MsgClass) -> SendHandle {
+        let handle = SendHandle(self.next_handle);
+        self.next_handle += 1;
+        let use_tcp = self.cfg.mode == ProtocolMode::Hybrid && class == MsgClass::Bulk;
+        if use_tcp {
+            // 1. Rendezvous over MochaNet: announce the incoming TCP
+            //    transfer (the paper's port-number propagation). The
+            //    receiving mux swallows this message.
+            let mut meet = ByteWriter::with_capacity(12);
+            meet.put_u64(handle.0);
+            meet.put_u16(port);
+            self.mochanet.send(
+                to,
+                ports::TCP_MEET,
+                meet.as_slice(),
+                SendHandle::NONE,
+            );
+            // 2. Open a fresh connection for this transfer.
+            let conn = self.tcp.connect(to);
+            self.pending_bulk.insert(
+                conn,
+                PendingBulk {
+                    to,
+                    port,
+                    handle,
+                    bytes: bytes.to_vec(),
+                },
+            );
+        } else {
+            self.mochanet.send(to, port, bytes, handle);
+        }
+        self.collect();
+        handle
+    }
+
+    /// Feeds an arriving datagram into the right protocol.
+    pub fn on_datagram(&mut self, from: SiteId, datagram: &[u8]) {
+        match datagram.first() {
+            Some(&PROTO_MOCHANET) => self.mochanet.on_datagram(from, datagram),
+            Some(&PROTO_TCP) => self.tcp.on_datagram(from, datagram),
+            _ => {} // unknown protocol: drop
+        }
+        self.collect();
+    }
+
+    /// Routes a timer fire. Returns `true` if the token belonged to this
+    /// transport.
+    pub fn on_timer(&mut self, token: u64) -> bool {
+        let handled = self.mochanet.on_timer(token) || self.tcp.on_timer(token);
+        if handled {
+            self.collect();
+        }
+        handled
+    }
+
+    /// Whether MochaNet currently considers `peer` unreachable.
+    pub fn is_unreachable(&self, peer: SiteId) -> bool {
+        self.mochanet.is_unreachable(peer)
+    }
+
+    /// Clears failure state for `peer`.
+    pub fn reset_peer(&mut self, peer: SiteId) {
+        self.mochanet.reset_peer(peer);
+    }
+
+    /// Drains the mux's accumulated actions, in order.
+    pub fn drain_actions(&mut self) -> Vec<Action> {
+        self.collect();
+        std::mem::take(&mut self.out)
+    }
+
+    /// Pulls actions/events out of the sub-endpoints, mapping protocol
+    /// events into transport events and driving the hybrid state machine,
+    /// until everything is quiescent.
+    fn collect(&mut self) {
+        loop {
+            let mut progressed = false;
+
+            for action in self.mochanet.drain_actions() {
+                progressed = true;
+                match action {
+                    Action::Event(TransportEvent::Delivered { port, .. })
+                        if port == ports::TCP_MEET =>
+                    {
+                        // Internal rendezvous message: consumed here. The
+                        // actual transfer arrives over TCP.
+                    }
+                    Action::Event(
+                        TransportEvent::MsgAcked {
+                            handle: SendHandle::NONE,
+                            ..
+                        }
+                        | TransportEvent::SendFailed {
+                            handle: SendHandle::NONE,
+                            ..
+                        },
+                    ) => {
+                        // Completion of an internal (rendezvous) send:
+                        // not the caller's business.
+                    }
+                    other => self.out.push(other),
+                }
+            }
+
+            for action in self.tcp.drain_actions() {
+                progressed = true;
+                self.out.push(action);
+            }
+
+            for event in self.tcp.drain_events() {
+                progressed = true;
+                self.on_tcp_event(event);
+            }
+
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    fn on_tcp_event(&mut self, event: TcpEvent) {
+        match event {
+            TcpEvent::Connected(conn) => {
+                if let Some(pending) = self.pending_bulk.remove(&conn) {
+                    let mut frame = ByteWriter::with_capacity(pending.bytes.len() + 2);
+                    frame.put_u16(pending.port);
+                    frame.put_raw(&pending.bytes);
+                    self.tcp.send_msg(conn, frame.as_slice());
+                    self.open_sends.insert(
+                        conn,
+                        OpenSend {
+                            to: pending.to,
+                            handle: pending.handle,
+                            acked: false,
+                        },
+                    );
+                }
+            }
+            TcpEvent::Accepted(_, _) => {}
+            TcpEvent::MsgReceived(_conn, from, frame) => {
+                let mut r = ByteReader::new(&frame);
+                let Ok(port) = r.get_u16() else {
+                    return; // malformed frame: drop
+                };
+                let bytes = r.get_rest().to_vec();
+                self.out.push(Action::Event(TransportEvent::Delivered {
+                    from,
+                    port,
+                    bytes,
+                }));
+            }
+            TcpEvent::AllAcked(conn) => {
+                if let Some(send) = self.open_sends.get_mut(&conn) {
+                    if !send.acked {
+                        send.acked = true;
+                        let (to, handle) = (send.to, send.handle);
+                        self.tcp.close(conn);
+                        self.out
+                            .push(Action::Event(TransportEvent::MsgAcked { to, handle }));
+                    }
+                }
+            }
+            TcpEvent::Closed(conn) => {
+                self.open_sends.remove(&conn);
+            }
+            TcpEvent::ConnectFailed(conn, peer) => {
+                if let Some(pending) = self.pending_bulk.remove(&conn) {
+                    self.out.push(Action::Event(TransportEvent::SendFailed {
+                        to: pending.to,
+                        handle: pending.handle,
+                    }));
+                }
+                self.out
+                    .push(Action::Event(TransportEvent::PeerUnreachable { to: peer }));
+            }
+            TcpEvent::Aborted(conn, peer) => {
+                if let Some(send) = self.open_sends.remove(&conn) {
+                    if !send.acked {
+                        self.out.push(Action::Event(TransportEvent::SendFailed {
+                            to: send.to,
+                            handle: send.handle,
+                        }));
+                    }
+                }
+                self.out
+                    .push(Action::Event(TransportEvent::PeerUnreachable { to: peer }));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: SiteId = SiteId(0);
+    const B: SiteId = SiteId(1);
+
+    /// Connects two muxes back-to-back, shuttling datagrams instantly.
+    struct Pair {
+        a: TransportMux,
+        b: TransportMux,
+        events_a: Vec<TransportEvent>,
+        events_b: Vec<TransportEvent>,
+    }
+
+    impl Pair {
+        fn new(mode: ProtocolMode) -> Pair {
+            let cfg = NetConfig {
+                mode,
+                ..NetConfig::default()
+            };
+            Pair {
+                a: TransportMux::new(A, cfg),
+                b: TransportMux::new(B, cfg),
+                events_a: Vec::new(),
+                events_b: Vec::new(),
+            }
+        }
+
+        fn pump(&mut self) {
+            loop {
+                let mut progressed = false;
+                for from_a in [true, false] {
+                    let (src, dst, events) = if from_a {
+                        (&mut self.a, &mut self.b, &mut self.events_a)
+                    } else {
+                        (&mut self.b, &mut self.a, &mut self.events_b)
+                    };
+                    for action in src.drain_actions() {
+                        match action {
+                            Action::Transmit { datagram, .. } => {
+                                progressed = true;
+                                let from = if from_a { A } else { B };
+                                dst.on_datagram(from, &datagram);
+                            }
+                            Action::Event(e) => {
+                                progressed = true;
+                                events.push(e);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+        }
+
+        fn delivered_to_b(&self) -> Vec<(Port, Vec<u8>)> {
+            self.events_b
+                .iter()
+                .filter_map(|e| match e {
+                    TransportEvent::Delivered { port, bytes, .. } => {
+                        Some((*port, bytes.clone()))
+                    }
+                    _ => None,
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn basic_mode_delivers_control_and_bulk_over_mochanet() {
+        let mut p = Pair::new(ProtocolMode::Basic);
+        let h1 = p.a.send(B, 1, b"control", MsgClass::Control);
+        let h2 = p.a.send(B, 2, &vec![7u8; 5000], MsgClass::Bulk);
+        p.pump();
+        assert_eq!(
+            p.delivered_to_b(),
+            vec![(1, b"control".to_vec()), (2, vec![7u8; 5000])]
+        );
+        assert!(p
+            .events_a
+            .contains(&TransportEvent::MsgAcked { to: B, handle: h1 }));
+        assert!(p
+            .events_a
+            .contains(&TransportEvent::MsgAcked { to: B, handle: h2 }));
+    }
+
+    #[test]
+    fn hybrid_mode_sends_bulk_over_tcp() {
+        let mut p = Pair::new(ProtocolMode::Hybrid);
+        let payload = vec![9u8; 10_000];
+        let h = p.a.send(B, 4, &payload, MsgClass::Bulk);
+        p.pump();
+        assert_eq!(p.delivered_to_b(), vec![(4, payload)]);
+        assert!(p
+            .events_a
+            .contains(&TransportEvent::MsgAcked { to: B, handle: h }));
+        // Connection torn down after the transfer (per-transfer lifecycle).
+        assert_eq!(p.a.tcp.conn_count(), 0);
+        assert_eq!(p.b.tcp.conn_count(), 0);
+    }
+
+    #[test]
+    fn hybrid_mode_keeps_control_on_mochanet() {
+        let mut p = Pair::new(ProtocolMode::Hybrid);
+        p.a.send(B, 1, b"ctl", MsgClass::Control);
+        p.pump();
+        assert_eq!(p.delivered_to_b(), vec![(1, b"ctl".to_vec())]);
+        // No TCP connections were involved.
+        assert_eq!(p.a.tcp.conn_count(), 0);
+    }
+
+    #[test]
+    fn rendezvous_messages_are_not_delivered_upward() {
+        let mut p = Pair::new(ProtocolMode::Hybrid);
+        p.a.send(B, 4, b"bulk", MsgClass::Bulk);
+        p.pump();
+        assert!(
+            !p.events_b
+                .iter()
+                .any(|e| matches!(e, TransportEvent::Delivered { port, .. } if *port == ports::TCP_MEET)),
+            "TCP_MEET leaked upward"
+        );
+        assert_eq!(p.delivered_to_b().len(), 1);
+    }
+
+    #[test]
+    fn ordering_preserved_within_mochanet() {
+        let mut p = Pair::new(ProtocolMode::Basic);
+        for i in 0..10u8 {
+            p.a.send(B, 1, &[i], MsgClass::Control);
+        }
+        p.pump();
+        let got: Vec<u8> = p.delivered_to_b().into_iter().map(|(_, b)| b[0]).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_are_unique_and_nonzero() {
+        let mut p = Pair::new(ProtocolMode::Basic);
+        let h1 = p.a.send(B, 1, b"x", MsgClass::Control);
+        let h2 = p.a.send(B, 1, b"y", MsgClass::Control);
+        assert_ne!(h1, h2);
+        assert_ne!(h1, SendHandle::NONE);
+    }
+
+    #[test]
+    fn unknown_protocol_datagrams_are_dropped() {
+        let mut p = Pair::new(ProtocolMode::Basic);
+        p.b.on_datagram(A, &[0xEE, 1, 2, 3]);
+        p.b.on_datagram(A, &[]);
+        p.pump();
+        assert!(p.delivered_to_b().is_empty());
+    }
+
+    #[test]
+    fn bidirectional_hybrid_transfers() {
+        let mut p = Pair::new(ProtocolMode::Hybrid);
+        p.a.send(B, 4, &vec![1u8; 3000], MsgClass::Bulk);
+        p.b.send(A, 4, &vec![2u8; 3000], MsgClass::Bulk);
+        p.pump();
+        assert_eq!(p.delivered_to_b(), vec![(4, vec![1u8; 3000])]);
+        let delivered_a: Vec<_> = p
+            .events_a
+            .iter()
+            .filter(|e| matches!(e, TransportEvent::Delivered { .. }))
+            .collect();
+        assert_eq!(delivered_a.len(), 1);
+    }
+}

@@ -1,0 +1,911 @@
+//! Simulated TCP.
+//!
+//! The hybrid prototype transfers bulk replica data over TCP. The paper's
+//! argument needs exactly three TCP properties, and this module models all
+//! of them faithfully:
+//!
+//! 1. **Connection setup and teardown overhead** — a 3-way handshake before
+//!    data and a FIN/FIN-ACK exchange after, which is why the basic
+//!    protocol wins for small replicas (Figs. 9, 10).
+//! 2. **Kernel-speed segmentation** — per-segment processing is charged as
+//!    [`Work::kernel_bytes`], native-code cost, which is why TCP wins for
+//!    large replicas (Figs. 13, 14).
+//! 3. **Reliable in-order byte stream** — sliding window, cumulative acks,
+//!    go-back-N retransmission, so loss and reordering are survivable.
+//!
+//! Messages are framed on the stream with a `u32` length prefix; the
+//! receiving endpoint delivers complete messages only.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use mocha_sim::Work;
+use mocha_wire::io::{ByteReader, ByteWriter, WireError};
+use mocha_wire::SiteId;
+
+use crate::action::{Action, ActionSink};
+use crate::config::TcpConfig;
+
+/// Protocol discriminator byte for TCP datagrams.
+pub const PROTO_TCP: u8 = 2;
+
+/// Timer-token namespace for TCP connection timers.
+const TIMER_NS: u64 = 0x02 << 56;
+
+/// Approximate TCP/IP header bytes charged per segment at kernel speed.
+const SEGMENT_HEADER_BYTES: u64 = 40;
+
+/// Endpoint-instance counter: each endpoint (including a rebooted node's
+/// fresh stack) allocates connection ids from a distinct 2^20-wide range,
+/// so a new incarnation can never collide with the old one's connections
+/// lingering at a peer — the role random initial sequence numbers play in
+/// real TCP.
+static INSTANCE_COUNTER: AtomicU32 = AtomicU32::new(1);
+
+const T_SYN: u8 = 0;
+const T_SYNACK: u8 = 1;
+const T_ACK: u8 = 2;
+const T_DATA: u8 = 3;
+const T_DACK: u8 = 4;
+const T_FIN: u8 = 5;
+const T_FINACK: u8 = 6;
+
+/// Identifies a connection: the initiating site plus its locally assigned
+/// id, which together are globally unique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId {
+    /// The site that initiated the connection.
+    pub initiator: SiteId,
+    /// Initiator-assigned identifier.
+    pub id: u32,
+}
+
+impl std::fmt::Display for ConnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tcp:{}:{}", self.initiator, self.id)
+    }
+}
+
+impl ConnId {
+    fn encode(self, w: &mut ByteWriter) {
+        self.initiator.encode(w);
+        w.put_u32(self.id);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        Ok(ConnId {
+            initiator: SiteId::decode(r)?,
+            id: r.get_u32()?,
+        })
+    }
+}
+
+/// Events a [`TcpEndpoint`] reports to the layer above (the hybrid mux).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcpEvent {
+    /// Active open completed: the connection is established.
+    Connected(ConnId),
+    /// Passive open completed: a peer connected to us.
+    Accepted(ConnId, SiteId),
+    /// A complete framed message arrived on the connection.
+    MsgReceived(ConnId, SiteId, Vec<u8>),
+    /// Every byte written so far has been acknowledged by the peer.
+    AllAcked(ConnId),
+    /// The connection closed cleanly (our FIN acked, or peer's FIN seen).
+    Closed(ConnId),
+    /// Active open failed (SYN retries exhausted).
+    ConnectFailed(ConnId, SiteId),
+    /// The connection was torn down after data retries were exhausted.
+    Aborted(ConnId, SiteId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    SynSent,
+    SynReceived,
+    Established,
+    /// FIN sent, awaiting FIN-ACK.
+    FinWait,
+}
+
+#[derive(Debug)]
+struct Conn {
+    peer: SiteId,
+    state: ConnState,
+    timer: u64,
+    // --- send side ---
+    /// Bytes written but not yet acknowledged, starting at offset
+    /// `snd_una`.
+    send_buf: Vec<u8>,
+    snd_una: u64,
+    snd_nxt: u64,
+    snd_total: u64,
+    /// `close` requested: send FIN once all data is acked.
+    fin_queued: bool,
+    fin_sent: bool,
+    /// AllAcked already reported for the current `snd_total`.
+    all_acked_reported: bool,
+    // --- receive side ---
+    rcv_next: u64,
+    ooo: BTreeMap<u64, Vec<u8>>,
+    /// In-order stream bytes not yet consumed by framing.
+    recv_buf: Vec<u8>,
+    // --- reliability ---
+    retries: u32,
+    syn_retries: u32,
+}
+
+impl Conn {
+    fn new(peer: SiteId, state: ConnState, timer: u64) -> Conn {
+        Conn {
+            peer,
+            state,
+            timer,
+            send_buf: Vec::new(),
+            snd_una: 0,
+            snd_nxt: 0,
+            snd_total: 0,
+            fin_queued: false,
+            fin_sent: false,
+            all_acked_reported: false,
+            rcv_next: 0,
+            ooo: BTreeMap::new(),
+            recv_buf: Vec::new(),
+            retries: 0,
+            syn_retries: 0,
+        }
+    }
+}
+
+/// One site's TCP stack.
+pub struct TcpEndpoint {
+    me: SiteId,
+    cfg: TcpConfig,
+    conns: HashMap<ConnId, Conn>,
+    next_id: u32,
+    next_timer: u64,
+    timer_conn: HashMap<u64, ConnId>,
+    sink: ActionSink,
+    events: Vec<TcpEvent>,
+}
+
+impl std::fmt::Debug for TcpEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpEndpoint")
+            .field("me", &self.me)
+            .field("conns", &self.conns.len())
+            .finish()
+    }
+}
+
+impl TcpEndpoint {
+    /// Creates an endpoint for site `me`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`TcpConfig::validate`].
+    pub fn new(me: SiteId, cfg: TcpConfig) -> TcpEndpoint {
+        cfg.validate().expect("invalid TcpConfig");
+        TcpEndpoint {
+            me,
+            cfg,
+            conns: HashMap::new(),
+            next_id: INSTANCE_COUNTER.fetch_add(1, Ordering::Relaxed) << 20,
+            next_timer: 0,
+            timer_conn: HashMap::new(),
+            sink: ActionSink::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Initiates a connection to `peer` (active open). Emits a SYN and
+    /// arms the handshake timer. Completion is reported via
+    /// [`TcpEvent::Connected`] or [`TcpEvent::ConnectFailed`].
+    pub fn connect(&mut self, peer: SiteId) -> ConnId {
+        let conn_id = ConnId {
+            initiator: self.me,
+            id: self.next_id,
+        };
+        self.next_id += 1;
+        let timer = self.alloc_timer(conn_id);
+        self.conns
+            .insert(conn_id, Conn::new(peer, ConnState::SynSent, timer));
+        // connect() syscall + handshake processing.
+        self.sink.charge(Work::events(1));
+        self.transmit_ctl(peer, T_SYN, conn_id);
+        self.arm_timer(conn_id);
+        conn_id
+    }
+
+    /// Writes a length-framed message onto the connection's stream. May be
+    /// called before the handshake completes; data flows once established.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the connection does not exist (closed or never opened).
+    pub fn send_msg(&mut self, conn_id: ConnId, bytes: &[u8]) {
+        let conn = self.conns.get_mut(&conn_id).expect("unknown connection");
+        let mut frame = ByteWriter::with_capacity(bytes.len() + 4);
+        frame.put_u32(u32::try_from(bytes.len()).expect("message too large"));
+        frame.put_raw(bytes);
+        let frame = frame.into_bytes();
+        conn.snd_total += frame.len() as u64;
+        conn.send_buf.extend_from_slice(&frame);
+        conn.all_acked_reported = false;
+        // One write() syscall; the copy into the kernel buffer runs at
+        // kernel speed.
+        self.sink
+            .charge(Work::events(1).plus(Work::kernel_bytes(frame.len() as u64)));
+        self.pump(conn_id);
+    }
+
+    /// Requests a clean close: a FIN goes out once all written data has
+    /// been acknowledged. Completion is reported via [`TcpEvent::Closed`].
+    pub fn close(&mut self, conn_id: ConnId) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return; // already closed
+        };
+        conn.fin_queued = true;
+        self.maybe_send_fin(conn_id);
+    }
+
+    /// Feeds an arriving datagram (with discriminator byte) into the stack.
+    pub fn on_datagram(&mut self, from: SiteId, datagram: &[u8]) {
+        if self.try_on_datagram(from, datagram).is_err() {
+            // Malformed: drop.
+        }
+    }
+
+    fn try_on_datagram(&mut self, from: SiteId, datagram: &[u8]) -> Result<(), WireError> {
+        let mut r = ByteReader::new(datagram);
+        let proto = r.get_u8()?;
+        if proto != PROTO_TCP {
+            return Err(WireError::BadTag {
+                what: "tcp proto",
+                tag: proto,
+            });
+        }
+        let ty = r.get_u8()?;
+        let conn_id = ConnId::decode(&mut r)?;
+        match ty {
+            T_SYN => {
+                r.finish()?;
+                self.on_syn(from, conn_id);
+            }
+            T_SYNACK => {
+                r.finish()?;
+                self.on_synack(conn_id);
+            }
+            T_ACK => {
+                r.finish()?;
+                self.on_handshake_ack(from, conn_id);
+            }
+            T_DATA => {
+                let offset = r.get_u64()?;
+                let payload = r.get_rest().to_vec();
+                self.on_data(from, conn_id, offset, payload);
+            }
+            T_DACK => {
+                let next_expected = r.get_u64()?;
+                r.finish()?;
+                self.on_dack(conn_id, next_expected);
+            }
+            T_FIN => {
+                r.finish()?;
+                self.on_fin(from, conn_id);
+            }
+            T_FINACK => {
+                r.finish()?;
+                self.on_finack(conn_id);
+            }
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "tcp type",
+                    tag,
+                })
+            }
+        }
+        Ok(())
+    }
+
+    fn on_syn(&mut self, from: SiteId, conn_id: ConnId) {
+        // The kernel handles the SYN, but the Java server must wake to
+        // spawn a handler thread for the incoming connection.
+        self.sink
+            .charge(Work::events(1).plus(Work::kernel_bytes(SEGMENT_HEADER_BYTES)));
+        if !self.conns.contains_key(&conn_id) {
+            let timer = self.alloc_timer(conn_id);
+            self.conns
+                .insert(conn_id, Conn::new(from, ConnState::SynReceived, timer));
+        }
+        // (Duplicate SYN: just re-send the SYNACK.)
+        self.transmit_ctl(from, T_SYNACK, conn_id);
+    }
+
+    fn on_synack(&mut self, conn_id: ConnId) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        if conn.state != ConnState::SynSent {
+            return; // duplicate SYNACK
+        }
+        conn.state = ConnState::Established;
+        conn.retries = 0;
+        let peer = conn.peer;
+        // connect() completion wakes the application thread, which then
+        // sets up its socket streams (expensive in 1997 Java).
+        self.sink.charge(Work::events(2));
+        self.transmit_ctl(peer, T_ACK, conn_id);
+        self.events.push(TcpEvent::Connected(conn_id));
+        self.cancel_conn_timer(conn_id);
+        self.pump(conn_id);
+    }
+
+    fn on_handshake_ack(&mut self, from: SiteId, conn_id: ConnId) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        if conn.state == ConnState::SynReceived {
+            conn.state = ConnState::Established;
+            // accept() returns and the handler sets up its streams.
+            self.sink.charge(Work::events(2));
+            self.events.push(TcpEvent::Accepted(conn_id, from));
+        }
+    }
+
+    fn on_data(&mut self, from: SiteId, conn_id: ConnId, offset: u64, payload: Vec<u8>) {
+        // Kernel-side segment processing: native speed.
+        self.sink.charge(Work::kernel_bytes(
+            payload.len() as u64 + SEGMENT_HEADER_BYTES,
+        ));
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        // Data on a half-open connection implies the handshake ACK was
+        // lost; promote to established.
+        if conn.state == ConnState::SynReceived {
+            conn.state = ConnState::Established;
+            self.sink.charge(Work::events(2));
+            self.events.push(TcpEvent::Accepted(conn_id, from));
+        }
+        let conn = self.conns.get_mut(&conn_id).expect("present");
+        if offset == conn.rcv_next {
+            conn.rcv_next += payload.len() as u64;
+            conn.recv_buf.extend_from_slice(&payload);
+            // Drain contiguous out-of-order segments.
+            while let Some(next) = conn.ooo.remove(&conn.rcv_next) {
+                conn.rcv_next += next.len() as u64;
+                conn.recv_buf.extend_from_slice(&next);
+            }
+            self.deliver_frames(conn_id, from);
+        } else if offset > conn.rcv_next {
+            conn.ooo.insert(offset, payload);
+        }
+        // else: duplicate of already-received data — just re-ack.
+        let conn = self.conns.get_mut(&conn_id).expect("present");
+        let ack = conn.rcv_next;
+        let peer = conn.peer;
+        self.transmit_dack(peer, conn_id, ack);
+    }
+
+    fn deliver_frames(&mut self, conn_id: ConnId, from: SiteId) {
+        loop {
+            let conn = self.conns.get_mut(&conn_id).expect("present");
+            if conn.recv_buf.len() < 4 {
+                return;
+            }
+            let len = u32::from_le_bytes(conn.recv_buf[0..4].try_into().unwrap()) as usize;
+            if conn.recv_buf.len() < 4 + len {
+                return;
+            }
+            let msg = conn.recv_buf[4..4 + len].to_vec();
+            conn.recv_buf.drain(0..4 + len);
+            // The application thread wakes once per complete message —
+            // TCP's big win over per-fragment user-level wakeups.
+            self.sink.charge(Work::events(1));
+            self.events.push(TcpEvent::MsgReceived(conn_id, from, msg));
+        }
+    }
+
+    fn on_dack(&mut self, conn_id: ConnId, next_expected: u64) {
+        self.sink.charge(Work::kernel_bytes(SEGMENT_HEADER_BYTES));
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        if next_expected > conn.snd_una {
+            let advanced = (next_expected - conn.snd_una) as usize;
+            conn.send_buf.drain(0..advanced.min(conn.send_buf.len()));
+            conn.snd_una = next_expected;
+            conn.retries = 0;
+        }
+        let fully_acked = conn.snd_una == conn.snd_total;
+        if fully_acked && !conn.all_acked_reported && conn.snd_total > 0 {
+            conn.all_acked_reported = true;
+            self.events.push(TcpEvent::AllAcked(conn_id));
+        }
+        self.pump(conn_id);
+        self.maybe_send_fin(conn_id);
+        // Timer management: nothing outstanding → cancel.
+        let conn = self.conns.get(&conn_id).expect("present");
+        if conn.snd_una == conn.snd_nxt && !conn.fin_sent {
+            self.cancel_conn_timer(conn_id);
+        }
+    }
+
+    fn on_fin(&mut self, from: SiteId, conn_id: ConnId) {
+        self.sink.charge(Work::kernel_bytes(SEGMENT_HEADER_BYTES));
+        if self.conns.remove(&conn_id).is_some() {
+            self.events.push(TcpEvent::Closed(conn_id));
+        }
+        // FIN-ACK even for unknown connections (peer retransmitting a FIN
+        // after we already closed).
+        self.transmit_ctl(from, T_FINACK, conn_id);
+    }
+
+    fn on_finack(&mut self, conn_id: ConnId) {
+        self.sink.charge(Work::kernel_bytes(SEGMENT_HEADER_BYTES));
+        if let Some(conn) = self.conns.remove(&conn_id) {
+            let _ = conn;
+            self.events.push(TcpEvent::Closed(conn_id));
+        }
+    }
+
+    /// Handles a timer fire. Returns `true` if the token belonged to this
+    /// endpoint.
+    pub fn on_timer(&mut self, token: u64) -> bool {
+        if token & (0xff << 56) != TIMER_NS {
+            return false;
+        }
+        let Some(&conn_id) = self.timer_conn.get(&token) else {
+            return true; // stale
+        };
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return true;
+        };
+        match conn.state {
+            ConnState::SynSent => {
+                conn.syn_retries += 1;
+                if conn.syn_retries > self.cfg.max_syn_retries {
+                    let peer = conn.peer;
+                    self.conns.remove(&conn_id);
+                    self.events.push(TcpEvent::ConnectFailed(conn_id, peer));
+                } else {
+                    let peer = conn.peer;
+                    self.transmit_ctl(peer, T_SYN, conn_id);
+                    self.arm_timer(conn_id);
+                }
+            }
+            ConnState::SynReceived => {
+                // Passive side waits for the initiator; nothing to do.
+            }
+            ConnState::Established | ConnState::FinWait => {
+                conn.retries += 1;
+                if conn.retries > self.cfg.max_retries {
+                    let peer = conn.peer;
+                    self.conns.remove(&conn_id);
+                    self.events.push(TcpEvent::Aborted(conn_id, peer));
+                } else {
+                    // Go-back-N: rewind and retransmit the window.
+                    conn.snd_nxt = conn.snd_una;
+                    let fin = conn.fin_sent;
+                    let peer = conn.peer;
+                    self.pump(conn_id);
+                    if fin {
+                        self.transmit_ctl(peer, T_FIN, conn_id);
+                    }
+                    self.arm_timer(conn_id);
+                }
+            }
+        }
+        true
+    }
+
+    /// Transmits any window-permitted data segments.
+    fn pump(&mut self, conn_id: ConnId) {
+        let mss = self.cfg.mss as u64;
+        let window = self.cfg.window_bytes as u64;
+        let mut to_transmit = Vec::new();
+        {
+            let Some(conn) = self.conns.get_mut(&conn_id) else {
+                return;
+            };
+            if conn.state != ConnState::Established && conn.state != ConnState::FinWait {
+                return;
+            }
+            while conn.snd_nxt < conn.snd_total && conn.snd_nxt - conn.snd_una < window {
+                let seg_len = mss
+                    .min(conn.snd_total - conn.snd_nxt)
+                    .min(window - (conn.snd_nxt - conn.snd_una));
+                let buf_off = (conn.snd_nxt - conn.snd_una) as usize;
+                let seg = conn.send_buf[buf_off..buf_off + seg_len as usize].to_vec();
+                to_transmit.push((conn.peer, conn.snd_nxt, seg));
+                conn.snd_nxt += seg_len;
+            }
+        }
+        let transmitted = !to_transmit.is_empty();
+        for (peer, offset, seg) in to_transmit {
+            // Kernel segmentation at native speed.
+            self.sink.charge(Work::kernel_bytes(
+                seg.len() as u64 + SEGMENT_HEADER_BYTES,
+            ));
+            let mut w = ByteWriter::with_capacity(seg.len() + 20);
+            w.put_u8(PROTO_TCP);
+            w.put_u8(T_DATA);
+            conn_id.encode(&mut w);
+            w.put_u64(offset);
+            w.put_raw(&seg);
+            self.sink.transmit(peer, w.into_bytes());
+        }
+        if transmitted {
+            self.arm_timer(conn_id);
+        }
+    }
+
+    fn maybe_send_fin(&mut self, conn_id: ConnId) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        if conn.fin_queued
+            && !conn.fin_sent
+            && conn.state == ConnState::Established
+            && conn.snd_una == conn.snd_total
+        {
+            conn.fin_sent = true;
+            conn.state = ConnState::FinWait;
+            let peer = conn.peer;
+            self.sink.charge(Work::kernel_bytes(SEGMENT_HEADER_BYTES));
+            self.transmit_ctl(peer, T_FIN, conn_id);
+            self.arm_timer(conn_id);
+        }
+    }
+
+    fn transmit_ctl(&mut self, peer: SiteId, ty: u8, conn_id: ConnId) {
+        let mut w = ByteWriter::with_capacity(12);
+        w.put_u8(PROTO_TCP);
+        w.put_u8(ty);
+        conn_id.encode(&mut w);
+        self.sink.charge(Work::kernel_bytes(SEGMENT_HEADER_BYTES));
+        self.sink.transmit(peer, w.into_bytes());
+    }
+
+    fn transmit_dack(&mut self, peer: SiteId, conn_id: ConnId, next_expected: u64) {
+        let mut w = ByteWriter::with_capacity(20);
+        w.put_u8(PROTO_TCP);
+        w.put_u8(T_DACK);
+        conn_id.encode(&mut w);
+        w.put_u64(next_expected);
+        self.sink.charge(Work::kernel_bytes(SEGMENT_HEADER_BYTES));
+        self.sink.transmit(peer, w.into_bytes());
+    }
+
+    fn alloc_timer(&mut self, conn_id: ConnId) -> u64 {
+        let token = TIMER_NS | self.next_timer;
+        self.next_timer += 1;
+        self.timer_conn.insert(token, conn_id);
+        token
+    }
+
+    fn arm_timer(&mut self, conn_id: ConnId) {
+        let rto = self.cfg.rto;
+        if let Some(conn) = self.conns.get(&conn_id) {
+            self.sink.set_timer(conn.timer, rto);
+        }
+    }
+
+    fn cancel_conn_timer(&mut self, conn_id: ConnId) {
+        if let Some(conn) = self.conns.get(&conn_id) {
+            self.sink.cancel_timer(conn.timer);
+        }
+    }
+
+    /// Drains accumulated wire/timer/charge actions, in order.
+    pub fn drain_actions(&mut self) -> Vec<Action> {
+        self.sink.drain()
+    }
+
+    /// Drains accumulated connection events, in order.
+    pub fn drain_events(&mut self) -> Vec<TcpEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Number of live connections.
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    const A: SiteId = SiteId(0);
+    const B: SiteId = SiteId(1);
+
+    fn cfg() -> TcpConfig {
+        TcpConfig {
+            mss: 100,
+            window_bytes: 300,
+            rto: Duration::from_millis(100),
+            max_syn_retries: 2,
+            max_retries: 3,
+        }
+    }
+
+    struct Pair {
+        a: TcpEndpoint,
+        b: TcpEndpoint,
+        events_a: Vec<TcpEvent>,
+        events_b: Vec<TcpEvent>,
+    }
+
+    impl Pair {
+        fn new() -> Pair {
+            Pair {
+                a: TcpEndpoint::new(A, cfg()),
+                b: TcpEndpoint::new(B, cfg()),
+                events_a: Vec::new(),
+                events_b: Vec::new(),
+            }
+        }
+
+        fn pump(&mut self, drop_filter: &mut dyn FnMut(bool, usize) -> bool) {
+            let mut counter = 0usize;
+            loop {
+                let mut progressed = false;
+                for from_a in [true, false] {
+                    let (src, dst) = if from_a {
+                        (&mut self.a, &mut self.b)
+                    } else {
+                        (&mut self.b, &mut self.a)
+                    };
+                    for action in src.drain_actions() {
+                        if let Action::Transmit { datagram, .. } = action {
+                            progressed = true;
+                            let drop = drop_filter(from_a, counter);
+                            counter += 1;
+                            if !drop {
+                                let from = if from_a { A } else { B };
+                                dst.on_datagram(from, &datagram);
+                            }
+                        }
+                    }
+                    let (src, events) = if from_a {
+                        (&mut self.a, &mut self.events_a)
+                    } else {
+                        (&mut self.b, &mut self.events_b)
+                    };
+                    let evs = src.drain_events();
+                    if !evs.is_empty() {
+                        progressed = true;
+                        events.extend(evs);
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+        }
+
+        fn pump_lossless(&mut self) {
+            self.pump(&mut |_, _| false);
+        }
+    }
+
+    #[test]
+    fn handshake_completes() {
+        let mut p = Pair::new();
+        let conn = p.a.connect(B);
+        p.pump_lossless();
+        assert!(p.events_a.contains(&TcpEvent::Connected(conn)));
+        assert!(p.events_b.contains(&TcpEvent::Accepted(conn, A)));
+    }
+
+    #[test]
+    fn message_transfers_and_acks() {
+        let mut p = Pair::new();
+        let conn = p.a.connect(B);
+        let msg: Vec<u8> = (0..1000).map(|i| (i % 256) as u8).collect();
+        p.a.send_msg(conn, &msg);
+        p.pump_lossless();
+        assert!(p
+            .events_b
+            .contains(&TcpEvent::MsgReceived(conn, A, msg.clone())));
+        assert!(p.events_a.contains(&TcpEvent::AllAcked(conn)));
+    }
+
+    #[test]
+    fn multiple_messages_frame_correctly() {
+        let mut p = Pair::new();
+        let conn = p.a.connect(B);
+        p.a.send_msg(conn, b"first");
+        p.a.send_msg(conn, b"second message");
+        p.a.send_msg(conn, b"");
+        p.pump_lossless();
+        let received: Vec<Vec<u8>> = p
+            .events_b
+            .iter()
+            .filter_map(|e| match e {
+                TcpEvent::MsgReceived(_, _, m) => Some(m.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            received,
+            vec![b"first".to_vec(), b"second message".to_vec(), vec![]]
+        );
+    }
+
+    #[test]
+    fn close_exchanges_fin_and_reports_closed() {
+        let mut p = Pair::new();
+        let conn = p.a.connect(B);
+        p.a.send_msg(conn, b"data");
+        p.pump_lossless();
+        p.a.close(conn);
+        p.pump_lossless();
+        assert!(p.events_a.contains(&TcpEvent::Closed(conn)));
+        assert!(p.events_b.contains(&TcpEvent::Closed(conn)));
+        assert_eq!(p.a.conn_count(), 0);
+        assert_eq!(p.b.conn_count(), 0);
+    }
+
+    #[test]
+    fn connect_failure_after_syn_retries() {
+        let mut ep = TcpEndpoint::new(A, cfg());
+        let conn = ep.connect(B);
+        ep.drain_actions();
+        let timer = TIMER_NS; // first allocated timer
+        for _ in 0..cfg().max_syn_retries {
+            assert!(ep.on_timer(timer));
+            ep.drain_actions();
+        }
+        assert!(ep.on_timer(timer));
+        assert!(ep
+            .drain_events()
+            .contains(&TcpEvent::ConnectFailed(conn, B)));
+        assert_eq!(ep.conn_count(), 0);
+    }
+
+    #[test]
+    fn lost_data_segment_retransmits() {
+        let mut p = Pair::new();
+        let conn = p.a.connect(B);
+        p.pump_lossless();
+        let msg: Vec<u8> = (0..250).map(|i| i as u8).collect(); // 3 segments
+        p.a.send_msg(conn, &msg);
+        // Drop A's first data segment.
+        let mut dropped = false;
+        p.pump(&mut |from_a, _| {
+            if from_a && !dropped {
+                dropped = true;
+                true
+            } else {
+                false
+            }
+        });
+        assert!(!p
+            .events_b
+            .iter()
+            .any(|e| matches!(e, TcpEvent::MsgReceived(..))));
+        // Fire A's RTO to recover.
+        assert!(p.a.on_timer(TIMER_NS));
+        p.pump_lossless();
+        assert!(p.events_b.contains(&TcpEvent::MsgReceived(conn, A, msg)));
+    }
+
+    #[test]
+    fn window_limits_outstanding_bytes() {
+        let mut p = Pair::new();
+        let conn = p.a.connect(B);
+        p.pump_lossless();
+        p.a.send_msg(conn, &vec![0u8; 1000]);
+        // Window is 300 bytes => exactly 3 mss-sized segments transmitted
+        // before any acks.
+        let segments = p
+            .a
+            .drain_actions()
+            .into_iter()
+            .filter(|a| matches!(a, Action::Transmit { .. }))
+            .count();
+        assert_eq!(segments, 3);
+    }
+
+    #[test]
+    fn data_abort_after_retries() {
+        let mut p = Pair::new();
+        let conn = p.a.connect(B);
+        p.pump_lossless();
+        p.a.send_msg(conn, b"never arrives");
+        // Swallow all of A's transmissions.
+        p.pump(&mut |from_a, _| from_a);
+        for _ in 0..=cfg().max_retries {
+            p.a.on_timer(TIMER_NS);
+            p.a.drain_actions();
+        }
+        assert!(p.a.drain_events().contains(&TcpEvent::Aborted(conn, B)));
+    }
+
+    #[test]
+    fn kernel_charges_dominate_over_event_charges_for_bulk() {
+        // The structural property behind the hybrid protocol's large-
+        // replica win: bytes are charged at kernel rates, wakeups are rare.
+        let mut p = Pair::new();
+        let conn = p.a.connect(B);
+        p.pump_lossless();
+        p.a.send_msg(conn, &vec![0u8; 100_000]);
+        let mut kernel = 0u64;
+        let mut events = 0u64;
+        let mut user = 0u64;
+        // Count charges on both sides as the transfer completes.
+        loop {
+            let mut progressed = false;
+            for from_a in [true, false] {
+                let (src, dst) = if from_a {
+                    (&mut p.a, &mut p.b)
+                } else {
+                    (&mut p.b, &mut p.a)
+                };
+                for action in src.drain_actions() {
+                    match action {
+                        Action::Transmit { datagram, .. } => {
+                            progressed = true;
+                            let from = if from_a { A } else { B };
+                            dst.on_datagram(from, &datagram);
+                        }
+                        Action::Charge(w) => {
+                            kernel += w.kernel_bytes;
+                            events += w.events;
+                            user += w.user_bytes;
+                        }
+                        _ => {}
+                    }
+                }
+                let _ = p.a.drain_events();
+                let _ = p.b.drain_events();
+            }
+            if !progressed {
+                break;
+            }
+        }
+        assert!(kernel > 200_000, "kernel bytes {kernel}"); // both sides
+        assert_eq!(user, 0);
+        assert!(events < 20, "too many wakeups: {events}");
+    }
+
+    #[test]
+    fn duplicate_syn_is_harmless() {
+        let mut p = Pair::new();
+        let conn = p.a.connect(B);
+        // Capture A's SYN and deliver it twice.
+        let syn: Vec<Vec<u8>> = p
+            .a
+            .drain_actions()
+            .into_iter()
+            .filter_map(|a| match a {
+                Action::Transmit { datagram, .. } => Some(datagram),
+                _ => None,
+            })
+            .collect();
+        p.b.on_datagram(A, &syn[0]);
+        p.b.on_datagram(A, &syn[0]);
+        p.pump_lossless();
+        assert_eq!(
+            p.events_a
+                .iter()
+                .filter(|e| matches!(e, TcpEvent::Connected(_)))
+                .count(),
+            1
+        );
+        let _ = conn;
+    }
+
+    #[test]
+    fn conn_id_displays() {
+        let c = ConnId {
+            initiator: SiteId(3),
+            id: 7,
+        };
+        assert_eq!(c.to_string(), "tcp:site3:7");
+    }
+}

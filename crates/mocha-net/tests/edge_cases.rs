@@ -1,0 +1,219 @@
+//! Edge-case transport tests: window stalls, tiny windows, interleaved
+//! classes, peer recovery after unreachability.
+
+use std::any::Any;
+use std::time::Duration;
+
+use mocha_net::mochanet::{MochaNetEndpoint, PROTO_MOCHANET};
+use mocha_net::{Action, MochaNetConfig, MsgClass, NetConfig, SendHandle, TransportEvent, TransportMux};
+use mocha_sim::{Host, HostCtx, LinkProfile, NodeId, World};
+use mocha_wire::SiteId;
+
+const A: SiteId = SiteId(0);
+const B: SiteId = SiteId(1);
+
+/// Direct endpoint-pair pump (no simulator, no loss): shuttles datagrams
+/// until quiescent and returns payloads delivered at `b`.
+fn pump_pair(a: &mut MochaNetEndpoint, b: &mut MochaNetEndpoint) -> Vec<Vec<u8>> {
+    let mut delivered = Vec::new();
+    loop {
+        let mut progressed = false;
+        for action in a.drain_actions() {
+            if let Action::Transmit { datagram, .. } = action {
+                progressed = true;
+                b.on_datagram(A, &datagram);
+            }
+        }
+        for action in b.drain_actions() {
+            match action {
+                Action::Transmit { datagram, .. } => {
+                    progressed = true;
+                    a.on_datagram(B, &datagram);
+                }
+                Action::Event(TransportEvent::Delivered { bytes, .. }) => {
+                    progressed = true;
+                    delivered.push(bytes);
+                }
+                _ => {}
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    delivered
+}
+
+#[test]
+fn stop_and_wait_window_still_delivers_large_messages() {
+    // window = 1: the most conservative 1997 configuration.
+    let cfg = MochaNetConfig {
+        mtu: 100,
+        window: 1,
+        rto: Duration::from_millis(50),
+        max_retries: 5,
+    };
+    let mut a = MochaNetEndpoint::new(cfg);
+    let mut b = MochaNetEndpoint::new(cfg);
+    let payload: Vec<u8> = (0..950).map(|i| i as u8).collect(); // 10 frags
+    a.send(B, 3, &payload, SendHandle(1));
+    let delivered = pump_pair(&mut a, &mut b);
+    assert_eq!(delivered, vec![payload]);
+}
+
+#[test]
+fn tiny_mtu_many_fragments() {
+    let cfg = MochaNetConfig {
+        mtu: 16,
+        window: 8,
+        rto: Duration::from_millis(50),
+        max_retries: 5,
+    };
+    let mut a = MochaNetEndpoint::new(cfg);
+    let mut b = MochaNetEndpoint::new(cfg);
+    let payload: Vec<u8> = (0..1000).map(|i| (i % 251) as u8).collect(); // 63 frags
+    a.send(B, 3, &payload, SendHandle(1));
+    let delivered = pump_pair(&mut a, &mut b);
+    assert_eq!(delivered, vec![payload]);
+}
+
+#[test]
+fn messages_to_distinct_ports_multiplex_independently() {
+    let cfg = MochaNetConfig::default();
+    let mut a = MochaNetEndpoint::new(cfg);
+    let mut b = MochaNetEndpoint::new(cfg);
+    for port in [1u16, 2, 3, 4] {
+        a.send(B, port, &[port as u8], SendHandle(u64::from(port)));
+    }
+    // Collect (port, byte) pairs at B.
+    let mut got = Vec::new();
+    loop {
+        let mut progressed = false;
+        for action in a.drain_actions() {
+            if let Action::Transmit { datagram, .. } = action {
+                b.on_datagram(A, &datagram);
+                progressed = true;
+            }
+        }
+        for action in b.drain_actions() {
+            match action {
+                Action::Transmit { datagram, .. } => {
+                    a.on_datagram(B, &datagram);
+                    progressed = true;
+                }
+                Action::Event(TransportEvent::Delivered { port, bytes, .. }) => {
+                    got.push((port, bytes[0]));
+                    progressed = true;
+                }
+                _ => {}
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    assert_eq!(got, vec![(1, 1), (2, 2), (3, 3), (4, 4)]);
+}
+
+#[test]
+fn malformed_fragment_header_is_ignored() {
+    let mut b = MochaNetEndpoint::new(MochaNetConfig::default());
+    // DATA type with truncated header.
+    b.on_datagram(A, &[PROTO_MOCHANET, 0, 1, 2, 3]);
+    let events = b
+        .drain_actions()
+        .into_iter()
+        .filter(|a| matches!(a, Action::Event(_)))
+        .count();
+    assert_eq!(events, 0);
+}
+
+/// A sim host that sends alternating control and bulk messages through a
+/// full mux, recording everything delivered.
+struct Mixed {
+    mux: TransportMux,
+    peer: Option<NodeId>,
+    received: Vec<(u16, usize)>,
+}
+
+impl Mixed {
+    fn drive(&mut self, ctx: &mut HostCtx<'_>) {
+        for action in self.mux.drain_actions() {
+            match action {
+                Action::Transmit { to, datagram } => {
+                    ctx.send_datagram(NodeId::from_raw(to.as_raw()), datagram);
+                }
+                Action::SetTimer { token, after } => ctx.set_timer(after, token),
+                Action::CancelTimer { token } => {
+                    ctx.cancel_timer(token);
+                }
+                Action::Charge(w) => ctx.charge(w),
+                Action::Event(TransportEvent::Delivered { port, bytes, .. }) => {
+                    self.received.push((port, bytes.len()));
+                }
+                Action::Event(_) => {}
+            }
+        }
+    }
+}
+
+impl Host for Mixed {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        if let Some(peer) = self.peer {
+            let to = SiteId::from_raw(peer.as_raw());
+            for i in 0..6 {
+                if i % 2 == 0 {
+                    self.mux.send(to, 10, &[i as u8; 32], MsgClass::Control);
+                } else {
+                    self.mux
+                        .send(to, 11, &vec![i as u8; 5000], MsgClass::Bulk);
+                }
+            }
+        }
+        self.drive(ctx);
+    }
+    fn on_datagram(&mut self, ctx: &mut HostCtx<'_>, from: NodeId, bytes: Vec<u8>) {
+        self.mux.on_datagram(SiteId::from_raw(from.as_raw()), &bytes);
+        self.drive(ctx);
+    }
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: u64) {
+        self.mux.on_timer(token);
+        self.drive(ctx);
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[test]
+fn hybrid_interleaves_control_and_bulk_under_jittery_lossy_link() {
+    let link = LinkProfile {
+        latency: Duration::from_millis(4),
+        jitter: Duration::from_millis(6),
+        bandwidth_bytes_per_sec: 2_000_000,
+        loss: 0.05,
+        overhead_bytes: 46,
+    };
+    for seed in [3u64, 17, 41] {
+        let mut world = World::new(seed);
+        world.set_default_link(link);
+        let receiver = world.add_host(Box::new(Mixed {
+            mux: TransportMux::new(SiteId(0), NetConfig::hybrid()),
+            peer: None,
+            received: Vec::new(),
+        }));
+        let _sender = world.add_host(Box::new(Mixed {
+            mux: TransportMux::new(SiteId(1), NetConfig::hybrid()),
+            peer: Some(receiver),
+            received: Vec::new(),
+        }));
+        world.run_until_idle();
+        let mut received = world.host_mut::<Mixed>(receiver).received.clone();
+        received.sort_unstable();
+        assert_eq!(
+            received,
+            vec![(10, 32), (10, 32), (10, 32), (11, 5000), (11, 5000), (11, 5000)],
+            "seed {seed}"
+        );
+    }
+}

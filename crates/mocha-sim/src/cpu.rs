@@ -1,0 +1,264 @@
+//! CPU cost model.
+//!
+//! The paper's central performance argument (§5) is that Mocha's network
+//! library performs fragmentation and reassembly "at user level running as
+//! interpreted byte code" while TCP's runs "as native binary code at the
+//! kernel level", and that this "vast disparity of execution speeds" is what
+//! lets TCP amortise its connection setup/teardown overhead for large
+//! replicas. Similarly, Figure 8's expensive marshaling is blamed on JDK 1.1
+//! serialization writing "a single byte at a time" into dynamic arrays.
+//!
+//! We reproduce those mechanics by charging *virtual CPU time* for protocol
+//! work. Protocol state machines report abstract [`Work`] (event handlings,
+//! user-level bytes touched, kernel-level bytes touched, marshal operations);
+//! a per-node [`CpuProfile`] converts work into simulated time, which delays
+//! both the node's subsequent event processing and any datagrams it emits.
+
+use std::time::Duration;
+
+/// Abstract protocol work performed while handling one event.
+///
+/// Work is accumulated by protocol code (which knows *what* it did) and
+/// priced by a [`CpuProfile`] (which knows *how fast* the host is). Keeping
+/// the two separate lets the same protocol code run on differently calibrated
+/// hosts — exactly how the paper's Ultra 1 vs SPARCstation 20 differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Work {
+    /// Number of message/event handlings (thread wakeup, demultiplexing,
+    /// header parsing). Each costs [`CpuProfile::per_event`].
+    pub events: u64,
+    /// Bytes processed by *user-level interpreted* code: MochaNet
+    /// fragmentation/reassembly, user-space copies.
+    pub user_bytes: u64,
+    /// Bytes processed by *kernel-level native* code: TCP segmentation,
+    /// checksums, kernel copies.
+    pub kernel_bytes: u64,
+    /// Byte-at-a-time marshaling operations (JDK 1.1-style serialization
+    /// writes, dynamic-array growth copies).
+    pub marshal_ops: u64,
+}
+
+impl Work {
+    /// No work.
+    pub const NONE: Work = Work {
+        events: 0,
+        user_bytes: 0,
+        kernel_bytes: 0,
+        marshal_ops: 0,
+    };
+
+    /// Work for handling `n` events with no payload processing.
+    pub const fn events(n: u64) -> Work {
+        Work {
+            events: n,
+            user_bytes: 0,
+            kernel_bytes: 0,
+            marshal_ops: 0,
+        }
+    }
+
+    /// Work for touching `n` bytes in user-level (interpreted) code.
+    pub const fn user_bytes(n: u64) -> Work {
+        Work {
+            events: 0,
+            user_bytes: n,
+            kernel_bytes: 0,
+            marshal_ops: 0,
+        }
+    }
+
+    /// Work for touching `n` bytes in kernel-level (native) code.
+    pub const fn kernel_bytes(n: u64) -> Work {
+        Work {
+            events: 0,
+            user_bytes: 0,
+            kernel_bytes: n,
+            marshal_ops: 0,
+        }
+    }
+
+    /// Work for `n` byte-at-a-time marshaling operations.
+    pub const fn marshal_ops(n: u64) -> Work {
+        Work {
+            events: 0,
+            user_bytes: 0,
+            kernel_bytes: 0,
+            marshal_ops: n,
+        }
+    }
+
+    /// Sums two pieces of work (saturating).
+    #[must_use]
+    pub fn plus(self, other: Work) -> Work {
+        Work {
+            events: self.events.saturating_add(other.events),
+            user_bytes: self.user_bytes.saturating_add(other.user_bytes),
+            kernel_bytes: self.kernel_bytes.saturating_add(other.kernel_bytes),
+            marshal_ops: self.marshal_ops.saturating_add(other.marshal_ops),
+        }
+    }
+
+    /// True if this work is exactly [`Work::NONE`].
+    pub fn is_none(&self) -> bool {
+        *self == Work::NONE
+    }
+}
+
+/// Converts abstract [`Work`] into simulated CPU time for one host class.
+///
+/// The default profile, [`CpuProfile::ultra1_jdk11`], is calibrated so the
+/// end-to-end system lands near the paper's headline numbers (Table 1's
+/// 5 ms/19 ms lock acquisitions, §5.1's 3 + 19 + 44 = 66 ms application
+/// breakdown) — see `mocha-bench` for the calibration harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuProfile {
+    /// Fixed cost per event handling (thread scheduling, demultiplexing,
+    /// JVM dispatch overhead).
+    pub per_event: Duration,
+    /// Cost per byte of user-level interpreted processing.
+    pub per_user_byte: Duration,
+    /// Cost per byte of kernel-level native processing.
+    pub per_kernel_byte: Duration,
+    /// Cost per byte-at-a-time marshal operation.
+    pub per_marshal_op: Duration,
+}
+
+impl CpuProfile {
+    /// A SUN Ultra 1 running JDK 1.1 — the paper's primary host class.
+    ///
+    /// Calibration rationale:
+    /// * `per_event = 900 µs`: Table 1 reports 5 ms to acquire a free lock
+    ///   over Fast Ethernet. The exchange is REQUEST + GRANT (two ~0.25 ms
+    ///   one-way trips) plus a handful of protocol handlings (client send,
+    ///   coordinator receive+grant, client receive), so each handling costs
+    ///   just under a millisecond of 1997 JVM time.
+    /// * `per_user_byte = 6 µs`: interpreted per-byte fragmentation and
+    ///   reassembly loops (stream call per byte, dynamic-array growth).
+    ///   Only *multi-fragment* messages pay this per payload byte —
+    ///   MochaNet's single-datagram fast path is why it is "particularly
+    ///   well suited for sending small messages". This is the knob that
+    ///   makes the basic protocol lose to the hybrid at 4 KiB in the wide
+    ///   area (Fig. 12).
+    /// * `per_kernel_byte = 60 ns`: native kernel path, ~100× faster,
+    ///   matching the paper's "vast disparity of execution speeds".
+    /// * `per_marshal_op = 700 ns`: one byte-at-a-time serialization write
+    ///   including stream call overhead (Fig. 8's slope).
+    pub const fn ultra1_jdk11() -> CpuProfile {
+        CpuProfile {
+            per_event: Duration::from_micros(900),
+            per_user_byte: Duration::from_nanos(6_000),
+            per_kernel_byte: Duration::from_nanos(60),
+            per_marshal_op: Duration::from_nanos(700),
+        }
+    }
+
+    /// A SPARCstation 20 running JDK 1.1 — the slower wide-area peer.
+    ///
+    /// Roughly 1.6× slower than the Ultra 1 on interpreted code, which is the
+    /// ballpark difference between the two machines' SPECint ratings.
+    pub const fn sparc20_jdk11() -> CpuProfile {
+        CpuProfile {
+            per_event: Duration::from_micros(1_400),
+            per_user_byte: Duration::from_nanos(9_600),
+            per_kernel_byte: Duration::from_nanos(90),
+            per_marshal_op: Duration::from_nanos(1_100),
+        }
+    }
+
+    /// An idealised infinitely fast CPU. Useful in tests that want to
+    /// observe pure network behaviour.
+    pub const fn instant() -> CpuProfile {
+        CpuProfile {
+            per_event: Duration::ZERO,
+            per_user_byte: Duration::ZERO,
+            per_kernel_byte: Duration::ZERO,
+            per_marshal_op: Duration::ZERO,
+        }
+    }
+
+    /// Prices a piece of work on this host.
+    pub fn cost(&self, work: &Work) -> Duration {
+        self.per_event * clamp_u32(work.events)
+            + self.per_user_byte * clamp_u32(work.user_bytes)
+            + self.per_kernel_byte * clamp_u32(work.kernel_bytes)
+            + self.per_marshal_op * clamp_u32(work.marshal_ops)
+    }
+}
+
+impl Default for CpuProfile {
+    fn default() -> Self {
+        CpuProfile::ultra1_jdk11()
+    }
+}
+
+/// `Duration * u32` is the widest multiplication std offers; clamp counts so
+/// pathological inputs degrade to "very slow" rather than panicking.
+fn clamp_u32(n: u64) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_costs_nothing() {
+        let p = CpuProfile::ultra1_jdk11();
+        assert_eq!(p.cost(&Work::NONE), Duration::ZERO);
+        assert!(Work::NONE.is_none());
+    }
+
+    #[test]
+    fn cost_is_linear_in_each_component() {
+        let p = CpuProfile {
+            per_event: Duration::from_micros(10),
+            per_user_byte: Duration::from_nanos(100),
+            per_kernel_byte: Duration::from_nanos(10),
+            per_marshal_op: Duration::from_nanos(1),
+        };
+        let w = Work {
+            events: 2,
+            user_bytes: 1_000,
+            kernel_bytes: 1_000,
+            marshal_ops: 1_000,
+        };
+        let expected = Duration::from_micros(20)
+            + Duration::from_micros(100)
+            + Duration::from_micros(10)
+            + Duration::from_micros(1);
+        assert_eq!(p.cost(&w), expected);
+    }
+
+    #[test]
+    fn plus_accumulates() {
+        let w = Work::events(1)
+            .plus(Work::user_bytes(10))
+            .plus(Work::kernel_bytes(20))
+            .plus(Work::marshal_ops(30))
+            .plus(Work::events(1));
+        assert_eq!(
+            w,
+            Work {
+                events: 2,
+                user_bytes: 10,
+                kernel_bytes: 20,
+                marshal_ops: 30
+            }
+        );
+    }
+
+    #[test]
+    fn user_level_is_much_slower_than_kernel_level() {
+        // The property the whole evaluation rests on.
+        let p = CpuProfile::ultra1_jdk11();
+        let user = p.cost(&Work::user_bytes(4096));
+        let kernel = p.cost(&Work::kernel_bytes(4096));
+        assert!(user > kernel * 20, "user {user:?} kernel {kernel:?}");
+    }
+
+    #[test]
+    fn plus_saturates() {
+        let w = Work::events(u64::MAX).plus(Work::events(5));
+        assert_eq!(w.events, u64::MAX);
+    }
+}

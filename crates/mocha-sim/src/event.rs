@@ -1,0 +1,190 @@
+//! The event queue at the heart of the simulator.
+//!
+//! Events are ordered by `(time, sequence)`. The monotonically increasing
+//! sequence number makes ordering *total* and therefore runs deterministic:
+//! two events scheduled for the same instant always fire in the order they
+//! were scheduled.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+use crate::world::{NodeId, TimerToken};
+
+/// What happens when an event fires.
+pub(crate) enum EventKind {
+    /// A datagram arrives at `to`.
+    Datagram {
+        /// Destination host.
+        to: NodeId,
+        /// Originating host.
+        from: NodeId,
+        /// Raw payload as it left the sender.
+        bytes: Vec<u8>,
+    },
+    /// A host timer fires. `generation` guards against cancelled/replaced
+    /// timers: the fire is ignored unless it matches the live generation for
+    /// `(node, token)`.
+    Timer {
+        /// Host owning the timer.
+        node: NodeId,
+        /// Host-chosen timer identifier.
+        token: TimerToken,
+        /// Generation stamped when the timer was set.
+        generation: u64,
+    },
+    /// A world-level control action (crash a node, partition a link, run a
+    /// harness closure). Boxed because closures vary in size.
+    Control(Box<dyn FnOnce(&mut crate::world::World) + 'static>),
+}
+
+impl std::fmt::Debug for EventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EventKind::Datagram { to, from, bytes } => f
+                .debug_struct("Datagram")
+                .field("to", to)
+                .field("from", from)
+                .field("len", &bytes.len())
+                .finish(),
+            EventKind::Timer {
+                node,
+                token,
+                generation,
+            } => f
+                .debug_struct("Timer")
+                .field("node", node)
+                .field("token", token)
+                .field("generation", generation)
+                .finish(),
+            EventKind::Control(_) => f.write_str("Control(..)"),
+        }
+    }
+}
+
+/// An event plus its firing time and tie-breaking sequence number.
+#[derive(Debug)]
+pub(crate) struct Scheduled {
+    pub at: SimTime,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-queue of scheduled events.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Schedules `kind` to fire at `at`.
+    pub fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, kind });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Scheduled> {
+        self.heap.pop()
+    }
+
+    /// Firing time of the earliest event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: u32, token: u64) -> EventKind {
+        EventKind::Timer {
+            node: NodeId::from_raw(node),
+            token,
+            generation: 0,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), timer(0, 3));
+        q.push(SimTime::from_nanos(10), timer(0, 1));
+        q.push(SimTime::from_nanos(20), timer(0, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|s| match s.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for token in 0..10 {
+            q.push(t, timer(0, token));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|s| match s.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_nanos(42), timer(0, 0));
+        q.push(SimTime::from_nanos(7), timer(0, 1));
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+}

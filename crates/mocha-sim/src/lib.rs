@@ -1,0 +1,81 @@
+//! # mocha-sim — deterministic discrete-event testbed for the Mocha reproduction
+//!
+//! The Mocha paper (Topol, Ahamad, Stasko, ICDCS 1998) evaluated its
+//! wide-area shared-object system on two physical testbeds: a pair of SUN
+//! Ultra 1 workstations on Fast Ethernet (the *local area* configuration)
+//! and an Ultra 1 talking to a SPARCstation 20 across roughly six miles of
+//! 1997 Internet (the *wide area* configuration). Neither testbed is
+//! available to us, so this crate provides the substitute: a deterministic
+//! discrete-event simulator that models the three quantities the paper's
+//! evaluation reasons about:
+//!
+//! 1. **Link behaviour** — one-way latency, jitter, bandwidth and loss
+//!    ([`LinkProfile`], [`Network`]).
+//! 2. **CPU cost of protocol processing** — the paper attributes the hybrid
+//!    protocol's win for large replicas to the gap between *user-level
+//!    interpreted* fragmentation/reassembly (Mocha's network library running
+//!    as JDK 1.1 bytecode) and *kernel-level native* fragmentation (TCP).
+//!    [`CpuProfile`] and [`Work`] model that gap explicitly.
+//! 3. **Virtual time** — all benchmarks run in simulated time
+//!    ([`SimTime`]), so results are exactly reproducible from a seed.
+//!
+//! Hosts are event-driven state machines implementing [`Host`]; the
+//! [`World`] owns them, the network model, the event queue and a seeded RNG.
+//! Everything that crosses the simulated network is a real byte vector: the
+//! upper layers (wire codecs, transports, the Mocha runtime itself) encode
+//! and decode actual datagrams, so the simulator exercises precisely the
+//! code a real deployment would run.
+//!
+//! ```
+//! use mocha_sim::{World, Host, HostCtx, NodeId, profiles};
+//! use std::time::Duration;
+//!
+//! struct Echo;
+//! impl Host for Echo {
+//!     fn on_datagram(&mut self, ctx: &mut HostCtx<'_>, from: NodeId, bytes: Vec<u8>) {
+//!         ctx.send_datagram(from, bytes); // bounce it back
+//!     }
+//!     fn on_timer(&mut self, _ctx: &mut HostCtx<'_>, _token: u64) {}
+//!     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+//! }
+//!
+//! struct Pinger { peer: NodeId, rtt: Option<Duration> }
+//! impl Host for Pinger {
+//!     fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+//!         ctx.send_datagram(self.peer, b"ping".to_vec());
+//!     }
+//!     fn on_datagram(&mut self, ctx: &mut HostCtx<'_>, _from: NodeId, _bytes: Vec<u8>) {
+//!         self.rtt = Some(ctx.now().since_start());
+//!     }
+//!     fn on_timer(&mut self, _ctx: &mut HostCtx<'_>, _token: u64) {}
+//!     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+//! }
+//!
+//! let mut world = World::new(42);
+//! world.set_default_link(profiles::lan());
+//! let echo = world.add_host(Box::new(Echo));
+//! let pinger = world.add_host(Box::new(Pinger { peer: echo, rtt: None }));
+//! # let _ = pinger;
+//! world.run_until_idle();
+//! let rtt = world.host_mut::<Pinger>(pinger).rtt.expect("pong received");
+//! assert!(rtt > Duration::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cpu;
+mod event;
+mod metrics;
+mod net;
+pub mod profiles;
+mod time;
+mod trace;
+mod world;
+
+pub use cpu::{CpuProfile, Work};
+pub use metrics::Metrics;
+pub use net::{LinkProfile, Network};
+pub use time::SimTime;
+pub use trace::{Trace, TraceEvent, TraceKind};
+pub use world::{Host, HostCtx, NodeId, TimerToken, World};

@@ -1,0 +1,61 @@
+//! Simulation-wide counters.
+
+/// Counters accumulated over a simulation run.
+///
+/// Useful both for assertions in tests ("no datagrams were lost in this
+/// scenario") and for the benchmark harness's auxiliary columns (bytes on
+/// the wire per protocol).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Datagrams handed to the network by hosts.
+    pub datagrams_sent: u64,
+    /// Datagrams delivered to a host's `on_datagram`.
+    pub datagrams_delivered: u64,
+    /// Datagrams dropped by the random-loss model.
+    pub datagrams_lost: u64,
+    /// Datagrams dropped because the destination had crashed.
+    pub datagrams_to_crashed: u64,
+    /// Datagrams dropped because the link was administratively down.
+    pub datagrams_partitioned: u64,
+    /// Total payload bytes handed to the network (excluding per-datagram
+    /// framing overhead).
+    pub bytes_sent: u64,
+    /// Timer events that fired and were dispatched.
+    pub timers_fired: u64,
+    /// Timer events suppressed because the timer was cancelled or replaced.
+    pub timers_stale: u64,
+    /// Total events processed by the world.
+    pub events_processed: u64,
+}
+
+impl Metrics {
+    /// Fraction of sent datagrams that were lost to random loss, or 0 if
+    /// nothing was sent.
+    pub fn loss_rate(&self) -> f64 {
+        if self.datagrams_sent == 0 {
+            0.0
+        } else {
+            self.datagrams_lost as f64 / self.datagrams_sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_rate_handles_zero_sends() {
+        assert_eq!(Metrics::default().loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn loss_rate_is_a_fraction() {
+        let m = Metrics {
+            datagrams_sent: 10,
+            datagrams_lost: 3,
+            ..Metrics::default()
+        };
+        assert!((m.loss_rate() - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,243 @@
+//! Link and topology model.
+//!
+//! The network model is deliberately simple — point-to-point links described
+//! by latency, jitter, bandwidth and loss — because those are the only
+//! network properties the paper's evaluation varies (Fast Ethernet LAN vs a
+//! ~6-mile Internet path). Links can be taken down to model partitions, and
+//! the [`World`](crate::World) consults per-datagram loss through a seeded
+//! RNG so runs stay reproducible.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use crate::world::NodeId;
+
+/// Static description of a unidirectional network path between two hosts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkProfile {
+    /// Propagation delay, one way.
+    pub latency: Duration,
+    /// Maximum additional random delay, uniformly distributed in
+    /// `[0, jitter]`.
+    pub jitter: Duration,
+    /// Path bandwidth in bytes per second; transmission of an `n`-byte
+    /// datagram occupies the sender's NIC for `n / bandwidth` seconds.
+    pub bandwidth_bytes_per_sec: u64,
+    /// Independent per-datagram loss probability in `[0, 1]`.
+    pub loss: f64,
+    /// Fixed per-datagram framing overhead added to the payload when
+    /// computing transmission time (IP + UDP headers, Ethernet framing).
+    pub overhead_bytes: u32,
+}
+
+impl LinkProfile {
+    /// A perfect link: zero latency, infinite bandwidth, no loss. The
+    /// default for worlds that don't care about the network.
+    pub const fn ideal() -> LinkProfile {
+        LinkProfile {
+            latency: Duration::ZERO,
+            jitter: Duration::ZERO,
+            bandwidth_bytes_per_sec: u64::MAX,
+            loss: 0.0,
+            overhead_bytes: 0,
+        }
+    }
+
+    /// Time the sender's NIC is occupied transmitting `payload_len` bytes.
+    pub fn transmission_time(&self, payload_len: usize) -> Duration {
+        if self.bandwidth_bytes_per_sec == u64::MAX {
+            return Duration::ZERO;
+        }
+        let total = payload_len as u64 + u64::from(self.overhead_bytes);
+        // nanos = bytes * 1e9 / bw, computed in u128 to avoid overflow.
+        let nanos = (u128::from(total) * 1_000_000_000u128)
+            / u128::from(self.bandwidth_bytes_per_sec.max(1));
+        Duration::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX))
+    }
+
+    /// Validates the profile, returning a description of the first problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if `loss` is outside `[0, 1]` or not finite, or if the
+    /// bandwidth is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.loss.is_finite() || !(0.0..=1.0).contains(&self.loss) {
+            return Err(format!("loss probability {} outside [0, 1]", self.loss));
+        }
+        if self.bandwidth_bytes_per_sec == 0 {
+            return Err("bandwidth must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for LinkProfile {
+    fn default() -> Self {
+        LinkProfile::ideal()
+    }
+}
+
+/// The simulated topology: a default link profile plus per-pair overrides
+/// and per-pair up/down state.
+///
+/// Pairs are directional, so asymmetric paths (and one-way partitions) can
+/// be modelled.
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    default_link: LinkProfile,
+    overrides: HashMap<(NodeId, NodeId), LinkProfile>,
+    down: HashMap<(NodeId, NodeId), bool>,
+}
+
+impl Network {
+    /// Creates a network where every pair uses [`LinkProfile::ideal`].
+    pub fn new() -> Network {
+        Network::default()
+    }
+
+    /// Sets the profile used by every pair without an explicit override.
+    pub fn set_default_link(&mut self, profile: LinkProfile) {
+        self.default_link = profile;
+    }
+
+    /// Overrides the profile for the directed pair `from -> to`.
+    pub fn set_link(&mut self, from: NodeId, to: NodeId, profile: LinkProfile) {
+        self.overrides.insert((from, to), profile);
+    }
+
+    /// Overrides the profile in both directions between `a` and `b`.
+    pub fn set_link_between(&mut self, a: NodeId, b: NodeId, profile: LinkProfile) {
+        self.set_link(a, b, profile);
+        self.set_link(b, a, profile);
+    }
+
+    /// Takes the directed link `from -> to` down (`up = false`) or restores
+    /// it. Datagrams sent over a down link are silently dropped, which is
+    /// how a 1997 Internet path misbehaving looks to an endpoint.
+    pub fn set_link_up(&mut self, from: NodeId, to: NodeId, up: bool) {
+        self.down.insert((from, to), !up);
+    }
+
+    /// Takes both directions between `a` and `b` down or up — a symmetric
+    /// partition between two hosts.
+    pub fn set_link_up_between(&mut self, a: NodeId, b: NodeId, up: bool) {
+        self.set_link_up(a, b, up);
+        self.set_link_up(b, a, up);
+    }
+
+    /// The profile governing `from -> to`.
+    pub fn link(&self, from: NodeId, to: NodeId) -> LinkProfile {
+        self.overrides
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default_link)
+    }
+
+    /// Whether the directed link `from -> to` is currently up.
+    pub fn is_link_up(&self, from: NodeId, to: NodeId) -> bool {
+        !self.down.get(&(from, to)).copied().unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::from_raw(i)
+    }
+
+    #[test]
+    fn ideal_link_is_free() {
+        let l = LinkProfile::ideal();
+        assert_eq!(l.transmission_time(1_000_000), Duration::ZERO);
+        assert_eq!(l.latency, Duration::ZERO);
+        l.validate().unwrap();
+    }
+
+    #[test]
+    fn transmission_time_scales_with_size() {
+        let l = LinkProfile {
+            bandwidth_bytes_per_sec: 1_000_000, // 1 MB/s
+            overhead_bytes: 0,
+            ..LinkProfile::ideal()
+        };
+        assert_eq!(l.transmission_time(1_000_000), Duration::from_secs(1));
+        assert_eq!(l.transmission_time(500_000), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn overhead_bytes_count_toward_transmission() {
+        let l = LinkProfile {
+            bandwidth_bytes_per_sec: 1_000,
+            overhead_bytes: 100,
+            ..LinkProfile::ideal()
+        };
+        // 100 payload + 100 overhead = 200 bytes at 1000 B/s = 200 ms.
+        assert_eq!(l.transmission_time(100), Duration::from_millis(200));
+    }
+
+    #[test]
+    fn validate_rejects_bad_loss() {
+        let mut l = LinkProfile::ideal();
+        l.loss = 1.5;
+        assert!(l.validate().is_err());
+        l.loss = f64::NAN;
+        assert!(l.validate().is_err());
+        l.loss = -0.1;
+        assert!(l.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_bandwidth() {
+        let mut l = LinkProfile::ideal();
+        l.bandwidth_bytes_per_sec = 0;
+        assert!(l.validate().is_err());
+    }
+
+    #[test]
+    fn overrides_take_precedence() {
+        let mut net = Network::new();
+        let fast = LinkProfile::ideal();
+        let slow = LinkProfile {
+            latency: Duration::from_millis(10),
+            ..LinkProfile::ideal()
+        };
+        net.set_default_link(fast);
+        net.set_link(n(0), n(1), slow);
+        assert_eq!(net.link(n(0), n(1)).latency, Duration::from_millis(10));
+        assert_eq!(net.link(n(1), n(0)).latency, Duration::ZERO);
+    }
+
+    #[test]
+    fn set_link_between_is_symmetric() {
+        let mut net = Network::new();
+        let slow = LinkProfile {
+            latency: Duration::from_millis(7),
+            ..LinkProfile::ideal()
+        };
+        net.set_link_between(n(2), n(3), slow);
+        assert_eq!(net.link(n(2), n(3)).latency, Duration::from_millis(7));
+        assert_eq!(net.link(n(3), n(2)).latency, Duration::from_millis(7));
+    }
+
+    #[test]
+    fn partitions_are_directional() {
+        let mut net = Network::new();
+        assert!(net.is_link_up(n(0), n(1)));
+        net.set_link_up(n(0), n(1), false);
+        assert!(!net.is_link_up(n(0), n(1)));
+        assert!(net.is_link_up(n(1), n(0)));
+        net.set_link_up(n(0), n(1), true);
+        assert!(net.is_link_up(n(0), n(1)));
+    }
+
+    #[test]
+    fn symmetric_partition_cuts_both_ways() {
+        let mut net = Network::new();
+        net.set_link_up_between(n(0), n(1), false);
+        assert!(!net.is_link_up(n(0), n(1)));
+        assert!(!net.is_link_up(n(1), n(0)));
+    }
+}

@@ -1,0 +1,141 @@
+//! Calibrated testbed profiles matching the paper's two environments.
+//!
+//! * **LAN** — two SUN Ultra 1 workstations on Fast Ethernet (100 Mb/s,
+//!   sub-millisecond latency, effectively lossless).
+//! * **WAN** — an Ultra 1 and a SPARCstation 20 connected "via the Internet
+//!   separated by a distance of approximately 6 miles" (a 1997 metro path:
+//!   we model ~7 ms one-way latency with a little jitter, a few Mb/s of
+//!   usable bandwidth and light loss).
+//!
+//! The absolute values are calibrated so that the reproduction lands near
+//! the paper's headline measurements (Table 1: 5 ms LAN / 19 ms WAN lock
+//! acquisition; §5.1: 66 ms total consistency cost for the home-service
+//! app). The *shapes* of Figures 9–14 follow from the ratios between these
+//! numbers and the CPU profile, not from the absolute calibration.
+
+use std::time::Duration;
+
+use crate::cpu::CpuProfile;
+use crate::net::LinkProfile;
+
+/// Fast Ethernet link between two hosts on the same segment.
+pub fn lan() -> LinkProfile {
+    LinkProfile {
+        latency: Duration::from_micros(250),
+        jitter: Duration::from_micros(50),
+        bandwidth_bytes_per_sec: 12_500_000, // 100 Mb/s
+        loss: 0.0,
+        overhead_bytes: 46, // Ethernet + IP + UDP framing
+    }
+}
+
+/// A 1997 metropolitan Internet path (~6 miles, several router hops).
+pub fn wan() -> LinkProfile {
+    LinkProfile {
+        latency: Duration::from_millis(7),
+        jitter: Duration::from_micros(800),
+        bandwidth_bytes_per_sec: 4_000_000, // ~32 Mb/s usable on a campus/metro path
+        loss: 0.002,
+        overhead_bytes: 46,
+    }
+}
+
+/// A lossless WAN variant for benchmarks where retransmission noise would
+/// obscure the protocol-cost comparison (the paper's numbers are medians of
+/// successful transfers).
+pub fn wan_lossless() -> LinkProfile {
+    LinkProfile {
+        loss: 0.0,
+        jitter: Duration::ZERO,
+        ..wan()
+    }
+}
+
+/// A LAN variant without jitter, for exactly reproducible latency numbers.
+pub fn lan_deterministic() -> LinkProfile {
+    LinkProfile {
+        jitter: Duration::ZERO,
+        ..lan()
+    }
+}
+
+/// A 1997 residential cable-modem path — the paper's §7 "more accurate
+/// home service environment, namely, a Windows 95 PC connected via a
+/// cable modem to a Unix workstation". Asymmetric last-mile bandwidth is
+/// approximated by its (slower) upstream figure; latency includes the
+/// cable plant and headend.
+pub fn cable_modem() -> LinkProfile {
+    LinkProfile {
+        latency: Duration::from_millis(15),
+        jitter: Duration::from_millis(3),
+        bandwidth_bytes_per_sec: 96_000, // ~768 kb/s
+        loss: 0.005,
+        overhead_bytes: 46,
+    }
+}
+
+/// Deterministic cable-modem variant for calibrated measurements.
+pub fn cable_modem_deterministic() -> LinkProfile {
+    LinkProfile {
+        jitter: Duration::ZERO,
+        loss: 0.0,
+        ..cable_modem()
+    }
+}
+
+/// A 1997 consumer Windows 95 PC (Pentium-class) running the JDK —
+/// slower than the Ultra 1 on interpreted code.
+pub fn win95_pc() -> CpuProfile {
+    CpuProfile {
+        per_event: Duration::from_micros(1_800),
+        per_user_byte: Duration::from_nanos(12_000),
+        per_kernel_byte: Duration::from_nanos(150),
+        per_marshal_op: Duration::from_nanos(1_400),
+    }
+}
+
+/// The paper's fast host: SUN Ultra 1 running JDK 1.1.
+pub fn ultra1() -> CpuProfile {
+    CpuProfile::ultra1_jdk11()
+}
+
+/// The paper's slower wide-area host: SPARCstation 20 running JDK 1.1.
+pub fn sparc20() -> CpuProfile {
+    CpuProfile::sparc20_jdk11()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_validate() {
+        lan().validate().unwrap();
+        wan().validate().unwrap();
+        wan_lossless().validate().unwrap();
+        lan_deterministic().validate().unwrap();
+    }
+
+    #[test]
+    fn wan_is_slower_than_lan() {
+        assert!(wan().latency > lan().latency);
+        assert!(wan().bandwidth_bytes_per_sec < lan().bandwidth_bytes_per_sec);
+    }
+
+    #[test]
+    fn deterministic_variants_have_no_randomness() {
+        assert_eq!(wan_lossless().loss, 0.0);
+        assert_eq!(wan_lossless().jitter, Duration::ZERO);
+        assert_eq!(lan_deterministic().jitter, Duration::ZERO);
+        assert_eq!(cable_modem_deterministic().loss, 0.0);
+    }
+
+    #[test]
+    fn cable_modem_is_the_slowest_path() {
+        cable_modem().validate().unwrap();
+        assert!(cable_modem().bandwidth_bytes_per_sec < wan().bandwidth_bytes_per_sec);
+        assert!(cable_modem().latency > wan().latency);
+        // The home PC is the slowest CPU.
+        assert!(win95_pc().per_user_byte > sparc20().per_user_byte);
+    }
+}

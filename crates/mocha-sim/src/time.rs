@@ -1,0 +1,168 @@
+//! Virtual time for the simulator.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A point in simulated time, measured in nanoseconds since the start of the
+/// simulation.
+///
+/// `SimTime` is a transparent wrapper over a `u64` nanosecond count. It is
+/// deliberately distinct from [`std::time::Instant`]: simulated time only
+/// advances when the [`World`](crate::World) processes events, which is what
+/// makes every run exactly reproducible.
+///
+/// ```
+/// use mocha_sim::SimTime;
+/// use std::time::Duration;
+///
+/// let t = SimTime::ZERO + Duration::from_millis(5);
+/// assert_eq!(t.since_start(), Duration::from_millis(5));
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs a time from raw nanoseconds since simulation start.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Returns the raw nanosecond count since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Elapsed simulated time since the start of the simulation.
+    pub const fn since_start(self) -> Duration {
+        Duration::from_nanos(self.0)
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`; use
+    /// [`checked_duration_since`](Self::checked_duration_since) when the
+    /// ordering is not statically known.
+    pub fn duration_since(self, earlier: SimTime) -> Duration {
+        self.checked_duration_since(earlier)
+            .expect("`earlier` is later than `self`")
+    }
+
+    /// Duration elapsed since `earlier`, or `None` if `earlier` is later.
+    pub fn checked_duration_since(self, earlier: SimTime) -> Option<Duration> {
+        self.0.checked_sub(earlier.0).map(Duration::from_nanos)
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(duration_to_nanos(d)))
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+/// Converts a duration to nanoseconds, saturating at `u64::MAX`.
+///
+/// Simulations run for at most a few hundred virtual years, so saturation is
+/// never observable in practice; it simply keeps arithmetic total.
+fn duration_to_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: Duration) -> SimTime {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.duration_since(rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({:?})", Duration::from_nanos(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let micros = self.0 / 1_000;
+        write!(f, "{}.{:06}s", micros / 1_000_000, micros % 1_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn add_then_subtract_roundtrips() {
+        let d = Duration::from_micros(1234);
+        let t = SimTime::ZERO + d;
+        assert_eq!(t - SimTime::ZERO, d);
+        assert_eq!(t.since_start(), d);
+    }
+
+    #[test]
+    fn ordering_follows_nanos() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(20);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn checked_duration_since_handles_reversal() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(20);
+        assert_eq!(b.checked_duration_since(a), Some(Duration::from_nanos(10)));
+        assert_eq!(a.checked_duration_since(b), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "later")]
+    fn duration_since_panics_on_reversal() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(20);
+        let _ = a.duration_since(b);
+    }
+
+    #[test]
+    fn saturating_add_caps() {
+        let t = SimTime::from_nanos(u64::MAX - 1);
+        assert_eq!(t.saturating_add(Duration::from_secs(10)).as_nanos(), u64::MAX);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        let t = SimTime::ZERO + Duration::from_millis(1500);
+        assert_eq!(t.to_string(), "1.500000s");
+    }
+}

@@ -1,0 +1,302 @@
+//! Execution tracing.
+//!
+//! The paper lists "basic debugging and event logging facilities that
+//! provide insight into execution of code at remote locations" among Mocha's
+//! wide-area features. The simulator's analogue is an optional in-memory
+//! trace of every interesting occurrence, which tests and the benchmark
+//! harness can inspect or dump.
+
+use crate::time::SimTime;
+use crate::world::{NodeId, TimerToken};
+
+/// The category of a trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A host sent a datagram.
+    Send {
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Payload length in bytes.
+        len: usize,
+    },
+    /// A datagram was delivered.
+    Deliver {
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Payload length in bytes.
+        len: usize,
+    },
+    /// A datagram was dropped (loss, partition, or crashed destination).
+    Drop {
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A timer fired and was dispatched to its host.
+    TimerFired {
+        /// Host owning the timer.
+        node: NodeId,
+        /// The host-chosen token.
+        token: TimerToken,
+    },
+    /// A node crashed.
+    Crash {
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A free-form annotation recorded by a host or the harness.
+    Note {
+        /// Node the note concerns (or the node that recorded it).
+        node: NodeId,
+        /// The annotation text.
+        text: String,
+    },
+}
+
+/// One timestamped trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event occurred in simulated time.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// An in-memory, optionally enabled event log.
+///
+/// Disabled by default so the hot path costs one branch.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates a disabled trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Enables or disables recording. Existing records are kept.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event if tracing is enabled.
+    pub fn record(&mut self, at: SimTime, kind: TraceKind) {
+        if self.enabled {
+            self.events.push(TraceEvent { at, kind });
+        }
+    }
+
+    /// All records so far, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Drops all records.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Renders the trace as one line per record, for debugging output.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for ev in &self.events {
+            let _ = writeln!(out, "[{}] {:?}", ev.at, ev.kind);
+        }
+        out
+    }
+
+    /// Renders delivered datagrams as an ASCII sequence diagram — the
+    /// paper's planned "visualization support to provide greater insight
+    /// into the execution of wide area distributed applications", in
+    /// terminal form. One column per node, one row per delivery (sends
+    /// that were dropped are annotated).
+    ///
+    /// ```
+    /// use mocha_sim::{Trace, TraceKind, SimTime, NodeId};
+    /// let mut t = Trace::new();
+    /// t.set_enabled(true);
+    /// t.record(SimTime::from_nanos(1_000_000), TraceKind::Deliver {
+    ///     from: NodeId::from_raw(0), to: NodeId::from_raw(2), len: 64 });
+    /// let diagram = t.render_sequence_diagram(3);
+    /// assert!(diagram.contains("n0"));
+    /// assert!(diagram.contains("64B"));
+    /// ```
+    pub fn render_sequence_diagram(&self, nodes: usize) -> String {
+        use std::fmt::Write as _;
+        const COL: usize = 12;
+        let mut out = String::new();
+        // Header: node lifelines.
+        let _ = write!(out, "{:>14} ", "time");
+        for n in 0..nodes {
+            let _ = write!(out, "{:^COL$}", format!("n{n}"));
+        }
+        out.push('\n');
+        for ev in &self.events {
+            let (from, to, label) = match &ev.kind {
+                TraceKind::Deliver { from, to, len } => {
+                    (from.as_raw() as usize, to.as_raw() as usize, format!("{len}B"))
+                }
+                TraceKind::Drop { from, to, reason } => (
+                    from.as_raw() as usize,
+                    to.as_raw() as usize,
+                    format!("✗ {reason}"),
+                ),
+                TraceKind::Crash { node } => {
+                    let _ = write!(out, "{:>14} ", ev.at.to_string());
+                    let col = node.as_raw() as usize;
+                    for n in 0..nodes {
+                        if n == col {
+                            let _ = write!(out, "{:^COL$}", "CRASH");
+                        } else {
+                            let _ = write!(out, "{:^COL$}", "|");
+                        }
+                    }
+                    out.push('\n');
+                    continue;
+                }
+                _ => continue,
+            };
+            if from >= nodes || to >= nodes {
+                continue;
+            }
+            let _ = write!(out, "{:>14} ", ev.at.to_string());
+            let (lo, hi) = (from.min(to), from.max(to));
+            for n in 0..nodes {
+                let cell: String = if n == from && from == to {
+                    "(self)".to_string()
+                } else if n == lo && lo != hi {
+                    // Left endpoint: the arrowhead (if any) is drawn at the
+                    // right endpoint, so this is a plain lifeline exit.
+                    format!("|{}", "-".repeat(COL - 1))
+                } else if n > lo && n < hi {
+                    "-".repeat(COL)
+                } else if n == hi && lo != hi {
+                    if to == hi {
+                        format!("{}>|", "-".repeat(COL - 2))
+                    } else {
+                        format!("<{}|", "-".repeat(COL - 2))
+                    }
+                } else {
+                    format!("{:^COL$}", "|")
+                };
+                let _ = write!(out, "{cell:COL$}");
+            }
+            let _ = write!(out, " {label}");
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new();
+        t.record(
+            SimTime::ZERO,
+            TraceKind::Crash {
+                node: NodeId::from_raw(1),
+            },
+        );
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::new();
+        t.set_enabled(true);
+        assert!(t.is_enabled());
+        t.record(
+            SimTime::from_nanos(1),
+            TraceKind::Note {
+                node: NodeId::from_raw(0),
+                text: "a".into(),
+            },
+        );
+        t.record(
+            SimTime::from_nanos(2),
+            TraceKind::Note {
+                node: NodeId::from_raw(0),
+                text: "b".into(),
+            },
+        );
+        assert_eq!(t.events().len(), 2);
+        assert!(t.render().contains("\"a\""));
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod diagram_tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::from_raw(i)
+    }
+
+    #[test]
+    fn sequence_diagram_shows_deliveries_and_direction() {
+        let mut t = Trace::new();
+        t.set_enabled(true);
+        t.record(
+            SimTime::from_nanos(1_000_000),
+            TraceKind::Deliver { from: n(0), to: n(2), len: 128 },
+        );
+        t.record(
+            SimTime::from_nanos(2_000_000),
+            TraceKind::Deliver { from: n(2), to: n(0), len: 16 },
+        );
+        let d = t.render_sequence_diagram(3);
+        assert!(d.contains("n0") && d.contains("n1") && d.contains("n2"));
+        assert!(d.contains("128B"));
+        assert!(d.contains("16B"));
+        assert!(d.contains(">|"), "rightward arrow present:\n{d}");
+        assert!(d.contains("<"), "leftward arrow present:\n{d}");
+    }
+
+    #[test]
+    fn sequence_diagram_marks_crashes_and_drops() {
+        let mut t = Trace::new();
+        t.set_enabled(true);
+        t.record(SimTime::from_nanos(1), TraceKind::Crash { node: n(1) });
+        t.record(
+            SimTime::from_nanos(2),
+            TraceKind::Drop { from: n(0), to: n(1), reason: "random loss" },
+        );
+        let d = t.render_sequence_diagram(2);
+        assert!(d.contains("CRASH"));
+        assert!(d.contains("random loss"));
+    }
+
+    #[test]
+    fn out_of_range_nodes_are_skipped() {
+        let mut t = Trace::new();
+        t.set_enabled(true);
+        t.record(
+            SimTime::from_nanos(1),
+            TraceKind::Deliver { from: n(7), to: n(9), len: 1 },
+        );
+        let d = t.render_sequence_diagram(2);
+        assert_eq!(d.lines().count(), 1, "header only:\n{d}");
+    }
+}

@@ -1,0 +1,956 @@
+//! The simulation world: hosts, event loop, network, clocks.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cpu::{CpuProfile, Work};
+use crate::event::{EventKind, EventQueue};
+use crate::metrics::Metrics;
+use crate::net::Network;
+use crate::time::SimTime;
+use crate::trace::{Trace, TraceKind};
+
+/// Identifies a simulated host.
+///
+/// `NodeId`s are dense indices assigned by [`World::add_host`] in insertion
+/// order, which upper layers exploit to map their own site identifiers 1:1.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Constructs a `NodeId` from its raw index.
+    pub const fn from_raw(raw: u32) -> NodeId {
+        NodeId(raw)
+    }
+
+    /// The raw index.
+    pub const fn as_raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Host-chosen timer identifier.
+///
+/// Hosts multiplex many logical timers over one `u64` namespace; setting a
+/// timer with a token that is already pending *replaces* the earlier timer
+/// (the stale fire is suppressed), which matches how protocol retransmission
+/// timers want to behave.
+pub type TimerToken = u64;
+
+/// A simulated host: an event-driven state machine owned by the [`World`].
+///
+/// All methods receive a [`HostCtx`] through which the host reads the clock,
+/// sends datagrams, manages timers and charges CPU work.
+pub trait Host {
+    /// Called once when the simulation starts (or when the host is added to
+    /// an already-running world). Use it to kick off initial requests.
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// A datagram from `from` has arrived.
+    fn on_datagram(&mut self, ctx: &mut HostCtx<'_>, from: NodeId, bytes: Vec<u8>);
+
+    /// A timer previously set with `token` has fired.
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: TimerToken);
+
+    /// The world has crashed this host. No further events will be delivered.
+    /// Implementations typically record the fact for test assertions.
+    fn on_crash(&mut self) {}
+
+    /// Downcasting support so harnesses can inspect concrete host state via
+    /// [`World::host_mut`].
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Per-host bookkeeping.
+struct HostSlot {
+    host: Option<Box<dyn Host>>,
+    cpu: CpuProfile,
+    /// The host's single virtual CPU is occupied until this instant; events
+    /// arriving earlier are deferred to it.
+    busy_until: SimTime,
+    /// The host's NIC is transmitting until this instant; later sends queue
+    /// behind it.
+    nic_free_at: SimTime,
+    crashed: bool,
+    /// Live timer generations: `(token -> generation)`. A fire whose
+    /// generation no longer matches is stale (cancelled or replaced).
+    timers: HashMap<TimerToken, u64>,
+}
+
+/// The execution context handed to a [`Host`] while it handles one event.
+///
+/// Time within a handling advances as the host [`charge`](HostCtx::charge)s
+/// CPU work: datagrams sent later in the handling depart later, and the
+/// host's next event cannot be dispatched until the accumulated work
+/// completes. This models a single-CPU 1997 workstation faithfully enough
+/// for the paper's claims, where protocol processing time is a first-class
+/// quantity.
+pub struct HostCtx<'a> {
+    world: &'a mut World,
+    node: NodeId,
+    local_now: SimTime,
+}
+
+impl<'a> HostCtx<'a> {
+    /// The host this context belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current local time, including CPU work charged so far in this
+    /// handling.
+    pub fn now(&self) -> SimTime {
+        self.local_now
+    }
+
+    /// Charges CPU work, advancing local time by its cost under this host's
+    /// [`CpuProfile`].
+    pub fn charge(&mut self, work: Work) {
+        let cost = self.world.hosts[self.node.0 as usize].cpu.cost(&work);
+        self.local_now += cost;
+    }
+
+    /// Charges raw CPU time, independent of the host's profile. Used for
+    /// application-level computation (e.g. "this task computes for 5 ms").
+    pub fn charge_time(&mut self, d: std::time::Duration) {
+        self.local_now += d;
+    }
+
+    /// The host's CPU profile (for cost estimation without charging).
+    pub fn cpu_profile(&self) -> CpuProfile {
+        self.world.hosts[self.node.0 as usize].cpu
+    }
+
+    /// Sends a datagram to `to`.
+    ///
+    /// The datagram departs once the NIC is free, occupies it for the
+    /// transmission time, then experiences link latency, jitter and possible
+    /// loss. Sending to a crashed node or over a down link silently drops
+    /// the datagram — exactly what a wide-area sender observes.
+    pub fn send_datagram(&mut self, to: NodeId, bytes: Vec<u8>) {
+        let from = self.node;
+        let len = bytes.len();
+        self.world.metrics.datagrams_sent += 1;
+        self.world.metrics.bytes_sent += len as u64;
+        self.world
+            .trace
+            .record(self.local_now, TraceKind::Send { from, to, len });
+
+        if !self.world.net.is_link_up(from, to) {
+            self.world.metrics.datagrams_partitioned += 1;
+            self.world.trace.record(
+                self.local_now,
+                TraceKind::Drop {
+                    from,
+                    to,
+                    reason: "link down",
+                },
+            );
+            return;
+        }
+        let link = self.world.net.link(from, to);
+        if link.loss > 0.0 && self.world.rng.gen_bool(link.loss.clamp(0.0, 1.0)) {
+            self.world.metrics.datagrams_lost += 1;
+            self.world.trace.record(
+                self.local_now,
+                TraceKind::Drop {
+                    from,
+                    to,
+                    reason: "random loss",
+                },
+            );
+            return;
+        }
+        let slot = &mut self.world.hosts[from.0 as usize];
+        let departure = self.local_now.max(slot.nic_free_at);
+        let tx = link.transmission_time(len);
+        slot.nic_free_at = departure + tx;
+        let jitter = if link.jitter.is_zero() {
+            Duration::ZERO
+        } else {
+            let max = link.jitter.as_nanos() as u64;
+            Duration::from_nanos(self.world.rng.gen_range(0..=max))
+        };
+        let arrival = departure + tx + link.latency + jitter;
+        self.world
+            .queue
+            .push(arrival, EventKind::Datagram { to, from, bytes });
+    }
+
+    /// Arms (or re-arms) the timer `token` to fire `after` from now.
+    /// Re-arming replaces any pending fire for the same token.
+    pub fn set_timer(&mut self, after: Duration, token: TimerToken) {
+        let node = self.node;
+        let generation = self.world.next_timer_generation;
+        self.world.next_timer_generation += 1;
+        self.world.hosts[node.0 as usize]
+            .timers
+            .insert(token, generation);
+        self.world.queue.push(
+            self.local_now + after,
+            EventKind::Timer {
+                node,
+                token,
+                generation,
+            },
+        );
+    }
+
+    /// Cancels the pending timer `token`, if any. Returns whether a timer
+    /// was actually pending.
+    pub fn cancel_timer(&mut self, token: TimerToken) -> bool {
+        self.world.hosts[self.node.0 as usize]
+            .timers
+            .remove(&token)
+            .is_some()
+    }
+
+    /// Deterministic randomness for protocol-level choices (e.g. picking a
+    /// replacement dissemination target).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.world.rng
+    }
+
+    /// Records a free-form annotation in the world trace.
+    pub fn note(&mut self, text: impl Into<String>) {
+        let node = self.node;
+        self.world.trace.record(
+            self.local_now,
+            TraceKind::Note {
+                node,
+                text: text.into(),
+            },
+        );
+    }
+}
+
+/// The deterministic discrete-event simulation world.
+///
+/// Owns every host, the network model, the event queue, the RNG, metrics
+/// and the trace. See the crate-level docs for a usage example.
+pub struct World {
+    time: SimTime,
+    queue: EventQueue,
+    hosts: Vec<HostSlot>,
+    net: Network,
+    rng: StdRng,
+    metrics: Metrics,
+    trace: Trace,
+    next_timer_generation: u64,
+    default_cpu: CpuProfile,
+}
+
+impl fmt::Debug for World {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("World")
+            .field("time", &self.time)
+            .field("hosts", &self.hosts.len())
+            .field("pending_events", &self.queue.len())
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+impl World {
+    /// Creates an empty world seeded with `seed`. Identical seeds and
+    /// identical sequences of operations produce bit-identical runs.
+    pub fn new(seed: u64) -> World {
+        World {
+            time: SimTime::ZERO,
+            queue: EventQueue::new(),
+            hosts: Vec::new(),
+            net: Network::new(),
+            rng: StdRng::seed_from_u64(seed),
+            metrics: Metrics::default(),
+            trace: Trace::new(),
+            next_timer_generation: 0,
+            default_cpu: CpuProfile::instant(),
+        }
+    }
+
+    /// Sets the CPU profile assigned to hosts added *after* this call.
+    pub fn set_default_cpu(&mut self, cpu: CpuProfile) {
+        self.default_cpu = cpu;
+    }
+
+    /// Adds a host and schedules its [`Host::on_start`] at the current time.
+    pub fn add_host(&mut self, host: Box<dyn Host>) -> NodeId {
+        let id = NodeId(u32::try_from(self.hosts.len()).expect("too many hosts"));
+        self.hosts.push(HostSlot {
+            host: Some(host),
+            cpu: self.default_cpu,
+            busy_until: SimTime::ZERO,
+            nic_free_at: SimTime::ZERO,
+            crashed: false,
+            timers: HashMap::new(),
+        });
+        self.queue.push(
+            self.time,
+            EventKind::Control(Box::new(move |w: &mut World| w.dispatch_start(id))),
+        );
+        id
+    }
+
+    /// Overrides one host's CPU profile.
+    pub fn set_cpu_profile(&mut self, node: NodeId, cpu: CpuProfile) {
+        self.hosts[node.0 as usize].cpu = cpu;
+    }
+
+    /// Sets the link profile used by all pairs without explicit overrides.
+    pub fn set_default_link(&mut self, profile: crate::net::LinkProfile) {
+        self.net.set_default_link(profile);
+    }
+
+    /// Mutable access to the full network model (per-pair overrides,
+    /// partitions).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Read access to the network model.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Accumulated counters.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    /// The event trace (enable with `trace_mut().set_enabled(true)`).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable access to the trace.
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// Whether `node` has crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.hosts[node.0 as usize].crashed
+    }
+
+    /// Number of hosts ever added.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no events remain to process.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Downcasts a host to its concrete type for inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host is currently being dispatched or is not a `T`.
+    pub fn host_mut<T: Host + 'static>(&mut self, node: NodeId) -> &mut T {
+        self.hosts[node.0 as usize]
+            .host
+            .as_mut()
+            .expect("host is being dispatched")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("host has a different concrete type")
+    }
+
+    /// Replaces a crashed host with a fresh instance — a node reboot. The
+    /// new host's `on_start` runs at the current time; state is whatever
+    /// the caller built into the replacement (a rebooted Mocha site starts
+    /// empty and re-registers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node never crashed (replacing a live host would lose
+    /// in-flight dispatch state).
+    pub fn restart(&mut self, node: NodeId, host: Box<dyn Host>) {
+        let slot = &mut self.hosts[node.0 as usize];
+        assert!(slot.crashed, "restart requires a crashed node");
+        slot.crashed = false;
+        slot.host = Some(host);
+        slot.busy_until = self.time;
+        slot.nic_free_at = self.time;
+        slot.timers.clear();
+        self.queue.push(
+            self.time,
+            EventKind::Control(Box::new(move |w: &mut World| w.dispatch_start(node))),
+        );
+    }
+
+    /// Crashes `node` immediately: pending timers are cleared, queued and
+    /// future datagrams to it are dropped, and it is never dispatched again.
+    pub fn crash(&mut self, node: NodeId) {
+        let slot = &mut self.hosts[node.0 as usize];
+        if slot.crashed {
+            return;
+        }
+        slot.crashed = true;
+        slot.timers.clear();
+        if let Some(host) = slot.host.as_mut() {
+            host.on_crash();
+        }
+        self.trace.record(self.time, TraceKind::Crash { node });
+    }
+
+    /// Schedules `f(&mut World)` to run at absolute time `at` (clamped to
+    /// now if already past).
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut World) + 'static) {
+        self.queue.push(at.max(self.time), EventKind::Control(Box::new(f)));
+    }
+
+    /// Schedules `f(&mut World)` to run `after` from now.
+    pub fn schedule_in(&mut self, after: Duration, f: impl FnOnce(&mut World) + 'static) {
+        self.schedule_at(self.time + after, f);
+    }
+
+    /// Schedules a crash of `node` at time `at`.
+    pub fn schedule_crash(&mut self, at: SimTime, node: NodeId) {
+        self.schedule_at(at, move |w| w.crash(node));
+    }
+
+    /// Injects a datagram "from" `from` to `to` as if it had just arrived.
+    /// Intended for tests of host state machines in isolation.
+    pub fn inject_datagram(&mut self, from: NodeId, to: NodeId, bytes: Vec<u8>) {
+        self.queue.push(self.time, EventKind::Datagram { to, from, bytes });
+    }
+
+    /// Processes a single event, if any is pending. Returns whether an
+    /// event was processed.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.time, "event queue went backwards");
+        self.time = self.time.max(ev.at);
+        self.metrics.events_processed += 1;
+        match ev.kind {
+            EventKind::Datagram { to, from, bytes } => self.dispatch_datagram(to, from, bytes),
+            EventKind::Timer {
+                node,
+                token,
+                generation,
+            } => self.dispatch_timer(node, token, generation),
+            EventKind::Control(f) => f(self),
+        }
+        true
+    }
+
+    /// Runs until no events remain. Returns the final simulated time.
+    ///
+    /// Protocols with periodic self-rescheduling timers never go idle; use
+    /// [`run_until`](Self::run_until) for those.
+    pub fn run_until_idle(&mut self) -> SimTime {
+        while self.step() {}
+        self.time
+    }
+
+    /// Runs all events scheduled up to and including `deadline`, then sets
+    /// the clock to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(at) = self.queue.peek_time() {
+            if at > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.time = self.time.max(deadline);
+    }
+
+    /// Runs for `d` of simulated time.
+    pub fn run_for(&mut self, d: Duration) {
+        let deadline = self.time + d;
+        self.run_until(deadline);
+    }
+
+    fn dispatch_start(&mut self, node: NodeId) {
+        self.with_host(node, self.time, |host, ctx| host.on_start(ctx));
+    }
+
+    fn dispatch_datagram(&mut self, to: NodeId, from: NodeId, bytes: Vec<u8>) {
+        let slot = &self.hosts[to.0 as usize];
+        if slot.crashed {
+            self.metrics.datagrams_to_crashed += 1;
+            self.trace.record(
+                self.time,
+                TraceKind::Drop {
+                    from,
+                    to,
+                    reason: "destination crashed",
+                },
+            );
+            return;
+        }
+        // Single-CPU model: if the host is still busy, defer delivery.
+        if slot.busy_until > self.time {
+            let at = slot.busy_until;
+            self.queue.push(at, EventKind::Datagram { to, from, bytes });
+            return;
+        }
+        let len = bytes.len();
+        self.metrics.datagrams_delivered += 1;
+        self.trace
+            .record(self.time, TraceKind::Deliver { from, to, len });
+        self.with_host(to, self.time, |host, ctx| host.on_datagram(ctx, from, bytes));
+    }
+
+    fn dispatch_timer(&mut self, node: NodeId, token: TimerToken, generation: u64) {
+        let slot = &self.hosts[node.0 as usize];
+        if slot.crashed {
+            return;
+        }
+        if slot.timers.get(&token) != Some(&generation) {
+            self.metrics.timers_stale += 1;
+            return;
+        }
+        if slot.busy_until > self.time {
+            let at = slot.busy_until;
+            self.queue.push(
+                at,
+                EventKind::Timer {
+                    node,
+                    token,
+                    generation,
+                },
+            );
+            return;
+        }
+        self.hosts[node.0 as usize].timers.remove(&token);
+        self.metrics.timers_fired += 1;
+        self.trace
+            .record(self.time, TraceKind::TimerFired { node, token });
+        self.with_host(node, self.time, |host, ctx| host.on_timer(ctx, token));
+    }
+
+    /// Takes the host out of its slot, runs `f` with a context, charges the
+    /// accumulated CPU time to `busy_until`, and puts the host back.
+    fn with_host(
+        &mut self,
+        node: NodeId,
+        start: SimTime,
+        f: impl FnOnce(&mut Box<dyn Host>, &mut HostCtx<'_>),
+    ) {
+        let Some(mut host) = self.hosts[node.0 as usize].host.take() else {
+            // Re-entrant dispatch cannot happen from the event loop; if a
+            // control closure crashed mid-dispatch this host is simply gone.
+            return;
+        };
+        if self.hosts[node.0 as usize].crashed {
+            self.hosts[node.0 as usize].host = Some(host);
+            return;
+        }
+        let mut ctx = HostCtx {
+            world: self,
+            node,
+            local_now: start,
+        };
+        f(&mut host, &mut ctx);
+        let end = ctx.local_now;
+        let slot = &mut self.hosts[node.0 as usize];
+        slot.busy_until = slot.busy_until.max(end);
+        slot.host = Some(host);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::LinkProfile;
+
+    /// Records everything it sees.
+    #[derive(Default)]
+    struct Recorder {
+        datagrams: Vec<(NodeId, Vec<u8>, SimTime)>,
+        timers: Vec<(TimerToken, SimTime)>,
+        started: bool,
+        crashed: bool,
+    }
+
+    impl Host for Recorder {
+        fn on_start(&mut self, _ctx: &mut HostCtx<'_>) {
+            self.started = true;
+        }
+        fn on_datagram(&mut self, ctx: &mut HostCtx<'_>, from: NodeId, bytes: Vec<u8>) {
+            self.datagrams.push((from, bytes, ctx.now()));
+        }
+        fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: TimerToken) {
+            self.timers.push((token, ctx.now()));
+        }
+        fn on_crash(&mut self) {
+            self.crashed = true;
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Sends one datagram on start, charges CPU when told.
+    struct Sender {
+        to: NodeId,
+        payload: Vec<u8>,
+    }
+
+    impl Host for Sender {
+        fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+            ctx.send_datagram(self.to, self.payload.clone());
+        }
+        fn on_datagram(&mut self, _: &mut HostCtx<'_>, _: NodeId, _: Vec<u8>) {}
+        fn on_timer(&mut self, _: &mut HostCtx<'_>, _: TimerToken) {}
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn on_start_runs() {
+        let mut w = World::new(1);
+        let a = w.add_host(Box::new(Recorder::default()));
+        w.run_until_idle();
+        assert!(w.host_mut::<Recorder>(a).started);
+    }
+
+    #[test]
+    fn datagram_arrives_after_latency() {
+        let mut w = World::new(1);
+        w.set_default_link(LinkProfile {
+            latency: Duration::from_millis(5),
+            ..LinkProfile::ideal()
+        });
+        let r = w.add_host(Box::new(Recorder::default()));
+        let _s = w.add_host(Box::new(Sender {
+            to: r,
+            payload: vec![1, 2, 3],
+        }));
+        w.run_until_idle();
+        let rec = w.host_mut::<Recorder>(r);
+        assert_eq!(rec.datagrams.len(), 1);
+        let (_, bytes, at) = &rec.datagrams[0];
+        assert_eq!(bytes, &vec![1, 2, 3]);
+        assert_eq!(*at, SimTime::ZERO + Duration::from_millis(5));
+    }
+
+    #[test]
+    fn bandwidth_serializes_back_to_back_sends() {
+        struct Burst {
+            to: NodeId,
+        }
+        impl Host for Burst {
+            fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+                // Two 1000-byte datagrams at 1 MB/s: 1 ms each on the NIC.
+                ctx.send_datagram(self.to, vec![0u8; 1000]);
+                ctx.send_datagram(self.to, vec![1u8; 1000]);
+            }
+            fn on_datagram(&mut self, _: &mut HostCtx<'_>, _: NodeId, _: Vec<u8>) {}
+            fn on_timer(&mut self, _: &mut HostCtx<'_>, _: TimerToken) {}
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(1);
+        w.set_default_link(LinkProfile {
+            bandwidth_bytes_per_sec: 1_000_000,
+            ..LinkProfile::ideal()
+        });
+        let r = w.add_host(Box::new(Recorder::default()));
+        let _b = w.add_host(Box::new(Burst { to: r }));
+        w.run_until_idle();
+        let rec = w.host_mut::<Recorder>(r);
+        assert_eq!(rec.datagrams.len(), 2);
+        assert_eq!(rec.datagrams[0].2, SimTime::ZERO + Duration::from_millis(1));
+        assert_eq!(rec.datagrams[1].2, SimTime::ZERO + Duration::from_millis(2));
+    }
+
+    #[test]
+    fn total_loss_drops_everything() {
+        let mut w = World::new(1);
+        w.set_default_link(LinkProfile {
+            loss: 1.0,
+            ..LinkProfile::ideal()
+        });
+        let r = w.add_host(Box::new(Recorder::default()));
+        let _s = w.add_host(Box::new(Sender {
+            to: r,
+            payload: vec![9],
+        }));
+        w.run_until_idle();
+        assert!(w.host_mut::<Recorder>(r).datagrams.is_empty());
+        assert_eq!(w.metrics().datagrams_lost, 1);
+    }
+
+    #[test]
+    fn partition_drops_and_heals() {
+        let mut w = World::new(1);
+        let r = w.add_host(Box::new(Recorder::default()));
+        let s = w.add_host(Box::new(Sender {
+            to: r,
+            payload: vec![7],
+        }));
+        w.network_mut().set_link_up(s, r, false);
+        w.run_until_idle();
+        assert!(w.host_mut::<Recorder>(r).datagrams.is_empty());
+        assert_eq!(w.metrics().datagrams_partitioned, 1);
+
+        w.network_mut().set_link_up(s, r, true);
+        w.inject_datagram(s, r, vec![8]);
+        w.run_until_idle();
+        assert_eq!(w.host_mut::<Recorder>(r).datagrams.len(), 1);
+    }
+
+    #[test]
+    fn crashed_host_receives_nothing_and_is_notified() {
+        let mut w = World::new(1);
+        let r = w.add_host(Box::new(Recorder::default()));
+        let _s = w.add_host(Box::new(Sender {
+            to: r,
+            payload: vec![1],
+        }));
+        w.crash(r);
+        assert!(w.is_crashed(r));
+        w.run_until_idle();
+        let rec = w.host_mut::<Recorder>(r);
+        assert!(rec.crashed);
+        assert!(rec.datagrams.is_empty());
+        assert_eq!(w.metrics().datagrams_to_crashed, 1);
+    }
+
+    #[test]
+    fn timer_fires_once_at_the_right_time() {
+        struct Arm;
+        impl Host for Arm {
+            fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+                ctx.set_timer(Duration::from_millis(3), 42);
+            }
+            fn on_datagram(&mut self, _: &mut HostCtx<'_>, _: NodeId, _: Vec<u8>) {}
+            fn on_timer(&mut self, _: &mut HostCtx<'_>, _: TimerToken) {}
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(1);
+        let r = w.add_host(Box::new(Recorder::default()));
+        // Arm a timer on the recorder via a control event instead of a
+        // bespoke host: exercise schedule_in too.
+        let _ = r;
+        let a = w.add_host(Box::new(Arm));
+        w.run_until_idle();
+        assert_eq!(w.metrics().timers_fired, 1);
+        let _ = a;
+    }
+
+    #[test]
+    fn rearming_timer_replaces_pending_fire() {
+        struct Rearm {
+            fired_at: Vec<SimTime>,
+        }
+        impl Host for Rearm {
+            fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+                ctx.set_timer(Duration::from_millis(1), 7);
+                ctx.set_timer(Duration::from_millis(5), 7); // replaces
+            }
+            fn on_datagram(&mut self, _: &mut HostCtx<'_>, _: NodeId, _: Vec<u8>) {}
+            fn on_timer(&mut self, ctx: &mut HostCtx<'_>, _token: TimerToken) {
+                self.fired_at.push(ctx.now());
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(1);
+        let h = w.add_host(Box::new(Rearm { fired_at: vec![] }));
+        w.run_until_idle();
+        let host = w.host_mut::<Rearm>(h);
+        assert_eq!(host.fired_at, vec![SimTime::ZERO + Duration::from_millis(5)]);
+        assert_eq!(w.metrics().timers_stale, 1);
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        struct CancelHost;
+        impl Host for CancelHost {
+            fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+                ctx.set_timer(Duration::from_millis(1), 9);
+                assert!(ctx.cancel_timer(9));
+                assert!(!ctx.cancel_timer(9));
+            }
+            fn on_datagram(&mut self, _: &mut HostCtx<'_>, _: NodeId, _: Vec<u8>) {}
+            fn on_timer(&mut self, _: &mut HostCtx<'_>, _: TimerToken) {
+                panic!("cancelled timer fired");
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(1);
+        w.add_host(Box::new(CancelHost));
+        w.run_until_idle();
+        assert_eq!(w.metrics().timers_fired, 0);
+    }
+
+    #[test]
+    fn cpu_charge_delays_subsequent_events() {
+        struct Busy {
+            handled_at: Vec<SimTime>,
+        }
+        impl Host for Busy {
+            fn on_datagram(&mut self, ctx: &mut HostCtx<'_>, _: NodeId, _: Vec<u8>) {
+                self.handled_at.push(ctx.now());
+                ctx.charge(Work::events(1)); // 1 event * per_event
+            }
+            fn on_timer(&mut self, _: &mut HostCtx<'_>, _: TimerToken) {}
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(1);
+        let b = w.add_host(Box::new(Busy { handled_at: vec![] }));
+        w.set_cpu_profile(
+            b,
+            CpuProfile {
+                per_event: Duration::from_millis(10),
+                ..CpuProfile::instant()
+            },
+        );
+        let other = NodeId::from_raw(99); // synthetic sender id
+        w.inject_datagram(other, b, vec![1]);
+        w.inject_datagram(other, b, vec![2]);
+        w.run_until_idle();
+        let host = w.host_mut::<Busy>(b);
+        assert_eq!(host.handled_at[0], SimTime::ZERO);
+        // Second datagram deferred until the 10 ms of charged work is done.
+        assert_eq!(host.handled_at[1], SimTime::ZERO + Duration::from_millis(10));
+    }
+
+    #[test]
+    fn charged_work_delays_departures_within_a_handling() {
+        struct Worker {
+            to: NodeId,
+        }
+        impl Host for Worker {
+            fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+                ctx.charge(Work::events(1));
+                ctx.send_datagram(self.to, vec![1]);
+            }
+            fn on_datagram(&mut self, _: &mut HostCtx<'_>, _: NodeId, _: Vec<u8>) {}
+            fn on_timer(&mut self, _: &mut HostCtx<'_>, _: TimerToken) {}
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(1);
+        w.set_default_cpu(CpuProfile {
+            per_event: Duration::from_millis(4),
+            ..CpuProfile::instant()
+        });
+        let r = w.add_host(Box::new(Recorder::default()));
+        let _wk = w.add_host(Box::new(Worker { to: r }));
+        w.run_until_idle();
+        let rec = w.host_mut::<Recorder>(r);
+        assert_eq!(rec.datagrams[0].2, SimTime::ZERO + Duration::from_millis(4));
+    }
+
+    #[test]
+    fn control_events_run_at_their_time() {
+        let mut w = World::new(1);
+        let r = w.add_host(Box::new(Recorder::default()));
+        w.schedule_in(Duration::from_secs(1), move |w| {
+            w.inject_datagram(NodeId::from_raw(50), r, vec![5]);
+        });
+        w.run_until_idle();
+        let rec = w.host_mut::<Recorder>(r);
+        assert_eq!(rec.datagrams[0].2, SimTime::ZERO + Duration::from_secs(1));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut w = World::new(1);
+        let r = w.add_host(Box::new(Recorder::default()));
+        w.schedule_in(Duration::from_secs(10), move |w| {
+            w.inject_datagram(NodeId::from_raw(50), r, vec![5]);
+        });
+        w.run_until(SimTime::ZERO + Duration::from_secs(5));
+        assert_eq!(w.now(), SimTime::ZERO + Duration::from_secs(5));
+        assert!(w.host_mut::<Recorder>(r).datagrams.is_empty());
+        w.run_until(SimTime::ZERO + Duration::from_secs(11));
+        assert_eq!(w.host_mut::<Recorder>(r).datagrams.len(), 1);
+    }
+
+    #[test]
+    fn identical_seeds_are_reproducible() {
+        fn run(seed: u64) -> (Metrics, SimTime) {
+            let mut w = World::new(seed);
+            w.set_default_link(LinkProfile {
+                latency: Duration::from_millis(2),
+                jitter: Duration::from_millis(3),
+                loss: 0.3,
+                ..LinkProfile::ideal()
+            });
+            let r = w.add_host(Box::new(Recorder::default()));
+            for i in 0..20 {
+                let payload = vec![i as u8; 64];
+                w.schedule_in(Duration::from_millis(i), move |w| {
+                    w.inject_datagram(NodeId::from_raw(77), r, payload)
+                });
+            }
+            let t = w.run_until_idle();
+            (w.metrics(), t)
+        }
+        assert_eq!(run(99), run(99));
+        // Different seed should (overwhelmingly likely) differ in losses.
+        // We don't assert inequality to avoid a flaky test; reproducibility
+        // of the same seed is the property that matters.
+    }
+
+    #[test]
+    fn crash_clears_timers() {
+        struct LongTimer;
+        impl Host for LongTimer {
+            fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+                ctx.set_timer(Duration::from_secs(100), 1);
+            }
+            fn on_datagram(&mut self, _: &mut HostCtx<'_>, _: NodeId, _: Vec<u8>) {}
+            fn on_timer(&mut self, _: &mut HostCtx<'_>, _: TimerToken) {
+                panic!("timer on crashed host fired");
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(1);
+        let h = w.add_host(Box::new(LongTimer));
+        w.run_for(Duration::from_secs(1));
+        w.crash(h);
+        w.run_until_idle();
+        assert_eq!(w.metrics().timers_fired, 0);
+    }
+}

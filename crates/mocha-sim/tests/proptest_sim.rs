@@ -1,0 +1,169 @@
+//! Property-based tests of the simulator's core guarantees.
+
+use std::any::Any;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use mocha_sim::{CpuProfile, Host, HostCtx, LinkProfile, NodeId, SimTime, Work, World};
+
+/// Records datagram arrival times and enforces per-host monotonicity.
+#[derive(Default)]
+struct Recorder {
+    arrivals: Vec<(SimTime, Vec<u8>)>,
+}
+
+impl Host for Recorder {
+    fn on_datagram(&mut self, ctx: &mut HostCtx<'_>, _from: NodeId, bytes: Vec<u8>) {
+        self.arrivals.push((ctx.now(), bytes));
+    }
+    fn on_timer(&mut self, _: &mut HostCtx<'_>, _: u64) {}
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dispatch times never go backwards at a host, whatever the link
+    /// parameters or injection schedule.
+    #[test]
+    fn host_dispatch_times_are_monotonic(
+        latency_us in 0u64..20_000,
+        jitter_us in 0u64..5_000,
+        bandwidth in 1_000u64..10_000_000,
+        sends in proptest::collection::vec((0u64..1_000, 1usize..2_000), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let mut w = World::new(seed);
+        w.set_default_link(LinkProfile {
+            latency: Duration::from_micros(latency_us),
+            jitter: Duration::from_micros(jitter_us),
+            bandwidth_bytes_per_sec: bandwidth,
+            loss: 0.0,
+            overhead_bytes: 46,
+        });
+        let r = w.add_host(Box::new(Recorder::default()));
+        let fake = NodeId::from_raw(7);
+        for (at_ms, len) in &sends {
+            let payload = vec![0u8; *len];
+            let r2 = r;
+            let at = SimTime::ZERO + Duration::from_millis(*at_ms);
+            w.schedule_at(at, move |w| w.inject_datagram(fake, r2, payload));
+        }
+        w.run_until_idle();
+        let host = w.host_mut::<Recorder>(r);
+        let times: Vec<SimTime> = host.arrivals.iter().map(|(t, _)| *t).collect();
+        for pair in times.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "dispatch went backwards: {pair:?}");
+        }
+        prop_assert_eq!(times.len(), sends.len(), "lossless link delivers all");
+    }
+
+    /// CPU charging strictly serializes a host's handlings: each dispatch
+    /// begins no earlier than the previous dispatch plus its charged work.
+    #[test]
+    fn cpu_busy_model_serializes_handlings(
+        per_event_us in 1u64..5_000,
+        n in 2usize..30,
+        seed in any::<u64>(),
+    ) {
+        struct Busy {
+            handled: Vec<SimTime>,
+        }
+        impl Host for Busy {
+            fn on_datagram(&mut self, ctx: &mut HostCtx<'_>, _: NodeId, _: Vec<u8>) {
+                self.handled.push(ctx.now());
+                ctx.charge(Work::events(1));
+            }
+            fn on_timer(&mut self, _: &mut HostCtx<'_>, _: u64) {}
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(seed);
+        let b = w.add_host(Box::new(Busy { handled: vec![] }));
+        w.set_cpu_profile(
+            b,
+            CpuProfile {
+                per_event: Duration::from_micros(per_event_us),
+                ..CpuProfile::instant()
+            },
+        );
+        let fake = NodeId::from_raw(9);
+        for _ in 0..n {
+            w.inject_datagram(fake, b, vec![1]);
+        }
+        w.run_until_idle();
+        let host = w.host_mut::<Busy>(b);
+        prop_assert_eq!(host.handled.len(), n);
+        let step = Duration::from_micros(per_event_us);
+        for pair in host.handled.windows(2) {
+            prop_assert!(
+                pair[1] >= pair[0] + step,
+                "handlings overlapped: {pair:?} (step {step:?})"
+            );
+        }
+    }
+
+    /// Same seed ⇒ bit-identical metrics, under loss and jitter.
+    #[test]
+    fn runs_are_reproducible(
+        seed in any::<u64>(),
+        loss_pct in 0u32..50,
+        sends in proptest::collection::vec(0u64..500, 1..30),
+    ) {
+        let run = || {
+            let mut w = World::new(seed);
+            w.set_default_link(LinkProfile {
+                latency: Duration::from_millis(2),
+                jitter: Duration::from_millis(4),
+                bandwidth_bytes_per_sec: 1_000_000,
+                loss: f64::from(loss_pct) / 100.0,
+                overhead_bytes: 46,
+            });
+            let r = w.add_host(Box::new(Recorder::default()));
+            let fake = NodeId::from_raw(3);
+            for (i, at_ms) in sends.iter().enumerate() {
+                let payload = vec![i as u8; 100];
+                let at = SimTime::ZERO + Duration::from_millis(*at_ms);
+                w.schedule_at(at, move |w| w.inject_datagram(fake, r, payload));
+            }
+            let end = w.run_until_idle();
+            (w.metrics(), end)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Loss fraction converges near the configured probability for large
+    /// datagram counts.
+    #[test]
+    fn loss_rate_statistics(seed in any::<u64>()) {
+        struct Blast {
+            to: NodeId,
+        }
+        impl Host for Blast {
+            fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+                for _ in 0..2_000 {
+                    ctx.send_datagram(self.to, vec![0u8; 8]);
+                }
+            }
+            fn on_datagram(&mut self, _: &mut HostCtx<'_>, _: NodeId, _: Vec<u8>) {}
+            fn on_timer(&mut self, _: &mut HostCtx<'_>, _: u64) {}
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(seed);
+        w.set_default_link(LinkProfile {
+            loss: 0.2,
+            ..LinkProfile::ideal()
+        });
+        let r = w.add_host(Box::new(Recorder::default()));
+        let _b = w.add_host(Box::new(Blast { to: r }));
+        w.run_until_idle();
+        let rate = w.metrics().loss_rate();
+        prop_assert!((0.14..=0.26).contains(&rate), "loss rate {rate}");
+    }
+}

@@ -1,0 +1,241 @@
+//! Identifier newtypes shared across the whole system.
+//!
+//! Each identifier is a thin wrapper over an integer with `Display`/`Debug`
+//! and wire encode/decode helpers. Keeping them distinct types prevents the
+//! classic bug of passing a lock id where a replica id is expected.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::io::{ByteReader, ByteWriter, WireError};
+
+macro_rules! id_u32 {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Constructs from the raw integer.
+            pub const fn from_raw(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw integer.
+            pub const fn as_raw(self) -> u32 {
+                self.0
+            }
+
+            /// Encodes onto a wire writer.
+            pub fn encode(self, w: &mut ByteWriter) {
+                w.put_u32(self.0);
+            }
+
+            /// Decodes from a wire reader.
+            ///
+            /// # Errors
+            ///
+            /// Propagates reader errors on truncated input.
+            pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+                Ok(Self(r.get_u32()?))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_u32!(
+    /// A participating site (one Mocha Server / daemon-thread pair). Maps
+    /// 1:1 onto the simulator's `NodeId` and onto one OS thread group in
+    /// the thread runtime.
+    SiteId,
+    "site"
+);
+
+id_u32!(
+    /// A `ReplicaLock` instance, named by the application (the paper uses
+    /// small integers: `new ReplicaLock(1, mocha)`).
+    LockId,
+    "lock"
+);
+
+id_u32!(
+    /// A shared `Replica` object. The application-facing API names replicas
+    /// by string (e.g. `"flatwareIndex"`); the runtime interns the string to
+    /// a `ReplicaId` at registration.
+    ReplicaId,
+    "replica"
+);
+
+id_u32!(
+    /// An application thread within a site.
+    ThreadId,
+    "thread"
+);
+
+/// Monotonic version number of a lock's associated replica set.
+///
+/// Incremented by the synchronization thread at every release; used to
+/// decide whether a grantee needs a fresh copy, and during failure recovery
+/// to identify the most recent surviving value.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Version(pub u64);
+
+impl Version {
+    /// The version before any write.
+    pub const INITIAL: Version = Version(0);
+
+    /// The next version.
+    #[must_use]
+    pub fn next(self) -> Version {
+        Version(self.0 + 1)
+    }
+
+    /// Encodes onto a wire writer.
+    pub fn encode(self, w: &mut ByteWriter) {
+        w.put_u64(self.0);
+    }
+
+    /// Decodes from a wire reader.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors on truncated input.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        Ok(Version(r.get_u64()?))
+    }
+}
+
+impl fmt::Debug for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Correlates a request with its response across the network (e.g. a
+/// version poll during failure recovery).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct RequestId(pub u64);
+
+impl RequestId {
+    /// Constructs from the raw integer.
+    pub const fn from_raw(raw: u64) -> Self {
+        RequestId(raw)
+    }
+
+    /// The raw integer.
+    pub const fn as_raw(self) -> u64 {
+        self.0
+    }
+
+    /// The next request id.
+    #[must_use]
+    pub fn next(self) -> RequestId {
+        RequestId(self.0 + 1)
+    }
+
+    /// Encodes onto a wire writer.
+    pub fn encode(self, w: &mut ByteWriter) {
+        w.put_u64(self.0);
+    }
+
+    /// Decodes from a wire reader.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors on truncated input.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        Ok(RequestId(r.get_u64()?))
+    }
+}
+
+impl fmt::Debug for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_on_the_wire() {
+        let mut w = ByteWriter::new();
+        SiteId(3).encode(&mut w);
+        LockId(9).encode(&mut w);
+        ReplicaId(11).encode(&mut w);
+        ThreadId(2).encode(&mut w);
+        Version(77).encode(&mut w);
+        RequestId(123).encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(SiteId::decode(&mut r).unwrap(), SiteId(3));
+        assert_eq!(LockId::decode(&mut r).unwrap(), LockId(9));
+        assert_eq!(ReplicaId::decode(&mut r).unwrap(), ReplicaId(11));
+        assert_eq!(ThreadId::decode(&mut r).unwrap(), ThreadId(2));
+        assert_eq!(Version::decode(&mut r).unwrap(), Version(77));
+        assert_eq!(RequestId::decode(&mut r).unwrap(), RequestId(123));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn version_next_is_monotonic() {
+        let v = Version::INITIAL;
+        assert!(v.next() > v);
+        assert_eq!(v.next().next(), Version(2));
+    }
+
+    #[test]
+    fn display_formats_are_prefixed() {
+        assert_eq!(SiteId(4).to_string(), "site4");
+        assert_eq!(LockId(1).to_string(), "lock1");
+        assert_eq!(Version(9).to_string(), "v9");
+        assert_eq!(RequestId(2).to_string(), "req2");
+        assert_eq!(format!("{:?}", ReplicaId(5)), "replica5");
+        assert_eq!(format!("{:?}", ThreadId(6)), "thread6");
+    }
+
+    #[test]
+    fn from_u32_conversion() {
+        let s: SiteId = 7u32.into();
+        assert_eq!(s.as_raw(), 7);
+        assert_eq!(SiteId::from_raw(7), s);
+    }
+}

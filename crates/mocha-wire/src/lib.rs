@@ -1,0 +1,39 @@
+//! # mocha-wire — wire formats and marshaling for the Mocha reproduction
+//!
+//! Everything that crosses the (simulated or real) network in this
+//! reproduction is a real byte sequence produced by this crate:
+//!
+//! * [`io`] — minimal binary reader/writer primitives with explicit error
+//!   handling (no panics on malformed input).
+//! * [`ids`] — newtype identifiers shared by every layer (sites, locks,
+//!   replicas, versions, requests).
+//! * [`payload`] — [`payload::ReplicaPayload`], the typed
+//!   data a Mocha `Replica` carries: homogeneous arrays of primitives (the
+//!   paper's base `Replica`) or a serialized "complex object" (the paper's
+//!   MochaGen-generated subclasses).
+//! * [`message`] — the Mocha control protocol: lock acquire/release/grant,
+//!   replica transfer directives, replica data, failure-handling polls and
+//!   heartbeats, and the remote-evaluation (spawn) messages.
+//! * [`codec`] — marshaling of payloads into byte arrays *with an abstract
+//!   cost report*. [`codec::ByteAtATime`] models JDK 1.1 serialization
+//!   (single-byte writes into dynamically grown arrays — the cause of
+//!   Figure 8's expensive marshaling); [`codec::Bulk`] is the "custom
+//!   marshaling library" the paper describes as future work.
+//!
+//! The crate is deliberately free of any networking or simulation
+//! dependency so that every other layer can share these types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod ids;
+pub mod io;
+pub mod message;
+pub mod payload;
+pub mod serbin;
+
+pub use codec::{Bulk, ByteAtATime, MarshalCost, Marshaller};
+pub use ids::{LockId, ReplicaId, RequestId, SiteId, ThreadId, Version};
+pub use message::Msg;
+pub use payload::ReplicaPayload;

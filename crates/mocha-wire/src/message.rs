@@ -1,0 +1,1085 @@
+//! The Mocha control protocol.
+//!
+//! These are the messages exchanged between application threads, the
+//! home-site synchronization thread and the per-site daemon threads, taken
+//! directly from the paper's §3 pseudocode (`ACQUIRELOCK`, `RELEASELOCK`,
+//! `GRANT`, `REGISTERREPLICA`, `TRANSFERREPLICA`) plus the §4
+//! failure-handling refinements (version polls, heartbeats, lock
+//! revocation, push-based dissemination) and the §2 remote-evaluation
+//! (spawn / code shipping) messages.
+
+use crate::ids::{LockId, ReplicaId, RequestId, SiteId, ThreadId, Version};
+use crate::io::{ByteReader, ByteWriter, WireError};
+use crate::payload::ReplicaPayload;
+
+/// The access mode of a lock acquisition. The paper describes the basic
+/// algorithm with exclusive locks and notes it "can easily be modified to
+/// support shared (i.e., read-only) locks" — both are supported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// Exclusive: sole holder, may modify replicas.
+    Exclusive,
+    /// Shared: concurrent read-only holders.
+    Shared,
+}
+
+impl LockMode {
+    fn encode(self, w: &mut ByteWriter) {
+        w.put_u8(match self {
+            LockMode::Exclusive => 0,
+            LockMode::Shared => 1,
+        });
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(LockMode::Exclusive),
+            1 => Ok(LockMode::Shared),
+            tag => Err(WireError::BadTag {
+                what: "LockMode",
+                tag,
+            }),
+        }
+    }
+}
+
+/// The flag carried in a [`Msg::Grant`]: does the grantee already hold the
+/// current version of the replicas, or must it wait for a transfer?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VersionFlag {
+    /// The grantee's local copies are current; it may proceed immediately.
+    VersionOk,
+    /// A new version is in flight from the previous owner's daemon; the
+    /// grantee must wait for the matching [`Msg::ReplicaData`].
+    NeedNewVersion,
+}
+
+impl VersionFlag {
+    fn encode(self, w: &mut ByteWriter) {
+        w.put_u8(match self {
+            VersionFlag::VersionOk => 0,
+            VersionFlag::NeedNewVersion => 1,
+        });
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(VersionFlag::VersionOk),
+            1 => Ok(VersionFlag::NeedNewVersion),
+            tag => Err(WireError::BadTag {
+                what: "VersionFlag",
+                tag,
+            }),
+        }
+    }
+}
+
+/// One versioned replica value as carried in transfers and pushes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaUpdate {
+    /// Which replica this value belongs to.
+    pub replica: ReplicaId,
+    /// The value.
+    pub payload: ReplicaPayload,
+}
+
+impl ReplicaUpdate {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.replica.encode(w);
+        self.payload.encode(w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        Ok(ReplicaUpdate {
+            replica: ReplicaId::decode(r)?,
+            payload: ReplicaPayload::decode(r)?,
+        })
+    }
+}
+
+/// A Mocha protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    // ------------------------------------------------------------------
+    // §3 basic consistency algorithm
+    // ------------------------------------------------------------------
+    /// Application thread → synchronization thread: request the lock.
+    AcquireLock {
+        /// The lock being requested.
+        lock: LockId,
+        /// Requesting site.
+        site: SiteId,
+        /// Requesting application thread within the site.
+        thread: ThreadId,
+        /// §4 refinement: how long the thread expects to hold the lock, in
+        /// milliseconds (0 = no hint; the coordinator applies its default
+        /// lease).
+        lease_hint_ms: u32,
+        /// Exclusive or shared (read-only) access.
+        mode: LockMode,
+    },
+    /// Synchronization thread → application thread: the lock is granted.
+    Grant {
+        /// The granted lock.
+        lock: LockId,
+        /// New version number the grantee will hold.
+        version: Version,
+        /// Whether fresh replica data is on its way.
+        flag: VersionFlag,
+    },
+    /// Application thread → synchronization thread: release the lock.
+    ReleaseLock {
+        /// The lock being released.
+        lock: LockId,
+        /// Releasing site.
+        site: SiteId,
+        /// Version number after this owner's updates.
+        new_version: Version,
+        /// §4 refinement: sites to which the releaser's daemon pushed the
+        /// new value (the paper's "set of identifiers (i.e., a bit
+        /// vector)"), so the coordinator can skip redundant transfers.
+        disseminated_to: Vec<SiteId>,
+    },
+    /// Application thread / daemon → synchronization thread and local
+    /// daemon: a replica now exists at this site and wants updates.
+    RegisterReplica {
+        /// Lock guarding the replica.
+        lock: LockId,
+        /// The replica.
+        replica: ReplicaId,
+        /// Registering site.
+        site: SiteId,
+        /// Human-readable replica name (interned to `replica` at the home
+        /// site; carried for bootstrap and debugging).
+        name: String,
+    },
+    /// Synchronization thread → daemon: transfer your current copy of the
+    /// replicas guarded by `lock` to `dest`.
+    TransferReplica {
+        /// Lock whose replica set must be transferred.
+        lock: LockId,
+        /// Destination site.
+        dest: SiteId,
+        /// Version the coordinator believes the daemon holds (sanity
+        /// check; a daemon with an older copy answers with what it has).
+        version: Version,
+        /// Correlates coordinator-initiated transfers for timeout tracking.
+        req: RequestId,
+    },
+    /// Daemon → requesting site: the marshaled replica values.
+    ReplicaData {
+        /// Lock whose replica set this is.
+        lock: LockId,
+        /// Version of these values.
+        version: Version,
+        /// The values.
+        updates: Vec<ReplicaUpdate>,
+        /// Echo of the `TransferReplica` request id (0 for owner-initiated
+        /// sends that weren't coordinator-directed).
+        req: RequestId,
+    },
+    /// Daemon → daemon: push-based dissemination of a new version (§4),
+    /// applied directly by the receiving daemon.
+    PushUpdate {
+        /// Lock whose replica set this is.
+        lock: LockId,
+        /// Version of these values.
+        version: Version,
+        /// The values.
+        updates: Vec<ReplicaUpdate>,
+        /// Correlates the push with its ack for failure detection.
+        req: RequestId,
+    },
+    /// Daemon → pushing daemon: the push was applied.
+    PushAck {
+        /// Lock acknowledged.
+        lock: LockId,
+        /// Version acknowledged.
+        version: Version,
+        /// Acking site.
+        site: SiteId,
+        /// Echo of the push request id.
+        req: RequestId,
+    },
+
+    // ------------------------------------------------------------------
+    // §4 failure handling
+    // ------------------------------------------------------------------
+    /// Synchronization thread → daemon: what is the newest version you hold
+    /// for `lock`? Used when the expected holder of the freshest copy has
+    /// failed.
+    PollVersion {
+        /// Lock being polled.
+        lock: LockId,
+        /// Correlation id.
+        req: RequestId,
+    },
+    /// Daemon → synchronization thread: poll answer.
+    PollResponse {
+        /// Lock polled.
+        lock: LockId,
+        /// Newest version held (INITIAL if never updated).
+        version: Version,
+        /// Answering site.
+        site: SiteId,
+        /// Echo of the poll request id.
+        req: RequestId,
+    },
+    /// Synchronization thread → suspected owner's application layer: are
+    /// you alive, and do you still hold `lock`? (Confirms a suspected
+    /// owner failure before breaking a lock; also detects *phantom* holds
+    /// whose release was lost with a dead coordinator.)
+    Heartbeat {
+        /// The lock whose hold is being checked.
+        lock: LockId,
+        /// Correlation id.
+        req: RequestId,
+    },
+    /// Application layer → synchronization thread: alive, with the hold
+    /// status.
+    HeartbeatAck {
+        /// Answering site.
+        site: SiteId,
+        /// Echo of the heartbeat request id.
+        req: RequestId,
+        /// Whether the lock is still held at the answering site.
+        holding: bool,
+    },
+    /// Synchronization thread → (possibly dead) owner: your lock was
+    /// broken. A live-but-slow owner must discard its grant.
+    LockRevoked {
+        /// The broken lock.
+        lock: LockId,
+        /// Version at which it was broken.
+        version: Version,
+    },
+
+    // ------------------------------------------------------------------
+    // §2 remote evaluation (spawn / code shipping)
+    // ------------------------------------------------------------------
+    /// Home → site manager: spawn this task class with these parameters.
+    /// `pushed_classes` are the initial "push" of application code; the
+    /// site demand-pulls anything else it encounters.
+    SpawnRequest {
+        /// Task class to instantiate (the paper's `"Myhello"`).
+        task_class: String,
+        /// Serialized `Parameter` travel-bag contents.
+        params: Vec<u8>,
+        /// Class names shipped up-front.
+        pushed_classes: Vec<String>,
+        /// Correlation id for the eventual result.
+        req: RequestId,
+    },
+    /// Site → home: the spawned task's serialized `Result` travel bag.
+    SpawnResult {
+        /// Echo of the spawn request id.
+        req: RequestId,
+        /// Serialized `Result` contents (empty on failure).
+        result: Vec<u8>,
+        /// Whether the task completed without throwing.
+        ok: bool,
+    },
+    /// Site → home: demand-pull of a class encountered during execution.
+    CodeRequest {
+        /// Class name needed.
+        class: String,
+        /// Correlation id.
+        req: RequestId,
+    },
+    /// Home → site: the requested class "bytecode".
+    CodeResponse {
+        /// Class name.
+        class: String,
+        /// Opaque code unit bytes.
+        code: Vec<u8>,
+        /// Echo of the code request id.
+        req: RequestId,
+    },
+    /// Synchronization thread → its own site's daemon: the next
+    /// `ReplicaData` carrying `req` is not for us — forward it to `dest`.
+    /// Only used in the *relay* ablation configuration, which deliberately
+    /// disables the paper's locality optimisation (data normally travels
+    /// daemon-to-daemon, never through the home site).
+    ExpectRelay {
+        /// Lock whose data will pass through.
+        lock: LockId,
+        /// Final destination site.
+        dest: SiteId,
+        /// Transfer correlation id.
+        req: RequestId,
+    },
+    /// Surrogate synchronization thread → daemons: the coordinator now
+    /// lives at `new_home` (§4's sketched recovery from synchronization-
+    /// thread failure: "a new synchronization thread is spawned which
+    /// informs the daemon threads of its existence").
+    SyncMoved {
+        /// Site now hosting the synchronization thread.
+        new_home: SiteId,
+    },
+    /// Site → home: remote `mochaPrintln` output (the paper's remote
+    /// printing / debugging support).
+    RemotePrint {
+        /// Printing site.
+        site: SiteId,
+        /// The printed line.
+        text: String,
+    },
+
+    /// Daemon → daemon: an *unsynchronized* update to a cached replica
+    /// (one not associated with a `ReplicaLock`). The paper's §7 future
+    /// work — "non-synchronization based solutions for maintaining
+    /// consistency" in the style of Bayou/Rover — realised as last-writer-
+    /// wins publication ordered by a Lamport stamp.
+    CacheUpdate {
+        /// The cached replica.
+        replica: ReplicaId,
+        /// Lamport counter of the publication.
+        counter: u64,
+        /// Publishing site (tie-break).
+        origin: SiteId,
+        /// The value.
+        payload: ReplicaPayload,
+    },
+
+    // ------------------------------------------------------------------
+    // Benchmarks
+    // ------------------------------------------------------------------
+    /// Round-trip probe used by the small-message benchmark (§5's claim
+    /// that MochaNet is ~2× TCP for messages under 256 bytes).
+    Ping {
+        /// Correlation id.
+        req: RequestId,
+        /// Probe payload.
+        payload: Vec<u8>,
+    },
+    /// Probe reply.
+    Pong {
+        /// Echo of the ping id.
+        req: RequestId,
+        /// Echoed payload.
+        payload: Vec<u8>,
+    },
+}
+
+// Message tags. Explicit constants rather than a derive so the wire format
+// is stable and documented.
+const T_ACQUIRE: u8 = 1;
+const T_GRANT: u8 = 2;
+const T_RELEASE: u8 = 3;
+const T_REGISTER: u8 = 4;
+const T_TRANSFER: u8 = 5;
+const T_REPLICA_DATA: u8 = 6;
+const T_PUSH: u8 = 7;
+const T_PUSH_ACK: u8 = 8;
+const T_POLL: u8 = 9;
+const T_POLL_RESP: u8 = 10;
+const T_HEARTBEAT: u8 = 11;
+const T_HEARTBEAT_ACK: u8 = 12;
+const T_REVOKED: u8 = 13;
+const T_SPAWN: u8 = 14;
+const T_SPAWN_RESULT: u8 = 15;
+const T_CODE_REQ: u8 = 16;
+const T_CODE_RESP: u8 = 17;
+const T_PRINT: u8 = 18;
+const T_PING: u8 = 19;
+const T_PONG: u8 = 20;
+const T_SYNC_MOVED: u8 = 21;
+const T_EXPECT_RELAY: u8 = 22;
+const T_CACHE_UPDATE: u8 = 23;
+
+impl Msg {
+    /// Encodes the message to a fresh byte vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(32);
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Encodes the message onto an existing writer.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        match self {
+            Msg::AcquireLock {
+                lock,
+                site,
+                thread,
+                lease_hint_ms,
+                mode,
+            } => {
+                w.put_u8(T_ACQUIRE);
+                lock.encode(w);
+                site.encode(w);
+                thread.encode(w);
+                w.put_u32(*lease_hint_ms);
+                mode.encode(w);
+            }
+            Msg::Grant {
+                lock,
+                version,
+                flag,
+            } => {
+                w.put_u8(T_GRANT);
+                lock.encode(w);
+                version.encode(w);
+                flag.encode(w);
+            }
+            Msg::ReleaseLock {
+                lock,
+                site,
+                new_version,
+                disseminated_to,
+            } => {
+                w.put_u8(T_RELEASE);
+                lock.encode(w);
+                site.encode(w);
+                new_version.encode(w);
+                w.put_u32(disseminated_to.len() as u32);
+                for s in disseminated_to {
+                    s.encode(w);
+                }
+            }
+            Msg::RegisterReplica {
+                lock,
+                replica,
+                site,
+                name,
+            } => {
+                w.put_u8(T_REGISTER);
+                lock.encode(w);
+                replica.encode(w);
+                site.encode(w);
+                w.put_str(name);
+            }
+            Msg::TransferReplica {
+                lock,
+                dest,
+                version,
+                req,
+            } => {
+                w.put_u8(T_TRANSFER);
+                lock.encode(w);
+                dest.encode(w);
+                version.encode(w);
+                req.encode(w);
+            }
+            Msg::ReplicaData {
+                lock,
+                version,
+                updates,
+                req,
+            } => {
+                w.put_u8(T_REPLICA_DATA);
+                Self::encode_updates(w, lock, version, updates, req);
+            }
+            Msg::PushUpdate {
+                lock,
+                version,
+                updates,
+                req,
+            } => {
+                w.put_u8(T_PUSH);
+                Self::encode_updates(w, lock, version, updates, req);
+            }
+            Msg::PushAck {
+                lock,
+                version,
+                site,
+                req,
+            } => {
+                w.put_u8(T_PUSH_ACK);
+                lock.encode(w);
+                version.encode(w);
+                site.encode(w);
+                req.encode(w);
+            }
+            Msg::PollVersion { lock, req } => {
+                w.put_u8(T_POLL);
+                lock.encode(w);
+                req.encode(w);
+            }
+            Msg::PollResponse {
+                lock,
+                version,
+                site,
+                req,
+            } => {
+                w.put_u8(T_POLL_RESP);
+                lock.encode(w);
+                version.encode(w);
+                site.encode(w);
+                req.encode(w);
+            }
+            Msg::Heartbeat { lock, req } => {
+                w.put_u8(T_HEARTBEAT);
+                lock.encode(w);
+                req.encode(w);
+            }
+            Msg::HeartbeatAck { site, req, holding } => {
+                w.put_u8(T_HEARTBEAT_ACK);
+                site.encode(w);
+                req.encode(w);
+                w.put_bool(*holding);
+            }
+            Msg::LockRevoked { lock, version } => {
+                w.put_u8(T_REVOKED);
+                lock.encode(w);
+                version.encode(w);
+            }
+            Msg::SpawnRequest {
+                task_class,
+                params,
+                pushed_classes,
+                req,
+            } => {
+                w.put_u8(T_SPAWN);
+                w.put_str(task_class);
+                w.put_bytes(params);
+                w.put_u32(pushed_classes.len() as u32);
+                for c in pushed_classes {
+                    w.put_str(c);
+                }
+                req.encode(w);
+            }
+            Msg::SpawnResult { req, result, ok } => {
+                w.put_u8(T_SPAWN_RESULT);
+                req.encode(w);
+                w.put_bytes(result);
+                w.put_bool(*ok);
+            }
+            Msg::CodeRequest { class, req } => {
+                w.put_u8(T_CODE_REQ);
+                w.put_str(class);
+                req.encode(w);
+            }
+            Msg::CodeResponse { class, code, req } => {
+                w.put_u8(T_CODE_RESP);
+                w.put_str(class);
+                w.put_bytes(code);
+                req.encode(w);
+            }
+            Msg::SyncMoved { new_home } => {
+                w.put_u8(T_SYNC_MOVED);
+                new_home.encode(w);
+            }
+            Msg::ExpectRelay { lock, dest, req } => {
+                w.put_u8(T_EXPECT_RELAY);
+                lock.encode(w);
+                dest.encode(w);
+                req.encode(w);
+            }
+            Msg::RemotePrint { site, text } => {
+                w.put_u8(T_PRINT);
+                site.encode(w);
+                w.put_str(text);
+            }
+            Msg::CacheUpdate {
+                replica,
+                counter,
+                origin,
+                payload,
+            } => {
+                w.put_u8(T_CACHE_UPDATE);
+                replica.encode(w);
+                w.put_u64(*counter);
+                origin.encode(w);
+                payload.encode(w);
+            }
+            Msg::Ping { req, payload } => {
+                w.put_u8(T_PING);
+                req.encode(w);
+                w.put_bytes(payload);
+            }
+            Msg::Pong { req, payload } => {
+                w.put_u8(T_PONG);
+                req.encode(w);
+                w.put_bytes(payload);
+            }
+        }
+    }
+
+    fn encode_updates(
+        w: &mut ByteWriter,
+        lock: &LockId,
+        version: &Version,
+        updates: &[ReplicaUpdate],
+        req: &RequestId,
+    ) {
+        lock.encode(w);
+        version.encode(w);
+        w.put_u32(updates.len() as u32);
+        for u in updates {
+            u.encode(w);
+        }
+        req.encode(w);
+    }
+
+    fn decode_updates(
+        r: &mut ByteReader<'_>,
+    ) -> Result<(LockId, Version, Vec<ReplicaUpdate>, RequestId), WireError> {
+        let lock = LockId::decode(r)?;
+        let version = Version::decode(r)?;
+        let n = r.get_u32()? as usize;
+        // Each update is at least 5 bytes (replica id + payload tag);
+        // reject counts the input cannot possibly satisfy.
+        if n.saturating_mul(5) > r.remaining() {
+            return Err(WireError::LengthOverrun {
+                declared: n * 5,
+                remaining: r.remaining(),
+            });
+        }
+        let mut updates = Vec::with_capacity(n);
+        for _ in 0..n {
+            updates.push(ReplicaUpdate::decode(r)?);
+        }
+        let req = RequestId::decode(r)?;
+        Ok((lock, version, updates, req))
+    }
+
+    /// Decodes a message from a full datagram, requiring all input consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on any malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Msg, WireError> {
+        let mut r = ByteReader::new(bytes);
+        let msg = Msg::decode_from(&mut r)?;
+        r.finish()?;
+        Ok(msg)
+    }
+
+    /// Decodes a message from a reader, leaving any trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on any malformed input.
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Msg, WireError> {
+        let tag = r.get_u8()?;
+        match tag {
+            T_ACQUIRE => Ok(Msg::AcquireLock {
+                lock: LockId::decode(r)?,
+                site: SiteId::decode(r)?,
+                thread: ThreadId::decode(r)?,
+                lease_hint_ms: r.get_u32()?,
+                mode: LockMode::decode(r)?,
+            }),
+            T_GRANT => Ok(Msg::Grant {
+                lock: LockId::decode(r)?,
+                version: Version::decode(r)?,
+                flag: VersionFlag::decode(r)?,
+            }),
+            T_RELEASE => {
+                let lock = LockId::decode(r)?;
+                let site = SiteId::decode(r)?;
+                let new_version = Version::decode(r)?;
+                let n = r.get_u32()? as usize;
+                if n.saturating_mul(4) > r.remaining() {
+                    return Err(WireError::LengthOverrun {
+                        declared: n * 4,
+                        remaining: r.remaining(),
+                    });
+                }
+                let mut disseminated_to = Vec::with_capacity(n);
+                for _ in 0..n {
+                    disseminated_to.push(SiteId::decode(r)?);
+                }
+                Ok(Msg::ReleaseLock {
+                    lock,
+                    site,
+                    new_version,
+                    disseminated_to,
+                })
+            }
+            T_REGISTER => Ok(Msg::RegisterReplica {
+                lock: LockId::decode(r)?,
+                replica: ReplicaId::decode(r)?,
+                site: SiteId::decode(r)?,
+                name: r.get_string()?,
+            }),
+            T_TRANSFER => Ok(Msg::TransferReplica {
+                lock: LockId::decode(r)?,
+                dest: SiteId::decode(r)?,
+                version: Version::decode(r)?,
+                req: RequestId::decode(r)?,
+            }),
+            T_REPLICA_DATA => {
+                let (lock, version, updates, req) = Self::decode_updates(r)?;
+                Ok(Msg::ReplicaData {
+                    lock,
+                    version,
+                    updates,
+                    req,
+                })
+            }
+            T_PUSH => {
+                let (lock, version, updates, req) = Self::decode_updates(r)?;
+                Ok(Msg::PushUpdate {
+                    lock,
+                    version,
+                    updates,
+                    req,
+                })
+            }
+            T_PUSH_ACK => Ok(Msg::PushAck {
+                lock: LockId::decode(r)?,
+                version: Version::decode(r)?,
+                site: SiteId::decode(r)?,
+                req: RequestId::decode(r)?,
+            }),
+            T_POLL => Ok(Msg::PollVersion {
+                lock: LockId::decode(r)?,
+                req: RequestId::decode(r)?,
+            }),
+            T_POLL_RESP => Ok(Msg::PollResponse {
+                lock: LockId::decode(r)?,
+                version: Version::decode(r)?,
+                site: SiteId::decode(r)?,
+                req: RequestId::decode(r)?,
+            }),
+            T_HEARTBEAT => Ok(Msg::Heartbeat {
+                lock: LockId::decode(r)?,
+                req: RequestId::decode(r)?,
+            }),
+            T_HEARTBEAT_ACK => Ok(Msg::HeartbeatAck {
+                site: SiteId::decode(r)?,
+                req: RequestId::decode(r)?,
+                holding: r.get_bool()?,
+            }),
+            T_REVOKED => Ok(Msg::LockRevoked {
+                lock: LockId::decode(r)?,
+                version: Version::decode(r)?,
+            }),
+            T_SPAWN => {
+                let task_class = r.get_string()?;
+                let params = r.get_bytes()?.to_vec();
+                let n = r.get_u32()? as usize;
+                if n.saturating_mul(4) > r.remaining() {
+                    return Err(WireError::LengthOverrun {
+                        declared: n * 4,
+                        remaining: r.remaining(),
+                    });
+                }
+                let mut pushed_classes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    pushed_classes.push(r.get_string()?);
+                }
+                let req = RequestId::decode(r)?;
+                Ok(Msg::SpawnRequest {
+                    task_class,
+                    params,
+                    pushed_classes,
+                    req,
+                })
+            }
+            T_SPAWN_RESULT => Ok(Msg::SpawnResult {
+                req: RequestId::decode(r)?,
+                result: r.get_bytes()?.to_vec(),
+                ok: r.get_bool()?,
+            }),
+            T_CODE_REQ => Ok(Msg::CodeRequest {
+                class: r.get_string()?,
+                req: RequestId::decode(r)?,
+            }),
+            T_CODE_RESP => Ok(Msg::CodeResponse {
+                class: r.get_string()?,
+                code: r.get_bytes()?.to_vec(),
+                req: RequestId::decode(r)?,
+            }),
+            T_SYNC_MOVED => Ok(Msg::SyncMoved {
+                new_home: SiteId::decode(r)?,
+            }),
+            T_EXPECT_RELAY => Ok(Msg::ExpectRelay {
+                lock: LockId::decode(r)?,
+                dest: SiteId::decode(r)?,
+                req: RequestId::decode(r)?,
+            }),
+            T_PRINT => Ok(Msg::RemotePrint {
+                site: SiteId::decode(r)?,
+                text: r.get_string()?,
+            }),
+            T_CACHE_UPDATE => Ok(Msg::CacheUpdate {
+                replica: ReplicaId::decode(r)?,
+                counter: r.get_u64()?,
+                origin: SiteId::decode(r)?,
+                payload: ReplicaPayload::decode(r)?,
+            }),
+            T_PING => Ok(Msg::Ping {
+                req: RequestId::decode(r)?,
+                payload: r.get_bytes()?.to_vec(),
+            }),
+            T_PONG => Ok(Msg::Pong {
+                req: RequestId::decode(r)?,
+                payload: r.get_bytes()?.to_vec(),
+            }),
+            tag => Err(WireError::BadTag { what: "Msg", tag }),
+        }
+    }
+
+    /// Whether this message carries bulk replica data (and therefore goes
+    /// over the bulk path in the hybrid protocol).
+    pub fn is_bulk(&self) -> bool {
+        matches!(
+            self,
+            Msg::ReplicaData { .. } | Msg::PushUpdate { .. } | Msg::CacheUpdate { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_messages() -> Vec<Msg> {
+        vec![
+            Msg::AcquireLock {
+                lock: LockId(1),
+                site: SiteId(2),
+                thread: ThreadId(3),
+                lease_hint_ms: 5000,
+                mode: LockMode::Exclusive,
+            },
+            Msg::AcquireLock {
+                lock: LockId(1),
+                site: SiteId(2),
+                thread: ThreadId(4),
+                lease_hint_ms: 0,
+                mode: LockMode::Shared,
+            },
+            Msg::Grant {
+                lock: LockId(1),
+                version: Version(9),
+                flag: VersionFlag::VersionOk,
+            },
+            Msg::Grant {
+                lock: LockId(1),
+                version: Version(9),
+                flag: VersionFlag::NeedNewVersion,
+            },
+            Msg::ReleaseLock {
+                lock: LockId(1),
+                site: SiteId(2),
+                new_version: Version(10),
+                disseminated_to: vec![SiteId(3), SiteId(4)],
+            },
+            Msg::RegisterReplica {
+                lock: LockId(1),
+                replica: ReplicaId(5),
+                site: SiteId(2),
+                name: "flatwareIndex".into(),
+            },
+            Msg::TransferReplica {
+                lock: LockId(1),
+                dest: SiteId(4),
+                version: Version(10),
+                req: RequestId(42),
+            },
+            Msg::ReplicaData {
+                lock: LockId(1),
+                version: Version(10),
+                updates: vec![
+                    ReplicaUpdate {
+                        replica: ReplicaId(5),
+                        payload: ReplicaPayload::I32s(vec![1, 2, 3]),
+                    },
+                    ReplicaUpdate {
+                        replica: ReplicaId(6),
+                        payload: ReplicaPayload::Utf8("Good Choice".into()),
+                    },
+                ],
+                req: RequestId(42),
+            },
+            Msg::PushUpdate {
+                lock: LockId(1),
+                version: Version(11),
+                updates: vec![ReplicaUpdate {
+                    replica: ReplicaId(5),
+                    payload: ReplicaPayload::Bytes(vec![0; 64]),
+                }],
+                req: RequestId(7),
+            },
+            Msg::PushAck {
+                lock: LockId(1),
+                version: Version(11),
+                site: SiteId(3),
+                req: RequestId(7),
+            },
+            Msg::PollVersion {
+                lock: LockId(1),
+                req: RequestId(8),
+            },
+            Msg::PollResponse {
+                lock: LockId(1),
+                version: Version(11),
+                site: SiteId(3),
+                req: RequestId(8),
+            },
+            Msg::Heartbeat {
+                lock: LockId(1),
+                req: RequestId(9),
+            },
+            Msg::HeartbeatAck {
+                site: SiteId(3),
+                req: RequestId(9),
+                holding: true,
+            },
+            Msg::LockRevoked {
+                lock: LockId(1),
+                version: Version(11),
+            },
+            Msg::SpawnRequest {
+                task_class: "Myhello".into(),
+                params: vec![1, 2, 3],
+                pushed_classes: vec!["Myhello".into(), "Helper".into()],
+                req: RequestId(10),
+            },
+            Msg::SpawnResult {
+                req: RequestId(10),
+                result: vec![4, 5],
+                ok: true,
+            },
+            Msg::CodeRequest {
+                class: "Helper2".into(),
+                req: RequestId(11),
+            },
+            Msg::CodeResponse {
+                class: "Helper2".into(),
+                code: vec![0xCA, 0xFE],
+                req: RequestId(11),
+            },
+            Msg::SyncMoved { new_home: SiteId(3) },
+            Msg::ExpectRelay {
+                lock: LockId(1),
+                dest: SiteId(4),
+                req: RequestId(77),
+            },
+            Msg::RemotePrint {
+                site: SiteId(2),
+                text: "Returning as a return value 6.0".into(),
+            },
+            Msg::CacheUpdate {
+                replica: ReplicaId(9),
+                counter: 4,
+                origin: SiteId(2),
+                payload: ReplicaPayload::Bytes(vec![1, 2, 3]),
+            },
+            Msg::Ping {
+                req: RequestId(12),
+                payload: vec![0; 256],
+            },
+            Msg::Pong {
+                req: RequestId(12),
+                payload: vec![0; 256],
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        for msg in sample_messages() {
+            let bytes = msg.encode();
+            let decoded = Msg::decode(&bytes).unwrap_or_else(|e| panic!("{msg:?}: {e}"));
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert!(matches!(
+            Msg::decode(&[0xEE]),
+            Err(WireError::BadTag { what: "Msg", .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_messages_rejected() {
+        for msg in sample_messages() {
+            let bytes = msg.encode();
+            for cut in 0..bytes.len() {
+                // Every strict prefix must fail to decode (no variant here
+                // is a prefix of another's encoding).
+                assert!(
+                    Msg::decode(&bytes[..cut]).is_err(),
+                    "prefix of len {cut} of {msg:?} decoded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = Msg::Heartbeat {
+            lock: LockId(1),
+            req: RequestId(1),
+        }
+        .encode();
+        bytes.push(0xFF);
+        assert!(matches!(
+            Msg::decode(&bytes),
+            Err(WireError::TrailingBytes { count: 1 })
+        ));
+    }
+
+    #[test]
+    fn hostile_update_count_rejected() {
+        // Hand-craft a ReplicaData header claiming 2^31 updates.
+        let mut w = ByteWriter::new();
+        w.put_u8(6); // T_REPLICA_DATA
+        LockId(1).encode(&mut w);
+        Version(1).encode(&mut w);
+        w.put_u32(1 << 31);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            Msg::decode(&bytes),
+            Err(WireError::LengthOverrun { .. })
+        ));
+    }
+
+    #[test]
+    fn is_bulk_classification() {
+        assert!(Msg::ReplicaData {
+            lock: LockId(1),
+            version: Version(1),
+            updates: vec![],
+            req: RequestId(0),
+        }
+        .is_bulk());
+        assert!(Msg::PushUpdate {
+            lock: LockId(1),
+            version: Version(1),
+            updates: vec![],
+            req: RequestId(0),
+        }
+        .is_bulk());
+        assert!(!Msg::Heartbeat {
+            lock: LockId(1),
+            req: RequestId(1)
+        }
+        .is_bulk());
+        assert!(!Msg::Grant {
+            lock: LockId(1),
+            version: Version(1),
+            flag: VersionFlag::VersionOk
+        }
+        .is_bulk());
+    }
+
+    #[test]
+    fn small_control_messages_are_compact() {
+        // MochaNet's efficiency claim rests on small control messages; keep
+        // the encodings tight.
+        let acquire = Msg::AcquireLock {
+            lock: LockId(1),
+            site: SiteId(2),
+            thread: ThreadId(3),
+            lease_hint_ms: 0,
+            mode: LockMode::Exclusive,
+        }
+        .encode();
+        assert!(acquire.len() <= 32, "AcquireLock is {} bytes", acquire.len());
+        let grant = Msg::Grant {
+            lock: LockId(1),
+            version: Version(1),
+            flag: VersionFlag::VersionOk,
+        }
+        .encode();
+        assert!(grant.len() <= 32, "Grant is {} bytes", grant.len());
+    }
+}

@@ -1,0 +1,305 @@
+//! Replica payloads.
+//!
+//! The paper's base `Replica` carries "homogeneous arrays of primitive data
+//! types"; generated subclasses (MochaGen) carry an arbitrary serializable
+//! object as an opaque byte array plus its type name. [`ReplicaPayload`]
+//! models both. Payload size may "grow and shrink as the needs of the
+//! Replica vary during application execution" — payloads are plain values,
+//! replaced wholesale on update.
+
+use std::fmt;
+
+use crate::io::{ByteReader, ByteWriter, WireError};
+
+/// The typed contents of one shared replica.
+#[derive(Clone, PartialEq)]
+pub enum ReplicaPayload {
+    /// Homogeneous `byte[]`.
+    Bytes(Vec<u8>),
+    /// Homogeneous `int[]`.
+    I32s(Vec<i32>),
+    /// Homogeneous `long[]`.
+    I64s(Vec<i64>),
+    /// Homogeneous `double[]`.
+    F64s(Vec<f64>),
+    /// A shared string (the paper's `StringReplica`).
+    Utf8(String),
+    /// A serialized complex object: the MochaGen path. `type_name`
+    /// identifies the application type so the receiving side can
+    /// unserialize into the right structure.
+    Object {
+        /// Application-level type identifier.
+        type_name: String,
+        /// Serialized object bytes (producer-defined format, typically a
+        /// serde encoding in this reproduction).
+        bytes: Vec<u8>,
+    },
+}
+
+impl ReplicaPayload {
+    /// An empty byte-array payload, the default state of a replica that has
+    /// been registered but never written.
+    pub fn empty() -> ReplicaPayload {
+        ReplicaPayload::Bytes(Vec::new())
+    }
+
+    /// The *signature* of the payload: a short name for its type, matching
+    /// the paper's "signature methods that enable the application to
+    /// determine the type and amount of data the Replica represents".
+    pub fn signature(&self) -> &'static str {
+        match self {
+            ReplicaPayload::Bytes(_) => "byte[]",
+            ReplicaPayload::I32s(_) => "int[]",
+            ReplicaPayload::I64s(_) => "long[]",
+            ReplicaPayload::F64s(_) => "double[]",
+            ReplicaPayload::Utf8(_) => "String",
+            ReplicaPayload::Object { .. } => "Object",
+        }
+    }
+
+    /// Number of elements (bytes, ints, doubles, chars, or serialized
+    /// bytes) the payload holds.
+    pub fn len(&self) -> usize {
+        match self {
+            ReplicaPayload::Bytes(v) => v.len(),
+            ReplicaPayload::I32s(v) => v.len(),
+            ReplicaPayload::I64s(v) => v.len(),
+            ReplicaPayload::F64s(v) => v.len(),
+            ReplicaPayload::Utf8(s) => s.len(),
+            ReplicaPayload::Object { bytes, .. } => bytes.len(),
+        }
+    }
+
+    /// Whether the payload holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size in bytes of the payload's data (what marshaling must touch).
+    pub fn data_bytes(&self) -> usize {
+        match self {
+            ReplicaPayload::Bytes(v) => v.len(),
+            ReplicaPayload::I32s(v) => v.len() * 4,
+            ReplicaPayload::I64s(v) => v.len() * 8,
+            ReplicaPayload::F64s(v) => v.len() * 8,
+            ReplicaPayload::Utf8(s) => s.len(),
+            ReplicaPayload::Object { type_name, bytes } => type_name.len() + bytes.len(),
+        }
+    }
+
+    /// Encodes the payload (tag + contents) onto a writer.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            ReplicaPayload::Bytes(v) => {
+                w.put_u8(0);
+                w.put_bytes(v);
+            }
+            ReplicaPayload::I32s(v) => {
+                w.put_u8(1);
+                w.put_u32(v.len() as u32);
+                for x in v {
+                    w.put_i32(*x);
+                }
+            }
+            ReplicaPayload::I64s(v) => {
+                w.put_u8(2);
+                w.put_u32(v.len() as u32);
+                for x in v {
+                    w.put_i64(*x);
+                }
+            }
+            ReplicaPayload::F64s(v) => {
+                w.put_u8(3);
+                w.put_u32(v.len() as u32);
+                for x in v {
+                    w.put_f64(*x);
+                }
+            }
+            ReplicaPayload::Utf8(s) => {
+                w.put_u8(4);
+                w.put_str(s);
+            }
+            ReplicaPayload::Object { type_name, bytes } => {
+                w.put_u8(5);
+                w.put_str(type_name);
+                w.put_bytes(bytes);
+            }
+        }
+    }
+
+    /// Decodes a payload from a reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncated input, bad tags, length overruns
+    /// or invalid UTF-8.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<ReplicaPayload, WireError> {
+        let tag = r.get_u8()?;
+        match tag {
+            0 => Ok(ReplicaPayload::Bytes(r.get_bytes()?.to_vec())),
+            1 => {
+                let n = checked_len(r, 4)?;
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(r.get_i32()?);
+                }
+                Ok(ReplicaPayload::I32s(v))
+            }
+            2 => {
+                let n = checked_len(r, 8)?;
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(r.get_i64()?);
+                }
+                Ok(ReplicaPayload::I64s(v))
+            }
+            3 => {
+                let n = checked_len(r, 8)?;
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(r.get_f64()?);
+                }
+                Ok(ReplicaPayload::F64s(v))
+            }
+            4 => Ok(ReplicaPayload::Utf8(r.get_string()?)),
+            5 => {
+                let type_name = r.get_string()?;
+                let bytes = r.get_bytes()?.to_vec();
+                Ok(ReplicaPayload::Object { type_name, bytes })
+            }
+            tag => Err(WireError::BadTag {
+                what: "ReplicaPayload",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Reads a `u32` element count and checks `count * elem_size` fits in the
+/// remaining input, guarding against hostile length prefixes.
+fn checked_len(r: &mut ByteReader<'_>, elem_size: usize) -> Result<usize, WireError> {
+    let n = r.get_u32()? as usize;
+    let need = n.saturating_mul(elem_size);
+    if need > r.remaining() {
+        return Err(WireError::LengthOverrun {
+            declared: need,
+            remaining: r.remaining(),
+        });
+    }
+    Ok(n)
+}
+
+impl Default for ReplicaPayload {
+    fn default() -> Self {
+        ReplicaPayload::empty()
+    }
+}
+
+impl fmt::Debug for ReplicaPayload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicaPayload::Object { type_name, bytes } => f
+                .debug_struct("Object")
+                .field("type_name", type_name)
+                .field("len", &bytes.len())
+                .finish(),
+            other => write!(f, "{}[len={}]", other.signature(), other.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(p: &ReplicaPayload) -> ReplicaPayload {
+        let mut w = ByteWriter::new();
+        p.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let out = ReplicaPayload::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        out
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let cases = vec![
+            ReplicaPayload::Bytes(vec![1, 2, 3]),
+            ReplicaPayload::I32s(vec![-1, 0, i32::MAX]),
+            ReplicaPayload::I64s(vec![i64::MIN, 42]),
+            ReplicaPayload::F64s(vec![1.5, -2.25]),
+            ReplicaPayload::Utf8("Good Choice".to_string()),
+            ReplicaPayload::Object {
+                type_name: "java.util.Hashtable".to_string(),
+                bytes: vec![9; 100],
+            },
+            ReplicaPayload::empty(),
+        ];
+        for p in &cases {
+            assert_eq!(&roundtrip(p), p);
+        }
+    }
+
+    #[test]
+    fn signatures_match_variants() {
+        assert_eq!(ReplicaPayload::I32s(vec![]).signature(), "int[]");
+        assert_eq!(ReplicaPayload::Utf8(String::new()).signature(), "String");
+        assert_eq!(
+            ReplicaPayload::Object {
+                type_name: "X".into(),
+                bytes: vec![]
+            }
+            .signature(),
+            "Object"
+        );
+    }
+
+    #[test]
+    fn data_bytes_accounts_for_element_width() {
+        assert_eq!(ReplicaPayload::I32s(vec![0; 10]).data_bytes(), 40);
+        assert_eq!(ReplicaPayload::F64s(vec![0.0; 10]).data_bytes(), 80);
+        assert_eq!(ReplicaPayload::Bytes(vec![0; 10]).data_bytes(), 10);
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected() {
+        // Tag 1 (I32s) claiming u32::MAX elements with 4 bytes of content.
+        let mut w = ByteWriter::new();
+        w.put_u8(1);
+        w.put_u32(u32::MAX);
+        w.put_u32(0);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            ReplicaPayload::decode(&mut r),
+            Err(WireError::LengthOverrun { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_tag_is_rejected() {
+        let mut r = ByteReader::new(&[200]);
+        assert!(matches!(
+            ReplicaPayload::decode(&mut r),
+            Err(WireError::BadTag {
+                what: "ReplicaPayload",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_default_and_is_empty() {
+        let p = ReplicaPayload::default();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn debug_is_compact_for_large_payloads() {
+        let p = ReplicaPayload::Bytes(vec![0; 1_000_000]);
+        let s = format!("{p:?}");
+        assert!(s.len() < 64, "debug was {s}");
+    }
+}

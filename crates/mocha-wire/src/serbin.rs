@@ -1,0 +1,726 @@
+//! A compact, non-self-describing serde binary format.
+//!
+//! This is the reproduction's stand-in for Java object serialization
+//! (`java.io.ObjectOutputStream` in the paper, [R+96]): the format complex
+//! shared objects are pickled into before crossing the network. Like
+//! Java serialization it is driven entirely by the object's structure; like
+//! bincode it is compact (fixed-width little-endian integers,
+//! `u32`-length-prefixed sequences).
+//!
+//! ```
+//! use serde::{Serialize, Deserialize};
+//!
+//! #[derive(Serialize, Deserialize, PartialEq, Debug)]
+//! struct TableSetting { flatware: i32, plates: i32, note: String }
+//!
+//! let value = TableSetting { flatware: 1, plates: 2, note: "Good Choice".into() };
+//! let bytes = mocha_wire::serbin::to_bytes(&value).unwrap();
+//! let back: TableSetting = mocha_wire::serbin::from_bytes(&bytes).unwrap();
+//! assert_eq!(back, value);
+//! ```
+
+use std::fmt;
+
+use serde::de::{self, DeserializeOwned, IntoDeserializer, Visitor};
+use serde::ser::{self, Serialize};
+
+use crate::io::{ByteReader, ByteWriter, WireError};
+
+/// Error produced by [`to_bytes`] / [`from_bytes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SerbinError {
+    /// Underlying wire-format problem (truncation, bad lengths, bad UTF-8).
+    Wire(WireError),
+    /// A serde-reported error (custom messages, unsupported shapes).
+    Message(String),
+}
+
+impl fmt::Display for SerbinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerbinError::Wire(e) => write!(f, "{e}"),
+            SerbinError::Message(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for SerbinError {}
+
+impl ser::Error for SerbinError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        SerbinError::Message(msg.to_string())
+    }
+}
+
+impl de::Error for SerbinError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        SerbinError::Message(msg.to_string())
+    }
+}
+
+impl From<WireError> for SerbinError {
+    fn from(e: WireError) -> Self {
+        SerbinError::Wire(e)
+    }
+}
+
+/// Serializes `value` to bytes.
+///
+/// # Errors
+///
+/// Returns an error for shapes the format cannot represent (sequences of
+/// unknown length) or custom serialize failures.
+pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, SerbinError> {
+    let mut ser = Serializer {
+        w: ByteWriter::new(),
+    };
+    value.serialize(&mut ser)?;
+    Ok(ser.w.into_bytes())
+}
+
+/// Deserializes a `T` from bytes produced by [`to_bytes`].
+///
+/// # Errors
+///
+/// Returns an error on malformed or truncated input, or when trailing
+/// bytes remain.
+pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, SerbinError> {
+    let mut de = Deserializer {
+        r: ByteReader::new(bytes),
+    };
+    let value = T::deserialize(&mut de)?;
+    de.r.finish()?;
+    Ok(value)
+}
+
+struct Serializer {
+    w: ByteWriter,
+}
+
+impl<'a> ser::Serializer for &'a mut Serializer {
+    type Ok = ();
+    type Error = SerbinError;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), SerbinError> {
+        self.w.put_bool(v);
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> Result<(), SerbinError> {
+        self.w.put_u8(v as u8);
+        Ok(())
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), SerbinError> {
+        self.w.put_u16(v as u16);
+        Ok(())
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), SerbinError> {
+        self.w.put_i32(v);
+        Ok(())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), SerbinError> {
+        self.w.put_i64(v);
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), SerbinError> {
+        self.w.put_u8(v);
+        Ok(())
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), SerbinError> {
+        self.w.put_u16(v);
+        Ok(())
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), SerbinError> {
+        self.w.put_u32(v);
+        Ok(())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), SerbinError> {
+        self.w.put_u64(v);
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), SerbinError> {
+        self.w.put_u32(v.to_bits());
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), SerbinError> {
+        self.w.put_f64(v);
+        Ok(())
+    }
+    fn serialize_char(self, v: char) -> Result<(), SerbinError> {
+        self.w.put_u32(v as u32);
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> Result<(), SerbinError> {
+        self.w.put_str(v);
+        Ok(())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), SerbinError> {
+        self.w.put_bytes(v);
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), SerbinError> {
+        self.w.put_u8(0);
+        Ok(())
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), SerbinError> {
+        self.w.put_u8(1);
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), SerbinError> {
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), SerbinError> {
+        Ok(())
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), SerbinError> {
+        self.w.put_u32(variant_index);
+        Ok(())
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), SerbinError> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), SerbinError> {
+        self.w.put_u32(variant_index);
+        value.serialize(self)
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<Compound<'a>, SerbinError> {
+        let len = len.ok_or_else(|| {
+            SerbinError::Message("serbin requires sequences of known length".into())
+        })?;
+        self.w.put_u32(len as u32);
+        Ok(Compound { ser: self })
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<Compound<'a>, SerbinError> {
+        Ok(Compound { ser: self })
+    }
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, SerbinError> {
+        Ok(Compound { ser: self })
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, SerbinError> {
+        self.w.put_u32(variant_index);
+        Ok(Compound { ser: self })
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<Compound<'a>, SerbinError> {
+        let len = len
+            .ok_or_else(|| SerbinError::Message("serbin requires maps of known length".into()))?;
+        self.w.put_u32(len as u32);
+        Ok(Compound { ser: self })
+    }
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, SerbinError> {
+        Ok(Compound { ser: self })
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, SerbinError> {
+        self.w.put_u32(variant_index);
+        Ok(Compound { ser: self })
+    }
+}
+
+struct Compound<'a> {
+    ser: &'a mut Serializer,
+}
+
+macro_rules! compound_impl {
+    ($trait:ident, $method:ident) => {
+        impl<'a> ser::$trait for Compound<'a> {
+            type Ok = ();
+            type Error = SerbinError;
+            fn $method<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), SerbinError> {
+                value.serialize(&mut *self.ser)
+            }
+            fn end(self) -> Result<(), SerbinError> {
+                Ok(())
+            }
+        }
+    };
+}
+compound_impl!(SerializeSeq, serialize_element);
+compound_impl!(SerializeTuple, serialize_element);
+compound_impl!(SerializeTupleStruct, serialize_field);
+compound_impl!(SerializeTupleVariant, serialize_field);
+
+impl<'a> ser::SerializeMap for Compound<'a> {
+    type Ok = ();
+    type Error = SerbinError;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), SerbinError> {
+        key.serialize(&mut *self.ser)
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), SerbinError> {
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), SerbinError> {
+        Ok(())
+    }
+}
+
+impl<'a> ser::SerializeStruct for Compound<'a> {
+    type Ok = ();
+    type Error = SerbinError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), SerbinError> {
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), SerbinError> {
+        Ok(())
+    }
+}
+
+impl<'a> ser::SerializeStructVariant for Compound<'a> {
+    type Ok = ();
+    type Error = SerbinError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), SerbinError> {
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), SerbinError> {
+        Ok(())
+    }
+}
+
+struct Deserializer<'de> {
+    r: ByteReader<'de>,
+}
+
+impl<'de> Deserializer<'de> {
+    fn bounded_len(&mut self, min_elem_size: usize) -> Result<usize, SerbinError> {
+        let n = self.r.get_u32()? as usize;
+        if n.saturating_mul(min_elem_size.max(1)) > self.r.remaining() {
+            return Err(SerbinError::Wire(WireError::LengthOverrun {
+                declared: n,
+                remaining: self.r.remaining(),
+            }));
+        }
+        Ok(n)
+    }
+}
+
+impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
+    type Error = SerbinError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, SerbinError> {
+        Err(SerbinError::Message(
+            "serbin is not self-describing; deserialize_any unsupported".into(),
+        ))
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerbinError> {
+        visitor.visit_bool(self.r.get_bool()?)
+    }
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerbinError> {
+        visitor.visit_i8(self.r.get_u8()? as i8)
+    }
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerbinError> {
+        visitor.visit_i16(self.r.get_u16()? as i16)
+    }
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerbinError> {
+        visitor.visit_i32(self.r.get_i32()?)
+    }
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerbinError> {
+        visitor.visit_i64(self.r.get_i64()?)
+    }
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerbinError> {
+        visitor.visit_u8(self.r.get_u8()?)
+    }
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerbinError> {
+        visitor.visit_u16(self.r.get_u16()?)
+    }
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerbinError> {
+        visitor.visit_u32(self.r.get_u32()?)
+    }
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerbinError> {
+        visitor.visit_u64(self.r.get_u64()?)
+    }
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerbinError> {
+        visitor.visit_f32(f32::from_bits(self.r.get_u32()?))
+    }
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerbinError> {
+        visitor.visit_f64(self.r.get_f64()?)
+    }
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerbinError> {
+        let raw = self.r.get_u32()?;
+        let c = char::from_u32(raw)
+            .ok_or_else(|| SerbinError::Message(format!("invalid char scalar {raw:#x}")))?;
+        visitor.visit_char(c)
+    }
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerbinError> {
+        let bytes = self.r.get_bytes()?;
+        let s = std::str::from_utf8(bytes).map_err(|_| SerbinError::Wire(WireError::BadUtf8))?;
+        visitor.visit_borrowed_str(s)
+    }
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerbinError> {
+        self.deserialize_str(visitor)
+    }
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerbinError> {
+        visitor.visit_borrowed_bytes(self.r.get_bytes()?)
+    }
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerbinError> {
+        visitor.visit_byte_buf(self.r.get_bytes()?.to_vec())
+    }
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerbinError> {
+        match self.r.get_u8()? {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            tag => Err(SerbinError::Wire(WireError::BadTag {
+                what: "Option",
+                tag,
+            })),
+        }
+    }
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerbinError> {
+        visitor.visit_unit()
+    }
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, SerbinError> {
+        visitor.visit_unit()
+    }
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, SerbinError> {
+        visitor.visit_newtype_struct(self)
+    }
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerbinError> {
+        let len = self.bounded_len(1)?;
+        visitor.visit_seq(SeqAccess { de: self, len })
+    }
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, SerbinError> {
+        visitor.visit_seq(SeqAccess { de: self, len })
+    }
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, SerbinError> {
+        visitor.visit_seq(SeqAccess { de: self, len })
+    }
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerbinError> {
+        let len = self.bounded_len(2)?;
+        visitor.visit_map(MapAccess {
+            de: self,
+            remaining: len,
+        })
+    }
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, SerbinError> {
+        visitor.visit_seq(SeqAccess {
+            de: self,
+            len: fields.len(),
+        })
+    }
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, SerbinError> {
+        visitor.visit_enum(EnumAccess { de: self })
+    }
+    fn deserialize_identifier<V: Visitor<'de>>(
+        self,
+        _visitor: V,
+    ) -> Result<V::Value, SerbinError> {
+        Err(SerbinError::Message(
+            "serbin does not encode identifiers".into(),
+        ))
+    }
+    fn deserialize_ignored_any<V: Visitor<'de>>(
+        self,
+        _visitor: V,
+    ) -> Result<V::Value, SerbinError> {
+        Err(SerbinError::Message(
+            "serbin cannot skip unknown content".into(),
+        ))
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+struct SeqAccess<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+    len: usize,
+}
+
+impl<'a, 'de> de::SeqAccess<'de> for SeqAccess<'a, 'de> {
+    type Error = SerbinError;
+
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, SerbinError> {
+        if self.len == 0 {
+            return Ok(None);
+        }
+        self.len -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.len)
+    }
+}
+
+struct MapAccess<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+    remaining: usize,
+}
+
+impl<'a, 'de> de::MapAccess<'de> for MapAccess<'a, 'de> {
+    type Error = SerbinError;
+
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, SerbinError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<V: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, SerbinError> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct EnumAccess<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+}
+
+impl<'a, 'de> de::EnumAccess<'de> for EnumAccess<'a, 'de> {
+    type Error = SerbinError;
+    type Variant = VariantAccess<'a, 'de>;
+
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, VariantAccess<'a, 'de>), SerbinError> {
+        let index = self.de.r.get_u32()?;
+        let value = seed.deserialize(IntoDeserializer::<SerbinError>::into_deserializer(index))?;
+        Ok((value, VariantAccess { de: self.de }))
+    }
+}
+
+struct VariantAccess<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+}
+
+impl<'a, 'de> de::VariantAccess<'de> for VariantAccess<'a, 'de> {
+    type Error = SerbinError;
+
+    fn unit_variant(self) -> Result<(), SerbinError> {
+        Ok(())
+    }
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, SerbinError> {
+        seed.deserialize(self.de)
+    }
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, SerbinError> {
+        visitor.visit_seq(SeqAccess { de: self.de, len })
+    }
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, SerbinError> {
+        visitor.visit_seq(SeqAccess {
+            de: self.de,
+            len: fields.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    fn roundtrip<T: Serialize + DeserializeOwned + PartialEq + fmt::Debug>(value: T) {
+        let bytes = to_bytes(&value).unwrap();
+        let back: T = from_bytes(&bytes).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(-5i8);
+        roundtrip(1234i16);
+        roundtrip(-77i32);
+        roundtrip(1i64 << 40);
+        roundtrip(200u8);
+        roundtrip(60000u16);
+        roundtrip(4_000_000_000u32);
+        roundtrip(u64::MAX);
+        roundtrip(1.5f32);
+        roundtrip(-2.75f64);
+        roundtrip('é');
+        roundtrip("hello world".to_string());
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        roundtrip(vec![1i32, 2, 3]);
+        roundtrip(Vec::<String>::new());
+        let mut map = BTreeMap::new();
+        map.insert("a".to_string(), 1i32);
+        map.insert("b".to_string(), 2);
+        roundtrip(map);
+        roundtrip((1i32, "pair".to_string(), 2.5f64));
+        roundtrip(Some(42i32));
+        roundtrip(Option::<i32>::None);
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Nested {
+        id: u32,
+        tags: Vec<String>,
+        inner: Option<Box<Nested>>,
+    }
+
+    #[test]
+    fn structs_roundtrip() {
+        roundtrip(Nested {
+            id: 1,
+            tags: vec!["x".into()],
+            inner: Some(Box::new(Nested {
+                id: 2,
+                tags: vec![],
+                inner: None,
+            })),
+        });
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    enum Shape {
+        Point,
+        Circle(f64),
+        Rect { w: f64, h: f64 },
+    }
+
+    #[test]
+    fn enums_roundtrip() {
+        roundtrip(Shape::Point);
+        roundtrip(Shape::Circle(2.0));
+        roundtrip(Shape::Rect { w: 1.0, h: 2.0 });
+        roundtrip(vec![Shape::Point, Shape::Circle(1.0)]);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let bytes = to_bytes(&vec![1i32, 2, 3]).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(from_bytes::<Vec<i32>>(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_error() {
+        let mut bytes = to_bytes(&7i32).unwrap();
+        bytes.push(0);
+        assert!(from_bytes::<i32>(&bytes).is_err());
+    }
+
+    #[test]
+    fn hostile_length_rejected() {
+        // A Vec<u64> claiming u32::MAX elements.
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX);
+        assert!(from_bytes::<Vec<u64>>(w.as_slice()).is_err());
+    }
+
+    #[test]
+    fn invalid_char_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u32(0xD800); // surrogate
+        assert!(from_bytes::<char>(w.as_slice()).is_err());
+    }
+
+    #[test]
+    fn bad_option_tag_rejected() {
+        assert!(from_bytes::<Option<i32>>(&[7]).is_err());
+    }
+
+    #[test]
+    fn format_is_compact() {
+        // 100 i32s = 4 bytes length + 400 bytes data.
+        let bytes = to_bytes(&vec![0i32; 100]).unwrap();
+        assert_eq!(bytes.len(), 404);
+    }
+}

@@ -1,0 +1,1269 @@
+//! Application threads: the lock()/unlock() client side (paper §3
+//! Figure 5) driven by per-thread scripts.
+//!
+//! In the simulator, "application code" is a [`Script`]: a sequence of
+//! [`Op`]s (acquire, write, release, compute, sleep…) executed by an
+//! [`AppRunner`]-managed thread state machine. The runner implements the
+//! client half of the consistency protocol:
+//!
+//! * **local queuing** — if another local thread holds or awaits a lock,
+//!   the caller waits locally first (Figure 5's leading `wait()`), and a
+//!   local hand-off still goes through the coordinator ("a local transfer
+//!   is not permitted to insure ... fairness");
+//! * **grant handling** — a `GRANT` carries the version and a flag; with
+//!   `NEEDNEWVERSION` the thread blocks until the local daemon applies the
+//!   incoming replica data;
+//! * **release** — computes the new version, triggers the daemon's
+//!   push-based dissemination when `UR > 1`, and reports the disseminated
+//!   set to the coordinator.
+//!
+//! Every state transition is timestamped into [`Record`]s, which is what
+//! the benchmark harness mines for latencies.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::Duration;
+
+use mocha_net::{ports, MsgClass};
+use mocha_sim::SimTime;
+use mocha_wire::message::{LockMode, VersionFlag};
+use mocha_wire::{LockId, Msg, ReplicaId, ReplicaPayload, SiteId, ThreadId, Version};
+
+use crate::cmd::{timer_ns, CmdSink, SendTag, Signal};
+
+/// Timer-token flag (within the APP namespace) distinguishing acquire
+/// retries from sleep expiries.
+const RETRY_FLAG: u64 = 1 << 32;
+
+/// How long a stranded thread waits before re-trying its acquire against
+/// the (possibly healed or relocated) home site.
+const HOME_RETRY: Duration = Duration::from_secs(2);
+
+/// How long a granted thread waits for its replica data before asking the
+/// coordinator again. Deliberately far beyond any legitimate transfer
+/// time so the retry never interrupts (and needlessly duplicates) a slow
+/// large transfer that is actually progressing.
+const DATA_RETRY: Duration = Duration::from_secs(20);
+use crate::config::AvailabilityConfig;
+use crate::daemon::SiteDaemon;
+use crate::replica::ReplicaSpec;
+
+/// The reserved lock id for unguarded (cached, consistency-free) replicas
+/// — the paper's image replicas "not associated with a ReplicaLock".
+pub const UNGUARDED: LockId = LockId(0);
+
+/// One scripted application operation.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Create/attach shared replicas guarded by `lock` and register them.
+    Register {
+        /// The guarding lock ([`UNGUARDED`] for consistency-free caching).
+        lock: LockId,
+        /// Replica declarations.
+        specs: Vec<ReplicaSpec>,
+    },
+    /// Configure the availability (UR) of a lock's replica set.
+    SetAvailability {
+        /// The lock.
+        lock: LockId,
+        /// The availability configuration.
+        avail: AvailabilityConfig,
+    },
+    /// Acquire a lock (blocks until granted and consistent).
+    Lock {
+        /// The lock.
+        lock: LockId,
+        /// Expected hold time reported to the coordinator (0 = default).
+        lease_ms: u32,
+        /// Exclusive or shared (read-only) access.
+        mode: LockMode,
+    },
+    /// Release a lock.
+    Unlock {
+        /// The lock.
+        lock: LockId,
+        /// Whether replicas were modified (advances the version).
+        dirty: bool,
+    },
+    /// Overwrite a replica's value.
+    Write {
+        /// Target replica.
+        replica: ReplicaId,
+        /// New value.
+        payload: ReplicaPayload,
+    },
+    /// Read a replica's value into the thread's observation log.
+    Read {
+        /// Source replica.
+        replica: ReplicaId,
+    },
+    /// Publish an unsynchronized cached replica's local value to all
+    /// members (no lock; last-writer-wins; §7 future work).
+    Publish {
+        /// The cached replica.
+        replica: ReplicaId,
+    },
+    /// Busy computation for the given duration.
+    Compute(Duration),
+    /// Idle sleep for the given duration.
+    Sleep(Duration),
+    /// Record a labelled timestamp.
+    Mark(String),
+}
+
+/// A fluent builder for thread scripts.
+///
+/// ```
+/// use mocha::app::Script;
+/// use mocha_wire::LockId;
+/// use std::time::Duration;
+///
+/// let script = Script::new()
+///     .register(LockId(1), &["sharedIndex"])
+///     .lock(LockId(1))
+///     .mark("critical-section")
+///     .unlock(LockId(1))
+///     .sleep(Duration::from_millis(10));
+/// assert_eq!(script.len(), 5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Script {
+    ops: Vec<Op>,
+}
+
+impl Script {
+    /// An empty script.
+    pub fn new() -> Script {
+        Script::default()
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the script has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Registers named replicas (empty initial payloads) under `lock`.
+    #[must_use]
+    pub fn register(mut self, lock: LockId, names: &[&str]) -> Script {
+        let specs = names
+            .iter()
+            .map(|n| ReplicaSpec::new(*n, ReplicaPayload::empty()))
+            .collect();
+        self.ops.push(Op::Register { lock, specs });
+        self
+    }
+
+    /// Registers replicas with explicit initial payloads under `lock`.
+    #[must_use]
+    pub fn register_specs(mut self, lock: LockId, specs: Vec<ReplicaSpec>) -> Script {
+        self.ops.push(Op::Register { lock, specs });
+        self
+    }
+
+    /// Sets the availability configuration for `lock`.
+    #[must_use]
+    pub fn set_availability(mut self, lock: LockId, avail: AvailabilityConfig) -> Script {
+        self.ops.push(Op::SetAvailability { lock, avail });
+        self
+    }
+
+    /// Acquires `lock` exclusively with the default lease.
+    #[must_use]
+    pub fn lock(mut self, lock: LockId) -> Script {
+        self.ops.push(Op::Lock {
+            lock,
+            lease_ms: 0,
+            mode: LockMode::Exclusive,
+        });
+        self
+    }
+
+    /// Acquires `lock` in shared (read-only) mode: concurrent shared
+    /// holders at different sites are allowed.
+    #[must_use]
+    pub fn lock_shared(mut self, lock: LockId) -> Script {
+        self.ops.push(Op::Lock {
+            lock,
+            lease_ms: 0,
+            mode: LockMode::Shared,
+        });
+        self
+    }
+
+    /// Acquires `lock` exclusively, declaring an expected hold time.
+    #[must_use]
+    pub fn lock_with_lease(mut self, lock: LockId, lease: Duration) -> Script {
+        self.ops.push(Op::Lock {
+            lock,
+            lease_ms: u32::try_from(lease.as_millis()).unwrap_or(u32::MAX),
+            mode: LockMode::Exclusive,
+        });
+        self
+    }
+
+    /// Releases `lock` without having written (version unchanged).
+    #[must_use]
+    pub fn unlock(mut self, lock: LockId) -> Script {
+        self.ops.push(Op::Unlock { lock, dirty: false });
+        self
+    }
+
+    /// Releases `lock` after writing (version advances, dissemination
+    /// runs).
+    #[must_use]
+    pub fn unlock_dirty(mut self, lock: LockId) -> Script {
+        self.ops.push(Op::Unlock { lock, dirty: true });
+        self
+    }
+
+    /// Writes `payload` into `replica`.
+    #[must_use]
+    pub fn write(mut self, replica: ReplicaId, payload: ReplicaPayload) -> Script {
+        self.ops.push(Op::Write { replica, payload });
+        self
+    }
+
+    /// Writes a byte payload of the given size (benchmark workloads).
+    #[must_use]
+    pub fn write_bytes(self, replica: ReplicaId, size: usize) -> Script {
+        self.write(replica, ReplicaPayload::Bytes(vec![0xAB; size]))
+    }
+
+    /// Reads `replica` into the observation log.
+    #[must_use]
+    pub fn read(mut self, replica: ReplicaId) -> Script {
+        self.ops.push(Op::Read { replica });
+        self
+    }
+
+    /// Publishes an unsynchronized cached replica (no lock required).
+    #[must_use]
+    pub fn publish(mut self, replica: ReplicaId) -> Script {
+        self.ops.push(Op::Publish { replica });
+        self
+    }
+
+    /// Computes (busy CPU) for `d`.
+    #[must_use]
+    pub fn compute(mut self, d: Duration) -> Script {
+        self.ops.push(Op::Compute(d));
+        self
+    }
+
+    /// Sleeps (idle) for `d`.
+    #[must_use]
+    pub fn sleep(mut self, d: Duration) -> Script {
+        self.ops.push(Op::Sleep(d));
+        self
+    }
+
+    /// Records a labelled timestamp.
+    #[must_use]
+    pub fn mark(mut self, label: impl Into<String>) -> Script {
+        self.ops.push(Op::Mark(label.into()));
+        self
+    }
+
+    /// Appends `body` `n` times.
+    #[must_use]
+    pub fn repeat(mut self, n: usize, body: Script) -> Script {
+        for _ in 0..n {
+            self.ops.extend(body.ops.iter().cloned());
+        }
+        self
+    }
+
+    /// Appends another script.
+    #[must_use]
+    pub fn then(mut self, other: Script) -> Script {
+        self.ops.extend(other.ops);
+        self
+    }
+}
+
+/// A timestamped event in a thread's life.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Event label, e.g. `"lock_granted:lock1"`.
+    pub label: String,
+    /// When it happened.
+    pub at: SimTime,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum TState {
+    Ready,
+    /// Waiting for a local thread to release the lock.
+    WaitLocal(LockId),
+    /// AcquireLock sent; awaiting GRANT.
+    WaitGrant(LockId),
+    /// GRANT said NEEDNEWVERSION; awaiting replica data.
+    WaitData { lock: LockId, need: Version },
+    /// The home site stopped answering; waiting for a surrogate
+    /// coordinator to announce itself.
+    WaitHome(LockId),
+    /// Dissemination in progress; the release message goes out when it
+    /// completes (with the *acknowledged* target set, so the
+    /// coordinator's up-to-date bookkeeping is never optimistic).
+    WaitPush {
+        lock: LockId,
+        new_version: Version,
+    },
+    Sleeping,
+    Done,
+    /// Stopped after an unrecoverable error (home unreachable).
+    Failed(String),
+}
+
+#[derive(Debug)]
+struct AppThread {
+    id: ThreadId,
+    ops: Vec<Op>,
+    pc: usize,
+    state: TState,
+    granted: HashMap<LockId, (Version, LockMode)>,
+    records: Vec<Record>,
+    observed: Vec<ReplicaPayload>,
+}
+
+#[derive(Debug, Default)]
+struct LocalLock {
+    holder: Option<usize>,
+    waiters: VecDeque<usize>,
+}
+
+/// Manages all scripted application threads at one site.
+#[derive(Debug)]
+pub struct AppRunner {
+    site: SiteId,
+    home: SiteId,
+    threads: Vec<AppThread>,
+    avail: HashMap<LockId, AvailabilityConfig>,
+    local_locks: HashMap<LockId, LocalLock>,
+    /// Locks revoked by the coordinator while held here.
+    revoked: HashSet<LockId>,
+    /// Mode of the outstanding acquire per lock.
+    pending_mode: HashMap<LockId, LockMode>,
+}
+
+impl AppRunner {
+    /// Creates a runner for `site` whose coordinator lives at `home`.
+    pub fn new(site: SiteId, home: SiteId) -> AppRunner {
+        AppRunner {
+            site,
+            home,
+            threads: Vec::new(),
+            avail: HashMap::new(),
+            local_locks: HashMap::new(),
+            revoked: HashSet::new(),
+            pending_mode: HashMap::new(),
+        }
+    }
+
+    /// Adds a thread executing `script`; it becomes runnable immediately.
+    pub fn add_thread(&mut self, script: Script) -> ThreadId {
+        let id = ThreadId(self.threads.len() as u32);
+        self.threads.push(AppThread {
+            id,
+            ops: script.ops,
+            pc: 0,
+            state: TState::Ready,
+            granted: HashMap::new(),
+            records: Vec::new(),
+            observed: Vec::new(),
+        });
+        id
+    }
+
+    /// All records of a thread, in order.
+    pub fn records(&self, thread: ThreadId) -> &[Record] {
+        &self.threads[thread.as_raw() as usize].records
+    }
+
+    /// Records across all threads at this site, in thread order.
+    pub fn all_records(&self) -> Vec<(ThreadId, Record)> {
+        self.threads
+            .iter()
+            .flat_map(|t| t.records.iter().cloned().map(move |r| (t.id, r)))
+            .collect()
+    }
+
+    /// Payloads observed by `Read` ops, across all threads in order.
+    pub fn observed(&self) -> Vec<ReplicaPayload> {
+        self.threads
+            .iter()
+            .flat_map(|t| t.observed.iter().cloned())
+            .collect()
+    }
+
+    /// Whether every thread has finished (successfully or not).
+    pub fn all_done(&self) -> bool {
+        self.threads
+            .iter()
+            .all(|t| matches!(t.state, TState::Done | TState::Failed(_)))
+    }
+
+    /// Error messages of failed threads.
+    pub fn failures(&self) -> Vec<(ThreadId, String)> {
+        self.threads
+            .iter()
+            .filter_map(|t| match &t.state {
+                TState::Failed(e) => Some((t.id, e.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn record(thread: &mut AppThread, now: SimTime, label: impl Into<String>) {
+        thread.records.push(Record {
+            label: label.into(),
+            at: now,
+        });
+    }
+
+    /// Runs every runnable thread until it blocks or finishes. Call after
+    /// any event delivery.
+    pub fn run(&mut self, now: SimTime, daemon: &mut SiteDaemon, sink: &mut CmdSink) {
+        loop {
+            let Some(idx) = self.threads.iter().position(|t| t.state == TState::Ready) else {
+                return;
+            };
+            self.run_thread(idx, now, daemon, sink);
+        }
+    }
+
+    /// Executes one thread until it blocks or finishes.
+    fn run_thread(
+        &mut self,
+        idx: usize,
+        now: SimTime,
+        daemon: &mut SiteDaemon,
+        sink: &mut CmdSink,
+    ) {
+        loop {
+            if self.threads[idx].state != TState::Ready {
+                return;
+            }
+            if self.threads[idx].pc >= self.threads[idx].ops.len() {
+                self.threads[idx].state = TState::Done;
+                return;
+            }
+            let op = self.threads[idx].ops[self.threads[idx].pc].clone();
+            match op {
+                Op::Register { lock, specs } => {
+                    daemon.register_local(lock, &specs, sink);
+                    self.threads[idx].pc += 1;
+                }
+                Op::SetAvailability { lock, avail } => {
+                    self.avail.insert(lock, avail);
+                    self.threads[idx].pc += 1;
+                }
+                Op::Lock {
+                    lock,
+                    lease_ms,
+                    mode,
+                } => {
+                    let ll = self.local_locks.entry(lock).or_default();
+                    if ll.holder == Some(idx) {
+                        // Woken after a local wait: proceed to acquire.
+                    } else if ll.holder.is_none() && ll.waiters.is_empty() {
+                        ll.holder = Some(idx);
+                    } else {
+                        if !ll.waiters.contains(&idx) {
+                            ll.waiters.push_back(idx);
+                        }
+                        self.threads[idx].state = TState::WaitLocal(lock);
+                        return;
+                    }
+                    let site = self.site;
+                    let home = self.home;
+                    let thread = &mut self.threads[idx];
+                    Self::record(thread, now, format!("lock_request:{lock}"));
+                    let msg = Msg::AcquireLock {
+                        lock,
+                        site,
+                        thread: thread.id,
+                        lease_hint_ms: lease_ms,
+                        mode,
+                    };
+                    sink.send_tagged(
+                        home,
+                        ports::SYNC,
+                        msg,
+                        MsgClass::Control,
+                        SendTag::Acquire { lock },
+                    );
+                    thread.state = TState::WaitGrant(lock);
+                    self.pending_mode.insert(lock, mode);
+                    // pc advances now; the grant unblocks the next op.
+                    thread.pc += 1;
+                    return;
+                }
+                Op::Unlock { lock, dirty } => {
+                    let Some(&(granted, mode)) = self.threads[idx].granted.get(&lock) else {
+                        self.threads[idx].state =
+                            TState::Failed(format!("unlock of unheld {lock}"));
+                        return;
+                    };
+                    let revoked = self.revoked.remove(&lock);
+                    // Writes under a shared hold were rejected, so a
+                    // shared release never advances the version.
+                    let dirty = dirty && mode == LockMode::Exclusive;
+                    let new_version = if dirty { granted.next() } else { granted };
+                    let avail = self.avail.get(&lock).copied().unwrap_or_default();
+                    let ur = if dirty && !revoked { avail.ur } else { 1 };
+                    let disseminated = daemon.disseminate(lock, new_version, ur, sink);
+                    {
+                        let thread = &mut self.threads[idx];
+                        thread.granted.remove(&lock);
+                        Self::record(thread, now, format!("unlock:{lock}"));
+                        if revoked {
+                            Self::record(thread, now, format!("unlock_revoked:{lock}"));
+                        }
+                    }
+                    // The release goes out (or is deferred until pushes
+                    // ack) BEFORE the local hand-off, so a successor's
+                    // acquire can never overtake it to the coordinator.
+                    if disseminated.is_empty() {
+                        sink.send(
+                            self.home,
+                            ports::SYNC,
+                            Msg::ReleaseLock {
+                                lock,
+                                site: self.site,
+                                new_version,
+                                disseminated_to: Vec::new(),
+                            },
+                            MsgClass::Control,
+                        );
+                    }
+                    // Local hand-off: next local waiter becomes the holder
+                    // and re-runs its Lock op (which sends its own acquire
+                    // to the coordinator — no local data short-circuit).
+                    let ll = self.local_locks.entry(lock).or_default();
+                    ll.holder = None;
+                    if let Some(next) = ll.waiters.pop_front() {
+                        ll.holder = Some(next);
+                        if self.threads[next].state == TState::WaitLocal(lock) {
+                            self.threads[next].state = TState::Ready;
+                        }
+                    }
+                    let thread = &mut self.threads[idx];
+                    thread.pc += 1;
+                    if !disseminated.is_empty() {
+                        // The release follows once dissemination is
+                        // acknowledged: the coordinator must never believe
+                        // a site is up to date before it actually is.
+                        thread.state = TState::WaitPush { lock, new_version };
+                        return;
+                    }
+                }
+                Op::Write { replica, payload } => {
+                    if let Err(lock) = self.check_guard(idx, daemon, replica, true) {
+                        let thread = &mut self.threads[idx];
+                        Self::record(thread, now, format!("guard_violation:{lock}"));
+                        thread.pc += 1;
+                        continue;
+                    }
+                    if let Err(e) = daemon.write(replica, payload) {
+                        self.threads[idx].state = TState::Failed(e.to_string());
+                        return;
+                    }
+                    self.threads[idx].pc += 1;
+                }
+                Op::Read { replica } => {
+                    if let Err(lock) = self.check_guard(idx, daemon, replica, false) {
+                        let thread = &mut self.threads[idx];
+                        Self::record(thread, now, format!("guard_violation:{lock}"));
+                        thread.pc += 1;
+                        continue;
+                    }
+                    match daemon.read(replica) {
+                        Ok(p) => {
+                            let p = p.clone();
+                            self.threads[idx].observed.push(p);
+                        }
+                        Err(e) => {
+                            self.threads[idx].state = TState::Failed(e.to_string());
+                            return;
+                        }
+                    }
+                    self.threads[idx].pc += 1;
+                }
+                Op::Publish { replica } => {
+                    if let Err(e) = daemon.publish(replica, sink) {
+                        self.threads[idx].state = TState::Failed(e.to_string());
+                        return;
+                    }
+                    self.threads[idx].pc += 1;
+                }
+                Op::Compute(d) => {
+                    sink.charge_time(d);
+                    self.threads[idx].pc += 1;
+                }
+                Op::Sleep(d) => {
+                    let token = timer_ns::APP | idx as u64;
+                    sink.set_timer(token, d);
+                    self.threads[idx].state = TState::Sleeping;
+                    self.threads[idx].pc += 1;
+                    return;
+                }
+                Op::Mark(label) => {
+                    let thread = &mut self.threads[idx];
+                    Self::record(thread, now, label);
+                    thread.pc += 1;
+                }
+            }
+        }
+    }
+
+    /// Entry-consistency guard: a replica associated with a lock may only
+    /// be accessed while this thread holds that lock. Unguarded replicas
+    /// (the paper's cached image replicas) are always accessible.
+    fn check_guard(
+        &self,
+        idx: usize,
+        daemon: &SiteDaemon,
+        replica: ReplicaId,
+        write: bool,
+    ) -> Result<(), LockId> {
+        match daemon.lock_of(replica) {
+            Some(lock) if lock != UNGUARDED => match self.threads[idx].granted.get(&lock) {
+                Some((_, LockMode::Exclusive)) => Ok(()),
+                Some((_, LockMode::Shared)) if !write => Ok(()),
+                _ => Err(lock),
+            },
+            _ => Ok(()),
+        }
+    }
+
+    /// Handles a protocol message addressed to the APP port.
+    pub fn on_msg(
+        &mut self,
+        now: SimTime,
+        _from: SiteId,
+        msg: Msg,
+        daemon: &mut SiteDaemon,
+        sink: &mut CmdSink,
+    ) {
+        match msg {
+            Msg::Grant {
+                lock,
+                version,
+                flag,
+            } => {
+                let Some(idx) = self
+                    .threads
+                    .iter()
+                    .position(|t| t.state == TState::WaitGrant(lock))
+                else {
+                    sink.note(format!("grant for {lock} with no waiter"));
+                    return;
+                };
+                let mode = self
+                    .pending_mode
+                    .remove(&lock)
+                    .unwrap_or(LockMode::Exclusive);
+                {
+                    let thread = &mut self.threads[idx];
+                    thread.granted.insert(lock, (version, mode));
+                    Self::record(thread, now, format!("lock_granted:{lock}"));
+                }
+                let have = daemon.version_of(lock);
+                if flag == VersionFlag::VersionOk || have >= version {
+                    let thread = &mut self.threads[idx];
+                    Self::record(thread, now, format!("lock_acquired:{lock}"));
+                    thread.state = TState::Ready;
+                } else {
+                    self.threads[idx].state = TState::WaitData {
+                        lock,
+                        need: version,
+                    };
+                    // Guard against a failed data leg (e.g. the transfer
+                    // source is partitioned from us): re-ask the
+                    // coordinator if the data does not arrive. The
+                    // coordinator re-grants and re-directs the transfer.
+                    sink.set_timer(timer_ns::APP | RETRY_FLAG | idx as u64, DATA_RETRY);
+                }
+                self.run(now, daemon, sink);
+            }
+            Msg::Heartbeat { lock, req } => {
+                // Liveness + hold check from the coordinator (§4).
+                let holding = self
+                    .threads
+                    .iter()
+                    .any(|t| t.granted.contains_key(&lock));
+                sink.send(
+                    _from,
+                    ports::SYNC,
+                    Msg::HeartbeatAck {
+                        site: self.site,
+                        req,
+                        holding,
+                    },
+                    MsgClass::Control,
+                );
+            }
+            Msg::LockRevoked { lock, .. } => {
+                let mut held = false;
+                for t in &mut self.threads {
+                    if t.granted.contains_key(&lock) {
+                        Self::record(t, now, format!("revoked:{lock}"));
+                        held = true;
+                    }
+                }
+                if held {
+                    self.revoked.insert(lock);
+                }
+            }
+            other => {
+                sink.note(format!("app runner ignoring {other:?}"));
+            }
+        }
+    }
+
+    /// Handles a local signal from the daemon.
+    pub fn on_signal(
+        &mut self,
+        now: SimTime,
+        signal: &Signal,
+        daemon: &mut SiteDaemon,
+        sink: &mut CmdSink,
+    ) {
+        match signal {
+            Signal::DataArrived { lock, version } => {
+                for idx in 0..self.threads.len() {
+                    if let TState::WaitData { lock: l, need } = self.threads[idx].state.clone() {
+                        if l == *lock {
+                            let label = if *version >= need {
+                                format!("data_ready:{lock}")
+                            } else {
+                                // Weakened consistency: the freshest
+                                // surviving version is older than promised.
+                                format!("data_stale:{lock}")
+                            };
+                            let local = daemon.version_of(*lock);
+                            let thread = &mut self.threads[idx];
+                            Self::record(thread, now, label);
+                            Self::record(thread, now, format!("lock_acquired:{lock}"));
+                            // The thread proceeds with whatever version
+                            // the daemon now holds.
+                            let mode = thread
+                                .granted
+                                .get(lock)
+                                .map(|(_, m)| *m)
+                                .unwrap_or(LockMode::Exclusive);
+                            thread.granted.insert(*lock, (local, mode));
+                            thread.state = TState::Ready;
+                        }
+                    }
+                }
+                self.run(now, daemon, sink);
+            }
+            Signal::PushesComplete { lock, acked } => {
+                let site = self.site;
+                let home = self.home;
+                for t in &mut self.threads {
+                    if let TState::WaitPush {
+                        lock: l,
+                        new_version,
+                    } = t.state.clone()
+                    {
+                        if l == *lock {
+                            Self::record(t, now, format!("pushes_done:{lock}"));
+                            sink.send(
+                                home,
+                                ports::SYNC,
+                                Msg::ReleaseLock {
+                                    lock: *lock,
+                                    site,
+                                    new_version,
+                                    disseminated_to: acked.clone(),
+                                },
+                                MsgClass::Control,
+                            );
+                            t.state = TState::Ready;
+                        }
+                    }
+                }
+                self.run(now, daemon, sink);
+            }
+            Signal::HomeChanged { new_home } => {
+                self.on_home_changed(now, *new_home, sink);
+            }
+            Signal::SpawnDone { .. } => {}
+        }
+    }
+
+    /// Handles an application timer (sleep expiry).
+    /// Returns `true` if the token belonged to this component.
+    pub fn on_timer(
+        &mut self,
+        now: SimTime,
+        token: u64,
+        daemon: &mut SiteDaemon,
+        sink: &mut CmdSink,
+    ) -> bool {
+        if timer_ns::of(token) != timer_ns::APP {
+            return false;
+        }
+        let idx = (token & 0xffff_ffff) as usize;
+        if token & RETRY_FLAG != 0 {
+            // Acquire retry for a thread stranded by home unreachability
+            // or by a transfer whose data leg failed.
+            let lock = match self.threads.get(idx).map(|t| t.state.clone()) {
+                Some(TState::WaitHome(lock)) => lock,
+                Some(TState::WaitData { lock, .. }) => lock,
+                _ => return true, // recovered some other way
+            };
+            // Ask the daemon for the coordinator's current location (§4:
+            // threads "query the local daemon thread to obtain the
+            // location of the newly created surrogate synchronization
+            // thread").
+            self.home = daemon.home();
+            let mode = self.threads[idx]
+                .granted
+                .get(&lock)
+                .map(|(_, m)| *m)
+                .or_else(|| self.pending_mode.get(&lock).copied())
+                .unwrap_or(LockMode::Exclusive);
+            self.pending_mode.insert(lock, mode);
+            let t = &mut self.threads[idx];
+            Self::record(t, now, format!("reacquire_retry:{lock}"));
+            sink.send_tagged(
+                self.home,
+                ports::SYNC,
+                Msg::AcquireLock {
+                    lock,
+                    site: self.site,
+                    thread: t.id,
+                    lease_hint_ms: 0,
+                    mode,
+                },
+                MsgClass::Control,
+                SendTag::Acquire { lock },
+            );
+            t.state = TState::WaitGrant(lock);
+            return true;
+        }
+        if let Some(t) = self.threads.get_mut(idx) {
+            if t.state == TState::Sleeping {
+                t.state = TState::Ready;
+            }
+        }
+        self.run(now, daemon, sink);
+        true
+    }
+
+    /// Handles a transport failure of a tagged application send. The
+    /// thread does not fail outright: it waits for either a surrogate
+    /// coordinator announcement (§4's synchronization-thread recovery) or
+    /// a periodic retry — the home may merely be partitioned away and the
+    /// path may heal.
+    pub fn on_send_failed(&mut self, now: SimTime, tag: &SendTag, sink: &mut CmdSink) {
+        if let SendTag::Acquire { lock } = tag {
+            for (idx, t) in self.threads.iter_mut().enumerate() {
+                if t.state == TState::WaitGrant(*lock) {
+                    Self::record(t, now, format!("home_unreachable:{lock}"));
+                    t.state = TState::WaitHome(*lock);
+                    sink.set_timer(timer_ns::APP | RETRY_FLAG | idx as u64, HOME_RETRY);
+                }
+            }
+        }
+    }
+
+    /// Handles the surrogate-coordinator announcement: redirect, and
+    /// resend any acquire that was outstanding or stranded.
+    pub fn on_home_changed(&mut self, now: SimTime, new_home: SiteId, sink: &mut CmdSink) {
+        self.home = new_home;
+        let site = self.site;
+        for t in &mut self.threads {
+            let lock = match t.state {
+                TState::WaitHome(lock) | TState::WaitGrant(lock) => lock,
+                _ => continue,
+            };
+            let mode = self
+                .pending_mode
+                .get(&lock)
+                .copied()
+                .unwrap_or(LockMode::Exclusive);
+            Self::record(t, now, format!("reacquire_at_surrogate:{lock}"));
+            sink.send_tagged(
+                new_home,
+                ports::SYNC,
+                Msg::AcquireLock {
+                    lock,
+                    site,
+                    thread: t.id,
+                    lease_hint_ms: 0,
+                    mode,
+                },
+                MsgClass::Control,
+                SendTag::Acquire { lock },
+            );
+            t.state = TState::WaitGrant(lock);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmd::Cmd;
+    use mocha_wire::codec::CodecKind;
+    use mocha_wire::RequestId;
+
+    const SITE: SiteId = SiteId(1);
+    const HOME: SiteId = SiteId(0);
+    const L: LockId = LockId(1);
+
+    fn setup() -> (AppRunner, SiteDaemon, CmdSink) {
+        (
+            AppRunner::new(SITE, HOME),
+            SiteDaemon::new(SITE, HOME, CodecKind::ByteAtATime),
+            CmdSink::new(),
+        )
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_millis(ms)
+    }
+
+    fn grant(version: u64, flag: VersionFlag) -> Msg {
+        Msg::Grant {
+            lock: L,
+            version: Version(version),
+            flag,
+        }
+    }
+
+    #[test]
+    fn lock_sends_acquire_and_blocks() {
+        let (mut r, mut d, mut sink) = setup();
+        let th = r.add_thread(Script::new().register(L, &["x"]).lock(L).unlock(L));
+        r.run(t(0), &mut d, &mut sink);
+        let cmds = sink.drain();
+        assert!(cmds.iter().any(|c| matches!(c,
+            Cmd::Send { msg: Msg::AcquireLock { lock, .. }, .. } if *lock == L)));
+        assert!(!r.all_done());
+        assert_eq!(r.records(th).last().unwrap().label, "lock_request:lock1");
+    }
+
+    #[test]
+    fn version_ok_grant_unblocks_immediately() {
+        let (mut r, mut d, mut sink) = setup();
+        let th = r.add_thread(Script::new().register(L, &["x"]).lock(L).unlock(L));
+        r.run(t(0), &mut d, &mut sink);
+        sink.drain();
+        r.on_msg(t(5), HOME, grant(0, VersionFlag::VersionOk), &mut d, &mut sink);
+        assert!(r.all_done());
+        let labels: Vec<&str> = r.records(th).iter().map(|rec| rec.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "lock_request:lock1",
+                "lock_granted:lock1",
+                "lock_acquired:lock1",
+                "unlock:lock1"
+            ]
+        );
+        // Release was sent with unchanged version (clean unlock).
+        let release_ok = sink.drain().iter().any(|c| matches!(c,
+            Cmd::Send { msg: Msg::ReleaseLock { new_version, .. }, .. }
+                if *new_version == Version(0)));
+        assert!(release_ok);
+    }
+
+    #[test]
+    fn need_new_version_waits_for_data() {
+        let (mut r, mut d, mut sink) = setup();
+        let th = r.add_thread(Script::new().register(L, &["x"]).lock(L).unlock(L));
+        r.run(t(0), &mut d, &mut sink);
+        sink.drain();
+        r.on_msg(t(5), HOME, grant(3, VersionFlag::NeedNewVersion), &mut d, &mut sink);
+        assert!(!r.all_done(), "must wait for data");
+        // Data arrives at the daemon.
+        d.on_msg(
+            t(9),
+            SiteId(2),
+            Msg::ReplicaData {
+                lock: L,
+                version: Version(3),
+                updates: vec![],
+                req: RequestId(0),
+            },
+            &mut sink,
+        );
+        r.on_signal(
+            t(10),
+            &Signal::DataArrived {
+                lock: L,
+                version: Version(3),
+            },
+            &mut d,
+            &mut sink,
+        );
+        assert!(r.all_done());
+        let labels: Vec<&str> = r.records(th).iter().map(|rec| rec.label.as_str()).collect();
+        assert!(labels.contains(&"data_ready:lock1"));
+    }
+
+    #[test]
+    fn stale_data_is_labelled_and_still_unblocks() {
+        let (mut r, mut d, mut sink) = setup();
+        let th = r.add_thread(Script::new().register(L, &["x"]).lock(L).unlock(L));
+        r.run(t(0), &mut d, &mut sink);
+        sink.drain();
+        r.on_msg(t(5), HOME, grant(9, VersionFlag::NeedNewVersion), &mut d, &mut sink);
+        // Recovery could only find version 2.
+        d.on_msg(
+            t(9),
+            SiteId(2),
+            Msg::ReplicaData {
+                lock: L,
+                version: Version(2),
+                updates: vec![],
+                req: RequestId(0),
+            },
+            &mut sink,
+        );
+        r.on_signal(
+            t(10),
+            &Signal::DataArrived {
+                lock: L,
+                version: Version(2),
+            },
+            &mut d,
+            &mut sink,
+        );
+        assert!(r.all_done());
+        let labels: Vec<&str> = r.records(th).iter().map(|rec| rec.label.as_str()).collect();
+        assert!(labels.contains(&"data_stale:lock1"));
+    }
+
+    #[test]
+    fn dirty_unlock_advances_version() {
+        let (mut r, mut d, mut sink) = setup();
+        let x = crate::replica::replica_id("x");
+        r.add_thread(
+            Script::new()
+                .register(L, &["x"])
+                .lock(L)
+                .write(x, ReplicaPayload::I32s(vec![1]))
+                .unlock_dirty(L),
+        );
+        r.run(t(0), &mut d, &mut sink);
+        sink.drain();
+        r.on_msg(t(5), HOME, grant(4, VersionFlag::VersionOk), &mut d, &mut sink);
+        let release_version = sink.drain().into_iter().find_map(|c| match c {
+            Cmd::Send {
+                msg: Msg::ReleaseLock { new_version, .. },
+                ..
+            } => Some(new_version),
+            _ => None,
+        });
+        assert_eq!(release_version, Some(Version(5)));
+        assert_eq!(d.version_of(L), Version(5));
+    }
+
+    #[test]
+    fn local_threads_queue_fairly_and_both_contact_coordinator() {
+        let (mut r, mut d, mut sink) = setup();
+        r.add_thread(Script::new().register(L, &["x"]).lock(L).unlock(L));
+        r.add_thread(Script::new().lock(L).unlock(L));
+        r.run(t(0), &mut d, &mut sink);
+        // Only one acquire so far (thread 1 waits locally).
+        let acquires = sink
+            .drain()
+            .iter()
+            .filter(|c| matches!(c, Cmd::Send { msg: Msg::AcquireLock { .. }, .. }))
+            .count();
+        assert_eq!(acquires, 1);
+        // Grant thread 0; it unlocks; thread 1 must then send its own
+        // acquire (no local short-circuit).
+        r.on_msg(t(5), HOME, grant(0, VersionFlag::VersionOk), &mut d, &mut sink);
+        let acquires = sink
+            .drain()
+            .iter()
+            .filter(|c| matches!(c, Cmd::Send { msg: Msg::AcquireLock { .. }, .. }))
+            .count();
+        assert_eq!(acquires, 1, "second thread contacts coordinator");
+        r.on_msg(t(8), HOME, grant(0, VersionFlag::VersionOk), &mut d, &mut sink);
+        assert!(r.all_done());
+    }
+
+    #[test]
+    fn guarded_access_without_lock_is_recorded() {
+        let (mut r, mut d, mut sink) = setup();
+        let x = crate::replica::replica_id("x");
+        let th = r.add_thread(
+            Script::new()
+                .register(L, &["x"])
+                .write(x, ReplicaPayload::I32s(vec![1])), // no lock held!
+        );
+        r.run(t(0), &mut d, &mut sink);
+        let labels: Vec<&str> = r.records(th).iter().map(|rec| rec.label.as_str()).collect();
+        assert!(labels.iter().any(|l| l.starts_with("guard_violation")));
+    }
+
+    #[test]
+    fn unguarded_replicas_are_freely_accessible() {
+        let (mut r, mut d, mut sink) = setup();
+        let img = crate::replica::replica_id("image");
+        r.add_thread(
+            Script::new()
+                .register(UNGUARDED, &["image"])
+                .write(img, ReplicaPayload::Bytes(vec![1, 2]))
+                .read(img),
+        );
+        r.run(t(0), &mut d, &mut sink);
+        assert!(r.all_done());
+        assert_eq!(r.observed(), vec![ReplicaPayload::Bytes(vec![1, 2])]);
+    }
+
+    #[test]
+    fn sleep_blocks_until_timer() {
+        let (mut r, mut d, mut sink) = setup();
+        r.add_thread(Script::new().sleep(Duration::from_millis(50)).mark("woke"));
+        r.run(t(0), &mut d, &mut sink);
+        assert!(!r.all_done());
+        let token = timer_ns::APP;
+        assert!(r.on_timer(t(50), token, &mut d, &mut sink));
+        assert!(r.all_done());
+    }
+
+    #[test]
+    fn home_unreachable_waits_for_surrogate_and_reacquires() {
+        let (mut r, mut d, mut sink) = setup();
+        let th = r.add_thread(Script::new().register(L, &["x"]).lock(L).unlock(L));
+        r.run(t(0), &mut d, &mut sink);
+        sink.drain();
+        r.on_send_failed(t(10), &SendTag::Acquire { lock: L }, &mut sink);
+        assert!(!r.all_done(), "thread waits for a surrogate");
+        // A surrogate at site 5 announces itself.
+        r.on_home_changed(t(20), SiteId(5), &mut sink);
+        let resent = sink.drain().iter().any(|c| matches!(c,
+            Cmd::Send { to, msg: Msg::AcquireLock { .. }, .. } if *to == SiteId(5)));
+        assert!(resent, "acquire re-sent to the surrogate");
+        // Grant from the surrogate completes the script.
+        r.on_msg(t(25), SiteId(5), grant(0, VersionFlag::VersionOk), &mut d, &mut sink);
+        assert!(r.all_done());
+        let labels: Vec<&str> = r.records(th).iter().map(|rec| rec.label.as_str()).collect();
+        assert!(labels.contains(&"home_unreachable:lock1"));
+        assert!(labels.contains(&"reacquire_at_surrogate:lock1"));
+    }
+
+    #[test]
+    fn unlock_without_lock_fails() {
+        let (mut r, mut d, mut sink) = setup();
+        r.add_thread(Script::new().unlock(L));
+        r.run(t(0), &mut d, &mut sink);
+        assert_eq!(r.failures().len(), 1);
+    }
+
+    #[test]
+    fn revocation_while_held_marks_the_release() {
+        let (mut r, mut d, mut sink) = setup();
+        let th = r.add_thread(
+            Script::new()
+                .register(L, &["x"])
+                .lock(L)
+                .sleep(Duration::from_millis(100)) // long critical section
+                .unlock_dirty(L),
+        );
+        r.run(t(0), &mut d, &mut sink);
+        sink.drain();
+        r.on_msg(t(5), HOME, grant(0, VersionFlag::VersionOk), &mut d, &mut sink);
+        // While sleeping, the coordinator breaks the lock.
+        r.on_msg(
+            t(50),
+            HOME,
+            Msg::LockRevoked {
+                lock: L,
+                version: Version(0),
+            },
+            &mut d,
+            &mut sink,
+        );
+        // Wake up and unlock.
+        assert!(r.on_timer(t(105), timer_ns::APP, &mut d, &mut sink));
+        assert!(r.all_done());
+        let labels: Vec<&str> = r.records(th).iter().map(|rec| rec.label.as_str()).collect();
+        assert!(labels.contains(&"revoked:lock1"));
+        assert!(labels.contains(&"unlock_revoked:lock1"));
+    }
+
+    #[test]
+    fn wait_for_acks_blocks_until_pushes_complete() {
+        let (mut r, mut d, mut sink) = setup();
+        // Site knows about a peer member so dissemination has a target.
+        let th = r.add_thread(
+            Script::new()
+                .register(L, &["x"])
+                .set_availability(
+                    L,
+                    AvailabilityConfig {
+                        ur: 2,
+                        wait_for_acks: true,
+                    },
+                )
+                .lock(L)
+                .unlock_dirty(L),
+        );
+        r.run(t(0), &mut d, &mut sink);
+        sink.drain();
+        // Teach the daemon about member site 2 (coordinator forward).
+        d.on_msg(
+            t(1),
+            HOME,
+            Msg::RegisterReplica {
+                lock: L,
+                replica: crate::replica::replica_id("x"),
+                site: SiteId(2),
+                name: "x".into(),
+            },
+            &mut sink,
+        );
+        sink.drain();
+        r.on_msg(t(5), HOME, grant(0, VersionFlag::VersionOk), &mut d, &mut sink);
+        assert!(!r.all_done(), "waiting for push acks");
+        // Ack arrives at the daemon; daemon signals completion.
+        d.on_msg(
+            t(9),
+            SiteId(2),
+            Msg::PushAck {
+                lock: L,
+                version: Version(1),
+                site: SiteId(2),
+                req: RequestId(1),
+            },
+            &mut sink,
+        );
+        r.on_signal(
+            t(10),
+            &Signal::PushesComplete {
+                lock: L,
+                acked: vec![SiteId(2)],
+            },
+            &mut d,
+            &mut sink,
+        );
+        assert!(r.all_done());
+        let labels: Vec<&str> = r.records(th).iter().map(|rec| rec.label.as_str()).collect();
+        assert!(labels.contains(&"pushes_done:lock1"));
+    }
+
+    #[test]
+    fn script_builder_composes() {
+        let inner = Script::new().lock(L).unlock(L);
+        let s = Script::new().repeat(3, inner).mark("end");
+        assert_eq!(s.len(), 7);
+        assert!(!s.is_empty());
+        let s2 = Script::new().then(s);
+        assert_eq!(s2.len(), 7);
+    }
+}

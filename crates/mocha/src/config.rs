@@ -1,0 +1,164 @@
+//! Runtime configuration.
+
+use std::time::Duration;
+
+use mocha_net::NetConfig;
+use mocha_wire::codec::CodecKind;
+
+/// Availability configuration for a `ReplicaLock` (paper §4).
+///
+/// `R` (how many sites hold copies) is implicit in registration; this
+/// struct configures `UR`, "the number of up-to-date copies of the shared
+/// object". With `ur == 1` only the producing site holds the current value;
+/// with `ur == k` the releasing daemon pushes the new value to `k − 1`
+/// other registered sites at every release, purely for availability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AvailabilityConfig {
+    /// Number of up-to-date copies to maintain (≥ 1).
+    pub ur: usize,
+    /// Retained for configuration compatibility; dissemination is always
+    /// acknowledged before the release message is sent (and before
+    /// `unlock()` returns) — the coordinator's up-to-date set must never
+    /// be optimistic, or a grantee could see `VERSIONOK` while the push to
+    /// it is still in flight (a lost-update hazard found by the stress
+    /// tests).
+    pub wait_for_acks: bool,
+}
+
+impl Default for AvailabilityConfig {
+    fn default() -> Self {
+        AvailabilityConfig {
+            ur: 1,
+            wait_for_acks: false,
+        }
+    }
+}
+
+/// Complete configuration for a Mocha deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MochaConfig {
+    /// Transport configuration (protocol mode, MochaNet/TCP tuning).
+    pub net: NetConfig,
+    /// Marshaling codec (JDK 1.1-style or the optimized bulk library).
+    pub codec: CodecKind,
+    /// Default lock lease: how long a thread may hold a lock before the
+    /// coordinator suspects it has failed (threads can extend via the
+    /// per-acquire hint).
+    pub default_lease: Duration,
+    /// How often the coordinator scans held locks for expired leases.
+    pub lease_scan_interval: Duration,
+    /// How long the coordinator waits for a heartbeat ack before declaring
+    /// a suspected owner dead and breaking its lock.
+    pub heartbeat_timeout: Duration,
+    /// How long the coordinator collects `PollResponse`s during failure
+    /// recovery before forwarding the freshest version found.
+    pub recovery_poll_window: Duration,
+    /// Whether lease-based lock breaking is enabled at all (the ablation
+    /// benchmark turns it off).
+    pub break_locks: bool,
+    /// Ablation switch: route replica transfers through the home site
+    /// (store and forward) instead of daemon-to-daemon. The paper's design
+    /// sends data directly to "exploit locality"; enabling this quantifies
+    /// what that optimisation buys.
+    pub relay_transfers: bool,
+}
+
+impl Default for MochaConfig {
+    fn default() -> Self {
+        MochaConfig {
+            net: NetConfig::default(),
+            codec: CodecKind::default(),
+            default_lease: Duration::from_secs(5),
+            lease_scan_interval: Duration::from_millis(500),
+            heartbeat_timeout: Duration::from_millis(800),
+            recovery_poll_window: Duration::from_millis(400),
+            break_locks: true,
+            relay_transfers: false,
+        }
+    }
+}
+
+impl MochaConfig {
+    /// Configuration matching the paper's first prototype (all traffic
+    /// over MochaNet, JDK 1.1 marshaling).
+    pub fn basic() -> MochaConfig {
+        MochaConfig {
+            net: NetConfig::basic(),
+            ..MochaConfig::default()
+        }
+    }
+
+    /// Configuration matching the paper's second prototype (hybrid
+    /// protocol, JDK 1.1 marshaling).
+    pub fn hybrid() -> MochaConfig {
+        MochaConfig {
+            net: NetConfig::hybrid(),
+            ..MochaConfig::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        self.net.validate()?;
+        if self.default_lease.is_zero() {
+            return Err("default_lease must be positive".into());
+        }
+        if self.lease_scan_interval.is_zero() {
+            return Err("lease_scan_interval must be positive".into());
+        }
+        if self.heartbeat_timeout.is_zero() {
+            return Err("heartbeat_timeout must be positive".into());
+        }
+        if self.recovery_poll_window.is_zero() {
+            return Err("recovery_poll_window must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use mocha_net::ProtocolMode;
+
+    #[test]
+    fn defaults_validate() {
+        MochaConfig::default().validate().unwrap();
+        MochaConfig::basic().validate().unwrap();
+        MochaConfig::hybrid().validate().unwrap();
+    }
+
+    #[test]
+    fn prototypes_select_modes() {
+        assert_eq!(MochaConfig::basic().net.mode, ProtocolMode::Basic);
+        assert_eq!(MochaConfig::hybrid().net.mode, ProtocolMode::Hybrid);
+    }
+
+    #[test]
+    fn zero_durations_rejected() {
+        let mut c = MochaConfig::default();
+        c.default_lease = Duration::ZERO;
+        assert!(c.validate().is_err());
+        let mut c = MochaConfig::default();
+        c.heartbeat_timeout = Duration::ZERO;
+        assert!(c.validate().is_err());
+        let mut c = MochaConfig::default();
+        c.lease_scan_interval = Duration::ZERO;
+        assert!(c.validate().is_err());
+        let mut c = MochaConfig::default();
+        c.recovery_poll_window = Duration::ZERO;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn availability_default_is_no_dissemination() {
+        let a = AvailabilityConfig::default();
+        assert_eq!(a.ur, 1);
+        assert!(!a.wait_for_acks);
+    }
+}

@@ -1,0 +1,1028 @@
+//! The per-site daemon thread (paper §3 Figure 6, plus §4 dissemination).
+//!
+//! Every site runs one daemon. It has direct access to the site's shared
+//! replica objects, which lets it:
+//!
+//! * serve `TRANSFERREPLICA` directives by marshaling the replicas
+//!   associated with a lock and sending them straight to the requesting
+//!   site (daemon-to-daemon, never through the coordinator);
+//! * apply arriving replica data and pushed updates directly;
+//! * answer the coordinator's failure-handling polls (`PollVersion`) and
+//!   heartbeats;
+//! * perform push-based dissemination at release time when `UR > 1`,
+//!   choosing replacement targets when a push times out.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use mocha_net::{ports, MsgClass};
+use mocha_sim::{SimTime, Work};
+use mocha_wire::codec::CodecKind;
+use mocha_wire::message::ReplicaUpdate;
+use mocha_wire::{LockId, Msg, ReplicaId, ReplicaPayload, RequestId, SiteId, Version};
+
+use crate::cmd::{CmdSink, SendTag, Signal};
+use crate::error::MochaError;
+use crate::replica::ReplicaSpec;
+
+/// A dissemination task: one release's pushes.
+///
+/// Pushes are **sequential and synchronous**: the daemon sends to one
+/// target, waits for its `PushAck`, then moves to the next. This matches
+/// the simple reliable-send loop of the paper's implementation and is
+/// what makes the cost of keeping `UR` copies up to date scale linearly
+/// in `UR` ("the overhead for consistency maintenance approximately
+/// doubles" when UR goes from 1 to 2 — §5, Figure 12).
+#[derive(Debug)]
+struct PushTask {
+    lock: LockId,
+    version: Version,
+    /// The target currently awaiting acknowledgement.
+    current: Option<SiteId>,
+    /// Targets not yet pushed to, in order.
+    remaining: VecDeque<SiteId>,
+    /// Every site tried so far (successful or not), to avoid retrying the
+    /// same dead target.
+    tried: BTreeSet<SiteId>,
+    /// Targets that acknowledged.
+    acked: Vec<SiteId>,
+}
+
+/// Statistics the daemon accumulates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Transfer directives served.
+    pub transfers_served: u64,
+    /// Replica data messages applied.
+    pub updates_applied: u64,
+    /// Stale (older-version) data messages discarded.
+    pub stale_updates_discarded: u64,
+    /// Pushes sent (including replacements).
+    pub pushes_sent: u64,
+    /// Push targets replaced after timeout.
+    pub push_replacements: u64,
+    /// Version polls answered.
+    pub polls_answered: u64,
+}
+
+/// The daemon thread's state machine.
+#[derive(Debug)]
+pub struct SiteDaemon {
+    me: SiteId,
+    home: SiteId,
+    codec: CodecKind,
+    /// Replica values, directly accessible (the paper registers shared
+    /// objects with the local daemon).
+    store: HashMap<ReplicaId, ReplicaPayload>,
+    names: HashMap<ReplicaId, String>,
+    /// Replicas guarded by each lock.
+    lock_replicas: HashMap<LockId, BTreeSet<ReplicaId>>,
+    /// Known member sites per lock (maintained from coordinator
+    /// registration forwards) — the dissemination candidate set.
+    lock_members: HashMap<LockId, BTreeSet<SiteId>>,
+    /// Newest version held locally per lock.
+    lock_version: BTreeMap<LockId, Version>,
+    pushes: HashMap<RequestId, PushTask>,
+    /// Relay-ablation bookkeeping: transfers expected to pass through this
+    /// (home) site on their way to the mapped destination.
+    expect_relays: HashMap<RequestId, SiteId>,
+    /// Last-writer-wins stamps for *unsynchronized* cached replicas
+    /// (Lamport counter, publishing site).
+    cache_stamps: HashMap<ReplicaId, (u64, SiteId)>,
+    /// Local Lamport clock for cache publications.
+    cache_clock: u64,
+    next_req: RequestId,
+    stats: DaemonStats,
+}
+
+impl SiteDaemon {
+    /// Creates the daemon for site `me`, with the coordinator at `home`.
+    pub fn new(me: SiteId, home: SiteId, codec: CodecKind) -> SiteDaemon {
+        SiteDaemon {
+            me,
+            home,
+            codec,
+            store: HashMap::new(),
+            names: HashMap::new(),
+            lock_replicas: HashMap::new(),
+            lock_members: HashMap::new(),
+            lock_version: BTreeMap::new(),
+            pushes: HashMap::new(),
+            expect_relays: HashMap::new(),
+            cache_stamps: HashMap::new(),
+            cache_clock: 0,
+            next_req: RequestId(1),
+            stats: DaemonStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DaemonStats {
+        self.stats
+    }
+
+    /// This site's id.
+    pub fn site(&self) -> SiteId {
+        self.me
+    }
+
+    /// The coordinator's current location as known locally — application
+    /// threads "query the local daemon thread to obtain the location of
+    /// the newly created surrogate synchronization thread" (§4).
+    pub fn home(&self) -> SiteId {
+        self.home
+    }
+
+    /// Newest locally held version for `lock`.
+    pub fn version_of(&self, lock: LockId) -> Version {
+        self.lock_version.get(&lock).copied().unwrap_or(Version::INITIAL)
+    }
+
+    /// Reads a replica's current local value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MochaError::UnknownReplica`] if never registered here.
+    pub fn read(&self, replica: ReplicaId) -> Result<&ReplicaPayload, MochaError> {
+        self.store
+            .get(&replica)
+            .ok_or(MochaError::UnknownReplica { replica })
+    }
+
+    /// Overwrites a replica's local value (caller must hold the guarding
+    /// lock; the application layer enforces that).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MochaError::UnknownReplica`] if never registered here.
+    pub fn write(&mut self, replica: ReplicaId, payload: ReplicaPayload) -> Result<(), MochaError> {
+        match self.store.get_mut(&replica) {
+            Some(slot) => {
+                *slot = payload;
+                Ok(())
+            }
+            None => Err(MochaError::UnknownReplica { replica }),
+        }
+    }
+
+    /// Registers replicas guarded by `lock` at this site, with initial
+    /// values, and announces the registration to the coordinator.
+    pub fn register_local(&mut self, lock: LockId, specs: &[ReplicaSpec], sink: &mut CmdSink) {
+        self.lock_members.entry(lock).or_default().insert(self.me);
+        for spec in specs {
+            let id = spec.id();
+            self.store.entry(id).or_insert_with(|| spec.initial.clone());
+            self.names.insert(id, spec.name.clone());
+            self.lock_replicas.entry(lock).or_default().insert(id);
+            sink.send(
+                self.home,
+                ports::SYNC,
+                Msg::RegisterReplica {
+                    lock,
+                    replica: id,
+                    site: self.me,
+                    name: spec.name.clone(),
+                },
+                MsgClass::Control,
+            );
+        }
+    }
+
+    /// The lock guarding `replica`, if any is known locally.
+    pub fn lock_of(&self, replica: ReplicaId) -> Option<LockId> {
+        self.lock_replicas
+            .iter()
+            .find(|(_, ids)| ids.contains(&replica))
+            .map(|(lock, _)| *lock)
+    }
+
+    /// Registered member sites of `lock` as known locally.
+    pub fn members_of(&self, lock: LockId) -> Vec<SiteId> {
+        self.lock_members
+            .get(&lock)
+            .map(|m| m.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Marshals the current values of `lock`'s replicas, charging the
+    /// configured codec's cost.
+    fn marshal_for(&self, lock: LockId, sink: &mut CmdSink) -> Vec<ReplicaUpdate> {
+        let updates: Vec<ReplicaUpdate> = self
+            .lock_replicas
+            .get(&lock)
+            .map(|ids| {
+                ids.iter()
+                    .filter_map(|id| {
+                        self.store.get(id).map(|p| ReplicaUpdate {
+                            replica: *id,
+                            payload: p.clone(),
+                        })
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let cost = self.codec.marshaller().marshal_cost(&updates);
+        sink.charge(Work::marshal_ops(cost.ops));
+        updates
+    }
+
+    /// Charges the unmarshal cost for received updates.
+    fn charge_unmarshal(&self, updates: &[ReplicaUpdate], sink: &mut CmdSink) {
+        let bytes: usize = updates.iter().map(|u| u.payload.data_bytes()).sum();
+        let cost = self
+            .codec
+            .marshaller()
+            .unmarshal_cost(bytes, updates.len());
+        sink.charge(Work::marshal_ops(cost.ops));
+    }
+
+    /// Applies replica data if it is at least as new as what we hold.
+    /// Returns whether it was applied.
+    fn apply(&mut self, lock: LockId, version: Version, updates: Vec<ReplicaUpdate>) -> bool {
+        let local = self.version_of(lock);
+        if version < local {
+            self.stats.stale_updates_discarded += 1;
+            return false;
+        }
+        for u in updates {
+            // Transfers can carry replicas not yet registered locally
+            // (another site created them); adopt them.
+            self.store.insert(u.replica, u.payload);
+            self.lock_replicas.entry(lock).or_default().insert(u.replica);
+        }
+        self.lock_version.insert(lock, version);
+        self.stats.updates_applied += 1;
+        true
+    }
+
+    /// Publishes the current local value of an *unsynchronized* cached
+    /// replica to every registered member — the paper's §7 future work
+    /// (non-synchronization-based consistency, Bayou/Rover-style). Updates
+    /// are ordered by (Lamport counter, site): concurrent publications
+    /// converge to the same last-writer-wins value everywhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MochaError::UnknownReplica`] if the replica is not
+    /// registered here.
+    pub fn publish(
+        &mut self,
+        replica: ReplicaId,
+        sink: &mut CmdSink,
+    ) -> Result<(), MochaError> {
+        let payload = self.read(replica)?.clone();
+        self.cache_clock += 1;
+        let stamp = (self.cache_clock, self.me);
+        self.cache_stamps.insert(replica, stamp);
+        let lock = self.lock_of(replica).unwrap_or(crate::app::UNGUARDED);
+        let members: Vec<SiteId> = self
+            .lock_members
+            .get(&lock)
+            .map(|m| m.iter().copied().filter(|s| *s != self.me).collect())
+            .unwrap_or_default();
+        for member in members {
+            sink.send(
+                member,
+                ports::DAEMON,
+                Msg::CacheUpdate {
+                    replica,
+                    counter: stamp.0,
+                    origin: self.me,
+                    payload: payload.clone(),
+                },
+                MsgClass::Bulk,
+            );
+        }
+        Ok(())
+    }
+
+    /// The LWW stamp of a cached replica, if it was ever published.
+    pub fn cache_stamp(&self, replica: ReplicaId) -> Option<(u64, SiteId)> {
+        self.cache_stamps.get(&replica).copied()
+    }
+
+    /// Performs push-based dissemination at release time (§4): sends the
+    /// new value to `ur - 1` other member sites. Returns the target list
+    /// (reported to the coordinator in the release message).
+    pub fn disseminate(
+        &mut self,
+        lock: LockId,
+        new_version: Version,
+        ur: usize,
+        sink: &mut CmdSink,
+    ) -> Vec<SiteId> {
+        self.lock_version.insert(lock, new_version);
+        if ur <= 1 {
+            return Vec::new();
+        }
+        let candidates: Vec<SiteId> = self
+            .lock_members
+            .get(&lock)
+            .map(|m| m.iter().copied().filter(|s| *s != self.me).collect())
+            .unwrap_or_default();
+        let targets: Vec<SiteId> = candidates.iter().copied().take(ur - 1).collect();
+        if targets.is_empty() {
+            return Vec::new();
+        }
+        let req = self.next_req;
+        self.next_req = self.next_req.next();
+        let mut task = PushTask {
+            lock,
+            version: new_version,
+            current: None,
+            remaining: targets.iter().copied().collect(),
+            tried: BTreeSet::new(),
+            acked: Vec::new(),
+        };
+        task.tried.insert(self.me);
+        self.pushes.insert(req, task);
+        self.push_next(req, sink);
+        targets
+    }
+
+    /// Sends the next pending push of task `req`, or signals completion.
+    fn push_next(&mut self, req: RequestId, sink: &mut CmdSink) {
+        let (lock, version, target) = {
+            let Some(task) = self.pushes.get_mut(&req) else {
+                return;
+            };
+            match task.remaining.pop_front() {
+                Some(target) => {
+                    task.current = Some(target);
+                    task.tried.insert(target);
+                    (task.lock, task.version, target)
+                }
+                None => {
+                    task.current = None;
+                    let task = self.pushes.remove(&req).expect("task exists");
+                    sink.signal(Signal::PushesComplete {
+                        lock: task.lock,
+                        acked: task.acked,
+                    });
+                    return;
+                }
+            }
+        };
+        // Re-marshaled per destination, as a per-send pack loop would.
+        let updates = self.marshal_for(lock, sink);
+        self.stats.pushes_sent += 1;
+        sink.send_tagged(
+            target,
+            ports::DAEMON,
+            Msg::PushUpdate {
+                lock,
+                version,
+                updates,
+                req,
+            },
+            MsgClass::Bulk,
+            SendTag::Push {
+                lock,
+                to: target,
+                req,
+            },
+        );
+    }
+
+    /// Handles a protocol message addressed to the DAEMON port.
+    pub fn on_msg(&mut self, _now: SimTime, from: SiteId, msg: Msg, sink: &mut CmdSink) {
+        sink.charge(Work::events(1));
+        match msg {
+            Msg::TransferReplica {
+                lock,
+                dest,
+                version: _,
+                req,
+            } => {
+                self.stats.transfers_served += 1;
+                let updates = self.marshal_for(lock, sink);
+                let version = self.version_of(lock);
+                sink.send(
+                    dest,
+                    ports::DAEMON,
+                    Msg::ReplicaData {
+                        lock,
+                        version,
+                        updates,
+                        req,
+                    },
+                    MsgClass::Bulk,
+                );
+            }
+            Msg::ReplicaData {
+                lock,
+                version,
+                updates,
+                req,
+            } => {
+                if let Some(dest) = self.expect_relays.remove(&req) {
+                    if dest != self.me {
+                        // Relay ablation: store-and-forward through this
+                        // site. Pays a full unmarshal + remarshal.
+                        self.charge_unmarshal(&updates, sink);
+                        let cost = self.codec.marshaller().marshal_cost(&updates);
+                        sink.charge(Work::marshal_ops(cost.ops));
+                        sink.send(
+                            dest,
+                            ports::DAEMON,
+                            Msg::ReplicaData {
+                                lock,
+                                version,
+                                updates,
+                                req,
+                            },
+                            MsgClass::Bulk,
+                        );
+                        return;
+                    }
+                }
+                self.charge_unmarshal(&updates, sink);
+                self.apply(lock, version, updates);
+                // Even stale data unblocks a waiter: it is the freshest
+                // available (weakened consistency path).
+                let local = self.version_of(lock);
+                sink.signal(Signal::DataArrived {
+                    lock,
+                    version: local,
+                });
+            }
+            Msg::PushUpdate {
+                lock,
+                version,
+                updates,
+                req,
+            } => {
+                self.charge_unmarshal(&updates, sink);
+                let applied = self.apply(lock, version, updates);
+                sink.send(
+                    from,
+                    ports::DAEMON,
+                    Msg::PushAck {
+                        lock,
+                        version,
+                        site: self.me,
+                        req,
+                    },
+                    MsgClass::Control,
+                );
+                if applied {
+                    sink.signal(Signal::DataArrived { lock, version });
+                }
+            }
+            Msg::PushAck { req, site, .. } => {
+                let advance = self
+                    .pushes
+                    .get_mut(&req)
+                    .map(|task| {
+                        if task.current == Some(site) {
+                            task.current = None;
+                            task.acked.push(site);
+                            true
+                        } else {
+                            false
+                        }
+                    })
+                    .unwrap_or(false);
+                if advance {
+                    self.push_next(req, sink);
+                }
+            }
+            Msg::PollVersion { lock, req } => {
+                self.stats.polls_answered += 1;
+                sink.send(
+                    self.home,
+                    ports::SYNC,
+                    Msg::PollResponse {
+                        lock,
+                        version: self.version_of(lock),
+                        site: self.me,
+                        req,
+                    },
+                    MsgClass::Control,
+                );
+            }
+            Msg::CacheUpdate {
+                replica,
+                counter,
+                origin,
+                payload,
+            } => {
+                // Lamport clock advance + last-writer-wins merge.
+                self.cache_clock = self.cache_clock.max(counter);
+                let incoming = (counter, origin);
+                let apply = self
+                    .cache_stamps
+                    .get(&replica)
+                    .map(|local| incoming > *local)
+                    .unwrap_or(true);
+                if apply {
+                    self.cache_stamps.insert(replica, incoming);
+                    self.store.insert(replica, payload);
+                    self.stats.updates_applied += 1;
+                } else {
+                    self.stats.stale_updates_discarded += 1;
+                }
+            }
+            Msg::ExpectRelay { dest, req, .. } => {
+                self.expect_relays.insert(req, dest);
+            }
+            Msg::SyncMoved { new_home } => {
+                // Surrogate takeover: redirect all future coordinator
+                // traffic and tell local application threads.
+                self.home = new_home;
+                sink.signal(Signal::HomeChanged { new_home });
+            }
+            Msg::RegisterReplica {
+                lock,
+                replica,
+                site,
+                name,
+            } => {
+                // Membership forward from the coordinator.
+                self.lock_members.entry(lock).or_default().insert(site);
+                self.lock_replicas.entry(lock).or_default().insert(replica);
+                self.names.entry(replica).or_insert(name);
+                self.store.entry(replica).or_insert_with(ReplicaPayload::empty);
+            }
+            other => {
+                sink.note(format!("daemon {me} ignoring {other:?}", me = self.me));
+            }
+        }
+    }
+
+    /// Handles a push-send failure: pick an untried member as replacement
+    /// (§4: "the failure ... can be handled by choosing another daemon
+    /// thread at another site to receive a copy"), or move on to the next
+    /// target when nobody is left.
+    pub fn on_send_failed(&mut self, tag: &SendTag, sink: &mut CmdSink) {
+        let SendTag::Push { lock, to, req } = tag else {
+            return;
+        };
+        let replacement = {
+            let Some(task) = self.pushes.get_mut(req) else {
+                return;
+            };
+            if task.current != Some(*to) {
+                return; // stale failure for an already-advanced push
+            }
+            task.current = None;
+            let replacement = self
+                .lock_members
+                .get(lock)
+                .and_then(|m| m.iter().copied().find(|s| !task.tried.contains(s)));
+            if let Some(r) = replacement {
+                // Put the replacement at the head of the queue; push_next
+                // will pick it up.
+                task.remaining.push_front(r);
+            }
+            replacement
+        };
+        if replacement.is_some() {
+            self.stats.push_replacements += 1;
+        }
+        self.push_next(*req, sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmd::Cmd;
+    use crate::replica::replica_id;
+
+    const ME: SiteId = SiteId(1);
+    const HOME: SiteId = SiteId(0);
+    const S2: SiteId = SiteId(2);
+    const S3: SiteId = SiteId(3);
+    const L: LockId = LockId(1);
+
+    fn daemon() -> SiteDaemon {
+        SiteDaemon::new(ME, HOME, CodecKind::ByteAtATime)
+    }
+
+    fn now() -> SimTime {
+        SimTime::ZERO
+    }
+
+    fn spec(name: &str, data: &[i32]) -> ReplicaSpec {
+        ReplicaSpec::new(name, ReplicaPayload::I32s(data.to_vec()))
+    }
+
+    fn sends(sink: &mut CmdSink) -> Vec<(SiteId, Msg)> {
+        sink.drain()
+            .into_iter()
+            .filter_map(|c| match c {
+                Cmd::Send { to, msg, .. } => Some((to, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn signals(sink: &mut CmdSink) -> Vec<Signal> {
+        sink.drain()
+            .into_iter()
+            .filter_map(|c| match c {
+                Cmd::Signal(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn register_stores_initial_and_notifies_home() {
+        let mut d = daemon();
+        let mut sink = CmdSink::new();
+        d.register_local(L, &[spec("idx", &[1, 2])], &mut sink);
+        let msgs = sends(&mut sink);
+        assert!(msgs.iter().any(|(to, m)| *to == HOME
+            && matches!(m, Msg::RegisterReplica { site, .. } if *site == ME)));
+        assert_eq!(
+            d.read(replica_id("idx")).unwrap(),
+            &ReplicaPayload::I32s(vec![1, 2])
+        );
+    }
+
+    #[test]
+    fn write_and_read_roundtrip() {
+        let mut d = daemon();
+        let mut sink = CmdSink::new();
+        d.register_local(L, &[spec("idx", &[0])], &mut sink);
+        let id = replica_id("idx");
+        d.write(id, ReplicaPayload::I32s(vec![9])).unwrap();
+        assert_eq!(d.read(id).unwrap(), &ReplicaPayload::I32s(vec![9]));
+    }
+
+    #[test]
+    fn unknown_replica_errors() {
+        let mut d = daemon();
+        let id = replica_id("nope");
+        assert!(matches!(d.read(id), Err(MochaError::UnknownReplica { .. })));
+        assert!(matches!(
+            d.write(id, ReplicaPayload::empty()),
+            Err(MochaError::UnknownReplica { .. })
+        ));
+    }
+
+    #[test]
+    fn transfer_directive_sends_data_to_dest() {
+        let mut d = daemon();
+        let mut sink = CmdSink::new();
+        d.register_local(L, &[spec("idx", &[7])], &mut sink);
+        sink.drain();
+        d.on_msg(
+            now(),
+            HOME,
+            Msg::TransferReplica {
+                lock: L,
+                dest: S2,
+                version: Version(0),
+                req: RequestId(5),
+            },
+            &mut sink,
+        );
+        let msgs = sends(&mut sink);
+        let (to, data) = &msgs[0];
+        assert_eq!(*to, S2);
+        match data {
+            Msg::ReplicaData { lock, updates, req, .. } => {
+                assert_eq!(*lock, L);
+                assert_eq!(updates.len(), 1);
+                assert_eq!(*req, RequestId(5));
+            }
+            other => panic!("expected ReplicaData, got {other:?}"),
+        }
+        assert_eq!(d.stats().transfers_served, 1);
+    }
+
+    #[test]
+    fn replica_data_applies_and_signals() {
+        let mut d = daemon();
+        let mut sink = CmdSink::new();
+        d.register_local(L, &[spec("idx", &[0])], &mut sink);
+        sink.drain();
+        let id = replica_id("idx");
+        d.on_msg(
+            now(),
+            S2,
+            Msg::ReplicaData {
+                lock: L,
+                version: Version(3),
+                updates: vec![ReplicaUpdate {
+                    replica: id,
+                    payload: ReplicaPayload::I32s(vec![42]),
+                }],
+                req: RequestId(0),
+            },
+            &mut sink,
+        );
+        assert_eq!(d.read(id).unwrap(), &ReplicaPayload::I32s(vec![42]));
+        assert_eq!(d.version_of(L), Version(3));
+        assert_eq!(
+            signals(&mut sink),
+            vec![Signal::DataArrived {
+                lock: L,
+                version: Version(3)
+            }]
+        );
+    }
+
+    #[test]
+    fn stale_data_discarded_but_still_signals() {
+        let mut d = daemon();
+        let mut sink = CmdSink::new();
+        d.register_local(L, &[spec("idx", &[0])], &mut sink);
+        sink.drain();
+        let id = replica_id("idx");
+        d.on_msg(
+            now(),
+            S2,
+            Msg::ReplicaData {
+                lock: L,
+                version: Version(5),
+                updates: vec![ReplicaUpdate {
+                    replica: id,
+                    payload: ReplicaPayload::I32s(vec![5]),
+                }],
+                req: RequestId(0),
+            },
+            &mut sink,
+        );
+        sink.drain();
+        d.on_msg(
+            now(),
+            S3,
+            Msg::ReplicaData {
+                lock: L,
+                version: Version(2),
+                updates: vec![ReplicaUpdate {
+                    replica: id,
+                    payload: ReplicaPayload::I32s(vec![2]),
+                }],
+                req: RequestId(0),
+            },
+            &mut sink,
+        );
+        // v2 < v5: value kept at 5, but the waiter still unblocks with the
+        // freshest local version.
+        assert_eq!(d.read(id).unwrap(), &ReplicaPayload::I32s(vec![5]));
+        assert_eq!(d.stats().stale_updates_discarded, 1);
+        assert_eq!(
+            signals(&mut sink),
+            vec![Signal::DataArrived {
+                lock: L,
+                version: Version(5)
+            }]
+        );
+    }
+
+    #[test]
+    fn push_applies_acks_and_signals() {
+        let mut d = daemon();
+        let mut sink = CmdSink::new();
+        d.register_local(L, &[spec("idx", &[0])], &mut sink);
+        sink.drain();
+        d.on_msg(
+            now(),
+            S2,
+            Msg::PushUpdate {
+                lock: L,
+                version: Version(1),
+                updates: vec![ReplicaUpdate {
+                    replica: replica_id("idx"),
+                    payload: ReplicaPayload::I32s(vec![1]),
+                }],
+                req: RequestId(9),
+            },
+            &mut sink,
+        );
+        let cmds = sink.drain();
+        let acked = cmds.iter().any(|c| matches!(c,
+            Cmd::Send { to, msg: Msg::PushAck { req, .. }, .. } if *to == S2 && *req == RequestId(9)));
+        assert!(acked);
+        assert!(cmds
+            .iter()
+            .any(|c| matches!(c, Cmd::Signal(Signal::DataArrived { .. }))));
+    }
+
+    #[test]
+    fn disseminate_pushes_to_ur_minus_one_members() {
+        let mut d = daemon();
+        let mut sink = CmdSink::new();
+        d.register_local(L, &[spec("idx", &[1])], &mut sink);
+        // Learn about members S2, S3 via coordinator forwards.
+        for s in [S2, S3] {
+            d.on_msg(
+                now(),
+                HOME,
+                Msg::RegisterReplica {
+                    lock: L,
+                    replica: replica_id("idx"),
+                    site: s,
+                    name: "idx".into(),
+                },
+                &mut sink,
+            );
+        }
+        sink.drain();
+        let targets = d.disseminate(L, Version(1), 3, &mut sink);
+        assert_eq!(targets, vec![S2, S3]);
+        // Sequential dissemination: only the first push goes out now.
+        let msgs = sends(&mut sink);
+        let pushed: Vec<SiteId> = msgs
+            .iter()
+            .filter_map(|(to, m)| matches!(m, Msg::PushUpdate { .. }).then_some(*to))
+            .collect();
+        assert_eq!(pushed, vec![S2]);
+        assert_eq!(d.stats().pushes_sent, 1);
+        assert_eq!(d.version_of(L), Version(1));
+        // S2's ack releases the push to S3.
+        d.on_msg(
+            now(),
+            S2,
+            Msg::PushAck {
+                lock: L,
+                version: Version(1),
+                site: S2,
+                req: RequestId(1),
+            },
+            &mut sink,
+        );
+        let msgs = sends(&mut sink);
+        let pushed: Vec<SiteId> = msgs
+            .iter()
+            .filter_map(|(to, m)| matches!(m, Msg::PushUpdate { .. }).then_some(*to))
+            .collect();
+        assert_eq!(pushed, vec![S3]);
+        assert_eq!(d.stats().pushes_sent, 2);
+    }
+
+    #[test]
+    fn ur_one_disseminates_nothing() {
+        let mut d = daemon();
+        let mut sink = CmdSink::new();
+        d.register_local(L, &[spec("idx", &[1])], &mut sink);
+        sink.drain();
+        assert!(d.disseminate(L, Version(1), 1, &mut sink).is_empty());
+        assert!(sends(&mut sink).is_empty());
+    }
+
+    #[test]
+    fn all_push_acks_signal_completion() {
+        let mut d = daemon();
+        let mut sink = CmdSink::new();
+        d.register_local(L, &[spec("idx", &[1])], &mut sink);
+        for s in [S2, S3] {
+            d.on_msg(
+                now(),
+                HOME,
+                Msg::RegisterReplica {
+                    lock: L,
+                    replica: replica_id("idx"),
+                    site: s,
+                    name: "idx".into(),
+                },
+                &mut sink,
+            );
+        }
+        sink.drain();
+        d.disseminate(L, Version(1), 3, &mut sink);
+        sink.drain();
+        d.on_msg(
+            now(),
+            S2,
+            Msg::PushAck {
+                lock: L,
+                version: Version(1),
+                site: S2,
+                req: RequestId(1),
+            },
+            &mut sink,
+        );
+        assert!(signals(&mut sink).is_empty(), "one ack outstanding");
+        d.on_msg(
+            now(),
+            S3,
+            Msg::PushAck {
+                lock: L,
+                version: Version(1),
+                site: S3,
+                req: RequestId(1),
+            },
+            &mut sink,
+        );
+        assert_eq!(
+            signals(&mut sink),
+            vec![Signal::PushesComplete {
+                lock: L,
+                acked: vec![S2, S3]
+            }]
+        );
+    }
+
+    #[test]
+    fn failed_push_picks_replacement_target() {
+        let mut d = daemon();
+        let mut sink = CmdSink::new();
+        d.register_local(L, &[spec("idx", &[1])], &mut sink);
+        for s in [S2, S3] {
+            d.on_msg(
+                now(),
+                HOME,
+                Msg::RegisterReplica {
+                    lock: L,
+                    replica: replica_id("idx"),
+                    site: s,
+                    name: "idx".into(),
+                },
+                &mut sink,
+            );
+        }
+        sink.drain();
+        // UR=2: push to S2 only.
+        let targets = d.disseminate(L, Version(1), 2, &mut sink);
+        assert_eq!(targets, vec![S2]);
+        sink.drain();
+        // S2 is dead: the push fails.
+        d.on_send_failed(
+            &SendTag::Push {
+                lock: L,
+                to: S2,
+                req: RequestId(1),
+            },
+            &mut sink,
+        );
+        let msgs = sends(&mut sink);
+        // Replacement push went to S3.
+        assert!(msgs.iter().any(|(to, m)| *to == S3 && matches!(m, Msg::PushUpdate { .. })));
+        assert_eq!(d.stats().push_replacements, 1);
+    }
+
+    #[test]
+    fn exhausted_replacements_complete_the_task() {
+        let mut d = daemon();
+        let mut sink = CmdSink::new();
+        d.register_local(L, &[spec("idx", &[1])], &mut sink);
+        d.on_msg(
+            now(),
+            HOME,
+            Msg::RegisterReplica {
+                lock: L,
+                replica: replica_id("idx"),
+                site: S2,
+                name: "idx".into(),
+            },
+            &mut sink,
+        );
+        sink.drain();
+        d.disseminate(L, Version(1), 2, &mut sink);
+        sink.drain();
+        // Only candidate fails and nobody is left.
+        d.on_send_failed(
+            &SendTag::Push {
+                lock: L,
+                to: S2,
+                req: RequestId(1),
+            },
+            &mut sink,
+        );
+        assert_eq!(
+            signals(&mut sink),
+            vec![Signal::PushesComplete {
+                lock: L,
+                acked: vec![]
+            }]
+        );
+    }
+
+    #[test]
+    fn polls_answered_to_home() {
+        let mut d = daemon();
+        let mut sink = CmdSink::new();
+        d.on_msg(now(), HOME, Msg::PollVersion { lock: L, req: RequestId(4) }, &mut sink);
+        let msgs = sends(&mut sink);
+        assert!(msgs.iter().any(|(to, m)| *to == HOME
+            && matches!(m, Msg::PollResponse { req, .. } if *req == RequestId(4))));
+        assert_eq!(d.stats().polls_answered, 1);
+    }
+
+    #[test]
+    fn transfer_adopts_unregistered_replicas() {
+        let mut d = daemon();
+        let mut sink = CmdSink::new();
+        let foreign = replica_id("createdElsewhere");
+        d.on_msg(
+            now(),
+            S2,
+            Msg::ReplicaData {
+                lock: L,
+                version: Version(1),
+                updates: vec![ReplicaUpdate {
+                    replica: foreign,
+                    payload: ReplicaPayload::Utf8("hi".into()),
+                }],
+                req: RequestId(0),
+            },
+            &mut sink,
+        );
+        assert_eq!(d.read(foreign).unwrap(), &ReplicaPayload::Utf8("hi".into()));
+    }
+}

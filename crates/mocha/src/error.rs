@@ -1,0 +1,164 @@
+//! Error types for the Mocha runtime.
+
+use std::error::Error;
+use std::fmt;
+
+use mocha_wire::io::WireError;
+use mocha_wire::{LockId, ReplicaId, SiteId};
+
+/// Errors surfaced by Mocha's public API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MochaError {
+    /// A travel-bag parameter was missing (the paper's
+    /// `MochaParameterException`).
+    MissingParameter {
+        /// The requested key.
+        key: String,
+    },
+    /// A travel-bag parameter existed but had a different type.
+    ParameterType {
+        /// The requested key.
+        key: String,
+        /// Type that was requested.
+        requested: &'static str,
+        /// Type actually stored.
+        actual: &'static str,
+    },
+    /// A replica was accessed outside a `lock()`/`unlock()` region.
+    NotLocked {
+        /// The guarding lock.
+        lock: LockId,
+    },
+    /// A replica id was not registered at this site.
+    UnknownReplica {
+        /// The unknown replica.
+        replica: ReplicaId,
+    },
+    /// A lock id was never created/registered.
+    UnknownLock {
+        /// The unknown lock.
+        lock: LockId,
+    },
+    /// The coordinator broke the caller's lock (lease expiry) while it was
+    /// held; updates made under it may have been discarded.
+    LockBroken {
+        /// The broken lock.
+        lock: LockId,
+    },
+    /// The site was blacklisted by the coordinator after a detected
+    /// failure and may no longer make requests.
+    Blacklisted {
+        /// This site.
+        site: SiteId,
+    },
+    /// The home site / coordinator could not be reached.
+    HomeUnreachable,
+    /// A spawn request failed (unknown task class or remote error).
+    SpawnFailed {
+        /// The task class that failed to spawn.
+        task_class: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The runtime has shut down.
+    Shutdown,
+    /// A malformed message arrived where a well-formed one was required.
+    Wire(WireError),
+    /// Deserialization of a complex shared object failed.
+    ObjectDecode {
+        /// The object's advertised type name.
+        type_name: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An availability configuration was invalid (e.g. `UR` of zero).
+    InvalidAvailability {
+        /// The rejected value.
+        ur: usize,
+    },
+}
+
+impl fmt::Display for MochaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MochaError::MissingParameter { key } => {
+                write!(f, "parameter {key:?} not present in travel bag")
+            }
+            MochaError::ParameterType {
+                key,
+                requested,
+                actual,
+            } => write!(
+                f,
+                "parameter {key:?} requested as {requested} but stored as {actual}"
+            ),
+            MochaError::NotLocked { lock } => {
+                write!(f, "replica accessed without holding {lock}")
+            }
+            MochaError::UnknownReplica { replica } => {
+                write!(f, "replica {replica} not registered at this site")
+            }
+            MochaError::UnknownLock { lock } => write!(f, "lock {lock} was never registered"),
+            MochaError::LockBroken { lock } => {
+                write!(f, "{lock} was broken by the coordinator while held")
+            }
+            MochaError::Blacklisted { site } => {
+                write!(f, "{site} was blacklisted after a detected failure")
+            }
+            MochaError::HomeUnreachable => write!(f, "home site unreachable"),
+            MochaError::SpawnFailed { task_class, reason } => {
+                write!(f, "spawn of {task_class:?} failed: {reason}")
+            }
+            MochaError::Shutdown => write!(f, "runtime has shut down"),
+            MochaError::Wire(e) => write!(f, "malformed message: {e}"),
+            MochaError::ObjectDecode { type_name, reason } => {
+                write!(f, "failed to decode shared object {type_name:?}: {reason}")
+            }
+            MochaError::InvalidAvailability { ur } => {
+                write!(f, "invalid availability: UR must be at least 1, got {ur}")
+            }
+        }
+    }
+}
+
+impl Error for MochaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MochaError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for MochaError {
+    fn from(e: WireError) -> Self {
+        MochaError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = MochaError::MissingParameter { key: "start".into() };
+        assert!(e.to_string().contains("start"));
+        let e = MochaError::LockBroken { lock: LockId(3) };
+        assert!(e.to_string().contains("lock3"));
+    }
+
+    #[test]
+    fn wire_errors_convert_and_chain() {
+        let w = WireError::BadUtf8;
+        let e: MochaError = w.clone().into();
+        assert_eq!(e, MochaError::Wire(w));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MochaError>();
+    }
+}

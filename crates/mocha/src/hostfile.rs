@@ -1,0 +1,179 @@
+//! Host files and spawn placement (paper §2).
+//!
+//! "When a new instance of the Mocha object is created, a hostfile is read
+//! which provides a list of potential sites at which remote threads may be
+//! spawned. ... Other spawn methods are available which allow the
+//! application to specify the exact host in the host file on which a
+//! remote thread should execute."
+//!
+//! A [`HostFile`] lists candidate sites (one per line, `#` comments
+//! allowed) and hands them out round-robin for placement-agnostic spawns.
+
+use std::fmt;
+use std::str::FromStr;
+
+use mocha_wire::SiteId;
+
+/// Error parsing a host file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseHostFileError {
+    /// 1-based line number of the offending entry.
+    pub line: usize,
+    /// The unparsable text.
+    pub entry: String,
+}
+
+impl fmt::Display for ParseHostFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid host entry {:?} on line {}", self.entry, self.line)
+    }
+}
+
+impl std::error::Error for ParseHostFileError {}
+
+/// An ordered list of candidate sites for remote evaluation.
+///
+/// ```
+/// use mocha::hostfile::HostFile;
+/// use mocha_wire::SiteId;
+///
+/// let mut hosts: HostFile = "site1\nsite2\n3\n".parse()?;
+/// assert_eq!(hosts.len(), 3);
+/// assert_eq!(hosts.next_site(), SiteId(1));
+/// assert_eq!(hosts.next_site(), SiteId(2));
+/// assert_eq!(hosts.next_site(), SiteId(3));
+/// assert_eq!(hosts.next_site(), SiteId(1)); // round-robin wraps
+/// # Ok::<(), mocha::hostfile::ParseHostFileError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostFile {
+    sites: Vec<SiteId>,
+    cursor: usize,
+}
+
+impl HostFile {
+    /// Builds a host file from explicit sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites` is empty.
+    pub fn new(sites: Vec<SiteId>) -> HostFile {
+        assert!(!sites.is_empty(), "a host file needs at least one site");
+        HostFile { sites, cursor: 0 }
+    }
+
+    /// A host file naming every non-home site of an `n`-site deployment
+    /// (the common "spawn anywhere but here" setup).
+    pub fn all_remote(n_sites: usize) -> HostFile {
+        assert!(n_sites >= 2, "need at least one remote site");
+        HostFile::new((1..n_sites as u32).map(SiteId).collect())
+    }
+
+    /// Number of candidate sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether the list is empty (never true: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The candidate sites in file order.
+    pub fn sites(&self) -> &[SiteId] {
+        &self.sites
+    }
+
+    /// The site at `index` in the file (the paper's "specify the exact
+    /// host in the host file").
+    pub fn site_at(&self, index: usize) -> Option<SiteId> {
+        self.sites.get(index).copied()
+    }
+
+    /// Next placement, round-robin.
+    pub fn next_site(&mut self) -> SiteId {
+        let site = self.sites[self.cursor % self.sites.len()];
+        self.cursor += 1;
+        site
+    }
+}
+
+impl FromStr for HostFile {
+    type Err = ParseHostFileError;
+
+    fn from_str(text: &str) -> Result<HostFile, ParseHostFileError> {
+        let mut sites = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let digits = line.strip_prefix("site").unwrap_or(line);
+            match digits.parse::<u32>() {
+                Ok(n) => sites.push(SiteId(n)),
+                Err(_) => {
+                    return Err(ParseHostFileError {
+                        line: i + 1,
+                        entry: line.to_string(),
+                    })
+                }
+            }
+        }
+        if sites.is_empty() {
+            return Err(ParseHostFileError {
+                line: 0,
+                entry: "<no hosts>".to_string(),
+            });
+        }
+        Ok(HostFile { sites, cursor: 0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_names_numbers_comments_and_blanks() {
+        let hf: HostFile = "# comment\n\nsite4\n7\n site2 \n".parse().unwrap();
+        assert_eq!(hf.sites(), &[SiteId(4), SiteId(7), SiteId(2)]);
+    }
+
+    #[test]
+    fn bad_entries_report_line_numbers() {
+        let err = "site1\nnot-a-host\n".parse::<HostFile>().unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.entry, "not-a-host");
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn empty_file_is_an_error() {
+        assert!("# nothing\n".parse::<HostFile>().is_err());
+    }
+
+    #[test]
+    fn round_robin_wraps() {
+        let mut hf = HostFile::new(vec![SiteId(1), SiteId(2)]);
+        assert_eq!(
+            [hf.next_site(), hf.next_site(), hf.next_site()],
+            [SiteId(1), SiteId(2), SiteId(1)]
+        );
+    }
+
+    #[test]
+    fn all_remote_skips_home() {
+        let hf = HostFile::all_remote(4);
+        assert_eq!(hf.sites(), &[SiteId(1), SiteId(2), SiteId(3)]);
+        assert_eq!(hf.site_at(1), Some(SiteId(2)));
+        assert_eq!(hf.site_at(9), None);
+        assert!(!hf.is_empty());
+        assert_eq!(hf.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn empty_explicit_list_panics() {
+        let _ = HostFile::new(vec![]);
+    }
+}

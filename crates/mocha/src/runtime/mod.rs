@@ -1,0 +1,13 @@
+//! Execution runtimes.
+//!
+//! All protocol components are event-driven state machines; this module
+//! provides the two drivers that animate them:
+//!
+//! * [`sim`] — the deterministic virtual-time runtime built on
+//!   [`mocha_sim`]. Used by every benchmark (calibrated, reproducible
+//!   timings) and by failure-injection tests.
+//! * [`thread`] — a real multi-threaded runtime with a blocking
+//!   application API, used by the runnable examples.
+
+pub mod sim;
+pub mod thread;

@@ -1,0 +1,1447 @@
+//! The real-thread runtime: Mocha on OS threads with a blocking API.
+//!
+//! Each site runs an event-loop thread hosting the same protocol state
+//! machines as the simulator (daemon, coordinator at the home site, site
+//! manager). Application code calls blocking methods on a
+//! [`MochaHandle`] — `lock`, `unlock`, `read`, `write`, `spawn` — exactly
+//! the programming model of the paper's Figures 1–3.
+//!
+//! Transport is an in-process reliable message router (crossbeam
+//! channels); timing fidelity and lossy-network behaviour live in the
+//! simulator runtime, while this runtime provides *real concurrency* for
+//! the runnable examples and functional tests. Failure injection is still
+//! supported: [`ThreadRuntime::kill_site`] stops a site's event loop, and
+//! sends to it then fail exactly like the paper's timeout detections —
+//! triggering lock breaking, recovery polling and push replacement.
+
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use mocha_net::{ports, Port};
+use mocha_sim::SimTime;
+use mocha_wire::message::{LockMode, VersionFlag};
+use mocha_wire::{LockId, Msg, ReplicaId, ReplicaPayload, RequestId, SiteId, ThreadId, Version};
+
+use crate::app::UNGUARDED;
+use crate::cmd::{timer_ns, Cmd, CmdSink, SendTag, Signal};
+use crate::config::{AvailabilityConfig, MochaConfig};
+use crate::daemon::SiteDaemon;
+use crate::error::MochaError;
+use crate::replica::ReplicaSpec;
+use crate::spawn::{SiteManager, TaskRegistry};
+use crate::sync::SyncCoordinator;
+use crate::travelbag::{Parameter, TravelBag};
+
+/// How long blocking calls wait before concluding the home site is gone.
+const BLOCKING_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A release deferred until dissemination acks: (new version, the
+/// caller's reply channel, whether the lock was revoked while held).
+type PendingRelease = (Version, Sender<Result<(), MochaError>>, bool);
+
+/// A pending spawn result — the paper's `ResultHandle` (Figure 1:
+/// `rh = mocha.spawn("Myhello", p)`). Obtain one from
+/// [`MochaHandle::spawn_async`]; collect with [`wait`](ResultHandle::wait).
+#[derive(Debug)]
+pub struct ResultHandle {
+    rx: Receiver<Result<TravelBag, MochaError>>,
+}
+
+impl ResultHandle {
+    /// Blocks until the remote task finishes and returns its `Result`
+    /// travel bag.
+    ///
+    /// # Errors
+    ///
+    /// [`MochaError::SpawnFailed`] if the task errored remotely or its
+    /// site is unreachable; [`MochaError::HomeUnreachable`] on timeout.
+    pub fn wait(self) -> Result<TravelBag, MochaError> {
+        self.rx
+            .recv_timeout(BLOCKING_TIMEOUT)
+            .map_err(|_| MochaError::HomeUnreachable)?
+    }
+
+    /// Returns the result if it is already available, or the handle back
+    /// if the task is still running.
+    ///
+    /// # Errors
+    ///
+    /// Remote failures surface exactly as for [`wait`](Self::wait).
+    pub fn try_wait(self) -> Result<Result<TravelBag, MochaError>, ResultHandle> {
+        match self.rx.try_recv() {
+            Ok(result) => Ok(result),
+            Err(_) => Err(self),
+        }
+    }
+}
+
+/// How fresh the replica state behind a successful `lock()` is.
+///
+/// `Stale` is the paper's §4 *weakened consistency*: the newest version
+/// died with a failed site, and the freshest *surviving* copy was
+/// delivered instead. "The home user can recognize unwanted
+/// characteristics of the old version and reapply the appropriate
+/// updates."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Freshness {
+    /// The replicas carry the most recent committed version.
+    Current,
+    /// A newer version was lost to a failure; this is the freshest
+    /// surviving state.
+    Stale,
+}
+
+#[derive(Debug)]
+struct Envelope {
+    from: SiteId,
+    port: Port,
+    msg: Msg,
+}
+
+/// Requests from application threads to their site's event loop.
+enum AppRequest {
+    Register {
+        lock: LockId,
+        specs: Vec<ReplicaSpec>,
+        reply: Sender<()>,
+    },
+    SetAvailability {
+        lock: LockId,
+        avail: AvailabilityConfig,
+        reply: Sender<()>,
+    },
+    Lock {
+        lock: LockId,
+        lease_ms: u32,
+        mode: LockMode,
+        reply: Sender<Result<Freshness, MochaError>>,
+    },
+    Unlock {
+        lock: LockId,
+        dirty: bool,
+        reply: Sender<Result<(), MochaError>>,
+    },
+    Read {
+        replica: ReplicaId,
+        reply: Sender<Result<ReplicaPayload, MochaError>>,
+    },
+    Write {
+        replica: ReplicaId,
+        payload: ReplicaPayload,
+        reply: Sender<Result<(), MochaError>>,
+    },
+    Publish {
+        replica: ReplicaId,
+        reply: Sender<Result<(), MochaError>>,
+    },
+    Spawn {
+        dest: SiteId,
+        task_class: String,
+        params: Parameter,
+        reply: Sender<Result<TravelBag, MochaError>>,
+    },
+    TakePrints {
+        reply: Sender<Vec<String>>,
+    },
+    /// Become the surrogate coordinator by replaying the given state log.
+    Promote {
+        log: Vec<(SiteId, Msg)>,
+        reply: Sender<()>,
+    },
+    Stop,
+}
+
+enum LoopInput {
+    Env(Envelope),
+    App(AppRequest),
+}
+
+/// Routes envelopes between site event loops. A killed site's entry is
+/// removed; sends to it fail, which is the runtime's failure signal.
+#[derive(Default)]
+struct Router {
+    senders: RwLock<HashMap<SiteId, Sender<LoopInput>>>,
+}
+
+impl Router {
+    fn send(&self, to: SiteId, env: Envelope) -> Result<(), ()> {
+        let senders = self.senders.read();
+        match senders.get(&to) {
+            Some(tx) => tx.send(LoopInput::Env(env)).map_err(|_| ()),
+            None => Err(()),
+        }
+    }
+
+    fn remove(&self, site: SiteId) {
+        self.senders.write().remove(&site);
+    }
+}
+
+/// A waiting lock request at a site.
+struct LockWaiter {
+    lease_ms: u32,
+    mode: LockMode,
+    /// Unique per request, so the coordinator can tell requests from
+    /// different application threads at the same site apart.
+    thread: ThreadId,
+    /// Version the grant promised (set once the grant arrives; used to
+    /// classify freshness when the data catches up).
+    promised: Version,
+    reply: Sender<Result<Freshness, MochaError>>,
+}
+
+/// The per-site event loop state.
+struct SiteCore {
+    site: SiteId,
+    home: SiteId,
+    config: MochaConfig,
+    daemon: SiteDaemon,
+    coordinator: Option<SyncCoordinator>,
+    manager: SiteManager,
+    sink: CmdSink,
+    router: Arc<Router>,
+    epoch: Instant,
+    // --- application bookkeeping ---
+    avail: HashMap<LockId, AvailabilityConfig>,
+    /// Outstanding acquire per lock (only one per site at a time).
+    pending_grant: HashMap<LockId, LockWaiter>,
+    /// Grant arrived but data still in flight.
+    wait_data: HashMap<LockId, LockWaiter>,
+    /// Held locks with their granted versions and access modes.
+    held: HashMap<LockId, (Version, LockMode)>,
+    /// Locks revoked while held.
+    revoked: HashMap<LockId, ()>,
+    /// Local FIFO of lock requests behind the current one.
+    local_queue: HashMap<LockId, VecDeque<LockWaiter>>,
+    /// Releases deferred until dissemination acks arrive:
+    /// lock → (new version, reply channel, was revoked).
+    wait_push: HashMap<LockId, PendingRelease>,
+    /// Spawns awaiting results.
+    pending_spawns: HashMap<RequestId, Sender<Result<TravelBag, MochaError>>>,
+    /// Collected `mochaPrintln` output.
+    prints: Vec<String>,
+    /// The coordinator's stable-storage log (§4: "logging its state"):
+    /// shared with the runtime so a surrogate can replay it after the
+    /// home dies. Only the site currently hosting the coordinator writes.
+    stable_log: Arc<Mutex<Vec<(SiteId, Msg)>>>,
+    // --- timers ---
+    timers: BinaryHeap<std::cmp::Reverse<(Instant, u64, u64)>>,
+    timer_gen: HashMap<u64, u64>,
+    next_gen: u64,
+    next_thread: u32,
+    stop: bool,
+}
+
+impl SiteCore {
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
+
+    fn config_snapshot(&self) -> MochaConfig {
+        self.config
+    }
+
+    fn next_deadline(&mut self) -> Option<Instant> {
+        // Pop stale timers off the top.
+        while let Some(std::cmp::Reverse((at, token, generation))) = self.timers.peek().copied() {
+            if self.timer_gen.get(&token) == Some(&generation) {
+                return Some(at);
+            }
+            self.timers.pop();
+        }
+        None
+    }
+
+    fn fire_due_timers(&mut self) {
+        let now_i = Instant::now();
+        while let Some(std::cmp::Reverse((at, token, generation))) =
+            self.timers.peek().copied()
+        {
+            if at > now_i {
+                break;
+            }
+            self.timers.pop();
+            if self.timer_gen.get(&token) != Some(&generation) {
+                continue; // cancelled or replaced
+            }
+            self.timer_gen.remove(&token);
+            let now = self.now();
+            if timer_ns::of(token) == timer_ns::APP {
+                // Data-leg retry: the grant arrived but the transfer never
+                // did; re-ask the coordinator.
+                let lock = LockId((token & 0xffff_ffff) as u32);
+                if let Some(waiter) = self.wait_data.remove(&lock) {
+                    self.held.remove(&lock);
+                    self.send_acquire(lock, waiter);
+                }
+                continue;
+            }
+            if let Some(c) = self.coordinator.as_mut() {
+                c.on_timer(now, token, &mut self.sink);
+            }
+        }
+    }
+
+    fn handle_input(&mut self, input: LoopInput) {
+        match input {
+            LoopInput::Env(env) => self.route_msg(env.from, env.port, env.msg),
+            LoopInput::App(req) => self.handle_app(req),
+        }
+    }
+
+    fn route_msg(&mut self, from: SiteId, port: Port, msg: Msg) {
+        let now = self.now();
+        // Mirror state-mutating coordinator traffic to stable storage.
+        if self.coordinator.is_some()
+            && port == ports::SYNC
+            && matches!(
+                msg,
+                Msg::AcquireLock { .. } | Msg::ReleaseLock { .. } | Msg::RegisterReplica { .. }
+            )
+        {
+            self.stable_log.lock().push((from, msg.clone()));
+        }
+        // Debug facility (the paper's "event logging ... insight into
+        // execution at remote locations"): MOCHA_TRACE=1 prints protocol
+        // traffic. Kept cheap: one env lookup per message only when set.
+        if std::env::var_os("MOCHA_TRACE").is_some()
+            && (port == ports::SYNC
+                || matches!(msg, Msg::Grant { .. } | Msg::ReplicaData { .. }))
+        {
+            eprintln!("[{:?}] {} <- {}: {:?}", now, self.site, from, msg);
+        }
+        match port {
+            ports::SYNC => {
+                if let Some(c) = self.coordinator.as_mut() {
+                    c.on_msg(now, from, msg, &mut self.sink);
+                }
+            }
+            ports::DAEMON => self.daemon.on_msg(now, from, msg, &mut self.sink),
+            ports::APP => self.on_app_msg(msg),
+            ports::SITE_MANAGER => self.manager.on_msg(now, from, msg, &mut self.sink),
+            _ => {}
+        }
+    }
+
+    fn on_app_msg(&mut self, msg: Msg) {
+        match msg {
+            Msg::Grant {
+                lock,
+                version,
+                flag,
+            } => {
+                let Some(waiter) = self.pending_grant.remove(&lock) else {
+                    return;
+                };
+                if flag == VersionFlag::VersionOk || self.daemon.version_of(lock) >= version {
+                    self.held.insert(
+                        lock,
+                        (version.max(self.daemon.version_of(lock)), waiter.mode),
+                    );
+                    let _ = waiter.reply.send(Ok(Freshness::Current));
+                } else {
+                    self.held.insert(lock, (version, waiter.mode));
+                    let mut waiter = waiter;
+                    waiter.promised = version;
+                    self.wait_data.insert(lock, waiter);
+                    self.sink.set_timer(
+                        timer_ns::APP | u64::from(lock.as_raw()),
+                        Duration::from_secs(20),
+                    );
+                }
+            }
+            Msg::LockRevoked { lock, .. }
+                if self.held.contains_key(&lock) => {
+                    self.revoked.insert(lock, ());
+                }
+            _ => {}
+        }
+    }
+
+    fn handle_app(&mut self, req: AppRequest) {
+        match req {
+            AppRequest::Register { lock, specs, reply } => {
+                self.daemon.register_local(lock, &specs, &mut self.sink);
+                let _ = reply.send(());
+            }
+            AppRequest::SetAvailability { lock, avail, reply } => {
+                self.avail.insert(lock, avail);
+                let _ = reply.send(());
+            }
+            AppRequest::Lock {
+                lock,
+                lease_ms,
+                mode,
+                reply,
+            } => {
+                let thread = ThreadId(self.next_thread);
+                self.next_thread = self.next_thread.wrapping_add(1);
+                let waiter = LockWaiter {
+                    lease_ms,
+                    mode,
+                    thread,
+                    promised: Version::INITIAL,
+                    reply,
+                };
+                let busy = self.held.contains_key(&lock)
+                    || self.pending_grant.contains_key(&lock)
+                    || self.wait_data.contains_key(&lock);
+                if busy {
+                    self.local_queue.entry(lock).or_default().push_back(waiter);
+                } else {
+                    self.send_acquire(lock, waiter);
+                }
+            }
+            AppRequest::Unlock { lock, dirty, reply } => {
+                let Some((granted, mode)) = self.held.remove(&lock) else {
+                    let _ = reply.send(Err(MochaError::NotLocked { lock }));
+                    return;
+                };
+                let was_revoked = self.revoked.remove(&lock).is_some();
+                // A shared hold cannot have written.
+                let dirty = dirty && mode == LockMode::Exclusive;
+                let new_version = if dirty { granted.next() } else { granted };
+                let avail = self.avail.get(&lock).copied().unwrap_or_default();
+                let ur = if dirty && !was_revoked { avail.ur } else { 1 };
+                let disseminated = self
+                    .daemon
+                    .disseminate(lock, new_version, ur, &mut self.sink);
+                let _ = avail;
+                // The release (or its deferral) is queued BEFORE the local
+                // hand-off, so a successor's acquire can never overtake it
+                // to the coordinator.
+                if !disseminated.is_empty() {
+                    // Defer the release until the pushes are acknowledged,
+                    // so the coordinator's up-to-date set is accurate.
+                    self.wait_push.insert(lock, (new_version, reply, was_revoked));
+                } else {
+                    self.sink.send(
+                        self.home,
+                        ports::SYNC,
+                        Msg::ReleaseLock {
+                            lock,
+                            site: self.site,
+                            new_version,
+                            disseminated_to: Vec::new(),
+                        },
+                        mocha_net::MsgClass::Control,
+                    );
+                    if was_revoked {
+                        let _ = reply.send(Err(MochaError::LockBroken { lock }));
+                    } else {
+                        let _ = reply.send(Ok(()));
+                    }
+                }
+                // Local hand-off: the next queued request now contacts the
+                // coordinator (never handed data locally — fairness rule).
+                if let Some(next) = self.local_queue.entry(lock).or_default().pop_front() {
+                    self.send_acquire(lock, next);
+                }
+            }
+            AppRequest::Read { replica, reply } => {
+                let result = self
+                    .guard_check(replica, false)
+                    .and_then(|_| self.daemon.read(replica).cloned());
+                let _ = reply.send(result);
+            }
+            AppRequest::Write {
+                replica,
+                payload,
+                reply,
+            } => {
+                let result = self
+                    .guard_check(replica, true)
+                    .and_then(|_| self.daemon.write(replica, payload));
+                let _ = reply.send(result);
+            }
+            AppRequest::Publish { replica, reply } => {
+                let result = self.daemon.publish(replica, &mut self.sink);
+                let _ = reply.send(result);
+            }
+            AppRequest::Spawn {
+                dest,
+                task_class,
+                params,
+                reply,
+            } => {
+                let req = self
+                    .manager
+                    .spawn(dest, &task_class, &params, &mut self.sink);
+                self.pending_spawns.insert(req, reply);
+            }
+            AppRequest::TakePrints { reply } => {
+                let _ = reply.send(std::mem::take(&mut self.prints));
+            }
+            AppRequest::Promote { log, reply } => {
+                let me = self.site;
+                let mut coordinator =
+                    SyncCoordinator::replay(me, self.config_snapshot(), &log, self.now());
+                let members = coordinator.all_members();
+                coordinator.resume(&mut self.sink);
+                self.coordinator = Some(coordinator);
+                self.home = me;
+                for member in members {
+                    if member != me {
+                        self.sink.send(
+                            member,
+                            ports::DAEMON,
+                            Msg::SyncMoved { new_home: me },
+                            mocha_net::MsgClass::Control,
+                        );
+                    }
+                }
+                // Redirect local components too.
+                self.daemon
+                    .on_msg(self.now(), me, Msg::SyncMoved { new_home: me }, &mut self.sink);
+                let _ = reply.send(());
+            }
+            AppRequest::Stop => {
+                self.stop = true;
+            }
+        }
+    }
+
+    /// Entry consistency check for the blocking API. Writes additionally
+    /// require an exclusive hold.
+    fn guard_check(&self, replica: ReplicaId, write: bool) -> Result<(), MochaError> {
+        match self.daemon.lock_of(replica) {
+            Some(lock) if lock != UNGUARDED => match self.held.get(&lock) {
+                Some((_, LockMode::Exclusive)) => Ok(()),
+                Some((_, LockMode::Shared)) if !write => Ok(()),
+                _ => Err(MochaError::NotLocked { lock }),
+            },
+            _ => Ok(()),
+        }
+    }
+
+    fn send_acquire(&mut self, lock: LockId, waiter: LockWaiter) {
+        let lease_ms = waiter.lease_ms;
+        let mode = waiter.mode;
+        let thread = waiter.thread;
+        self.pending_grant.insert(lock, waiter);
+        self.sink.send_tagged(
+            self.home,
+            ports::SYNC,
+            Msg::AcquireLock {
+                lock,
+                site: self.site,
+                thread,
+                lease_hint_ms: lease_ms,
+                mode,
+            },
+            mocha_net::MsgClass::Control,
+            SendTag::Acquire { lock },
+        );
+    }
+
+    fn handle_signal(&mut self, signal: Signal) {
+        match signal {
+            Signal::DataArrived { lock, .. } => {
+                if let Some(waiter) = self.wait_data.remove(&lock) {
+                    let have = self.daemon.version_of(lock);
+                    self.held.insert(lock, (have, waiter.mode));
+                    let freshness = if have >= waiter.promised {
+                        Freshness::Current
+                    } else {
+                        Freshness::Stale
+                    };
+                    let _ = waiter.reply.send(Ok(freshness));
+                }
+            }
+            Signal::PushesComplete { lock, acked } => {
+                if let Some((new_version, reply, was_revoked)) = self.wait_push.remove(&lock) {
+                    self.sink.send(
+                        self.home,
+                        ports::SYNC,
+                        Msg::ReleaseLock {
+                            lock,
+                            site: self.site,
+                            new_version,
+                            disseminated_to: acked,
+                        },
+                        mocha_net::MsgClass::Control,
+                    );
+                    if was_revoked {
+                        let _ = reply.send(Err(MochaError::LockBroken { lock }));
+                    } else {
+                        let _ = reply.send(Ok(()));
+                    }
+                }
+            }
+            Signal::HomeChanged { new_home } => {
+                self.home = new_home;
+                // Re-send any outstanding acquires to the surrogate.
+                let pending: Vec<LockId> = self.pending_grant.keys().copied().collect();
+                for lock in pending {
+                    if let Some(waiter) = self.pending_grant.remove(&lock) {
+                        self.send_acquire(lock, waiter);
+                    }
+                }
+            }
+            Signal::SpawnDone { req, result, ok } => {
+                if let Some(reply) = self.pending_spawns.remove(&req) {
+                    let _ = if ok {
+                        reply.send(Ok(result))
+                    } else {
+                        reply.send(Err(MochaError::SpawnFailed {
+                            task_class: String::new(),
+                            reason: result
+                                .get_str("error")
+                                .unwrap_or("remote failure")
+                                .to_string(),
+                        }))
+                    };
+                }
+            }
+        }
+    }
+
+    /// Drains command queues; loops because handling commands can queue
+    /// more (loopback messages, signal fan-out).
+    fn process_cmds(&mut self) {
+        let mut local: VecDeque<(Port, Msg)> = VecDeque::new();
+        loop {
+            let cmds = self.sink.drain();
+            if cmds.is_empty() && local.is_empty() {
+                break;
+            }
+            for cmd in cmds {
+                match cmd {
+                    Cmd::Send {
+                        to,
+                        port,
+                        msg,
+                        tag,
+                        ..
+                    } => {
+                        if to == self.site {
+                            local.push_back((port, msg));
+                        } else {
+                            let env = Envelope {
+                                from: self.site,
+                                port,
+                                msg,
+                            };
+                            if self.router.send(to, env).is_err() && tag != SendTag::None {
+                                // The peer is gone: deliver the failure to
+                                // the owning component, as the transport
+                                // timeout would in the wide area.
+                                let now = self.now();
+                                match &tag {
+                                    SendTag::TransferDirective { .. }
+                                    | SendTag::Heartbeat { .. } => {
+                                        if let Some(c) = self.coordinator.as_mut() {
+                                            c.on_send_failed(now, &tag, &mut self.sink);
+                                        }
+                                    }
+                                    SendTag::Push { .. } => {
+                                        self.daemon.on_send_failed(&tag, &mut self.sink);
+                                    }
+                                    SendTag::Acquire { lock } => {
+                                        if let Some(w) = self.pending_grant.remove(lock) {
+                                            let _ =
+                                                w.reply.send(Err(MochaError::HomeUnreachable));
+                                        }
+                                    }
+                                    SendTag::Spawn { .. } => {
+                                        self.manager.on_send_failed(&tag, &mut self.sink);
+                                    }
+                                    SendTag::None => {}
+                                }
+                            }
+                        }
+                    }
+                    Cmd::Charge(_) | Cmd::ChargeTime(_) => {
+                        // Real time passes on its own in this runtime.
+                    }
+                    Cmd::SetTimer { token, after } => {
+                        let generation = self.next_gen;
+                        self.next_gen += 1;
+                        self.timer_gen.insert(token, generation);
+                        self.timers.push(std::cmp::Reverse((
+                            Instant::now() + after,
+                            token,
+                            generation,
+                        )));
+                    }
+                    Cmd::CancelTimer { token } => {
+                        self.timer_gen.remove(&token);
+                    }
+                    Cmd::Signal(signal) => self.handle_signal(signal),
+                    Cmd::Note(_) => {}
+                    Cmd::Print(text) => self.prints.push(text),
+                }
+            }
+            if let Some((port, msg)) = local.pop_front() {
+                let site = self.site;
+                self.route_msg(site, port, msg);
+            }
+        }
+    }
+
+    fn run(mut self, rx: Receiver<LoopInput>) {
+        while !self.stop {
+            self.process_cmds();
+            let timeout = self
+                .next_deadline()
+                .map(|d| d.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_millis(200));
+            match rx.recv_timeout(timeout) {
+                Ok(input) => {
+                    self.handle_input(input);
+                    // Drain any further queued inputs without blocking.
+                    while let Ok(more) = rx.try_recv() {
+                        self.process_cmds();
+                        self.handle_input(more);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => self.fire_due_timers(),
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+}
+
+/// A handle application threads use to talk to their site. Cloneable and
+/// shareable across threads.
+#[derive(Clone)]
+pub struct MochaHandle {
+    site: SiteId,
+    tx: Sender<LoopInput>,
+}
+
+impl std::fmt::Debug for MochaHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MochaHandle({})", self.site)
+    }
+}
+
+impl MochaHandle {
+    /// This handle's site.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    fn call<T>(&self, build: impl FnOnce(Sender<T>) -> AppRequest) -> Result<T, MochaError> {
+        let (tx, rx) = unbounded();
+        self.tx
+            .send(LoopInput::App(build(tx)))
+            .map_err(|_| MochaError::Shutdown)?;
+        rx.recv_timeout(BLOCKING_TIMEOUT)
+            .map_err(|_| MochaError::HomeUnreachable)
+    }
+
+    /// Registers shared replicas guarded by `lock` at this site.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MochaError::Shutdown`] if the site has stopped.
+    pub fn register(&self, lock: LockId, specs: Vec<ReplicaSpec>) -> Result<(), MochaError> {
+        self.call(|reply| AppRequest::Register { lock, specs, reply })
+    }
+
+    /// Sets the availability configuration (UR) for `lock`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MochaError::Shutdown`] if the site has stopped.
+    pub fn set_availability(
+        &self,
+        lock: LockId,
+        avail: AvailabilityConfig,
+    ) -> Result<(), MochaError> {
+        self.call(|reply| AppRequest::SetAvailability { lock, avail, reply })
+    }
+
+    /// Acquires `lock`, blocking until granted and locally consistent —
+    /// the paper's `rlock1.lock()`.
+    ///
+    /// # Errors
+    ///
+    /// [`MochaError::HomeUnreachable`] if the coordinator cannot be
+    /// reached (or the request starves past the blocking timeout).
+    pub fn lock(&self, lock: LockId) -> Result<(), MochaError> {
+        self.lock_reporting(lock).map(|_| ())
+    }
+
+    /// Acquires `lock` exclusively, reporting whether the replica state is
+    /// [`Freshness::Current`] or the freshest *surviving* version after a
+    /// failure ([`Freshness::Stale`] — the paper's weakened consistency).
+    ///
+    /// # Errors
+    ///
+    /// See [`lock`](Self::lock).
+    pub fn lock_reporting(&self, lock: LockId) -> Result<Freshness, MochaError> {
+        self.call(|reply| AppRequest::Lock {
+            lock,
+            lease_ms: 0,
+            mode: LockMode::Exclusive,
+            reply,
+        })?
+    }
+
+    /// Acquires `lock` in shared (read-only) mode: concurrent shared
+    /// holders at different sites may read the replicas simultaneously.
+    ///
+    /// # Errors
+    ///
+    /// See [`lock`](Self::lock).
+    pub fn lock_shared(&self, lock: LockId) -> Result<(), MochaError> {
+        self.call(|reply| AppRequest::Lock {
+            lock,
+            lease_ms: 0,
+            mode: LockMode::Shared,
+            reply,
+        })?
+        .map(|_| ())
+    }
+
+    /// Acquires `lock` declaring an expected hold time (the §4 lease
+    /// hint).
+    ///
+    /// # Errors
+    ///
+    /// See [`lock`](Self::lock).
+    pub fn lock_with_lease(&self, lock: LockId, lease: Duration) -> Result<(), MochaError> {
+        let lease_ms = u32::try_from(lease.as_millis()).unwrap_or(u32::MAX);
+        self.call(|reply| AppRequest::Lock {
+            lock,
+            lease_ms,
+            mode: LockMode::Exclusive,
+            reply,
+        })?
+        .map(|_| ())
+    }
+
+    /// Releases `lock` — the paper's `rlock1.unlock()`. Set `dirty` when
+    /// replicas were modified so the version advances and dissemination
+    /// runs.
+    ///
+    /// # Errors
+    ///
+    /// [`MochaError::NotLocked`] if not held here;
+    /// [`MochaError::LockBroken`] if the coordinator revoked it while
+    /// held.
+    pub fn unlock(&self, lock: LockId, dirty: bool) -> Result<(), MochaError> {
+        self.call(|reply| AppRequest::Unlock { lock, dirty, reply })?
+    }
+
+    /// Reads a replica's current local value (requires holding its lock
+    /// if guarded).
+    ///
+    /// # Errors
+    ///
+    /// [`MochaError::NotLocked`] / [`MochaError::UnknownReplica`].
+    pub fn read(&self, replica: ReplicaId) -> Result<ReplicaPayload, MochaError> {
+        self.call(|reply| AppRequest::Read { replica, reply })?
+    }
+
+    /// Writes a replica's local value (requires holding its lock if
+    /// guarded).
+    ///
+    /// # Errors
+    ///
+    /// [`MochaError::NotLocked`] / [`MochaError::UnknownReplica`].
+    pub fn write(&self, replica: ReplicaId, payload: ReplicaPayload) -> Result<(), MochaError> {
+        self.call(|reply| AppRequest::Write {
+            replica,
+            payload,
+            reply,
+        })?
+    }
+
+    /// Publishes an unsynchronized cached replica's local value to all
+    /// members — the paper's §7 non-synchronization-based consistency
+    /// exploration. No lock is involved; concurrent publications converge
+    /// last-writer-wins.
+    ///
+    /// # Errors
+    ///
+    /// [`MochaError::UnknownReplica`] if not registered here.
+    pub fn publish(&self, replica: ReplicaId) -> Result<(), MochaError> {
+        self.call(|reply| AppRequest::Publish { replica, reply })?
+    }
+
+    /// Spawns a task at `dest` and blocks for its result travel bag — the
+    /// paper's `mocha.spawn("Myhello", p)` followed by collecting the
+    /// `ResultHandle`.
+    ///
+    /// # Errors
+    ///
+    /// [`MochaError::SpawnFailed`] if the task errored remotely;
+    /// [`MochaError::HomeUnreachable`] on timeout.
+    pub fn spawn(
+        &self,
+        dest: SiteId,
+        task_class: &str,
+        params: &Parameter,
+    ) -> Result<TravelBag, MochaError> {
+        self.spawn_async(dest, task_class, params)?.wait()
+    }
+
+    /// Spawns a task without blocking, returning the paper's
+    /// `ResultHandle` to collect later.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MochaError::Shutdown`] if the site has stopped.
+    pub fn spawn_async(
+        &self,
+        dest: SiteId,
+        task_class: &str,
+        params: &Parameter,
+    ) -> Result<ResultHandle, MochaError> {
+        let (tx, rx) = unbounded();
+        self.tx
+            .send(LoopInput::App(AppRequest::Spawn {
+                dest,
+                task_class: task_class.to_string(),
+                params: params.clone(),
+                reply: tx,
+            }))
+            .map_err(|_| MochaError::Shutdown)?;
+        Ok(ResultHandle { rx })
+    }
+
+    /// Takes the `mochaPrintln` output collected at this site.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MochaError::Shutdown`] if the site has stopped.
+    pub fn take_prints(&self) -> Result<Vec<String>, MochaError> {
+        self.call(|reply| AppRequest::TakePrints { reply })
+    }
+}
+
+/// Builder for [`ThreadRuntime`].
+pub struct ThreadRuntimeBuilder {
+    sites: usize,
+    config: MochaConfig,
+    registry: TaskRegistry,
+}
+
+impl ThreadRuntimeBuilder {
+    /// Number of sites (site 0 is the home site).
+    #[must_use]
+    pub fn sites(mut self, n: usize) -> Self {
+        self.sites = n;
+        self
+    }
+
+    /// Mocha configuration.
+    #[must_use]
+    pub fn config(mut self, config: MochaConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Task registry for spawn support.
+    #[must_use]
+    pub fn registry(mut self, registry: TaskRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Starts all site event loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites == 0` or the configuration is invalid.
+    pub fn build(self) -> ThreadRuntime {
+        assert!(self.sites >= 1);
+        self.config.validate().expect("invalid MochaConfig");
+        let router = Arc::new(Router::default());
+        let registry = Arc::new(self.registry);
+        let epoch = Instant::now();
+        let home = SiteId(0);
+        let stable_log: Arc<Mutex<Vec<(SiteId, Msg)>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        let mut joins = Vec::new();
+        for i in 0..self.sites {
+            let site = SiteId(i as u32);
+            let (tx, rx) = unbounded();
+            router.senders.write().insert(site, tx.clone());
+            let core = SiteCore {
+                site,
+                home,
+                config: self.config,
+                daemon: SiteDaemon::new(site, home, self.config.codec),
+                coordinator: (site == home).then(|| SyncCoordinator::new(home, self.config)),
+                manager: SiteManager::new(site, registry.clone(), site == home),
+                sink: CmdSink::new(),
+                router: router.clone(),
+                epoch,
+                stable_log: stable_log.clone(),
+                avail: HashMap::new(),
+                pending_grant: HashMap::new(),
+                wait_data: HashMap::new(),
+                held: HashMap::new(),
+                revoked: HashMap::new(),
+                local_queue: HashMap::new(),
+                wait_push: HashMap::new(),
+                pending_spawns: HashMap::new(),
+                prints: Vec::new(),
+                timers: BinaryHeap::new(),
+                timer_gen: HashMap::new(),
+                next_gen: 0,
+                next_thread: 0,
+                stop: false,
+            };
+            let join = std::thread::Builder::new()
+                .name(format!("mocha-site-{i}"))
+                .spawn(move || core.run(rx))
+                .expect("spawn site thread");
+            handles.push(MochaHandle { site, tx });
+            joins.push(Some(join));
+        }
+        ThreadRuntime {
+            router,
+            handles,
+            joins,
+            killed: Vec::new(),
+            config: self.config,
+            registry,
+            epoch,
+            stable_log,
+        }
+    }
+}
+
+/// A running multi-threaded Mocha deployment.
+pub struct ThreadRuntime {
+    router: Arc<Router>,
+    handles: Vec<MochaHandle>,
+    joins: Vec<Option<JoinHandle<()>>>,
+    killed: Vec<SiteId>,
+    config: MochaConfig,
+    registry: Arc<TaskRegistry>,
+    epoch: Instant,
+    stable_log: Arc<Mutex<Vec<(SiteId, Msg)>>>,
+}
+
+impl std::fmt::Debug for ThreadRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadRuntime")
+            .field("sites", &self.handles.len())
+            .field("killed", &self.killed)
+            .finish()
+    }
+}
+
+impl ThreadRuntime {
+    /// Starts building a runtime. Defaults: 2 sites, default config.
+    pub fn builder() -> ThreadRuntimeBuilder {
+        ThreadRuntimeBuilder {
+            sites: 2,
+            config: MochaConfig::default(),
+            registry: TaskRegistry::new(),
+        }
+    }
+
+    /// The handle for site `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn handle(&self, i: usize) -> MochaHandle {
+        self.handles[i].clone()
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Kills a site: its event loop stops and all subsequent sends to it
+    /// fail — the wide-area "remote node reboot" failure.
+    pub fn kill_site(&mut self, i: usize) {
+        let site = self.handles[i].site;
+        self.router.remove(site);
+        let _ = self.handles[i].tx.send(LoopInput::App(AppRequest::Stop));
+        if let Some(join) = self.joins[i].take() {
+            let _ = join.join();
+        }
+        self.killed.push(site);
+    }
+
+    /// Reboots a killed site with a fresh, empty Mocha stack. The new
+    /// incarnation must re-register its replicas to rejoin (which also
+    /// lifts any coordinator blacklist entry). The returned handle (and
+    /// all future `handle(i)` calls) talk to the new incarnation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site was never killed.
+    pub fn restart_site(&mut self, i: usize) -> MochaHandle {
+        let site = self.handles[i].site;
+        assert!(
+            self.killed.contains(&site),
+            "restart_site requires a killed site"
+        );
+        self.killed.retain(|s| *s != site);
+        let (tx, rx) = unbounded();
+        self.router.senders.write().insert(site, tx.clone());
+        let core = SiteCore {
+            site,
+            home: SiteId(0),
+            config: self.config,
+            daemon: SiteDaemon::new(site, SiteId(0), self.config.codec),
+            coordinator: (site == SiteId(0))
+                .then(|| SyncCoordinator::new(SiteId(0), self.config)),
+            manager: SiteManager::new(site, self.registry.clone(), site == SiteId(0)),
+            sink: CmdSink::new(),
+            router: self.router.clone(),
+            epoch: self.epoch,
+            stable_log: self.stable_log.clone(),
+            avail: HashMap::new(),
+            pending_grant: HashMap::new(),
+            wait_data: HashMap::new(),
+            held: HashMap::new(),
+            revoked: HashMap::new(),
+            local_queue: HashMap::new(),
+            wait_push: HashMap::new(),
+            pending_spawns: HashMap::new(),
+            prints: Vec::new(),
+            timers: BinaryHeap::new(),
+            timer_gen: HashMap::new(),
+            next_gen: 0,
+            next_thread: 0,
+            stop: false,
+        };
+        let join = std::thread::Builder::new()
+            .name(format!("mocha-site-{i}-reborn"))
+            .spawn(move || core.run(rx))
+            .expect("spawn site thread");
+        self.joins[i] = Some(join);
+        self.handles[i] = MochaHandle { site, tx };
+        self.handles[i].clone()
+    }
+
+    /// Promotes site `i` to surrogate coordinator, replaying the home's
+    /// stable-storage state log — the §4 synchronization-thread recovery
+    /// for the real-thread runtime. Typically called after
+    /// [`kill_site`](Self::kill_site)(0).
+    pub fn promote_coordinator(&mut self, i: usize) {
+        let log = self.stable_log.lock().clone();
+        let (tx, rx) = unbounded();
+        let _ = self.handles[i]
+            .tx
+            .send(LoopInput::App(AppRequest::Promote { log, reply: tx }));
+        let _ = rx.recv_timeout(BLOCKING_TIMEOUT);
+    }
+
+    /// Stops every site and joins their threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        for i in 0..self.handles.len() {
+            let site = self.handles[i].site;
+            self.router.remove(site);
+            let _ = self.handles[i].tx.send(LoopInput::App(AppRequest::Stop));
+        }
+        for join in &mut self.joins {
+            if let Some(j) = join.take() {
+                let _ = j.join();
+            }
+        }
+    }
+}
+
+impl Drop for ThreadRuntime {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replica::replica_id;
+    use crate::spawn::TaskSpec;
+
+    const L: LockId = LockId(1);
+
+    fn specs(name: &str) -> Vec<ReplicaSpec> {
+        vec![ReplicaSpec::new(name, ReplicaPayload::empty())]
+    }
+
+    #[test]
+    fn blocking_lock_write_read_across_sites() {
+        let rt = ThreadRuntime::builder().sites(2).build();
+        let a = rt.handle(0);
+        let b = rt.handle(1);
+        let idx = replica_id("idx");
+        a.register(L, specs("idx")).unwrap();
+        b.register(L, specs("idx")).unwrap();
+
+        a.lock(L).unwrap();
+        a.write(idx, ReplicaPayload::I32s(vec![41])).unwrap();
+        a.unlock(L, true).unwrap();
+
+        b.lock(L).unwrap();
+        assert_eq!(b.read(idx).unwrap(), ReplicaPayload::I32s(vec![41]));
+        b.write(idx, ReplicaPayload::I32s(vec![42])).unwrap();
+        b.unlock(L, true).unwrap();
+
+        a.lock(L).unwrap();
+        assert_eq!(a.read(idx).unwrap(), ReplicaPayload::I32s(vec![42]));
+        a.unlock(L, false).unwrap();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn guarded_access_requires_lock() {
+        let rt = ThreadRuntime::builder().sites(1).build();
+        let a = rt.handle(0);
+        let idx = replica_id("g");
+        a.register(L, specs("g")).unwrap();
+        assert!(matches!(
+            a.write(idx, ReplicaPayload::empty()),
+            Err(MochaError::NotLocked { .. })
+        ));
+        a.lock(L).unwrap();
+        a.write(idx, ReplicaPayload::empty()).unwrap();
+        a.unlock(L, false).unwrap();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn unlock_without_lock_errors() {
+        let rt = ThreadRuntime::builder().sites(1).build();
+        let a = rt.handle(0);
+        assert!(matches!(
+            a.unlock(L, false),
+            Err(MochaError::NotLocked { .. })
+        ));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn contended_lock_serialises_writers() {
+        let rt = ThreadRuntime::builder().sites(3).build();
+        let idx = replica_id("ctr");
+        for i in 0..3 {
+            rt.handle(i).register(L, specs("ctr")).unwrap();
+        }
+        rt.handle(0).lock(L).unwrap();
+        rt.handle(0)
+            .write(idx, ReplicaPayload::I32s(vec![0]))
+            .unwrap();
+        rt.handle(0).unlock(L, true).unwrap();
+
+        let mut workers = Vec::new();
+        for i in 0..3 {
+            let h = rt.handle(i);
+            workers.push(std::thread::spawn(move || {
+                for _ in 0..10 {
+                    h.lock(L).unwrap();
+                    let ReplicaPayload::I32s(v) = h.read(idx).unwrap() else {
+                        panic!("wrong type");
+                    };
+                    h.write(idx, ReplicaPayload::I32s(vec![v[0] + 1])).unwrap();
+                    h.unlock(L, true).unwrap();
+                }
+            }));
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        rt.handle(0).lock(L).unwrap();
+        assert_eq!(
+            rt.handle(0).read(idx).unwrap(),
+            ReplicaPayload::I32s(vec![30]),
+            "30 increments under mutual exclusion"
+        );
+        rt.handle(0).unlock(L, false).unwrap();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn spawn_round_trip() {
+        let mut reg = TaskRegistry::new();
+        reg.register_task(
+            "AddOne",
+            TaskSpec {
+                requires: vec![],
+                compute: Duration::ZERO,
+                body: Arc::new(|p, _| {
+                    let x = p.get_i32("x").map_err(|e| e.to_string())?;
+                    let mut out = TravelBag::new();
+                    out.add("y", x + 1);
+                    Ok(out)
+                }),
+            },
+        );
+        let rt = ThreadRuntime::builder().sites(2).registry(reg).build();
+        let mut params = Parameter::new();
+        params.add("x", 4);
+        let out = rt.handle(0).spawn(SiteId(1), "AddOne", &params).unwrap();
+        assert_eq!(out.get_i32("y").unwrap(), 5);
+        rt.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod handle_tests {
+    use super::*;
+    use crate::hostfile::HostFile;
+    use crate::spawn::TaskSpec;
+
+    #[test]
+    fn async_spawns_overlap_and_collect_via_result_handles() {
+        let mut reg = TaskRegistry::new();
+        reg.register_task(
+            "Slow",
+            TaskSpec {
+                requires: vec![],
+                compute: Duration::ZERO,
+                body: Arc::new(|p, _| {
+                    std::thread::sleep(Duration::from_millis(30));
+                    let x = p.get_i32("x").map_err(|e| e.to_string())?;
+                    let mut out = TravelBag::new();
+                    out.add("sq", x * x);
+                    Ok(out)
+                }),
+            },
+        );
+        let rt = ThreadRuntime::builder().sites(4).registry(reg).build();
+        let home = rt.handle(0);
+        let mut hosts = HostFile::all_remote(4);
+        // Fan out via the hostfile's round-robin placement (Figure 1's
+        // spawn-without-naming-a-host).
+        let handles: Vec<(i32, ResultHandle)> = (1..=6)
+            .map(|x| {
+                let mut p = Parameter::new();
+                p.add("x", x);
+                let dest = hosts.next_site();
+                (x, home.spawn_async(dest, "Slow", &p).unwrap())
+            })
+            .collect();
+        for (x, rh) in handles {
+            let out = rh.wait().unwrap();
+            assert_eq!(out.get_i32("sq").unwrap(), x * x);
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn try_wait_returns_handle_while_running() {
+        let mut reg = TaskRegistry::new();
+        reg.register_task(
+            "Sleepy",
+            TaskSpec {
+                requires: vec![],
+                compute: Duration::ZERO,
+                body: Arc::new(|_, _| {
+                    std::thread::sleep(Duration::from_millis(150));
+                    Ok(TravelBag::new())
+                }),
+            },
+        );
+        let rt = ThreadRuntime::builder().sites(2).registry(reg).build();
+        let rh = rt
+            .handle(0)
+            .spawn_async(SiteId(1), "Sleepy", &Parameter::new())
+            .unwrap();
+        // Immediately: still running.
+        let rh = match rh.try_wait() {
+            Err(rh) => rh,
+            Ok(_) => panic!("finished suspiciously fast"),
+        };
+        assert!(rh.wait().is_ok());
+        rt.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod reboot_tests {
+    use super::*;
+    use crate::replica::replica_id;
+
+    #[test]
+    fn killed_site_reboots_and_rejoins() {
+        let mut rt = ThreadRuntime::builder().sites(3).build();
+        let lock = LockId(1);
+        let idx = replica_id("v");
+        for i in 0..3 {
+            rt.handle(i)
+                .register(lock, vec![ReplicaSpec::new("v", ReplicaPayload::empty())])
+                .unwrap();
+        }
+        let h1 = rt.handle(1);
+        h1.lock(lock).unwrap();
+        h1.write(idx, ReplicaPayload::I32s(vec![6])).unwrap();
+        h1.unlock(lock, true).unwrap();
+
+        rt.kill_site(2);
+        let h2 = rt.restart_site(2);
+        // The fresh incarnation re-registers and reads current state.
+        h2.register(lock, vec![ReplicaSpec::new("v", ReplicaPayload::empty())])
+            .unwrap();
+        h2.lock(lock).unwrap();
+        assert_eq!(h2.read(idx).unwrap(), ReplicaPayload::I32s(vec![6]));
+        h2.unlock(lock, false).unwrap();
+        rt.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod surrogate_tests {
+    use super::*;
+    use crate::replica::replica_id;
+
+    #[test]
+    fn surrogate_promotion_in_real_threads() {
+        // Short lease/scan so a phantom hold (release lost with the dead
+        // home) self-heals quickly via the heartbeat hold-check.
+        let mut rt = ThreadRuntime::builder()
+            .sites(3)
+            .config(MochaConfig {
+                default_lease: Duration::from_millis(400),
+                lease_scan_interval: Duration::from_millis(150),
+                heartbeat_timeout: Duration::from_millis(300),
+                ..MochaConfig::default()
+            })
+            .build();
+        let lock = LockId(1);
+        let idx = replica_id("s");
+        for i in 0..3 {
+            rt.handle(i)
+                .register(lock, vec![ReplicaSpec::new("s", ReplicaPayload::empty())])
+                .unwrap();
+        }
+        // Normal traffic establishes coordinator state.
+        let h1 = rt.handle(1);
+        h1.lock(lock).unwrap();
+        h1.write(idx, ReplicaPayload::Utf8("pre-crash".into())).unwrap();
+        h1.unlock(lock, true).unwrap();
+
+        // The home dies; site 2 becomes the surrogate.
+        rt.kill_site(0);
+        rt.promote_coordinator(2);
+        // Give the SyncMoved broadcast a moment to land everywhere.
+        std::thread::sleep(Duration::from_millis(200));
+
+        // Locking still works, served by the surrogate, with state intact.
+        let h2 = rt.handle(2);
+        h2.lock(lock).unwrap();
+        assert_eq!(h2.read(idx).unwrap(), ReplicaPayload::Utf8("pre-crash".into()));
+        h2.write(idx, ReplicaPayload::Utf8("post-takeover".into())).unwrap();
+        h2.unlock(lock, true).unwrap();
+
+        h1.lock(lock).unwrap();
+        assert_eq!(
+            h1.read(idx).unwrap(),
+            ReplicaPayload::Utf8("post-takeover".into())
+        );
+        h1.unlock(lock, false).unwrap();
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,768 @@
+//! Remote evaluation: spawn, code shipping, site managers (paper §2).
+//!
+//! Mocha's model is "an initial *push* of application code followed by
+//! *demand pulling* of new application code object classes as they are
+//! encountered during execution". We reproduce the mechanics with real
+//! bytes on the wire:
+//!
+//! * a [`TaskRegistry`] declares task classes: the classes they require at
+//!   run time, their synthetic "bytecode" (size matters — it is
+//!   transferred), a compute cost, and a body closure (the `mochastart`
+//!   method);
+//! * [`SiteManager::spawn`] sends a `SpawnRequest` plus unsolicited
+//!   `CodeResponse` pushes for the initial classes;
+//! * the receiving site manager checks its code cache, demand-pulls any
+//!   missing classes with `CodeRequest`, then runs the task and returns a
+//!   `SpawnResult` travel bag;
+//! * task bodies get a [`TaskCtx`] supporting `mochaPrintln` (forwarded as
+//!   `RemotePrint`) and recursive spawning.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use mocha_net::{ports, MsgClass};
+use mocha_sim::{SimTime, Work};
+use mocha_wire::{Msg, RequestId, SiteId};
+
+use crate::cmd::{CmdSink, SendTag, Signal};
+use crate::travelbag::{Parameter, TravelBag};
+
+/// The execution context handed to a running task body — the paper's
+/// `Mocha` "travel bag" object, minus the shared-object methods (those go
+/// through scripts/handles).
+#[derive(Debug, Default)]
+pub struct TaskCtx {
+    prints: Vec<String>,
+    spawns: Vec<(SiteId, String, Parameter)>,
+}
+
+impl TaskCtx {
+    /// Remote printing (`mocha.mochaPrintln`): the line is forwarded to
+    /// the spawning site.
+    pub fn println(&mut self, text: impl Into<String>) {
+        self.prints.push(text.into());
+    }
+
+    /// Recursively spawns another task (the paper: a thread may
+    /// "recursively spawn other wide area computing threads").
+    pub fn spawn(&mut self, dest: SiteId, task_class: impl Into<String>, params: Parameter) {
+        self.spawns.push((dest, task_class.into(), params));
+    }
+}
+
+/// A task body: the `mochastart` method.
+pub type TaskBody =
+    Arc<dyn Fn(&Parameter, &mut TaskCtx) -> Result<TravelBag, String> + Send + Sync>;
+
+/// Declares one spawnable task class.
+#[derive(Clone)]
+pub struct TaskSpec {
+    /// Classes demand-pulled when the task runs (beyond the task class
+    /// itself, which is pushed with the spawn).
+    pub requires: Vec<String>,
+    /// CPU time the task consumes.
+    pub compute: Duration,
+    /// The code to run.
+    pub body: TaskBody,
+}
+
+impl fmt::Debug for TaskSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaskSpec")
+            .field("requires", &self.requires)
+            .field("compute", &self.compute)
+            .finish()
+    }
+}
+
+/// What a site manager will agree to execute on behalf of remote callers
+/// — the reproduction's version of Mocha's "secure environment" for
+/// shipped code (§1/§2). A 1997 Java security manager sandboxed bytecode;
+/// here the sandbox boundary is *which* task classes a site accepts and
+/// how much code it will link.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub enum SecurityPolicy {
+    /// Accept any registered task from any site.
+    #[default]
+    AllowAll,
+    /// Accept only the listed task classes.
+    Allowlist(Vec<String>),
+    /// Refuse all remote evaluation.
+    DenyAll,
+}
+
+impl SecurityPolicy {
+    /// Whether a spawn of `task_class` is permitted.
+    pub fn permits(&self, task_class: &str) -> bool {
+        match self {
+            SecurityPolicy::AllowAll => true,
+            SecurityPolicy::Allowlist(classes) => {
+                classes.iter().any(|c| c == task_class)
+            }
+            SecurityPolicy::DenyAll => false,
+        }
+    }
+}
+
+
+/// All task classes and code units an application ships.
+#[derive(Debug, Default)]
+pub struct TaskRegistry {
+    tasks: HashMap<String, TaskSpec>,
+    code: HashMap<String, Vec<u8>>,
+}
+
+impl TaskRegistry {
+    /// An empty registry.
+    pub fn new() -> TaskRegistry {
+        TaskRegistry::default()
+    }
+
+    /// Registers a task class. A synthetic 4 KiB code unit is created for
+    /// it unless [`register_code`](Self::register_code) provided one.
+    pub fn register_task(&mut self, name: impl Into<String>, spec: TaskSpec) -> &mut Self {
+        let name = name.into();
+        self.code
+            .entry(name.clone())
+            .or_insert_with(|| vec![0xCA; 4096]);
+        for dep in &spec.requires {
+            self.code
+                .entry(dep.clone())
+                .or_insert_with(|| vec![0xFE; 4096]);
+        }
+        self.tasks.insert(name, spec);
+        self
+    }
+
+    /// Registers (or overrides) a code unit's bytes.
+    pub fn register_code(&mut self, name: impl Into<String>, bytes: Vec<u8>) -> &mut Self {
+        self.code.insert(name.into(), bytes);
+        self
+    }
+
+    /// Looks up a task class.
+    pub fn task(&self, name: &str) -> Option<&TaskSpec> {
+        self.tasks.get(name)
+    }
+
+    /// Looks up a code unit.
+    pub fn code(&self, name: &str) -> Option<&[u8]> {
+        self.code.get(name).map(Vec::as_slice)
+    }
+}
+
+/// A completed spawn, as observed by the originating site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpawnOutcome {
+    /// The spawn's request id.
+    pub req: RequestId,
+    /// Whether the task ran to completion.
+    pub ok: bool,
+    /// The task's result bag (empty on failure).
+    pub result: TravelBag,
+}
+
+/// A spawn received from elsewhere, waiting for code to arrive.
+#[derive(Debug)]
+struct PendingTask {
+    task_class: String,
+    params: Parameter,
+    missing: HashSet<String>,
+    origin: SiteId,
+    req: RequestId,
+}
+
+/// The per-site manager handling spawns, code shipping and task
+/// execution.
+pub struct SiteManager {
+    me: SiteId,
+    registry: Arc<TaskRegistry>,
+    policy: SecurityPolicy,
+    /// Classes whose code has arrived at this site. The spawning site
+    /// holds all code from the start (it *is* the application).
+    code_cache: HashSet<String>,
+    pending: Vec<PendingTask>,
+    next_req: RequestId,
+    outcomes: Vec<SpawnOutcome>,
+    prints: Vec<(SiteId, String)>,
+}
+
+impl fmt::Debug for SiteManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SiteManager")
+            .field("me", &self.me)
+            .field("cached_classes", &self.code_cache.len())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl SiteManager {
+    /// Creates a site manager. `has_all_code` marks the originating
+    /// (home) site, which owns the application's code from the start.
+    pub fn new(me: SiteId, registry: Arc<TaskRegistry>, has_all_code: bool) -> SiteManager {
+        let code_cache = if has_all_code {
+            registry.code.keys().cloned().collect()
+        } else {
+            HashSet::new()
+        };
+        SiteManager {
+            me,
+            registry,
+            policy: SecurityPolicy::default(),
+            code_cache,
+            pending: Vec::new(),
+            next_req: RequestId(1),
+            outcomes: Vec::new(),
+            prints: Vec::new(),
+        }
+    }
+
+    /// Spawns `task_class` at `dest` with `params` — the paper's
+    /// `mocha.spawn("Myhello", p)`. Pushes the task's own code unit along
+    /// with the request; further classes are demand-pulled.
+    pub fn spawn(
+        &mut self,
+        dest: SiteId,
+        task_class: &str,
+        params: &Parameter,
+        sink: &mut CmdSink,
+    ) -> RequestId {
+        let req = self.next_req;
+        self.next_req = self.next_req.next();
+        sink.send_tagged(
+            dest,
+            ports::SITE_MANAGER,
+            Msg::SpawnRequest {
+                task_class: task_class.to_string(),
+                params: params.encode(),
+                pushed_classes: vec![task_class.to_string()],
+                req,
+            },
+            MsgClass::Control,
+            SendTag::Spawn { req },
+        );
+        // The initial push: the task's code travels as an unsolicited
+        // CodeResponse (bulk — code units can be large).
+        if let Some(code) = self.registry.code(task_class) {
+            sink.send(
+                dest,
+                ports::SITE_MANAGER,
+                Msg::CodeResponse {
+                    class: task_class.to_string(),
+                    code: code.to_vec(),
+                    req,
+                },
+                MsgClass::Bulk,
+            );
+        }
+        req
+    }
+
+    /// Installs this site's security policy for incoming spawns.
+    pub fn set_policy(&mut self, policy: SecurityPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active security policy.
+    pub fn policy(&self) -> &SecurityPolicy {
+        &self.policy
+    }
+
+    /// Outcomes of spawns that originated here.
+    pub fn outcomes(&self) -> &[SpawnOutcome] {
+        &self.outcomes
+    }
+
+    /// Remote print lines received here, in arrival order.
+    pub fn prints(&self) -> &[(SiteId, String)] {
+        &self.prints
+    }
+
+    /// Classes currently cached at this site.
+    pub fn cached_classes(&self) -> usize {
+        self.code_cache.len()
+    }
+
+    /// Handles a protocol message addressed to the SITE_MANAGER port.
+    pub fn on_msg(&mut self, _now: SimTime, from: SiteId, msg: Msg, sink: &mut CmdSink) {
+        sink.charge(Work::events(1));
+        match msg {
+            Msg::SpawnRequest {
+                task_class,
+                params,
+                pushed_classes,
+                req,
+            } => {
+                let params = match Parameter::decode(&params) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        sink.send(
+                            from,
+                            ports::SITE_MANAGER,
+                            Msg::SpawnResult {
+                                req,
+                                result: TravelBag::new().add("error", e.to_string()).encode(),
+                                ok: false,
+                            },
+                            MsgClass::Control,
+                        );
+                        return;
+                    }
+                };
+                if !self.policy.permits(&task_class) {
+                    sink.note(format!(
+                        "security policy refused spawn of {task_class:?} from {from}"
+                    ));
+                    sink.send(
+                        from,
+                        ports::SITE_MANAGER,
+                        Msg::SpawnResult {
+                            req,
+                            result: {
+                                let mut bag = TravelBag::new();
+                                bag.add(
+                                    "error",
+                                    format!("security policy refuses {task_class:?}"),
+                                );
+                                bag.encode()
+                            },
+                            ok: false,
+                        },
+                        MsgClass::Control,
+                    );
+                    return;
+                }
+                let Some(spec) = self.registry.task(&task_class) else {
+                    sink.send(
+                        from,
+                        ports::SITE_MANAGER,
+                        Msg::SpawnResult {
+                            req,
+                            result: TravelBag::new()
+                                .add("error", format!("unknown task class {task_class:?}"))
+                                .encode(),
+                            ok: false,
+                        },
+                        MsgClass::Control,
+                    );
+                    return;
+                };
+                // Classes needed: the task itself plus its requirements.
+                let mut missing: HashSet<String> = HashSet::new();
+                for class in std::iter::once(&task_class).chain(spec.requires.iter()) {
+                    // Pushed classes will arrive alongside; don't pull
+                    // them, but they still count as missing until the
+                    // bytes land.
+                    if !self.code_cache.contains(class) {
+                        missing.insert(class.clone());
+                        if !pushed_classes.contains(class) {
+                            // Demand pull (the paper's model).
+                            sink.send(
+                                from,
+                                ports::SITE_MANAGER,
+                                Msg::CodeRequest {
+                                    class: class.clone(),
+                                    req,
+                                },
+                                MsgClass::Control,
+                            );
+                        }
+                    }
+                }
+                let task = PendingTask {
+                    task_class,
+                    params,
+                    missing,
+                    origin: from,
+                    req,
+                };
+                if task.missing.is_empty() {
+                    self.run_task(task, sink);
+                } else {
+                    self.pending.push(task);
+                }
+            }
+            Msg::CodeRequest { class, req: _ } => match self.registry.code(&class) {
+                Some(code) if self.code_cache.contains(&class) => {
+                    sink.send(
+                        from,
+                        ports::SITE_MANAGER,
+                        Msg::CodeResponse {
+                            class,
+                            code: code.to_vec(),
+                            req: RequestId(0),
+                        },
+                        MsgClass::Bulk,
+                    );
+                }
+                _ => {
+                    sink.note(format!("code request for unknown class {class:?}"));
+                }
+            },
+            Msg::CodeResponse { class, code, .. } => {
+                // Loading/linking the class costs user-level work
+                // proportional to its size (dynamic class loading in an
+                // interpreter).
+                sink.charge(Work::user_bytes(code.len() as u64));
+                self.code_cache.insert(class.clone());
+                // Any pending tasks waiting on this class?
+                let mut ready = Vec::new();
+                for task in &mut self.pending {
+                    task.missing.remove(&class);
+                    if task.missing.is_empty() {
+                        ready.push(task.req);
+                    }
+                }
+                for req in ready {
+                    let idx = self
+                        .pending
+                        .iter()
+                        .position(|t| t.req == req)
+                        .expect("just saw it");
+                    let task = self.pending.swap_remove(idx);
+                    self.run_task(task, sink);
+                }
+            }
+            Msg::SpawnResult { req, result, ok } => {
+                let result = TravelBag::decode(&result).unwrap_or_default();
+                self.outcomes.push(SpawnOutcome {
+                    req,
+                    ok,
+                    result: result.clone(),
+                });
+                sink.signal(Signal::SpawnDone { req, result, ok });
+            }
+            Msg::RemotePrint { site, text } => {
+                self.prints.push((site, text.clone()));
+                sink.print(text);
+            }
+            other => {
+                sink.note(format!("site manager ignoring {other:?}"));
+            }
+        }
+    }
+
+    /// Handles a transport failure of a tagged spawn request: the
+    /// destination site is dead, so the spawn fails locally — the wide-area
+    /// behaviour the paper motivates ("the autonomy of nodes can result in
+    /// a remote node reboot").
+    pub fn on_send_failed(&mut self, tag: &SendTag, sink: &mut CmdSink) {
+        let SendTag::Spawn { req } = tag else {
+            return;
+        };
+        if self.outcomes.iter().any(|o| o.req == *req) {
+            return; // already completed
+        }
+        let mut bag = TravelBag::new();
+        bag.add("error", "destination site unreachable");
+        self.outcomes.push(SpawnOutcome {
+            req: *req,
+            ok: false,
+            result: bag.clone(),
+        });
+        sink.signal(Signal::SpawnDone {
+            req: *req,
+            result: bag,
+            ok: false,
+        });
+    }
+
+    /// Runs a task whose code is fully present.
+    fn run_task(&mut self, task: PendingTask, sink: &mut CmdSink) {
+        let spec = self
+            .registry
+            .task(&task.task_class)
+            .expect("checked at request time")
+            .clone();
+        sink.charge_time(spec.compute);
+        let mut ctx = TaskCtx::default();
+        let (result, ok) = match (spec.body)(&task.params, &mut ctx) {
+            Ok(bag) => (bag, true),
+            Err(e) => {
+                let mut bag = TravelBag::new();
+                bag.add("error", e);
+                (bag, false)
+            }
+        };
+        for line in ctx.prints {
+            sink.send(
+                task.origin,
+                ports::SITE_MANAGER,
+                Msg::RemotePrint {
+                    site: self.me,
+                    text: line,
+                },
+                MsgClass::Control,
+            );
+        }
+        for (dest, class, params) in ctx.spawns {
+            self.spawn(dest, &class, &params, sink);
+        }
+        sink.send(
+            task.origin,
+            ports::SITE_MANAGER,
+            Msg::SpawnResult {
+                req: task.req,
+                result: result.encode(),
+                ok,
+            },
+            MsgClass::Control,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmd::Cmd;
+
+    const HOME: SiteId = SiteId(0);
+    const REMOTE: SiteId = SiteId(1);
+
+    fn registry() -> Arc<TaskRegistry> {
+        let mut reg = TaskRegistry::new();
+        reg.register_task(
+            "Myhello",
+            TaskSpec {
+                requires: vec![],
+                compute: Duration::from_millis(1),
+                body: Arc::new(|params, ctx| {
+                    let start = params.get_f64("start").map_err(|e| e.to_string())?;
+                    let sum = start + 1.0;
+                    ctx.println(format!("Returning as a return value {sum}"));
+                    let mut result = TravelBag::new();
+                    result.add("returnvalue", sum);
+                    Ok(result)
+                }),
+            },
+        );
+        reg.register_task(
+            "NeedsHelper",
+            TaskSpec {
+                requires: vec!["Helper".to_string()],
+                compute: Duration::ZERO,
+                body: Arc::new(|_, _| Ok(TravelBag::new())),
+            },
+        );
+        Arc::new(reg)
+    }
+
+    fn now() -> SimTime {
+        SimTime::ZERO
+    }
+
+    fn sends(sink: &mut CmdSink) -> Vec<(SiteId, Msg)> {
+        sink.drain()
+            .into_iter()
+            .filter_map(|c| match c {
+                Cmd::Send { to, msg, .. } => Some((to, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Shuttles site-manager messages between two managers until quiet.
+    fn pump(home: &mut SiteManager, remote: &mut SiteManager, sink_h: &mut CmdSink, sink_r: &mut CmdSink) {
+        loop {
+            let mut progressed = false;
+            for (to, msg) in sends(sink_h) {
+                assert_eq!(to, REMOTE);
+                remote.on_msg(now(), HOME, msg, sink_r);
+                progressed = true;
+            }
+            for (to, msg) in sends(sink_r) {
+                assert_eq!(to, HOME);
+                home.on_msg(now(), REMOTE, msg, sink_h);
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn spawn_pushes_code_and_returns_result() {
+        let reg = registry();
+        let mut home = SiteManager::new(HOME, reg.clone(), true);
+        let mut remote = SiteManager::new(REMOTE, reg, false);
+        let (mut sh, mut sr) = (CmdSink::new(), CmdSink::new());
+        let mut params = Parameter::new();
+        params.add("start", 5.0);
+        let req = home.spawn(REMOTE, "Myhello", &params, &mut sh);
+        pump(&mut home, &mut remote, &mut sh, &mut sr);
+        assert_eq!(home.outcomes().len(), 1);
+        let outcome = &home.outcomes()[0];
+        assert_eq!(outcome.req, req);
+        assert!(outcome.ok);
+        assert_eq!(outcome.result.get_f64("returnvalue").unwrap(), 6.0);
+        // Remote printing arrived.
+        assert_eq!(home.prints().len(), 1);
+        assert!(home.prints()[0].1.contains("6"));
+        // The remote cached the pushed class.
+        assert_eq!(remote.cached_classes(), 1);
+    }
+
+    #[test]
+    fn missing_dependency_is_demand_pulled() {
+        let reg = registry();
+        let mut home = SiteManager::new(HOME, reg.clone(), true);
+        let mut remote = SiteManager::new(REMOTE, reg, false);
+        let (mut sh, mut sr) = (CmdSink::new(), CmdSink::new());
+        home.spawn(REMOTE, "NeedsHelper", &Parameter::new(), &mut sh);
+        // Deliver the spawn request + initial push to the remote.
+        for (_, msg) in sends(&mut sh) {
+            remote.on_msg(now(), HOME, msg, &mut sr);
+        }
+        // The remote must have issued a CodeRequest for Helper (pulled,
+        // not pushed).
+        let outgoing = sends(&mut sr);
+        assert!(outgoing.iter().any(|(_, m)| matches!(
+            m,
+            Msg::CodeRequest { class, .. } if class == "Helper"
+        )));
+        // Complete the exchange.
+        for (_, msg) in outgoing {
+            home.on_msg(now(), REMOTE, msg, &mut sh);
+        }
+        pump(&mut home, &mut remote, &mut sh, &mut sr);
+        assert_eq!(home.outcomes().len(), 1);
+        assert!(home.outcomes()[0].ok);
+        // Both classes now cached remotely.
+        assert_eq!(remote.cached_classes(), 2);
+    }
+
+    #[test]
+    fn unknown_task_class_fails_cleanly() {
+        let reg = registry();
+        let mut home = SiteManager::new(HOME, reg.clone(), true);
+        let mut remote = SiteManager::new(REMOTE, reg, false);
+        let (mut sh, mut sr) = (CmdSink::new(), CmdSink::new());
+        sh.send(
+            REMOTE,
+            ports::SITE_MANAGER,
+            Msg::SpawnRequest {
+                task_class: "NoSuchTask".into(),
+                params: Parameter::new().encode(),
+                pushed_classes: vec![],
+                req: RequestId(9),
+            },
+            MsgClass::Control,
+        );
+        pump(&mut home, &mut remote, &mut sh, &mut sr);
+        assert_eq!(home.outcomes().len(), 1);
+        assert!(!home.outcomes()[0].ok);
+        assert!(home.outcomes()[0]
+            .result
+            .get_str("error")
+            .unwrap()
+            .contains("NoSuchTask"));
+    }
+
+    #[test]
+    fn task_error_propagates_as_failed_result() {
+        let mut reg = TaskRegistry::new();
+        reg.register_task(
+            "Exploder",
+            TaskSpec {
+                requires: vec![],
+                compute: Duration::ZERO,
+                body: Arc::new(|_, _| Err("kaboom".to_string())),
+            },
+        );
+        let reg = Arc::new(reg);
+        let mut home = SiteManager::new(HOME, reg.clone(), true);
+        let mut remote = SiteManager::new(REMOTE, reg, false);
+        let (mut sh, mut sr) = (CmdSink::new(), CmdSink::new());
+        home.spawn(REMOTE, "Exploder", &Parameter::new(), &mut sh);
+        pump(&mut home, &mut remote, &mut sh, &mut sr);
+        assert!(!home.outcomes()[0].ok);
+        assert_eq!(home.outcomes()[0].result.get_str("error").unwrap(), "kaboom");
+    }
+
+    #[test]
+    fn recursive_spawn_reaches_a_third_site() {
+        let mut reg = TaskRegistry::new();
+        reg.register_task(
+            "Leaf",
+            TaskSpec {
+                requires: vec![],
+                compute: Duration::ZERO,
+                body: Arc::new(|_, _| Ok(TravelBag::new())),
+            },
+        );
+        reg.register_task(
+            "Parent",
+            TaskSpec {
+                requires: vec![],
+                compute: Duration::ZERO,
+                body: Arc::new(|_, ctx| {
+                    ctx.spawn(SiteId(2), "Leaf", Parameter::new());
+                    Ok(TravelBag::new())
+                }),
+            },
+        );
+        let reg = Arc::new(reg);
+        let mut home = SiteManager::new(HOME, reg.clone(), true);
+        let mut r1 = SiteManager::new(REMOTE, reg, false);
+        let (mut sh, mut s1) = (CmdSink::new(), CmdSink::new());
+        home.spawn(REMOTE, "Parent", &Parameter::new(), &mut sh);
+        for (_, msg) in sends(&mut sh) {
+            r1.on_msg(now(), HOME, msg, &mut s1);
+        }
+        // r1 should now be trying to spawn Leaf at site 2.
+        let outgoing = sends(&mut s1);
+        assert!(outgoing.iter().any(|(to, m)| *to == SiteId(2)
+            && matches!(m, Msg::SpawnRequest { task_class, .. } if task_class == "Leaf")));
+    }
+
+    #[test]
+    fn deny_all_policy_refuses_spawns() {
+        let reg = registry();
+        let mut home = SiteManager::new(HOME, reg.clone(), true);
+        let mut remote = SiteManager::new(REMOTE, reg, false);
+        remote.set_policy(SecurityPolicy::DenyAll);
+        let (mut sh, mut sr) = (CmdSink::new(), CmdSink::new());
+        home.spawn(REMOTE, "Myhello", &Parameter::new(), &mut sh);
+        pump(&mut home, &mut remote, &mut sh, &mut sr);
+        assert_eq!(home.outcomes().len(), 1);
+        assert!(!home.outcomes()[0].ok);
+        assert!(home.outcomes()[0]
+            .result
+            .get_str("error")
+            .unwrap()
+            .contains("security"));
+    }
+
+    #[test]
+    fn allowlist_policy_is_selective() {
+        let reg = registry();
+        let mut home = SiteManager::new(HOME, reg.clone(), true);
+        let mut remote = SiteManager::new(REMOTE, reg, false);
+        remote.set_policy(SecurityPolicy::Allowlist(vec!["Myhello".to_string()]));
+        let (mut sh, mut sr) = (CmdSink::new(), CmdSink::new());
+        let mut params = Parameter::new();
+        params.add("start", 1.0);
+        home.spawn(REMOTE, "Myhello", &params, &mut sh);
+        home.spawn(REMOTE, "NeedsHelper", &Parameter::new(), &mut sh);
+        pump(&mut home, &mut remote, &mut sh, &mut sr);
+        assert_eq!(home.outcomes().len(), 2);
+        let ok_count = home.outcomes().iter().filter(|o| o.ok).count();
+        assert_eq!(ok_count, 1, "only the allowlisted class ran");
+        assert!(SecurityPolicy::default().permits("anything"));
+        assert!(!SecurityPolicy::DenyAll.permits("anything"));
+    }
+
+    #[test]
+    fn registry_provides_code_for_dependencies() {
+        let reg = registry();
+        assert!(reg.code("Myhello").is_some());
+        assert!(reg.code("Helper").is_some());
+        assert!(reg.task("Myhello").is_some());
+        assert!(reg.task("Helper").is_none());
+    }
+}

@@ -1,0 +1,1471 @@
+//! The home-site synchronization thread (paper §3 Figure 7, plus §4
+//! failure handling).
+//!
+//! The coordinator grants and queues locks, tracks the version number of
+//! each lock's replica set, remembers which sites hold the current version
+//! (`lastLockOwner` generalised to an *up-to-date set* once push-based
+//! dissemination exists), and directs daemon-to-daemon transfers. It never
+//! relays replica data itself.
+//!
+//! Failure handling (§4):
+//!
+//! * **Non-owner failure** — a transfer directive to a dead daemon fails
+//!   (transport timeout); the coordinator polls all registered daemons for
+//!   their newest version and forwards the freshest available, which may be
+//!   *older* than the lost version ("weakened consistency").
+//! * **Owner failure** — grants carry a lease (the thread's declared hold
+//!   time, or a default); a periodic scan finds over-held locks, confirms
+//!   death with a heartbeat, then breaks the lock, blacklists the site and
+//!   grants to the next waiter.
+//! * Failed sites are removed from membership and "prevented from making
+//!   future requests".
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::time::Duration;
+
+use mocha_net::{ports, MsgClass};
+use mocha_sim::{SimTime, Work};
+use mocha_wire::message::{LockMode, VersionFlag};
+use mocha_wire::{LockId, Msg, ReplicaId, RequestId, SiteId, ThreadId, Version};
+
+use crate::cmd::{timer_ns, CmdSink, SendTag};
+use crate::config::MochaConfig;
+
+const SCAN_TOKEN: u64 = timer_ns::COORD;
+const HEARTBEAT_SUB: u64 = 1 << 48;
+const RECOVERY_SUB: u64 = 2 << 48;
+
+/// A queued lock requester.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Requester {
+    site: SiteId,
+    thread: ThreadId,
+    lease: Duration,
+    mode: LockMode,
+}
+
+/// One current holder of a lock (a single exclusive holder, or any number
+/// of concurrent shared holders).
+#[derive(Debug, Clone, Copy)]
+struct OwnerState {
+    who: Requester,
+    deadline: SimTime,
+    /// A heartbeat is in flight to confirm suspected failure.
+    suspected: bool,
+}
+
+/// An in-progress §4 recovery: polling daemons for the freshest surviving
+/// version on behalf of a waiting grantee.
+#[derive(Debug)]
+struct Recovery {
+    req: RequestId,
+    dest: SiteId,
+    responses: Vec<(SiteId, Version)>,
+    expected: usize,
+}
+
+/// Per-lock coordinator state (the paper's `Lock` object).
+#[derive(Debug, Default)]
+struct LockState {
+    version: Version,
+    /// Current holders: empty (free), one exclusive, or several shared.
+    holders: Vec<OwnerState>,
+    queue: VecDeque<Requester>,
+    /// Site that produced the current version (the paper's
+    /// `lastLockOwner`).
+    last_owner: Option<SiteId>,
+    /// Sites known to hold the current version (owner + dissemination
+    /// targets).
+    up_to_date: BTreeSet<SiteId>,
+    /// All sites registered for this lock's replicas (the `R` set).
+    members: BTreeSet<SiteId>,
+    /// Replicas associated with this lock.
+    replicas: BTreeSet<ReplicaId>,
+    /// Recovery in progress, if any.
+    recovery: Option<Recovery>,
+}
+
+/// Statistics the coordinator accumulates, for tests and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoordinatorStats {
+    /// Locks granted.
+    pub grants: u64,
+    /// Grants that required a replica transfer.
+    pub grants_with_transfer: u64,
+    /// Locks broken after owner failure.
+    pub locks_broken: u64,
+    /// Recoveries started after a transfer-source failure.
+    pub recoveries: u64,
+    /// Recoveries that completed with an older version than expected
+    /// (weakened consistency).
+    pub stale_recoveries: u64,
+    /// Requests ignored because the sender was blacklisted.
+    pub blacklisted_requests: u64,
+}
+
+/// The synchronization thread's state machine.
+#[derive(Debug)]
+pub struct SyncCoordinator {
+    home: SiteId,
+    cfg: MochaConfig,
+    locks: HashMap<LockId, LockState>,
+    blacklist: BTreeSet<SiteId>,
+    next_req: RequestId,
+    /// Outstanding heartbeats: req → (lock, suspected site).
+    pending_heartbeats: HashMap<RequestId, (LockId, SiteId)>,
+    /// Timer token ↔ heartbeat req mapping.
+    heartbeat_timers: HashMap<u64, RequestId>,
+    scan_running: bool,
+    stats: CoordinatorStats,
+    /// State log for surrogate recovery (§4): every state-mutating message
+    /// accepted, in order. A production system would write this to stable
+    /// storage; the harness extracts it when promoting a surrogate.
+    log: Vec<(SiteId, Msg)>,
+}
+
+impl SyncCoordinator {
+    /// Creates the coordinator for the home site.
+    pub fn new(home: SiteId, cfg: MochaConfig) -> SyncCoordinator {
+        SyncCoordinator {
+            home,
+            cfg,
+            locks: HashMap::new(),
+            blacklist: BTreeSet::new(),
+            next_req: RequestId(1),
+            pending_heartbeats: HashMap::new(),
+            heartbeat_timers: HashMap::new(),
+            scan_running: false,
+            stats: CoordinatorStats::default(),
+            log: Vec::new(),
+        }
+    }
+
+    /// The surrogate-recovery state log.
+    pub fn log(&self) -> &[(SiteId, Msg)] {
+        &self.log
+    }
+
+    /// Every site registered for any lock (broadcast targets for
+    /// [`Msg::SyncMoved`]).
+    pub fn all_members(&self) -> Vec<SiteId> {
+        let mut members: Vec<SiteId> = self
+            .locks
+            .values()
+            .flat_map(|l| l.members.iter().copied())
+            .collect();
+        members.sort_unstable();
+        members.dedup();
+        members
+    }
+
+    /// Reconstructs a coordinator at `home` by replaying a predecessor's
+    /// state log — the paper's sketched synchronization-thread recovery.
+    /// Outgoing messages generated during replay are discarded (they were
+    /// already sent by the predecessor); holder leases restart at `now`.
+    pub fn replay(
+        home: SiteId,
+        cfg: MochaConfig,
+        log: &[(SiteId, Msg)],
+        now: SimTime,
+    ) -> SyncCoordinator {
+        let mut c = SyncCoordinator::new(home, cfg);
+        let mut discard = CmdSink::new();
+        for (from, msg) in log {
+            c.on_msg(now, *from, msg.clone(), &mut discard);
+            discard.drain();
+        }
+        c.scan_running = false;
+        c
+    }
+
+    /// Restarts background machinery after a [`replay`](Self::replay):
+    /// timer commands emitted during replay were discarded, so the lease
+    /// scan must be re-armed if any lock is currently held — a holder that
+    /// died with the old home is then detected and broken normally.
+    pub fn resume(&mut self, sink: &mut CmdSink) {
+        if self.cfg.break_locks && self.locks.values().any(|l| !l.holders.is_empty()) {
+            self.scan_running = true;
+            sink.set_timer(SCAN_TOKEN, self.cfg.lease_scan_interval);
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CoordinatorStats {
+        self.stats
+    }
+
+    /// The home site this coordinator runs at.
+    pub fn home(&self) -> SiteId {
+        self.home
+    }
+
+    /// Sites currently blacklisted after detected failures.
+    pub fn blacklist(&self) -> impl Iterator<Item = SiteId> + '_ {
+        self.blacklist.iter().copied()
+    }
+
+    /// Current version of a lock's replica set (for tests/harness).
+    pub fn lock_version(&self, lock: LockId) -> Option<Version> {
+        self.locks.get(&lock).map(|l| l.version)
+    }
+
+    /// Current owner site of a lock, if held exclusively (or the first
+    /// shared holder).
+    pub fn lock_owner(&self, lock: LockId) -> Option<SiteId> {
+        self.locks
+            .get(&lock)
+            .and_then(|l| l.holders.first().map(|o| o.who.site))
+    }
+
+    /// All current holder sites of a lock.
+    pub fn lock_holders(&self, lock: LockId) -> Vec<SiteId> {
+        self.locks
+            .get(&lock)
+            .map(|l| l.holders.iter().map(|o| o.who.site).collect())
+            .unwrap_or_default()
+    }
+
+    /// All lock ids the coordinator knows about.
+    pub fn known_locks(&self) -> Vec<LockId> {
+        let mut locks: Vec<LockId> = self.locks.keys().copied().collect();
+        locks.sort_unstable();
+        locks
+    }
+
+    /// The registered member set of a lock.
+    pub fn lock_members(&self, lock: LockId) -> Vec<SiteId> {
+        self.locks
+            .get(&lock)
+            .map(|l| l.members.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    fn fresh_req(&mut self) -> RequestId {
+        let r = self.next_req;
+        self.next_req = self.next_req.next();
+        r
+    }
+
+    /// Handles a protocol message addressed to the SYNC port.
+    pub fn on_msg(&mut self, now: SimTime, from: SiteId, msg: Msg, sink: &mut CmdSink) {
+        // One event handling's worth of JVM dispatch.
+        sink.charge(Work::events(1));
+        if matches!(
+            msg,
+            Msg::AcquireLock { .. } | Msg::ReleaseLock { .. } | Msg::RegisterReplica { .. }
+        ) {
+            self.log.push((from, msg.clone()));
+        }
+        match msg {
+            Msg::AcquireLock {
+                lock,
+                site,
+                thread,
+                lease_hint_ms,
+                mode,
+            } => self.on_acquire(now, lock, site, thread, lease_hint_ms, mode, sink),
+            Msg::ReleaseLock {
+                lock,
+                site,
+                new_version,
+                disseminated_to,
+            } => self.on_release(now, lock, site, new_version, &disseminated_to, sink),
+            Msg::RegisterReplica {
+                lock,
+                replica,
+                site,
+                name,
+            } => self.on_register(lock, replica, site, &name, sink),
+            Msg::PollResponse {
+                lock,
+                version,
+                site,
+                req,
+            } => self.on_poll_response(now, lock, version, site, req, sink),
+            Msg::HeartbeatAck { site, req, holding } => {
+                self.on_heartbeat_ack(now, site, req, holding, sink)
+            }
+            other => {
+                sink.note(format!("coordinator ignoring unexpected {other:?} from {from}"));
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_acquire(
+        &mut self,
+        now: SimTime,
+        lock: LockId,
+        site: SiteId,
+        thread: ThreadId,
+        lease_hint_ms: u32,
+        mode: LockMode,
+        sink: &mut CmdSink,
+    ) {
+        if self.blacklist.contains(&site) {
+            self.stats.blacklisted_requests += 1;
+            sink.note(format!("{site} is blacklisted; ignoring acquire of {lock}"));
+            return;
+        }
+        let lease = if lease_hint_ms == 0 {
+            self.cfg.default_lease
+        } else {
+            Duration::from_millis(u64::from(lease_hint_ms))
+        };
+        let requester = Requester {
+            site,
+            thread,
+            lease,
+            mode,
+        };
+        let state = self.locks.entry(lock).or_default();
+        state.members.insert(site);
+        // After a surrogate takeover, clients re-send acquires that may
+        // already be queued or granted. A queued duplicate is dropped (its
+        // grant will come); a duplicate from the exact (site, thread) the
+        // replayed state considers a *holder* gets its grant re-sent — the
+        // original grant may have died with the old home. A *different*
+        // thread at a holding site is a new request and must queue.
+        if state
+            .holders
+            .iter()
+            .any(|h| h.who.site == site && h.who.thread == thread)
+        {
+            let version = state.version;
+            let flag = if version == Version::INITIAL || state.up_to_date.contains(&site) {
+                VersionFlag::VersionOk
+            } else {
+                VersionFlag::NeedNewVersion
+            };
+            sink.send(
+                site,
+                ports::APP,
+                Msg::Grant {
+                    lock,
+                    version,
+                    flag,
+                },
+                MsgClass::Control,
+            );
+            if flag == VersionFlag::NeedNewVersion {
+                self.direct_transfer(lock, site, sink);
+            }
+            return;
+        }
+        if state
+            .queue
+            .iter()
+            .any(|r| r.site == site && r.thread == thread)
+        {
+            return;
+        }
+        let compatible = match mode {
+            // Exclusive needs the lock free and nobody queued ahead.
+            LockMode::Exclusive => state.holders.is_empty() && state.queue.is_empty(),
+            // Shared joins current shared holders, but never jumps the
+            // queue (a waiting exclusive would starve otherwise).
+            LockMode::Shared => {
+                state.queue.is_empty()
+                    && state
+                        .holders
+                        .iter()
+                        .all(|h| h.who.mode == LockMode::Shared)
+            }
+        };
+        if compatible {
+            self.grant(now, lock, requester, sink);
+        } else {
+            let state = self.locks.get_mut(&lock).expect("lock exists");
+            state.queue.push_back(requester);
+        }
+    }
+
+    /// Grants `lock` to `to`, deciding whether fresh replica data must be
+    /// transferred and directing the transfer if so.
+    fn grant(&mut self, now: SimTime, lock: LockId, to: Requester, sink: &mut CmdSink) {
+        let break_locks = self.cfg.break_locks;
+        let state = self.locks.get_mut(&lock).expect("lock exists");
+        let version = state.version;
+        let current = version == Version::INITIAL || state.up_to_date.contains(&to.site);
+        let deadline = now + to.lease;
+        state.holders.push(OwnerState {
+            who: to,
+            deadline,
+            suspected: false,
+        });
+        self.stats.grants += 1;
+        let flag = if current {
+            VersionFlag::VersionOk
+        } else {
+            VersionFlag::NeedNewVersion
+        };
+        sink.send(
+            to.site,
+            ports::APP,
+            Msg::Grant {
+                lock,
+                version,
+                flag,
+            },
+            MsgClass::Control,
+        );
+        if flag == VersionFlag::NeedNewVersion {
+            self.stats.grants_with_transfer += 1;
+            self.direct_transfer(lock, to.site, sink);
+        }
+        if break_locks && !self.scan_running {
+            self.scan_running = true;
+            sink.set_timer(SCAN_TOKEN, self.cfg.lease_scan_interval);
+        }
+    }
+
+    /// Asks the freshest daemon to send its replicas to `dest`.
+    fn direct_transfer(&mut self, lock: LockId, dest: SiteId, sink: &mut CmdSink) {
+        let req = self.fresh_req();
+        let state = self.locks.get_mut(&lock).expect("lock exists");
+        // Prefer the last owner; otherwise any up-to-date site.
+        let source = state
+            .last_owner
+            .filter(|s| *s != dest)
+            .or_else(|| state.up_to_date.iter().copied().find(|s| *s != dest));
+        match source {
+            Some(source) => {
+                let version = state.version;
+                // Ablation: optionally force the data through the home
+                // site instead of the direct daemon-to-daemon path.
+                let data_dest = if self.cfg.relay_transfers && source != self.home {
+                    sink.send(
+                        self.home,
+                        ports::DAEMON,
+                        Msg::ExpectRelay { lock, dest, req },
+                        MsgClass::Control,
+                    );
+                    self.home
+                } else {
+                    dest
+                };
+                sink.send_tagged(
+                    source,
+                    ports::DAEMON,
+                    Msg::TransferReplica {
+                        lock,
+                        dest: data_dest,
+                        version,
+                        req,
+                    },
+                    MsgClass::Control,
+                    SendTag::TransferDirective {
+                        lock,
+                        from: source,
+                        dest,
+                        req,
+                    },
+                );
+            }
+            None => {
+                // No known current copy (e.g. after failures): recover.
+                self.start_recovery(lock, dest, sink);
+            }
+        }
+    }
+
+    fn on_release(
+        &mut self,
+        now: SimTime,
+        lock: LockId,
+        site: SiteId,
+        new_version: Version,
+        disseminated_to: &[SiteId],
+        sink: &mut CmdSink,
+    ) {
+        let Some(state) = self.locks.get_mut(&lock) else {
+            sink.note(format!("release of unknown {lock} from {site}"));
+            return;
+        };
+        let Some(idx) = state.holders.iter().position(|h| h.who.site == site) else {
+            // Stale release: the lock was broken while this site
+            // (slowly) finished. Its updates are discarded.
+            sink.note(format!("stale release of {lock} from {site} ignored"));
+            return;
+        };
+        state.holders.swap_remove(idx);
+        if new_version > state.version {
+            state.version = new_version;
+            state.up_to_date.clear();
+            state.up_to_date.insert(site);
+            for s in disseminated_to {
+                state.up_to_date.insert(*s);
+            }
+            state.last_owner = Some(site);
+        } else {
+            // Read-only hold: the releaser now also has the current copy.
+            state.up_to_date.insert(site);
+        }
+        self.grant_next_batch(now, lock, sink);
+    }
+
+    /// Grants the next compatible batch from the queue: one exclusive
+    /// requester, or every consecutive shared requester at the front.
+    fn grant_next_batch(&mut self, now: SimTime, lock: LockId, sink: &mut CmdSink) {
+        if !self.locks.get(&lock).map(|s| s.holders.is_empty()).unwrap_or(false) {
+            return; // still held (remaining shared holders)
+        }
+        let mut granted_any = false;
+        loop {
+            let state = self.locks.get_mut(&lock).expect("lock exists");
+            let Some(next) = state.queue.front().copied() else {
+                break;
+            };
+            if self.blacklist.contains(&next.site) {
+                state.queue.pop_front();
+                self.stats.blacklisted_requests += 1;
+                continue;
+            }
+            // An exclusive grant stands alone; shared grants batch.
+            if granted_any && next.mode == LockMode::Exclusive {
+                break;
+            }
+            state.queue.pop_front();
+            self.grant(now, lock, next, sink);
+            granted_any = true;
+            if next.mode == LockMode::Exclusive {
+                break;
+            }
+        }
+    }
+
+    fn on_register(
+        &mut self,
+        lock: LockId,
+        replica: ReplicaId,
+        site: SiteId,
+        name: &str,
+        sink: &mut CmdSink,
+    ) {
+        // A (re-)registration signals the site is alive — a rebooted node
+        // rejoining after its previous incarnation was blacklisted (§1's
+        // "remote node reboot"). Lift the ban; the lease machinery will
+        // re-detect it if it is still misbehaving.
+        if self.blacklist.remove(&site) {
+            sink.note(format!("{site} re-registered; blacklist lifted"));
+        }
+        let state = self.locks.entry(lock).or_default();
+        let new_member = state.members.insert(site);
+        state.replicas.insert(replica);
+        // Propagate membership so every daemon can disseminate (§4: the
+        // ReplicaLock "keeps track of the daemon threads associated with
+        // these application threads").
+        if new_member {
+            let others: Vec<SiteId> = state.members.iter().copied().filter(|s| *s != site).collect();
+            for other in &others {
+                sink.send(
+                    *other,
+                    ports::DAEMON,
+                    Msg::RegisterReplica {
+                        lock,
+                        replica,
+                        site,
+                        name: name.to_string(),
+                    },
+                    MsgClass::Control,
+                );
+                // Tell the new member about the existing one, too.
+                sink.send(
+                    site,
+                    ports::DAEMON,
+                    Msg::RegisterReplica {
+                        lock,
+                        replica,
+                        site: *other,
+                        name: name.to_string(),
+                    },
+                    MsgClass::Control,
+                );
+            }
+        } else {
+            // Known member registering another replica under the same
+            // lock: still propagate the replica association.
+            let others: Vec<SiteId> = state.members.iter().copied().filter(|s| *s != site).collect();
+            for other in others {
+                sink.send(
+                    other,
+                    ports::DAEMON,
+                    Msg::RegisterReplica {
+                        lock,
+                        replica,
+                        site,
+                        name: name.to_string(),
+                    },
+                    MsgClass::Control,
+                );
+            }
+        }
+    }
+
+    fn on_poll_response(
+        &mut self,
+        _now: SimTime,
+        lock: LockId,
+        version: Version,
+        site: SiteId,
+        req: RequestId,
+        sink: &mut CmdSink,
+    ) {
+        let Some(state) = self.locks.get_mut(&lock) else {
+            return;
+        };
+        let Some(recovery) = state.recovery.as_mut() else {
+            return;
+        };
+        if recovery.req != req {
+            return; // stale poll answer
+        }
+        recovery.responses.push((site, version));
+        if recovery.responses.len() >= recovery.expected {
+            sink.cancel_timer(timer_ns::COORD | RECOVERY_SUB | u64::from(lock.as_raw()));
+            self.finish_recovery(lock, sink);
+        }
+    }
+
+    fn on_heartbeat_ack(
+        &mut self,
+        now: SimTime,
+        site: SiteId,
+        req: RequestId,
+        holding: bool,
+        sink: &mut CmdSink,
+    ) {
+        let Some((lock, suspect)) = self.pending_heartbeats.remove(&req) else {
+            return;
+        };
+        debug_assert_eq!(site, suspect);
+        let token = timer_ns::COORD | HEARTBEAT_SUB | req.as_raw();
+        self.heartbeat_timers.remove(&token);
+        sink.cancel_timer(token);
+        if holding {
+            // The owner is alive and still working: extend its lease one
+            // more period.
+            if let Some(state) = self.locks.get_mut(&lock) {
+                for owner in &mut state.holders {
+                    if owner.who.site == site {
+                        owner.suspected = false;
+                        owner.deadline = now + owner.who.lease;
+                    }
+                }
+            }
+        } else {
+            // Phantom hold: the site is alive but no longer holds the
+            // lock — its release was lost (e.g. with a dead coordinator).
+            // Treat it as released without penalising the site.
+            sink.note(format!(
+                "phantom hold of {lock} at {site}: release was lost; clearing"
+            ));
+            if let Some(state) = self.locks.get_mut(&lock) {
+                if let Some(idx) = state.holders.iter().position(|h| h.who.site == site) {
+                    state.holders.swap_remove(idx);
+                    // The site still has the data it wrote.
+                    state.up_to_date.insert(site);
+                    if state.last_owner.is_none() {
+                        state.last_owner = Some(site);
+                    }
+                }
+            }
+            self.grant_next_batch(now, lock, sink);
+        }
+    }
+
+    /// Handles a coordinator timer. Returns `true` if the token belonged
+    /// to this component.
+    pub fn on_timer(&mut self, now: SimTime, token: u64, sink: &mut CmdSink) -> bool {
+        if timer_ns::of(token) != timer_ns::COORD {
+            return false;
+        }
+        if token == SCAN_TOKEN {
+            self.scan_leases(now, sink);
+            return true;
+        }
+        if token & HEARTBEAT_SUB != 0 {
+            if let Some(req) = self.heartbeat_timers.remove(&token) {
+                if let Some((lock, site)) = self.pending_heartbeats.remove(&req) {
+                    // Heartbeat unanswered: the owner is dead.
+                    self.break_lock(now, lock, site, sink);
+                }
+            }
+            return true;
+        }
+        if token & RECOVERY_SUB != 0 {
+            let lock = LockId((token & 0xffff_ffff) as u32);
+            self.finish_recovery(lock, sink);
+            return true;
+        }
+        true
+    }
+
+    /// Periodic lease scan: suspect owners that have held their lock past
+    /// the declared lease, and confirm with a heartbeat (paper §4: "the
+    /// synchronization thread can confirm this suspicion by sending a
+    /// 'heartbeat' message").
+    fn scan_leases(&mut self, now: SimTime, sink: &mut CmdSink) {
+        sink.charge(Work::events(1));
+        let mut to_probe = Vec::new();
+        for (lock, state) in &mut self.locks {
+            for owner in &mut state.holders {
+                if !owner.suspected && now > owner.deadline {
+                    owner.suspected = true;
+                    to_probe.push((*lock, owner.who.site));
+                }
+            }
+        }
+        for (lock, site) in to_probe {
+            let req = self.fresh_req();
+            self.pending_heartbeats.insert(req, (lock, site));
+            let token = timer_ns::COORD | HEARTBEAT_SUB | req.as_raw();
+            self.heartbeat_timers.insert(token, req);
+            sink.send_tagged(
+                site,
+                ports::APP,
+                Msg::Heartbeat { lock, req },
+                MsgClass::Control,
+                SendTag::Heartbeat { lock, site, req },
+            );
+            sink.set_timer(token, self.cfg.heartbeat_timeout);
+        }
+        // Keep scanning only while some lock is held; otherwise go idle
+        // (the next grant re-arms the scan). This lets simulations
+        // quiesce.
+        if self.locks.values().any(|l| !l.holders.is_empty()) {
+            sink.set_timer(SCAN_TOKEN, self.cfg.lease_scan_interval);
+        } else {
+            self.scan_running = false;
+        }
+    }
+
+    /// Breaks a lock whose owner failed: blacklists the owner, revokes its
+    /// grant, and passes the lock (with the freshest surviving data) to
+    /// the next waiter.
+    fn break_lock(&mut self, now: SimTime, lock: LockId, dead: SiteId, sink: &mut CmdSink) {
+        let Some(state) = self.locks.get_mut(&lock) else {
+            return;
+        };
+        let Some(idx) = state.holders.iter().position(|h| h.who.site == dead) else {
+            return; // released in the meantime
+        };
+        self.stats.locks_broken += 1;
+        state.holders.swap_remove(idx);
+        self.fail_site_in_lock(lock, dead);
+        self.blacklist.insert(dead);
+        // A live-but-slow owner must learn its grant is void.
+        sink.send(
+            dead,
+            ports::APP,
+            Msg::LockRevoked {
+                lock,
+                version: self.locks[&lock].version,
+            },
+            MsgClass::Control,
+        );
+        sink.note(format!("broke {lock}: owner {dead} presumed failed"));
+        self.grant_next_batch(now, lock, sink);
+    }
+
+    /// Removes a failed site from a lock's membership and freshness sets.
+    fn fail_site_in_lock(&mut self, lock: LockId, dead: SiteId) {
+        let state = self.locks.get_mut(&lock).expect("lock exists");
+        state.members.remove(&dead);
+        state.up_to_date.remove(&dead);
+        if state.last_owner == Some(dead) {
+            state.last_owner = state.up_to_date.iter().copied().next();
+        }
+    }
+
+    /// Called by the driver when a tagged send failed at the transport
+    /// level (the §4 timeout detections).
+    pub fn on_send_failed(&mut self, now: SimTime, tag: &SendTag, sink: &mut CmdSink) {
+        match tag {
+            SendTag::TransferDirective {
+                lock, from, dest, ..
+            } => {
+                sink.note(format!(
+                    "transfer directive to {from} for {lock} timed out; recovering"
+                ));
+                self.fail_site_in_lock(*lock, *from);
+                self.start_recovery(*lock, *dest, sink);
+            }
+            SendTag::Heartbeat { lock, site, req } => {
+                let token = timer_ns::COORD | HEARTBEAT_SUB | req.as_raw();
+                self.heartbeat_timers.remove(&token);
+                self.pending_heartbeats.remove(req);
+                sink.cancel_timer(token);
+                self.break_lock(now, *lock, *site, sink);
+            }
+            _ => {}
+        }
+    }
+
+    /// Polls every member daemon for its newest version of `lock`'s
+    /// replicas, so the freshest surviving copy can be forwarded to
+    /// `dest`.
+    fn start_recovery(&mut self, lock: LockId, dest: SiteId, sink: &mut CmdSink) {
+        let req = self.fresh_req();
+        let window = self.cfg.recovery_poll_window;
+        let state = self.locks.get_mut(&lock).expect("lock exists");
+        if state.recovery.is_some() {
+            return; // already recovering; the grantee will be served by it
+        }
+        self.stats.recoveries += 1;
+        let members: Vec<SiteId> = state.members.iter().copied().collect();
+        state.recovery = Some(Recovery {
+            req,
+            dest,
+            responses: Vec::new(),
+            expected: members.len(),
+        });
+        for m in &members {
+            sink.send(
+                *m,
+                ports::DAEMON,
+                Msg::PollVersion { lock, req },
+                MsgClass::Control,
+            );
+        }
+        sink.set_timer(
+            timer_ns::COORD | RECOVERY_SUB | u64::from(lock.as_raw()),
+            window,
+        );
+    }
+
+    /// Concludes a recovery with whatever poll responses arrived.
+    fn finish_recovery(&mut self, lock: LockId, sink: &mut CmdSink) {
+        let Some(state) = self.locks.get_mut(&lock) else {
+            return;
+        };
+        let Some(recovery) = state.recovery.take() else {
+            return;
+        };
+        let expected_version = state.version;
+        let best = recovery
+            .responses
+            .iter()
+            .filter(|(site, _)| *site != recovery.dest)
+            .max_by_key(|(_, v)| *v)
+            .copied();
+        let dest_version = recovery
+            .responses
+            .iter()
+            .find(|(site, _)| *site == recovery.dest)
+            .map(|(_, v)| *v);
+        match best {
+            Some((site, version))
+                if version > Version::INITIAL
+                    && version >= dest_version.unwrap_or(Version::INITIAL) =>
+            {
+                if version < expected_version {
+                    self.stats.stale_recoveries += 1;
+                    sink.note(format!(
+                        "recovery of {lock}: freshest surviving version {version} < expected {expected_version} (weakened consistency)"
+                    ));
+                    // The lost newer version is gone for good; adopt the
+                    // surviving one as current so the system converges.
+                    state.version = version;
+                }
+                state.last_owner = Some(site);
+                state.up_to_date.insert(site);
+                let req = recovery.req;
+                let dest = recovery.dest;
+                sink.send_tagged(
+                    site,
+                    ports::DAEMON,
+                    Msg::TransferReplica {
+                        lock,
+                        dest,
+                        version,
+                        req,
+                    },
+                    MsgClass::Control,
+                    SendTag::TransferDirective {
+                        lock,
+                        from: site,
+                        dest,
+                        req,
+                    },
+                );
+            }
+            _ => {
+                // No surviving copy anywhere (or the grantee itself holds
+                // the best one): unblock the grantee with what it has.
+                let version = dest_version.unwrap_or(Version::INITIAL);
+                if version < expected_version {
+                    self.stats.stale_recoveries += 1;
+                    state.version = version;
+                }
+                sink.note(format!(
+                    "recovery of {lock}: no fresher copy available; {0} proceeds with local state",
+                    recovery.dest
+                ));
+                sink.send(
+                    recovery.dest,
+                    ports::DAEMON,
+                    Msg::ReplicaData {
+                        lock,
+                        version,
+                        updates: Vec::new(),
+                        req: recovery.req,
+                    },
+                    MsgClass::Control,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmd::Cmd;
+
+    const HOME: SiteId = SiteId(0);
+    const S1: SiteId = SiteId(1);
+    const S2: SiteId = SiteId(2);
+    const T0: ThreadId = ThreadId(0);
+    const L: LockId = LockId(1);
+
+    fn coord() -> SyncCoordinator {
+        SyncCoordinator::new(HOME, MochaConfig::default())
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_millis(ms)
+    }
+
+    fn acquire(site: SiteId) -> Msg {
+        Msg::AcquireLock {
+            lock: L,
+            site,
+            thread: T0,
+            lease_hint_ms: 0,
+            mode: LockMode::Exclusive,
+        }
+    }
+
+    fn acquire_shared(site: SiteId) -> Msg {
+        Msg::AcquireLock {
+            lock: L,
+            site,
+            thread: T0,
+            lease_hint_ms: 0,
+            mode: LockMode::Shared,
+        }
+    }
+
+    fn release(site: SiteId, v: u64) -> Msg {
+        Msg::ReleaseLock {
+            lock: L,
+            site,
+            new_version: Version(v),
+            disseminated_to: vec![],
+        }
+    }
+
+    /// Extracts (to, msg) pairs from sink commands.
+    fn sends(sink: &mut CmdSink) -> Vec<(SiteId, Msg)> {
+        sink.drain()
+            .into_iter()
+            .filter_map(|c| match c {
+                Cmd::Send { to, msg, .. } => Some((to, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn grant_flag(msgs: &[(SiteId, Msg)], to: SiteId) -> Option<VersionFlag> {
+        msgs.iter().find_map(|(site, m)| match m {
+            Msg::Grant { flag, .. } if *site == to => Some(*flag),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn first_acquire_grants_immediately_with_version_ok() {
+        let mut c = coord();
+        let mut sink = CmdSink::new();
+        c.on_msg(t(0), S1, acquire(S1), &mut sink);
+        let msgs = sends(&mut sink);
+        assert_eq!(grant_flag(&msgs, S1), Some(VersionFlag::VersionOk));
+        assert_eq!(c.lock_owner(L), Some(S1));
+        assert_eq!(c.stats().grants, 1);
+        assert_eq!(c.stats().grants_with_transfer, 0);
+    }
+
+    #[test]
+    fn second_acquire_queues_until_release() {
+        let mut c = coord();
+        let mut sink = CmdSink::new();
+        c.on_msg(t(0), S1, acquire(S1), &mut sink);
+        sink.drain();
+        c.on_msg(t(1), S2, acquire(S2), &mut sink);
+        assert!(sends(&mut sink).is_empty(), "S2 should be queued");
+        c.on_msg(t(2), S1, release(S1, 1), &mut sink);
+        let msgs = sends(&mut sink);
+        // S2 was never up to date and version advanced: needs data.
+        assert_eq!(grant_flag(&msgs, S2), Some(VersionFlag::NeedNewVersion));
+        // A transfer directive went to the last owner's daemon.
+        assert!(msgs.iter().any(|(to, m)| *to == S1
+            && matches!(m, Msg::TransferReplica { dest, .. } if *dest == S2)));
+        assert_eq!(c.lock_owner(L), Some(S2));
+    }
+
+    #[test]
+    fn reacquire_by_last_owner_needs_no_transfer() {
+        let mut c = coord();
+        let mut sink = CmdSink::new();
+        c.on_msg(t(0), S1, acquire(S1), &mut sink);
+        sink.drain();
+        c.on_msg(t(1), S1, release(S1, 1), &mut sink);
+        sink.drain();
+        c.on_msg(t(2), S1, acquire(S1), &mut sink);
+        let msgs = sends(&mut sink);
+        assert_eq!(grant_flag(&msgs, S1), Some(VersionFlag::VersionOk));
+        assert_eq!(c.stats().grants_with_transfer, 0);
+    }
+
+    #[test]
+    fn dissemination_set_counts_as_up_to_date() {
+        let mut c = coord();
+        let mut sink = CmdSink::new();
+        c.on_msg(t(0), S1, acquire(S1), &mut sink);
+        sink.drain();
+        // S1 releases having pushed to S2 (UR = 2).
+        c.on_msg(
+            t(1),
+            S1,
+            Msg::ReleaseLock {
+                lock: L,
+                site: S1,
+                new_version: Version(1),
+                disseminated_to: vec![S2],
+            },
+            &mut sink,
+        );
+        sink.drain();
+        c.on_msg(t(2), S2, acquire(S2), &mut sink);
+        let msgs = sends(&mut sink);
+        // S2 already holds the current version: no transfer needed.
+        assert_eq!(grant_flag(&msgs, S2), Some(VersionFlag::VersionOk));
+        assert_eq!(c.stats().grants_with_transfer, 0);
+    }
+
+    #[test]
+    fn read_only_release_keeps_version_and_freshness() {
+        let mut c = coord();
+        let mut sink = CmdSink::new();
+        c.on_msg(t(0), S1, acquire(S1), &mut sink);
+        sink.drain();
+        c.on_msg(t(1), S1, release(S1, 1), &mut sink);
+        sink.drain();
+        c.on_msg(t(2), S2, acquire(S2), &mut sink);
+        sink.drain();
+        // S2 releases without writing (same version).
+        c.on_msg(t(3), S2, release(S2, 1), &mut sink);
+        sink.drain();
+        assert_eq!(c.lock_version(L), Some(Version(1)));
+        // Now both S1 and S2 are up to date; S2 re-acquiring needs nothing.
+        c.on_msg(t(4), S2, acquire(S2), &mut sink);
+        let msgs = sends(&mut sink);
+        assert_eq!(grant_flag(&msgs, S2), Some(VersionFlag::VersionOk));
+    }
+
+    #[test]
+    fn fifo_order_among_queued_requesters() {
+        let mut c = coord();
+        let mut sink = CmdSink::new();
+        c.on_msg(t(0), S1, acquire(S1), &mut sink);
+        sink.drain();
+        c.on_msg(t(1), S2, acquire(S2), &mut sink);
+        let s3 = SiteId(3);
+        c.on_msg(t(2), s3, acquire(s3), &mut sink);
+        sink.drain();
+        c.on_msg(t(3), S1, release(S1, 1), &mut sink);
+        sink.drain();
+        assert_eq!(c.lock_owner(L), Some(S2));
+        c.on_msg(t(4), S2, release(S2, 2), &mut sink);
+        sink.drain();
+        assert_eq!(c.lock_owner(L), Some(s3));
+    }
+
+    #[test]
+    fn stale_release_after_break_is_ignored() {
+        let cfg = MochaConfig {
+            default_lease: Duration::from_millis(100),
+            ..MochaConfig::default()
+        };
+        let mut c = SyncCoordinator::new(HOME, cfg);
+        let mut sink = CmdSink::new();
+        c.on_msg(t(0), S1, acquire(S1), &mut sink);
+        c.on_msg(t(1), S2, acquire(S2), &mut sink);
+        sink.drain();
+        // Lease expires; scan suspects S1.
+        c.on_timer(t(700), SCAN_TOKEN, &mut sink);
+        let msgs = sends(&mut sink);
+        let hb_req = msgs
+            .iter()
+            .find_map(|(to, m)| match m {
+                Msg::Heartbeat { req, .. } if *to == S1 => Some(*req),
+                _ => None,
+            })
+            .expect("heartbeat sent");
+        // Heartbeat times out.
+        let token = timer_ns::COORD | HEARTBEAT_SUB | hb_req.as_raw();
+        c.on_timer(t(1600), token, &mut sink);
+        let msgs = sends(&mut sink);
+        assert_eq!(c.stats().locks_broken, 1);
+        assert!(c.blacklist().any(|s| s == S1));
+        // S2 got the lock.
+        assert!(grant_flag(&msgs, S2).is_some());
+        assert_eq!(c.lock_owner(L), Some(S2));
+        // S1's belated release changes nothing.
+        c.on_msg(t(1700), S1, release(S1, 99), &mut sink);
+        assert_eq!(c.lock_owner(L), Some(S2));
+        assert_ne!(c.lock_version(L), Some(Version(99)));
+        // And S1 can no longer acquire.
+        c.on_msg(t(1800), S1, acquire(S1), &mut sink);
+        assert!(c.stats().blacklisted_requests >= 1);
+    }
+
+    #[test]
+    fn heartbeat_ack_extends_lease_instead_of_breaking() {
+        let cfg = MochaConfig {
+            default_lease: Duration::from_millis(100),
+            ..MochaConfig::default()
+        };
+        let mut c = SyncCoordinator::new(HOME, cfg);
+        let mut sink = CmdSink::new();
+        c.on_msg(t(0), S1, acquire(S1), &mut sink);
+        sink.drain();
+        c.on_timer(t(700), SCAN_TOKEN, &mut sink);
+        let msgs = sends(&mut sink);
+        let hb_req = msgs
+            .iter()
+            .find_map(|(_, m)| match m {
+                Msg::Heartbeat { req, .. } => Some(*req),
+                _ => None,
+            })
+            .expect("heartbeat sent");
+        // Owner answers in time.
+        c.on_msg(
+            t(750),
+            S1,
+            Msg::HeartbeatAck {
+                site: S1,
+                req: hb_req,
+                holding: true,
+            },
+            &mut sink,
+        );
+        sink.drain();
+        // The (now stale) heartbeat timer fires but must not break.
+        let token = timer_ns::COORD | HEARTBEAT_SUB | hb_req.as_raw();
+        c.on_timer(t(1600), token, &mut sink);
+        assert_eq!(c.stats().locks_broken, 0);
+        assert_eq!(c.lock_owner(L), Some(S1));
+    }
+
+    #[test]
+    fn transfer_source_failure_starts_recovery_and_polls() {
+        let mut c = coord();
+        let mut sink = CmdSink::new();
+        // Register three members so there is someone to poll.
+        for (s, r) in [(S1, 1u32), (S2, 1), (HOME, 1)] {
+            c.on_msg(
+                t(0),
+                s,
+                Msg::RegisterReplica {
+                    lock: L,
+                    replica: ReplicaId(r),
+                    site: s,
+                    name: "x".into(),
+                },
+                &mut sink,
+            );
+        }
+        sink.drain();
+        c.on_msg(t(1), S1, acquire(S1), &mut sink);
+        sink.drain();
+        c.on_msg(t(2), S1, release(S1, 1), &mut sink);
+        sink.drain();
+        c.on_msg(t(3), S2, acquire(S2), &mut sink);
+        sink.drain();
+        // The directive to S1 fails (S1 died).
+        let tag = SendTag::TransferDirective {
+            lock: L,
+            from: S1,
+            dest: S2,
+            req: RequestId(1),
+        };
+        c.on_send_failed(t(4), &tag, &mut sink);
+        let msgs = sends(&mut sink);
+        let polls: Vec<SiteId> = msgs
+            .iter()
+            .filter_map(|(to, m)| match m {
+                Msg::PollVersion { .. } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        // S1 was removed from membership; remaining members are polled.
+        assert!(!polls.contains(&S1));
+        assert!(polls.contains(&S2) && polls.contains(&HOME));
+        assert_eq!(c.stats().recoveries, 1);
+    }
+
+    #[test]
+    fn recovery_forwards_freshest_surviving_version() {
+        let mut c = coord();
+        let mut sink = CmdSink::new();
+        for s in [HOME, S1, S2] {
+            c.on_msg(
+                t(0),
+                s,
+                Msg::RegisterReplica {
+                    lock: L,
+                    replica: ReplicaId(1),
+                    site: s,
+                    name: "x".into(),
+                },
+                &mut sink,
+            );
+        }
+        c.on_msg(t(1), S1, acquire(S1), &mut sink);
+        sink.drain();
+        c.on_msg(t(2), S1, release(S1, 5), &mut sink);
+        sink.drain();
+        c.on_msg(t(3), S2, acquire(S2), &mut sink);
+        sink.drain();
+        c.on_send_failed(
+            t(4),
+            &SendTag::TransferDirective {
+                lock: L,
+                from: S1,
+                dest: S2,
+                req: RequestId(1),
+            },
+            &mut sink,
+        );
+        // Find the poll request id.
+        let msgs = sends(&mut sink);
+        let poll_req = msgs
+            .iter()
+            .find_map(|(_, m)| match m {
+                Msg::PollVersion { req, .. } => Some(*req),
+                _ => None,
+            })
+            .expect("polls sent");
+        // HOME answers with version 3 (older than the lost 5), S2 with 0.
+        c.on_msg(
+            t(5),
+            HOME,
+            Msg::PollResponse {
+                lock: L,
+                version: Version(3),
+                site: HOME,
+                req: poll_req,
+            },
+            &mut sink,
+        );
+        sink.drain();
+        c.on_msg(
+            t(6),
+            S2,
+            Msg::PollResponse {
+                lock: L,
+                version: Version(0),
+                site: S2,
+                req: poll_req,
+            },
+            &mut sink,
+        );
+        let msgs = sends(&mut sink);
+        // The freshest available (HOME at v3) is told to transfer to S2.
+        assert!(msgs.iter().any(|(to, m)| *to == HOME
+            && matches!(m, Msg::TransferReplica { dest, .. } if *dest == S2)));
+        assert_eq!(c.stats().stale_recoveries, 1);
+        // The adopted version is the surviving one.
+        assert_eq!(c.lock_version(L), Some(Version(3)));
+    }
+
+    #[test]
+    fn recovery_with_no_copies_unblocks_dest_with_empty_data() {
+        let mut c = coord();
+        let mut sink = CmdSink::new();
+        for s in [S1, S2] {
+            c.on_msg(
+                t(0),
+                s,
+                Msg::RegisterReplica {
+                    lock: L,
+                    replica: ReplicaId(1),
+                    site: s,
+                    name: "x".into(),
+                },
+                &mut sink,
+            );
+        }
+        c.on_msg(t(1), S1, acquire(S1), &mut sink);
+        sink.drain();
+        c.on_msg(t(2), S1, release(S1, 5), &mut sink);
+        sink.drain();
+        c.on_msg(t(3), S2, acquire(S2), &mut sink);
+        sink.drain();
+        c.on_send_failed(
+            t(4),
+            &SendTag::TransferDirective {
+                lock: L,
+                from: S1,
+                dest: S2,
+                req: RequestId(1),
+            },
+            &mut sink,
+        );
+        sink.drain();
+        // Recovery window expires with no responses.
+        let token = timer_ns::COORD | RECOVERY_SUB | u64::from(L.as_raw());
+        c.on_timer(t(500), token, &mut sink);
+        let msgs = sends(&mut sink);
+        assert!(msgs.iter().any(|(to, m)| *to == S2
+            && matches!(m, Msg::ReplicaData { updates, .. } if updates.is_empty())));
+    }
+
+    #[test]
+    fn registration_propagates_membership_both_ways() {
+        let mut c = coord();
+        let mut sink = CmdSink::new();
+        c.on_msg(
+            t(0),
+            S1,
+            Msg::RegisterReplica {
+                lock: L,
+                replica: ReplicaId(7),
+                site: S1,
+                name: "idx".into(),
+            },
+            &mut sink,
+        );
+        assert!(sends(&mut sink).is_empty(), "first member: nobody to tell");
+        c.on_msg(
+            t(1),
+            S2,
+            Msg::RegisterReplica {
+                lock: L,
+                replica: ReplicaId(7),
+                site: S2,
+                name: "idx".into(),
+            },
+            &mut sink,
+        );
+        let msgs = sends(&mut sink);
+        // S1 learns about S2 and vice versa.
+        assert!(msgs.iter().any(|(to, m)| *to == S1
+            && matches!(m, Msg::RegisterReplica { site, .. } if *site == S2)));
+        assert!(msgs.iter().any(|(to, m)| *to == S2
+            && matches!(m, Msg::RegisterReplica { site, .. } if *site == S1)));
+        assert_eq!(c.lock_members(L), vec![S1, S2]);
+    }
+
+    #[test]
+    fn lease_hint_overrides_default() {
+        let mut c = coord();
+        let mut sink = CmdSink::new();
+        c.on_msg(
+            t(0),
+            S1,
+            Msg::AcquireLock {
+                lock: L,
+                site: S1,
+                thread: T0,
+                lease_hint_ms: 50,
+                mode: LockMode::Exclusive,
+            },
+            &mut sink,
+        );
+        sink.drain();
+        // At t=100 the 50 ms lease has expired; scan should suspect.
+        c.on_timer(t(100), SCAN_TOKEN, &mut sink);
+        let msgs = sends(&mut sink);
+        assert!(msgs.iter().any(|(_, m)| matches!(m, Msg::Heartbeat { .. })));
+    }
+
+    #[test]
+    fn shared_grants_batch_and_block_exclusive() {
+        let mut c = coord();
+        let mut sink = CmdSink::new();
+        // Two shared holders granted concurrently.
+        c.on_msg(t(0), S1, acquire_shared(S1), &mut sink);
+        c.on_msg(t(1), S2, acquire_shared(S2), &mut sink);
+        let grants = sends(&mut sink)
+            .iter()
+            .filter(|(_, m)| matches!(m, Msg::Grant { .. }))
+            .count();
+        assert_eq!(grants, 2, "both shared requests granted immediately");
+        assert_eq!(c.lock_holders(L).len(), 2);
+        // An exclusive request queues behind them.
+        let s3 = SiteId(3);
+        c.on_msg(t(2), s3, acquire(s3), &mut sink);
+        assert!(sends(&mut sink).is_empty());
+        // Releases by both shared holders free it for the exclusive.
+        c.on_msg(t(3), S1, release(S1, 0), &mut sink);
+        assert!(sends(&mut sink).is_empty(), "one shared holder remains");
+        c.on_msg(t(4), S2, release(S2, 0), &mut sink);
+        let msgs = sends(&mut sink);
+        assert!(grant_flag(&msgs, s3).is_some(), "exclusive granted last");
+        assert_eq!(c.lock_holders(L), vec![s3]);
+    }
+
+    #[test]
+    fn acquire_from_holding_site_with_other_thread_queues() {
+        // Regression: a *different* thread at the holding site must queue,
+        // not receive a duplicate grant (which would break mutual
+        // exclusion). Only the exact (site, thread) holder is re-granted.
+        let mut c = coord();
+        let mut sink = CmdSink::new();
+        c.on_msg(t(0), S1, acquire(S1), &mut sink); // thread T0 holds
+        sink.drain();
+        c.on_msg(
+            t(1),
+            S1,
+            Msg::AcquireLock {
+                lock: L,
+                site: S1,
+                thread: ThreadId(1), // different thread, same site
+                lease_hint_ms: 0,
+                mode: LockMode::Exclusive,
+            },
+            &mut sink,
+        );
+        assert!(sends(&mut sink).is_empty(), "must queue, not grant");
+        assert_eq!(c.lock_holders(L), vec![S1]);
+        // The exact holder re-asking (lost grant after takeover) IS
+        // re-granted.
+        c.on_msg(t(2), S1, acquire(S1), &mut sink); // same (S1, T0)
+        let msgs = sends(&mut sink);
+        assert!(msgs.iter().any(|(to, m)| *to == S1 && matches!(m, Msg::Grant { .. })));
+        // Still exactly one holder.
+        assert_eq!(c.lock_holders(L), vec![S1]);
+    }
+
+    #[test]
+    fn break_disabled_never_probes() {
+        let cfg = MochaConfig {
+            break_locks: false,
+            default_lease: Duration::from_millis(10),
+            ..MochaConfig::default()
+        };
+        let mut c = SyncCoordinator::new(HOME, cfg);
+        let mut sink = CmdSink::new();
+        c.on_msg(t(0), S1, acquire(S1), &mut sink);
+        // No scan timer should have been armed.
+        let timers = sink
+            .drain()
+            .iter()
+            .filter(|c| matches!(c, Cmd::SetTimer { .. }))
+            .count();
+        assert_eq!(timers, 0);
+    }
+}

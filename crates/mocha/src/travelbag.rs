@@ -1,0 +1,419 @@
+//! The Mocha "travel bag": `Parameter` and `Result` objects.
+//!
+//! The paper's `Mocha` object hands each remotely evaluated thread "a
+//! Parameter object from which the remotely evaluated task may retrieve the
+//! initial execution parameters" and "a Result object in which the task may
+//! place results" (§2). Both are string-keyed bags of primitive values,
+//! serialized for the trip across the network.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mocha_wire::io::{ByteReader, ByteWriter, WireError};
+
+use crate::error::MochaError;
+
+/// A value stored in a travel bag.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A 32-bit integer (`p.add("param1", 5)`).
+    I32(i32),
+    /// A 64-bit integer.
+    I64(i64),
+    /// A double (`mocha.parameter.getdouble("start")`).
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A string.
+    Str(String),
+    /// Raw bytes (serialized objects).
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    /// The stored type's name, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::I32(_) => "i32",
+            Value::I64(_) => "i64",
+            Value::F64(_) => "f64",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "str",
+            Value::Bytes(_) => "bytes",
+        }
+    }
+
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            Value::I32(v) => {
+                w.put_u8(0);
+                w.put_i32(*v);
+            }
+            Value::I64(v) => {
+                w.put_u8(1);
+                w.put_i64(*v);
+            }
+            Value::F64(v) => {
+                w.put_u8(2);
+                w.put_f64(*v);
+            }
+            Value::Bool(v) => {
+                w.put_u8(3);
+                w.put_bool(*v);
+            }
+            Value::Str(v) => {
+                w.put_u8(4);
+                w.put_str(v);
+            }
+            Value::Bytes(v) => {
+                w.put_u8(5);
+                w.put_bytes(v);
+            }
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Value, WireError> {
+        match r.get_u8()? {
+            0 => Ok(Value::I32(r.get_i32()?)),
+            1 => Ok(Value::I64(r.get_i64()?)),
+            2 => Ok(Value::F64(r.get_f64()?)),
+            3 => Ok(Value::Bool(r.get_bool()?)),
+            4 => Ok(Value::Str(r.get_string()?)),
+            5 => Ok(Value::Bytes(r.get_bytes()?.to_vec())),
+            tag => Err(WireError::BadTag { what: "Value", tag }),
+        }
+    }
+}
+
+macro_rules! value_from {
+    ($ty:ty, $variant:ident) => {
+        impl From<$ty> for Value {
+            fn from(v: $ty) -> Value {
+                Value::$variant(v.into())
+            }
+        }
+    };
+}
+value_from!(i32, I32);
+value_from!(i64, I64);
+value_from!(f64, F64);
+value_from!(bool, Bool);
+value_from!(String, Str);
+value_from!(&str, Str);
+value_from!(Vec<u8>, Bytes);
+
+/// A string-keyed bag of values, used for both spawn parameters and task
+/// results.
+///
+/// ```
+/// use mocha::{TravelBag, Value};
+///
+/// let mut p = TravelBag::new();
+/// p.add("param1", 5);
+/// p.add("start", 2.5);
+/// assert_eq!(p.get_i32("param1").unwrap(), 5);
+/// assert_eq!(p.get_f64("start").unwrap(), 2.5);
+///
+/// let bytes = p.encode();
+/// let q = TravelBag::decode(&bytes).unwrap();
+/// assert_eq!(p, q);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TravelBag {
+    entries: BTreeMap<String, Value>,
+}
+
+/// The paper's `Parameter` object.
+pub type Parameter = TravelBag;
+
+impl TravelBag {
+    /// Creates an empty bag.
+    pub fn new() -> TravelBag {
+        TravelBag::default()
+    }
+
+    /// Adds (or replaces) a value. Accepts anything convertible to
+    /// [`Value`], mirroring the paper's overloaded `add` methods.
+    pub fn add(&mut self, key: impl Into<String>, value: impl Into<Value>) -> &mut Self {
+        self.entries.insert(key.into(), value.into());
+        self
+    }
+
+    /// Looks up a raw value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.get(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the bag is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    fn typed<T>(
+        &self,
+        key: &str,
+        requested: &'static str,
+        extract: impl FnOnce(&Value) -> Option<T>,
+    ) -> Result<T, MochaError> {
+        let value = self
+            .entries
+            .get(key)
+            .ok_or_else(|| MochaError::MissingParameter { key: key.to_string() })?;
+        extract(value).ok_or_else(|| MochaError::ParameterType {
+            key: key.to_string(),
+            requested,
+            actual: value.type_name(),
+        })
+    }
+
+    /// Retrieves an `i32` (the paper's `getint`).
+    ///
+    /// # Errors
+    ///
+    /// [`MochaError::MissingParameter`] if absent,
+    /// [`MochaError::ParameterType`] if stored as a different type.
+    pub fn get_i32(&self, key: &str) -> Result<i32, MochaError> {
+        self.typed(key, "i32", |v| match v {
+            Value::I32(x) => Some(*x),
+            _ => None,
+        })
+    }
+
+    /// Retrieves an `i64`.
+    ///
+    /// # Errors
+    ///
+    /// See [`get_i32`](Self::get_i32).
+    pub fn get_i64(&self, key: &str) -> Result<i64, MochaError> {
+        self.typed(key, "i64", |v| match v {
+            Value::I64(x) => Some(*x),
+            _ => None,
+        })
+    }
+
+    /// Retrieves an `f64` (the paper's `getdouble`).
+    ///
+    /// # Errors
+    ///
+    /// See [`get_i32`](Self::get_i32).
+    pub fn get_f64(&self, key: &str) -> Result<f64, MochaError> {
+        self.typed(key, "f64", |v| match v {
+            Value::F64(x) => Some(*x),
+            _ => None,
+        })
+    }
+
+    /// Retrieves a `bool`.
+    ///
+    /// # Errors
+    ///
+    /// See [`get_i32`](Self::get_i32).
+    pub fn get_bool(&self, key: &str) -> Result<bool, MochaError> {
+        self.typed(key, "bool", |v| match v {
+            Value::Bool(x) => Some(*x),
+            _ => None,
+        })
+    }
+
+    /// Retrieves a string.
+    ///
+    /// # Errors
+    ///
+    /// See [`get_i32`](Self::get_i32).
+    pub fn get_str(&self, key: &str) -> Result<&str, MochaError> {
+        match self.get(key) {
+            Some(Value::Str(x)) => Ok(x.as_str()),
+            Some(other) => Err(MochaError::ParameterType {
+                key: key.to_string(),
+                requested: "str",
+                actual: other.type_name(),
+            }),
+            None => Err(MochaError::MissingParameter { key: key.to_string() }),
+        }
+    }
+
+    /// Retrieves raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// See [`get_i32`](Self::get_i32).
+    pub fn get_bytes(&self, key: &str) -> Result<&[u8], MochaError> {
+        match self.get(key) {
+            Some(Value::Bytes(x)) => Ok(x.as_slice()),
+            Some(other) => Err(MochaError::ParameterType {
+                key: key.to_string(),
+                requested: "bytes",
+                actual: other.type_name(),
+            }),
+            None => Err(MochaError::MissingParameter { key: key.to_string() }),
+        }
+    }
+
+    /// Serializes the bag for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(self.entries.len() as u32);
+        for (k, v) in &self.entries {
+            w.put_str(k);
+            v.encode(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    /// Deserializes a bag.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<TravelBag, WireError> {
+        let mut r = ByteReader::new(bytes);
+        let n = r.get_u32()? as usize;
+        if n.saturating_mul(6) > r.remaining() {
+            return Err(WireError::LengthOverrun {
+                declared: n * 6,
+                remaining: r.remaining(),
+            });
+        }
+        let mut entries = BTreeMap::new();
+        for _ in 0..n {
+            let k = r.get_string()?;
+            let v = Value::decode(&mut r)?;
+            entries.insert(k, v);
+        }
+        r.finish()?;
+        Ok(TravelBag { entries })
+    }
+}
+
+impl fmt::Display for TravelBag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<'a> IntoIterator for &'a TravelBag {
+    type Item = (&'a str, &'a Value);
+    type IntoIter = Box<dyn Iterator<Item = (&'a str, &'a Value)> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+impl FromIterator<(String, Value)> for TravelBag {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        TravelBag {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_typed_get() {
+        let mut bag = TravelBag::new();
+        bag.add("i", 42)
+            .add("l", 42i64)
+            .add("d", 1.5)
+            .add("b", true)
+            .add("s", "hello")
+            .add("raw", vec![1u8, 2]);
+        assert_eq!(bag.get_i32("i").unwrap(), 42);
+        assert_eq!(bag.get_i64("l").unwrap(), 42);
+        assert_eq!(bag.get_f64("d").unwrap(), 1.5);
+        assert!(bag.get_bool("b").unwrap());
+        assert_eq!(bag.get_str("s").unwrap(), "hello");
+        assert_eq!(bag.get_bytes("raw").unwrap(), &[1, 2]);
+        assert_eq!(bag.len(), 6);
+        assert!(!bag.is_empty());
+    }
+
+    #[test]
+    fn missing_parameter_is_the_paper_exception() {
+        let bag = TravelBag::new();
+        assert_eq!(
+            bag.get_f64("start"),
+            Err(MochaError::MissingParameter { key: "start".into() })
+        );
+    }
+
+    #[test]
+    fn wrong_type_reports_both_types() {
+        let mut bag = TravelBag::new();
+        bag.add("x", 5);
+        assert_eq!(
+            bag.get_f64("x"),
+            Err(MochaError::ParameterType {
+                key: "x".into(),
+                requested: "f64",
+                actual: "i32",
+            })
+        );
+    }
+
+    #[test]
+    fn encode_decode_roundtrips() {
+        let mut bag = TravelBag::new();
+        bag.add("param1", 5).add("start", 0.0).add("name", "Myhello");
+        let bytes = bag.encode();
+        assert_eq!(TravelBag::decode(&bytes).unwrap(), bag);
+        // Empty bag too.
+        let empty = TravelBag::new();
+        assert_eq!(TravelBag::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(TravelBag::decode(&[9, 9, 9]).is_err());
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX);
+        assert!(matches!(
+            TravelBag::decode(w.as_slice()),
+            Err(WireError::LengthOverrun { .. })
+        ));
+    }
+
+    #[test]
+    fn replacement_overwrites() {
+        let mut bag = TravelBag::new();
+        bag.add("k", 1);
+        bag.add("k", 2);
+        assert_eq!(bag.get_i32("k").unwrap(), 2);
+        assert_eq!(bag.len(), 1);
+    }
+
+    #[test]
+    fn display_and_iteration_are_ordered() {
+        let mut bag = TravelBag::new();
+        bag.add("b", 2).add("a", 1);
+        let keys: Vec<&str> = bag.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "b"]);
+        assert_eq!(bag.to_string(), "{a=I32(1), b=I32(2)}");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let bag: TravelBag = vec![("x".to_string(), Value::I32(1))].into_iter().collect();
+        assert_eq!(bag.get_i32("x").unwrap(), 1);
+    }
+}

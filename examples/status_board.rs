@@ -1,0 +1,65 @@
+//! Non-synchronization-based sharing (paper §7 future work): a presence /
+//! status board where every participant publishes its own cell without
+//! any locking, Bayou/Rover-style.
+//!
+//! ```text
+//! cargo run --example status_board
+//! ```
+
+use std::time::Duration;
+
+use mocha::app::UNGUARDED;
+use mocha::replica::{replica_id, ReplicaSpec};
+use mocha::runtime::thread::ThreadRuntime;
+use mocha_wire::ReplicaPayload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const SITES: usize = 4;
+    let rt = ThreadRuntime::builder().sites(SITES).build();
+
+    // One cached replica per participant: "status:<site>". No ReplicaLock
+    // anywhere — consistency is last-writer-wins publication.
+    for i in 0..SITES {
+        let specs = (0..SITES)
+            .map(|j| {
+                ReplicaSpec::new(format!("status:{j}"), ReplicaPayload::Utf8("offline".into()))
+            })
+            .collect();
+        rt.handle(i).register(UNGUARDED, specs)?;
+    }
+
+    // Allow membership to propagate before the lock-free publishes.
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Everyone publishes their own status concurrently.
+    let statuses = ["browsing flatware", "checking out", "idle", "comparing plates"];
+    let mut workers = Vec::new();
+    for (i, status) in statuses.iter().enumerate() {
+        let h = rt.handle(i);
+        let status = status.to_string();
+        workers.push(std::thread::spawn(move || -> Result<(), mocha::MochaError> {
+            let cell = replica_id(&format!("status:{i}"));
+            h.write(cell, ReplicaPayload::Utf8(status))?;
+            h.publish(cell)?;
+            Ok(())
+        }));
+    }
+    for w in workers {
+        w.join().expect("worker")?;
+    }
+    std::thread::sleep(Duration::from_millis(300)); // unsynchronized propagation
+
+    // Every site sees everyone's latest status — no locks were taken.
+    println!("status board as seen from site 3:");
+    for (j, expected) in statuses.iter().enumerate() {
+        let cell = replica_id(&format!("status:{j}"));
+        let ReplicaPayload::Utf8(s) = rt.handle(3).read(cell)? else {
+            unreachable!();
+        };
+        println!("  site {j}: {s}");
+        assert_eq!(&s, expected);
+    }
+    rt.shutdown();
+    println!("converged without synchronization (last-writer-wins).");
+    Ok(())
+}

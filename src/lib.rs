@@ -1,0 +1,36 @@
+//! # mocha-repro — umbrella crate for the Mocha reproduction
+//!
+//! Re-exports the workspace crates so examples and downstream users can
+//! depend on one name. See the [`mocha`] crate for the system itself, and
+//! the repository's `README.md` / `DESIGN.md` / `EXPERIMENTS.md` for the
+//! reproduction story.
+
+pub use mocha;
+pub use mocha_apps as apps;
+pub use mocha_net as net;
+pub use mocha_sim as sim;
+pub use mocha_wire as wire;
+
+/// The most common imports for building a Mocha application.
+///
+/// ```
+/// use mocha_repro::prelude::*;
+///
+/// let rt = ThreadRuntime::builder().sites(1).build();
+/// let h = rt.handle(0);
+/// h.register(LockId(1), vec![ReplicaSpec::new("x", ReplicaPayload::empty())])?;
+/// h.lock(LockId(1))?;
+/// h.unlock(LockId(1), false)?;
+/// rt.shutdown();
+/// # Ok::<(), mocha::MochaError>(())
+/// ```
+pub mod prelude {
+    pub use mocha::app::Script;
+    pub use mocha::config::{AvailabilityConfig, MochaConfig};
+    pub use mocha::replica::{replica_id, ObjectReplica, ReplicaSpec, SharedState};
+    pub use mocha::runtime::sim::SimCluster;
+    pub use mocha::runtime::thread::{Freshness, MochaHandle, ThreadRuntime};
+    pub use mocha::travelbag::{Parameter, TravelBag, Value};
+    pub use mocha::MochaError;
+    pub use mocha_wire::{LockId, ReplicaId, ReplicaPayload, SiteId, Version};
+}

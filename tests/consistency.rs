@@ -1,0 +1,302 @@
+//! Entry-consistency integration tests over the simulated runtime: the
+//! core guarantee that a lock holder observes the most recent preceding
+//! holder's writes (paper §2.1.1/§3).
+
+use std::time::Duration;
+
+use mocha::app::Script;
+use mocha::replica::replica_id;
+use mocha::runtime::sim::SimCluster;
+use mocha_sim::profiles;
+use mocha_wire::{LockId, ReplicaPayload, Version};
+
+const L: LockId = LockId(1);
+
+#[test]
+fn chain_of_ownership_propagates_latest_value() {
+    // 5 sites write in sequence; each sees its predecessor's value.
+    let sites = 5;
+    let mut c = SimCluster::builder().sites(sites).build();
+    let idx = replica_id("chain");
+    for site in 0..sites {
+        let delay = Duration::from_millis(100 * (site as u64 + 1));
+        c.add_script(
+            site,
+            Script::new()
+                .register(L, &["chain"])
+                .sleep(delay)
+                .lock(L)
+                .read(idx)
+                .write(idx, ReplicaPayload::I32s(vec![site as i32]))
+                .unlock_dirty(L),
+        );
+    }
+    c.run_until_idle();
+    for site in 0..sites {
+        assert!(c.all_done(site), "site {site}: {:?}", c.failures(site));
+    }
+    // Site k observed site k-1's write (site 0 observed the initial empty).
+    for site in 1..sites {
+        assert_eq!(
+            c.observed_payloads(site),
+            vec![ReplicaPayload::I32s(vec![site as i32 - 1])],
+            "site {site} must observe its predecessor's write"
+        );
+    }
+    // Version advanced once per dirty unlock.
+    assert_eq!(c.daemon_version(sites - 1, L), Version(sites as u64));
+}
+
+#[test]
+fn last_writer_wins_everywhere_after_settling() {
+    let mut c = SimCluster::builder().sites(3).build();
+    let idx = replica_id("x");
+    for site in 0..3 {
+        c.add_script(
+            site,
+            Script::new()
+                .register(L, &["x"])
+                .sleep(Duration::from_millis(50 + 70 * site as u64))
+                .lock(L)
+                .write(idx, ReplicaPayload::I32s(vec![(site as i32 + 1) * 100]))
+                .unlock_dirty(L),
+        );
+    }
+    // A final reader at site 0.
+    c.add_script(
+        0,
+        Script::new()
+            .sleep(Duration::from_secs(2))
+            .lock(L)
+            .read(idx)
+            .unlock(L),
+    );
+    c.run_until_idle();
+    assert_eq!(
+        c.observed_payloads(0),
+        vec![ReplicaPayload::I32s(vec![300])],
+        "the last writer's value wins"
+    );
+}
+
+#[test]
+fn multiple_replicas_under_one_lock_travel_together() {
+    // The paper's Figure 3: three indexes + a string under one ReplicaLock.
+    let mut c = SimCluster::builder().sites(2).build();
+    let names = ["flatwareIndex", "plateIndex", "glasswareIndex", "text"];
+    let flatware = replica_id("flatwareIndex");
+    let glassware = replica_id("glasswareIndex");
+    let text = replica_id("text");
+    c.add_script(
+        0,
+        Script::new()
+            .register(L, &names)
+            .lock(L)
+            .write(flatware, ReplicaPayload::I32s(vec![1]))
+            .write(glassware, ReplicaPayload::I32s(vec![2]))
+            .write(text, ReplicaPayload::Utf8("Good Choice".into()))
+            .unlock_dirty(L),
+    );
+    c.add_script(
+        1,
+        Script::new()
+            .register(L, &names)
+            .sleep(Duration::from_millis(300))
+            .lock(L)
+            .read(flatware)
+            .read(glassware)
+            .read(text)
+            .unlock(L),
+    );
+    c.run_until_idle();
+    assert_eq!(
+        c.observed_payloads(1),
+        vec![
+            ReplicaPayload::I32s(vec![1]),
+            ReplicaPayload::I32s(vec![2]),
+            ReplicaPayload::Utf8("Good Choice".into()),
+        ]
+    );
+}
+
+#[test]
+fn read_only_holds_do_not_create_transfers() {
+    let mut c = SimCluster::builder().sites(2).build();
+    let idx = replica_id("ro");
+    c.add_script(
+        0,
+        Script::new()
+            .register(L, &["ro"])
+            .lock(L)
+            .write(idx, ReplicaPayload::I32s(vec![9]))
+            .unlock_dirty(L),
+    );
+    // Site 1 reads twice; the second acquisition must need no transfer.
+    c.add_script(
+        1,
+        Script::new()
+            .register(L, &["ro"])
+            .sleep(Duration::from_millis(200))
+            .lock(L)
+            .read(idx)
+            .unlock(L)
+            .sleep(Duration::from_millis(100))
+            .lock(L)
+            .read(idx)
+            .unlock(L),
+    );
+    c.run_until_idle();
+    assert_eq!(
+        c.observed_payloads(1),
+        vec![ReplicaPayload::I32s(vec![9]), ReplicaPayload::I32s(vec![9])]
+    );
+    let stats = c.coordinator_stats();
+    assert_eq!(
+        stats.grants_with_transfer, 1,
+        "only the first remote acquisition transfers data: {stats:?}"
+    );
+}
+
+#[test]
+fn unguarded_replicas_stay_local() {
+    // Images cached per site: writes never propagate (no consistency).
+    let mut c = SimCluster::builder().sites(2).build();
+    let img = replica_id("image");
+    c.add_script(
+        0,
+        Script::new()
+            .register(mocha::app::UNGUARDED, &["image"])
+            .write(img, ReplicaPayload::Bytes(vec![0xAA; 16])),
+    );
+    c.add_script(
+        1,
+        Script::new()
+            .register(mocha::app::UNGUARDED, &["image"])
+            .sleep(Duration::from_millis(300))
+            .read(img),
+    );
+    c.run_until_idle();
+    // Site 1 sees its own (empty) cached copy, not site 0's write.
+    assert_eq!(c.observed_payloads(1), vec![ReplicaPayload::Bytes(vec![])]);
+}
+
+#[test]
+fn two_independent_locks_do_not_interfere() {
+    let l2 = LockId(2);
+    let mut c = SimCluster::builder().sites(2).build();
+    let a = replica_id("a");
+    let b = replica_id("b");
+    c.add_script(
+        0,
+        Script::new()
+            .register(L, &["a"])
+            .register(l2, &["b"])
+            .lock(L)
+            .write(a, ReplicaPayload::I32s(vec![1]))
+            .unlock_dirty(L)
+            .lock(l2)
+            .write(b, ReplicaPayload::I32s(vec![2]))
+            .unlock_dirty(l2),
+    );
+    c.add_script(
+        1,
+        Script::new()
+            .register(L, &["a"])
+            .register(l2, &["b"])
+            .sleep(Duration::from_millis(300))
+            .lock(l2)
+            .read(b)
+            .unlock(l2)
+            .lock(L)
+            .read(a)
+            .unlock(L),
+    );
+    c.run_until_idle();
+    assert_eq!(
+        c.observed_payloads(1),
+        vec![ReplicaPayload::I32s(vec![2]), ReplicaPayload::I32s(vec![1])]
+    );
+    assert_eq!(c.daemon_version(1, L), Version(1));
+    assert_eq!(c.daemon_version(1, l2), Version(1));
+}
+
+#[test]
+fn wan_cluster_behaves_identically_to_lan() {
+    // Same workload, different testbeds: identical final state (timing
+    // differs, semantics don't).
+    let run = |link| {
+        let mut c = SimCluster::builder()
+            .sites(3)
+            .link(link)
+            .cpu(profiles::ultra1())
+            .build();
+        let idx = replica_id("v");
+        for site in 0..3 {
+            c.add_script(
+                site,
+                Script::new()
+                    .register(L, &["v"])
+                    .sleep(Duration::from_millis(100 * (site as u64 + 1)))
+                    .lock(L)
+                    .write(idx, ReplicaPayload::I32s(vec![site as i32]))
+                    .unlock_dirty(L),
+            );
+        }
+        c.run_until_idle();
+        (
+            c.replica_value(0, idx),
+            c.daemon_version(2, L),
+            c.coordinator_stats().grants,
+        )
+    };
+    let lan = run(profiles::lan_deterministic());
+    let wan = run(profiles::wan_lossless());
+    assert_eq!(lan.1, wan.1);
+    assert_eq!(lan.2, wan.2);
+    // Final value at the last writer is the same.
+    assert_eq!(
+        run(profiles::lan_deterministic()).0,
+        run(profiles::wan_lossless()).0
+    );
+}
+
+#[test]
+fn identical_seeds_give_identical_protocol_records() {
+    // End-to-end determinism: two clusters with the same seed produce
+    // byte-identical record streams and metrics.
+    let run = || {
+        let mut c = SimCluster::builder()
+            .sites(3)
+            .seed(777)
+            .link(mocha_sim::LinkProfile {
+                loss: 0.05,
+                jitter: Duration::from_millis(2),
+                ..profiles::wan()
+            })
+            .cpu(profiles::ultra1())
+            .build();
+        let idx = replica_id("d");
+        for site in 0..3 {
+            c.add_script(
+                site,
+                Script::new()
+                    .register(L, &["d"])
+                    .sleep(Duration::from_millis(100 * site as u64 + 20))
+                    .lock(L)
+                    .compute(Duration::from_millis(3))
+                    .write(idx, ReplicaPayload::I32s(vec![site as i32]))
+                    .unlock_dirty(L),
+            );
+        }
+        c.run_until_idle();
+        let records: Vec<(usize, String, mocha_sim::SimTime)> = (0..3)
+            .flat_map(|s| {
+                c.all_records(s)
+                    .into_iter()
+                    .map(move |(_, r)| (s, r.label, r.at))
+            })
+            .collect();
+        (records, c.world().metrics())
+    };
+    assert_eq!(run(), run());
+}

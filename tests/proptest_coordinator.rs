@@ -1,0 +1,241 @@
+//! Model-based property testing of the synchronization coordinator: a
+//! random population of protocol-conformant clients drives the state
+//! machine directly, and global invariants are checked after every step.
+//!
+//! Invariants:
+//! 1. **Mutual exclusion** — never more than one exclusive holder; never
+//!    an exclusive holder concurrent with any other holder.
+//! 2. **Version monotonicity** — the version a grant carries never
+//!    decreases (absent failures).
+//! 3. **No lost grants** — every request is eventually granted once all
+//!    holds release (liveness under fair scheduling).
+//! 4. **FIFO fairness** — grants respect request order, except that
+//!    consecutive shared requests batch.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use mocha::cmd::{Cmd, CmdSink};
+use mocha::config::MochaConfig;
+use mocha::sync::SyncCoordinator;
+use mocha_sim::SimTime;
+use mocha_wire::message::LockMode;
+use mocha_wire::{LockId, Msg, SiteId, ThreadId, Version};
+
+const L: LockId = LockId(1);
+
+#[derive(Debug, Clone, Copy)]
+enum ClientOp {
+    /// Client k requests the lock (mode: false = exclusive, true = shared).
+    Request { client: usize, shared: bool },
+    /// The longest-held current grant releases (dirty flag).
+    ReleaseOldest { dirty: bool },
+}
+
+fn op_strategy(clients: usize) -> impl Strategy<Value = ClientOp> {
+    prop_oneof![
+        (0..clients, any::<bool>())
+            .prop_map(|(client, shared)| ClientOp::Request { client, shared }),
+        any::<bool>().prop_map(|dirty| ClientOp::ReleaseOldest { dirty }),
+    ]
+}
+
+/// Tracks the world state implied by the coordinator's outgoing grants.
+#[derive(Default)]
+struct Model {
+    /// (client, mode, granted version) currently holding.
+    holding: Vec<(usize, LockMode, Version)>,
+    /// Clients with an outstanding (sent, ungranted) request.
+    outstanding: VecDeque<(usize, LockMode)>,
+    max_granted_version: Version,
+}
+
+fn drive(ops: &[ClientOp], clients: usize) -> Result<(), TestCaseError> {
+    let mut c = SyncCoordinator::new(SiteId(99), MochaConfig::default());
+    let mut sink = CmdSink::new();
+    let mut model = Model::default();
+    let mut now_ms = 0u64;
+
+    // Process the coordinator's outgoing grants against the model.
+    let absorb = |c: &mut SyncCoordinator,
+                      sink: &mut CmdSink,
+                      model: &mut Model|
+     -> Result<(), TestCaseError> {
+        for cmd in sink.drain() {
+            if let Cmd::Send {
+                msg: Msg::Grant { version, .. },
+                to,
+                ..
+            } = cmd
+            {
+                let client = to.as_raw() as usize - 1;
+                // The grantee must have an outstanding request; find it.
+                let pos = model
+                    .outstanding
+                    .iter()
+                    .position(|(k, _)| *k == client)
+                    .ok_or_else(|| {
+                        TestCaseError::fail(format!("grant to {client} with no request"))
+                    })?;
+                let (_, mode) = model.outstanding.remove(pos).expect("present");
+                // FIFO: everything ahead of it in the queue must be shared
+                // and this grant must be shared too (shared batches may
+                // overtake nothing; an exclusive may only be granted from
+                // the queue front).
+                if pos != 0 {
+                    prop_assert_eq!(
+                        mode,
+                        LockMode::Shared,
+                        "non-front grant must be part of a shared batch"
+                    );
+                }
+                // Invariant 1: compatibility with current holders.
+                if mode == LockMode::Exclusive {
+                    prop_assert!(
+                        model.holding.is_empty(),
+                        "exclusive granted while held: {:?}",
+                        model.holding
+                    );
+                } else {
+                    prop_assert!(
+                        model
+                            .holding
+                            .iter()
+                            .all(|(_, m, _)| *m == LockMode::Shared),
+                        "shared granted alongside an exclusive holder"
+                    );
+                }
+                // Invariant 2: version monotonicity.
+                prop_assert!(
+                    version >= model.max_granted_version,
+                    "version went backwards: {} < {}",
+                    version,
+                    model.max_granted_version
+                );
+                model.max_granted_version = version;
+                model.holding.push((client, mode, version));
+            }
+        }
+        let _ = c;
+        Ok(())
+    };
+
+    for op in ops {
+        now_ms += 1;
+        let now = SimTime::ZERO + Duration::from_millis(now_ms);
+        match *op {
+            ClientOp::Request { client, shared } => {
+                // One outstanding request (or hold) per client at a time —
+                // the per-site serialization real clients obey.
+                if model.outstanding.iter().any(|(k, _)| *k == client)
+                    || model.holding.iter().any(|(k, _, _)| *k == client)
+                {
+                    continue;
+                }
+                let mode = if shared {
+                    LockMode::Shared
+                } else {
+                    LockMode::Exclusive
+                };
+                model.outstanding.push_back((client, mode));
+                c.on_msg(
+                    now,
+                    SiteId(client as u32 + 1),
+                    Msg::AcquireLock {
+                        lock: L,
+                        site: SiteId(client as u32 + 1),
+                        thread: ThreadId(0),
+                        lease_hint_ms: 0,
+                        mode,
+                    },
+                    &mut sink,
+                );
+                absorb(&mut c, &mut sink, &mut model)?;
+            }
+            ClientOp::ReleaseOldest { dirty } => {
+                let Some((client, mode, version)) = model.holding.first().copied() else {
+                    continue;
+                };
+                model.holding.remove(0);
+                let dirty = dirty && mode == LockMode::Exclusive;
+                let new_version = if dirty { version.next() } else { version };
+                c.on_msg(
+                    now,
+                    SiteId(client as u32 + 1),
+                    Msg::ReleaseLock {
+                        lock: L,
+                        site: SiteId(client as u32 + 1),
+                        new_version,
+                        disseminated_to: vec![],
+                    },
+                    &mut sink,
+                );
+                absorb(&mut c, &mut sink, &mut model)?;
+            }
+        }
+    }
+
+    // Liveness: release everything still held; all outstanding requests
+    // must then be granted.
+    let mut guard = 0;
+    while !model.holding.is_empty() || !model.outstanding.is_empty() {
+        guard += 1;
+        prop_assert!(guard < 10_000, "liveness stalled: {:?}", model.outstanding);
+        now_ms += 1;
+        let now = SimTime::ZERO + Duration::from_millis(now_ms);
+        if let Some((client, mode, version)) = model.holding.first().copied() {
+            model.holding.remove(0);
+            let new_version = if mode == LockMode::Exclusive {
+                version.next()
+            } else {
+                version
+            };
+            c.on_msg(
+                now,
+                SiteId(client as u32 + 1),
+                Msg::ReleaseLock {
+                    lock: L,
+                    site: SiteId(client as u32 + 1),
+                    new_version,
+                    disseminated_to: vec![],
+                },
+                &mut sink,
+            );
+            absorb(&mut c, &mut sink, &mut model)?;
+        } else {
+            // Outstanding but nothing held and no grants came: stuck.
+            prop_assert!(
+                model.outstanding.is_empty(),
+                "requests stranded with lock free: {:?}",
+                model.outstanding
+            );
+        }
+    }
+    let _ = clients;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn coordinator_invariants_hold_under_random_schedules(
+        clients in 2usize..6,
+        ops in proptest::collection::vec(op_strategy(5), 1..60),
+    ) {
+        // Clamp client ids into range.
+        let ops: Vec<ClientOp> = ops
+            .into_iter()
+            .map(|op| match op {
+                ClientOp::Request { client, shared } => ClientOp::Request {
+                    client: client % clients,
+                    shared,
+                },
+                other => other,
+            })
+            .collect();
+        drive(&ops, clients)?;
+    }
+}

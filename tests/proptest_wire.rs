@@ -1,0 +1,167 @@
+//! Property-based tests of the wire layer: every encode/decode pair is an
+//! identity, and malformed inputs never panic.
+
+use proptest::prelude::*;
+
+use mocha::travelbag::{TravelBag, Value};
+use mocha_wire::message::{LockMode, ReplicaUpdate, VersionFlag};
+use mocha_wire::{LockId, Msg, ReplicaId, ReplicaPayload, RequestId, SiteId, ThreadId, Version};
+
+fn payload_strategy() -> impl Strategy<Value = ReplicaPayload> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..600).prop_map(ReplicaPayload::Bytes),
+        proptest::collection::vec(any::<i32>(), 0..200).prop_map(ReplicaPayload::I32s),
+        proptest::collection::vec(any::<i64>(), 0..100).prop_map(ReplicaPayload::I64s),
+        proptest::collection::vec(any::<f64>(), 0..100).prop_map(ReplicaPayload::F64s),
+        "[ -~]{0,200}".prop_map(ReplicaPayload::Utf8),
+        ("[A-Za-z.]{1,40}", proptest::collection::vec(any::<u8>(), 0..300))
+            .prop_map(|(type_name, bytes)| ReplicaPayload::Object { type_name, bytes }),
+    ]
+}
+
+fn update_strategy() -> impl Strategy<Value = ReplicaUpdate> {
+    (any::<u32>(), payload_strategy()).prop_map(|(id, payload)| ReplicaUpdate {
+        replica: ReplicaId(id),
+        payload,
+    })
+}
+
+fn msg_strategy() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<bool>()).prop_map(
+            |(l, s, t, ms, shared)| Msg::AcquireLock {
+                lock: LockId(l),
+                site: SiteId(s),
+                thread: ThreadId(t),
+                lease_hint_ms: ms,
+                mode: if shared {
+                    LockMode::Shared
+                } else {
+                    LockMode::Exclusive
+                },
+            }
+        ),
+        (any::<u32>(), any::<u64>(), any::<bool>()).prop_map(|(l, v, ok)| Msg::Grant {
+            lock: LockId(l),
+            version: Version(v),
+            flag: if ok {
+                VersionFlag::VersionOk
+            } else {
+                VersionFlag::NeedNewVersion
+            },
+        }),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u32>(), 0..8)
+        )
+            .prop_map(|(l, s, v, d)| Msg::ReleaseLock {
+                lock: LockId(l),
+                site: SiteId(s),
+                new_version: Version(v),
+                disseminated_to: d.into_iter().map(SiteId).collect(),
+            }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            proptest::collection::vec(update_strategy(), 0..4),
+            any::<u64>()
+        )
+            .prop_map(|(l, v, updates, r)| Msg::ReplicaData {
+                lock: LockId(l),
+                version: Version(v),
+                updates,
+                req: RequestId(r),
+            }),
+        (any::<u32>(), any::<u64>()).prop_map(|(l, r)| Msg::PollVersion {
+            lock: LockId(l),
+            req: RequestId(r),
+        }),
+        ("[A-Za-z]{1,30}", proptest::collection::vec(any::<u8>(), 0..200), any::<u64>())
+            .prop_map(|(class, code, r)| Msg::CodeResponse {
+                class,
+                code,
+                req: RequestId(r),
+            }),
+        (any::<u32>(), "[ -~]{0,120}").prop_map(|(s, text)| Msg::RemotePrint {
+            site: SiteId(s),
+            text,
+        }),
+    ]
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i32>().prop_map(Value::I32),
+        any::<i64>().prop_map(Value::I64),
+        any::<f64>().prop_filter("NaN breaks equality", |f| !f.is_nan()).prop_map(Value::F64),
+        any::<bool>().prop_map(Value::Bool),
+        "[ -~]{0,60}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..100).prop_map(Value::Bytes),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn replica_payloads_roundtrip(payload in payload_strategy()) {
+        let mut w = mocha_wire::io::ByteWriter::new();
+        payload.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = mocha_wire::io::ByteReader::new(&bytes);
+        let back = ReplicaPayload::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        prop_assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn messages_roundtrip(msg in msg_strategy()) {
+        let bytes = msg.encode();
+        let back = Msg::decode(&bytes).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn message_prefixes_never_decode(msg in msg_strategy(), cut_frac in 0.0f64..1.0) {
+        let bytes = msg.encode();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(Msg::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn random_bytes_never_panic_the_decoder(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = Msg::decode(&bytes); // must not panic
+        let mut r = mocha_wire::io::ByteReader::new(&bytes);
+        let _ = ReplicaPayload::decode(&mut r);
+        let _ = TravelBag::decode(&bytes);
+    }
+
+    #[test]
+    fn travel_bags_roundtrip(entries in proptest::collection::btree_map("[a-z]{1,12}", value_strategy(), 0..10)) {
+        let bag: TravelBag = entries.into_iter().collect();
+        let bytes = bag.encode();
+        let back = TravelBag::decode(&bytes).unwrap();
+        prop_assert_eq!(back, bag);
+    }
+
+    #[test]
+    fn serbin_roundtrips_nested_values(
+        xs in proptest::collection::vec((any::<i64>(), "[ -~]{0,20}", proptest::option::of(any::<u32>())), 0..20)
+    ) {
+        let bytes = mocha_wire::serbin::to_bytes(&xs).unwrap();
+        let back: Vec<(i64, String, Option<u32>)> = mocha_wire::serbin::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn codecs_agree_on_bytes_and_roundtrip(updates in proptest::collection::vec(update_strategy(), 0..4)) {
+        use mocha_wire::codec::{Bulk, ByteAtATime, Marshaller};
+        let (a, _) = ByteAtATime.marshal(&updates);
+        let (b, _) = Bulk.marshal(&updates);
+        prop_assert_eq!(&a, &b);
+        let (back, _) = ByteAtATime.unmarshal(&a).unwrap();
+        prop_assert_eq!(back, updates);
+    }
+}

@@ -1,0 +1,197 @@
+//! Node reboot and rejoin: the wide-area failure the paper's introduction
+//! motivates ("the autonomy of nodes can result in a remote node reboot").
+//! A crashed site comes back empty, re-registers, is un-blacklisted, and
+//! participates again — receiving the state it missed.
+
+use std::time::Duration;
+
+use mocha::app::Script;
+use mocha::config::MochaConfig;
+use mocha::replica::replica_id;
+use mocha::runtime::sim::SimCluster;
+use mocha_wire::{LockId, ReplicaPayload};
+
+const L: LockId = LockId(1);
+
+fn failure_config() -> MochaConfig {
+    MochaConfig {
+        default_lease: Duration::from_millis(400),
+        lease_scan_interval: Duration::from_millis(150),
+        heartbeat_timeout: Duration::from_millis(300),
+        recovery_poll_window: Duration::from_millis(300),
+        ..MochaConfig::default()
+    }
+}
+
+#[test]
+fn rebooted_site_rejoins_and_reads_current_state() {
+    let mut c = SimCluster::builder()
+        .sites(3)
+        .config(failure_config())
+        .build();
+    let idx = replica_id("doc");
+    c.add_script(
+        1,
+        Script::new()
+            .register(L, &["doc"])
+            .lock(L)
+            .write(idx, ReplicaPayload::Utf8("v1".into()))
+            .unlock_dirty(L),
+    );
+    c.add_script(2, Script::new().register(L, &["doc"]));
+    c.run_for(Duration::from_secs(1));
+    // Site 2 reboots: crash, then restart with an empty stack.
+    c.crash_site(2);
+    c.run_for(Duration::from_secs(2));
+    c.restart_site(2);
+    // The fresh incarnation re-registers and reads.
+    c.add_script(
+        2,
+        Script::new()
+            .register(L, &["doc"])
+            .sleep(Duration::from_millis(300))
+            .lock(L)
+            .read(idx)
+            .unlock(L),
+    );
+    c.run_for(Duration::from_secs(20));
+    assert!(c.all_done(2), "{:?}", c.failures(2));
+    assert_eq!(
+        c.observed_payloads(2),
+        vec![ReplicaPayload::Utf8("v1".into())],
+        "the rebooted site received the state it missed"
+    );
+}
+
+#[test]
+fn blacklisted_owner_is_forgiven_after_reboot() {
+    let mut c = SimCluster::builder()
+        .sites(3)
+        .config(failure_config())
+        .build();
+    let idx = replica_id("x");
+    // Site 1 dies holding the lock → broken + blacklisted.
+    c.add_script(
+        1,
+        Script::new()
+            .register(L, &["x"])
+            .lock_with_lease(L, Duration::from_millis(400))
+            .sleep(Duration::from_secs(60))
+            .unlock(L),
+    );
+    c.add_script(
+        2,
+        Script::new()
+            .register(L, &["x"])
+            .sleep(Duration::from_millis(200))
+            .lock(L)
+            .write(idx, ReplicaPayload::I32s(vec![9]))
+            .unlock_dirty(L),
+    );
+    c.crash_site_at(mocha_sim::SimTime::ZERO + Duration::from_millis(600), 1);
+    c.run_for(Duration::from_secs(10));
+    assert_eq!(c.coordinator_stats().locks_broken, 1);
+
+    // Reboot site 1; its re-registration lifts the blacklist and it can
+    // lock again, seeing site 2's write.
+    c.restart_site(1);
+    c.add_script(
+        1,
+        Script::new()
+            .register(L, &["x"])
+            .sleep(Duration::from_millis(300))
+            .lock(L)
+            .read(idx)
+            .unlock(L),
+    );
+    c.run_for(Duration::from_secs(20));
+    assert!(c.all_done(1), "{:?}", c.failures(1));
+    assert_eq!(c.observed_payloads(1), vec![ReplicaPayload::I32s(vec![9])]);
+}
+
+#[test]
+fn reboot_loses_unshared_local_state() {
+    // A value written with UR=1 at the rebooted site itself is gone after
+    // the reboot; the next reader experiences weakened consistency.
+    let mut c = SimCluster::builder()
+        .sites(3)
+        .config(failure_config())
+        .build();
+    let idx = replica_id("y");
+    c.add_script(
+        1,
+        Script::new()
+            .register(L, &["y"])
+            .lock(L)
+            .write(idx, ReplicaPayload::I32s(vec![1]))
+            .unlock_dirty(L),
+    );
+    c.add_script(2, Script::new().register(L, &["y"]));
+    c.run_for(Duration::from_secs(1));
+    c.crash_site(1);
+    c.run_for(Duration::from_millis(500));
+    c.restart_site(1);
+    c.add_script(1, Script::new().register(L, &["y"]));
+    // Reader at site 2: v1 existed only at (old) site 1 → stale recovery.
+    let th = c.add_script(
+        2,
+        Script::new()
+            .sleep(Duration::from_millis(500))
+            .lock(L)
+            .read(idx)
+            .unlock(L),
+    );
+    c.run_for(Duration::from_secs(30));
+    assert!(c.all_done(2), "{:?}", c.failures(2));
+    let labels: Vec<String> = c.records(2, th).iter().map(|r| r.label.clone()).collect();
+    assert!(
+        labels.contains(&"data_stale:lock1".to_string())
+            || labels.contains(&"lock_acquired:lock1".to_string()),
+        "{labels:?}"
+    );
+    // The write is gone (reboot = fresh store).
+    assert_eq!(c.observed_payloads(2), vec![ReplicaPayload::empty()]);
+}
+
+#[test]
+fn reboot_with_hybrid_protocol_still_rejoins() {
+    // The rebooted site's fresh TCP stack must not collide with any
+    // connection state its previous incarnation left at peers.
+    let mut c = SimCluster::builder()
+        .sites(3)
+        .config(MochaConfig {
+            net: mocha_net::NetConfig::hybrid(),
+            ..failure_config()
+        })
+        .build();
+    let idx = replica_id("doc");
+    c.add_script(
+        1,
+        Script::new()
+            .register(L, &["doc"])
+            .lock(L)
+            .write(idx, ReplicaPayload::Bytes(vec![5; 8 * 1024]))
+            .unlock_dirty(L),
+    );
+    c.add_script(2, Script::new().register(L, &["doc"]));
+    c.run_for(Duration::from_secs(1));
+    c.crash_site(2);
+    c.run_for(Duration::from_secs(1));
+    c.restart_site(2);
+    c.add_script(
+        2,
+        Script::new()
+            .register(L, &["doc"])
+            .sleep(Duration::from_millis(300))
+            .lock(L)
+            .read(idx)
+            .unlock(L),
+    );
+    c.run_for(Duration::from_secs(30));
+    assert!(c.all_done(2), "{:?}", c.failures(2));
+    assert_eq!(
+        c.observed_payloads(2),
+        vec![ReplicaPayload::Bytes(vec![5; 8 * 1024])],
+        "the 8K replica crossed the rebooted site's fresh TCP stack"
+    );
+}

@@ -1,0 +1,247 @@
+//! Shared (read-only) lock tests — the paper's §3 closing note: the basic
+//! algorithm "can easily be modified to support shared (i.e., read-only)
+//! locks".
+
+use std::time::Duration;
+
+use mocha::app::Script;
+use mocha::replica::{replica_id, ReplicaSpec};
+use mocha::runtime::sim::SimCluster;
+use mocha::runtime::thread::ThreadRuntime;
+use mocha::MochaError;
+use mocha_wire::{LockId, ReplicaPayload};
+
+const L: LockId = LockId(1);
+
+#[test]
+fn concurrent_shared_readers_overlap() {
+    // Two sites hold the lock in shared mode at the same time: both are
+    // granted without waiting for each other.
+    let mut c = SimCluster::builder().sites(3).build();
+    let idx = replica_id("x");
+    c.add_script(
+        0,
+        Script::new()
+            .register(L, &["x"])
+            .lock(L)
+            .write(idx, ReplicaPayload::I32s(vec![5]))
+            .unlock_dirty(L),
+    );
+    for site in 1..3 {
+        c.add_script(
+            site,
+            Script::new()
+                .register(L, &["x"])
+                .sleep(Duration::from_millis(200))
+                .lock_shared(L)
+                .read(idx)
+                // Hold for a while so the shared holds overlap.
+                .sleep(Duration::from_millis(500))
+                .unlock(L),
+        );
+    }
+    c.run_until_idle();
+    for site in 1..3 {
+        assert!(c.all_done(site), "site {site}: {:?}", c.failures(site));
+        assert_eq!(c.observed_payloads(site), vec![ReplicaPayload::I32s(vec![5])]);
+    }
+    // Both shared acquisitions were granted before either released: their
+    // lock_acquired timestamps must both precede both unlock timestamps.
+    let acq: Vec<_> = (1..3)
+        .map(|s| {
+            c.all_records(s)
+                .iter()
+                .find(|(_, r)| r.label == "lock_acquired:lock1")
+                .map(|(_, r)| r.at)
+                .unwrap()
+        })
+        .collect();
+    let rel: Vec<_> = (1..3)
+        .map(|s| {
+            c.all_records(s)
+                .iter()
+                .find(|(_, r)| r.label == "unlock:lock1")
+                .map(|(_, r)| r.at)
+                .unwrap()
+        })
+        .collect();
+    assert!(acq[0] < rel[1] && acq[1] < rel[0], "shared holds overlapped");
+}
+
+#[test]
+fn exclusive_waits_for_all_shared_holders() {
+    let mut c = SimCluster::builder().sites(4).build();
+    let idx = replica_id("x");
+    // Two long shared holders.
+    for site in 0..2 {
+        c.add_script(
+            site,
+            Script::new()
+                .register(L, &["x"])
+                .lock_shared(L)
+                .sleep(Duration::from_millis(800 + site as u64 * 200))
+                .unlock(L),
+        );
+    }
+    // An exclusive writer arrives while the shared holds are active.
+    let th = c.add_script(
+        2,
+        Script::new()
+            .register(L, &["x"])
+            .sleep(Duration::from_millis(300))
+            .lock(L)
+            .write(idx, ReplicaPayload::I32s(vec![1]))
+            .unlock_dirty(L),
+    );
+    c.run_until_idle();
+    assert!(c.all_done(2), "{:?}", c.failures(2));
+    let granted_at = c
+        .records(2, th)
+        .iter()
+        .find(|r| r.label == "lock_granted:lock1")
+        .unwrap()
+        .at;
+    // The second shared holder releases at ~1000 ms; the exclusive grant
+    // must come after that.
+    assert!(
+        granted_at.since_start() >= Duration::from_millis(990),
+        "exclusive granted at {granted_at}, before shared holders released"
+    );
+}
+
+#[test]
+fn shared_request_does_not_jump_exclusive_queue() {
+    // shared1 holds; exclusive queues; shared2 arrives later and must NOT
+    // overtake the queued exclusive (writer starvation prevention).
+    let mut c = SimCluster::builder().sites(4).build();
+    c.add_script(
+        0,
+        Script::new()
+            .register(L, &["x"])
+            .lock_shared(L)
+            .sleep(Duration::from_millis(600))
+            .unlock(L),
+    );
+    let writer = c.add_script(
+        1,
+        Script::new()
+            .register(L, &["x"])
+            .sleep(Duration::from_millis(200))
+            .lock(L)
+            .unlock(L),
+    );
+    let late_reader = c.add_script(
+        2,
+        Script::new()
+            .register(L, &["x"])
+            .sleep(Duration::from_millis(400))
+            .lock_shared(L)
+            .unlock(L),
+    );
+    c.run_until_idle();
+    let writer_granted = c
+        .records(1, writer)
+        .iter()
+        .find(|r| r.label == "lock_granted:lock1")
+        .unwrap()
+        .at;
+    let reader_granted = c
+        .records(2, late_reader)
+        .iter()
+        .find(|r| r.label == "lock_granted:lock1")
+        .unwrap()
+        .at;
+    assert!(
+        writer_granted < reader_granted,
+        "queued exclusive ({writer_granted}) must precede the late shared ({reader_granted})"
+    );
+}
+
+#[test]
+fn writes_under_shared_hold_are_guard_violations() {
+    let mut c = SimCluster::builder().sites(1).build();
+    let idx = replica_id("x");
+    let th = c.add_script(
+        0,
+        Script::new()
+            .register(L, &["x"])
+            .lock_shared(L)
+            .write(idx, ReplicaPayload::I32s(vec![1]))
+            .unlock(L),
+    );
+    c.run_until_idle();
+    let labels: Vec<String> = c.records(0, th).iter().map(|r| r.label.clone()).collect();
+    assert!(
+        labels.iter().any(|l| l.starts_with("guard_violation")),
+        "{labels:?}"
+    );
+    // The write did not land.
+    assert_eq!(
+        c.replica_value(0, idx),
+        Some(ReplicaPayload::empty()),
+        "write under shared hold rejected"
+    );
+}
+
+#[test]
+fn thread_runtime_shared_locks_block_writes() {
+    let rt = ThreadRuntime::builder().sites(2).build();
+    let a = rt.handle(0);
+    let b = rt.handle(1);
+    let idx = replica_id("x");
+    for h in [&a, &b] {
+        h.register(L, vec![ReplicaSpec::new("x", ReplicaPayload::I32s(vec![7]))])
+            .unwrap();
+    }
+    // Both sites hold shared simultaneously.
+    a.lock_shared(L).unwrap();
+    b.lock_shared(L).unwrap();
+    assert_eq!(a.read(idx).unwrap(), ReplicaPayload::I32s(vec![7]));
+    assert_eq!(b.read(idx).unwrap(), ReplicaPayload::I32s(vec![7]));
+    // Writing under a shared hold is refused.
+    assert!(matches!(
+        a.write(idx, ReplicaPayload::I32s(vec![9])),
+        Err(MochaError::NotLocked { .. })
+    ));
+    a.unlock(L, false).unwrap();
+    b.unlock(L, false).unwrap();
+    // Exclusive still works afterwards.
+    a.lock(L).unwrap();
+    a.write(idx, ReplicaPayload::I32s(vec![9])).unwrap();
+    a.unlock(L, true).unwrap();
+    rt.shutdown();
+}
+
+#[test]
+fn shared_readers_after_write_all_receive_the_data() {
+    let mut c = SimCluster::builder().sites(5).build();
+    let idx = replica_id("x");
+    c.add_script(
+        0,
+        Script::new()
+            .register(L, &["x"])
+            .lock(L)
+            .write(idx, ReplicaPayload::Utf8("published".into()))
+            .unlock_dirty(L),
+    );
+    for site in 1..5 {
+        c.add_script(
+            site,
+            Script::new()
+                .register(L, &["x"])
+                .sleep(Duration::from_millis(300))
+                .lock_shared(L)
+                .read(idx)
+                .unlock(L),
+        );
+    }
+    c.run_until_idle();
+    for site in 1..5 {
+        assert!(c.all_done(site), "site {site}: {:?}", c.failures(site));
+        assert_eq!(
+            c.observed_payloads(site),
+            vec![ReplicaPayload::Utf8("published".into())],
+            "shared reader at site {site} got the data"
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Remote-evaluation integration: spawn over the simulated runtime with
+//! real code-shipping traffic.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mocha::app::Script;
+use mocha::runtime::sim::SimCluster;
+use mocha::spawn::{TaskRegistry, TaskSpec};
+use mocha::travelbag::{Parameter, TravelBag};
+use mocha_wire::LockId;
+
+fn registry() -> TaskRegistry {
+    let mut reg = TaskRegistry::new();
+    reg.register_code("BigHelper", vec![0x11; 64 * 1024]);
+    reg.register_task(
+        "Myhello",
+        TaskSpec {
+            requires: vec![],
+            compute: Duration::from_millis(1),
+            body: Arc::new(|params, ctx| {
+                let start = params.get_f64("start").map_err(|e| e.to_string())?;
+                let sum = start + 1.0;
+                ctx.println(format!("Returning as a return value {sum}"));
+                let mut result = TravelBag::new();
+                result.add("returnvalue", sum);
+                Ok(result)
+            }),
+        },
+    );
+    reg.register_task(
+        "NeedsBigHelper",
+        TaskSpec {
+            requires: vec!["BigHelper".to_string()],
+            compute: Duration::from_millis(5),
+            body: Arc::new(|_, _| Ok(TravelBag::new())),
+        },
+    );
+    reg
+}
+
+#[test]
+fn spawn_round_trip_over_simulated_wan() {
+    let mut c = SimCluster::builder()
+        .sites(3)
+        .link(mocha_sim::profiles::wan_lossless())
+        .cpu(mocha_sim::profiles::ultra1())
+        .registry(registry())
+        .build();
+    let mut params = Parameter::new();
+    params.add("start", 5.0);
+    c.spawn(0, 1, "Myhello", &params);
+    c.run_until_idle();
+    let outcomes = c.spawn_outcomes(0);
+    assert_eq!(outcomes.len(), 1);
+    assert!(outcomes[0].ok);
+    assert_eq!(outcomes[0].result.get_f64("returnvalue").unwrap(), 6.0);
+    // The remote print reached the spawning site.
+    let prints = c.prints(0);
+    assert_eq!(prints.len(), 1);
+    assert!(prints[0].contains("6"));
+}
+
+#[test]
+fn demand_pull_ships_code_once_per_site() {
+    let mut c = SimCluster::builder().sites(2).registry(registry()).build();
+    // Two spawns of the same task at the same site: the 64K helper must
+    // travel only once.
+    c.spawn(0, 1, "NeedsBigHelper", &Parameter::new());
+    c.run_until_idle();
+    let bytes_first = c.world().metrics().bytes_sent;
+    c.spawn(0, 1, "NeedsBigHelper", &Parameter::new());
+    c.run_until_idle();
+    let bytes_second = c.world().metrics().bytes_sent - bytes_first;
+    assert_eq!(c.spawn_outcomes(0).len(), 2);
+    assert!(c.spawn_outcomes(0).iter().all(|o| o.ok));
+    assert!(
+        bytes_second < bytes_first / 2,
+        "second spawn must not re-ship the helper: first {bytes_first}, second {bytes_second}"
+    );
+}
+
+#[test]
+fn unknown_task_fails_with_error_result() {
+    let mut c = SimCluster::builder().sites(2).registry(registry()).build();
+    c.spawn(0, 1, "DoesNotExist", &Parameter::new());
+    c.run_until_idle();
+    let outcomes = c.spawn_outcomes(0);
+    assert_eq!(outcomes.len(), 1);
+    assert!(!outcomes[0].ok);
+    assert!(outcomes[0]
+        .result
+        .get_str("error")
+        .unwrap()
+        .contains("DoesNotExist"));
+}
+
+#[test]
+fn spawned_tasks_and_shared_state_coexist() {
+    // A spawn and lock traffic interleave on the same transport without
+    // interference.
+    let mut c = SimCluster::builder().sites(2).registry(registry()).build();
+    let l = LockId(1);
+    c.add_script(0, Script::new().register(l, &["x"]).lock(l).unlock(l));
+    let mut params = Parameter::new();
+    params.add("start", 1.0);
+    c.spawn(0, 1, "Myhello", &params);
+    c.run_until_idle();
+    assert!(c.all_done(0));
+    assert_eq!(c.spawn_outcomes(0).len(), 1);
+    assert!(c.spawn_outcomes(0)[0].ok);
+}
+
+#[test]
+fn spawn_to_crashed_site_fails_cleanly() {
+    let mut c = SimCluster::builder().sites(3).registry(registry()).build();
+    c.crash_site(2);
+    c.spawn(0, 2, "Myhello", &Parameter::new());
+    // The transport gives up after its retries; the spawn reports failure.
+    c.run_for(Duration::from_secs(10));
+    let outcomes = c.spawn_outcomes(0);
+    assert_eq!(outcomes.len(), 1);
+    assert!(!outcomes[0].ok);
+    assert!(outcomes[0]
+        .result
+        .get_str("error")
+        .unwrap()
+        .contains("unreachable"));
+}
+
+#[test]
+fn security_policy_enforced_over_the_simulated_network() {
+    use mocha::spawn::SecurityPolicy;
+    let mut c = SimCluster::builder().sites(3).registry(registry()).build();
+    // Site 1 refuses everything; site 2 allows only Myhello.
+    c.set_security_policy(1, SecurityPolicy::DenyAll);
+    c.set_security_policy(2, SecurityPolicy::Allowlist(vec!["Myhello".into()]));
+    let mut params = Parameter::new();
+    params.add("start", 1.0);
+    c.spawn(0, 1, "Myhello", &params); // refused
+    c.spawn(0, 2, "Myhello", &params); // allowed
+    c.spawn(0, 2, "NeedsBigHelper", &Parameter::new()); // refused
+    c.run_until_idle();
+    let outcomes = c.spawn_outcomes(0);
+    assert_eq!(outcomes.len(), 3);
+    let ok: Vec<bool> = outcomes.iter().map(|o| o.ok).collect();
+    assert_eq!(ok.iter().filter(|b| **b).count(), 1, "{outcomes:?}");
+    let refused = outcomes.iter().filter(|o| !o.ok).all(|o| {
+        o.result
+            .get_str("error")
+            .map(|e| e.contains("security"))
+            .unwrap_or(false)
+    });
+    assert!(refused, "{outcomes:?}");
+}

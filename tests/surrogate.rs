@@ -1,0 +1,249 @@
+//! Surrogate-coordinator recovery (paper §4, "Failure of Synchronization
+//! Thread"): the coordinator's state is logged; after the home site dies a
+//! surrogate is spawned elsewhere, replays the log, announces itself to
+//! the daemons, and stranded application threads re-acquire through it.
+
+use std::time::Duration;
+
+use mocha::app::Script;
+use mocha::config::MochaConfig;
+use mocha::replica::replica_id;
+use mocha::runtime::sim::SimCluster;
+use mocha_sim::SimTime;
+use mocha_wire::{LockId, ReplicaPayload, Version};
+
+const L: LockId = LockId(1);
+
+fn at(ms: u64) -> SimTime {
+    SimTime::ZERO + Duration::from_millis(ms)
+}
+
+#[test]
+fn surrogate_takes_over_and_strands_recover() {
+    let mut c = SimCluster::builder()
+        .sites(4)
+        .config(MochaConfig {
+            default_lease: Duration::from_millis(500),
+            ..MochaConfig::default()
+        })
+        .build();
+    let idx = replica_id("x");
+    // Normal operation first: site 1 writes v1.
+    c.add_script(
+        1,
+        Script::new()
+            .register(L, &["x"])
+            .lock(L)
+            .write(idx, ReplicaPayload::I32s(vec![1]))
+            .unlock_dirty(L),
+    );
+    // Site 2 will try to lock *after* the home site has died.
+    let th = c.add_script(
+        2,
+        Script::new()
+            .register(L, &["x"])
+            .sleep(Duration::from_secs(2))
+            .lock(L)
+            .read(idx)
+            .write(idx, ReplicaPayload::I32s(vec![2]))
+            .unlock_dirty(L),
+    );
+    c.add_script(3, Script::new().register(L, &["x"]));
+    // Let normal traffic settle, then kill the home site.
+    c.run_for(Duration::from_secs(1));
+    c.crash_site(0);
+    // Site 2's acquire (at t=2s) will time out against the dead home.
+    // At t=4s the harness promotes site 3 to surrogate.
+    c.run_for(Duration::from_secs(3));
+    c.promote_coordinator(0, 3);
+    c.run_for(Duration::from_secs(20));
+
+    assert!(c.all_done(2), "stranded thread recovered: {:?}", c.failures(2));
+    let labels: Vec<String> = c.records(2, th).iter().map(|r| r.label.clone()).collect();
+    assert!(
+        labels.contains(&"home_unreachable:lock1".to_string()),
+        "{labels:?}"
+    );
+    assert!(
+        labels.contains(&"reacquire_at_surrogate:lock1".to_string()),
+        "{labels:?}"
+    );
+    assert!(labels.contains(&"lock_acquired:lock1".to_string()), "{labels:?}");
+    // The replayed state preserved the version history: site 2 saw v1's
+    // data and produced v2.
+    assert_eq!(c.observed_payloads(2), vec![ReplicaPayload::I32s(vec![1])]);
+    assert_eq!(c.daemon_version(2, L), Version(2));
+}
+
+#[test]
+fn surrogate_inherits_membership_and_serves_later_clients() {
+    let mut c = SimCluster::builder().sites(4).build();
+    let idx = replica_id("doc");
+    c.add_script(
+        1,
+        Script::new()
+            .register(L, &["doc"])
+            .lock(L)
+            .write(idx, ReplicaPayload::Utf8("from-1".into()))
+            .unlock_dirty(L),
+    );
+    c.add_script(2, Script::new().register(L, &["doc"]));
+    c.add_script(3, Script::new().register(L, &["doc"]));
+    c.run_for(Duration::from_secs(1));
+    c.crash_site(0);
+    c.promote_coordinator(0, 2);
+    c.run_for(Duration::from_millis(500));
+    // A brand-new lock user after the takeover: served by the surrogate,
+    // receiving the pre-crash data.
+    c.add_script(
+        3,
+        Script::new().lock(L).read(idx).unlock(L),
+    );
+    c.run_for(Duration::from_secs(10));
+    assert!(c.all_done(3), "{:?}", c.failures(3));
+    assert_eq!(
+        c.observed_payloads(3),
+        vec![ReplicaPayload::Utf8("from-1".into())]
+    );
+}
+
+#[test]
+fn lock_held_across_takeover_is_reclaimed_by_lease() {
+    // A holder that acquired before the takeover and died with the home:
+    // the surrogate replays the grant, its lease scan detects the dead
+    // holder, breaks the lock, and later clients proceed.
+    let mut c = SimCluster::builder()
+        .sites(4)
+        .config(MochaConfig {
+            default_lease: Duration::from_millis(500),
+            lease_scan_interval: Duration::from_millis(200),
+            heartbeat_timeout: Duration::from_millis(300),
+            ..MochaConfig::default()
+        })
+        .build();
+    c.add_script(
+        1,
+        Script::new()
+            .register(L, &["x"])
+            .lock(L)
+            .sleep(Duration::from_secs(60)) // holds forever
+            .unlock(L),
+    );
+    c.add_script(2, Script::new().register(L, &["x"]));
+    c.run_for(Duration::from_millis(600));
+    // Both the home AND the lock holder die.
+    c.crash_site(0);
+    c.crash_site_at(at(700), 1);
+    c.run_for(Duration::from_millis(500));
+    c.promote_coordinator(0, 2);
+    // A waiter arrives at the surrogate.
+    let th = c.add_script(
+        2,
+        Script::new().sleep(Duration::from_millis(200)).lock(L).unlock(L),
+    );
+    c.run_for(Duration::from_secs(30));
+    assert!(c.all_done(2), "{:?}", c.failures(2));
+    let labels: Vec<String> = c.records(2, th).iter().map(|r| r.label.clone()).collect();
+    assert!(labels.contains(&"lock_acquired:lock1".to_string()), "{labels:?}");
+}
+
+
+#[test]
+fn takeover_preserves_concurrent_shared_holders() {
+    // Two shared holders survive the home's crash; the surrogate's
+    // replayed state still shows both, and an exclusive waiter gets the
+    // lock only after both release.
+    let mut c = SimCluster::builder().sites(4).build();
+    c.add_script(
+        1,
+        Script::new()
+            .register(L, &["x"])
+            .lock_shared(L)
+            .sleep(Duration::from_secs(3))
+            .unlock(L),
+    );
+    c.add_script(
+        2,
+        Script::new()
+            .register(L, &["x"])
+            .lock_shared(L)
+            .sleep(Duration::from_secs(4))
+            .unlock(L),
+    );
+    c.add_script(3, Script::new().register(L, &["x"]));
+    c.run_for(Duration::from_millis(500));
+    c.crash_site(0);
+    c.promote_coordinator(0, 3);
+    c.run_for(Duration::from_millis(300));
+    // An exclusive request arrives at the surrogate while both shared
+    // holds are still active.
+    let th = c.add_script(3, Script::new().lock(L).unlock(L));
+    c.run_for(Duration::from_secs(30));
+    assert!(c.all_done(3), "{:?}", c.failures(3));
+    let granted_at = c
+        .records(3, th)
+        .iter()
+        .find(|r| r.label == "lock_granted:lock1")
+        .unwrap()
+        .at;
+    assert!(
+        granted_at.since_start() >= Duration::from_millis(3_900),
+        "exclusive waited for the longer shared hold: granted at {granted_at}"
+    );
+}
+
+#[test]
+fn phantom_hold_after_takeover_self_heals() {
+    // Site 1 releases, but the release dies with the home; the surrogate's
+    // replayed state shows site 1 still holding. The heartbeat hold-check
+    // discovers site 1 is alive but NOT holding, clears the phantom, and
+    // the next waiter proceeds — without blacklisting the innocent site.
+    let mut c = SimCluster::builder()
+        .sites(4)
+        .config(MochaConfig {
+            default_lease: Duration::from_millis(500),
+            lease_scan_interval: Duration::from_millis(200),
+            heartbeat_timeout: Duration::from_millis(300),
+            ..MochaConfig::default()
+        })
+        .build();
+    let idx = mocha::replica::replica_id("x");
+    c.add_script(
+        1,
+        Script::new()
+            .register(L, &["x"])
+            .lock(L)
+            .write(idx, ReplicaPayload::I32s(vec![1]))
+            // Hold the lock across the partition so the release is
+            // guaranteed to be sent into the void.
+            .sleep(Duration::from_millis(500))
+            .unlock_dirty(L),
+    );
+    c.add_script(2, Script::new().register(L, &["x"]));
+    c.add_script(3, Script::new().register(L, &["x"]));
+    // Partition site 1 from home while it holds the lock, so its release
+    // cannot reach the coordinator; then the home dies.
+    c.run_for(Duration::from_millis(100)); // granted, inside the hold
+    c.partition(0, 1);
+    c.run_for(Duration::from_secs(3)); // release retries exhaust, lost
+    c.crash_site(0);
+    c.heal(0, 1);
+    c.promote_coordinator(0, 3);
+    // A waiter at site 2: if the phantom hold persisted, this would hang.
+    let th = c.add_script(
+        2,
+        Script::new().sleep(Duration::from_millis(300)).lock(L).read(idx).unlock(L),
+    );
+    c.run_for(Duration::from_secs(30));
+    assert!(c.all_done(2), "{:?}", c.failures(2));
+    let labels: Vec<String> = c.records(2, th).iter().map(|r| r.label.clone()).collect();
+    assert!(labels.contains(&"lock_acquired:lock1".to_string()), "{labels:?}");
+    // The *surrogate* cleared the phantom via the hold-check instead of
+    // breaking the lock (the pre-crash coordinator may have broken it on
+    // its own before dying; that instance's stats are irrelevant).
+    assert_eq!(
+        c.coordinator_stats_at(3).locks_broken,
+        0,
+        "phantom cleared, not broken"
+    );
+}
