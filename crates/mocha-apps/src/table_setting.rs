@@ -111,10 +111,7 @@ impl Catalog {
                 item("Cobalt Rim", 5),
                 item("Terracotta Rustic", 6),
             ],
-            vec![
-                item("Cut Crystal", 7),
-                item("Plain Tumbler", 8),
-            ],
+            vec![item("Cut Crystal", 7), item("Plain Tumbler", 8)],
         )
     }
 
@@ -157,7 +154,10 @@ impl Participant {
     ///
     /// Propagates registration failures.
     pub fn join(handle: MochaHandle, catalog: Catalog) -> Result<Participant, MochaError> {
-        let mut guarded = vec![ReplicaSpec::new("text", ReplicaPayload::Utf8(String::new()))];
+        let mut guarded = vec![ReplicaSpec::new(
+            "text",
+            ReplicaPayload::Utf8(String::new()),
+        )];
         for cat in Category::ALL {
             guarded.push(ReplicaSpec::new(
                 cat.index_name(),
@@ -193,7 +193,8 @@ impl Participant {
             _ => 0,
         };
         let next = (current + delta).rem_euclid(n);
-        self.handle.write(replica, ReplicaPayload::I32s(vec![next]))?;
+        self.handle
+            .write(replica, ReplicaPayload::I32s(vec![next]))?;
         self.handle.unlock(SETTING_LOCK, true)?;
         Ok(next)
     }

@@ -33,16 +33,32 @@ fn main() {
         fig8();
     }
     if all || what == "fig9" {
-        figure("Figure 9: local area transfer of 1K replicas", Testbed::Lan, 1024);
+        figure(
+            "Figure 9: local area transfer of 1K replicas",
+            Testbed::Lan,
+            1024,
+        );
     }
     if all || what == "fig10" {
-        figure("Figure 10: wide area transfer of 1K replicas", Testbed::Wan, 1024);
+        figure(
+            "Figure 10: wide area transfer of 1K replicas",
+            Testbed::Wan,
+            1024,
+        );
     }
     if all || what == "fig11" {
-        figure("Figure 11: local area transfer of 4K replicas", Testbed::Lan, 4096);
+        figure(
+            "Figure 11: local area transfer of 4K replicas",
+            Testbed::Lan,
+            4096,
+        );
     }
     if all || what == "fig12" {
-        figure("Figure 12: wide area transfer of 4K replicas", Testbed::Wan, 4096);
+        figure(
+            "Figure 12: wide area transfer of 4K replicas",
+            Testbed::Wan,
+            4096,
+        );
     }
     if all || what == "fig13" {
         figure(
@@ -93,8 +109,16 @@ fn table1() {
     println!("----------------------------------------------------------------------");
     let lan = lock_acquire_time(Testbed::Lan, 10);
     let wan = lock_acquire_time(Testbed::Wan, 10);
-    println!("  {:<42} measured {:>6.1}   paper  5", Testbed::Lan.name(), ms(lan));
-    println!("  {:<42} measured {:>6.1}   paper 19", Testbed::Wan.name(), ms(wan));
+    println!(
+        "  {:<42} measured {:>6.1}   paper  5",
+        Testbed::Lan.name(),
+        ms(lan)
+    );
+    println!(
+        "  {:<42} measured {:>6.1}   paper 19",
+        Testbed::Wan.name(),
+        ms(wan)
+    );
 }
 
 fn fig8() {
@@ -137,9 +161,9 @@ fn figure(title: &str, testbed: Testbed, size: usize) {
         (Testbed::Lan, 4096) => {
             println!("  (paper: the hybrid approach begins to perform much better)")
         }
-        (Testbed::Wan, 4096) => println!(
-            "  (paper: hybrid ≈30% better at 6 sites; UR 1→2 approximately doubles cost)"
-        ),
+        (Testbed::Wan, 4096) => {
+            println!("  (paper: hybrid ≈30% better at 6 sites; UR 1→2 approximately doubles cost)")
+        }
         (_, _) => println!("  (paper: for 256K replicas the superiority of the hybrid is clear)"),
     }
 }
@@ -170,9 +194,21 @@ fn app() {
     println!("§5.1 Home service application (wide area), milliseconds");
     println!("--------------------------------------------------------");
     let (marshal, lock, transfer, total) = home_service_breakdown(Testbed::Wan);
-    println!("  {:<18} measured {:>6.1}   paper  3", "marshaling", ms(marshal));
-    println!("  {:<18} measured {:>6.1}   paper 19", "lock acquisition", ms(lock));
-    println!("  {:<18} measured {:>6.1}   paper 44", "transfer", ms(transfer));
+    println!(
+        "  {:<18} measured {:>6.1}   paper  3",
+        "marshaling",
+        ms(marshal)
+    );
+    println!(
+        "  {:<18} measured {:>6.1}   paper 19",
+        "lock acquisition",
+        ms(lock)
+    );
+    println!(
+        "  {:<18} measured {:>6.1}   paper 44",
+        "transfer",
+        ms(transfer)
+    );
     println!("  {:<18} measured {:>6.1}   paper 66", "total", ms(total));
 }
 
@@ -184,7 +220,11 @@ fn app_cable() {
     println!("  {:<18} measured {:>6.1} ms", "marshaling", ms(marshal));
     println!("  {:<18} measured {:>6.1} ms", "lock acquisition", ms(lock));
     println!("  {:<18} measured {:>6.1} ms", "transfer", ms(transfer));
-    println!("  {:<18} measured {:>6.1} ms  (paper: environment named, not measured)", "total", ms(total));
+    println!(
+        "  {:<18} measured {:>6.1} ms  (paper: environment named, not measured)",
+        "total",
+        ms(total)
+    );
 }
 
 fn ablation_codec() {
@@ -255,7 +295,12 @@ fn verify() {
     println!("-----------------------------------------------");
     let mut failures = 0u32;
     let mut check = |name: &str, ok: bool, detail: String| {
-        println!("  [{}] {:<52} {}", if ok { "PASS" } else { "FAIL" }, name, detail);
+        println!(
+            "  [{}] {:<52} {}",
+            if ok { "PASS" } else { "FAIL" },
+            name,
+            detail
+        );
         if !ok {
             failures += 1;
         }
@@ -280,7 +325,10 @@ fn verify() {
         m256 > m1 * 100,
         format!("1K {:.1} ms → 256K {:.1} ms", ms(m1), ms(m256)),
     );
-    for (name, testbed) in [("Fig 9 (LAN)", Testbed::Lan), ("Fig 10 (WAN)", Testbed::Wan)] {
+    for (name, testbed) in [
+        ("Fig 9 (LAN)", Testbed::Lan),
+        ("Fig 10 (WAN)", Testbed::Wan),
+    ] {
         let b = mocha_bench::dissemination_time(testbed, 1024, 3, ProtocolMode::Basic).time;
         let h = mocha_bench::dissemination_time(testbed, 1024, 3, ProtocolMode::Hybrid).time;
         check(
@@ -519,11 +567,7 @@ fn ablation_availability() {
         );
         c.crash_site_at(mocha_sim::SimTime::ZERO + Duration::from_secs(2), 1);
         c.run_for(Duration::from_secs(60));
-        let labels: Vec<String> = c
-            .records(2, th)
-            .iter()
-            .map(|r| r.label.clone())
-            .collect();
+        let labels: Vec<String> = c.records(2, th).iter().map(|r| r.label.clone()).collect();
         let got_data = c
             .replica_value(2, payload)
             .map(|p| p == ReplicaPayload::Bytes(vec![0xAB; 2048]))

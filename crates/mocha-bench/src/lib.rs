@@ -29,7 +29,6 @@ use mocha_wire::codec::CodecKind;
 use mocha_wire::message::ReplicaUpdate;
 use mocha_wire::{LockId, ReplicaId, ReplicaPayload};
 
-
 pub mod smallmsg;
 
 /// The network environment of a scenario — the paper's two testbeds.
@@ -278,10 +277,7 @@ pub fn home_service_breakdown(testbed: Testbed) -> (Duration, Duration, Duration
             payload: ReplicaPayload::Utf8("Good Choice".into()),
         },
     ];
-    let cost = mocha_wire::Marshaller::marshal_cost(
-        CodecKind::ByteAtATime.marshaller(),
-        &updates,
-    );
+    let cost = mocha_wire::Marshaller::marshal_cost(CodecKind::ByteAtATime.marshaller(), &updates);
     let marshal = profiles::ultra1().cost(&Work::marshal_ops(cost.ops));
 
     let lock = c.latency_between(2, th, "lock_request:lock1", "lock_granted:lock1");
@@ -469,6 +465,9 @@ mod tests {
         assert!((1.0..=6.0).contains(&m), "marshal {m:.1} ms, paper 3 ms");
         assert!((13.0..=25.0).contains(&l), "lock {l:.1} ms, paper 19 ms");
         assert!((8.0..=60.0).contains(&t), "transfer {t:.1} ms, paper 44 ms");
-        assert!((25.0..=90.0).contains(&tot), "total {tot:.1} ms, paper 66 ms");
+        assert!(
+            (25.0..=90.0).contains(&tot),
+            "total {tot:.1} ms, paper 66 ms"
+        );
     }
 }

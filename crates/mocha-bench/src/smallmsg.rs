@@ -11,9 +11,7 @@ use std::any::Any;
 use std::time::Duration;
 
 use mocha_net::tcp::{TcpEndpoint, TcpEvent};
-use mocha_net::{
-    Action, MsgClass, NetConfig, TcpConfig, TransportEvent, TransportMux,
-};
+use mocha_net::{Action, MsgClass, NetConfig, TcpConfig, TransportEvent, TransportMux};
 use mocha_sim::{Host, HostCtx, NodeId, SimTime, World};
 use mocha_wire::SiteId;
 

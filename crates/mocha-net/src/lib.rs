@@ -31,10 +31,12 @@ mod config;
 pub mod mochanet;
 pub mod mux;
 pub mod tcp;
+pub mod udp;
 
 pub use action::{Action, MsgClass, Port, SendHandle, TransportEvent};
 pub use config::{MochaNetConfig, NetConfig, ProtocolMode, TcpConfig};
 pub use mux::TransportMux;
+pub use udp::{AddressBook, TimerWheel, UdpDriver, Waker};
 
 /// Well-known MochaNet ports ("upward multiplexing") used by the Mocha
 /// runtime.

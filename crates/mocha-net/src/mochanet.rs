@@ -197,7 +197,8 @@ impl MochaNetEndpoint {
         }
         let mtu = self.cfg.mtu;
         let frag_cnt = bytes.len().div_ceil(mtu).max(1);
-        let frag_cnt_u16 = u16::try_from(frag_cnt).expect("message needs more than 65535 fragments");
+        let frag_cnt_u16 =
+            u16::try_from(frag_cnt).expect("message needs more than 65535 fragments");
         for (idx, chunk) in chunks_or_empty(bytes, mtu).enumerate() {
             let seq = state.next_seq;
             state.next_seq += 1;
@@ -259,7 +260,9 @@ impl MochaNetEndpoint {
                 let frag_cnt = r.get_u16()?;
                 let port = r.get_u16()?;
                 let payload = r.get_rest().to_vec();
-                self.on_data(from, epoch, gen, seq, msg_id, frag_idx, frag_cnt, port, payload);
+                self.on_data(
+                    from, epoch, gen, seq, msg_id, frag_idx, frag_cnt, port, payload,
+                );
                 Ok(())
             }
             T_ACK => {
@@ -456,7 +459,8 @@ impl MochaNetEndpoint {
             state.retries = 0;
         }
         for handle in acked_handles {
-            self.sink.event(TransportEvent::MsgAcked { to: from, handle });
+            self.sink
+                .event(TransportEvent::MsgAcked { to: from, handle });
         }
         self.pump(from);
     }
@@ -514,7 +518,8 @@ impl MochaNetEndpoint {
         }
         state.timer_armed = false;
         for handle in failed {
-            self.sink.event(TransportEvent::SendFailed { to: peer, handle });
+            self.sink
+                .event(TransportEvent::SendFailed { to: peer, handle });
         }
         self.sink.cancel_timer(timer_token(peer));
     }
@@ -535,9 +540,11 @@ impl MochaNetEndpoint {
         }
         state.retries = 0;
         for handle in failed {
-            self.sink.event(TransportEvent::SendFailed { to: peer, handle });
+            self.sink
+                .event(TransportEvent::SendFailed { to: peer, handle });
         }
-        self.sink.event(TransportEvent::PeerUnreachable { to: peer });
+        self.sink
+            .event(TransportEvent::PeerUnreachable { to: peer });
         self.sink.cancel_timer(timer_token(peer));
     }
 
@@ -694,9 +701,7 @@ mod tests {
             self.events_b
                 .iter()
                 .filter_map(|e| match e {
-                    TransportEvent::Delivered { port, bytes, .. } => {
-                        Some((*port, bytes.clone()))
-                    }
+                    TransportEvent::Delivered { port, bytes, .. } => Some((*port, bytes.clone())),
                     _ => None,
                 })
                 .collect()
@@ -709,10 +714,13 @@ mod tests {
         p.a.send(B, 7, b"hello", SendHandle(1));
         p.pump_lossless();
         assert_eq!(p.delivered_to_b(), vec![(7, b"hello".to_vec())]);
-        assert!(p
-            .events_a
-            .iter()
-            .any(|e| matches!(e, TransportEvent::MsgAcked { handle: SendHandle(1), .. })));
+        assert!(p.events_a.iter().any(|e| matches!(
+            e,
+            TransportEvent::MsgAcked {
+                handle: SendHandle(1),
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -738,12 +746,11 @@ mod tests {
         // 1000 bytes at mtu 100 = 10 fragments; window 4.
         p.a.send(B, 3, &vec![0u8; 1000], SendHandle(2));
         // Before any acks flow back, at most `window` datagrams transmitted.
-        let transmitted: Vec<_> = p
-            .a
-            .drain_actions()
-            .into_iter()
-            .filter(|a| matches!(a, Action::Transmit { .. }))
-            .collect();
+        let transmitted: Vec<_> =
+            p.a.drain_actions()
+                .into_iter()
+                .filter(|a| matches!(a, Action::Transmit { .. }))
+                .collect();
         assert_eq!(transmitted.len(), 4);
         assert_eq!(p.a.inflight_to(B), 10);
     }
@@ -1035,8 +1042,8 @@ mod epoch_tests {
             }),
             "{events:?}"
         );
-        assert!(events
-            .iter()
-            .any(|e| matches!(e, TransportEvent::Delivered { bytes, .. } if bytes == b"i am back")));
+        assert!(events.iter().any(
+            |e| matches!(e, TransportEvent::Delivered { bytes, .. } if bytes == b"i am back")
+        ));
     }
 }

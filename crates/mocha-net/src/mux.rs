@@ -108,12 +108,8 @@ impl TransportMux {
             let mut meet = ByteWriter::with_capacity(12);
             meet.put_u64(handle.0);
             meet.put_u16(port);
-            self.mochanet.send(
-                to,
-                ports::TCP_MEET,
-                meet.as_slice(),
-                SendHandle::NONE,
-            );
+            self.mochanet
+                .send(to, ports::TCP_MEET, meet.as_slice(), SendHandle::NONE);
             // 2. Open a fresh connection for this transfer.
             let conn = self.tcp.connect(to);
             self.pending_bulk.insert(
@@ -351,9 +347,7 @@ mod tests {
             self.events_b
                 .iter()
                 .filter_map(|e| match e {
-                    TransportEvent::Delivered { port, bytes, .. } => {
-                        Some((*port, bytes.clone()))
-                    }
+                    TransportEvent::Delivered { port, bytes, .. } => Some((*port, bytes.clone())),
                     _ => None,
                 })
                 .collect()
@@ -409,9 +403,9 @@ mod tests {
         p.a.send(B, 4, b"bulk", MsgClass::Bulk);
         p.pump();
         assert!(
-            !p.events_b
-                .iter()
-                .any(|e| matches!(e, TransportEvent::Delivered { port, .. } if *port == ports::TCP_MEET)),
+            !p.events_b.iter().any(
+                |e| matches!(e, TransportEvent::Delivered { port, .. } if *port == ports::TCP_MEET)
+            ),
             "TCP_MEET leaked upward"
         );
         assert_eq!(p.delivered_to_b().len(), 1);

@@ -525,9 +525,8 @@ impl TcpEndpoint {
         let transmitted = !to_transmit.is_empty();
         for (peer, offset, seg) in to_transmit {
             // Kernel segmentation at native speed.
-            self.sink.charge(Work::kernel_bytes(
-                seg.len() as u64 + SEGMENT_HEADER_BYTES,
-            ));
+            self.sink
+                .charge(Work::kernel_bytes(seg.len() as u64 + SEGMENT_HEADER_BYTES));
             let mut w = ByteWriter::with_capacity(seg.len() + 20);
             w.put_u8(PROTO_TCP);
             w.put_u8(T_DATA);
@@ -802,12 +801,11 @@ mod tests {
         p.a.send_msg(conn, &vec![0u8; 1000]);
         // Window is 300 bytes => exactly 3 mss-sized segments transmitted
         // before any acks.
-        let segments = p
-            .a
-            .drain_actions()
-            .into_iter()
-            .filter(|a| matches!(a, Action::Transmit { .. }))
-            .count();
+        let segments =
+            p.a.drain_actions()
+                .into_iter()
+                .filter(|a| matches!(a, Action::Transmit { .. }))
+                .count();
         assert_eq!(segments, 3);
     }
 
@@ -878,15 +876,14 @@ mod tests {
         let mut p = Pair::new();
         let conn = p.a.connect(B);
         // Capture A's SYN and deliver it twice.
-        let syn: Vec<Vec<u8>> = p
-            .a
-            .drain_actions()
-            .into_iter()
-            .filter_map(|a| match a {
-                Action::Transmit { datagram, .. } => Some(datagram),
-                _ => None,
-            })
-            .collect();
+        let syn: Vec<Vec<u8>> =
+            p.a.drain_actions()
+                .into_iter()
+                .filter_map(|a| match a {
+                    Action::Transmit { datagram, .. } => Some(datagram),
+                    _ => None,
+                })
+                .collect();
         p.b.on_datagram(A, &syn[0]);
         p.b.on_datagram(A, &syn[0]);
         p.pump_lossless();

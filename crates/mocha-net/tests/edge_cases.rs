@@ -5,7 +5,9 @@ use std::any::Any;
 use std::time::Duration;
 
 use mocha_net::mochanet::{MochaNetEndpoint, PROTO_MOCHANET};
-use mocha_net::{Action, MochaNetConfig, MsgClass, NetConfig, SendHandle, TransportEvent, TransportMux};
+use mocha_net::{
+    Action, MochaNetConfig, MsgClass, NetConfig, SendHandle, TransportEvent, TransportMux,
+};
 use mocha_sim::{Host, HostCtx, LinkProfile, NodeId, World};
 use mocha_wire::SiteId;
 
@@ -165,15 +167,15 @@ impl Host for Mixed {
                 if i % 2 == 0 {
                     self.mux.send(to, 10, &[i as u8; 32], MsgClass::Control);
                 } else {
-                    self.mux
-                        .send(to, 11, &vec![i as u8; 5000], MsgClass::Bulk);
+                    self.mux.send(to, 11, &vec![i as u8; 5000], MsgClass::Bulk);
                 }
             }
         }
         self.drive(ctx);
     }
     fn on_datagram(&mut self, ctx: &mut HostCtx<'_>, from: NodeId, bytes: Vec<u8>) {
-        self.mux.on_datagram(SiteId::from_raw(from.as_raw()), &bytes);
+        self.mux
+            .on_datagram(SiteId::from_raw(from.as_raw()), &bytes);
         self.drive(ctx);
     }
     fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: u64) {
@@ -212,7 +214,14 @@ fn hybrid_interleaves_control_and_bulk_under_jittery_lossy_link() {
         received.sort_unstable();
         assert_eq!(
             received,
-            vec![(10, 32), (10, 32), (10, 32), (11, 5000), (11, 5000), (11, 5000)],
+            vec![
+                (10, 32),
+                (10, 32),
+                (10, 32),
+                (11, 5000),
+                (11, 5000),
+                (11, 5000)
+            ],
             "seed {seed}"
         );
     }

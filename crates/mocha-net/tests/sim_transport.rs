@@ -66,7 +66,8 @@ impl Host for Node {
         self.drive(ctx);
     }
     fn on_datagram(&mut self, ctx: &mut HostCtx<'_>, from: NodeId, bytes: Vec<u8>) {
-        self.mux.on_datagram(SiteId::from_raw(from.as_raw()), &bytes);
+        self.mux
+            .on_datagram(SiteId::from_raw(from.as_raw()), &bytes);
         self.drive(ctx);
     }
     fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: u64) {
@@ -185,12 +186,18 @@ fn partition_then_heal_recovers_traffic() {
     let sender_id = world.add_host(Box::new(sender));
     // Partition immediately; heal after 300 ms (before retries exhaust:
     // 5 retries x 150 ms RTO).
-    world.network_mut().set_link_up_between(sender_id, receiver, false);
+    world
+        .network_mut()
+        .set_link_up_between(sender_id, receiver, false);
     world.schedule_in(Duration::from_millis(300), move |w| {
-        w.network_mut().set_link_up_between(sender_id, receiver, true);
+        w.network_mut()
+            .set_link_up_between(sender_id, receiver, true);
     });
     world.run_until_idle();
     let received = world.host_mut::<Node>(receiver).received.clone();
-    assert_eq!(received, vec![b"before".to_vec()], "retransmission crossed the healed link");
+    assert_eq!(
+        received,
+        vec![b"before".to_vec()],
+        "retransmission crossed the healed link"
+    );
 }
-

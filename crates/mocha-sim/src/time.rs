@@ -157,7 +157,10 @@ mod tests {
     #[test]
     fn saturating_add_caps() {
         let t = SimTime::from_nanos(u64::MAX - 1);
-        assert_eq!(t.saturating_add(Duration::from_secs(10)).as_nanos(), u64::MAX);
+        assert_eq!(
+            t.saturating_add(Duration::from_secs(10)).as_nanos(),
+            u64::MAX
+        );
     }
 
     #[test]

@@ -149,9 +149,11 @@ impl Trace {
         out.push('\n');
         for ev in &self.events {
             let (from, to, label) = match &ev.kind {
-                TraceKind::Deliver { from, to, len } => {
-                    (from.as_raw() as usize, to.as_raw() as usize, format!("{len}B"))
-                }
+                TraceKind::Deliver { from, to, len } => (
+                    from.as_raw() as usize,
+                    to.as_raw() as usize,
+                    format!("{len}B"),
+                ),
                 TraceKind::Drop { from, to, reason } => (
                     from.as_raw() as usize,
                     to.as_raw() as usize,
@@ -260,11 +262,19 @@ mod diagram_tests {
         t.set_enabled(true);
         t.record(
             SimTime::from_nanos(1_000_000),
-            TraceKind::Deliver { from: n(0), to: n(2), len: 128 },
+            TraceKind::Deliver {
+                from: n(0),
+                to: n(2),
+                len: 128,
+            },
         );
         t.record(
             SimTime::from_nanos(2_000_000),
-            TraceKind::Deliver { from: n(2), to: n(0), len: 16 },
+            TraceKind::Deliver {
+                from: n(2),
+                to: n(0),
+                len: 16,
+            },
         );
         let d = t.render_sequence_diagram(3);
         assert!(d.contains("n0") && d.contains("n1") && d.contains("n2"));
@@ -281,7 +291,11 @@ mod diagram_tests {
         t.record(SimTime::from_nanos(1), TraceKind::Crash { node: n(1) });
         t.record(
             SimTime::from_nanos(2),
-            TraceKind::Drop { from: n(0), to: n(1), reason: "random loss" },
+            TraceKind::Drop {
+                from: n(0),
+                to: n(1),
+                reason: "random loss",
+            },
         );
         let d = t.render_sequence_diagram(2);
         assert!(d.contains("CRASH"));
@@ -294,7 +308,11 @@ mod diagram_tests {
         t.set_enabled(true);
         t.record(
             SimTime::from_nanos(1),
-            TraceKind::Deliver { from: n(7), to: n(9), len: 1 },
+            TraceKind::Deliver {
+                from: n(7),
+                to: n(9),
+                len: 1,
+            },
         );
         let d = t.render_sequence_diagram(2);
         assert_eq!(d.lines().count(), 1, "header only:\n{d}");

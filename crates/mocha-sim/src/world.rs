@@ -427,7 +427,8 @@ impl World {
     /// Schedules `f(&mut World)` to run at absolute time `at` (clamped to
     /// now if already past).
     pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut World) + 'static) {
-        self.queue.push(at.max(self.time), EventKind::Control(Box::new(f)));
+        self.queue
+            .push(at.max(self.time), EventKind::Control(Box::new(f)));
     }
 
     /// Schedules `f(&mut World)` to run `after` from now.
@@ -443,7 +444,8 @@ impl World {
     /// Injects a datagram "from" `from` to `to` as if it had just arrived.
     /// Intended for tests of host state machines in isolation.
     pub fn inject_datagram(&mut self, from: NodeId, to: NodeId, bytes: Vec<u8>) {
-        self.queue.push(self.time, EventKind::Datagram { to, from, bytes });
+        self.queue
+            .push(self.time, EventKind::Datagram { to, from, bytes });
     }
 
     /// Processes a single event, if any is pending. Returns whether an
@@ -522,7 +524,9 @@ impl World {
         self.metrics.datagrams_delivered += 1;
         self.trace
             .record(self.time, TraceKind::Deliver { from, to, len });
-        self.with_host(to, self.time, |host, ctx| host.on_datagram(ctx, from, bytes));
+        self.with_host(to, self.time, |host, ctx| {
+            host.on_datagram(ctx, from, bytes)
+        });
     }
 
     fn dispatch_timer(&mut self, node: NodeId, token: TimerToken, generation: u64) {
@@ -790,7 +794,10 @@ mod tests {
         let h = w.add_host(Box::new(Rearm { fired_at: vec![] }));
         w.run_until_idle();
         let host = w.host_mut::<Rearm>(h);
-        assert_eq!(host.fired_at, vec![SimTime::ZERO + Duration::from_millis(5)]);
+        assert_eq!(
+            host.fired_at,
+            vec![SimTime::ZERO + Duration::from_millis(5)]
+        );
         assert_eq!(w.metrics().timers_stale, 1);
     }
 
@@ -848,7 +855,10 @@ mod tests {
         let host = w.host_mut::<Busy>(b);
         assert_eq!(host.handled_at[0], SimTime::ZERO);
         // Second datagram deferred until the 10 ms of charged work is done.
-        assert_eq!(host.handled_at[1], SimTime::ZERO + Duration::from_millis(10));
+        assert_eq!(
+            host.handled_at[1],
+            SimTime::ZERO + Duration::from_millis(10)
+        );
     }
 
     #[test]

@@ -98,9 +98,7 @@ id_u32!(
 /// Incremented by the synchronization thread at every release; used to
 /// decide whether a grantee needs a fresh copy, and during failure recovery
 /// to identify the most recent surviving value.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Version(pub u64);
 
 impl Version {
@@ -142,9 +140,7 @@ impl fmt::Display for Version {
 
 /// Correlates a request with its response across the network (e.g. a
 /// version poll during failure recovery).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct RequestId(pub u64);
 
 impl RequestId {

@@ -46,10 +46,19 @@ impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WireError::UnexpectedEof { needed, remaining } => {
-                write!(f, "unexpected end of input: needed {needed} bytes, {remaining} remaining")
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} bytes, {remaining} remaining"
+                )
             }
-            WireError::LengthOverrun { declared, remaining } => {
-                write!(f, "declared length {declared} exceeds remaining input {remaining}")
+            WireError::LengthOverrun {
+                declared,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "declared length {declared} exceeds remaining input {remaining}"
+                )
             }
             WireError::BadTag { what, tag } => write!(f, "invalid tag {tag:#04x} for {what}"),
             WireError::BadUtf8 => write!(f, "string field was not valid utf-8"),
@@ -389,7 +398,10 @@ mod tests {
         w.put_raw(b"xy");
         let bytes = w.into_bytes();
         let mut r = ByteReader::new(&bytes);
-        assert!(matches!(r.get_bytes(), Err(WireError::LengthOverrun { .. })));
+        assert!(matches!(
+            r.get_bytes(),
+            Err(WireError::LengthOverrun { .. })
+        ));
     }
 
     #[test]
@@ -397,7 +409,10 @@ mod tests {
         let mut r = ByteReader::new(&[7]);
         assert!(matches!(
             r.get_bool(),
-            Err(WireError::BadTag { what: "bool", tag: 7 })
+            Err(WireError::BadTag {
+                what: "bool",
+                tag: 7
+            })
         ));
     }
 

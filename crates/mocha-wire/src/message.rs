@@ -944,7 +944,9 @@ mod tests {
                 code: vec![0xCA, 0xFE],
                 req: RequestId(11),
             },
-            Msg::SyncMoved { new_home: SiteId(3) },
+            Msg::SyncMoved {
+                new_home: SiteId(3),
+            },
             Msg::ExpectRelay {
                 lock: LockId(1),
                 dest: SiteId(4),
@@ -1073,7 +1075,11 @@ mod tests {
             mode: LockMode::Exclusive,
         }
         .encode();
-        assert!(acquire.len() <= 32, "AcquireLock is {} bytes", acquire.len());
+        assert!(
+            acquire.len() <= 32,
+            "AcquireLock is {} bytes",
+            acquire.len()
+        );
         let grant = Msg::Grant {
             lock: LockId(1),
             version: Version(1),

@@ -232,8 +232,8 @@ impl<'a> ser::Serializer for &'a mut Serializer {
         Ok(Compound { ser: self })
     }
     fn serialize_map(self, len: Option<usize>) -> Result<Compound<'a>, SerbinError> {
-        let len = len
-            .ok_or_else(|| SerbinError::Message("serbin requires maps of known length".into()))?;
+        let len =
+            len.ok_or_else(|| SerbinError::Message("serbin requires maps of known length".into()))?;
         self.w.put_u32(len as u32);
         Ok(Compound { ser: self })
     }
@@ -474,10 +474,7 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
     ) -> Result<V::Value, SerbinError> {
         visitor.visit_enum(EnumAccess { de: self })
     }
-    fn deserialize_identifier<V: Visitor<'de>>(
-        self,
-        _visitor: V,
-    ) -> Result<V::Value, SerbinError> {
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, SerbinError> {
         Err(SerbinError::Message(
             "serbin does not encode identifiers".into(),
         ))

@@ -302,7 +302,10 @@ enum TState {
     /// AcquireLock sent; awaiting GRANT.
     WaitGrant(LockId),
     /// GRANT said NEEDNEWVERSION; awaiting replica data.
-    WaitData { lock: LockId, need: Version },
+    WaitData {
+        lock: LockId,
+        need: Version,
+    },
     /// The home site stopped answering; waiting for a surrogate
     /// coordinator to announce itself.
     WaitHome(LockId),
@@ -693,10 +696,7 @@ impl AppRunner {
             }
             Msg::Heartbeat { lock, req } => {
                 // Liveness + hold check from the coordinator (§4).
-                let holding = self
-                    .threads
-                    .iter()
-                    .any(|t| t.granted.contains_key(&lock));
+                let holding = self.threads.iter().any(|t| t.granted.contains_key(&lock));
                 sink.send(
                     _from,
                     ports::SYNC,
@@ -959,7 +959,13 @@ mod tests {
         let th = r.add_thread(Script::new().register(L, &["x"]).lock(L).unlock(L));
         r.run(t(0), &mut d, &mut sink);
         sink.drain();
-        r.on_msg(t(5), HOME, grant(0, VersionFlag::VersionOk), &mut d, &mut sink);
+        r.on_msg(
+            t(5),
+            HOME,
+            grant(0, VersionFlag::VersionOk),
+            &mut d,
+            &mut sink,
+        );
         assert!(r.all_done());
         let labels: Vec<&str> = r.records(th).iter().map(|rec| rec.label.as_str()).collect();
         assert_eq!(
@@ -972,9 +978,11 @@ mod tests {
             ]
         );
         // Release was sent with unchanged version (clean unlock).
-        let release_ok = sink.drain().iter().any(|c| matches!(c,
+        let release_ok = sink.drain().iter().any(|c| {
+            matches!(c,
             Cmd::Send { msg: Msg::ReleaseLock { new_version, .. }, .. }
-                if *new_version == Version(0)));
+                if *new_version == Version(0))
+        });
         assert!(release_ok);
     }
 
@@ -984,7 +992,13 @@ mod tests {
         let th = r.add_thread(Script::new().register(L, &["x"]).lock(L).unlock(L));
         r.run(t(0), &mut d, &mut sink);
         sink.drain();
-        r.on_msg(t(5), HOME, grant(3, VersionFlag::NeedNewVersion), &mut d, &mut sink);
+        r.on_msg(
+            t(5),
+            HOME,
+            grant(3, VersionFlag::NeedNewVersion),
+            &mut d,
+            &mut sink,
+        );
         assert!(!r.all_done(), "must wait for data");
         // Data arrives at the daemon.
         d.on_msg(
@@ -1018,7 +1032,13 @@ mod tests {
         let th = r.add_thread(Script::new().register(L, &["x"]).lock(L).unlock(L));
         r.run(t(0), &mut d, &mut sink);
         sink.drain();
-        r.on_msg(t(5), HOME, grant(9, VersionFlag::NeedNewVersion), &mut d, &mut sink);
+        r.on_msg(
+            t(5),
+            HOME,
+            grant(9, VersionFlag::NeedNewVersion),
+            &mut d,
+            &mut sink,
+        );
         // Recovery could only find version 2.
         d.on_msg(
             t(9),
@@ -1058,7 +1078,13 @@ mod tests {
         );
         r.run(t(0), &mut d, &mut sink);
         sink.drain();
-        r.on_msg(t(5), HOME, grant(4, VersionFlag::VersionOk), &mut d, &mut sink);
+        r.on_msg(
+            t(5),
+            HOME,
+            grant(4, VersionFlag::VersionOk),
+            &mut d,
+            &mut sink,
+        );
         let release_version = sink.drain().into_iter().find_map(|c| match c {
             Cmd::Send {
                 msg: Msg::ReleaseLock { new_version, .. },
@@ -1080,19 +1106,47 @@ mod tests {
         let acquires = sink
             .drain()
             .iter()
-            .filter(|c| matches!(c, Cmd::Send { msg: Msg::AcquireLock { .. }, .. }))
+            .filter(|c| {
+                matches!(
+                    c,
+                    Cmd::Send {
+                        msg: Msg::AcquireLock { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(acquires, 1);
         // Grant thread 0; it unlocks; thread 1 must then send its own
         // acquire (no local short-circuit).
-        r.on_msg(t(5), HOME, grant(0, VersionFlag::VersionOk), &mut d, &mut sink);
+        r.on_msg(
+            t(5),
+            HOME,
+            grant(0, VersionFlag::VersionOk),
+            &mut d,
+            &mut sink,
+        );
         let acquires = sink
             .drain()
             .iter()
-            .filter(|c| matches!(c, Cmd::Send { msg: Msg::AcquireLock { .. }, .. }))
+            .filter(|c| {
+                matches!(
+                    c,
+                    Cmd::Send {
+                        msg: Msg::AcquireLock { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(acquires, 1, "second thread contacts coordinator");
-        r.on_msg(t(8), HOME, grant(0, VersionFlag::VersionOk), &mut d, &mut sink);
+        r.on_msg(
+            t(8),
+            HOME,
+            grant(0, VersionFlag::VersionOk),
+            &mut d,
+            &mut sink,
+        );
         assert!(r.all_done());
     }
 
@@ -1146,11 +1200,19 @@ mod tests {
         assert!(!r.all_done(), "thread waits for a surrogate");
         // A surrogate at site 5 announces itself.
         r.on_home_changed(t(20), SiteId(5), &mut sink);
-        let resent = sink.drain().iter().any(|c| matches!(c,
-            Cmd::Send { to, msg: Msg::AcquireLock { .. }, .. } if *to == SiteId(5)));
+        let resent = sink.drain().iter().any(|c| {
+            matches!(c,
+            Cmd::Send { to, msg: Msg::AcquireLock { .. }, .. } if *to == SiteId(5))
+        });
         assert!(resent, "acquire re-sent to the surrogate");
         // Grant from the surrogate completes the script.
-        r.on_msg(t(25), SiteId(5), grant(0, VersionFlag::VersionOk), &mut d, &mut sink);
+        r.on_msg(
+            t(25),
+            SiteId(5),
+            grant(0, VersionFlag::VersionOk),
+            &mut d,
+            &mut sink,
+        );
         assert!(r.all_done());
         let labels: Vec<&str> = r.records(th).iter().map(|rec| rec.label.as_str()).collect();
         assert!(labels.contains(&"home_unreachable:lock1"));
@@ -1177,7 +1239,13 @@ mod tests {
         );
         r.run(t(0), &mut d, &mut sink);
         sink.drain();
-        r.on_msg(t(5), HOME, grant(0, VersionFlag::VersionOk), &mut d, &mut sink);
+        r.on_msg(
+            t(5),
+            HOME,
+            grant(0, VersionFlag::VersionOk),
+            &mut d,
+            &mut sink,
+        );
         // While sleeping, the coordinator breaks the lock.
         r.on_msg(
             t(50),
@@ -1229,7 +1297,13 @@ mod tests {
             &mut sink,
         );
         sink.drain();
-        r.on_msg(t(5), HOME, grant(0, VersionFlag::VersionOk), &mut d, &mut sink);
+        r.on_msg(
+            t(5),
+            HOME,
+            grant(0, VersionFlag::VersionOk),
+            &mut d,
+            &mut sink,
+        );
         assert!(!r.all_done(), "waiting for push acks");
         // Ack arrives at the daemon; daemon signals completion.
         d.on_msg(

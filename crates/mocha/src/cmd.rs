@@ -172,14 +172,7 @@ impl CmdSink {
     }
 
     /// Queues a message send with a failure-correlation tag.
-    pub fn send_tagged(
-        &mut self,
-        to: SiteId,
-        port: Port,
-        msg: Msg,
-        class: MsgClass,
-        tag: SendTag,
-    ) {
+    pub fn send_tagged(&mut self, to: SiteId, port: Port, msg: Msg, class: MsgClass, tag: SendTag) {
         self.cmds.push(Cmd::Send {
             to,
             port,
@@ -275,7 +268,10 @@ mod tests {
             },
             MsgClass::Control,
         );
-        sink.signal(Signal::PushesComplete { lock: LockId(1), acked: vec![] });
+        sink.signal(Signal::PushesComplete {
+            lock: LockId(1),
+            acked: vec![],
+        });
         let cmds = sink.drain();
         assert!(matches!(cmds[0], Cmd::Charge(_)));
         assert!(matches!(cmds[1], Cmd::Send { .. }));
@@ -293,7 +289,12 @@ mod tests {
 
     #[test]
     fn namespaces_are_distinct() {
-        let all = [timer_ns::COORD, timer_ns::DAEMON, timer_ns::APP, timer_ns::MANAGER];
+        let all = [
+            timer_ns::COORD,
+            timer_ns::DAEMON,
+            timer_ns::APP,
+            timer_ns::MANAGER,
+        ];
         for (i, a) in all.iter().enumerate() {
             for (j, b) in all.iter().enumerate() {
                 if i != j {

@@ -134,7 +134,10 @@ impl SiteDaemon {
 
     /// Newest locally held version for `lock`.
     pub fn version_of(&self, lock: LockId) -> Version {
-        self.lock_version.get(&lock).copied().unwrap_or(Version::INITIAL)
+        self.lock_version
+            .get(&lock)
+            .copied()
+            .unwrap_or(Version::INITIAL)
     }
 
     /// Reads a replica's current local value.
@@ -228,10 +231,7 @@ impl SiteDaemon {
     /// Charges the unmarshal cost for received updates.
     fn charge_unmarshal(&self, updates: &[ReplicaUpdate], sink: &mut CmdSink) {
         let bytes: usize = updates.iter().map(|u| u.payload.data_bytes()).sum();
-        let cost = self
-            .codec
-            .marshaller()
-            .unmarshal_cost(bytes, updates.len());
+        let cost = self.codec.marshaller().unmarshal_cost(bytes, updates.len());
         sink.charge(Work::marshal_ops(cost.ops));
     }
 
@@ -247,7 +247,10 @@ impl SiteDaemon {
             // Transfers can carry replicas not yet registered locally
             // (another site created them); adopt them.
             self.store.insert(u.replica, u.payload);
-            self.lock_replicas.entry(lock).or_default().insert(u.replica);
+            self.lock_replicas
+                .entry(lock)
+                .or_default()
+                .insert(u.replica);
         }
         self.lock_version.insert(lock, version);
         self.stats.updates_applied += 1;
@@ -264,11 +267,7 @@ impl SiteDaemon {
     ///
     /// Returns [`MochaError::UnknownReplica`] if the replica is not
     /// registered here.
-    pub fn publish(
-        &mut self,
-        replica: ReplicaId,
-        sink: &mut CmdSink,
-    ) -> Result<(), MochaError> {
+    pub fn publish(&mut self, replica: ReplicaId, sink: &mut CmdSink) -> Result<(), MochaError> {
         let payload = self.read(replica)?.clone();
         self.cache_clock += 1;
         let stamp = (self.cache_clock, self.me);
@@ -541,7 +540,9 @@ impl SiteDaemon {
                 self.lock_members.entry(lock).or_default().insert(site);
                 self.lock_replicas.entry(lock).or_default().insert(replica);
                 self.names.entry(replica).or_insert(name);
-                self.store.entry(replica).or_insert_with(ReplicaPayload::empty);
+                self.store
+                    .entry(replica)
+                    .or_insert_with(ReplicaPayload::empty);
             }
             other => {
                 sink.note(format!("daemon {me} ignoring {other:?}", me = self.me));
@@ -633,8 +634,10 @@ mod tests {
         let mut sink = CmdSink::new();
         d.register_local(L, &[spec("idx", &[1, 2])], &mut sink);
         let msgs = sends(&mut sink);
-        assert!(msgs.iter().any(|(to, m)| *to == HOME
-            && matches!(m, Msg::RegisterReplica { site, .. } if *site == ME)));
+        assert!(msgs
+            .iter()
+            .any(|(to, m)| *to == HOME
+                && matches!(m, Msg::RegisterReplica { site, .. } if *site == ME)));
         assert_eq!(
             d.read(replica_id("idx")).unwrap(),
             &ReplicaPayload::I32s(vec![1, 2])
@@ -683,7 +686,9 @@ mod tests {
         let (to, data) = &msgs[0];
         assert_eq!(*to, S2);
         match data {
-            Msg::ReplicaData { lock, updates, req, .. } => {
+            Msg::ReplicaData {
+                lock, updates, req, ..
+            } => {
                 assert_eq!(*lock, L);
                 assert_eq!(updates.len(), 1);
                 assert_eq!(*req, RequestId(5));
@@ -952,7 +957,9 @@ mod tests {
         );
         let msgs = sends(&mut sink);
         // Replacement push went to S3.
-        assert!(msgs.iter().any(|(to, m)| *to == S3 && matches!(m, Msg::PushUpdate { .. })));
+        assert!(msgs
+            .iter()
+            .any(|(to, m)| *to == S3 && matches!(m, Msg::PushUpdate { .. })));
         assert_eq!(d.stats().push_replacements, 1);
     }
 
@@ -997,7 +1004,15 @@ mod tests {
     fn polls_answered_to_home() {
         let mut d = daemon();
         let mut sink = CmdSink::new();
-        d.on_msg(now(), HOME, Msg::PollVersion { lock: L, req: RequestId(4) }, &mut sink);
+        d.on_msg(
+            now(),
+            HOME,
+            Msg::PollVersion {
+                lock: L,
+                req: RequestId(4),
+            },
+            &mut sink,
+        );
         let msgs = sends(&mut sink);
         assert!(msgs.iter().any(|(to, m)| *to == HOME
             && matches!(m, Msg::PollResponse { req, .. } if *req == RequestId(4))));

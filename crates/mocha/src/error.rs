@@ -142,7 +142,9 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_informative() {
-        let e = MochaError::MissingParameter { key: "start".into() };
+        let e = MochaError::MissingParameter {
+            key: "start".into(),
+        };
         assert!(e.to_string().contains("start"));
         let e = MochaError::LockBroken { lock: LockId(3) };
         assert!(e.to_string().contains("lock3"));

@@ -8,6 +8,17 @@
 //!
 //! A [`HostFile`] lists candidate sites (one per line, `#` comments
 //! allowed) and hands them out round-robin for placement-agnostic spawns.
+//!
+//! For real-network deployments (the socket runtime and the `mochad`
+//! daemon) an entry may also carry the site's socket address:
+//!
+//! ```text
+//! # site            address (UDP; and TCP bulk leg in hybrid mode)
+//! site0=127.0.0.1:7000
+//! site1=10.0.0.2:7000
+//! 2=node2.cluster:7000
+//! site3                  # address-less entries still parse (sim/thread use)
+//! ```
 
 use std::fmt;
 use std::str::FromStr;
@@ -25,7 +36,11 @@ pub struct ParseHostFileError {
 
 impl fmt::Display for ParseHostFileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid host entry {:?} on line {}", self.entry, self.line)
+        write!(
+            f,
+            "invalid host entry {:?} on line {}",
+            self.entry, self.line
+        )
     }
 }
 
@@ -48,18 +63,25 @@ impl std::error::Error for ParseHostFileError {}
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HostFile {
     sites: Vec<SiteId>,
+    /// Optional `ip:port` (or `host:port`) per site, parallel to `sites`.
+    addrs: Vec<Option<String>>,
     cursor: usize,
 }
 
 impl HostFile {
-    /// Builds a host file from explicit sites.
+    /// Builds a host file from explicit sites (no addresses).
     ///
     /// # Panics
     ///
     /// Panics if `sites` is empty.
     pub fn new(sites: Vec<SiteId>) -> HostFile {
         assert!(!sites.is_empty(), "a host file needs at least one site");
-        HostFile { sites, cursor: 0 }
+        let addrs = vec![None; sites.len()];
+        HostFile {
+            sites,
+            addrs,
+            cursor: 0,
+        }
     }
 
     /// A host file naming every non-home site of an `n`-site deployment
@@ -96,6 +118,22 @@ impl HostFile {
         self.cursor += 1;
         site
     }
+
+    /// The socket address string declared for `site` (the `name=ip:port`
+    /// form), if any. Returns the *first* entry's address when a site is
+    /// listed more than once.
+    pub fn address_of(&self, site: SiteId) -> Option<&str> {
+        self.sites
+            .iter()
+            .position(|s| *s == site)
+            .and_then(|i| self.addrs[i].as_deref())
+    }
+
+    /// True when every entry carries an address — i.e. the file can drive
+    /// a real-network deployment.
+    pub fn fully_addressed(&self) -> bool {
+        self.addrs.iter().all(Option::is_some)
+    }
 }
 
 impl FromStr for HostFile {
@@ -103,20 +141,35 @@ impl FromStr for HostFile {
 
     fn from_str(text: &str) -> Result<HostFile, ParseHostFileError> {
         let mut sites = Vec::new();
+        let mut addrs = Vec::new();
         for (i, raw) in text.lines().enumerate() {
-            let line = raw.trim();
-            if line.is_empty() || line.starts_with('#') {
+            // Allow trailing comments so addressed entries stay annotatable.
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
                 continue;
             }
-            let digits = line.strip_prefix("site").unwrap_or(line);
-            match digits.parse::<u32>() {
-                Ok(n) => sites.push(SiteId(n)),
-                Err(_) => {
-                    return Err(ParseHostFileError {
-                        line: i + 1,
-                        entry: line.to_string(),
-                    })
+            let err = || ParseHostFileError {
+                line: i + 1,
+                entry: line.to_string(),
+            };
+            let (name, addr) = match line.split_once('=') {
+                Some((name, addr)) => {
+                    let addr = addr.trim();
+                    // An address must at least separate host from port.
+                    if addr.is_empty() || !addr.contains(':') {
+                        return Err(err());
+                    }
+                    (name.trim(), Some(addr.to_string()))
                 }
+                None => (line, None),
+            };
+            let digits = name.strip_prefix("site").unwrap_or(name);
+            match digits.parse::<u32>() {
+                Ok(n) => {
+                    sites.push(SiteId(n));
+                    addrs.push(addr);
+                }
+                Err(_) => return Err(err()),
             }
         }
         if sites.is_empty() {
@@ -125,7 +178,11 @@ impl FromStr for HostFile {
                 entry: "<no hosts>".to_string(),
             });
         }
-        Ok(HostFile { sites, cursor: 0 })
+        Ok(HostFile {
+            sites,
+            addrs,
+            cursor: 0,
+        })
     }
 }
 
@@ -175,5 +232,46 @@ mod tests {
     #[should_panic(expected = "at least one site")]
     fn empty_explicit_list_panics() {
         let _ = HostFile::new(vec![]);
+    }
+
+    #[test]
+    fn addressed_entries_parse_alongside_bare_ones() {
+        let hf: HostFile = "site0=127.0.0.1:7000\n1 = 10.0.0.2:7000 # annotated\nsite2\n"
+            .parse()
+            .unwrap();
+        assert_eq!(hf.sites(), &[SiteId(0), SiteId(1), SiteId(2)]);
+        assert_eq!(hf.address_of(SiteId(0)), Some("127.0.0.1:7000"));
+        assert_eq!(hf.address_of(SiteId(1)), Some("10.0.0.2:7000"));
+        assert_eq!(hf.address_of(SiteId(2)), None);
+        assert_eq!(hf.address_of(SiteId(9)), None);
+        assert!(!hf.fully_addressed());
+
+        let full: HostFile = "site0=127.0.0.1:7000\nsite1=node1:7000\n".parse().unwrap();
+        assert!(full.fully_addressed());
+    }
+
+    #[test]
+    fn bad_addresses_report_line_numbers() {
+        // Missing port separator.
+        let err = "site0=127.0.0.1:7000\nsite1=10.0.0.2\n"
+            .parse::<HostFile>()
+            .unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.entry.contains("10.0.0.2"));
+
+        // Empty address.
+        let err = "site1=\n".parse::<HostFile>().unwrap_err();
+        assert_eq!(err.line, 1);
+
+        // Bad site name with an address attached.
+        let err = "host-one=1.2.3.4:5\n".parse::<HostFile>().unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn explicit_constructors_have_no_addresses() {
+        let hf = HostFile::all_remote(3);
+        assert_eq!(hf.address_of(SiteId(1)), None);
+        assert!(!hf.fully_addressed());
     }
 }

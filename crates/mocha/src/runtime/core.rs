@@ -1,0 +1,969 @@
+//! Transport-agnostic site event-loop core shared by the real-concurrency
+//! runtimes ([`thread`](crate::runtime::thread) and
+//! [`socket`](crate::runtime::socket)).
+//!
+//! A [`SiteCore`] hosts the same protocol state machines as the simulator
+//! (daemon, coordinator at the home site, site manager) plus the blocking
+//! application-API bookkeeping (lock waiters, deferred releases, pending
+//! spawns). It is generic over a [`Link`] — the one operation the
+//! runtimes implement differently: shipping a protocol message toward a
+//! remote site. The in-process thread runtime delivers through a channel
+//! router and learns of dead peers synchronously; the socket runtime
+//! hands messages to MochaNet over real UDP and learns of dead peers
+//! asynchronously through retry exhaustion. Everything else — command
+//! processing, timers (a wall-clock [`TimerWheel`]), signals, the
+//! application request surface — is identical and lives here.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use mocha_net::{ports, MsgClass, Port, TimerWheel};
+use mocha_sim::SimTime;
+use mocha_wire::message::{LockMode, VersionFlag};
+use mocha_wire::{LockId, Msg, ReplicaId, ReplicaPayload, RequestId, SiteId, ThreadId, Version};
+
+use crate::app::UNGUARDED;
+use crate::cmd::{timer_ns, Cmd, CmdSink, SendTag, Signal};
+use crate::config::{AvailabilityConfig, MochaConfig};
+use crate::daemon::SiteDaemon;
+use crate::error::MochaError;
+use crate::replica::ReplicaSpec;
+use crate::runtime::metrics::RuntimeCounters;
+use crate::spawn::{SiteManager, TaskRegistry};
+use crate::sync::SyncCoordinator;
+use crate::travelbag::{Parameter, TravelBag};
+
+/// How long blocking calls wait before concluding the home site is gone.
+pub(crate) const BLOCKING_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A release deferred until dissemination acks: (new version, the
+/// caller's reply channel, whether the lock was revoked while held).
+type PendingRelease = (Version, Sender<Result<(), MochaError>>, bool);
+
+/// How a runtime ships one protocol message toward a remote site.
+///
+/// Returns `false` when the send is known to have failed *immediately*
+/// (the thread runtime's "peer removed from the router"), in which case
+/// the core runs the tag's failure handling on the spot. Transports with
+/// asynchronous failure detection (MochaNet retry exhaustion) return
+/// `true` and report failures later through the runtime's event loop,
+/// which calls [`SiteCore::on_send_failed`] itself.
+pub(crate) trait Link {
+    /// Ships `msg` to `to`; see the trait docs for the return contract.
+    fn deliver(&mut self, to: SiteId, port: Port, msg: Msg, class: MsgClass, tag: &SendTag)
+        -> bool;
+}
+
+/// A pending spawn result — the paper's `ResultHandle` (Figure 1:
+/// `rh = mocha.spawn("Myhello", p)`). Obtain one from
+/// [`MochaHandle::spawn_async`]; collect with [`wait`](ResultHandle::wait).
+#[derive(Debug)]
+pub struct ResultHandle {
+    rx: Receiver<Result<TravelBag, MochaError>>,
+}
+
+impl ResultHandle {
+    /// Blocks until the remote task finishes and returns its `Result`
+    /// travel bag.
+    ///
+    /// # Errors
+    ///
+    /// [`MochaError::SpawnFailed`] if the task errored remotely or its
+    /// site is unreachable; [`MochaError::HomeUnreachable`] on timeout.
+    pub fn wait(self) -> Result<TravelBag, MochaError> {
+        self.rx
+            .recv_timeout(BLOCKING_TIMEOUT)
+            .map_err(|_| MochaError::HomeUnreachable)?
+    }
+
+    /// Returns the result if it is already available, or the handle back
+    /// if the task is still running.
+    ///
+    /// # Errors
+    ///
+    /// Remote failures surface exactly as for [`wait`](Self::wait).
+    pub fn try_wait(self) -> Result<Result<TravelBag, MochaError>, ResultHandle> {
+        match self.rx.try_recv() {
+            Ok(result) => Ok(result),
+            Err(_) => Err(self),
+        }
+    }
+}
+
+/// How fresh the replica state behind a successful `lock()` is.
+///
+/// `Stale` is the paper's §4 *weakened consistency*: the newest version
+/// died with a failed site, and the freshest *surviving* copy was
+/// delivered instead. "The home user can recognize unwanted
+/// characteristics of the old version and reapply the appropriate
+/// updates."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Freshness {
+    /// The replicas carry the most recent committed version.
+    Current,
+    /// A newer version was lost to a failure; this is the freshest
+    /// surviving state.
+    Stale,
+}
+
+/// A protocol message with its routing metadata, as delivered to a site
+/// event loop.
+#[derive(Debug)]
+pub(crate) struct Envelope {
+    pub(crate) from: SiteId,
+    pub(crate) port: Port,
+    pub(crate) msg: Msg,
+}
+
+/// Requests from application threads to their site's event loop.
+pub(crate) enum AppRequest {
+    Register {
+        lock: LockId,
+        specs: Vec<ReplicaSpec>,
+        reply: Sender<()>,
+    },
+    SetAvailability {
+        lock: LockId,
+        avail: AvailabilityConfig,
+        reply: Sender<()>,
+    },
+    Lock {
+        lock: LockId,
+        lease_ms: u32,
+        mode: LockMode,
+        reply: Sender<Result<Freshness, MochaError>>,
+    },
+    Unlock {
+        lock: LockId,
+        dirty: bool,
+        reply: Sender<Result<(), MochaError>>,
+    },
+    Read {
+        replica: ReplicaId,
+        reply: Sender<Result<ReplicaPayload, MochaError>>,
+    },
+    Write {
+        replica: ReplicaId,
+        payload: ReplicaPayload,
+        reply: Sender<Result<(), MochaError>>,
+    },
+    Publish {
+        replica: ReplicaId,
+        reply: Sender<Result<(), MochaError>>,
+    },
+    Spawn {
+        dest: SiteId,
+        task_class: String,
+        params: Parameter,
+        reply: Sender<Result<TravelBag, MochaError>>,
+    },
+    TakePrints {
+        reply: Sender<Vec<String>>,
+    },
+    /// Become the surrogate coordinator by replaying the given state log.
+    Promote {
+        log: Vec<(SiteId, Msg)>,
+        reply: Sender<()>,
+    },
+    Stop,
+}
+
+/// Everything a site event loop can receive.
+pub(crate) enum LoopInput {
+    /// A protocol message (from the router, or a bulk TCP receiver).
+    Env(Envelope),
+    /// A blocking-API request from an application thread.
+    App(AppRequest),
+    /// A bulk out-of-band transfer finished (socket runtime's TCP leg).
+    BulkDone {
+        /// The send's correlation tag.
+        tag: SendTag,
+        /// Whether the transfer reached the peer.
+        ok: bool,
+    },
+}
+
+/// A waiting lock request at a site.
+pub(crate) struct LockWaiter {
+    lease_ms: u32,
+    mode: LockMode,
+    /// Unique per request, so the coordinator can tell requests from
+    /// different application threads at the same site apart.
+    thread: ThreadId,
+    /// Version the grant promised (set once the grant arrives; used to
+    /// classify freshness when the data catches up).
+    promised: Version,
+    reply: Sender<Result<Freshness, MochaError>>,
+}
+
+/// Construction-time parameters shared by every site of a runtime.
+pub(crate) struct CoreSeed {
+    pub(crate) site: SiteId,
+    pub(crate) home: SiteId,
+    pub(crate) config: MochaConfig,
+    pub(crate) registry: Arc<TaskRegistry>,
+    pub(crate) epoch: Instant,
+    pub(crate) stable_log: Arc<Mutex<Vec<(SiteId, Msg)>>>,
+    pub(crate) counters: Arc<RuntimeCounters>,
+}
+
+/// The per-site event loop state, generic over the outbound transport.
+pub(crate) struct SiteCore<L: Link> {
+    pub(crate) site: SiteId,
+    pub(crate) home: SiteId,
+    pub(crate) config: MochaConfig,
+    pub(crate) daemon: SiteDaemon,
+    pub(crate) coordinator: Option<SyncCoordinator>,
+    pub(crate) manager: SiteManager,
+    pub(crate) sink: CmdSink,
+    pub(crate) link: L,
+    pub(crate) epoch: Instant,
+    pub(crate) counters: Arc<RuntimeCounters>,
+    // --- application bookkeeping ---
+    avail: HashMap<LockId, AvailabilityConfig>,
+    /// Outstanding acquire per lock (only one per site at a time).
+    pending_grant: HashMap<LockId, LockWaiter>,
+    /// Grant arrived but data still in flight.
+    wait_data: HashMap<LockId, LockWaiter>,
+    /// Held locks with their granted versions and access modes.
+    held: HashMap<LockId, (Version, LockMode)>,
+    /// Locks revoked while held.
+    revoked: HashMap<LockId, ()>,
+    /// Local FIFO of lock requests behind the current one.
+    local_queue: HashMap<LockId, VecDeque<LockWaiter>>,
+    /// Releases deferred until dissemination acks arrive:
+    /// lock → (new version, reply channel, was revoked).
+    wait_push: HashMap<LockId, PendingRelease>,
+    /// Spawns awaiting results.
+    pending_spawns: HashMap<RequestId, Sender<Result<TravelBag, MochaError>>>,
+    /// Collected `mochaPrintln` output.
+    prints: Vec<String>,
+    /// The coordinator's stable-storage log (§4: "logging its state"):
+    /// shared with the runtime so a surrogate can replay it after the
+    /// home dies. Only the site currently hosting the coordinator writes.
+    pub(crate) stable_log: Arc<Mutex<Vec<(SiteId, Msg)>>>,
+    /// Wall-clock timers for every component (and, in the socket
+    /// runtime, the transport) — one wheel per site, like the
+    /// simulator's single event queue.
+    pub(crate) timers: TimerWheel,
+    next_thread: u32,
+    pub(crate) stop: bool,
+}
+
+impl<L: Link> SiteCore<L> {
+    pub(crate) fn new(seed: CoreSeed, link: L) -> SiteCore<L> {
+        let CoreSeed {
+            site,
+            home,
+            config,
+            registry,
+            epoch,
+            stable_log,
+            counters,
+        } = seed;
+        SiteCore {
+            site,
+            home,
+            config,
+            daemon: SiteDaemon::new(site, home, config.codec),
+            coordinator: (site == home).then(|| SyncCoordinator::new(home, config)),
+            manager: SiteManager::new(site, registry, site == home),
+            sink: CmdSink::new(),
+            link,
+            epoch,
+            counters,
+            stable_log,
+            avail: HashMap::new(),
+            pending_grant: HashMap::new(),
+            wait_data: HashMap::new(),
+            held: HashMap::new(),
+            revoked: HashMap::new(),
+            local_queue: HashMap::new(),
+            wait_push: HashMap::new(),
+            pending_spawns: HashMap::new(),
+            prints: Vec::new(),
+            timers: TimerWheel::new(),
+            next_thread: 0,
+            stop: false,
+        }
+    }
+
+    pub(crate) fn now(&self) -> SimTime {
+        SimTime::from_nanos(u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
+
+    fn config_snapshot(&self) -> MochaConfig {
+        self.config
+    }
+
+    /// Earliest pending timer deadline.
+    pub(crate) fn next_deadline(&self) -> Option<Instant> {
+        self.timers.next_deadline()
+    }
+
+    /// Fires every due component timer. Tokens in the transport
+    /// namespaces (`0x01`/`0x02`) are *returned* instead of dispatched —
+    /// the socket runtime routes them into its transport endpoints; the
+    /// thread runtime never arms any.
+    pub(crate) fn fire_due_timers(&mut self) -> Vec<u64> {
+        let mut transport = Vec::new();
+        for token in self.timers.pop_due(Instant::now()) {
+            self.counters.inc_timers_fired();
+            let ns = timer_ns::of(token);
+            if ns < timer_ns::COORD {
+                transport.push(token);
+                continue;
+            }
+            let now = self.now();
+            if ns == timer_ns::APP {
+                // Data-leg retry: the grant arrived but the transfer never
+                // did; re-ask the coordinator.
+                let lock = LockId((token & 0xffff_ffff) as u32);
+                if let Some(waiter) = self.wait_data.remove(&lock) {
+                    self.held.remove(&lock);
+                    self.send_acquire(lock, waiter);
+                }
+                continue;
+            }
+            if let Some(c) = self.coordinator.as_mut() {
+                c.on_timer(now, token, &mut self.sink);
+            }
+        }
+        transport
+    }
+
+    pub(crate) fn handle_input(&mut self, input: LoopInput) {
+        match input {
+            LoopInput::Env(env) => self.route_msg(env.from, env.port, env.msg),
+            LoopInput::App(req) => self.handle_app(req),
+            LoopInput::BulkDone { tag, ok } => {
+                if !ok {
+                    self.counters.inc_sends_failed();
+                    self.on_send_failed(&tag);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn route_msg(&mut self, from: SiteId, port: Port, msg: Msg) {
+        let now = self.now();
+        if from != self.site {
+            self.counters.inc_msgs_delivered();
+        }
+        // Mirror state-mutating coordinator traffic to stable storage.
+        if self.coordinator.is_some()
+            && port == ports::SYNC
+            && matches!(
+                msg,
+                Msg::AcquireLock { .. } | Msg::ReleaseLock { .. } | Msg::RegisterReplica { .. }
+            )
+        {
+            self.stable_log.lock().push((from, msg.clone()));
+        }
+        // Debug facility (the paper's "event logging ... insight into
+        // execution at remote locations"): MOCHA_TRACE=1 prints protocol
+        // traffic. Kept cheap: one env lookup per message only when set.
+        if std::env::var_os("MOCHA_TRACE").is_some()
+            && (port == ports::SYNC || matches!(msg, Msg::Grant { .. } | Msg::ReplicaData { .. }))
+        {
+            eprintln!("[{:?}] {} <- {}: {:?}", now, self.site, from, msg);
+        }
+        match port {
+            ports::SYNC => {
+                if let Some(c) = self.coordinator.as_mut() {
+                    c.on_msg(now, from, msg, &mut self.sink);
+                }
+            }
+            ports::DAEMON => self.daemon.on_msg(now, from, msg, &mut self.sink),
+            ports::APP => self.on_app_msg(msg),
+            ports::SITE_MANAGER => self.manager.on_msg(now, from, msg, &mut self.sink),
+            _ => {}
+        }
+    }
+
+    fn on_app_msg(&mut self, msg: Msg) {
+        match msg {
+            Msg::Grant {
+                lock,
+                version,
+                flag,
+            } => {
+                let Some(waiter) = self.pending_grant.remove(&lock) else {
+                    return;
+                };
+                if flag == VersionFlag::VersionOk || self.daemon.version_of(lock) >= version {
+                    self.held.insert(
+                        lock,
+                        (version.max(self.daemon.version_of(lock)), waiter.mode),
+                    );
+                    let _ = waiter.reply.send(Ok(Freshness::Current));
+                } else {
+                    self.held.insert(lock, (version, waiter.mode));
+                    let mut waiter = waiter;
+                    waiter.promised = version;
+                    self.wait_data.insert(lock, waiter);
+                    self.sink.set_timer(
+                        timer_ns::APP | u64::from(lock.as_raw()),
+                        Duration::from_secs(20),
+                    );
+                }
+            }
+            Msg::LockRevoked { lock, .. } if self.held.contains_key(&lock) => {
+                self.revoked.insert(lock, ());
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_app(&mut self, req: AppRequest) {
+        match req {
+            AppRequest::Register { lock, specs, reply } => {
+                self.daemon.register_local(lock, &specs, &mut self.sink);
+                let _ = reply.send(());
+            }
+            AppRequest::SetAvailability { lock, avail, reply } => {
+                self.avail.insert(lock, avail);
+                let _ = reply.send(());
+            }
+            AppRequest::Lock {
+                lock,
+                lease_ms,
+                mode,
+                reply,
+            } => {
+                let thread = ThreadId(self.next_thread);
+                self.next_thread = self.next_thread.wrapping_add(1);
+                let waiter = LockWaiter {
+                    lease_ms,
+                    mode,
+                    thread,
+                    promised: Version::INITIAL,
+                    reply,
+                };
+                let busy = self.held.contains_key(&lock)
+                    || self.pending_grant.contains_key(&lock)
+                    || self.wait_data.contains_key(&lock);
+                if busy {
+                    self.local_queue.entry(lock).or_default().push_back(waiter);
+                } else {
+                    self.send_acquire(lock, waiter);
+                }
+            }
+            AppRequest::Unlock { lock, dirty, reply } => {
+                let Some((granted, mode)) = self.held.remove(&lock) else {
+                    let _ = reply.send(Err(MochaError::NotLocked { lock }));
+                    return;
+                };
+                let was_revoked = self.revoked.remove(&lock).is_some();
+                // A shared hold cannot have written.
+                let dirty = dirty && mode == LockMode::Exclusive;
+                let new_version = if dirty { granted.next() } else { granted };
+                let avail = self.avail.get(&lock).copied().unwrap_or_default();
+                let ur = if dirty && !was_revoked { avail.ur } else { 1 };
+                let disseminated = self
+                    .daemon
+                    .disseminate(lock, new_version, ur, &mut self.sink);
+                let _ = avail;
+                // The release (or its deferral) is queued BEFORE the local
+                // hand-off, so a successor's acquire can never overtake it
+                // to the coordinator.
+                if !disseminated.is_empty() {
+                    // Defer the release until the pushes are acknowledged,
+                    // so the coordinator's up-to-date set is accurate.
+                    self.wait_push
+                        .insert(lock, (new_version, reply, was_revoked));
+                } else {
+                    self.sink.send(
+                        self.home,
+                        ports::SYNC,
+                        Msg::ReleaseLock {
+                            lock,
+                            site: self.site,
+                            new_version,
+                            disseminated_to: Vec::new(),
+                        },
+                        MsgClass::Control,
+                    );
+                    if was_revoked {
+                        let _ = reply.send(Err(MochaError::LockBroken { lock }));
+                    } else {
+                        let _ = reply.send(Ok(()));
+                    }
+                }
+                // Local hand-off: the next queued request now contacts the
+                // coordinator (never handed data locally — fairness rule).
+                if let Some(next) = self.local_queue.entry(lock).or_default().pop_front() {
+                    self.send_acquire(lock, next);
+                }
+            }
+            AppRequest::Read { replica, reply } => {
+                let result = self
+                    .guard_check(replica, false)
+                    .and_then(|_| self.daemon.read(replica).cloned());
+                let _ = reply.send(result);
+            }
+            AppRequest::Write {
+                replica,
+                payload,
+                reply,
+            } => {
+                let result = self
+                    .guard_check(replica, true)
+                    .and_then(|_| self.daemon.write(replica, payload));
+                let _ = reply.send(result);
+            }
+            AppRequest::Publish { replica, reply } => {
+                let result = self.daemon.publish(replica, &mut self.sink);
+                let _ = reply.send(result);
+            }
+            AppRequest::Spawn {
+                dest,
+                task_class,
+                params,
+                reply,
+            } => {
+                let req = self
+                    .manager
+                    .spawn(dest, &task_class, &params, &mut self.sink);
+                self.pending_spawns.insert(req, reply);
+            }
+            AppRequest::TakePrints { reply } => {
+                let _ = reply.send(std::mem::take(&mut self.prints));
+            }
+            AppRequest::Promote { log, reply } => {
+                let me = self.site;
+                let mut coordinator =
+                    SyncCoordinator::replay(me, self.config_snapshot(), &log, self.now());
+                let members = coordinator.all_members();
+                coordinator.resume(&mut self.sink);
+                self.coordinator = Some(coordinator);
+                self.home = me;
+                for member in members {
+                    if member != me {
+                        self.sink.send(
+                            member,
+                            ports::DAEMON,
+                            Msg::SyncMoved { new_home: me },
+                            MsgClass::Control,
+                        );
+                    }
+                }
+                // Redirect local components too.
+                self.daemon.on_msg(
+                    self.now(),
+                    me,
+                    Msg::SyncMoved { new_home: me },
+                    &mut self.sink,
+                );
+                let _ = reply.send(());
+            }
+            AppRequest::Stop => {
+                self.stop = true;
+            }
+        }
+    }
+
+    /// Entry consistency check for the blocking API. Writes additionally
+    /// require an exclusive hold.
+    fn guard_check(&self, replica: ReplicaId, write: bool) -> Result<(), MochaError> {
+        match self.daemon.lock_of(replica) {
+            Some(lock) if lock != UNGUARDED => match self.held.get(&lock) {
+                Some((_, LockMode::Exclusive)) => Ok(()),
+                Some((_, LockMode::Shared)) if !write => Ok(()),
+                _ => Err(MochaError::NotLocked { lock }),
+            },
+            _ => Ok(()),
+        }
+    }
+
+    fn send_acquire(&mut self, lock: LockId, waiter: LockWaiter) {
+        let lease_ms = waiter.lease_ms;
+        let mode = waiter.mode;
+        let thread = waiter.thread;
+        self.pending_grant.insert(lock, waiter);
+        self.sink.send_tagged(
+            self.home,
+            ports::SYNC,
+            Msg::AcquireLock {
+                lock,
+                site: self.site,
+                thread,
+                lease_hint_ms: lease_ms,
+                mode,
+            },
+            MsgClass::Control,
+            SendTag::Acquire { lock },
+        );
+    }
+
+    fn handle_signal(&mut self, signal: Signal) {
+        match signal {
+            Signal::DataArrived { lock, .. } => {
+                if let Some(waiter) = self.wait_data.remove(&lock) {
+                    let have = self.daemon.version_of(lock);
+                    self.held.insert(lock, (have, waiter.mode));
+                    let freshness = if have >= waiter.promised {
+                        Freshness::Current
+                    } else {
+                        Freshness::Stale
+                    };
+                    let _ = waiter.reply.send(Ok(freshness));
+                }
+            }
+            Signal::PushesComplete { lock, acked } => {
+                if let Some((new_version, reply, was_revoked)) = self.wait_push.remove(&lock) {
+                    self.sink.send(
+                        self.home,
+                        ports::SYNC,
+                        Msg::ReleaseLock {
+                            lock,
+                            site: self.site,
+                            new_version,
+                            disseminated_to: acked,
+                        },
+                        MsgClass::Control,
+                    );
+                    if was_revoked {
+                        let _ = reply.send(Err(MochaError::LockBroken { lock }));
+                    } else {
+                        let _ = reply.send(Ok(()));
+                    }
+                }
+            }
+            Signal::HomeChanged { new_home } => {
+                self.home = new_home;
+                // Re-send any outstanding acquires to the surrogate.
+                let pending: Vec<LockId> = self.pending_grant.keys().copied().collect();
+                for lock in pending {
+                    if let Some(waiter) = self.pending_grant.remove(&lock) {
+                        self.send_acquire(lock, waiter);
+                    }
+                }
+            }
+            Signal::SpawnDone { req, result, ok } => {
+                if let Some(reply) = self.pending_spawns.remove(&req) {
+                    let _ = if ok {
+                        reply.send(Ok(result))
+                    } else {
+                        reply.send(Err(MochaError::SpawnFailed {
+                            task_class: String::new(),
+                            reason: result
+                                .get_str("error")
+                                .unwrap_or("remote failure")
+                                .to_string(),
+                        }))
+                    };
+                }
+            }
+        }
+    }
+
+    /// Routes a send failure to the owning component — the runtime
+    /// equivalent of the paper's "the message times out" detections.
+    pub(crate) fn on_send_failed(&mut self, tag: &SendTag) {
+        let now = self.now();
+        match tag {
+            SendTag::TransferDirective { .. } | SendTag::Heartbeat { .. } => {
+                if let Some(c) = self.coordinator.as_mut() {
+                    c.on_send_failed(now, tag, &mut self.sink);
+                }
+            }
+            SendTag::Push { .. } => {
+                self.daemon.on_send_failed(tag, &mut self.sink);
+            }
+            SendTag::Acquire { lock } => {
+                if let Some(w) = self.pending_grant.remove(lock) {
+                    let _ = w.reply.send(Err(MochaError::HomeUnreachable));
+                }
+            }
+            SendTag::Spawn { .. } => {
+                self.manager.on_send_failed(tag, &mut self.sink);
+            }
+            SendTag::None => {}
+        }
+    }
+
+    /// Drains command queues; loops because handling commands can queue
+    /// more (loopback messages, signal fan-out).
+    pub(crate) fn process_cmds(&mut self) {
+        let mut local: VecDeque<(Port, Msg)> = VecDeque::new();
+        loop {
+            let cmds = self.sink.drain();
+            if cmds.is_empty() && local.is_empty() {
+                break;
+            }
+            for cmd in cmds {
+                match cmd {
+                    Cmd::Send {
+                        to,
+                        port,
+                        msg,
+                        class,
+                        tag,
+                    } => {
+                        if to == self.site {
+                            local.push_back((port, msg));
+                        } else {
+                            self.counters.inc_msgs_sent();
+                            let accepted = self.link.deliver(to, port, msg, class, &tag);
+                            if !accepted && tag != SendTag::None {
+                                // The peer is gone: deliver the failure to
+                                // the owning component, as the transport
+                                // timeout would in the wide area.
+                                self.counters.inc_sends_failed();
+                                self.on_send_failed(&tag);
+                            }
+                        }
+                    }
+                    Cmd::Charge(_) | Cmd::ChargeTime(_) => {
+                        // Real time passes on its own in these runtimes.
+                    }
+                    Cmd::SetTimer { token, after } => {
+                        self.timers.set(token, after, Instant::now());
+                    }
+                    Cmd::CancelTimer { token } => {
+                        self.timers.cancel(token);
+                    }
+                    Cmd::Signal(signal) => self.handle_signal(signal),
+                    Cmd::Note(_) => {}
+                    Cmd::Print(text) => self.prints.push(text),
+                }
+            }
+            if let Some((port, msg)) = local.pop_front() {
+                let site = self.site;
+                self.route_msg(site, port, msg);
+            }
+        }
+    }
+}
+
+/// A handle application threads use to talk to their site. Cloneable and
+/// shareable across threads; works identically against the thread and
+/// socket runtimes.
+#[derive(Clone)]
+pub struct MochaHandle {
+    site: SiteId,
+    tx: Sender<LoopInput>,
+    /// Present in the socket runtime: interrupts the site loop blocked in
+    /// a UDP receive after a request is queued.
+    waker: Option<mocha_net::Waker>,
+}
+
+impl std::fmt::Debug for MochaHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MochaHandle({})", self.site)
+    }
+}
+
+impl MochaHandle {
+    pub(crate) fn new(
+        site: SiteId,
+        tx: Sender<LoopInput>,
+        waker: Option<mocha_net::Waker>,
+    ) -> MochaHandle {
+        MochaHandle { site, tx, waker }
+    }
+
+    /// This handle's site.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    pub(crate) fn push(&self, input: LoopInput) -> Result<(), MochaError> {
+        self.tx.send(input).map_err(|_| MochaError::Shutdown)?;
+        if let Some(w) = &self.waker {
+            w.wake();
+        }
+        Ok(())
+    }
+
+    fn call<T>(&self, build: impl FnOnce(Sender<T>) -> AppRequest) -> Result<T, MochaError> {
+        let (tx, rx) = unbounded();
+        self.push(LoopInput::App(build(tx)))?;
+        rx.recv_timeout(BLOCKING_TIMEOUT)
+            .map_err(|_| MochaError::HomeUnreachable)
+    }
+
+    /// Registers shared replicas guarded by `lock` at this site.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MochaError::Shutdown`] if the site has stopped.
+    pub fn register(&self, lock: LockId, specs: Vec<ReplicaSpec>) -> Result<(), MochaError> {
+        self.call(|reply| AppRequest::Register { lock, specs, reply })
+    }
+
+    /// Sets the availability configuration (UR) for `lock`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MochaError::Shutdown`] if the site has stopped.
+    pub fn set_availability(
+        &self,
+        lock: LockId,
+        avail: AvailabilityConfig,
+    ) -> Result<(), MochaError> {
+        self.call(|reply| AppRequest::SetAvailability { lock, avail, reply })
+    }
+
+    /// Acquires `lock`, blocking until granted and locally consistent —
+    /// the paper's `rlock1.lock()`.
+    ///
+    /// # Errors
+    ///
+    /// [`MochaError::HomeUnreachable`] if the coordinator cannot be
+    /// reached (or the request starves past the blocking timeout).
+    pub fn lock(&self, lock: LockId) -> Result<(), MochaError> {
+        self.lock_reporting(lock).map(|_| ())
+    }
+
+    /// Acquires `lock` exclusively, reporting whether the replica state is
+    /// [`Freshness::Current`] or the freshest *surviving* version after a
+    /// failure ([`Freshness::Stale`] — the paper's weakened consistency).
+    ///
+    /// # Errors
+    ///
+    /// See [`lock`](Self::lock).
+    pub fn lock_reporting(&self, lock: LockId) -> Result<Freshness, MochaError> {
+        self.call(|reply| AppRequest::Lock {
+            lock,
+            lease_ms: 0,
+            mode: LockMode::Exclusive,
+            reply,
+        })?
+    }
+
+    /// Acquires `lock` in shared (read-only) mode: concurrent shared
+    /// holders at different sites may read the replicas simultaneously.
+    ///
+    /// # Errors
+    ///
+    /// See [`lock`](Self::lock).
+    pub fn lock_shared(&self, lock: LockId) -> Result<(), MochaError> {
+        self.call(|reply| AppRequest::Lock {
+            lock,
+            lease_ms: 0,
+            mode: LockMode::Shared,
+            reply,
+        })?
+        .map(|_| ())
+    }
+
+    /// Acquires `lock` declaring an expected hold time (the §4 lease
+    /// hint).
+    ///
+    /// # Errors
+    ///
+    /// See [`lock`](Self::lock).
+    pub fn lock_with_lease(&self, lock: LockId, lease: Duration) -> Result<(), MochaError> {
+        let lease_ms = u32::try_from(lease.as_millis()).unwrap_or(u32::MAX);
+        self.call(|reply| AppRequest::Lock {
+            lock,
+            lease_ms,
+            mode: LockMode::Exclusive,
+            reply,
+        })?
+        .map(|_| ())
+    }
+
+    /// Releases `lock` — the paper's `rlock1.unlock()`. Set `dirty` when
+    /// replicas were modified so the version advances and dissemination
+    /// runs.
+    ///
+    /// # Errors
+    ///
+    /// [`MochaError::NotLocked`] if not held here;
+    /// [`MochaError::LockBroken`] if the coordinator revoked it while
+    /// held.
+    pub fn unlock(&self, lock: LockId, dirty: bool) -> Result<(), MochaError> {
+        self.call(|reply| AppRequest::Unlock { lock, dirty, reply })?
+    }
+
+    /// Reads a replica's current local value (requires holding its lock
+    /// if guarded).
+    ///
+    /// # Errors
+    ///
+    /// [`MochaError::NotLocked`] / [`MochaError::UnknownReplica`].
+    pub fn read(&self, replica: ReplicaId) -> Result<ReplicaPayload, MochaError> {
+        self.call(|reply| AppRequest::Read { replica, reply })?
+    }
+
+    /// Writes a replica's local value (requires holding its lock if
+    /// guarded).
+    ///
+    /// # Errors
+    ///
+    /// [`MochaError::NotLocked`] / [`MochaError::UnknownReplica`].
+    pub fn write(&self, replica: ReplicaId, payload: ReplicaPayload) -> Result<(), MochaError> {
+        self.call(|reply| AppRequest::Write {
+            replica,
+            payload,
+            reply,
+        })?
+    }
+
+    /// Publishes an unsynchronized cached replica's local value to all
+    /// members — the paper's §7 non-synchronization-based consistency
+    /// exploration. No lock is involved; concurrent publications converge
+    /// last-writer-wins.
+    ///
+    /// # Errors
+    ///
+    /// [`MochaError::UnknownReplica`] if not registered here.
+    pub fn publish(&self, replica: ReplicaId) -> Result<(), MochaError> {
+        self.call(|reply| AppRequest::Publish { replica, reply })?
+    }
+
+    /// Spawns a task at `dest` and blocks for its result travel bag — the
+    /// paper's `mocha.spawn("Myhello", p)` followed by collecting the
+    /// `ResultHandle`.
+    ///
+    /// # Errors
+    ///
+    /// [`MochaError::SpawnFailed`] if the task errored remotely;
+    /// [`MochaError::HomeUnreachable`] on timeout.
+    pub fn spawn(
+        &self,
+        dest: SiteId,
+        task_class: &str,
+        params: &Parameter,
+    ) -> Result<TravelBag, MochaError> {
+        self.spawn_async(dest, task_class, params)?.wait()
+    }
+
+    /// Spawns a task without blocking, returning the paper's
+    /// `ResultHandle` to collect later.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MochaError::Shutdown`] if the site has stopped.
+    pub fn spawn_async(
+        &self,
+        dest: SiteId,
+        task_class: &str,
+        params: &Parameter,
+    ) -> Result<ResultHandle, MochaError> {
+        let (tx, rx) = unbounded();
+        self.push(LoopInput::App(AppRequest::Spawn {
+            dest,
+            task_class: task_class.to_string(),
+            params: params.clone(),
+            reply: tx,
+        }))?;
+        Ok(ResultHandle { rx })
+    }
+
+    /// Takes the `mochaPrintln` output collected at this site.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MochaError::Shutdown`] if the site has stopped.
+    pub fn take_prints(&self) -> Result<Vec<String>, MochaError> {
+        self.call(|reply| AppRequest::TakePrints { reply })
+    }
+}

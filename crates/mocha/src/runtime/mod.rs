@@ -1,13 +1,25 @@
 //! Execution runtimes.
 //!
 //! All protocol components are event-driven state machines; this module
-//! provides the two drivers that animate them:
+//! provides the three drivers that animate them:
 //!
 //! * [`sim`] — the deterministic virtual-time runtime built on
 //!   [`mocha_sim`]. Used by every benchmark (calibrated, reproducible
 //!   timings) and by failure-injection tests.
 //! * [`thread`] — a real multi-threaded runtime with a blocking
-//!   application API, used by the runnable examples.
+//!   application API, used by the runnable examples. Transport is an
+//!   in-process reliable channel router.
+//! * [`socket`] — the wide-area deployment runtime: the same protocol
+//!   core over real OS sockets (MochaNet datagrams on UDP, hybrid bulk
+//!   transfers on TCP), one OS process per site via the `mochad` binary.
+//!
+//! The thread and socket runtimes share one protocol core
+//! ([`core`], private) generic over the transport link, and both expose
+//! [`metrics::RuntimeMetrics`] counters mirroring the simulator's
+//! [`mocha_sim::Metrics`].
 
+mod core;
+pub mod metrics;
 pub mod sim;
+pub mod socket;
 pub mod thread;

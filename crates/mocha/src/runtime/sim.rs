@@ -120,7 +120,9 @@ impl SiteHost {
         match port {
             mocha_net::ports::SYNC => match self.coordinator.as_mut() {
                 Some(c) => c.on_msg(now, from, msg, &mut self.sink),
-                None => self.notes.push(format!("SYNC message at non-home {}", self.site)),
+                None => self
+                    .notes
+                    .push(format!("SYNC message at non-home {}", self.site)),
             },
             mocha_net::ports::DAEMON => self.daemon.on_msg(now, from, msg, &mut self.sink),
             mocha_net::ports::APP => {
@@ -136,7 +138,9 @@ impl SiteHost {
         match event {
             TransportEvent::Delivered { from, port, bytes } => match Msg::decode(&bytes) {
                 Ok(msg) => self.route_msg(now, from, port, msg),
-                Err(e) => self.notes.push(format!("undecodable message from {from}: {e}")),
+                Err(e) => self
+                    .notes
+                    .push(format!("undecodable message from {from}: {e}")),
             },
             TransportEvent::MsgAcked { handle, .. } => {
                 self.tags.remove(&handle);
@@ -284,8 +288,12 @@ impl SiteHost {
                     );
                 }
                 // Local components redirect immediately.
-                self.daemon
-                    .on_msg(ctx.now(), me, Msg::SyncMoved { new_home: me }, &mut self.sink);
+                self.daemon.on_msg(
+                    ctx.now(),
+                    me,
+                    Msg::SyncMoved { new_home: me },
+                    &mut self.sink,
+                );
             }
             Ok(HARNESS_SPAWN) => {
                 let dest = SiteId::decode(&mut r).expect("harness spawn dest");
@@ -304,7 +312,8 @@ impl Host for SiteHost {
         if bytes.first() == Some(&HARNESS_PROTO) {
             self.handle_harness(ctx, &bytes);
         } else {
-            self.mux.on_datagram(SiteId::from_raw(from.as_raw()), &bytes);
+            self.mux
+                .on_datagram(SiteId::from_raw(from.as_raw()), &bytes);
         }
         self.pump(ctx);
     }
@@ -522,9 +531,7 @@ impl SimCluster {
     pub fn promote_coordinator(&mut self, old_home: usize, new_home: usize) {
         let log: Vec<(SiteId, Msg)> = {
             let host = self.host_mut(old_home);
-            let coordinator = host
-                .coordinator()
-                .expect("old home had the coordinator");
+            let coordinator = host.coordinator().expect("old home had the coordinator");
             coordinator.log().to_vec()
         };
         let mut w = ByteWriter::new();
@@ -820,12 +827,7 @@ mod tests {
                 .unlock(L),
         );
         cluster.run_until_idle();
-        let latency = cluster.latency_between(
-            1,
-            th,
-            "lock_request:lock1",
-            "lock_acquired:lock1",
-        );
+        let latency = cluster.latency_between(1, th, "lock_request:lock1", "lock_acquired:lock1");
         assert!(latency > Duration::ZERO);
         assert!(latency < Duration::from_millis(100), "latency {latency:?}");
     }

@@ -1,0 +1,846 @@
+//! The real-network runtime: Mocha over OS sockets.
+//!
+//! This driver animates the **same, unmodified** protocol state machines
+//! as the simulator and the thread runtime, but the physical layer is
+//! real: MochaNet datagrams travel over [`std::net::UdpSocket`]s (the
+//! paper's prototype 1, "all communication is performed using Mocha's
+//! network object library"), and in hybrid mode bulk replica data rides a
+//! real [`std::net::TcpStream`] (prototype 2). Each site is one event
+//! loop; sites may share a process (ephemeral loopback ports — the
+//! in-process cluster used by tests and [`examples`]) or run one per OS
+//! process on hosts named by a hostfile (the `mochad` binary).
+//!
+//! ## Anatomy of a site
+//!
+//! ```text
+//!  app threads ──AppRequest──▶ ┌────────────────────────────┐
+//!  TCP receivers ──Envelope──▶ │ site loop (SiteCore)       │──▶ UdpDriver.send
+//!  bulk senders ──BulkDone──▶  │  MochaNetEndpoint (retx,   │◀── UdpDriver.recv
+//!     + Waker (UDP self-wake)  │  frag/reassembly, acks)    │
+//!                              └────────────────────────────┘
+//! ```
+//!
+//! The loop blocks in [`UdpDriver::recv`] until the next timer deadline;
+//! a [`Waker`](mocha_net::Waker) datagram interrupts it when application
+//! threads or TCP helper threads enqueue work. One [`TimerWheel`] per
+//! site carries *both* MochaNet's retransmission timers and the protocol
+//! components' lease/heartbeat/recovery timers, mirroring the simulator's
+//! single event queue.
+//!
+//! Failure detection is exactly the paper's: persistent datagram loss
+//! exhausts MochaNet's retries, surfacing as `SendFailed` /
+//! `PeerUnreachable` transport events that the core routes to the owning
+//! component — the same code path the thread runtime reaches through its
+//! synchronous router and the simulator through simulated loss.
+
+use std::collections::HashMap;
+use std::io::{self, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use mocha_net::mochanet::MochaNetEndpoint;
+use mocha_net::{
+    Action, AddressBook, MsgClass, Port, ProtocolMode, SendHandle, TransportEvent, UdpDriver, Waker,
+};
+use mocha_wire::{Msg, SiteId};
+
+use crate::cmd::SendTag;
+use crate::config::MochaConfig;
+use crate::hostfile::HostFile;
+use crate::runtime::core::{AppRequest, CoreSeed, Envelope, Link, LoopInput, SiteCore};
+use crate::runtime::metrics::{RuntimeCounters, RuntimeMetrics};
+use crate::spawn::TaskRegistry;
+
+pub use crate::runtime::core::{Freshness, MochaHandle, ResultHandle};
+
+/// How long a bulk TCP sender waits to connect / for the receiver's ack
+/// before reporting the transfer failed.
+const TCP_IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Builds an [`AddressBook`] from a [`HostFile`] whose entries carry
+/// `name=ip:port` addresses.
+///
+/// # Errors
+///
+/// `InvalidInput` if any listed site lacks an address; resolution errors
+/// from the OS otherwise.
+pub fn address_book(hosts: &HostFile) -> io::Result<AddressBook> {
+    let mut book = AddressBook::new();
+    for site in hosts.sites() {
+        let Some(addr) = hosts.address_of(*site) else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("hostfile entry for {site} has no address (need name=ip:port)"),
+            ));
+        };
+        book.insert_resolved(*site, addr)?;
+    }
+    Ok(book)
+}
+
+/// The bulk-transfer TCP leg of the hybrid prototype, owned by a site's
+/// [`SocketLink`].
+struct TcpLeg {
+    /// Where each site's bulk listener lives.
+    book: AddressBook,
+    /// Channel back into the *own* site loop (for `BulkDone`).
+    self_tx: Sender<LoopInput>,
+    waker: Waker,
+    counters: Arc<RuntimeCounters>,
+}
+
+/// Frame format on the bulk TCP connection:
+/// `[len: u32 BE][from: u32 BE][port: u16 BE][msg bytes]`, answered by a
+/// single `1` byte once the receiver has queued the message for its loop.
+fn encode_bulk_frame(from: SiteId, port: Port, msg: &Msg) -> Vec<u8> {
+    let body = msg.encode();
+    let len = u32::try_from(body.len() + 6).unwrap_or(u32::MAX);
+    let mut frame = Vec::with_capacity(4 + 6 + body.len());
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.extend_from_slice(&from.0.to_be_bytes());
+    frame.extend_from_slice(&port.to_be_bytes());
+    frame.extend_from_slice(&body);
+    frame
+}
+
+/// Reads one bulk frame off `stream`; `None` on any I/O or decode error
+/// (the sender will see the missing ack and report failure).
+fn read_bulk_frame(stream: &mut TcpStream) -> Option<Envelope> {
+    let mut head = [0u8; 4];
+    stream.read_exact(&mut head).ok()?;
+    let len = u32::from_be_bytes(head) as usize;
+    if !(6..=64 * 1024 * 1024).contains(&len) {
+        return None;
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).ok()?;
+    let from = SiteId(u32::from_be_bytes([body[0], body[1], body[2], body[3]]));
+    let port = Port::from_be_bytes([body[4], body[5]]);
+    let msg = Msg::decode(&body[6..]).ok()?;
+    Some(Envelope { from, port, msg })
+}
+
+/// The socket runtime's [`Link`]: control messages enter the site's
+/// MochaNet endpoint (drained onto UDP by the loop); in hybrid mode bulk
+/// messages get a dedicated sender thread and a real TCP connection.
+struct SocketLink {
+    site: SiteId,
+    endpoint: MochaNetEndpoint,
+    /// Correlates in-flight MochaNet sends with their protocol tags so
+    /// `SendFailed` events can be routed to the owning component.
+    tags: HashMap<SendHandle, SendTag>,
+    next_handle: u64,
+    mode: ProtocolMode,
+    tcp: Option<TcpLeg>,
+}
+
+impl Link for SocketLink {
+    fn deliver(
+        &mut self,
+        to: SiteId,
+        port: Port,
+        msg: Msg,
+        class: MsgClass,
+        tag: &SendTag,
+    ) -> bool {
+        if self.mode == ProtocolMode::Hybrid && class == MsgClass::Bulk {
+            if let Some(leg) = &self.tcp {
+                let Some(addr) = leg.book.addr_of(to) else {
+                    // No bulk address: an immediate, synchronous failure.
+                    return false;
+                };
+                let frame = encode_bulk_frame(self.site, port, &msg);
+                leg.counters.inc_datagrams_sent(frame.len() as u64);
+                let tx = leg.self_tx.clone();
+                let waker = leg.waker.clone();
+                let tag = tag.clone();
+                std::thread::spawn(move || {
+                    let ok = tcp_send_frame(addr, &frame).is_ok();
+                    let _ = tx.send(LoopInput::BulkDone { tag, ok });
+                    waker.wake();
+                });
+                return true;
+            }
+        }
+        self.next_handle += 1;
+        let handle = SendHandle(self.next_handle);
+        if *tag != SendTag::None {
+            self.tags.insert(handle, tag.clone());
+        }
+        self.endpoint.send(to, port, &msg.encode(), handle);
+        // MochaNet reports failures asynchronously (retry exhaustion).
+        true
+    }
+}
+
+/// Connects, ships one frame, and waits for the receiver's ack byte.
+fn tcp_send_frame(addr: SocketAddr, frame: &[u8]) -> io::Result<()> {
+    let mut stream = TcpStream::connect_timeout(&addr, TCP_IO_TIMEOUT)?;
+    stream.set_nodelay(true).ok();
+    stream.write_all(frame)?;
+    stream.set_read_timeout(Some(TCP_IO_TIMEOUT))?;
+    let mut ack = [0u8; 1];
+    stream.read_exact(&mut ack)?;
+    Ok(())
+}
+
+/// Accept loop for a site's bulk listener: one short-lived thread per
+/// incoming transfer reads the frame, queues it for the site loop, wakes
+/// the loop, and acks.
+fn tcp_accept_loop(
+    listener: TcpListener,
+    tx: Sender<LoopInput>,
+    waker: Waker,
+    stop: Arc<AtomicBool>,
+    counters: Arc<RuntimeCounters>,
+) {
+    for conn in listener.incoming() {
+        if stop.load(Relaxed) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        let tx = tx.clone();
+        let waker = waker.clone();
+        let counters = counters.clone();
+        std::thread::spawn(move || {
+            if let Some(env) = read_bulk_frame(&mut stream) {
+                counters.inc_datagrams_delivered();
+                if tx.send(LoopInput::Env(env)).is_ok() {
+                    waker.wake();
+                    let _ = stream.write_all(&[1]);
+                }
+            }
+        });
+    }
+}
+
+/// Drains protocol commands and transport actions until the site is
+/// quiescent: commands feed the endpoint, the endpoint's actions feed the
+/// wire / timers / core, delivered messages feed more commands.
+fn pump(core: &mut SiteCore<SocketLink>, driver: &UdpDriver, book: &AddressBook) {
+    loop {
+        core.process_cmds();
+        let actions = core.link.endpoint.drain_actions();
+        if actions.is_empty() {
+            return;
+        }
+        for action in actions {
+            match action {
+                Action::Transmit { to, datagram } => {
+                    core.counters.inc_datagrams_sent(datagram.len() as u64);
+                    match driver.send(book, to, &datagram) {
+                        Ok(true) => {}
+                        // Dropped on the floor: MochaNet's retransmission
+                        // turns persistent drops into SendFailed.
+                        Ok(false) | Err(_) => core.counters.inc_datagrams_lost(),
+                    }
+                }
+                Action::SetTimer { token, after } => {
+                    core.timers.set(token, after, Instant::now());
+                }
+                Action::CancelTimer { token } => core.timers.cancel(token),
+                Action::Charge(_) => {} // real CPU time passes on its own
+                Action::Event(event) => handle_transport_event(core, event),
+            }
+        }
+    }
+}
+
+fn handle_transport_event(core: &mut SiteCore<SocketLink>, event: TransportEvent) {
+    match event {
+        TransportEvent::Delivered { from, port, bytes } => {
+            if let Ok(msg) = Msg::decode(&bytes) {
+                core.route_msg(from, port, msg);
+            }
+        }
+        TransportEvent::MsgAcked { handle, .. } => {
+            core.link.tags.remove(&handle);
+        }
+        TransportEvent::SendFailed { handle, .. } => {
+            if let Some(tag) = core.link.tags.remove(&handle) {
+                core.counters.inc_sends_failed();
+                core.on_send_failed(&tag);
+            }
+        }
+        TransportEvent::PeerUnreachable { .. } => {
+            // Per-send SendFailed events carry the actionable signal; the
+            // endpoint fails future sends fast until the peer talks again.
+        }
+    }
+}
+
+/// One site's event loop over a real UDP socket.
+fn run_site(
+    mut core: SiteCore<SocketLink>,
+    rx: Receiver<LoopInput>,
+    mut driver: UdpDriver,
+    book: AddressBook,
+) {
+    while !core.stop {
+        pump(&mut core, &driver, &book);
+        let timeout = core
+            .next_deadline()
+            .map(|d| d.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(200));
+        match driver.recv(timeout.max(Duration::from_millis(1))) {
+            Ok(mocha_net::udp::Recv::Datagram(inc)) => {
+                core.counters.inc_datagrams_delivered();
+                core.link.endpoint.on_datagram(inc.from, &inc.datagram);
+            }
+            Ok(mocha_net::udp::Recv::Woken) | Ok(mocha_net::udp::Recv::TimedOut) => {}
+            Err(_) => {
+                // Transient socket error; don't spin.
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        for token in core.fire_due_timers() {
+            // Transport-namespace timers belong to the MochaNet endpoint
+            // (the simulated-TCP namespace is never armed here).
+            core.link.endpoint.on_timer(token);
+        }
+        while let Ok(input) = rx.try_recv() {
+            core.handle_input(input);
+        }
+    }
+}
+
+/// Handles for tearing down one spawned site.
+struct SiteHarness {
+    handle: MochaHandle,
+    join: Option<JoinHandle<()>>,
+    tcp: Option<TcpHarness>,
+}
+
+struct TcpHarness {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+    join: Option<JoinHandle<()>>,
+}
+
+/// Everything needed to boot one site loop.
+struct SiteBootSpec {
+    site: SiteId,
+    home: SiteId,
+    config: MochaConfig,
+    registry: Arc<TaskRegistry>,
+    epoch: Instant,
+    stable_log: Arc<Mutex<Vec<(SiteId, Msg)>>>,
+    counters: Arc<RuntimeCounters>,
+    driver: UdpDriver,
+    book: AddressBook,
+    tcp_listener: Option<TcpListener>,
+    tcp_book: AddressBook,
+}
+
+fn spawn_site(spec: SiteBootSpec) -> io::Result<SiteHarness> {
+    let SiteBootSpec {
+        site,
+        home,
+        config,
+        registry,
+        epoch,
+        stable_log,
+        counters,
+        driver,
+        book,
+        tcp_listener,
+        tcp_book,
+    } = spec;
+    let waker = driver.waker()?;
+    let (tx, rx) = unbounded();
+    let tcp = match tcp_listener {
+        Some(listener) => {
+            let stop = Arc::new(AtomicBool::new(false));
+            let addr = listener.local_addr()?;
+            let join = std::thread::Builder::new()
+                .name(format!("mocha-bulk-{}", site.0))
+                .spawn({
+                    let tx = tx.clone();
+                    let waker = waker.clone();
+                    let stop = stop.clone();
+                    let counters = counters.clone();
+                    move || tcp_accept_loop(listener, tx, waker, stop, counters)
+                })?;
+            Some(TcpHarness {
+                stop,
+                addr,
+                join: Some(join),
+            })
+        }
+        None => None,
+    };
+    let link = SocketLink {
+        site,
+        endpoint: MochaNetEndpoint::new(config.net.mochanet),
+        tags: HashMap::new(),
+        next_handle: 0,
+        mode: config.net.mode,
+        tcp: (config.net.mode == ProtocolMode::Hybrid).then(|| TcpLeg {
+            book: tcp_book,
+            self_tx: tx.clone(),
+            waker: waker.clone(),
+            counters: counters.clone(),
+        }),
+    };
+    let core = SiteCore::new(
+        CoreSeed {
+            site,
+            home,
+            config,
+            registry,
+            epoch,
+            stable_log,
+            counters,
+        },
+        link,
+    );
+    let join = std::thread::Builder::new()
+        .name(format!("mocha-sock-{}", site.0))
+        .spawn(move || run_site(core, rx, driver, book))?;
+    Ok(SiteHarness {
+        handle: MochaHandle::new(site, tx, Some(waker)),
+        join: Some(join),
+        tcp,
+    })
+}
+
+fn teardown(harness: &mut SiteHarness) {
+    let _ = harness.handle.push(LoopInput::App(AppRequest::Stop));
+    if let Some(tcp) = &mut harness.tcp {
+        tcp.stop.store(true, Relaxed);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&tcp.addr, Duration::from_millis(500));
+        if let Some(join) = tcp.join.take() {
+            let _ = join.join();
+        }
+    }
+    if let Some(join) = harness.join.take() {
+        let _ = join.join();
+    }
+}
+
+/// Builder for [`SocketRuntime`] (in-process loopback cluster) and
+/// [`SocketSite`] (one site of a multi-process deployment).
+pub struct SocketRuntimeBuilder {
+    sites: usize,
+    config: MochaConfig,
+    registry: TaskRegistry,
+}
+
+impl SocketRuntimeBuilder {
+    /// Number of sites for [`build`](Self::build) (site 0 is the home
+    /// site). Ignored by [`build_site`](Self::build_site).
+    #[must_use]
+    pub fn sites(mut self, n: usize) -> Self {
+        self.sites = n;
+        self
+    }
+
+    /// Mocha configuration. `config.net.mode` selects the paper's basic
+    /// (MochaNet-only) or hybrid (TCP bulk leg) prototype.
+    #[must_use]
+    pub fn config(mut self, config: MochaConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Task registry for spawn support.
+    #[must_use]
+    pub fn registry(mut self, registry: TaskRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Boots an in-process cluster: every site gets its own UDP socket on
+    /// an ephemeral loopback port (plus a TCP listener in hybrid mode) —
+    /// real sockets, one process. The shape tests and examples use.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/configuration failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites == 0` or the configuration is invalid.
+    pub fn build(self) -> io::Result<SocketRuntime> {
+        assert!(self.sites >= 1);
+        self.config.validate().expect("invalid MochaConfig");
+        let hybrid = self.config.net.mode == ProtocolMode::Hybrid;
+        let loopback: SocketAddr = "127.0.0.1:0".parse().expect("loopback addr");
+        // Bind everything first so the shared address books are complete
+        // before any loop starts.
+        let mut drivers = Vec::new();
+        let mut listeners = Vec::new();
+        let mut book = AddressBook::new();
+        let mut tcp_book = AddressBook::new();
+        for i in 0..self.sites {
+            let site = SiteId(u32::try_from(i).expect("site count fits u32"));
+            let driver = UdpDriver::bind(site, loopback)?;
+            book.insert(site, driver.local_addr()?);
+            drivers.push(driver);
+            if hybrid {
+                let listener = TcpListener::bind(loopback)?;
+                tcp_book.insert(site, listener.local_addr()?);
+                listeners.push(Some(listener));
+            } else {
+                listeners.push(None);
+            }
+        }
+        let registry = Arc::new(self.registry);
+        let counters = Arc::new(RuntimeCounters::default());
+        let epoch = Instant::now();
+        let stable_log = Arc::new(Mutex::new(Vec::new()));
+        let mut harnesses = Vec::new();
+        for (driver, tcp_listener) in drivers.into_iter().zip(listeners) {
+            harnesses.push(spawn_site(SiteBootSpec {
+                site: driver.local_site(),
+                home: SiteId(0),
+                config: self.config,
+                registry: registry.clone(),
+                epoch,
+                stable_log: stable_log.clone(),
+                counters: counters.clone(),
+                driver,
+                book: book.clone(),
+                tcp_listener,
+                tcp_book: tcp_book.clone(),
+            })?);
+        }
+        Ok(SocketRuntime {
+            harnesses,
+            counters,
+        })
+    }
+
+    /// Boots exactly one site of a distributed deployment — the `mochad`
+    /// entry point. `book` must map **every** site (including this one)
+    /// to its UDP address; this site binds its own entry. In hybrid mode
+    /// a TCP listener is bound on the same port (TCP and UDP port spaces
+    /// are disjoint), so one hostfile address serves both legs.
+    ///
+    /// The home site (coordinator) is `book`'s site 0 by convention; pass
+    /// it explicitly as `home`.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` if `site` is missing from `book`; bind failures
+    /// otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn build_site(
+        self,
+        site: SiteId,
+        home: SiteId,
+        book: AddressBook,
+    ) -> io::Result<SocketSite> {
+        self.config.validate().expect("invalid MochaConfig");
+        let Some(bind) = book.addr_of(site) else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("{site} has no address in the book"),
+            ));
+        };
+        let driver = UdpDriver::bind(site, bind)?;
+        let hybrid = self.config.net.mode == ProtocolMode::Hybrid;
+        let tcp_listener = if hybrid {
+            Some(TcpListener::bind(bind)?)
+        } else {
+            None
+        };
+        let counters = Arc::new(RuntimeCounters::default());
+        let harness = spawn_site(SiteBootSpec {
+            site,
+            home,
+            config: self.config,
+            registry: Arc::new(self.registry),
+            epoch: Instant::now(),
+            stable_log: Arc::new(Mutex::new(Vec::new())),
+            counters: counters.clone(),
+            driver,
+            book: book.clone(),
+            tcp_listener,
+            tcp_book: book,
+        })?;
+        Ok(SocketSite { harness, counters })
+    }
+}
+
+/// An in-process cluster of sites talking over real loopback sockets.
+pub struct SocketRuntime {
+    harnesses: Vec<SiteHarness>,
+    counters: Arc<RuntimeCounters>,
+}
+
+impl std::fmt::Debug for SocketRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocketRuntime")
+            .field("sites", &self.harnesses.len())
+            .finish()
+    }
+}
+
+impl SocketRuntime {
+    /// Starts building a runtime. Defaults: 2 sites, default config
+    /// (basic prototype).
+    pub fn builder() -> SocketRuntimeBuilder {
+        SocketRuntimeBuilder {
+            sites: 2,
+            config: MochaConfig::default(),
+            registry: TaskRegistry::new(),
+        }
+    }
+
+    /// The handle for site `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn handle(&self, i: usize) -> MochaHandle {
+        self.harnesses[i].handle.clone()
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> usize {
+        self.harnesses.len()
+    }
+
+    /// A snapshot of the cluster-wide transport/timer counters.
+    pub fn metrics(&self) -> RuntimeMetrics {
+        self.counters.snapshot()
+    }
+
+    /// Stops every site loop and joins all helper threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        for harness in &mut self.harnesses {
+            teardown(harness);
+        }
+    }
+}
+
+impl Drop for SocketRuntime {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// One booted site of a multi-process deployment (see the `mochad`
+/// binary). Applications talk to it through [`handle`](SocketSite::handle)
+/// exactly as with the other runtimes.
+pub struct SocketSite {
+    harness: SiteHarness,
+    counters: Arc<RuntimeCounters>,
+}
+
+impl std::fmt::Debug for SocketSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SocketSite({})", self.harness.handle.site())
+    }
+}
+
+impl SocketSite {
+    /// The handle for this site.
+    pub fn handle(&self) -> MochaHandle {
+        self.harness.handle.clone()
+    }
+
+    /// A snapshot of this process's transport/timer counters.
+    pub fn metrics(&self) -> RuntimeMetrics {
+        self.counters.snapshot()
+    }
+
+    /// Stops the site loop and joins all helper threads.
+    pub fn shutdown(mut self) {
+        teardown(&mut self.harness);
+    }
+}
+
+impl Drop for SocketSite {
+    fn drop(&mut self) {
+        teardown(&mut self.harness);
+    }
+}
+
+/// Convenience: did this process manage to bind a loopback UDP socket?
+/// Tests call this to skip gracefully in network-less sandboxes.
+pub fn loopback_available() -> bool {
+    std::net::UdpSocket::bind("127.0.0.1:0").is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AvailabilityConfig;
+    use crate::replica::{replica_id, ReplicaSpec};
+    use mocha_wire::{LockId, ReplicaPayload};
+
+    const L: LockId = LockId(1);
+
+    fn specs(name: &str) -> Vec<ReplicaSpec> {
+        vec![ReplicaSpec::new(name, ReplicaPayload::empty())]
+    }
+
+    #[test]
+    fn bulk_frame_roundtrips_over_loopback_tcp() {
+        if !loopback_available() {
+            eprintln!("skipping: no loopback sockets");
+            return;
+        }
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let msg = Msg::SyncMoved {
+            new_home: SiteId(3),
+        };
+        let frame = encode_bulk_frame(SiteId(7), 2, &msg);
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let env = read_bulk_frame(&mut stream).unwrap();
+            stream.write_all(&[1]).unwrap();
+            env
+        });
+        tcp_send_frame(addr, &frame).unwrap();
+        let env = server.join().unwrap();
+        assert_eq!(env.from, SiteId(7));
+        assert_eq!(env.port, 2);
+        assert_eq!(
+            env.msg,
+            Msg::SyncMoved {
+                new_home: SiteId(3)
+            }
+        );
+    }
+
+    #[test]
+    fn loopback_cluster_lock_write_read() {
+        if !loopback_available() {
+            eprintln!("skipping: no loopback sockets");
+            return;
+        }
+        let rt = SocketRuntime::builder().sites(2).build().unwrap();
+        let a = rt.handle(0);
+        let b = rt.handle(1);
+        let idx = replica_id("v");
+        a.register(L, specs("v")).unwrap();
+        b.register(L, specs("v")).unwrap();
+
+        a.lock(L).unwrap();
+        a.write(idx, ReplicaPayload::I64s(vec![100])).unwrap();
+        a.unlock(L, true).unwrap();
+
+        // Real UDP carried the grant + daemon-to-daemon transfer here.
+        b.lock(L).unwrap();
+        assert_eq!(b.read(idx).unwrap(), ReplicaPayload::I64s(vec![100]));
+        b.write(idx, ReplicaPayload::I64s(vec![101])).unwrap();
+        b.unlock(L, true).unwrap();
+
+        a.lock(L).unwrap();
+        assert_eq!(a.read(idx).unwrap(), ReplicaPayload::I64s(vec![101]));
+        a.unlock(L, false).unwrap();
+
+        let m = rt.metrics();
+        assert!(m.datagrams_sent > 0, "UDP datagrams actually flowed");
+        assert!(m.datagrams_delivered > 0);
+        assert!(m.msgs_sent > 0);
+        assert!(m.bytes_sent > 0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn hybrid_mode_moves_bulk_data_over_tcp() {
+        if !loopback_available() {
+            eprintln!("skipping: no loopback sockets");
+            return;
+        }
+        let rt = SocketRuntime::builder()
+            .sites(2)
+            .config(MochaConfig::hybrid())
+            .build()
+            .unwrap();
+        let a = rt.handle(0);
+        let b = rt.handle(1);
+        let idx = replica_id("blob");
+        a.register(L, specs("blob")).unwrap();
+        b.register(L, specs("blob")).unwrap();
+
+        // A payload large enough to be unambiguous bulk data.
+        let blob: Vec<i64> = (0..20_000).collect();
+        a.lock(L).unwrap();
+        a.write(idx, ReplicaPayload::I64s(blob.clone())).unwrap();
+        a.unlock(L, true).unwrap();
+
+        b.lock(L).unwrap();
+        assert_eq!(b.read(idx).unwrap(), ReplicaPayload::I64s(blob));
+        b.unlock(L, false).unwrap();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn ur_dissemination_fans_out_over_real_sockets() {
+        if !loopback_available() {
+            eprintln!("skipping: no loopback sockets");
+            return;
+        }
+        let rt = SocketRuntime::builder().sites(3).build().unwrap();
+        let idx = replica_id("shared");
+        for i in 0..3 {
+            rt.handle(i).register(L, specs("shared")).unwrap();
+        }
+        let writer = rt.handle(1);
+        writer
+            .set_availability(
+                L,
+                AvailabilityConfig {
+                    ur: 3,
+                    ..AvailabilityConfig::default()
+                },
+            )
+            .unwrap();
+        writer.lock(L).unwrap();
+        writer
+            .write(idx, ReplicaPayload::Utf8("disseminated".into()))
+            .unwrap();
+        // With UR=3 the release pushes the update to the other replica
+        // holders before completing.
+        writer.unlock(L, true).unwrap();
+
+        // Readers see the value after a local (shared-mode) acquisition —
+        // their daemons already hold the pushed version.
+        for i in [0usize, 2] {
+            let h = rt.handle(i);
+            h.lock(L).unwrap();
+            assert_eq!(
+                h.read(idx).unwrap(),
+                ReplicaPayload::Utf8("disseminated".into())
+            );
+            h.unlock(L, false).unwrap();
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn address_book_from_hostfile_requires_addresses() {
+        let with: HostFile = "site0=127.0.0.1:7100\nsite1=127.0.0.1:7101\n"
+            .parse()
+            .unwrap();
+        let book = address_book(&with).unwrap();
+        assert_eq!(book.len(), 2);
+        assert_eq!(
+            book.addr_of(SiteId(1)),
+            Some("127.0.0.1:7101".parse().unwrap())
+        );
+
+        let without: HostFile = "site0\n".parse().unwrap();
+        assert!(address_book(&without).is_err());
+    }
+}

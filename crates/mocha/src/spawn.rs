@@ -82,8 +82,7 @@ impl fmt::Debug for TaskSpec {
 /// shipped code (§1/§2). A 1997 Java security manager sandboxed bytecode;
 /// here the sandbox boundary is *which* task classes a site accepts and
 /// how much code it will link.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub enum SecurityPolicy {
     /// Accept any registered task from any site.
     #[default]
@@ -99,14 +98,11 @@ impl SecurityPolicy {
     pub fn permits(&self, task_class: &str) -> bool {
         match self {
             SecurityPolicy::AllowAll => true,
-            SecurityPolicy::Allowlist(classes) => {
-                classes.iter().any(|c| c == task_class)
-            }
+            SecurityPolicy::Allowlist(classes) => classes.iter().any(|c| c == task_class),
             SecurityPolicy::DenyAll => false,
         }
     }
 }
-
 
 /// All task classes and code units an application ships.
 #[derive(Debug, Default)]
@@ -324,10 +320,7 @@ impl SiteManager {
                             req,
                             result: {
                                 let mut bag = TravelBag::new();
-                                bag.add(
-                                    "error",
-                                    format!("security policy refuses {task_class:?}"),
-                                );
+                                bag.add("error", format!("security policy refuses {task_class:?}"));
                                 bag.encode()
                             },
                             ok: false,
@@ -566,7 +559,12 @@ mod tests {
     }
 
     /// Shuttles site-manager messages between two managers until quiet.
-    fn pump(home: &mut SiteManager, remote: &mut SiteManager, sink_h: &mut CmdSink, sink_r: &mut CmdSink) {
+    fn pump(
+        home: &mut SiteManager,
+        remote: &mut SiteManager,
+        sink_h: &mut CmdSink,
+        sink_r: &mut CmdSink,
+    ) {
         loop {
             let mut progressed = false;
             for (to, msg) in sends(sink_h) {
@@ -681,7 +679,10 @@ mod tests {
         home.spawn(REMOTE, "Exploder", &Parameter::new(), &mut sh);
         pump(&mut home, &mut remote, &mut sh, &mut sr);
         assert!(!home.outcomes()[0].ok);
-        assert_eq!(home.outcomes()[0].result.get_str("error").unwrap(), "kaboom");
+        assert_eq!(
+            home.outcomes()[0].result.get_str("error").unwrap(),
+            "kaboom"
+        );
     }
 
     #[test]

@@ -286,7 +286,9 @@ impl SyncCoordinator {
                 self.on_heartbeat_ack(now, site, req, holding, sink)
             }
             other => {
-                sink.note(format!("coordinator ignoring unexpected {other:?} from {from}"));
+                sink.note(format!(
+                    "coordinator ignoring unexpected {other:?} from {from}"
+                ));
             }
         }
     }
@@ -366,10 +368,7 @@ impl SyncCoordinator {
             // queue (a waiting exclusive would starve otherwise).
             LockMode::Shared => {
                 state.queue.is_empty()
-                    && state
-                        .holders
-                        .iter()
-                        .all(|h| h.who.mode == LockMode::Shared)
+                    && state.holders.iter().all(|h| h.who.mode == LockMode::Shared)
             }
         };
         if compatible {
@@ -507,7 +506,12 @@ impl SyncCoordinator {
     /// Grants the next compatible batch from the queue: one exclusive
     /// requester, or every consecutive shared requester at the front.
     fn grant_next_batch(&mut self, now: SimTime, lock: LockId, sink: &mut CmdSink) {
-        if !self.locks.get(&lock).map(|s| s.holders.is_empty()).unwrap_or(false) {
+        if !self
+            .locks
+            .get(&lock)
+            .map(|s| s.holders.is_empty())
+            .unwrap_or(false)
+        {
             return; // still held (remaining shared holders)
         }
         let mut granted_any = false;
@@ -556,7 +560,12 @@ impl SyncCoordinator {
         // ReplicaLock "keeps track of the daemon threads associated with
         // these application threads").
         if new_member {
-            let others: Vec<SiteId> = state.members.iter().copied().filter(|s| *s != site).collect();
+            let others: Vec<SiteId> = state
+                .members
+                .iter()
+                .copied()
+                .filter(|s| *s != site)
+                .collect();
             for other in &others {
                 sink.send(
                     *other,
@@ -585,7 +594,12 @@ impl SyncCoordinator {
         } else {
             // Known member registering another replica under the same
             // lock: still propagate the replica association.
-            let others: Vec<SiteId> = state.members.iter().copied().filter(|s| *s != site).collect();
+            let others: Vec<SiteId> = state
+                .members
+                .iter()
+                .copied()
+                .filter(|s| *s != site)
+                .collect();
             for other in others {
                 sink.send(
                     other,
@@ -1009,8 +1023,10 @@ mod tests {
         // S2 was never up to date and version advanced: needs data.
         assert_eq!(grant_flag(&msgs, S2), Some(VersionFlag::NeedNewVersion));
         // A transfer directive went to the last owner's daemon.
-        assert!(msgs.iter().any(|(to, m)| *to == S1
-            && matches!(m, Msg::TransferReplica { dest, .. } if *dest == S2)));
+        assert!(msgs
+            .iter()
+            .any(|(to, m)| *to == S1
+                && matches!(m, Msg::TransferReplica { dest, .. } if *dest == S2)));
         assert_eq!(c.lock_owner(L), Some(S2));
     }
 
@@ -1284,8 +1300,10 @@ mod tests {
         );
         let msgs = sends(&mut sink);
         // The freshest available (HOME at v3) is told to transfer to S2.
-        assert!(msgs.iter().any(|(to, m)| *to == HOME
-            && matches!(m, Msg::TransferReplica { dest, .. } if *dest == S2)));
+        assert!(msgs
+            .iter()
+            .any(|(to, m)| *to == HOME
+                && matches!(m, Msg::TransferReplica { dest, .. } if *dest == S2)));
         assert_eq!(c.stats().stale_recoveries, 1);
         // The adopted version is the surviving one.
         assert_eq!(c.lock_version(L), Some(Version(3)));
@@ -1362,10 +1380,14 @@ mod tests {
         );
         let msgs = sends(&mut sink);
         // S1 learns about S2 and vice versa.
-        assert!(msgs.iter().any(|(to, m)| *to == S1
-            && matches!(m, Msg::RegisterReplica { site, .. } if *site == S2)));
-        assert!(msgs.iter().any(|(to, m)| *to == S2
-            && matches!(m, Msg::RegisterReplica { site, .. } if *site == S1)));
+        assert!(msgs
+            .iter()
+            .any(|(to, m)| *to == S1
+                && matches!(m, Msg::RegisterReplica { site, .. } if *site == S2)));
+        assert!(msgs
+            .iter()
+            .any(|(to, m)| *to == S2
+                && matches!(m, Msg::RegisterReplica { site, .. } if *site == S1)));
         assert_eq!(c.lock_members(L), vec![S1, S2]);
     }
 
@@ -1445,7 +1467,9 @@ mod tests {
         // re-granted.
         c.on_msg(t(2), S1, acquire(S1), &mut sink); // same (S1, T0)
         let msgs = sends(&mut sink);
-        assert!(msgs.iter().any(|(to, m)| *to == S1 && matches!(m, Msg::Grant { .. })));
+        assert!(msgs
+            .iter()
+            .any(|(to, m)| *to == S1 && matches!(m, Msg::Grant { .. })));
         // Still exactly one holder.
         assert_eq!(c.lock_holders(L), vec![S1]);
     }

@@ -168,7 +168,9 @@ impl TravelBag {
         let value = self
             .entries
             .get(key)
-            .ok_or_else(|| MochaError::MissingParameter { key: key.to_string() })?;
+            .ok_or_else(|| MochaError::MissingParameter {
+                key: key.to_string(),
+            })?;
         extract(value).ok_or_else(|| MochaError::ParameterType {
             key: key.to_string(),
             requested,
@@ -238,7 +240,9 @@ impl TravelBag {
                 requested: "str",
                 actual: other.type_name(),
             }),
-            None => Err(MochaError::MissingParameter { key: key.to_string() }),
+            None => Err(MochaError::MissingParameter {
+                key: key.to_string(),
+            }),
         }
     }
 
@@ -255,7 +259,9 @@ impl TravelBag {
                 requested: "bytes",
                 actual: other.type_name(),
             }),
-            None => Err(MochaError::MissingParameter { key: key.to_string() }),
+            None => Err(MochaError::MissingParameter {
+                key: key.to_string(),
+            }),
         }
     }
 
@@ -353,7 +359,9 @@ mod tests {
         let bag = TravelBag::new();
         assert_eq!(
             bag.get_f64("start"),
-            Err(MochaError::MissingParameter { key: "start".into() })
+            Err(MochaError::MissingParameter {
+                key: "start".into()
+            })
         );
     }
 
@@ -374,7 +382,9 @@ mod tests {
     #[test]
     fn encode_decode_roundtrips() {
         let mut bag = TravelBag::new();
-        bag.add("param1", 5).add("start", 0.0).add("name", "Myhello");
+        bag.add("param1", 5)
+            .add("start", 0.0)
+            .add("name", "Myhello");
         let bytes = bag.encode();
         assert_eq!(TravelBag::decode(&bytes).unwrap(), bag);
         // Empty bag too.

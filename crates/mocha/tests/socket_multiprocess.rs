@@ -1,0 +1,145 @@
+//! End-to-end test of the socket runtime across OS process boundaries.
+//!
+//! Spawns real `mochad` daemons on ephemeral loopback ports — one home
+//! (coordinator) process and two worker processes — and drives a full
+//! acquire → transfer → release workload over real UDP. Entry consistency
+//! is asserted at the end: 2 workers × 10 increments under the lock must
+//! leave the shared counter at exactly 20, observed by the home process
+//! (which received every release's UR=3 dissemination push).
+//!
+//! Skips gracefully (passing) when the environment provides no loopback
+//! sockets.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::UdpSocket;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{channel, Receiver};
+use std::time::Duration;
+
+const LINE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A child daemon with its stdout turned into a line channel.
+struct Daemon {
+    child: Child,
+    lines: Receiver<String>,
+}
+
+impl Daemon {
+    fn spawn(hostfile: &std::path::Path, site: u32, workload: &str) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_mochad"))
+            .arg("--hostfile")
+            .arg(hostfile)
+            .arg("--site")
+            .arg(site.to_string())
+            .arg("--ur")
+            .arg("3")
+            .arg("--workload")
+            .arg(workload)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn mochad");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let (tx, lines) = channel();
+        std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                let Ok(line) = line else { break };
+                if tx.send(line).is_err() {
+                    break;
+                }
+            }
+        });
+        Daemon { child, lines }
+    }
+
+    /// Next stdout line starting with `prefix`, panicking on timeout.
+    fn expect_line(&self, prefix: &str) -> String {
+        let deadline = std::time::Instant::now() + LINE_TIMEOUT;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            match self.lines.recv_timeout(remaining) {
+                Ok(line) if line.starts_with(prefix) => return line,
+                Ok(_other) => continue,
+                Err(_) => panic!("timed out waiting for a {prefix:?} line from mochad"),
+            }
+        }
+    }
+
+    fn wait_success(mut self) -> Vec<String> {
+        let status = self.child.wait().expect("wait mochad");
+        assert!(status.success(), "mochad exited with {status}");
+        self.lines.iter().collect()
+    }
+}
+
+/// Reserves `n` distinct loopback UDP ports. The sockets are dropped just
+/// before the daemons bind, so a clash is possible but vanishingly rare.
+fn reserve_ports(n: usize) -> Option<Vec<u16>> {
+    let mut holds = Vec::new();
+    for _ in 0..n {
+        let sock = UdpSocket::bind("127.0.0.1:0").ok()?;
+        holds.push(sock);
+    }
+    Some(
+        holds
+            .iter()
+            .map(|s| s.local_addr().expect("local addr").port())
+            .collect(),
+    )
+}
+
+#[test]
+fn two_workers_increment_across_processes() {
+    let Some(ports) = reserve_ports(3) else {
+        eprintln!("skipping: no loopback sockets in this environment");
+        return;
+    };
+    let dir = std::env::temp_dir().join(format!("mocha-mp-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let hostfile = dir.join("hosts.txt");
+    let contents: String = ports
+        .iter()
+        .enumerate()
+        .map(|(i, p)| format!("site{i}=127.0.0.1:{p}\n"))
+        .collect();
+    std::fs::write(&hostfile, contents).expect("write hostfile");
+
+    // Home first: its READY gates the workers so the coordinator's socket
+    // is live before acquires start (MochaNet would retry through the
+    // skew regardless; this keeps the test quiet and fast).
+    let mut home = Daemon::spawn(&hostfile, 0, "serve");
+    home.expect_line("READY");
+
+    let worker_a = Daemon::spawn(&hostfile, 1, "incr:10");
+    let worker_b = Daemon::spawn(&hostfile, 2, "incr:10");
+
+    let final_a = worker_a.expect_line("FINAL ");
+    let final_b = worker_b.expect_line("FINAL ");
+    let out_a = worker_a.wait_success();
+    let out_b = worker_b.wait_success();
+    assert!(out_a.iter().any(|l| l.starts_with("METRICS ")));
+    assert!(out_b.iter().any(|l| l.starts_with("METRICS ")));
+
+    // Each worker's last read (under the lock) saw at least its own 10
+    // increments and never more than the global total.
+    for line in [&final_a, &final_b] {
+        let n: i64 = line["FINAL ".len()..].trim().parse().expect("FINAL value");
+        assert!((10..=20).contains(&n), "implausible FINAL: {line}");
+    }
+
+    // Entry consistency across processes: the home acquires the lock and
+    // must observe every increment from both (now exited) workers.
+    let stdin = home.child.stdin.as_mut().expect("piped stdin");
+    stdin.write_all(b"read\n").expect("request read");
+    stdin.flush().expect("flush");
+    let value = home.expect_line("VALUE ");
+    assert_eq!(value.trim(), "VALUE 20", "lost or duplicated increments");
+
+    // EOF on stdin shuts the home down; it must report metrics on exit.
+    drop(home.child.stdin.take());
+    let out_home = home.wait_success();
+    assert!(out_home.iter().any(|l| l.starts_with("METRICS ")));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

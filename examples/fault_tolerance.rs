@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..4 {
         rt.handle(i).register(
             lock,
-            vec![ReplicaSpec::new("document", ReplicaPayload::Utf8(String::new()))],
+            vec![ReplicaSpec::new(
+                "document",
+                ReplicaPayload::Utf8(String::new()),
+            )],
         )?;
     }
 
@@ -80,13 +83,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reborn = rt.restart_site(1);
     reborn.register(
         lock,
-        vec![ReplicaSpec::new("document", ReplicaPayload::Utf8(String::new()))],
+        vec![ReplicaSpec::new(
+            "document",
+            ReplicaPayload::Utf8(String::new()),
+        )],
     )?;
     reborn.lock(lock)?;
     let value = reborn.read(doc)?;
     reborn.unlock(lock, false)?;
     println!("rebooted site 1 rejoined and reads: {value:?}");
-    assert_eq!(value, ReplicaPayload::Utf8("v1: the important update".into()));
+    assert_eq!(
+        value,
+        ReplicaPayload::Utf8("v1: the important update".into())
+    );
 
     rt.shutdown();
     println!("failure handling demonstrated.");

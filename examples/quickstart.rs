@@ -32,17 +32,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut workers = Vec::new();
     for i in 0..3 {
         let h = rt.handle(i);
-        workers.push(std::thread::spawn(move || -> Result<(), mocha::MochaError> {
-            for _ in 0..10 {
-                h.lock(lock)?;
-                let ReplicaPayload::I32s(v) = h.read(counter)? else {
-                    unreachable!("counter is an int array");
-                };
-                h.write(counter, ReplicaPayload::I32s(vec![v[0] + 1]))?;
-                h.unlock(lock, true)?;
-            }
-            Ok(())
-        }));
+        workers.push(std::thread::spawn(
+            move || -> Result<(), mocha::MochaError> {
+                for _ in 0..10 {
+                    h.lock(lock)?;
+                    let ReplicaPayload::I32s(v) = h.read(counter)? else {
+                        unreachable!("counter is an int array");
+                    };
+                    h.write(counter, ReplicaPayload::I32s(vec![v[0] + 1]))?;
+                    h.unlock(lock, true)?;
+                }
+                Ok(())
+            },
+        ));
     }
     for w in workers {
         w.join().expect("worker thread")?;

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..SITES {
         let specs = (0..SITES)
             .map(|j| {
-                ReplicaSpec::new(format!("status:{j}"), ReplicaPayload::Utf8("offline".into()))
+                ReplicaSpec::new(
+                    format!("status:{j}"),
+                    ReplicaPayload::Utf8("offline".into()),
+                )
             })
             .collect();
         rt.handle(i).register(UNGUARDED, specs)?;
@@ -32,17 +35,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::thread::sleep(Duration::from_millis(150));
 
     // Everyone publishes their own status concurrently.
-    let statuses = ["browsing flatware", "checking out", "idle", "comparing plates"];
+    let statuses = [
+        "browsing flatware",
+        "checking out",
+        "idle",
+        "comparing plates",
+    ];
     let mut workers = Vec::new();
     for (i, status) in statuses.iter().enumerate() {
         let h = rt.handle(i);
         let status = status.to_string();
-        workers.push(std::thread::spawn(move || -> Result<(), mocha::MochaError> {
-            let cell = replica_id(&format!("status:{i}"));
-            h.write(cell, ReplicaPayload::Utf8(status))?;
-            h.publish(cell)?;
-            Ok(())
-        }));
+        workers.push(std::thread::spawn(
+            move || -> Result<(), mocha::MochaError> {
+                let cell = replica_id(&format!("status:{i}"));
+                h.write(cell, ReplicaPayload::Utf8(status))?;
+                h.publish(cell)?;
+                Ok(())
+            },
+        ));
     }
     for w in workers {
         w.join().expect("worker")?;

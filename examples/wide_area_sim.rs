@@ -56,8 +56,7 @@ fn main() {
     );
     let lock_latency =
         cluster.latency_between(2, reader, "lock_request:lock1", "lock_granted:lock1");
-    let transfer =
-        cluster.latency_between(2, reader, "lock_granted:lock1", "data_ready:lock1");
+    let transfer = cluster.latency_between(2, reader, "lock_granted:lock1", "data_ready:lock1");
     println!("lock acquisition: {lock_latency:?} (paper Table 1: ~19 ms)");
     println!("replica transfer: {transfer:?}");
     println!(

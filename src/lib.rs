@@ -28,7 +28,9 @@ pub mod prelude {
     pub use mocha::app::Script;
     pub use mocha::config::{AvailabilityConfig, MochaConfig};
     pub use mocha::replica::{replica_id, ObjectReplica, ReplicaSpec, SharedState};
+    pub use mocha::runtime::metrics::RuntimeMetrics;
     pub use mocha::runtime::sim::SimCluster;
+    pub use mocha::runtime::socket::{SocketRuntime, SocketSite};
     pub use mocha::runtime::thread::{Freshness, MochaHandle, ThreadRuntime};
     pub use mocha::travelbag::{Parameter, TravelBag, Value};
     pub use mocha::MochaError;

@@ -117,7 +117,10 @@ fn stale_publication_is_discarded() {
             .publish(note),
     );
     c.run_until_idle();
-    assert_eq!(c.replica_value(1, note), Some(ReplicaPayload::I32s(vec![2])));
+    assert_eq!(
+        c.replica_value(1, note),
+        Some(ReplicaPayload::I32s(vec![2]))
+    );
 }
 
 #[test]

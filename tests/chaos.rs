@@ -124,17 +124,18 @@ fn chaos_run(seed: u64, sites: usize) {
     c.run_for(Duration::from_secs(10));
     let mut readers = Vec::new();
     for site in 0..sites {
-        let th = c.add_script(
-            site,
-            Script::new().lock(L).read(idx).unlock(L).mark("done"),
-        );
+        let th = c.add_script(site, Script::new().lock(L).read(idx).unlock(L).mark("done"));
         readers.push((site, th));
         // Sequential read rounds keep the schedule simple; the window
         // covers a full data-retry cycle for a stuck grantee.
         c.run_for(Duration::from_secs(30));
     }
     for (site, th) in readers {
-        let labels: Vec<String> = c.records(site, th).iter().map(|r| r.label.clone()).collect();
+        let labels: Vec<String> = c
+            .records(site, th)
+            .iter()
+            .map(|r| r.label.clone())
+            .collect();
         assert!(
             labels.contains(&"done".to_string()),
             "seed {seed}: site {site} never completed its final read: {labels:?}"

@@ -320,7 +320,10 @@ fn lossy_wan_still_converges() {
             .unlock(L),
     );
     c.run_until_idle();
-    assert!(c.world().metrics().datagrams_lost > 0, "loss actually occurred");
+    assert!(
+        c.world().metrics().datagrams_lost > 0,
+        "loss actually occurred"
+    );
     assert_eq!(
         c.observed_payloads(0),
         vec![ReplicaPayload::I32s(vec![3])],

@@ -47,10 +47,7 @@ fn short_partition_is_absorbed_by_retransmission() {
 fn long_partition_strands_then_retry_recovers_after_heal() {
     let mut c = SimCluster::builder().sites(3).build();
     let idx = replica_id("x");
-    c.add_script(
-        0,
-        Script::new().register(L, &["x"]).lock(L).unlock(L),
-    );
+    c.add_script(0, Script::new().register(L, &["x"]).lock(L).unlock(L));
     let th = c.add_script(
         1,
         Script::new()
@@ -84,10 +81,7 @@ fn long_partition_strands_then_retry_recovers_after_heal() {
     );
     assert!(labels.contains(&"lock_acquired:lock1".to_string()));
     // The write committed after recovery.
-    assert_eq!(
-        c.replica_value(1, idx),
-        Some(ReplicaPayload::I32s(vec![3]))
-    );
+    assert_eq!(c.replica_value(1, idx), Some(ReplicaPayload::I32s(vec![3])));
 }
 
 #[test]
@@ -127,4 +121,3 @@ fn partitioned_member_missed_pushes_are_replaced() {
         .count();
     assert!(got >= 1, "a reachable member received the push");
 }
-

@@ -60,8 +60,8 @@ fn drive(ops: &[ClientOp], clients: usize) -> Result<(), TestCaseError> {
 
     // Process the coordinator's outgoing grants against the model.
     let absorb = |c: &mut SyncCoordinator,
-                      sink: &mut CmdSink,
-                      model: &mut Model|
+                  sink: &mut CmdSink,
+                  model: &mut Model|
      -> Result<(), TestCaseError> {
         for cmd in sink.drain() {
             if let Cmd::Send {
@@ -100,10 +100,7 @@ fn drive(ops: &[ClientOp], clients: usize) -> Result<(), TestCaseError> {
                     );
                 } else {
                     prop_assert!(
-                        model
-                            .holding
-                            .iter()
-                            .all(|(_, m, _)| *m == LockMode::Shared),
+                        model.holding.iter().all(|(_, m, _)| *m == LockMode::Shared),
                         "shared granted alongside an exclusive holder"
                     );
                 }

@@ -35,9 +35,19 @@ fn fingerprint(c: &SyncCoordinator) -> Vec<(LockId, String)> {
 
 #[derive(Debug, Clone, Copy)]
 enum Step {
-    Register { client: usize, lock: u32 },
-    Request { client: usize, lock: u32, shared: bool },
-    ReleaseOldest { lock: u32, dirty: bool },
+    Register {
+        client: usize,
+        lock: u32,
+    },
+    Request {
+        client: usize,
+        lock: u32,
+        shared: bool,
+    },
+    ReleaseOldest {
+        lock: u32,
+        dirty: bool,
+    },
 }
 
 proptest! {

@@ -14,7 +14,10 @@ fn payload_strategy() -> impl Strategy<Value = ReplicaPayload> {
         proptest::collection::vec(any::<i64>(), 0..100).prop_map(ReplicaPayload::I64s),
         proptest::collection::vec(any::<f64>(), 0..100).prop_map(ReplicaPayload::F64s),
         "[ -~]{0,200}".prop_map(ReplicaPayload::Utf8),
-        ("[A-Za-z.]{1,40}", proptest::collection::vec(any::<u8>(), 0..300))
+        (
+            "[A-Za-z.]{1,40}",
+            proptest::collection::vec(any::<u8>(), 0..300)
+        )
             .prop_map(|(type_name, bytes)| ReplicaPayload::Object { type_name, bytes }),
     ]
 }
@@ -28,8 +31,14 @@ fn update_strategy() -> impl Strategy<Value = ReplicaUpdate> {
 
 fn msg_strategy() -> impl Strategy<Value = Msg> {
     prop_oneof![
-        (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<bool>()).prop_map(
-            |(l, s, t, ms, shared)| Msg::AcquireLock {
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<bool>()
+        )
+            .prop_map(|(l, s, t, ms, shared)| Msg::AcquireLock {
                 lock: LockId(l),
                 site: SiteId(s),
                 thread: ThreadId(t),
@@ -39,8 +48,7 @@ fn msg_strategy() -> impl Strategy<Value = Msg> {
                 } else {
                     LockMode::Exclusive
                 },
-            }
-        ),
+            }),
         (any::<u32>(), any::<u64>(), any::<bool>()).prop_map(|(l, v, ok)| Msg::Grant {
             lock: LockId(l),
             version: Version(v),
@@ -78,7 +86,11 @@ fn msg_strategy() -> impl Strategy<Value = Msg> {
             lock: LockId(l),
             req: RequestId(r),
         }),
-        ("[A-Za-z]{1,30}", proptest::collection::vec(any::<u8>(), 0..200), any::<u64>())
+        (
+            "[A-Za-z]{1,30}",
+            proptest::collection::vec(any::<u8>(), 0..200),
+            any::<u64>()
+        )
             .prop_map(|(class, code, r)| Msg::CodeResponse {
                 class,
                 code,
@@ -95,7 +107,9 @@ fn value_strategy() -> impl Strategy<Value = Value> {
     prop_oneof![
         any::<i32>().prop_map(Value::I32),
         any::<i64>().prop_map(Value::I64),
-        any::<f64>().prop_filter("NaN breaks equality", |f| !f.is_nan()).prop_map(Value::F64),
+        any::<f64>()
+            .prop_filter("NaN breaks equality", |f| !f.is_nan())
+            .prop_map(Value::F64),
         any::<bool>().prop_map(Value::Bool),
         "[ -~]{0,60}".prop_map(Value::Str),
         proptest::collection::vec(any::<u8>(), 0..100).prop_map(Value::Bytes),

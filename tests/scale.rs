@@ -62,7 +62,10 @@ fn twelve_sites_three_locks_mixed_modes_converge() {
     // coordinator.
     for l in locks {
         let grants = c.coordinator_stats().grants;
-        assert!(grants >= 24, "12 exclusive + 24 shared grants, got {grants}");
+        assert!(
+            grants >= 24,
+            "12 exclusive + 24 shared grants, got {grants}"
+        );
         let v = (0..SITES)
             .map(|s| c.daemon_version(s, l))
             .max()
@@ -100,17 +103,16 @@ fn heterogeneous_cpus_affect_latency_not_correctness() {
             );
         }
         let end = c.run_until_idle();
-        (
-            c.daemon_version(5, l),
-            c.coordinator_stats().grants,
-            end,
-        )
+        (c.daemon_version(5, l), c.coordinator_stats().grants, end)
     };
     let (v_homo, g_homo, t_homo) = run(false);
     let (v_het, g_het, t_het) = run(true);
     assert_eq!(v_homo, v_het);
     assert_eq!(g_homo, g_het);
-    assert!(t_het > t_homo, "slower CPUs take longer: {t_homo} vs {t_het}");
+    assert!(
+        t_het > t_homo,
+        "slower CPUs take longer: {t_homo} vs {t_het}"
+    );
 }
 
 #[test]

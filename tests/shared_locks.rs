@@ -43,7 +43,10 @@ fn concurrent_shared_readers_overlap() {
     c.run_until_idle();
     for site in 1..3 {
         assert!(c.all_done(site), "site {site}: {:?}", c.failures(site));
-        assert_eq!(c.observed_payloads(site), vec![ReplicaPayload::I32s(vec![5])]);
+        assert_eq!(
+            c.observed_payloads(site),
+            vec![ReplicaPayload::I32s(vec![5])]
+        );
     }
     // Both shared acquisitions were granted before either released: their
     // lock_acquired timestamps must both precede both unlock timestamps.
@@ -65,7 +68,10 @@ fn concurrent_shared_readers_overlap() {
                 .unwrap()
         })
         .collect();
-    assert!(acq[0] < rel[1] && acq[1] < rel[0], "shared holds overlapped");
+    assert!(
+        acq[0] < rel[1] && acq[1] < rel[0],
+        "shared holds overlapped"
+    );
 }
 
 #[test]
@@ -190,8 +196,11 @@ fn thread_runtime_shared_locks_block_writes() {
     let b = rt.handle(1);
     let idx = replica_id("x");
     for h in [&a, &b] {
-        h.register(L, vec![ReplicaSpec::new("x", ReplicaPayload::I32s(vec![7]))])
-            .unwrap();
+        h.register(
+            L,
+            vec![ReplicaSpec::new("x", ReplicaPayload::I32s(vec![7]))],
+        )
+        .unwrap();
     }
     // Both sites hold shared simultaneously.
     a.lock_shared(L).unwrap();

@@ -58,7 +58,11 @@ fn surrogate_takes_over_and_strands_recover() {
     c.promote_coordinator(0, 3);
     c.run_for(Duration::from_secs(20));
 
-    assert!(c.all_done(2), "stranded thread recovered: {:?}", c.failures(2));
+    assert!(
+        c.all_done(2),
+        "stranded thread recovered: {:?}",
+        c.failures(2)
+    );
     let labels: Vec<String> = c.records(2, th).iter().map(|r| r.label.clone()).collect();
     assert!(
         labels.contains(&"home_unreachable:lock1".to_string()),
@@ -68,7 +72,10 @@ fn surrogate_takes_over_and_strands_recover() {
         labels.contains(&"reacquire_at_surrogate:lock1".to_string()),
         "{labels:?}"
     );
-    assert!(labels.contains(&"lock_acquired:lock1".to_string()), "{labels:?}");
+    assert!(
+        labels.contains(&"lock_acquired:lock1".to_string()),
+        "{labels:?}"
+    );
     // The replayed state preserved the version history: site 2 saw v1's
     // data and produced v2.
     assert_eq!(c.observed_payloads(2), vec![ReplicaPayload::I32s(vec![1])]);
@@ -95,10 +102,7 @@ fn surrogate_inherits_membership_and_serves_later_clients() {
     c.run_for(Duration::from_millis(500));
     // A brand-new lock user after the takeover: served by the surrogate,
     // receiving the pre-crash data.
-    c.add_script(
-        3,
-        Script::new().lock(L).read(idx).unlock(L),
-    );
+    c.add_script(3, Script::new().lock(L).read(idx).unlock(L));
     c.run_for(Duration::from_secs(10));
     assert!(c.all_done(3), "{:?}", c.failures(3));
     assert_eq!(
@@ -139,14 +143,19 @@ fn lock_held_across_takeover_is_reclaimed_by_lease() {
     // A waiter arrives at the surrogate.
     let th = c.add_script(
         2,
-        Script::new().sleep(Duration::from_millis(200)).lock(L).unlock(L),
+        Script::new()
+            .sleep(Duration::from_millis(200))
+            .lock(L)
+            .unlock(L),
     );
     c.run_for(Duration::from_secs(30));
     assert!(c.all_done(2), "{:?}", c.failures(2));
     let labels: Vec<String> = c.records(2, th).iter().map(|r| r.label.clone()).collect();
-    assert!(labels.contains(&"lock_acquired:lock1".to_string()), "{labels:?}");
+    assert!(
+        labels.contains(&"lock_acquired:lock1".to_string()),
+        "{labels:?}"
+    );
 }
-
 
 #[test]
 fn takeover_preserves_concurrent_shared_holders() {
@@ -232,12 +241,19 @@ fn phantom_hold_after_takeover_self_heals() {
     // A waiter at site 2: if the phantom hold persisted, this would hang.
     let th = c.add_script(
         2,
-        Script::new().sleep(Duration::from_millis(300)).lock(L).read(idx).unlock(L),
+        Script::new()
+            .sleep(Duration::from_millis(300))
+            .lock(L)
+            .read(idx)
+            .unlock(L),
     );
     c.run_for(Duration::from_secs(30));
     assert!(c.all_done(2), "{:?}", c.failures(2));
     let labels: Vec<String> = c.records(2, th).iter().map(|r| r.label.clone()).collect();
-    assert!(labels.contains(&"lock_acquired:lock1".to_string()), "{labels:?}");
+    assert!(
+        labels.contains(&"lock_acquired:lock1".to_string()),
+        "{labels:?}"
+    );
     // The *surrogate* cleared the phantom via the hold-check instead of
     // breaking the lock (the pre-crash coordinator may have broken it on
     // its own before dying; that instance's stats are irrelevant).

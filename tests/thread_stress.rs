@@ -57,6 +57,20 @@ fn many_threads_many_sites_increment_atomically() {
         read_counter(&rt),
         (SITES * THREADS_PER_SITE) as i64 * INCREMENTS
     );
+    // The runtime-level counters (the real-execution mirror of the
+    // simulator's Metrics) observed the protocol traffic: every remote
+    // send was delivered, nothing failed, and all workers' cross-site
+    // acquires generated real envelope traffic.
+    let m = rt.metrics();
+    assert!(m.msgs_sent > 0, "cross-site messages were counted");
+    assert!(m.msgs_delivered > 0);
+    assert!(
+        m.msgs_delivered <= m.msgs_sent,
+        "delivered more than was sent: {m}"
+    );
+    assert_eq!(m.datagrams_lost, 0, "no site died in this scenario: {m}");
+    assert_eq!(m.sends_failed, 0, "{m}");
+    assert!(m.datagrams_delivered >= m.msgs_delivered);
     rt.shutdown();
 }
 
