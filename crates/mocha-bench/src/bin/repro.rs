@@ -77,6 +77,12 @@ fn main() {
     if all || what == "smallmsg" {
         smallmsg();
     }
+    if all || what == "transport" {
+        transport();
+    }
+    if what == "transport-smoke" {
+        transport_smoke();
+    }
     if all || what == "app" {
         app();
     }
@@ -186,6 +192,67 @@ fn smallmsg() {
             ms(t),
             t.as_secs_f64() / m.as_secs_f64()
         );
+    }
+}
+
+fn transport() {
+    use mocha_bench::transport::{loss_sweep, mode_name, write_json, TRANSPORT_MSGS};
+
+    println!();
+    println!("Transport loss sweep: adaptive selective repeat vs go-back-N baseline");
+    println!("({TRANSPORT_MSGS} small messages, 5 ms one-way virtual link)");
+    println!("-----------------------------------------------------------------------");
+    println!(
+        "  {:<17} {:>5} {:>10} {:>12} {:>7} {:>6} {:>9} {:>12}",
+        "mode", "loss", "goodput/s", "retx bytes", "retx", "fast", "backoffs", "unreachable"
+    );
+    let points = loss_sweep();
+    for p in &points {
+        println!(
+            "  {:<17} {:>4}% {:>10} {:>12} {:>7} {:>6} {:>9} {:>12}",
+            mode_name(p.mode),
+            p.loss_pct,
+            p.goodput_bytes_per_sec,
+            p.retransmitted_bytes,
+            p.retransmits,
+            p.fast_retransmits,
+            p.rto_backoffs,
+            p.spurious_unreachable,
+        );
+    }
+    let path = std::path::Path::new("BENCH_transport.json");
+    write_json(path, &points).expect("write BENCH_transport.json");
+    println!("  wrote {}", path.display());
+}
+
+/// The CI smoke point: both strategies at 0 % loss must deliver everything
+/// with zero retransmissions and zero unreachable verdicts.
+fn transport_smoke() {
+    use mocha_bench::transport::{mode_name, run_point, TRANSPORT_MSGS};
+    use mocha_net::ArqMode;
+
+    println!();
+    println!("Transport smoke (0% loss)");
+    println!("--------------------------");
+    let mut failed = false;
+    for mode in [ArqMode::SelectiveRepeat, ArqMode::GoBackN] {
+        let p = run_point(mode, 0, 1);
+        let ok = p.delivered == TRANSPORT_MSGS
+            && p.retransmits + p.fast_retransmits == 0
+            && p.spurious_unreachable == 0;
+        println!(
+            "  [{}] {:<17} delivered {}/{}  retx {}  unreachable {}",
+            if ok { "PASS" } else { "FAIL" },
+            mode_name(p.mode),
+            p.delivered,
+            TRANSPORT_MSGS,
+            p.retransmits + p.fast_retransmits,
+            p.spurious_unreachable,
+        );
+        failed |= !ok;
+    }
+    if failed {
+        std::process::exit(1);
     }
 }
 

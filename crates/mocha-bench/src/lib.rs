@@ -30,6 +30,7 @@ use mocha_wire::message::ReplicaUpdate;
 use mocha_wire::{LockId, ReplicaId, ReplicaPayload};
 
 pub mod smallmsg;
+pub mod transport;
 
 /// The network environment of a scenario — the paper's two testbeds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -109,6 +109,10 @@ pub enum TransportEvent {
         to: SiteId,
         /// The send this acknowledges.
         handle: SendHandle,
+        /// Round-trip sample for the message's final fragment, when one
+        /// exists (`None` if that fragment was ever retransmitted —
+        /// Karn's rule — or the transport keeps no per-send timing).
+        rtt: Option<Duration>,
     },
     /// The identified send was abandoned after exhausting retries — the
     /// timeout signal Mocha's failure detection is built on (§4).

@@ -14,19 +14,52 @@ pub enum ProtocolMode {
     Hybrid,
 }
 
+/// Retransmission strategy for lost MochaNet fragments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArqMode {
+    /// SACK-driven selective repeat: only the fragments the receiver
+    /// reports missing are retransmitted, and three duplicate cumulative
+    /// acks fast-retransmit the gap fragment without waiting for the RTO.
+    #[default]
+    SelectiveRepeat,
+    /// Classic go-back-N: an RTO expiry retransmits the entire in-flight
+    /// window. Kept as the baseline the loss-sweep benchmarks compare
+    /// against.
+    GoBackN,
+}
+
+/// Floor on a configuration's guaranteed retry patience: a transient
+/// blackhole shorter than this must never get a peer declared
+/// unreachable (the paper's WAN setting makes shorter verdicts false
+/// failures that cascade into lock breaking).
+pub const MIN_PATIENCE: Duration = Duration::from_millis(500);
+
 /// Tuning for the MochaNet user-level protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MochaNetConfig {
     /// Maximum payload bytes per fragment datagram.
     pub mtu: usize,
-    /// Maximum fragments in flight per peer.
+    /// Upper bound on fragments in flight per peer; the congestion
+    /// window opens toward this by slow start / AIMD.
     pub window: usize,
-    /// Retransmission timeout.
+    /// Initial retransmission timeout, used toward a peer until the
+    /// first RTT sample exists; thereafter the Jacobson/Karels estimate
+    /// (SRTT + 4·RTTVAR) takes over.
     pub rto: Duration,
+    /// Lower clamp on the adaptive RTO.
+    pub min_rto: Duration,
+    /// Upper clamp on the adaptive RTO, including exponential backoff.
+    /// This bounds worst-case failure detection at roughly
+    /// `max_retries · max_rto`, so it is kept tight (1 s by default):
+    /// MochaNet's timeouts double as Mocha's liveness detector.
+    pub max_rto: Duration,
     /// Retransmission rounds before the peer is declared unreachable and
     /// pending sends fail — MochaNet's contribution to Mocha's
-    /// timeout-based failure detection.
+    /// timeout-based failure detection. Each consecutive round doubles
+    /// the RTO (bounded by `max_rto`).
     pub max_retries: u32,
+    /// Retransmission strategy.
+    pub arq: ArqMode,
 }
 
 impl Default for MochaNetConfig {
@@ -35,12 +68,31 @@ impl Default for MochaNetConfig {
             mtu: 1400,
             window: 32,
             rto: Duration::from_millis(150),
-            max_retries: 5,
+            min_rto: Duration::from_millis(50),
+            max_rto: Duration::from_secs(1),
+            max_retries: 7,
+            arq: ArqMode::SelectiveRepeat,
         }
     }
 }
 
 impl MochaNetConfig {
+    /// The minimum time between a fragment's first transmission and the
+    /// peer being declared unreachable, assuming every retransmission
+    /// round runs at the fastest (fully clamped) RTO the backoff
+    /// schedule allows.
+    pub fn min_patience(&self) -> Duration {
+        let mut total = Duration::ZERO;
+        for round in 0..=self.max_retries.min(32) {
+            let rto = self
+                .min_rto
+                .saturating_mul(1u32 << round.min(16))
+                .min(self.max_rto);
+            total = total.saturating_add(rto);
+        }
+        total
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -55,6 +107,20 @@ impl MochaNetConfig {
         }
         if self.rto.is_zero() {
             return Err("rto must be positive".into());
+        }
+        if self.min_rto.is_zero() {
+            return Err("min_rto must be positive".into());
+        }
+        if self.max_rto < self.min_rto {
+            return Err("max_rto must be at least min_rto".into());
+        }
+        let patience = self.min_patience();
+        if patience < MIN_PATIENCE {
+            return Err(format!(
+                "retry budget too small: worst-case patience {patience:?} is below the \
+                 {MIN_PATIENCE:?} floor (a transient blackhole would falsely kill peers); \
+                 raise max_retries, min_rto, or max_rto"
+            ));
         }
         Ok(())
     }
@@ -175,6 +241,12 @@ mod tests {
         let mut c = MochaNetConfig::default();
         c.rto = Duration::ZERO;
         assert!(c.validate().is_err());
+        let mut c = MochaNetConfig::default();
+        c.min_rto = Duration::ZERO;
+        assert!(c.validate().is_err());
+        let mut c = MochaNetConfig::default();
+        c.max_rto = Duration::from_millis(1);
+        assert!(c.validate().is_err());
 
         let mut t = TcpConfig::default();
         t.mss = 0;
@@ -185,5 +257,34 @@ mod tests {
         let mut t = TcpConfig::default();
         t.rto = Duration::ZERO;
         assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn impatient_retry_budgets_rejected() {
+        // One 50 ms round and one 100 ms round: 150 ms of patience — a
+        // 500 ms blackhole would falsely kill the peer.
+        let mut c = MochaNetConfig::default();
+        c.max_retries = 1;
+        assert_eq!(c.min_patience(), Duration::from_millis(150));
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("retry budget too small"), "{err}");
+
+        // Backoff rescues a small retry count: 3 retries with a 100 ms
+        // floor gives 100+200+400+800 = 1.5 s.
+        let mut c = MochaNetConfig::default();
+        c.max_retries = 3;
+        c.min_rto = Duration::from_millis(100);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn min_patience_respects_max_rto_cap() {
+        let mut c = MochaNetConfig::default();
+        c.min_rto = Duration::from_millis(400);
+        c.max_rto = Duration::from_millis(500);
+        c.max_retries = 2;
+        // Rounds: 400, min(800, 500)=500, min(1600, 500)=500.
+        assert_eq!(c.min_patience(), Duration::from_millis(1400));
+        c.validate().unwrap();
     }
 }

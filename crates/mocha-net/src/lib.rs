@@ -34,7 +34,8 @@ pub mod tcp;
 pub mod udp;
 
 pub use action::{Action, MsgClass, Port, SendHandle, TransportEvent};
-pub use config::{MochaNetConfig, NetConfig, ProtocolMode, TcpConfig};
+pub use config::{ArqMode, MochaNetConfig, NetConfig, ProtocolMode, TcpConfig, MIN_PATIENCE};
+pub use mochanet::TransportStats;
 pub use mux::TransportMux;
 pub use udp::{AddressBook, TimerWheel, UdpDriver, Waker};
 

@@ -10,32 +10,58 @@
 //! protocols such as TCP."
 //!
 //! There is **no connection establishment**: the first datagram to a peer
-//! is data. Reliability is per-fragment sequence numbers with cumulative
-//! acks and a go-back-N retransmission timer per peer. Fragmentation and
-//! reassembly run *at user level as interpreted code*, so every datagram
-//! charges [`Work::events`] (a JVM thread wakeup) and [`Work::user_bytes`]
-//! (interpreted byte handling) — the cost structure behind the paper's
-//! Figures 9–14.
+//! is data. Reliability is per-fragment sequence numbers with cumulative +
+//! selective (SACK) acknowledgements and an adaptive retransmission timer
+//! per peer:
+//!
+//! * **RTT estimation** — Jacobson/Karels: the first sample sets
+//!   `srtt = s`, `rttvar = s/2`; thereafter `rttvar = ¾·rttvar +
+//!   ¼·|srtt − s|`, `srtt = ⅞·srtt + ⅛·s`, and `RTO = clamp(srtt +
+//!   4·rttvar, min_rto, max_rto)`. Karn's rule: retransmitted fragments
+//!   never contribute samples.
+//! * **Backoff** — each consecutive timeout doubles the RTO (capped at
+//!   `max_rto`); any cumulative progress resets the backoff.
+//! * **Selective repeat** — acks carry the receiver's out-of-order runs
+//!   as SACK blocks; an RTO retransmits only un-SACKed fragments, and
+//!   three duplicate cumulative acks fast-retransmit the gap fragment.
+//!   [`ArqMode::GoBackN`] preserves the old whole-window behaviour as a
+//!   benchmark baseline.
+//! * **Congestion window** — slow start from [`INIT_CWND`] doubling per
+//!   round trip up to `ssthresh`, then +1 per advance; halved on loss
+//!   signals (fast retransmit) and collapsed to 1 on an RTO, never
+//!   exceeding the configured `window`.
+//!
+//! Fragmentation and reassembly run *at user level as interpreted code*,
+//! so every datagram charges [`Work::events`] (a JVM thread wakeup) and
+//! [`Work::user_bytes`] (interpreted byte handling) — the cost structure
+//! behind the paper's Figures 9–14.
 //!
 //! Exhausted retransmissions surface as [`TransportEvent::SendFailed`] /
 //! [`TransportEvent::PeerUnreachable`], which is exactly the timeout signal
-//! Mocha's §4 failure handling consumes.
+//! Mocha's §4 failure handling consumes — and with backoff in place that
+//! signal means sustained unreachability, not one congested round trip.
 //!
 //! Every endpoint carries an **incarnation epoch** in its datagrams: a
 //! rebooted node comes back with a fresh endpoint whose sequence numbers
 //! restart at zero, and the epoch lets peers distinguish that new
 //! incarnation from duplicate traffic of the old one (resetting both their
 //! receive and send state toward the peer).
+//!
+//! The protocol is clock-driven but never reads a clock itself: drivers
+//! advance time with [`MochaNetEndpoint::set_now`] (the simulator passes
+//! virtual time, the socket runtime passes its epoch offset), which keeps
+//! replay deterministic.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
 
 use mocha_sim::Work;
 use mocha_wire::io::{ByteReader, ByteWriter, WireError};
 use mocha_wire::SiteId;
 
 use crate::action::{Action, ActionSink, Port, SendHandle, TransportEvent};
-use crate::config::MochaNetConfig;
+use crate::config::{ArqMode, MochaNetConfig};
 
 /// Protocol discriminator byte for MochaNet datagrams.
 pub const PROTO_MOCHANET: u8 = 1;
@@ -55,6 +81,16 @@ const SMALL_RECV_BYTES: u64 = 48;
 
 /// User-level cost of processing one cumulative ack.
 const ACK_PROCESS_BYTES: u64 = 16;
+
+/// Initial congestion window, in fragments; slow start opens from here.
+const INIT_CWND: usize = 4;
+
+/// Duplicate cumulative acks that trigger a fast retransmit.
+const DUP_ACK_THRESHOLD: u32 = 3;
+
+/// Maximum SACK blocks carried per ack datagram (the furthest-out runs
+/// are dropped; cumulative acking still recovers them).
+const MAX_SACK_BLOCKS: usize = 8;
 
 /// Process-wide incarnation counter: every endpoint (and so every reboot,
 /// which constructs a fresh endpoint) gets a distinct nonzero epoch.
@@ -77,6 +113,22 @@ pub fn timer_peer(token: u64) -> Option<SiteId> {
 const T_DATA: u8 = 0;
 const T_ACK: u8 = 1;
 
+/// Counters describing the endpoint's retransmission machinery, for
+/// surfacing through runtime metrics and the loss-sweep benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Fragments retransmitted after an RTO expiry.
+    pub retransmits: u64,
+    /// Fragments retransmitted by the duplicate-ack fast path.
+    pub fast_retransmits: u64,
+    /// RTO expiries that retransmitted and backed the timer off.
+    pub rto_backoffs: u64,
+    /// Total datagram bytes retransmitted (both paths).
+    pub retransmitted_bytes: u64,
+    /// Congestion window (fragments) of the most recently active peer.
+    pub last_cwnd: u64,
+}
+
 /// One fragment, pre-encoded and retransmittable.
 #[derive(Debug, Clone)]
 struct Frag {
@@ -89,6 +141,13 @@ struct Frag {
     /// fragmentation copy for multi-fragment messages, fixed send
     /// overhead otherwise.
     charge_bytes: u64,
+    /// When the most recent copy went on the wire (endpoint clock).
+    sent_at: Option<Duration>,
+    /// Ever retransmitted: excluded from RTT sampling (Karn's rule).
+    retransmitted: bool,
+    /// SACKed by the receiver: present there, never retransmit, but not
+    /// yet cumulatively acknowledged.
+    acked: bool,
 }
 
 /// Per-peer sender state.
@@ -107,6 +166,18 @@ struct PeerSend {
     retries: u32,
     timer_armed: bool,
     unreachable: bool,
+    /// Smoothed RTT (None until the first sample).
+    srtt: Option<Duration>,
+    /// RTT mean deviation.
+    rttvar: Duration,
+    /// Congestion window, in fragments.
+    cwnd: usize,
+    /// Slow-start threshold, in fragments.
+    ssthresh: usize,
+    /// Consecutive duplicate cumulative acks seen.
+    dup_acks: u32,
+    /// Highest cumulative ack seen for the current stream.
+    last_cum_seen: u64,
 }
 
 impl Default for PeerSend {
@@ -119,8 +190,56 @@ impl Default for PeerSend {
             retries: 0,
             timer_armed: false,
             unreachable: false,
+            srtt: None,
+            rttvar: Duration::ZERO,
+            cwnd: INIT_CWND,
+            ssthresh: usize::MAX,
+            dup_acks: 0,
+            last_cum_seen: 0,
         }
     }
+}
+
+impl PeerSend {
+    /// Folds one Karn-eligible sample into the Jacobson/Karels estimator.
+    fn observe_rtt(&mut self, sample: Duration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = sample / 2;
+            }
+            Some(srtt) => {
+                let err = sample.abs_diff(srtt);
+                self.rttvar = (self.rttvar * 3 + err) / 4;
+                self.srtt = Some((srtt * 7 + sample) / 8);
+            }
+        }
+    }
+
+    /// Resets stream identity and congestion state (keeps the RTT
+    /// estimate: path properties outlive a stream).
+    fn reset_stream(&mut self) {
+        self.stream_gen += 1;
+        self.next_seq = 0;
+        self.retries = 0;
+        self.cwnd = INIT_CWND;
+        self.ssthresh = usize::MAX;
+        self.dup_acks = 0;
+        self.last_cum_seen = 0;
+    }
+}
+
+/// The adaptive RTO toward a peer: the Jacobson/Karels estimate (or the
+/// configured initial RTO before any sample), clamped, then doubled per
+/// consecutive timeout, never beyond `max_rto`.
+fn backed_off_rto(cfg: &MochaNetConfig, state: &PeerSend) -> Duration {
+    let base = match state.srtt {
+        Some(srtt) => srtt + state.rttvar * 4,
+        None => cfg.rto,
+    };
+    base.clamp(cfg.min_rto, cfg.max_rto)
+        .saturating_mul(1u32 << state.retries.min(16))
+        .min(cfg.max_rto)
 }
 
 /// A message being reassembled.
@@ -146,14 +265,35 @@ struct PeerRecv {
     reasm: HashMap<u64, Reassembly>,
 }
 
+/// Collapses the out-of-order buffer into `[start, end)` runs for the
+/// ack's SACK blocks, earliest first, capped at [`MAX_SACK_BLOCKS`].
+fn sack_blocks(ooo: &BTreeMap<u64, Vec<u8>>) -> Vec<(u64, u64)> {
+    let mut blocks: Vec<(u64, u64)> = Vec::new();
+    for &seq in ooo.keys() {
+        match blocks.last_mut() {
+            Some((_, end)) if *end == seq => *end = seq + 1,
+            _ => {
+                if blocks.len() == MAX_SACK_BLOCKS {
+                    break;
+                }
+                blocks.push((seq, seq + 1));
+            }
+        }
+    }
+    blocks
+}
+
 /// A MochaNet endpoint: one per site, shared by all local services through
 /// port multiplexing.
 pub struct MochaNetEndpoint {
     cfg: MochaNetConfig,
     /// This endpoint's incarnation epoch, stamped on every datagram.
     epoch: u32,
+    /// Driver-supplied current time (monotone; ZERO until first set).
+    now: Duration,
     send_states: HashMap<SiteId, PeerSend>,
     recv_states: HashMap<SiteId, PeerRecv>,
+    stats: TransportStats,
     sink: ActionSink,
 }
 
@@ -177,10 +317,41 @@ impl MochaNetEndpoint {
         MochaNetEndpoint {
             cfg,
             epoch: EPOCH_COUNTER.fetch_add(1, Ordering::Relaxed),
+            now: Duration::ZERO,
             send_states: HashMap::new(),
             recv_states: HashMap::new(),
+            stats: TransportStats::default(),
             sink: ActionSink::default(),
         }
+    }
+
+    /// Advances the endpoint's clock. Drivers call this before feeding
+    /// datagrams or timer fires; RTT samples are measured against it.
+    /// Regressions are ignored (the clock is monotone), so a driver that
+    /// never calls it still gets correct — if non-adaptive — behaviour.
+    pub fn set_now(&mut self, now: Duration) {
+        if now > self.now {
+            self.now = now;
+        }
+    }
+
+    /// Counters for the endpoint's retransmission machinery.
+    pub fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    /// The current (backoff-inclusive) retransmission timeout toward
+    /// `peer`.
+    pub fn current_rto(&self, peer: SiteId) -> Duration {
+        match self.send_states.get(&peer) {
+            Some(state) => backed_off_rto(&self.cfg, state),
+            None => self.cfg.rto.clamp(self.cfg.min_rto, self.cfg.max_rto),
+        }
+    }
+
+    /// The smoothed RTT estimate toward `peer`, if any sample exists.
+    pub fn srtt(&self, peer: SiteId) -> Option<Duration> {
+        self.send_states.get(&peer).and_then(|s| s.srtt)
     }
 
     /// Queues `bytes` for reliable, sequenced delivery to `(to, port)`.
@@ -224,6 +395,9 @@ impl MochaNetEndpoint {
                 last: idx + 1 == frag_cnt,
                 datagram: w.into_bytes(),
                 charge_bytes,
+                sent_at: None,
+                retransmitted: false,
+                acked: false,
             });
         }
         self.pump(to);
@@ -269,8 +443,15 @@ impl MochaNetEndpoint {
                 let epoch = r.get_u32()?;
                 let gen = r.get_u32()?;
                 let cum = r.get_u64()?;
+                let nblocks = r.get_u8()?;
+                let mut sacks = Vec::with_capacity(usize::from(nblocks));
+                for _ in 0..nblocks {
+                    let start = r.get_u64()?;
+                    let end = r.get_u64()?;
+                    sacks.push((start, end));
+                }
                 r.finish()?;
-                self.on_ack(from, epoch, gen, cum);
+                self.on_ack(from, epoch, gen, cum, &sacks);
                 Ok(())
             }
             tag => Err(WireError::BadTag {
@@ -327,12 +508,12 @@ impl MochaNetEndpoint {
         let state = self.recv_states.entry(from).or_default();
         if seq < state.expected_seq {
             // Duplicate of something already processed: re-ack.
-            let ack = state.expected_seq;
-            self.send_ack(from, ack);
+            self.send_ack(from);
             return;
         }
         if seq > state.expected_seq {
-            // Out of order: buffer the raw fragment fields and dup-ack.
+            // Out of order: buffer the raw fragment fields and dup-ack
+            // (the ack's SACK blocks tell the sender what we do hold).
             let mut w = ByteWriter::with_capacity(payload.len() + 8);
             w.put_u64(msg_id);
             w.put_u16(frag_idx);
@@ -340,8 +521,7 @@ impl MochaNetEndpoint {
             w.put_u16(port);
             w.put_raw(&payload);
             state.ooo.insert(seq, w.into_bytes());
-            let ack = state.expected_seq;
-            self.send_ack(from, ack);
+            self.send_ack(from);
             return;
         }
         // In order: process, then drain any now-contiguous buffered frags.
@@ -364,8 +544,7 @@ impl MochaNetEndpoint {
             let payload = r.get_rest().to_vec();
             self.process_fragment(from, msg_id, frag_idx, frag_cnt, port, payload);
         }
-        let ack = self.recv_states.entry(from).or_default().expected_seq;
-        self.send_ack(from, ack);
+        self.send_ack(from);
     }
 
     fn process_fragment(
@@ -411,26 +590,44 @@ impl MochaNetEndpoint {
         }
     }
 
-    fn send_ack(&mut self, to: SiteId, cum_ack_exclusive: u64) {
+    /// Acks the current receive state toward `to`: cumulative "next
+    /// expected seq" plus SACK blocks for buffered out-of-order runs.
+    fn send_ack(&mut self, to: SiteId) {
         // The ack names the data-sender's (epoch, generation) so stale
         // acks from an earlier stream cannot confuse the current one.
-        let (epoch, gen) = self
-            .recv_states
-            .get(&to)
-            .map(|s| (s.sender_epoch, s.sender_gen))
-            .unwrap_or((0, 0));
-        let mut w = ByteWriter::with_capacity(18);
+        let (epoch, gen, cum, blocks) = match self.recv_states.get(&to) {
+            Some(s) => (
+                s.sender_epoch,
+                s.sender_gen,
+                s.expected_seq,
+                sack_blocks(&s.ooo),
+            ),
+            None => (0, 0, 0, Vec::new()),
+        };
+        let mut w = ByteWriter::with_capacity(19 + blocks.len() * 16);
         w.put_u8(PROTO_MOCHANET);
         w.put_u8(T_ACK);
         w.put_u32(epoch);
         w.put_u32(gen);
         // Wire carries "next expected seq"; everything below it is acked.
-        w.put_u64(cum_ack_exclusive);
+        w.put_u64(cum);
+        w.put_u8(blocks.len() as u8);
+        for (start, end) in blocks {
+            w.put_u64(start);
+            w.put_u64(end);
+        }
         self.sink.charge(Work::user_bytes(ACK_PROCESS_BYTES));
         self.sink.transmit(to, w.into_bytes());
     }
 
-    fn on_ack(&mut self, from: SiteId, epoch: u32, gen: u32, next_expected: u64) {
+    fn on_ack(
+        &mut self,
+        from: SiteId,
+        epoch: u32,
+        gen: u32,
+        next_expected: u64,
+        sacks: &[(u64, u64)],
+    ) {
         self.sink.charge(Work::user_bytes(ACK_PROCESS_BYTES));
         if epoch != self.epoch {
             return; // ack addressed to a previous incarnation of us
@@ -442,25 +639,98 @@ impl MochaNetEndpoint {
             return; // ack for an earlier, abandoned stream
         }
         state.unreachable = false;
-        let mut acked_handles = Vec::new();
-        let mut advanced = false;
+        let now = self.now;
+        let selective = self.cfg.arq == ArqMode::SelectiveRepeat;
+
+        // Cumulative advance: everything below `next_expected` is done.
+        let mut acked_msgs = Vec::new();
+        let mut samples = Vec::new();
+        let mut newly_acked = 0usize;
+        let mut popped_any = false;
         while let Some(front) = state.inflight.front() {
-            if front.seq < next_expected {
-                let f = state.inflight.pop_front().expect("front");
-                if f.last {
-                    acked_handles.push(f.handle);
-                }
-                advanced = true;
-            } else {
+            if front.seq >= next_expected {
                 break;
             }
+            let Some(f) = state.inflight.pop_front() else {
+                break;
+            };
+            popped_any = true;
+            if !f.acked {
+                newly_acked += 1;
+                // Karn's rule: only never-retransmitted fragments sample.
+                if !f.retransmitted {
+                    if let Some(t) = f.sent_at {
+                        samples.push(now.saturating_sub(t));
+                    }
+                }
+            }
+            if f.last {
+                let rtt = (!f.retransmitted && !f.acked)
+                    .then(|| f.sent_at.map(|t| now.saturating_sub(t)))
+                    .flatten();
+                acked_msgs.push((f.handle, rtt));
+            }
         }
-        if advanced {
+        // SACK marking: the receiver holds these; never retransmit them.
+        if selective {
+            for f in state.inflight.iter_mut() {
+                if f.acked {
+                    continue;
+                }
+                if sacks.iter().any(|&(s, e)| f.seq >= s && f.seq < e) {
+                    f.acked = true;
+                    if !f.retransmitted {
+                        if let Some(t) = f.sent_at {
+                            samples.push(now.saturating_sub(t));
+                        }
+                    }
+                }
+            }
+        }
+        for s in samples {
+            state.observe_rtt(s);
+        }
+        if popped_any {
+            // Progress: reset backoff and dup-ack tracking, grow cwnd
+            // (slow start doubles per round trip; +1 per advance above
+            // ssthresh), bounded by the configured window.
             state.retries = 0;
+            state.dup_acks = 0;
+            state.last_cum_seen = state.last_cum_seen.max(next_expected);
+            if state.cwnd < state.ssthresh {
+                state.cwnd += newly_acked;
+            } else {
+                state.cwnd += 1;
+            }
+            state.cwnd = state.cwnd.min(self.cfg.window.max(INIT_CWND));
+        } else if !state.inflight.is_empty() && next_expected <= state.last_cum_seen {
+            state.dup_acks += 1;
+            if selective && state.dup_acks >= DUP_ACK_THRESHOLD {
+                // Fast retransmit: the first unacked fragment *is* the
+                // receiver's gap. Halve the window (loss, but the link is
+                // still moving acks).
+                state.dup_acks = 0;
+                state.ssthresh = (state.cwnd / 2).max(2);
+                state.cwnd = state.ssthresh;
+                if let Some(f) = state.inflight.iter_mut().find(|f| !f.acked) {
+                    f.retransmitted = true;
+                    f.sent_at = Some(now);
+                    let datagram = f.datagram.clone();
+                    let charge_bytes = f.charge_bytes;
+                    self.stats.fast_retransmits += 1;
+                    self.stats.retransmitted_bytes += datagram.len() as u64;
+                    self.sink.charge(Work::user_bytes(charge_bytes));
+                    self.sink.transmit(from, datagram);
+                }
+            }
         }
-        for handle in acked_handles {
-            self.sink
-                .event(TransportEvent::MsgAcked { to: from, handle });
+        self.stats.last_cwnd = state.cwnd as u64;
+        for (handle, rtt) in acked_msgs {
+            self.sink.event(TransportEvent::MsgAcked {
+                to: from,
+                handle,
+                rtt,
+            });
         }
         self.pump(from);
     }
@@ -479,17 +749,37 @@ impl MochaNetEndpoint {
             return true;
         }
         state.retries += 1;
-        if state.retries > self.cfg.max_retries {
+        let exhausted = state.retries > self.cfg.max_retries;
+        if exhausted {
             self.fail_peer(peer);
             return true;
         }
-        // Go-back-N: retransmit everything in flight.
-        let frags: Vec<(Vec<u8>, u64)> = state
-            .inflight
-            .iter()
-            .map(|f| (f.datagram.clone(), f.charge_bytes))
-            .collect();
+        let Some(state) = self.send_states.get_mut(&peer) else {
+            return true;
+        };
+        let now = self.now;
+        // Timeout ⇒ multiplicative decrease: remember half the flight as
+        // the slow-start target and restart from one fragment.
+        let unacked = state.inflight.iter().filter(|f| !f.acked).count();
+        state.ssthresh = (unacked / 2).max(2);
+        state.cwnd = 1;
+        // Selective repeat resends only what the receiver lacks;
+        // go-back-N resends the whole flight.
+        let selective = self.cfg.arq == ArqMode::SelectiveRepeat;
+        let mut frags = Vec::new();
+        for f in state.inflight.iter_mut() {
+            if selective && f.acked {
+                continue;
+            }
+            f.retransmitted = true;
+            f.sent_at = Some(now);
+            frags.push((f.datagram.clone(), f.charge_bytes));
+        }
+        self.stats.rto_backoffs += 1;
+        self.stats.retransmits += frags.len() as u64;
+        self.stats.last_cwnd = 1;
         for (datagram, charge_bytes) in frags {
+            self.stats.retransmitted_bytes += datagram.len() as u64;
             self.sink.charge(Work::user_bytes(charge_bytes));
             self.sink.transmit(peer, datagram);
         }
@@ -504,9 +794,7 @@ impl MochaNetEndpoint {
         let Some(state) = self.send_states.get_mut(&peer) else {
             return;
         };
-        state.stream_gen += 1;
-        state.next_seq = 0;
-        state.retries = 0;
+        state.reset_stream();
         if state.inflight.is_empty() && state.pending.is_empty() {
             return;
         }
@@ -525,20 +813,23 @@ impl MochaNetEndpoint {
     }
 
     fn fail_peer(&mut self, peer: SiteId) {
-        let state = self.send_states.get_mut(&peer).expect("peer state");
+        // A missing entry means the state was already torn down by a
+        // concurrent reset; there is nothing left to fail.
+        let Some(state) = self.send_states.get_mut(&peer) else {
+            return;
+        };
         state.unreachable = true;
         // Abandon the stream: the next send starts a fresh generation, so
         // the receiver discards any buffered fragments of this one and
         // sequence numbers restart unambiguously.
-        state.stream_gen += 1;
-        state.next_seq = 0;
+        state.reset_stream();
         let mut failed = Vec::new();
         for f in state.inflight.drain(..).chain(state.pending.drain(..)) {
             if f.last {
                 failed.push(f.handle);
             }
         }
-        state.retries = 0;
+        state.timer_armed = false;
         for handle in failed {
             self.sink
                 .event(TransportEvent::SendFailed { to: peer, handle });
@@ -548,17 +839,25 @@ impl MochaNetEndpoint {
         self.sink.cancel_timer(timer_token(peer));
     }
 
-    /// Moves pending fragments into the window and transmits them.
+    /// Moves pending fragments into the (congestion) window and
+    /// transmits them.
     fn pump(&mut self, peer: SiteId) {
-        let window = self.cfg.window;
-        let state = self.send_states.entry(peer).or_default();
+        let Some(state) = self.send_states.get_mut(&peer) else {
+            return;
+        };
+        // Fragments the receiver already SACKed don't occupy the window.
+        let window = state.cwnd.min(self.cfg.window).max(1);
+        let now = self.now;
+        let mut unacked = state.inflight.iter().filter(|f| !f.acked).count();
         let mut transmitted = Vec::new();
-        while state.inflight.len() < window {
-            let Some(frag) = state.pending.pop_front() else {
+        while unacked < window {
+            let Some(mut frag) = state.pending.pop_front() else {
                 break;
             };
+            frag.sent_at = Some(now);
             transmitted.push((frag.datagram.clone(), frag.charge_bytes));
             state.inflight.push_back(frag);
+            unacked += 1;
         }
         let has_inflight = !state.inflight.is_empty();
         let timer_armed = state.timer_armed;
@@ -569,14 +868,19 @@ impl MochaNetEndpoint {
         if has_inflight && !timer_armed {
             self.arm_timer(peer);
         } else if !has_inflight && timer_armed {
-            self.send_states.get_mut(&peer).expect("state").timer_armed = false;
+            if let Some(s) = self.send_states.get_mut(&peer) {
+                s.timer_armed = false;
+            }
             self.sink.cancel_timer(timer_token(peer));
         }
     }
 
     fn arm_timer(&mut self, peer: SiteId) {
-        let rto = self.cfg.rto;
-        self.send_states.get_mut(&peer).expect("state").timer_armed = true;
+        let Some(state) = self.send_states.get_mut(&peer) else {
+            return;
+        };
+        state.timer_armed = true;
+        let rto = backed_off_rto(&self.cfg, state);
         self.sink.set_timer(timer_token(peer), rto);
     }
 
@@ -602,8 +906,19 @@ impl MochaNetEndpoint {
         self.sink.drain()
     }
 
-    /// Number of fragments awaiting acknowledgement to `peer`.
+    /// Number of transmitted fragments awaiting acknowledgement from
+    /// `peer` (excludes fragments still queued for window space; see
+    /// [`queued_to`](MochaNetEndpoint::queued_to)).
     pub fn inflight_to(&self, peer: SiteId) -> usize {
+        self.send_states
+            .get(&peer)
+            .map(|s| s.inflight.len())
+            .unwrap_or(0)
+    }
+
+    /// Total fragments queued toward `peer`: in flight plus waiting for
+    /// window space.
+    pub fn queued_to(&self, peer: SiteId) -> usize {
         self.send_states
             .get(&peer)
             .map(|s| s.inflight.len() + s.pending.len())
@@ -635,6 +950,7 @@ mod tests {
             window: 4,
             rto: Duration::from_millis(50),
             max_retries: 3,
+            ..MochaNetConfig::default()
         }
     }
 
@@ -743,7 +1059,7 @@ mod tests {
     #[test]
     fn window_limits_inflight_fragments() {
         let mut p = Pair::new();
-        // 1000 bytes at mtu 100 = 10 fragments; window 4.
+        // 1000 bytes at mtu 100 = 10 fragments; window 4 (= initial cwnd).
         p.a.send(B, 3, &vec![0u8; 1000], SendHandle(2));
         // Before any acks flow back, at most `window` datagrams transmitted.
         let transmitted: Vec<_> =
@@ -752,7 +1068,8 @@ mod tests {
                 .filter(|a| matches!(a, Action::Transmit { .. }))
                 .collect();
         assert_eq!(transmitted.len(), 4);
-        assert_eq!(p.a.inflight_to(B), 10);
+        assert_eq!(p.a.inflight_to(B), 4);
+        assert_eq!(p.a.queued_to(B), 10);
     }
 
     #[test]
@@ -778,6 +1095,126 @@ mod tests {
         assert!(p.a.on_timer(timer_token(B)));
         p.pump_lossless();
         assert_eq!(p.delivered_to_b(), vec![(1, payload)]);
+    }
+
+    #[test]
+    fn rto_retransmits_only_the_missing_fragment() {
+        let mut p = Pair::new();
+        let payload: Vec<u8> = (0..350).map(|i| i as u8).collect(); // 4 frags
+        p.a.send(B, 1, &payload, SendHandle(1));
+        // Drop frag 1; the SACKs for frags 2 and 3 come back.
+        p.pump(&mut |from_a, idx| from_a && idx == 1);
+        assert!(p.a.on_timer(timer_token(B)));
+        let retransmitted =
+            p.a.drain_actions()
+                .iter()
+                .filter(|a| matches!(a, Action::Transmit { .. }))
+                .count();
+        assert_eq!(
+            retransmitted, 1,
+            "selective repeat resends only the gap fragment"
+        );
+        assert_eq!(p.a.stats().retransmits, 1);
+        assert_eq!(p.a.stats().rto_backoffs, 1);
+    }
+
+    #[test]
+    fn go_back_n_mode_retransmits_whole_flight() {
+        let mk = || {
+            MochaNetEndpoint::new(MochaNetConfig {
+                arq: ArqMode::GoBackN,
+                ..cfg()
+            })
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let payload: Vec<u8> = (0..350).map(|i| i as u8).collect(); // 4 frags
+        a.send(B, 1, &payload, SendHandle(1));
+        let mut idx = 0usize;
+        for action in a.drain_actions() {
+            if let Action::Transmit { datagram, .. } = action {
+                if idx != 1 {
+                    b.on_datagram(A, &datagram);
+                }
+                idx += 1;
+            }
+        }
+        for action in b.drain_actions() {
+            if let Action::Transmit { datagram, .. } = action {
+                a.on_datagram(B, &datagram);
+            }
+        }
+        assert!(a.on_timer(timer_token(B)));
+        let retransmitted = a
+            .drain_actions()
+            .iter()
+            .filter(|x| matches!(x, Action::Transmit { .. }))
+            .count();
+        assert_eq!(retransmitted, 3, "go-back-N resends frags 1..=3");
+        assert_eq!(a.stats().retransmits, 3);
+    }
+
+    #[test]
+    fn three_duplicate_acks_fast_retransmit() {
+        let mut p = Pair::new();
+        // 6 single-fragment messages; drop the first, deliver the rest so
+        // B emits one dup-ack (with SACK) per out-of-order arrival.
+        for i in 0..6u8 {
+            p.a.send(B, 1, &[i], SendHandle(u64::from(i) + 1));
+        }
+        p.pump(&mut |from_a, idx| from_a && idx == 0);
+        // Frags 1..3 went out initially (cwnd 4, frag 0 dropped); their
+        // dup-acks (3 of them) crossed the fast-retransmit threshold,
+        // resent frag 0, and everything then drained.
+        assert_eq!(p.a.stats().fast_retransmits, 1);
+        assert_eq!(p.a.stats().retransmits, 0, "no RTO was needed");
+        let delivered: Vec<u8> = p.delivered_to_b().into_iter().map(|(_, b)| b[0]).collect();
+        assert_eq!(delivered, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn rtt_samples_adapt_the_rto() {
+        let mut p = Pair::new();
+        assert_eq!(
+            p.a.current_rto(B),
+            Duration::from_millis(50),
+            "before any sample: initial rto clamped to [min_rto, max_rto]"
+        );
+        // One exchange at now=100ms sent, acked at now=120ms: srtt 20ms.
+        p.a.set_now(Duration::from_millis(100));
+        p.a.send(B, 1, b"x", SendHandle(1));
+        p.a.set_now(Duration::from_millis(120));
+        p.b.set_now(Duration::from_millis(120));
+        p.pump_lossless();
+        assert_eq!(p.a.srtt(B), Some(Duration::from_millis(20)));
+        // RTO = srtt + 4*rttvar = 20 + 4*10 = 60ms (above the 50ms floor).
+        assert_eq!(p.a.current_rto(B), Duration::from_millis(60));
+    }
+
+    #[test]
+    fn consecutive_timeouts_back_off_exponentially() {
+        let mut ep = MochaNetEndpoint::new(cfg());
+        ep.send(B, 1, b"doomed", SendHandle(5));
+        ep.drain_actions();
+        let mut rtos = Vec::new();
+        for _ in 0..cfg().max_retries {
+            assert!(ep.on_timer(timer_token(B)));
+            for action in ep.drain_actions() {
+                if let Action::SetTimer { after, .. } = action {
+                    rtos.push(after);
+                }
+            }
+        }
+        assert_eq!(
+            rtos,
+            vec![
+                Duration::from_millis(100),
+                Duration::from_millis(200),
+                Duration::from_millis(400),
+            ],
+            "each consecutive timeout doubles the 50ms base"
+        );
+        assert_eq!(ep.stats().rto_backoffs, 3);
     }
 
     #[test]
@@ -856,10 +1293,13 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert!(events.contains(&TransportEvent::SendFailed {
-            to: B,
-            handle: SendHandle(5)
-        }));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TransportEvent::SendFailed {
+                to: B,
+                handle: SendHandle(5)
+            }
+        )));
         assert!(events.contains(&TransportEvent::PeerUnreachable { to: B }));
         assert!(ep.is_unreachable(B));
 
@@ -907,6 +1347,8 @@ mod tests {
         ep.on_datagram(B, &[PROTO_MOCHANET]);
         ep.on_datagram(B, &[PROTO_MOCHANET, 99]);
         ep.on_datagram(B, &[42, 0, 0]);
+        // A truncated SACK ack is dropped too.
+        ep.on_datagram(B, &[PROTO_MOCHANET, 1, 0, 0, 0, 1, 0, 0, 0, 1]);
         let events = ep
             .drain_actions()
             .into_iter()
@@ -951,6 +1393,20 @@ mod tests {
             .sum();
         // 3 fragments * (payload + overhead) >= 250 + 3 * SEND_OVERHEAD.
         assert!(charged >= 250 + 3 * SEND_OVERHEAD_BYTES);
+    }
+
+    #[test]
+    fn sack_blocks_collapse_runs_and_cap() {
+        let mut ooo = BTreeMap::new();
+        for seq in [3u64, 4, 5, 8, 9, 20] {
+            ooo.insert(seq, Vec::new());
+        }
+        assert_eq!(sack_blocks(&ooo), vec![(3, 6), (8, 10), (20, 21)]);
+        let mut many = BTreeMap::new();
+        for i in 0..2 * MAX_SACK_BLOCKS as u64 {
+            many.insert(i * 2, Vec::new()); // all singletons
+        }
+        assert_eq!(sack_blocks(&many).len(), MAX_SACK_BLOCKS);
     }
 }
 

@@ -148,6 +148,17 @@ impl TransportMux {
         handled
     }
 
+    /// Advances the transport clock (driver-supplied, monotone); MochaNet
+    /// measures RTT samples against it.
+    pub fn set_now(&mut self, now: std::time::Duration) {
+        self.mochanet.set_now(now);
+    }
+
+    /// MochaNet's retransmission counters.
+    pub fn transport_stats(&self) -> crate::mochanet::TransportStats {
+        self.mochanet.stats()
+    }
+
     /// Whether MochaNet currently considers `peer` unreachable.
     pub fn is_unreachable(&self, peer: SiteId) -> bool {
         self.mochanet.is_unreachable(peer)
@@ -250,8 +261,11 @@ impl TransportMux {
                         send.acked = true;
                         let (to, handle) = (send.to, send.handle);
                         self.tcp.close(conn);
-                        self.out
-                            .push(Action::Event(TransportEvent::MsgAcked { to, handle }));
+                        self.out.push(Action::Event(TransportEvent::MsgAcked {
+                            to,
+                            handle,
+                            rtt: None,
+                        }));
                     }
                 }
             }
@@ -364,12 +378,11 @@ mod tests {
             p.delivered_to_b(),
             vec![(1, b"control".to_vec()), (2, vec![7u8; 5000])]
         );
-        assert!(p
-            .events_a
-            .contains(&TransportEvent::MsgAcked { to: B, handle: h1 }));
-        assert!(p
-            .events_a
-            .contains(&TransportEvent::MsgAcked { to: B, handle: h2 }));
+        for h in [h1, h2] {
+            assert!(p.events_a.iter().any(
+                |e| matches!(e, TransportEvent::MsgAcked { to: B, handle, .. } if *handle == h)
+            ));
+        }
     }
 
     #[test]
@@ -381,7 +394,8 @@ mod tests {
         assert_eq!(p.delivered_to_b(), vec![(4, payload)]);
         assert!(p
             .events_a
-            .contains(&TransportEvent::MsgAcked { to: B, handle: h }));
+            .iter()
+            .any(|e| matches!(e, TransportEvent::MsgAcked { to: B, handle, .. } if *handle == h)));
         // Connection torn down after the transfer (per-transfer lifecycle).
         assert_eq!(p.a.tcp.conn_count(), 0);
         assert_eq!(p.b.tcp.conn_count(), 0);

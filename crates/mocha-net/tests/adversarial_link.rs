@@ -1,0 +1,333 @@
+//! Adversarial-link tests for the selective-repeat MochaNet endpoint: a
+//! deterministic shim between two endpoints drops, duplicates, reorders,
+//! and delays datagrams under a seeded PRNG, and the tests assert the
+//! precise recovery behaviour — only the lost fragments are retransmitted,
+//! duplicate acks are deduplicated, and incarnation resets void stale
+//! streams.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use mocha_net::mochanet::{timer_token, MochaNetEndpoint, PROTO_MOCHANET};
+use mocha_net::{Action, MochaNetConfig, SendHandle, TransportEvent};
+use mocha_wire::io::ByteReader;
+use mocha_wire::SiteId;
+
+const A: SiteId = SiteId(0);
+const B: SiteId = SiteId(1);
+
+fn cfg() -> MochaNetConfig {
+    MochaNetConfig {
+        mtu: 100,
+        window: 4,
+        rto: Duration::from_millis(50),
+        max_retries: 3,
+        ..MochaNetConfig::default()
+    }
+}
+
+/// Extracts the fragment sequence number from a T_DATA datagram; `None`
+/// for acks.
+fn data_seq(datagram: &[u8]) -> Option<u64> {
+    let mut r = ByteReader::new(datagram);
+    if r.get_u8().ok()? != PROTO_MOCHANET {
+        return None;
+    }
+    if r.get_u8().ok()? != 0 {
+        return None; // T_ACK
+    }
+    r.get_u32().ok()?; // epoch
+    r.get_u32().ok()?; // gen
+    r.get_u64().ok()
+}
+
+/// Shuttles actions between `a` and `b` until quiescent; `drop_filter`
+/// sees (from_is_a, datagram) and returns true to drop. Delivered events
+/// from `b` are appended to `delivered`.
+fn shuttle(
+    a: &mut MochaNetEndpoint,
+    b: &mut MochaNetEndpoint,
+    delivered: &mut Vec<Vec<u8>>,
+    drop_filter: &mut dyn FnMut(bool, &[u8]) -> bool,
+) {
+    loop {
+        let mut progressed = false;
+        for action in a.drain_actions() {
+            progressed = true;
+            if let Action::Transmit { datagram, .. } = action {
+                if !drop_filter(true, &datagram) {
+                    b.on_datagram(A, &datagram);
+                }
+            }
+        }
+        for action in b.drain_actions() {
+            progressed = true;
+            match action {
+                Action::Transmit { datagram, .. } => {
+                    if !drop_filter(false, &datagram) {
+                        a.on_datagram(B, &datagram);
+                    }
+                }
+                Action::Event(TransportEvent::Delivered { bytes, .. }) => delivered.push(bytes),
+                _ => {}
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+}
+
+/// Losing two non-adjacent fragments must cost exactly two retransmitted
+/// datagrams after the RTO — the SACKed survivors are never resent — and
+/// the duplicate acks in between must not trigger anything on their own.
+#[test]
+fn only_the_lost_fragments_are_retransmitted() {
+    let mut a = MochaNetEndpoint::new(cfg());
+    let mut b = MochaNetEndpoint::new(cfg());
+    let mut delivered = Vec::new();
+    let payload: Vec<u8> = (0..350).map(|i| i as u8).collect(); // 4 frags
+
+    a.send(B, 1, &payload, SendHandle(1));
+    // Drop fragments 1 and 3 on their first flight only.
+    let mut dropped = 0;
+    shuttle(&mut a, &mut b, &mut delivered, &mut |from_a, dg| {
+        if from_a && matches!(data_seq(dg), Some(1) | Some(3)) && dropped < 2 {
+            dropped += 1;
+            return true;
+        }
+        false
+    });
+    assert_eq!(dropped, 2);
+    assert!(delivered.is_empty(), "the message has a gap");
+    // The dup ack for the SACKed fragment 2 caused no retransmission.
+    let stats = a.stats();
+    assert_eq!(stats.retransmits + stats.fast_retransmits, 0, "{stats:?}");
+
+    // RTO fires: exactly the two missing fragments go out again.
+    assert!(a.on_timer(timer_token(B)));
+    let mut resent = Vec::new();
+    let actions = a.drain_actions();
+    for action in &actions {
+        if let Action::Transmit { datagram, .. } = action {
+            resent.push(data_seq(datagram).expect("data frag"));
+        }
+    }
+    assert_eq!(resent, vec![1, 3], "only the receiver's gaps are resent");
+    assert_eq!(a.stats().retransmits, 2);
+
+    // Deliver them and the message completes.
+    for action in actions {
+        if let Action::Transmit { datagram, .. } = action {
+            b.on_datagram(A, &datagram);
+        }
+    }
+    shuttle(&mut a, &mut b, &mut delivered, &mut |_, _| false);
+    assert_eq!(delivered, vec![payload]);
+    assert_eq!(a.inflight_to(B), 0);
+    assert_eq!(a.queued_to(B), 0);
+}
+
+/// A replayed ack is idempotent: below the duplicate-ack threshold nothing
+/// is retransmitted, at the threshold exactly one fast retransmit fires.
+#[test]
+fn duplicate_acks_dedupe_and_fast_retransmit_once() {
+    let mut a = MochaNetEndpoint::new(cfg());
+    let mut b = MochaNetEndpoint::new(cfg());
+
+    // Two single-fragment messages; drop the first so B holds a gap.
+    a.send(B, 1, b"zero", SendHandle(1));
+    a.send(B, 1, b"one", SendHandle(2));
+    let mut ack = None;
+    for action in a.drain_actions() {
+        if let Action::Transmit { datagram, .. } = action {
+            if data_seq(&datagram) == Some(1) {
+                b.on_datagram(A, &datagram); // seq 0 is dropped
+            }
+        }
+    }
+    for action in b.drain_actions() {
+        if let Action::Transmit { datagram, .. } = action {
+            ack = Some(datagram); // dup ack: cum 0, SACK [1, 2)
+        }
+    }
+    let ack = ack.expect("B acked the out-of-order fragment");
+
+    // Two replays: deduped, no retransmission of any kind.
+    a.on_datagram(B, &ack);
+    a.on_datagram(B, &ack);
+    let transmits = a
+        .drain_actions()
+        .iter()
+        .filter(|x| matches!(x, Action::Transmit { .. }))
+        .count();
+    assert_eq!(transmits, 0, "below the threshold dup acks are inert");
+
+    // Third duplicate crosses the threshold: exactly one fast retransmit,
+    // and it is the gap fragment.
+    a.on_datagram(B, &ack);
+    let resent: Vec<u64> = a
+        .drain_actions()
+        .iter()
+        .filter_map(|x| match x {
+            Action::Transmit { datagram, .. } => data_seq(datagram),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(resent, vec![0]);
+    assert_eq!(a.stats().fast_retransmits, 1);
+    assert_eq!(a.stats().retransmits, 0, "no RTO was involved");
+}
+
+/// A rebooted sender (fresh endpoint, new epoch) voids the receiver's
+/// buffered state from the old incarnation, and acks addressed to the old
+/// incarnation are ignored by the new one.
+#[test]
+fn incarnation_reset_voids_stale_streams() {
+    let mut b = MochaNetEndpoint::new(cfg());
+    let mut delivered = Vec::new();
+
+    // First incarnation sends a 3-fragment message whose last fragment
+    // never arrives, leaving a half-done reassembly at B.
+    let mut a1 = MochaNetEndpoint::new(cfg());
+    let stale: Vec<u8> = (0..250).map(|i| i as u8).collect();
+    a1.send(B, 1, &stale, SendHandle(1));
+    let mut old_acks = Vec::new();
+    for action in a1.drain_actions() {
+        if let Action::Transmit { datagram, .. } = action {
+            if data_seq(&datagram) != Some(2) {
+                b.on_datagram(A, &datagram);
+            }
+        }
+    }
+    for action in b.drain_actions() {
+        if let Action::Transmit { datagram, .. } = action {
+            old_acks.push(datagram);
+        }
+    }
+    assert!(!old_acks.is_empty());
+
+    // The sender reboots: a brand-new endpoint, sequence numbers restart.
+    let mut a2 = MochaNetEndpoint::new(cfg());
+
+    // Stale acks for the old incarnation are ignored by the new one:
+    // beyond the fixed cost of looking at them, nothing happens.
+    for ack in &old_acks {
+        a2.on_datagram(B, ack);
+    }
+    let actions = a2.drain_actions();
+    assert!(
+        actions.iter().all(|x| matches!(x, Action::Charge(_))),
+        "stale acks must be inert: {actions:?}"
+    );
+
+    // Its first message delivers cleanly; the stale reassembly never
+    // surfaces.
+    a2.send(B, 1, b"fresh", SendHandle(1));
+    shuttle(&mut a2, &mut b, &mut delivered, &mut |_, _| false);
+    assert_eq!(delivered, vec![b"fresh".to_vec()]);
+    assert_eq!(a2.inflight_to(B), 0);
+}
+
+/// Deterministic seeded-PRNG linear congruential generator for the chaos
+/// link (no external crates).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(0x5851_F42D_4C95_7F2D)
+            .wrapping_add(0x1405_7B7E_F767_814F);
+        ((self.0 >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+}
+
+/// Chaos link: 20 % drop, 10 % duplication, delivery delayed by 0–3
+/// rounds (which reorders). Every message must still arrive exactly once,
+/// in order, for several seeds.
+#[test]
+fn chaos_link_delivers_exactly_once_in_order() {
+    for seed in [1u64, 7, 23] {
+        let chaos_cfg = MochaNetConfig {
+            mtu: 64,
+            window: 4,
+            rto: Duration::from_millis(50),
+            max_retries: 30,
+            ..MochaNetConfig::default()
+        };
+        let mut a = MochaNetEndpoint::new(chaos_cfg);
+        let mut b = MochaNetEndpoint::new(chaos_cfg);
+        let mut rng = Lcg(seed);
+        let mut delivered: Vec<Vec<u8>> = Vec::new();
+        // (rounds_until_delivery, from_a, datagram)
+        let mut wire: VecDeque<(u32, bool, Vec<u8>)> = VecDeque::new();
+
+        let total = 30u8;
+        for i in 0..total {
+            a.send(B, 1, &[i], SendHandle(u64::from(i) + 1));
+        }
+
+        for _round in 0..100_000 {
+            // Deliver everything due this round (insertion order among
+            // equals, so delayed datagrams reorder past fresh ones).
+            let mut still_flying = VecDeque::new();
+            for (delay, from_a, dg) in wire.drain(..) {
+                if delay == 0 {
+                    if from_a {
+                        b.on_datagram(A, &dg);
+                    } else {
+                        a.on_datagram(B, &dg);
+                    }
+                } else {
+                    still_flying.push_back((delay - 1, from_a, dg));
+                }
+            }
+            wire = still_flying;
+
+            // Drain both endpoints onto the chaos link. Only B delivers
+            // upward (A receives nothing but acks).
+            for from_a in [true, false] {
+                let src = if from_a { &mut a } else { &mut b };
+                for action in src.drain_actions() {
+                    match action {
+                        Action::Transmit { datagram, .. } => {
+                            let copies = if rng.next_f64() < 0.20 {
+                                0 // dropped
+                            } else if rng.next_f64() < 0.10 {
+                                2 // duplicated
+                            } else {
+                                1
+                            };
+                            for _ in 0..copies {
+                                let delay = (rng.next_f64() * 4.0) as u32;
+                                wire.push_back((delay, from_a, datagram.clone()));
+                            }
+                        }
+                        Action::Event(TransportEvent::Delivered { bytes, .. }) => {
+                            delivered.push(bytes);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+
+            if wire.is_empty() {
+                if a.queued_to(B) == 0 {
+                    break;
+                }
+                // Nothing in flight but fragments unacked: the RTO is the
+                // only way forward.
+                assert!(a.on_timer(timer_token(B)), "seed {seed}");
+            }
+        }
+
+        let got: Vec<u8> = delivered.iter().map(|m| m[0]).collect();
+        assert_eq!(
+            got,
+            (0..total).collect::<Vec<_>>(),
+            "seed {seed}: exactly-once, in-order delivery"
+        );
+        assert!(!a.is_unreachable(B), "seed {seed}");
+    }
+}

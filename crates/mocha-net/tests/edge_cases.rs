@@ -54,6 +54,7 @@ fn stop_and_wait_window_still_delivers_large_messages() {
         window: 1,
         rto: Duration::from_millis(50),
         max_retries: 5,
+        ..MochaNetConfig::default()
     };
     let mut a = MochaNetEndpoint::new(cfg);
     let mut b = MochaNetEndpoint::new(cfg);
@@ -70,6 +71,7 @@ fn tiny_mtu_many_fragments() {
         window: 8,
         rto: Duration::from_millis(50),
         max_retries: 5,
+        ..MochaNetConfig::default()
     };
     let mut a = MochaNetEndpoint::new(cfg);
     let mut b = MochaNetEndpoint::new(cfg);

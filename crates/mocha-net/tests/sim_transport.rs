@@ -184,8 +184,9 @@ fn partition_then_heal_recovers_traffic() {
     sender.peer = Some(receiver);
     sender.to_send = vec![b"before".to_vec()];
     let sender_id = world.add_host(Box::new(sender));
-    // Partition immediately; heal after 300 ms (before retries exhaust:
-    // 5 retries x 150 ms RTO).
+    // Partition immediately; heal after 300 ms — well inside the retry
+    // budget (7 exponentially backed-off rounds from a 150 ms initial
+    // RTO, each capped at 1 s).
     world
         .network_mut()
         .set_link_up_between(sender_id, receiver, false);

@@ -749,8 +749,10 @@ pub struct MochaHandle {
     site: SiteId,
     tx: Sender<LoopInput>,
     /// Present in the socket runtime: interrupts the site loop blocked in
-    /// a UDP receive after a request is queued.
-    waker: Option<mocha_net::Waker>,
+    /// a UDP receive after a request is queued. Shared through an `Arc`
+    /// because duplicating a waker duplicates an OS socket handle, which
+    /// can fail — cloning a handle must not.
+    waker: Option<std::sync::Arc<mocha_net::Waker>>,
 }
 
 impl std::fmt::Debug for MochaHandle {
@@ -763,7 +765,7 @@ impl MochaHandle {
     pub(crate) fn new(
         site: SiteId,
         tx: Sender<LoopInput>,
-        waker: Option<mocha_net::Waker>,
+        waker: Option<std::sync::Arc<mocha_net::Waker>>,
     ) -> MochaHandle {
         MochaHandle { site, tx, waker }
     }

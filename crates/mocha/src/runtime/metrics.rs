@@ -21,6 +21,12 @@ pub(crate) struct RuntimeCounters {
     msgs_delivered: AtomicU64,
     sends_failed: AtomicU64,
     timers_fired: AtomicU64,
+    retransmits: AtomicU64,
+    fast_retransmits: AtomicU64,
+    rto_backoffs: AtomicU64,
+    /// Gauge, not a counter: congestion window of the most recently
+    /// active peer, in fragments.
+    cwnd: AtomicU64,
 }
 
 impl RuntimeCounters {
@@ -53,6 +59,28 @@ impl RuntimeCounters {
         self.timers_fired.fetch_add(1, Relaxed);
     }
 
+    pub(crate) fn add_retransmits(&self, n: u64) {
+        if n > 0 {
+            self.retransmits.fetch_add(n, Relaxed);
+        }
+    }
+
+    pub(crate) fn add_fast_retransmits(&self, n: u64) {
+        if n > 0 {
+            self.fast_retransmits.fetch_add(n, Relaxed);
+        }
+    }
+
+    pub(crate) fn add_rto_backoffs(&self, n: u64) {
+        if n > 0 {
+            self.rto_backoffs.fetch_add(n, Relaxed);
+        }
+    }
+
+    pub(crate) fn set_cwnd(&self, v: u64) {
+        self.cwnd.store(v, Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> RuntimeMetrics {
         RuntimeMetrics {
             datagrams_sent: self.datagrams_sent.load(Relaxed),
@@ -63,6 +91,10 @@ impl RuntimeCounters {
             msgs_delivered: self.msgs_delivered.load(Relaxed),
             sends_failed: self.sends_failed.load(Relaxed),
             timers_fired: self.timers_fired.load(Relaxed),
+            retransmits: self.retransmits.load(Relaxed),
+            fast_retransmits: self.fast_retransmits.load(Relaxed),
+            rto_backoffs: self.rto_backoffs.load(Relaxed),
+            cwnd: self.cwnd.load(Relaxed),
         }
     }
 }
@@ -95,6 +127,15 @@ pub struct RuntimeMetrics {
     pub sends_failed: u64,
     /// Wall-clock timers that fired and were dispatched.
     pub timers_fired: u64,
+    /// MochaNet fragments retransmitted after an RTO expiry.
+    pub retransmits: u64,
+    /// MochaNet fragments retransmitted via the duplicate-ack fast path.
+    pub fast_retransmits: u64,
+    /// RTO expiries that retransmitted and backed the timer off.
+    pub rto_backoffs: u64,
+    /// Congestion window (fragments) of the most recently active peer —
+    /// a gauge, not a counter.
+    pub cwnd: u64,
 }
 
 impl RuntimeMetrics {
@@ -113,7 +154,8 @@ impl std::fmt::Display for RuntimeMetrics {
         write!(
             f,
             "datagrams sent={} delivered={} lost={} ({} bytes); \
-             msgs sent={} delivered={} failed={}; timers fired={}",
+             msgs sent={} delivered={} failed={}; timers fired={}; \
+             retx={} fast={} backoffs={} cwnd={}",
             self.datagrams_sent,
             self.datagrams_delivered,
             self.datagrams_lost,
@@ -122,6 +164,10 @@ impl std::fmt::Display for RuntimeMetrics {
             self.msgs_delivered,
             self.sends_failed,
             self.timers_fired,
+            self.retransmits,
+            self.fast_retransmits,
+            self.rto_backoffs,
+            self.cwnd,
         )
     }
 }
@@ -141,6 +187,12 @@ mod tests {
         c.inc_msgs_delivered();
         c.inc_sends_failed();
         c.inc_timers_fired();
+        c.add_retransmits(3);
+        c.add_fast_retransmits(0); // no-op
+        c.add_fast_retransmits(2);
+        c.add_rto_backoffs(1);
+        c.set_cwnd(16);
+        c.set_cwnd(8); // gauge: last write wins
         let m = c.snapshot();
         assert_eq!(m.datagrams_sent, 2);
         assert_eq!(m.bytes_sent, 150);
@@ -150,6 +202,10 @@ mod tests {
         assert_eq!(m.msgs_delivered, 1);
         assert_eq!(m.sends_failed, 1);
         assert_eq!(m.timers_fired, 1);
+        assert_eq!(m.retransmits, 3);
+        assert_eq!(m.fast_retransmits, 2);
+        assert_eq!(m.rto_backoffs, 1);
+        assert_eq!(m.cwnd, 8);
         assert!((m.loss_rate() - 0.5).abs() < 1e-12);
     }
 

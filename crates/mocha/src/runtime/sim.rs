@@ -309,6 +309,9 @@ impl SiteHost {
 
 impl Host for SiteHost {
     fn on_datagram(&mut self, ctx: &mut HostCtx<'_>, from: NodeId, bytes: Vec<u8>) {
+        // Virtual time drives the transport's RTT estimation, keeping the
+        // adaptive RTO fully deterministic under the simulator.
+        self.mux.set_now(ctx.now().since_start());
         if bytes.first() == Some(&HARNESS_PROTO) {
             self.handle_harness(ctx, &bytes);
         } else {
@@ -320,6 +323,7 @@ impl Host for SiteHost {
 
     fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: u64) {
         let now = ctx.now();
+        self.mux.set_now(now.since_start());
         let handled = self.mux.on_timer(token)
             || self
                 .coordinator

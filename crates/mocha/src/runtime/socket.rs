@@ -44,7 +44,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
-use mocha_net::mochanet::MochaNetEndpoint;
+use mocha_net::mochanet::{MochaNetEndpoint, TransportStats};
 use mocha_net::{
     Action, AddressBook, MsgClass, Port, ProtocolMode, SendHandle, TransportEvent, UdpDriver, Waker,
 };
@@ -138,6 +138,9 @@ struct SocketLink {
     next_handle: u64,
     mode: ProtocolMode,
     tcp: Option<TcpLeg>,
+    /// Endpoint stats at the last mirror into the shared runtime counters
+    /// (the counters are cluster-wide, so only deltas may be added).
+    last_stats: TransportStats,
 }
 
 impl Link for SocketLink {
@@ -158,12 +161,16 @@ impl Link for SocketLink {
                 let frame = encode_bulk_frame(self.site, port, &msg);
                 leg.counters.inc_datagrams_sent(frame.len() as u64);
                 let tx = leg.self_tx.clone();
-                let waker = leg.waker.clone();
+                // A failed duplication only costs wake latency: the site
+                // loop also wakes on its next timer deadline.
+                let waker = leg.waker.try_clone().ok();
                 let tag = tag.clone();
                 std::thread::spawn(move || {
                     let ok = tcp_send_frame(addr, &frame).is_ok();
                     let _ = tx.send(LoopInput::BulkDone { tag, ok });
-                    waker.wake();
+                    if let Some(w) = waker {
+                        w.wake();
+                    }
                 });
                 return true;
             }
@@ -206,13 +213,17 @@ fn tcp_accept_loop(
         }
         let Ok(mut stream) = conn else { continue };
         let tx = tx.clone();
-        let waker = waker.clone();
+        // A failed duplication only costs wake latency (the loop polls on
+        // timer deadlines); the frame still gets queued and acked.
+        let waker = waker.try_clone().ok();
         let counters = counters.clone();
         std::thread::spawn(move || {
             if let Some(env) = read_bulk_frame(&mut stream) {
                 counters.inc_datagrams_delivered();
                 if tx.send(LoopInput::Env(env)).is_ok() {
-                    waker.wake();
+                    if let Some(w) = waker {
+                        w.wake();
+                    }
                     let _ = stream.write_all(&[1]);
                 }
             }
@@ -228,6 +239,7 @@ fn pump(core: &mut SiteCore<SocketLink>, driver: &UdpDriver, book: &AddressBook)
         core.process_cmds();
         let actions = core.link.endpoint.drain_actions();
         if actions.is_empty() {
+            mirror_transport_stats(core);
             return;
         }
         for action in actions {
@@ -250,6 +262,25 @@ fn pump(core: &mut SiteCore<SocketLink>, driver: &UdpDriver, book: &AddressBook)
             }
         }
     }
+}
+
+/// Adds the endpoint's stat growth since the last mirror to the shared
+/// runtime counters. The counters are one cluster-wide snapshot shared by
+/// every site loop, so each loop may only contribute deltas.
+fn mirror_transport_stats(core: &mut SiteCore<SocketLink>) {
+    let stats = core.link.endpoint.stats();
+    let last = core.link.last_stats;
+    if stats == last {
+        return;
+    }
+    core.counters
+        .add_retransmits(stats.retransmits - last.retransmits);
+    core.counters
+        .add_fast_retransmits(stats.fast_retransmits - last.fast_retransmits);
+    core.counters
+        .add_rto_backoffs(stats.rto_backoffs - last.rto_backoffs);
+    core.counters.set_cwnd(stats.last_cwnd);
+    core.link.last_stats = stats;
 }
 
 fn handle_transport_event(core: &mut SiteCore<SocketLink>, event: TransportEvent) {
@@ -283,6 +314,9 @@ fn run_site(
     book: AddressBook,
 ) {
     while !core.stop {
+        // Feed wall-clock time (as the offset from the runtime epoch) to
+        // the endpoint so its RTT estimator sees real samples.
+        core.link.endpoint.set_now(core.epoch.elapsed());
         pump(&mut core, &driver, &book);
         let timeout = core
             .next_deadline()
@@ -291,6 +325,7 @@ fn run_site(
         match driver.recv(timeout.max(Duration::from_millis(1))) {
             Ok(mocha_net::udp::Recv::Datagram(inc)) => {
                 core.counters.inc_datagrams_delivered();
+                core.link.endpoint.set_now(core.epoch.elapsed());
                 core.link.endpoint.on_datagram(inc.from, &inc.datagram);
             }
             Ok(mocha_net::udp::Recv::Woken) | Ok(mocha_net::udp::Recv::TimedOut) => {}
@@ -299,6 +334,7 @@ fn run_site(
                 std::thread::sleep(Duration::from_millis(5));
             }
         }
+        core.link.endpoint.set_now(core.epoch.elapsed());
         for token in core.fire_due_timers() {
             // Transport-namespace timers belong to the MochaNet endpoint
             // (the simulated-TCP namespace is never armed here).
@@ -358,14 +394,14 @@ fn spawn_site(spec: SiteBootSpec) -> io::Result<SiteHarness> {
         Some(listener) => {
             let stop = Arc::new(AtomicBool::new(false));
             let addr = listener.local_addr()?;
+            let accept_waker = waker.try_clone()?;
             let join = std::thread::Builder::new()
                 .name(format!("mocha-bulk-{}", site.0))
                 .spawn({
                     let tx = tx.clone();
-                    let waker = waker.clone();
                     let stop = stop.clone();
                     let counters = counters.clone();
-                    move || tcp_accept_loop(listener, tx, waker, stop, counters)
+                    move || tcp_accept_loop(listener, tx, accept_waker, stop, counters)
                 })?;
             Some(TcpHarness {
                 stop,
@@ -375,18 +411,24 @@ fn spawn_site(spec: SiteBootSpec) -> io::Result<SiteHarness> {
         }
         None => None,
     };
+    let leg_waker = if config.net.mode == ProtocolMode::Hybrid {
+        Some(waker.try_clone()?)
+    } else {
+        None
+    };
     let link = SocketLink {
         site,
         endpoint: MochaNetEndpoint::new(config.net.mochanet),
         tags: HashMap::new(),
         next_handle: 0,
         mode: config.net.mode,
-        tcp: (config.net.mode == ProtocolMode::Hybrid).then(|| TcpLeg {
+        tcp: leg_waker.map(|waker| TcpLeg {
             book: tcp_book,
             self_tx: tx.clone(),
-            waker: waker.clone(),
+            waker,
             counters: counters.clone(),
         }),
+        last_stats: TransportStats::default(),
     };
     let core = SiteCore::new(
         CoreSeed {
@@ -404,7 +446,7 @@ fn spawn_site(spec: SiteBootSpec) -> io::Result<SiteHarness> {
         .name(format!("mocha-sock-{}", site.0))
         .spawn(move || run_site(core, rx, driver, book))?;
     Ok(SiteHarness {
-        handle: MochaHandle::new(site, tx, Some(waker)),
+        handle: MochaHandle::new(site, tx, Some(Arc::new(waker))),
         join: Some(join),
         tcp,
     })

@@ -18,8 +18,9 @@ fn at(ms: u64) -> SimTime {
 
 #[test]
 fn short_partition_is_absorbed_by_retransmission() {
-    // Partition lasts 300 ms, well inside MochaNet's retry budget
-    // (5 × 150 ms RTO): the acquire succeeds without the app noticing.
+    // Partition lasts 300 ms, well inside MochaNet's retry budget (7
+    // exponentially backed-off rounds, > 4.5 s of patience): the acquire
+    // succeeds without the app noticing.
     let mut c = SimCluster::builder().sites(2).build();
     let th = c.add_script(
         1,

@@ -52,9 +52,11 @@ fn surrogate_takes_over_and_strands_recover() {
     // Let normal traffic settle, then kill the home site.
     c.run_for(Duration::from_secs(1));
     c.crash_site(0);
-    // Site 2's acquire (at t=2s) will time out against the dead home.
-    // At t=4s the harness promotes site 3 to surrogate.
-    c.run_for(Duration::from_secs(3));
+    // Site 2's acquire (at t=2s) times out against the dead home once the
+    // transport's backed-off retry budget (~4.6 s with a warm RTT
+    // estimate) runs out, stranding the thread. At t=8s — after the
+    // strand — the harness promotes site 3 to surrogate.
+    c.run_for(Duration::from_secs(7));
     c.promote_coordinator(0, 3);
     c.run_for(Duration::from_secs(20));
 

@@ -1,0 +1,68 @@
+//! Regression test for transient-blackhole tolerance: a sub-second total
+//! loss window must be absorbed entirely by MochaNet's adaptive
+//! retransmission — no `PeerUnreachable` verdict, no broken lock, no app
+//! visible failure. (An impatient retry budget once turned exactly this
+//! scenario into a false peer death that cascaded into lock breaking;
+//! `MochaNetConfig::validate` now rejects such budgets outright.)
+
+use std::time::Duration;
+
+use mocha::app::Script;
+use mocha::replica::replica_id;
+use mocha::runtime::sim::SimCluster;
+use mocha_wire::{LockId, ReplicaPayload};
+
+const L: LockId = LockId(1);
+
+#[test]
+fn blackhole_of_500ms_kills_no_peer_and_breaks_no_lock() {
+    let mut c = SimCluster::builder().sites(2).build();
+    let idx = replica_id("x");
+    let th = c.add_script(
+        1,
+        Script::new()
+            .register(L, &["x"])
+            .sleep(Duration::from_millis(300))
+            .lock(L)
+            .write(idx, ReplicaPayload::I32s(vec![42]))
+            .unlock_dirty(L),
+    );
+    // Black-hole all traffic between the sites for 500 ms, timed so the
+    // lock request itself departs into the void.
+    c.run_for(Duration::from_millis(200));
+    c.partition(0, 1);
+    c.run_for(Duration::from_millis(500));
+    c.heal(0, 1);
+    c.run_until_idle();
+
+    // The app never noticed: everything completed, nothing failed.
+    assert!(c.all_done(1), "{:?}", c.failures(1));
+    for site in [0, 1] {
+        assert!(
+            c.failures(site).is_empty(),
+            "site {site}: {:?}",
+            c.failures(site)
+        );
+        let notes = c.notes(site);
+        let unreachable: Vec<&String> =
+            notes.iter().filter(|n| n.contains("unreachable")).collect();
+        assert!(
+            unreachable.is_empty(),
+            "site {site} declared a peer dead during a transient blackhole: {unreachable:?}"
+        );
+    }
+    // The lock was never broken out from under the holder.
+    let labels: Vec<String> = c.records(1, th).iter().map(|r| r.label.clone()).collect();
+    assert!(
+        !labels.contains(&"home_unreachable:lock1".to_string()),
+        "{labels:?}"
+    );
+    assert!(
+        labels.contains(&"lock_acquired:lock1".to_string()),
+        "{labels:?}"
+    );
+    assert_eq!(
+        c.replica_value(1, idx),
+        Some(ReplicaPayload::I32s(vec![42]))
+    );
+}
