@@ -58,7 +58,7 @@ pub fn comment_replica() -> ReplicaId {
 }
 
 /// One catalog item: a name and its (synthetic) image bytes.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Item {
     /// Display name.
     pub name: String,
@@ -126,7 +126,7 @@ impl Catalog {
 }
 
 /// What a participant's display currently shows.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableView {
     /// Selected flatware item name.
     pub flatware: String,
@@ -170,7 +170,7 @@ impl Participant {
         for cat in Category::ALL {
             for (i, item) in catalog.items(cat).iter().enumerate() {
                 images.push(ReplicaSpec::new(
-                    format!("image:{:?}:{i}", cat),
+                    format!("image:{cat:?}:{i}"),
                     ReplicaPayload::Bytes(item.image.clone()),
                 ));
             }
@@ -270,7 +270,7 @@ impl Participant {
     ///
     /// Propagates replica failures.
     pub fn image(&self, category: Category, index: usize) -> Result<Vec<u8>, MochaError> {
-        let id = replica_id(&format!("image:{:?}:{index}", category));
+        let id = replica_id(&format!("image:{category:?}:{index}"));
         match self.handle.read(id)? {
             ReplicaPayload::Bytes(b) => Ok(b),
             other => Ok(other.signature().as_bytes().to_vec()),
@@ -290,7 +290,7 @@ impl Participant {
         index: usize,
         bytes: Vec<u8>,
     ) -> Result<(), MochaError> {
-        let id = replica_id(&format!("image:{:?}:{index}", category));
+        let id = replica_id(&format!("image:{category:?}:{index}"));
         self.handle.write(id, ReplicaPayload::Bytes(bytes))?;
         self.handle.publish(id)
     }

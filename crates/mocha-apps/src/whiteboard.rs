@@ -21,7 +21,7 @@ use mocha_wire::{LockId, ReplicaId, ReplicaPayload, SiteId};
 pub const BOARD_LOCK: LockId = LockId(7);
 
 /// One stroke on the board.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Stroke {
     /// Drawing participant.
     pub author: u32,
@@ -32,7 +32,7 @@ pub struct Stroke {
 }
 
 /// The whole drawing: an ordered list of strokes.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct Drawing {
     /// Strokes in application order.
     pub strokes: Vec<Stroke>,

@@ -6,7 +6,7 @@ use mocha_wire::codec::CodecKind;
 
 fn bench_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_codec");
-    for size in [4096usize, 262144] {
+    for size in [4096usize, 262_144] {
         group.bench_with_input(BenchmarkId::new("jdk11", size), &size, |b, &s| {
             b.iter(|| marshal_time(s, CodecKind::ByteAtATime));
         });

@@ -10,7 +10,7 @@ use mocha_wire::{ReplicaId, ReplicaPayload};
 
 fn bench_model(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_marshal_model");
-    for size in [1024usize, 4096, 65536, 262144] {
+    for size in [1024usize, 4096, 65536, 262_144] {
         group.bench_with_input(BenchmarkId::new("jdk11", size), &size, |b, &s| {
             b.iter(|| marshal_time(s, CodecKind::ByteAtATime));
         });
@@ -20,7 +20,7 @@ fn bench_model(c: &mut Criterion) {
 
 fn bench_real_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("codec_encode_decode");
-    for size in [1024usize, 65536, 262144] {
+    for size in [1024usize, 65536, 262_144] {
         let updates = vec![ReplicaUpdate {
             replica: ReplicaId(1),
             payload: ReplicaPayload::Bytes(vec![0xAB; size]),

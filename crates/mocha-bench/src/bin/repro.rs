@@ -22,7 +22,11 @@ use mocha_wire::{LockId, ReplicaPayload};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(String::as_str).unwrap_or("all");
+    let what = args.first().map_or("all", String::as_str);
+    if what == "check" {
+        check(&args[1..]);
+        return;
+    }
     let all = what == "all";
     println!("Mocha reproduction — paper evaluation artifacts (simulated testbeds)");
     println!("====================================================================");
@@ -109,6 +113,162 @@ fn main() {
     }
 }
 
+/// `repro -- check`: the mocha-check protocol-invariant wall.
+///
+/// ```text
+/// repro -- check                      bounded exploration, every clean scenario
+/// repro -- check --scenario <name>    one scenario (mutant scenarios allowed)
+/// repro -- check --seed <n>           simulator seed (default 42)
+/// repro -- check --faults a,b         enable fault-injection flags
+/// repro -- check --replay <file>      re-execute a recorded violation trace
+/// repro -- check --list               list registered scenarios
+/// ```
+///
+/// The CI budget is [`mocha_check::Budget::default`]: DFS to depth 6 with
+/// branch width 3 over at most 200 schedules, plus 24 maximal-deferral
+/// delay runs and 16 random walks, each capped at 4000 delivered events.
+/// Exit codes: 0 clean (or replay reproduced), 1 violation found (or
+/// replay failed to reproduce), 2 usage error.
+fn check(args: &[String]) {
+    use mocha::FaultPlan;
+    use mocha_check::{all_scenarios, check_scenario, replay, Budget, ReplayTrace};
+
+    let mut scenario_filter: Option<String> = None;
+    let mut seed: u64 = 42;
+    let mut fault_names: Vec<String> = Vec::new();
+    let mut replay_path: Option<String> = None;
+    let mut list = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("check: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--scenario" => scenario_filter = Some(value("--scenario")),
+            "--seed" => {
+                seed = value("--seed").parse().unwrap_or_else(|e| {
+                    eprintln!("check: bad --seed: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--faults" => {
+                fault_names = value("--faults")
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--replay" => replay_path = Some(value("--replay")),
+            "--list" => list = true,
+            other => {
+                eprintln!("check: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let budget = Budget::default();
+    if list {
+        println!("registered scenarios:");
+        for s in all_scenarios() {
+            let tag = if s.expected.is_some() {
+                "  [mutant]"
+            } else {
+                ""
+            };
+            println!("  {:<20} {}{tag}", s.name, s.summary);
+        }
+        return;
+    }
+    if let Some(path) = replay_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("check: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let trace = ReplayTrace::parse(&text).unwrap_or_else(|e| {
+            eprintln!("check: cannot parse {path}: {e}");
+            std::process::exit(2);
+        });
+        println!(
+            "replaying {path}: scenario={} seed={} faults=[{}] forced={} events",
+            trace.scenario,
+            trace.seed,
+            trace.faults.join(","),
+            trace.schedule.len()
+        );
+        match replay(&trace, &budget) {
+            Ok(Some((kind, detail))) => {
+                println!("reproduced {kind}: {detail}");
+                if kind != trace.violation {
+                    println!("warning: trace was recorded for {}", trace.violation);
+                    std::process::exit(1);
+                }
+            }
+            Ok(None) => {
+                println!("trace did NOT reproduce (run finished clean)");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("check: replay failed: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+
+    let faults = FaultPlan::from_names(&fault_names).unwrap_or_else(|e| {
+        eprintln!("check: {e}");
+        std::process::exit(2);
+    });
+    let scenarios: Vec<_> = match &scenario_filter {
+        Some(name) => {
+            let s = mocha_check::scenario_by_name(name).unwrap_or_else(|| {
+                eprintln!("check: unknown scenario {name:?} (see --list)");
+                std::process::exit(2);
+            });
+            vec![s]
+        }
+        // The CI wall: every scenario that is clean by construction.
+        None => all_scenarios()
+            .iter()
+            .filter(|s| s.expected.is_none())
+            .collect(),
+    };
+    println!("mocha-check: bounded schedule exploration (seed {seed})");
+    let mut failed = false;
+    for scenario in scenarios {
+        let outcome = check_scenario(scenario, seed, faults, &budget);
+        match &outcome.violation {
+            None => println!(
+                "  [PASS] {:<20} {} schedules, {} pruned",
+                scenario.name, outcome.schedules, outcome.pruned
+            ),
+            Some(v) => {
+                failed = true;
+                println!(
+                    "  [FAIL] {:<20} {} after {} schedules",
+                    scenario.name, v.kind, outcome.schedules
+                );
+                println!("         {}", v.detail);
+                let path = format!("mocha-check-{}.trace", scenario.name);
+                match std::fs::write(&path, v.trace.to_text()) {
+                    Ok(()) => println!(
+                        "         trace written to {path}; replay with: repro -- check --replay {path}"
+                    ),
+                    Err(e) => println!("         could not write trace: {e}"),
+                }
+                print!("{}", v.trace.to_text());
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("all scenarios clean under the documented budget.");
+}
+
 fn table1() {
     println!();
     println!("Table 1: Time to Acquire a Lock (with no data transfer), milliseconds");
@@ -161,14 +321,14 @@ fn figure(title: &str, testbed: Testbed, size: usize) {
         );
     }
     match (testbed, size) {
-        (Testbed::Lan, 1024) | (Testbed::Wan, 1024) => {
-            println!("  (paper: solely using Mocha's library is the more efficient approach)")
+        (Testbed::Lan | Testbed::Wan, 1024) => {
+            println!("  (paper: solely using Mocha's library is the more efficient approach)");
         }
         (Testbed::Lan, 4096) => {
-            println!("  (paper: the hybrid approach begins to perform much better)")
+            println!("  (paper: the hybrid approach begins to perform much better)");
         }
         (Testbed::Wan, 4096) => {
-            println!("  (paper: hybrid ≈30% better at 6 sites; UR 1→2 approximately doubles cost)")
+            println!("  (paper: hybrid ≈30% better at 6 sites; UR 1→2 approximately doubles cost)");
         }
         (_, _) => println!("  (paper: for 256K replicas the superiority of the hybrid is clear)"),
     }
@@ -396,24 +556,24 @@ fn verify() {
         ("Fig 9 (LAN)", Testbed::Lan),
         ("Fig 10 (WAN)", Testbed::Wan),
     ] {
-        let b = mocha_bench::dissemination_time(testbed, 1024, 3, ProtocolMode::Basic).time;
-        let h = mocha_bench::dissemination_time(testbed, 1024, 3, ProtocolMode::Hybrid).time;
+        let basic = mocha_bench::dissemination_time(testbed, 1024, 3, ProtocolMode::Basic).time;
+        let hybrid = mocha_bench::dissemination_time(testbed, 1024, 3, ProtocolMode::Hybrid).time;
         check(
             &format!("{name}: basic wins at 1K"),
-            b < h,
-            format!("basic {:.1} ms vs hybrid {:.1} ms", ms(b), ms(h)),
+            basic < hybrid,
+            format!("basic {:.1} ms vs hybrid {:.1} ms", ms(basic), ms(hybrid)),
         );
     }
-    let b = mocha_bench::dissemination_time(Testbed::Lan, 4096, 3, ProtocolMode::Basic).time;
-    let h = mocha_bench::dissemination_time(Testbed::Lan, 4096, 3, ProtocolMode::Hybrid).time;
+    let basic = mocha_bench::dissemination_time(Testbed::Lan, 4096, 3, ProtocolMode::Basic).time;
+    let hybrid = mocha_bench::dissemination_time(Testbed::Lan, 4096, 3, ProtocolMode::Hybrid).time;
     check(
         "Fig 11: hybrid much better at 4K LAN",
-        h < b,
-        format!("basic {:.1} ms vs hybrid {:.1} ms", ms(b), ms(h)),
+        hybrid < basic,
+        format!("basic {:.1} ms vs hybrid {:.1} ms", ms(basic), ms(hybrid)),
     );
-    let b6 = mocha_bench::dissemination_time(Testbed::Wan, 4096, 6, ProtocolMode::Basic).time;
-    let h6 = mocha_bench::dissemination_time(Testbed::Wan, 4096, 6, ProtocolMode::Hybrid).time;
-    let improvement = 1.0 - h6.as_secs_f64() / b6.as_secs_f64();
+    let basic6 = mocha_bench::dissemination_time(Testbed::Wan, 4096, 6, ProtocolMode::Basic).time;
+    let hybrid6 = mocha_bench::dissemination_time(Testbed::Wan, 4096, 6, ProtocolMode::Hybrid).time;
+    let improvement = 1.0 - hybrid6.as_secs_f64() / basic6.as_secs_f64();
     check(
         "Fig 12: hybrid ≈30% better at 4K x 6 WAN sites",
         (0.10..=0.60).contains(&improvement),
@@ -427,9 +587,11 @@ fn verify() {
         (1.5..=2.6).contains(&ratio),
         format!("{ratio:.2}x"),
     );
-    let b = mocha_bench::dissemination_time(Testbed::Wan, 256 * 1024, 6, ProtocolMode::Basic).time;
-    let h = mocha_bench::dissemination_time(Testbed::Wan, 256 * 1024, 6, ProtocolMode::Hybrid).time;
-    let reduction = 1.0 - h.as_secs_f64() / b.as_secs_f64();
+    let basic =
+        mocha_bench::dissemination_time(Testbed::Wan, 256 * 1024, 6, ProtocolMode::Basic).time;
+    let hybrid =
+        mocha_bench::dissemination_time(Testbed::Wan, 256 * 1024, 6, ProtocolMode::Hybrid).time;
+    let reduction = 1.0 - hybrid.as_secs_f64() / basic.as_secs_f64();
     check(
         "Fig 14: hybrid vastly better at 256K WAN",
         reduction > 0.55,
@@ -437,11 +599,11 @@ fn verify() {
     );
     let mn = one_way_latency(Testbed::Lan, 128, Wire::MochaNet);
     let tcp = one_way_latency(Testbed::Lan, 128, Wire::Tcp);
-    let r = tcp.as_secs_f64() / mn.as_secs_f64();
+    let speedup = tcp.as_secs_f64() / mn.as_secs_f64();
     check(
         "§5: MochaNet ≈2x TCP for small messages",
-        (1.5..=6.0).contains(&r),
-        format!("{r:.1}x"),
+        (1.5..=6.0).contains(&speedup),
+        format!("{speedup:.1}x"),
     );
     let (m, l, t, tot) = home_service_breakdown(Testbed::Wan);
     check(
@@ -637,8 +799,7 @@ fn ablation_availability() {
         let labels: Vec<String> = c.records(2, th).iter().map(|r| r.label.clone()).collect();
         let got_data = c
             .replica_value(2, payload)
-            .map(|p| p == ReplicaPayload::Bytes(vec![0xAB; 2048]))
-            .unwrap_or(false);
+            .is_some_and(|p| p == ReplicaPayload::Bytes(vec![0xAB; 2048]));
         let outcome = if got_data {
             "v1 SURVIVED (reader sees the update)"
         } else if labels.iter().any(|l| l.starts_with("data_stale")) {

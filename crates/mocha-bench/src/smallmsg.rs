@@ -94,7 +94,7 @@ impl MochaReceiver {
                 }
                 Action::Charge(w) => ctx.charge(w),
                 Action::Event(TransportEvent::Delivered { .. }) => {
-                    self.delivered_at.get_or_insert(ctx.now());
+                    self.delivered_at.get_or_insert_with(|| ctx.now());
                 }
                 Action::Event(_) => {}
             }
@@ -203,7 +203,7 @@ impl TcpReceiver {
             for event in self.tcp.drain_events() {
                 progressed = true;
                 if let TcpEvent::MsgReceived(..) = event {
-                    self.delivered_at.get_or_insert(ctx.now());
+                    self.delivered_at.get_or_insert_with(|| ctx.now());
                 }
             }
             if !progressed {

@@ -226,7 +226,7 @@ pub fn loss_sweep() -> Vec<TransportBenchPoint> {
     let mut out = Vec::new();
     for mode in [ArqMode::SelectiveRepeat, ArqMode::GoBackN] {
         for loss_pct in [0u32, 1, 5, 10] {
-            out.push(run_point(mode, loss_pct, 0xC0FFEE + u64::from(loss_pct)));
+            out.push(run_point(mode, loss_pct, 0xC0_FFEE + u64::from(loss_pct)));
         }
     }
     out
@@ -289,7 +289,7 @@ mod tests {
     /// zero spurious unreachable verdicts.
     #[test]
     fn adaptive_beats_go_back_n_under_loss() {
-        let seed = 0xC0FFEE + 10;
+        let seed = 0xC0_FFEE + 10;
         let sr = run_point(ArqMode::SelectiveRepeat, 10, seed);
         let gbn = run_point(ArqMode::GoBackN, 10, seed);
         assert_eq!(sr.delivered, TRANSPORT_MSGS, "{sr:?}");

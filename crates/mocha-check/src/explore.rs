@@ -1,0 +1,423 @@
+//! The schedule explorers: bounded DFS with sleep sets, maximal-deferral
+//! delay search, and seeded random walks — all replay-based (the simulator
+//! state is never cloned; a prefix is re-executed from a fresh cluster).
+
+use std::collections::HashSet;
+
+use mocha::invariants::{InvariantOracle, Violation};
+use mocha::runtime::sim::SimCluster;
+use mocha::FaultPlan;
+use mocha_sim::{NodeId, PendingKind};
+
+use crate::scenario::Scenario;
+use crate::trace::ReplayTrace;
+
+/// Exploration bounds. The defaults are the documented CI budget: small
+/// enough to finish in seconds per scenario, deep enough to cover every
+/// 2–3-event race near the initial state plus one maximally deferred
+/// event anywhere in the run.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    /// DFS: branching depth from the initial state.
+    pub max_depth: usize,
+    /// DFS: at most this many alternatives considered per decision point.
+    pub branch_width: usize,
+    /// DFS: total complete schedules to run.
+    pub max_schedules: usize,
+    /// All modes: hard cap on delivered events per schedule (guards
+    /// against non-quiescing interleavings).
+    pub max_steps: usize,
+    /// Delay mode: defer each of the first N default-order events.
+    pub delay_victims: usize,
+    /// Random mode: number of seeded walks.
+    pub random_walks: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget {
+            max_depth: 6,
+            branch_width: 3,
+            max_schedules: 200,
+            max_steps: 4000,
+            delay_victims: 24,
+            random_walks: 16,
+        }
+    }
+}
+
+impl Budget {
+    /// A tighter budget for smoke tests.
+    pub fn small() -> Budget {
+        Budget {
+            max_depth: 4,
+            branch_width: 2,
+            max_schedules: 40,
+            max_steps: 2000,
+            delay_victims: 8,
+            random_walks: 4,
+        }
+    }
+}
+
+/// A violation found by exploration, with its shrunk replayable trace.
+#[derive(Debug, Clone)]
+pub struct FoundViolation {
+    /// Stable violation kind (e.g. `multiple_writers`).
+    pub kind: String,
+    /// Human-readable description of the first violation observed.
+    pub detail: String,
+    /// Shrunk trace that reproduces a violation of the same kind.
+    pub trace: ReplayTrace,
+}
+
+/// The result of exploring one scenario.
+#[derive(Debug, Clone, Default)]
+pub struct CheckOutcome {
+    /// Complete schedules executed.
+    pub schedules: usize,
+    /// DFS branches pruned by fingerprint deduplication.
+    pub pruned: usize,
+    /// The first violation found, if any.
+    pub violation: Option<FoundViolation>,
+}
+
+/// One in-flight execution: cluster + stateful oracle + the exact
+/// sequence of event seqs delivered so far.
+pub(crate) struct Run {
+    pub(crate) cluster: SimCluster,
+    oracle: InvariantOracle,
+    pub(crate) executed: Vec<u64>,
+}
+
+impl Run {
+    pub(crate) fn new(scenario: &Scenario, seed: u64, faults: FaultPlan) -> Run {
+        Run {
+            cluster: scenario.build(seed, faults),
+            oracle: InvariantOracle::new(),
+            executed: Vec::new(),
+        }
+    }
+
+    /// Fires event `seq` next and checks every invariant. `Err` if no such
+    /// event is pending (a stale trace), `Ok(Some)` on violation.
+    pub(crate) fn step(&mut self, seq: u64) -> Result<Option<Violation>, String> {
+        if !self.cluster.world_mut().step_seq(seq) {
+            return Err(format!("event seq {seq} is not pending"));
+        }
+        self.executed.push(seq);
+        let view = self.cluster.cluster_view();
+        Ok(self.oracle.check(&view).into_iter().next())
+    }
+
+    /// Runs the remainder in default FIFO order, checking after every
+    /// event, until idle or `max_steps` total delivered events.
+    pub(crate) fn fifo_tail(&mut self, max_steps: usize) -> Option<Violation> {
+        while self.executed.len() < max_steps {
+            let first = self.cluster.world().pending().first().map(|e| e.seq)?;
+            match self.step(first) {
+                Ok(Some(v)) => return Some(v),
+                Ok(None) => {}
+                Err(_) => return None,
+            }
+        }
+        None
+    }
+}
+
+/// The node whose state an event mutates, for commutativity reasoning.
+/// `None` means "unknown — dependent on everything" (control events).
+fn target_of(kind: &PendingKind) -> Option<NodeId> {
+    match kind {
+        PendingKind::Datagram { to, .. } => Some(*to),
+        PendingKind::Timer { node, .. } => Some(*node),
+        PendingKind::Control => None,
+    }
+}
+
+fn independent(a: Option<NodeId>, b: Option<NodeId>) -> bool {
+    matches!((a, b), (Some(x), Some(y)) if x != y)
+}
+
+struct DfsCtx<'a> {
+    scenario: &'a Scenario,
+    seed: u64,
+    faults: FaultPlan,
+    budget: &'a Budget,
+    seen: HashSet<u64>,
+    out: CheckOutcome,
+}
+
+/// Depth-bounded DFS over delivery orders with sleep sets and fingerprint
+/// deduplication. The first fully explored path coincides with the
+/// default FIFO schedule.
+pub fn explore_dfs(
+    scenario: &Scenario,
+    seed: u64,
+    faults: FaultPlan,
+    budget: &Budget,
+) -> CheckOutcome {
+    let mut ctx = DfsCtx {
+        scenario,
+        seed,
+        faults,
+        budget,
+        seen: HashSet::new(),
+        out: CheckOutcome::default(),
+    };
+    let mut prefix = Vec::new();
+    dfs(&mut ctx, &mut prefix, &[], budget.max_depth);
+    ctx.out
+}
+
+fn dfs(ctx: &mut DfsCtx<'_>, prefix: &mut Vec<u64>, sleep: &[(u64, Option<NodeId>)], depth: usize) {
+    if ctx.out.violation.is_some() || ctx.out.schedules >= ctx.budget.max_schedules {
+        return;
+    }
+    // Replay the forced prefix from a fresh cluster.
+    let mut run = Run::new(ctx.scenario, ctx.seed, ctx.faults);
+    for &seq in prefix.iter() {
+        match run.step(seq) {
+            Ok(Some(v)) => {
+                record(
+                    ctx.scenario,
+                    ctx.seed,
+                    ctx.faults,
+                    ctx.budget,
+                    &run.executed,
+                    &v,
+                    &mut ctx.out,
+                );
+                return;
+            }
+            Ok(None) => {}
+            Err(_) => return,
+        }
+    }
+    if let Some(fp) = run.cluster.world().fingerprint() {
+        if !ctx.seen.insert(fp) {
+            ctx.out.pruned += 1;
+            return;
+        }
+    }
+    let pending = run.cluster.world().pending();
+    let cands: Vec<_> = pending
+        .iter()
+        .filter(|e| !e.inert)
+        .filter(|e| !sleep.iter().any(|&(s, _)| s == e.seq))
+        .take(ctx.budget.branch_width)
+        .cloned()
+        .collect();
+    if depth == 0 || cands.len() <= 1 {
+        ctx.out.schedules += 1;
+        if let Some(v) = run.fifo_tail(ctx.budget.max_steps) {
+            record(
+                ctx.scenario,
+                ctx.seed,
+                ctx.faults,
+                ctx.budget,
+                &run.executed,
+                &v,
+                &mut ctx.out,
+            );
+        }
+        return;
+    }
+    drop(run);
+    let mut sleep_next: Vec<(u64, Option<NodeId>)> = sleep.to_vec();
+    for e in cands {
+        let etarget = target_of(&e.kind);
+        let child_sleep: Vec<_> = sleep_next
+            .iter()
+            .filter(|&&(_, t)| independent(t, etarget))
+            .copied()
+            .collect();
+        prefix.push(e.seq);
+        dfs(ctx, prefix, &child_sleep, depth - 1);
+        prefix.pop();
+        if ctx.out.violation.is_some() || ctx.out.schedules >= ctx.budget.max_schedules {
+            return;
+        }
+        sleep_next.push((e.seq, etarget));
+    }
+}
+
+/// Maximal-deferral delay search: for each of the first
+/// `budget.delay_victims` events that would fire in default order, run one
+/// schedule that defers that event for as long as anything else is
+/// pending. Reaches reorderings arbitrarily deep in the run.
+pub fn explore_delays(
+    scenario: &Scenario,
+    seed: u64,
+    faults: FaultPlan,
+    budget: &Budget,
+) -> CheckOutcome {
+    let mut out = CheckOutcome::default();
+    // Baseline FIFO run to learn which events become "next" and when.
+    let mut victims: Vec<u64> = Vec::new();
+    {
+        let mut run = Run::new(scenario, seed, faults);
+        while run.executed.len() < budget.max_steps && victims.len() < budget.delay_victims {
+            let Some(first) = run.cluster.world().pending().first().map(|e| e.seq) else {
+                break;
+            };
+            victims.push(first);
+            if !matches!(run.step(first), Ok(None)) {
+                break;
+            }
+        }
+    }
+    for victim in victims {
+        if out.violation.is_some() {
+            break;
+        }
+        out.schedules += 1;
+        let mut run = Run::new(scenario, seed, faults);
+        while run.executed.len() < budget.max_steps {
+            let pending = run.cluster.world().pending();
+            let Some(first) = pending.first() else { break };
+            let choice = if first.seq == victim && pending.len() > 1 {
+                pending[1].seq
+            } else {
+                first.seq
+            };
+            match run.step(choice) {
+                Ok(Some(v)) => {
+                    record(scenario, seed, faults, budget, &run.executed, &v, &mut out);
+                    break;
+                }
+                Ok(None) => {}
+                Err(_) => break,
+            }
+        }
+    }
+    out
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeded random-walk schedules: at every step one pending event is chosen
+/// uniformly. Fully deterministic given `(seed, walk index)`.
+pub fn explore_random(
+    scenario: &Scenario,
+    seed: u64,
+    faults: FaultPlan,
+    budget: &Budget,
+) -> CheckOutcome {
+    let mut out = CheckOutcome::default();
+    for walk in 0..budget.random_walks {
+        if out.violation.is_some() {
+            break;
+        }
+        out.schedules += 1;
+        let mut rng = seed ^ (walk as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+        let mut run = Run::new(scenario, seed, faults);
+        while run.executed.len() < budget.max_steps {
+            let pending = run.cluster.world().pending();
+            if pending.is_empty() {
+                break;
+            }
+            let idx = (splitmix64(&mut rng) as usize) % pending.len();
+            match run.step(pending[idx].seq) {
+                Ok(Some(v)) => {
+                    record(scenario, seed, faults, budget, &run.executed, &v, &mut out);
+                    break;
+                }
+                Ok(None) => {}
+                Err(_) => break,
+            }
+        }
+    }
+    out
+}
+
+/// Runs all three exploration modes (DFS, delay, random) under one budget,
+/// stopping at the first violation.
+pub fn check_scenario(
+    scenario: &Scenario,
+    seed: u64,
+    faults: FaultPlan,
+    budget: &Budget,
+) -> CheckOutcome {
+    let mut out = explore_dfs(scenario, seed, faults, budget);
+    if out.violation.is_none() {
+        let d = explore_delays(scenario, seed, faults, budget);
+        out.schedules += d.schedules;
+        out.violation = d.violation;
+    }
+    if out.violation.is_none() {
+        let r = explore_random(scenario, seed, faults, budget);
+        out.schedules += r.schedules;
+        out.violation = r.violation;
+    }
+    out
+}
+
+/// Shrinks `executed` (the full delivered-event sequence ending in a
+/// violation of `kind`) to the shortest forced prefix that still
+/// reproduces a violation of the same kind when the remainder runs FIFO,
+/// then records the resulting trace in `out`.
+fn record(
+    scenario: &Scenario,
+    seed: u64,
+    faults: FaultPlan,
+    budget: &Budget,
+    executed: &[u64],
+    v: &Violation,
+    out: &mut CheckOutcome,
+) {
+    if out.violation.is_some() {
+        return;
+    }
+    let kind = v.kind();
+    let mut schedule: Vec<u64> = executed.to_vec();
+    for cut in 0..executed.len() {
+        let mut run = Run::new(scenario, seed, faults);
+        let mut hit: Option<Violation> = None;
+        let mut stale = false;
+        for &seq in &executed[..cut] {
+            match run.step(seq) {
+                Ok(Some(found)) => {
+                    hit = Some(found);
+                    break;
+                }
+                Ok(None) => {}
+                Err(_) => {
+                    stale = true;
+                    break;
+                }
+            }
+        }
+        if stale {
+            continue;
+        }
+        if hit.is_none() {
+            hit = run.fifo_tail(budget.max_steps);
+        }
+        if hit.is_some_and(|found| found.kind() == kind) {
+            schedule = executed[..cut].to_vec();
+            break;
+        }
+    }
+    out.violation = Some(FoundViolation {
+        kind: kind.to_string(),
+        detail: v.to_string(),
+        trace: ReplayTrace {
+            scenario: scenario.name.to_string(),
+            seed,
+            faults: faults
+                .enabled_names()
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
+            schedule,
+            violation: kind.to_string(),
+        },
+    });
+}

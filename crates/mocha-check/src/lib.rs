@@ -1,0 +1,56 @@
+//! # mocha-check — protocol invariant oracle + schedule exploration
+//!
+//! A bounded model checker for the Mocha entry-consistency protocol. It
+//! drives the *unmodified* protocol state machines (coordinator, daemons,
+//! application runners) through the deterministic simulator, enumerating
+//! event delivery orders and asserting the safety invariants of
+//! [`mocha::invariants`] after every delivered event.
+//!
+//! ## Exploration modes
+//!
+//! * **DFS** ([`explore_dfs`]) — depth-bounded depth-first search over
+//!   delivery orders with *sleep sets* (events commuting with an already
+//!   explored one are not branched on again) and state-fingerprint
+//!   deduplication ([`mocha_sim::World::fingerprint`]).
+//! * **Delay-bounded** ([`explore_delays`]) — for each of the first *N*
+//!   events that would fire in default order, one run that defers that
+//!   event for as long as any other event is pending. Cheap, and reaches
+//!   deep message reorderings (e.g. two pushes from different senders
+//!   crossing on the wire) that bounded DFS from the initial state cannot.
+//! * **Random walk** ([`explore_random`]) — seeded random schedules from
+//!   an inline splitmix64 generator; a probabilistic backstop behind the
+//!   systematic modes.
+//!
+//! [`check_scenario`] chains all three under a single [`Budget`].
+//!
+//! ## Traces
+//!
+//! Every violation is shrunk to a minimal *forced prefix*: the shortest
+//! leading sequence of explicitly chosen events such that running them and
+//! then continuing in default FIFO order still reproduces the violation.
+//! The result is a [`ReplayTrace`] (scenario + seed + fault flags + forced
+//! schedule) that serialises to a small line-based text file and
+//! re-executes deterministically via [`replay`] — also exposed as
+//! `repro -- check --replay <file>`.
+//!
+//! ## Mutant harness
+//!
+//! The `fault-injection` feature of the `mocha` crate compiles deliberate
+//! protocol mutations ([`mocha::FaultPlan`]) that are switched on at run
+//! time per scenario. The `mutants` integration test proves each invariant
+//! actually fires: every mutant must produce its expected violation kind
+//! and a trace that replays.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod explore;
+mod scenario;
+mod trace;
+
+pub use explore::{
+    check_scenario, explore_delays, explore_dfs, explore_random, Budget, CheckOutcome,
+    FoundViolation,
+};
+pub use scenario::{all_scenarios, scenario_by_name, Scenario};
+pub use trace::{replay, ReplayTrace};

@@ -1,0 +1,222 @@
+//! The scenario registry: small named cluster setups the explorer drives.
+//!
+//! A scenario builds a [`SimCluster`] from a seed and a [`FaultPlan`] and
+//! nothing else, so `(scenario name, seed, faults, schedule)` fully
+//! determines an execution — the basis of replayable traces.
+
+use std::time::Duration;
+
+use mocha::app::Script;
+use mocha::config::AvailabilityConfig;
+use mocha::runtime::sim::SimCluster;
+use mocha::{FaultPlan, MochaConfig};
+use mocha_wire::LockId;
+
+const L: LockId = LockId(1);
+
+/// A named, deterministic cluster setup for the checker.
+pub struct Scenario {
+    /// Registry key, stable across versions (recorded in traces).
+    pub name: &'static str,
+    /// One-line description shown by `repro -- check --list`.
+    pub summary: &'static str,
+    /// `Some(kind)` if the scenario *by construction* violates an
+    /// invariant (harness-level mutants, e.g. promoting a surrogate
+    /// coordinator without crashing the old home). These are excluded
+    /// from the clean CI wall and exercised by the mutant tests.
+    pub expected: Option<&'static str>,
+    builder: fn(u64, FaultPlan) -> SimCluster,
+}
+
+impl Scenario {
+    /// Builds the scenario's cluster.
+    pub fn build(&self, seed: u64, faults: FaultPlan) -> SimCluster {
+        (self.builder)(seed, faults)
+    }
+}
+
+fn config(faults: FaultPlan) -> MochaConfig {
+    MochaConfig {
+        faults,
+        ..MochaConfig::default()
+    }
+}
+
+/// Two sites; site 0 writes, site 1 acquires afterwards and needs a
+/// transfer. The smallest grant-with-transfer exercise.
+fn handoff(seed: u64, faults: FaultPlan) -> SimCluster {
+    let mut c = SimCluster::builder()
+        .sites(2)
+        .seed(seed)
+        .config(config(faults))
+        .build();
+    let idx = mocha::replica_id("idx");
+    c.add_script(
+        0,
+        Script::new()
+            .register(L, &["idx"])
+            .lock(L)
+            .write(idx, mocha_wire::ReplicaPayload::I32s(vec![7]))
+            .unlock_dirty(L),
+    );
+    c.add_script(
+        1,
+        Script::new()
+            .register(L, &["idx"])
+            .sleep(Duration::from_millis(50))
+            .lock(L)
+            .read(idx)
+            .unlock(L),
+    );
+    c
+}
+
+/// Three sites all racing to write under the same exclusive lock — the
+/// mutual-exclusion stress.
+fn contended_writers(seed: u64, faults: FaultPlan) -> SimCluster {
+    let mut c = SimCluster::builder()
+        .sites(3)
+        .seed(seed)
+        .config(config(faults))
+        .build();
+    let idx = mocha::replica_id("idx");
+    for site in 0..3usize {
+        c.add_script(
+            site,
+            Script::new()
+                .register(L, &["idx"])
+                .lock(L)
+                .write(idx, mocha_wire::ReplicaPayload::I32s(vec![site as i32]))
+                .unlock_dirty(L),
+        );
+    }
+    c
+}
+
+/// One exclusive writer then two shared readers — mode compatibility.
+fn shared_readers(seed: u64, faults: FaultPlan) -> SimCluster {
+    let mut c = SimCluster::builder()
+        .sites(3)
+        .seed(seed)
+        .config(config(faults))
+        .build();
+    let idx = mocha::replica_id("idx");
+    c.add_script(
+        0,
+        Script::new()
+            .register(L, &["idx"])
+            .lock(L)
+            .write(idx, mocha_wire::ReplicaPayload::I32s(vec![1]))
+            .unlock_dirty(L),
+    );
+    for site in 1..3usize {
+        c.add_script(
+            site,
+            Script::new()
+                .register(L, &["idx"])
+                .sleep(Duration::from_millis(40))
+                .lock_shared(L)
+                .read(idx)
+                .unlock(L),
+        );
+    }
+    c
+}
+
+/// Four sites, two successive producers pushing to the same peers with
+/// `UR = 2` and no ack-waiting, so pushes carrying different versions from
+/// *different* senders can cross on the wire — the version-monotonicity
+/// stress.
+fn push_chain(seed: u64, faults: FaultPlan) -> SimCluster {
+    let mut c = SimCluster::builder()
+        .sites(4)
+        .seed(seed)
+        .config(config(faults))
+        .build();
+    let idx = mocha::replica_id("idx");
+    let avail = AvailabilityConfig {
+        ur: 2,
+        wait_for_acks: false,
+    };
+    c.add_script(0, Script::new().register(L, &["idx"]));
+    c.add_script(3, Script::new().register(L, &["idx"]));
+    c.add_script(
+        1,
+        Script::new()
+            .register(L, &["idx"])
+            .set_availability(L, avail)
+            .lock(L)
+            .write(idx, mocha_wire::ReplicaPayload::I32s(vec![1]))
+            .unlock_dirty(L),
+    );
+    c.add_script(
+        2,
+        Script::new()
+            .register(L, &["idx"])
+            .set_availability(L, avail)
+            .sleep(Duration::from_millis(20))
+            .lock(L)
+            .write(idx, mocha_wire::ReplicaPayload::I32s(vec![2]))
+            .unlock_dirty(L),
+    );
+    c
+}
+
+/// Harness-level mutant: promotes site 1 to surrogate coordinator while
+/// site 0 — the real home — is still alive. Violates the single-home
+/// invariant by construction; exists to prove `split_home` fires.
+fn split_home(seed: u64, faults: FaultPlan) -> SimCluster {
+    let mut c = SimCluster::builder()
+        .sites(3)
+        .seed(seed)
+        .config(config(faults))
+        .build();
+    for site in 0..3usize {
+        c.add_script(site, Script::new().register(L, &["idx"]));
+    }
+    c.promote_coordinator(0, 1);
+    c
+}
+
+static ALL: &[Scenario] = &[
+    Scenario {
+        name: "handoff",
+        summary: "two sites, write then acquire-with-transfer",
+        expected: None,
+        builder: handoff,
+    },
+    Scenario {
+        name: "contended_writers",
+        summary: "three sites racing for one exclusive lock",
+        expected: None,
+        builder: contended_writers,
+    },
+    Scenario {
+        name: "shared_readers",
+        summary: "one writer, two shared readers",
+        expected: None,
+        builder: shared_readers,
+    },
+    Scenario {
+        name: "push_chain",
+        summary: "two successive producers, UR=2 pushes without ack-wait",
+        expected: None,
+        builder: push_chain,
+    },
+    Scenario {
+        name: "split_home",
+        summary: "surrogate promotion without crashing the old home (mutant)",
+        expected: Some("split_home"),
+        builder: split_home,
+    },
+];
+
+/// Every registered scenario.
+pub fn all_scenarios() -> &'static [Scenario] {
+    ALL
+}
+
+/// Looks up a scenario by its registry key.
+pub fn scenario_by_name(name: &str) -> Option<&'static Scenario> {
+    ALL.iter().find(|s| s.name == name)
+}

@@ -1,0 +1,199 @@
+//! Replayable violation traces: a small line-based text format holding
+//! everything needed to re-execute a violating schedule —
+//! `(scenario, seed, fault flags, forced event prefix)`.
+//!
+//! ```text
+//! # mocha-check replay trace v1
+//! scenario=contended_writers
+//! seed=42
+//! faults=grant_second_writer
+//! schedule=12,14,15
+//! violation=multiple_writers
+//! ```
+//!
+//! Replay forces exactly `schedule`, then continues in default FIFO order,
+//! checking every invariant after each delivered event.
+
+use mocha::FaultPlan;
+
+use crate::explore::{Budget, Run};
+use crate::scenario::scenario_by_name;
+
+const HEADER: &str = "# mocha-check replay trace v1";
+
+/// A serialisable violation reproduction recipe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayTrace {
+    /// Scenario registry key.
+    pub scenario: String,
+    /// Simulator seed the scenario was built with.
+    pub seed: u64,
+    /// Enabled fault flags ([`FaultPlan::enabled_names`] spelling).
+    pub faults: Vec<String>,
+    /// Forced prefix: event seqs delivered in this exact order before
+    /// falling back to FIFO. Often empty (FIFO alone reproduces).
+    pub schedule: Vec<u64>,
+    /// The violation kind this trace reproduces.
+    pub violation: String,
+}
+
+impl ReplayTrace {
+    /// Serialises to the trace text format.
+    pub fn to_text(&self) -> String {
+        let schedule: Vec<String> = self.schedule.iter().map(u64::to_string).collect();
+        format!(
+            "{HEADER}\nscenario={}\nseed={}\nfaults={}\nschedule={}\nviolation={}\n",
+            self.scenario,
+            self.seed,
+            self.faults.join(","),
+            schedule.join(","),
+            self.violation,
+        )
+    }
+
+    /// Parses the trace text format. Unknown keys are ignored (forward
+    /// compatibility); missing required keys are errors.
+    pub fn parse(text: &str) -> Result<ReplayTrace, String> {
+        let mut scenario = None;
+        let mut seed = None;
+        let mut faults = None;
+        let mut schedule = None;
+        let mut violation = None;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("malformed trace line: {line:?}"));
+            };
+            match key {
+                "scenario" => scenario = Some(value.to_string()),
+                "seed" => {
+                    seed = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|e| format!("bad seed {value:?}: {e}"))?,
+                    );
+                }
+                "faults" => {
+                    faults = Some(
+                        value
+                            .split(',')
+                            .filter(|s| !s.is_empty())
+                            .map(str::to_string)
+                            .collect::<Vec<_>>(),
+                    );
+                }
+                "schedule" => {
+                    schedule = Some(
+                        value
+                            .split(',')
+                            .filter(|s| !s.is_empty())
+                            .map(|s| {
+                                s.parse::<u64>()
+                                    .map_err(|e| format!("bad schedule entry {s:?}: {e}"))
+                            })
+                            .collect::<Result<Vec<_>, _>>()?,
+                    );
+                }
+                "violation" => violation = Some(value.to_string()),
+                _ => {}
+            }
+        }
+        Ok(ReplayTrace {
+            scenario: scenario.ok_or("trace is missing scenario=")?,
+            seed: seed.ok_or("trace is missing seed=")?,
+            faults: faults.unwrap_or_default(),
+            schedule: schedule.unwrap_or_default(),
+            violation: violation.ok_or("trace is missing violation=")?,
+        })
+    }
+}
+
+/// Re-executes a trace. Returns `Ok(Some((kind, detail)))` if a violation
+/// occurred, `Ok(None)` if the run finished clean (the trace no longer
+/// reproduces), and `Err` if the trace itself is invalid (unknown
+/// scenario, unknown fault flag, or a forced event that is not pending).
+pub fn replay(trace: &ReplayTrace, budget: &Budget) -> Result<Option<(String, String)>, String> {
+    let scenario = scenario_by_name(&trace.scenario)
+        .ok_or_else(|| format!("unknown scenario {:?}", trace.scenario))?;
+    let faults = FaultPlan::from_names(&trace.faults)?;
+    let mut run = Run::new(scenario, trace.seed, faults);
+    for &seq in &trace.schedule {
+        if let Some(v) = run.step(seq)? {
+            return Ok(Some((v.kind().to_string(), v.to_string())));
+        }
+    }
+    Ok(run
+        .fifo_tail(budget.max_steps)
+        .map(|v| (v.kind().to_string(), v.to_string())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_text_roundtrips() {
+        let t = ReplayTrace {
+            scenario: "handoff".into(),
+            seed: 7,
+            faults: vec!["grant_second_writer".into()],
+            schedule: vec![3, 9, 12],
+            violation: "multiple_writers".into(),
+        };
+        assert_eq!(ReplayTrace::parse(&t.to_text()).unwrap(), t);
+    }
+
+    #[test]
+    fn empty_faults_and_schedule_roundtrip() {
+        let t = ReplayTrace {
+            scenario: "handoff".into(),
+            seed: 42,
+            faults: vec![],
+            schedule: vec![],
+            violation: "split_home".into(),
+        };
+        assert_eq!(ReplayTrace::parse(&t.to_text()).unwrap(), t);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ReplayTrace::parse("scenario=x\nseed=1\n").is_err());
+        assert!(ReplayTrace::parse("not a trace").is_err());
+        assert!(ReplayTrace::parse("scenario=x\nseed=zebra\nviolation=v\n").is_err());
+    }
+
+    #[test]
+    fn replay_rejects_unknown_scenario_and_fault() {
+        let t = ReplayTrace {
+            scenario: "no_such_scenario".into(),
+            seed: 1,
+            faults: vec![],
+            schedule: vec![],
+            violation: "x".into(),
+        };
+        assert!(replay(&t, &Budget::small()).is_err());
+        let t2 = ReplayTrace {
+            scenario: "handoff".into(),
+            seed: 1,
+            faults: vec!["bogus_flag".into()],
+            schedule: vec![],
+            violation: "x".into(),
+        };
+        assert!(replay(&t2, &Budget::small()).is_err());
+    }
+
+    #[test]
+    fn clean_trace_replays_clean() {
+        let t = ReplayTrace {
+            scenario: "handoff".into(),
+            seed: 42,
+            faults: vec![],
+            schedule: vec![],
+            violation: "none".into(),
+        };
+        assert_eq!(replay(&t, &Budget::default()).unwrap(), None);
+    }
+}

@@ -1,0 +1,68 @@
+//! The clean wall: with no faults enabled, bounded exploration of every
+//! registered scenario must find no invariant violation. This is the same
+//! sweep CI runs via `repro -- check`.
+
+use mocha::FaultPlan;
+use mocha_check::{all_scenarios, check_scenario, explore_dfs, Budget};
+
+#[test]
+fn clean_scenarios_pass_bounded_exploration() {
+    for scenario in all_scenarios() {
+        if scenario.expected.is_some() {
+            continue; // by-construction mutants, covered in mutants.rs
+        }
+        let outcome = check_scenario(scenario, 42, FaultPlan::default(), &Budget::small());
+        assert!(outcome.schedules > 0, "{}: nothing explored", scenario.name);
+        if let Some(v) = &outcome.violation {
+            panic!(
+                "{}: clean run violated {}: {}\ntrace:\n{}",
+                scenario.name,
+                v.kind,
+                v.detail,
+                v.trace.to_text()
+            );
+        }
+    }
+}
+
+#[test]
+fn dfs_stays_within_budget() {
+    let scenario = mocha_check::scenario_by_name("contended_writers").unwrap();
+    let budget = Budget::default();
+    let outcome = explore_dfs(scenario, 42, FaultPlan::default(), &budget);
+    assert!(outcome.violation.is_none());
+    assert!(outcome.schedules <= budget.max_schedules);
+}
+
+/// Commuting deliveries to different sites must converge to the same
+/// state fingerprint — the property DFS dedup relies on.
+#[test]
+fn commuted_independent_deliveries_share_a_fingerprint() {
+    let scenario = mocha_check::scenario_by_name("contended_writers").unwrap();
+    let fp_after = |first_then_second: bool| {
+        let mut cluster = scenario.build(42, FaultPlan::default());
+        let pending = cluster.world().pending();
+        // The initial pending events are the per-site harness kicks;
+        // any two target different sites, so they commute.
+        assert!(pending.len() >= 2, "expected per-site kicks pending");
+        let (a, b) = (pending[0].seq, pending[1].seq);
+        let (x, y) = if first_then_second { (a, b) } else { (b, a) };
+        assert!(cluster.world_mut().step_seq(x));
+        assert!(cluster.world_mut().step_seq(y));
+        cluster
+            .world()
+            .fingerprint()
+            .expect("hosts support fingerprinting")
+    };
+    assert_eq!(fp_after(true), fp_after(false));
+}
+
+#[test]
+fn exploration_is_deterministic() {
+    let scenario = mocha_check::scenario_by_name("handoff").unwrap();
+    let a = check_scenario(scenario, 7, FaultPlan::default(), &Budget::small());
+    let b = check_scenario(scenario, 7, FaultPlan::default(), &Budget::small());
+    assert_eq!(a.schedules, b.schedules);
+    assert_eq!(a.pruned, b.pruned);
+    assert_eq!(a.violation.is_some(), b.violation.is_some());
+}

@@ -1,0 +1,91 @@
+//! The mutant harness: proves every invariant actually fires.
+//!
+//! Each test enables one deliberate protocol fault (or a harness-level
+//! mutation), explores until the expected violation kind is found, and
+//! then demonstrates the shrunk trace is deterministic: it serialises
+//! through the text format and replays to a violation of the same kind.
+
+use mocha::FaultPlan;
+use mocha_check::{check_scenario, replay, scenario_by_name, Budget, ReplayTrace};
+
+fn assert_mutant_fires(scenario: &str, faults: FaultPlan, expected_kind: &str) {
+    let scenario = scenario_by_name(scenario).expect("scenario registered");
+    let budget = Budget::default();
+    let outcome = check_scenario(scenario, 42, faults, &budget);
+    let found = outcome.violation.unwrap_or_else(|| {
+        panic!(
+            "mutant on {:?} did not trip {expected_kind} in {} schedules",
+            scenario.name, outcome.schedules
+        )
+    });
+    assert_eq!(
+        found.kind, expected_kind,
+        "wrong violation kind: {}",
+        found.detail
+    );
+    // The trace must survive a round-trip through the text format...
+    let parsed = ReplayTrace::parse(&found.trace.to_text()).expect("trace parses");
+    assert_eq!(parsed, found.trace);
+    // ...and replay deterministically to the same violation kind, twice.
+    for _ in 0..2 {
+        let replayed = replay(&parsed, &budget)
+            .expect("trace is valid")
+            .unwrap_or_else(|| panic!("trace did not reproduce: {}", parsed.to_text()));
+        assert_eq!(replayed.0, expected_kind);
+    }
+}
+
+#[test]
+fn grant_second_writer_trips_multiple_writers() {
+    assert_mutant_fires(
+        "contended_writers",
+        FaultPlan {
+            grant_second_writer: true,
+            ..FaultPlan::default()
+        },
+        "multiple_writers",
+    );
+}
+
+#[test]
+fn optimistic_up_to_date_trips_stale_up_to_date() {
+    assert_mutant_fires(
+        "handoff",
+        FaultPlan {
+            optimistic_up_to_date: true,
+            ..FaultPlan::default()
+        },
+        "stale_up_to_date",
+    );
+}
+
+#[test]
+fn accept_any_version_trips_version_regression() {
+    assert_mutant_fires(
+        "push_chain",
+        FaultPlan {
+            accept_any_version: true,
+            ..FaultPlan::default()
+        },
+        "version_regression",
+    );
+}
+
+#[test]
+fn promote_without_crash_trips_split_home() {
+    assert_mutant_fires("split_home", FaultPlan::default(), "split_home");
+}
+
+#[test]
+fn mutant_traces_record_their_fault_flags() {
+    let scenario = scenario_by_name("contended_writers").unwrap();
+    let faults = FaultPlan {
+        grant_second_writer: true,
+        ..FaultPlan::default()
+    };
+    let outcome = check_scenario(scenario, 42, faults, &Budget::default());
+    let trace = outcome.violation.expect("violation found").trace;
+    assert_eq!(trace.faults, vec!["grant_second_writer".to_string()]);
+    assert_eq!(trace.scenario, "contended_writers");
+    assert_eq!(trace.seed, 42);
+}

@@ -325,6 +325,18 @@ impl MochaNetEndpoint {
         }
     }
 
+    /// Overrides the incarnation epoch. Deterministic drivers (the
+    /// simulator) use this so wire bytes are a pure function of site and
+    /// configuration — which schedule-explorer fingerprints and replays
+    /// rely on. Each reboot must supply a fresh value; zero is ignored
+    /// (it means "unset" on the wire).
+    pub fn set_epoch(&mut self, epoch: u32) {
+        debug_assert!(epoch != 0, "epoch 0 means 'unset' on the wire");
+        if epoch != 0 {
+            self.epoch = epoch;
+        }
+    }
+
     /// Advances the endpoint's clock. Drivers call this before feeding
     /// datagrams or timer fires; RTT samples are measured against it.
     /// Regressions are ignored (the clock is monotone), so a driver that
@@ -673,7 +685,7 @@ impl MochaNetEndpoint {
         }
         // SACK marking: the receiver holds these; never retransmit them.
         if selective {
-            for f in state.inflight.iter_mut() {
+            for f in &mut state.inflight {
                 if f.acked {
                     continue;
                 }
@@ -767,7 +779,7 @@ impl MochaNetEndpoint {
         // go-back-N resends the whole flight.
         let selective = self.cfg.arq == ArqMode::SelectiveRepeat;
         let mut frags = Vec::new();
-        for f in state.inflight.iter_mut() {
+        for f in &mut state.inflight {
             if selective && f.acked {
                 continue;
             }
@@ -886,10 +898,7 @@ impl MochaNetEndpoint {
 
     /// Whether the endpoint has given up on `peer`.
     pub fn is_unreachable(&self, peer: SiteId) -> bool {
-        self.send_states
-            .get(&peer)
-            .map(|s| s.unreachable)
-            .unwrap_or(false)
+        self.send_states.get(&peer).is_some_and(|s| s.unreachable)
     }
 
     /// Forgets a peer's failure state (e.g. after an out-of-band signal
@@ -910,10 +919,7 @@ impl MochaNetEndpoint {
     /// `peer` (excludes fragments still queued for window space; see
     /// [`queued_to`](MochaNetEndpoint::queued_to)).
     pub fn inflight_to(&self, peer: SiteId) -> usize {
-        self.send_states
-            .get(&peer)
-            .map(|s| s.inflight.len())
-            .unwrap_or(0)
+        self.send_states.get(&peer).map_or(0, |s| s.inflight.len())
     }
 
     /// Total fragments queued toward `peer`: in flight plus waiting for
@@ -921,8 +927,7 @@ impl MochaNetEndpoint {
     pub fn queued_to(&self, peer: SiteId) -> usize {
         self.send_states
             .get(&peer)
-            .map(|s| s.inflight.len() + s.pending.len())
-            .unwrap_or(0)
+            .map_or(0, |s| s.inflight.len() + s.pending.len())
     }
 }
 

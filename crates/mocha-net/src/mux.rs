@@ -154,6 +154,12 @@ impl TransportMux {
         self.mochanet.set_now(now);
     }
 
+    /// Overrides MochaNet's incarnation epoch (deterministic drivers;
+    /// see [`crate::MochaNetEndpoint::set_epoch`]).
+    pub fn set_epoch(&mut self, epoch: u32) {
+        self.mochanet.set_epoch(epoch);
+    }
+
     /// MochaNet's retransmission counters.
     pub fn transport_stats(&self) -> crate::mochanet::TransportStats {
         self.mochanet.stats()

@@ -465,12 +465,11 @@ impl TcpEndpoint {
         match conn.state {
             ConnState::SynSent => {
                 conn.syn_retries += 1;
+                let peer = conn.peer;
                 if conn.syn_retries > self.cfg.max_syn_retries {
-                    let peer = conn.peer;
                     self.conns.remove(&conn_id);
                     self.events.push(TcpEvent::ConnectFailed(conn_id, peer));
                 } else {
-                    let peer = conn.peer;
                     self.transmit_ctl(peer, T_SYN, conn_id);
                     self.arm_timer(conn_id);
                 }

@@ -275,7 +275,7 @@ impl UdpDriver {
                             datagram: datagram.to_vec(),
                         }))
                     }
-                    None => continue, // runt packet: ignore
+                    None => {} // runt packet: ignore
                 },
                 Err(e)
                     if matches!(
@@ -291,10 +291,7 @@ impl UdpDriver {
                     if matches!(
                         e.kind(),
                         io::ErrorKind::ConnectionRefused | io::ErrorKind::ConnectionReset
-                    ) =>
-                {
-                    continue;
-                }
+                    ) => {}
                 Err(e) => return Err(e),
             }
         }

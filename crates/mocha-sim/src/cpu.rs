@@ -146,7 +146,7 @@ impl CpuProfile {
     pub const fn ultra1_jdk11() -> CpuProfile {
         CpuProfile {
             per_event: Duration::from_micros(900),
-            per_user_byte: Duration::from_nanos(6_000),
+            per_user_byte: Duration::from_micros(6),
             per_kernel_byte: Duration::from_nanos(60),
             per_marshal_op: Duration::from_nanos(700),
         }

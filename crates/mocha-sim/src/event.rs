@@ -132,6 +132,39 @@ impl EventQueue {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// All pending events in firing order (`(time, seq)` ascending).
+    ///
+    /// Used by schedule explorers to enumerate the *enabled set* without
+    /// disturbing the queue.
+    pub fn iter_sorted(&self) -> Vec<&Scheduled> {
+        let mut v: Vec<&Scheduled> = self.heap.iter().collect();
+        v.sort_by(|a, b| a.at.cmp(&b.at).then_with(|| a.seq.cmp(&b.seq)));
+        v
+    }
+
+    /// Removes and returns the event with sequence number `seq`, if present,
+    /// leaving every other event in place.
+    ///
+    /// This is the mechanism behind out-of-order delivery in the schedule
+    /// explorer; O(n) rebuild is fine at exploration queue sizes.
+    pub fn take_seq(&mut self, seq: u64) -> Option<Scheduled> {
+        if !self.heap.iter().any(|s| s.seq == seq) {
+            return None;
+        }
+        let items = std::mem::take(&mut self.heap).into_vec();
+        let mut taken = None;
+        let mut rest = BinaryHeap::with_capacity(items.len());
+        for s in items {
+            if s.seq == seq {
+                taken = Some(s);
+            } else {
+                rest.push(s);
+            }
+        }
+        self.heap = rest;
+        taken
+    }
 }
 
 #[cfg(test)]

@@ -78,4 +78,4 @@ pub use metrics::Metrics;
 pub use net::{LinkProfile, Network};
 pub use time::SimTime;
 pub use trace::{Trace, TraceEvent, TraceKind};
-pub use world::{Host, HostCtx, NodeId, TimerToken, World};
+pub use world::{Host, HostCtx, NodeId, PendingEvent, PendingKind, TimerToken, World};

@@ -88,7 +88,7 @@ pub fn cable_modem_deterministic() -> LinkProfile {
 pub fn win95_pc() -> CpuProfile {
     CpuProfile {
         per_event: Duration::from_micros(1_800),
-        per_user_byte: Duration::from_nanos(12_000),
+        per_user_byte: Duration::from_micros(12),
         per_kernel_byte: Duration::from_nanos(150),
         per_marshal_op: Duration::from_nanos(1_400),
     }

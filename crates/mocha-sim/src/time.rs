@@ -60,11 +60,13 @@ impl SimTime {
     }
 
     /// Saturating addition of a duration.
+    #[must_use]
     pub fn saturating_add(self, d: Duration) -> SimTime {
         SimTime(self.0.saturating_add(duration_to_nanos(d)))
     }
 
     /// The later of two times.
+    #[must_use]
     pub fn max(self, other: SimTime) -> SimTime {
         SimTime(self.0.max(other.0))
     }

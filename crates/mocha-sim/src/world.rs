@@ -75,9 +75,60 @@ pub trait Host {
     /// Implementations typically record the fact for test assertions.
     fn on_crash(&mut self) {}
 
+    /// A structural hash of the host's protocol-visible state, used by
+    /// schedule explorers to deduplicate world states. Return `None` (the
+    /// default) if the host does not support fingerprinting; a single
+    /// non-fingerprintable host disables dedup for the whole world.
+    fn fingerprint(&self) -> Option<u64> {
+        None
+    }
+
     /// Downcasting support so harnesses can inspect concrete host state via
     /// [`World::host_mut`].
     fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// A summarised pending event, exposed to schedule explorers via
+/// [`World::pending`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingEvent {
+    /// Queue sequence number; pass to [`World::step_seq`] to fire this
+    /// event next.
+    pub seq: u64,
+    /// The scheduled firing time.
+    pub at: SimTime,
+    /// Whether firing this event is certain to be a no-op (stale timer
+    /// generation, or a datagram addressed to a crashed host). Explorers
+    /// need not branch on inert events.
+    pub inert: bool,
+    /// What kind of event this is.
+    pub kind: PendingKind,
+}
+
+/// The kind of a [`PendingEvent`], with enough detail for partial-order
+/// reasoning (which events commute) and state fingerprinting.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PendingKind {
+    /// A datagram in flight.
+    Datagram {
+        /// Destination host.
+        to: NodeId,
+        /// Originating host.
+        from: NodeId,
+        /// Payload length in bytes.
+        len: usize,
+        /// Hash of the payload bytes.
+        digest: u64,
+    },
+    /// A pending timer fire.
+    Timer {
+        /// Host owning the timer.
+        node: NodeId,
+        /// Host-chosen timer identifier.
+        token: TimerToken,
+    },
+    /// A world-level control action (opaque closure).
+    Control,
 }
 
 /// Per-host bookkeeping.
@@ -110,7 +161,7 @@ pub struct HostCtx<'a> {
     local_now: SimTime,
 }
 
-impl<'a> HostCtx<'a> {
+impl HostCtx<'_> {
     /// The host this context belongs to.
     pub fn node(&self) -> NodeId {
         self.node
@@ -457,7 +508,31 @@ impl World {
         debug_assert!(ev.at >= self.time, "event queue went backwards");
         self.time = self.time.max(ev.at);
         self.metrics.events_processed += 1;
-        match ev.kind {
+        self.dispatch(ev.kind);
+        true
+    }
+
+    /// Fires the pending event with sequence number `seq` *next*, regardless
+    /// of queue order. Returns whether such an event existed.
+    ///
+    /// This is the schedule explorer's lever: time advances to the chosen
+    /// event's scheduled instant if that is later than now, and an event
+    /// whose instant has already passed is delivered "late" at the current
+    /// time — indistinguishable from network or scheduling delay, so every
+    /// schedule the explorer produces is one a real deployment could
+    /// observe.
+    pub fn step_seq(&mut self, seq: u64) -> bool {
+        let Some(ev) = self.queue.take_seq(seq) else {
+            return false;
+        };
+        self.time = self.time.max(ev.at);
+        self.metrics.events_processed += 1;
+        self.dispatch(ev.kind);
+        true
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
             EventKind::Datagram { to, from, bytes } => self.dispatch_datagram(to, from, bytes),
             EventKind::Timer {
                 node,
@@ -466,7 +541,91 @@ impl World {
             } => self.dispatch_timer(node, token, generation),
             EventKind::Control(f) => f(self),
         }
-        true
+    }
+
+    /// A snapshot of every pending event in default firing order, for
+    /// schedule explorers. See [`PendingEvent`].
+    pub fn pending(&self) -> Vec<PendingEvent> {
+        use std::hash::{Hash, Hasher};
+        self.queue
+            .iter_sorted()
+            .into_iter()
+            .map(|s| {
+                let (kind, inert) = match &s.kind {
+                    EventKind::Datagram { to, from, bytes } => {
+                        let mut h = std::collections::hash_map::DefaultHasher::new();
+                        bytes.hash(&mut h);
+                        (
+                            PendingKind::Datagram {
+                                to: *to,
+                                from: *from,
+                                len: bytes.len(),
+                                digest: h.finish(),
+                            },
+                            self.hosts[to.0 as usize].crashed,
+                        )
+                    }
+                    EventKind::Timer {
+                        node,
+                        token,
+                        generation,
+                    } => {
+                        let slot = &self.hosts[node.0 as usize];
+                        let stale = slot.crashed || slot.timers.get(token) != Some(generation);
+                        (
+                            PendingKind::Timer {
+                                node: *node,
+                                token: *token,
+                            },
+                            stale,
+                        )
+                    }
+                    EventKind::Control(_) => (PendingKind::Control, false),
+                };
+                PendingEvent {
+                    seq: s.seq,
+                    at: s.at,
+                    inert,
+                    kind,
+                }
+            })
+            .collect()
+    }
+
+    /// A structural fingerprint of the current world state, for explorer
+    /// deduplication. Hashes every live host's [`Host::fingerprint`] plus
+    /// the *contents* of pending events (not their times or sequence
+    /// numbers, so equivalent states reached along different schedules
+    /// collide). Returns `None` if any live host does not support
+    /// fingerprinting.
+    pub fn fingerprint(&self) -> Option<u64> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for (i, slot) in self.hosts.iter().enumerate() {
+            i.hash(&mut h);
+            slot.crashed.hash(&mut h);
+            if slot.crashed {
+                continue;
+            }
+            let host = slot.host.as_ref()?;
+            host.fingerprint()?.hash(&mut h);
+        }
+        // Collected, sorted, then hashed; the lint can't see through
+        // `Hash::hash` as a read.
+        #[allow(clippy::collection_is_never_read)]
+        let mut pending: Vec<u64> = self
+            .pending()
+            .into_iter()
+            .filter(|e| !e.inert)
+            .map(|e| {
+                let mut eh = std::collections::hash_map::DefaultHasher::new();
+                e.kind.hash(&mut eh);
+                eh.finish()
+            })
+            .collect();
+        pending.sort_unstable();
+        pending.hash(&mut h);
+        Some(h.finish())
     }
 
     /// Runs until no events remain. Returns the final simulated time.
@@ -525,7 +684,7 @@ impl World {
         self.trace
             .record(self.time, TraceKind::Deliver { from, to, len });
         self.with_host(to, self.time, |host, ctx| {
-            host.on_datagram(ctx, from, bytes)
+            host.on_datagram(ctx, from, bytes);
         });
     }
 
@@ -939,6 +1098,92 @@ mod tests {
         // Different seed should (overwhelmingly likely) differ in losses.
         // We don't assert inequality to avoid a flaky test; reproducibility
         // of the same seed is the property that matters.
+    }
+
+    #[test]
+    fn step_seq_reorders_datagrams() {
+        let mut w = World::new(1);
+        let r = w.add_host(Box::new(Recorder::default()));
+        let other = NodeId::from_raw(50);
+        w.inject_datagram(other, r, vec![1]);
+        w.inject_datagram(other, r, vec![2]);
+        // Drain the on_start control event first.
+        while w
+            .pending()
+            .first()
+            .is_some_and(|e| e.kind == PendingKind::Control)
+        {
+            w.step();
+        }
+        let pend = w.pending();
+        assert_eq!(pend.len(), 2);
+        assert!(pend.iter().all(|e| !e.inert));
+        // Deliver the *later-queued* datagram first.
+        let second = pend[1].seq;
+        assert!(w.step_seq(second));
+        assert!(w.step());
+        let rec = w.host_mut::<Recorder>(r);
+        assert_eq!(rec.datagrams[0].1, vec![2]);
+        assert_eq!(rec.datagrams[1].1, vec![1]);
+        // A consumed seq cannot fire twice.
+        assert!(!w.step_seq(second));
+    }
+
+    #[test]
+    fn pending_marks_inert_events() {
+        struct Replacer;
+        impl Host for Replacer {
+            fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+                ctx.set_timer(Duration::from_millis(1), 7);
+                ctx.set_timer(Duration::from_millis(5), 7); // replaces gen
+            }
+            fn on_datagram(&mut self, _: &mut HostCtx<'_>, _: NodeId, _: Vec<u8>) {}
+            fn on_timer(&mut self, _: &mut HostCtx<'_>, _: TimerToken) {}
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(1);
+        let h = w.add_host(Box::new(Replacer));
+        w.step(); // run on_start
+        let _ = h;
+        let pend = w.pending();
+        let inert: Vec<bool> = pend.iter().map(|e| e.inert).collect();
+        assert_eq!(inert, vec![true, false], "replaced generation is inert");
+    }
+
+    #[test]
+    fn fingerprint_requires_host_support() {
+        let mut w = World::new(1);
+        w.add_host(Box::new(Recorder::default()));
+        w.run_until_idle();
+        assert_eq!(w.fingerprint(), None, "Recorder has no fingerprint");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_equivalent_runs() {
+        struct Printed(u64);
+        impl Host for Printed {
+            fn on_datagram(&mut self, _: &mut HostCtx<'_>, _: NodeId, b: Vec<u8>) {
+                self.0 = self.0.wrapping_add(b.len() as u64);
+            }
+            fn on_timer(&mut self, _: &mut HostCtx<'_>, _: TimerToken) {}
+            fn fingerprint(&self) -> Option<u64> {
+                Some(self.0)
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        fn run() -> Option<u64> {
+            let mut w = World::new(3);
+            let h = w.add_host(Box::new(Printed(0)));
+            w.inject_datagram(NodeId::from_raw(9), h, vec![1, 2, 3]);
+            w.run_until_idle();
+            w.fingerprint()
+        }
+        assert!(run().is_some());
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -355,7 +355,7 @@ mod tests {
         w.put_bool(true);
         w.put_bool(false);
         w.put_u16(0xBEEF);
-        w.put_u32(0xDEADBEEF);
+        w.put_u32(0xDEAD_BEEF);
         w.put_u64(0x0123_4567_89AB_CDEF);
         w.put_i32(-42);
         w.put_i64(-1_000_000_000_000);
@@ -369,7 +369,7 @@ mod tests {
         assert!(r.get_bool().unwrap());
         assert!(!r.get_bool().unwrap());
         assert_eq!(r.get_u16().unwrap(), 0xBEEF);
-        assert_eq!(r.get_u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
         assert_eq!(r.get_u64().unwrap(), 0x0123_4567_89AB_CDEF);
         assert_eq!(r.get_i32().unwrap(), -42);
         assert_eq!(r.get_i64().unwrap(), -1_000_000_000_000);

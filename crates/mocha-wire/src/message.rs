@@ -15,7 +15,7 @@ use crate::payload::ReplicaPayload;
 /// The access mode of a lock acquisition. The paper describes the basic
 /// algorithm with exclusive locks and notes it "can easily be modified to
 /// support shared (i.e., read-only) locks" — both are supported.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LockMode {
     /// Exclusive: sole holder, may modify replicas.
     Exclusive,
@@ -468,7 +468,7 @@ impl Msg {
                 req,
             } => {
                 w.put_u8(T_REPLICA_DATA);
-                Self::encode_updates(w, lock, version, updates, req);
+                Self::encode_updates(w, *lock, *version, updates, *req);
             }
             Msg::PushUpdate {
                 lock,
@@ -477,7 +477,7 @@ impl Msg {
                 req,
             } => {
                 w.put_u8(T_PUSH);
-                Self::encode_updates(w, lock, version, updates, req);
+                Self::encode_updates(w, *lock, *version, updates, *req);
             }
             Msg::PushAck {
                 lock,
@@ -598,10 +598,10 @@ impl Msg {
 
     fn encode_updates(
         w: &mut ByteWriter,
-        lock: &LockId,
-        version: &Version,
+        lock: LockId,
+        version: Version,
         updates: &[ReplicaUpdate],
-        req: &RequestId,
+        req: RequestId,
     ) {
         lock.encode(w);
         version.encode(w);

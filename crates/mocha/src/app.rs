@@ -421,6 +421,91 @@ impl AppRunner {
             .collect()
     }
 
+    /// Locks this site's threads currently believe they hold, for the
+    /// invariant oracle. Excludes revoked locks (the coordinator has
+    /// broken them; the thread just hasn't released yet) and grants still
+    /// waiting on replica data (the grant is provisional until the data
+    /// arrives). Sorted by (lock, mode) for determinism.
+    pub fn active_holds(&self) -> Vec<(LockId, LockMode)> {
+        let mut out: Vec<(LockId, LockMode)> = Vec::new();
+        for t in &self.threads {
+            for (&lock, &(_, mode)) in &t.granted {
+                if self.revoked.contains(&lock) {
+                    continue;
+                }
+                if matches!(t.state, TState::WaitData { lock: l, .. } if l == lock) {
+                    continue;
+                }
+                out.push((lock, mode));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Locks revoked by the coordinator but not yet released locally,
+    /// sorted for determinism.
+    pub fn revoked_locks(&self) -> Vec<LockId> {
+        let mut out: Vec<LockId> = self.revoked.iter().copied().collect();
+        out.sort();
+        out
+    }
+
+    /// Feeds the protocol-relevant runner state into `h`, for the schedule
+    /// explorer's state fingerprint.
+    pub fn hash_state(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        self.site.hash(h);
+        self.home.hash(h);
+        for t in &self.threads {
+            t.id.hash(h);
+            t.pc.hash(h);
+            match &t.state {
+                TState::Ready => 0u8.hash(h),
+                TState::WaitLocal(l) => {
+                    1u8.hash(h);
+                    l.hash(h);
+                }
+                TState::WaitGrant(l) => {
+                    2u8.hash(h);
+                    l.hash(h);
+                }
+                TState::WaitData { lock, need } => {
+                    3u8.hash(h);
+                    lock.hash(h);
+                    need.hash(h);
+                }
+                TState::WaitHome(l) => {
+                    4u8.hash(h);
+                    l.hash(h);
+                }
+                TState::WaitPush { lock, new_version } => {
+                    5u8.hash(h);
+                    lock.hash(h);
+                    new_version.hash(h);
+                }
+                TState::Sleeping => 6u8.hash(h),
+                TState::Done => 7u8.hash(h),
+                TState::Failed(e) => {
+                    8u8.hash(h);
+                    e.hash(h);
+                }
+            }
+            // Sorted then hashed; the lint can't see through `Hash::hash`.
+            #[allow(clippy::collection_is_never_read)]
+            let mut granted: Vec<(LockId, Version, LockMode)> =
+                t.granted.iter().map(|(&l, &(v, m))| (l, v, m)).collect();
+            granted.sort();
+            granted.hash(h);
+        }
+        self.revoked_locks().hash(h);
+        #[allow(clippy::collection_is_never_read)]
+        let mut pending: Vec<(LockId, LockMode)> =
+            self.pending_mode.iter().map(|(&l, &m)| (l, m)).collect();
+        pending.sort();
+        pending.hash(h);
+    }
+
     fn record(thread: &mut AppThread, now: SimTime, label: impl Into<String>) {
         thread.records.push(Record {
             label: label.into(),
@@ -648,7 +733,7 @@ impl AppRunner {
     pub fn on_msg(
         &mut self,
         now: SimTime,
-        _from: SiteId,
+        from: SiteId,
         msg: Msg,
         daemon: &mut SiteDaemon,
         sink: &mut CmdSink,
@@ -698,7 +783,7 @@ impl AppRunner {
                 // Liveness + hold check from the coordinator (§4).
                 let holding = self.threads.iter().any(|t| t.granted.contains_key(&lock));
                 sink.send(
-                    _from,
+                    from,
                     ports::SYNC,
                     Msg::HeartbeatAck {
                         site: self.site,
@@ -755,8 +840,7 @@ impl AppRunner {
                             let mode = thread
                                 .granted
                                 .get(lock)
-                                .map(|(_, m)| *m)
-                                .unwrap_or(LockMode::Exclusive);
+                                .map_or(LockMode::Exclusive, |(_, m)| *m);
                             thread.granted.insert(*lock, (local, mode));
                             thread.state = TState::Ready;
                         }
@@ -815,10 +899,10 @@ impl AppRunner {
         if token & RETRY_FLAG != 0 {
             // Acquire retry for a thread stranded by home unreachability
             // or by a transfer whose data leg failed.
-            let lock = match self.threads.get(idx).map(|t| t.state.clone()) {
-                Some(TState::WaitHome(lock)) => lock,
-                Some(TState::WaitData { lock, .. }) => lock,
-                _ => return true, // recovered some other way
+            let Some(TState::WaitHome(lock) | TState::WaitData { lock, .. }) =
+                self.threads.get(idx).map(|t| t.state.clone())
+            else {
+                return true; // recovered some other way
             };
             // Ask the daemon for the coordinator's current location (§4:
             // threads "query the local daemon thread to obtain the
@@ -882,9 +966,8 @@ impl AppRunner {
         self.home = new_home;
         let site = self.site;
         for t in &mut self.threads {
-            let lock = match t.state {
-                TState::WaitHome(lock) | TState::WaitGrant(lock) => lock,
-                _ => continue,
+            let (TState::WaitHome(lock) | TState::WaitGrant(lock)) = t.state else {
+                continue;
             };
             let mode = self
                 .pending_mode

@@ -34,6 +34,81 @@ impl Default for AvailabilityConfig {
     }
 }
 
+/// Deliberate protocol faults for invariant-oracle testing.
+///
+/// Each flag re-introduces a specific protocol bug so the mutant harness
+/// in `mocha-check` can prove the corresponding invariant actually fires.
+/// The flags are inert unless the crate is compiled with the
+/// `fault-injection` cargo feature: [`FaultPlan::active`] collapses to the
+/// all-off default otherwise, so workspace feature unification can never
+/// change production behaviour — only code that *sets* a flag at runtime
+/// AND builds with the feature sees a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Grant an exclusive lock even while another holder exists
+    /// (violates the single-writer invariant).
+    pub grant_second_writer: bool,
+    /// Mark a grantee up-to-date at grant time, before its transfer
+    /// completes (violates up-to-date-set freshness).
+    pub optimistic_up_to_date: bool,
+    /// Skip the daemon's staleness guard and apply any incoming version
+    /// (violates per-site version monotonicity under reordering).
+    pub accept_any_version: bool,
+}
+
+impl FaultPlan {
+    /// The effective plan: identical to `self` when built with the
+    /// `fault-injection` feature, all-off otherwise.
+    #[must_use]
+    pub fn active(self) -> FaultPlan {
+        if cfg!(feature = "fault-injection") {
+            self
+        } else {
+            FaultPlan::default()
+        }
+    }
+
+    /// Whether any fault flag is set (before feature gating).
+    #[must_use]
+    pub fn any(self) -> bool {
+        self.grant_second_writer || self.optimistic_up_to_date || self.accept_any_version
+    }
+
+    /// Names of the enabled flags, for trace files.
+    #[must_use]
+    pub fn enabled_names(self) -> Vec<&'static str> {
+        let mut names = Vec::new();
+        if self.grant_second_writer {
+            names.push("grant_second_writer");
+        }
+        if self.optimistic_up_to_date {
+            names.push("optimistic_up_to_date");
+        }
+        if self.accept_any_version {
+            names.push("accept_any_version");
+        }
+        names
+    }
+
+    /// Parses a plan from flag names (the trace-file representation).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unknown name.
+    pub fn from_names<S: AsRef<str>>(names: &[S]) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for name in names {
+            match name.as_ref() {
+                "grant_second_writer" => plan.grant_second_writer = true,
+                "optimistic_up_to_date" => plan.optimistic_up_to_date = true,
+                "accept_any_version" => plan.accept_any_version = true,
+                other => return Err(format!("unknown fault flag {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
 /// Complete configuration for a Mocha deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MochaConfig {
@@ -61,6 +136,9 @@ pub struct MochaConfig {
     /// sends data directly to "exploit locality"; enabling this quantifies
     /// what that optimisation buys.
     pub relay_transfers: bool,
+    /// Deliberate protocol faults for oracle testing; inert unless the
+    /// `fault-injection` feature is compiled in.
+    pub faults: FaultPlan,
 }
 
 impl Default for MochaConfig {
@@ -74,6 +152,7 @@ impl Default for MochaConfig {
             recovery_poll_window: Duration::from_millis(400),
             break_locks: true,
             relay_transfers: false,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -160,5 +239,34 @@ mod tests {
         let a = AvailabilityConfig::default();
         assert_eq!(a.ur, 1);
         assert!(!a.wait_for_acks);
+    }
+
+    #[test]
+    fn fault_plan_names_roundtrip() {
+        let plan = FaultPlan {
+            grant_second_writer: true,
+            accept_any_version: true,
+            ..FaultPlan::default()
+        };
+        let names = plan.enabled_names();
+        assert_eq!(names, vec!["grant_second_writer", "accept_any_version"]);
+        assert_eq!(FaultPlan::from_names(&names).unwrap(), plan);
+        assert!(FaultPlan::from_names(&["bogus"]).is_err());
+        assert!(plan.any());
+        assert!(!FaultPlan::default().any());
+    }
+
+    #[test]
+    fn fault_plan_inert_without_feature() {
+        let plan = FaultPlan {
+            grant_second_writer: true,
+            optimistic_up_to_date: true,
+            accept_any_version: true,
+        };
+        if cfg!(feature = "fault-injection") {
+            assert_eq!(plan.active(), plan);
+        } else {
+            assert_eq!(plan.active(), FaultPlan::default());
+        }
     }
 }

@@ -21,6 +21,7 @@ use mocha_wire::message::ReplicaUpdate;
 use mocha_wire::{LockId, Msg, ReplicaId, ReplicaPayload, RequestId, SiteId, Version};
 
 use crate::cmd::{CmdSink, SendTag, Signal};
+use crate::config::FaultPlan;
 use crate::error::MochaError;
 use crate::replica::ReplicaSpec;
 
@@ -92,6 +93,9 @@ pub struct SiteDaemon {
     cache_clock: u64,
     next_req: RequestId,
     stats: DaemonStats,
+    /// Deliberate faults for oracle testing (inert unless built with the
+    /// `fault-injection` feature).
+    faults: FaultPlan,
 }
 
 impl SiteDaemon {
@@ -112,7 +116,14 @@ impl SiteDaemon {
             cache_clock: 0,
             next_req: RequestId(1),
             stats: DaemonStats::default(),
+            faults: FaultPlan::default(),
         }
+    }
+
+    /// Installs the deliberate-fault plan (mutant harness only; the flags
+    /// are inert unless built with the `fault-injection` feature).
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
     }
 
     /// Accumulated statistics.
@@ -138,6 +149,47 @@ impl SiteDaemon {
             .get(&lock)
             .copied()
             .unwrap_or(Version::INITIAL)
+    }
+
+    /// Every (lock, newest local version) pair, sorted by lock id — the
+    /// invariant oracle's view of this daemon.
+    pub fn versions(&self) -> Vec<(LockId, Version)> {
+        self.lock_version.iter().map(|(l, v)| (*l, *v)).collect()
+    }
+
+    /// Feeds the daemon's protocol-relevant state into `h`, in a
+    /// deterministic order, for explorer state fingerprinting.
+    pub fn hash_state(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        self.me.hash(h);
+        self.home.hash(h);
+        // lock_version is a BTreeMap: iteration order is deterministic.
+        for (lock, version) in &self.lock_version {
+            lock.hash(h);
+            version.hash(h);
+        }
+        // Replica contents, via their wire encoding (payloads hold f64s
+        // and so cannot derive Hash).
+        let mut replicas: Vec<&ReplicaId> = self.store.keys().collect();
+        replicas.sort_unstable();
+        for id in replicas {
+            id.hash(h);
+            let mut w = mocha_wire::io::ByteWriter::new();
+            self.store[id].encode(&mut w);
+            w.into_bytes().hash(h);
+        }
+        // In-flight pushes decide which acks advance the dissemination.
+        let mut reqs: Vec<&RequestId> = self.pushes.keys().collect();
+        reqs.sort_unstable();
+        for req in reqs {
+            let task = &self.pushes[req];
+            req.hash(h);
+            task.lock.hash(h);
+            task.version.hash(h);
+            task.current.hash(h);
+            task.remaining.hash(h);
+            task.acked.hash(h);
+        }
     }
 
     /// Reads a replica's current local value.
@@ -239,10 +291,18 @@ impl SiteDaemon {
     /// Returns whether it was applied.
     fn apply(&mut self, lock: LockId, version: Version, updates: Vec<ReplicaUpdate>) -> bool {
         let local = self.version_of(lock);
-        if version < local {
+        // Mutant-harness hook: dropping the staleness guard lets reordered
+        // deliveries regress the local version (the bug the oracle's
+        // VersionRegression invariant exists to catch).
+        if version < local && !self.faults.active().accept_any_version {
             self.stats.stale_updates_discarded += 1;
             return false;
         }
+        debug_assert!(
+            version >= local || self.faults.active().accept_any_version,
+            "daemon {me} applying {version:?} over newer local {local:?} for {lock}",
+            me = self.me
+        );
         for u in updates {
             // Transfers can carry replicas not yet registered locally
             // (another site created them); adopt them.
@@ -344,21 +404,19 @@ impl SiteDaemon {
             let Some(task) = self.pushes.get_mut(&req) else {
                 return;
             };
-            match task.remaining.pop_front() {
-                Some(target) => {
-                    task.current = Some(target);
-                    task.tried.insert(target);
-                    (task.lock, task.version, target)
-                }
-                None => {
-                    task.current = None;
-                    let task = self.pushes.remove(&req).expect("task exists");
+            if let Some(target) = task.remaining.pop_front() {
+                task.current = Some(target);
+                task.tried.insert(target);
+                (task.lock, task.version, target)
+            } else {
+                task.current = None;
+                if let Some(task) = self.pushes.remove(&req) {
                     sink.signal(Signal::PushesComplete {
                         lock: task.lock,
                         acked: task.acked,
                     });
-                    return;
                 }
+                return;
             }
         };
         // Re-marshaled per destination, as a per-send pack loop would.
@@ -468,19 +526,15 @@ impl SiteDaemon {
                 }
             }
             Msg::PushAck { req, site, .. } => {
-                let advance = self
-                    .pushes
-                    .get_mut(&req)
-                    .map(|task| {
-                        if task.current == Some(site) {
-                            task.current = None;
-                            task.acked.push(site);
-                            true
-                        } else {
-                            false
-                        }
-                    })
-                    .unwrap_or(false);
+                let advance = self.pushes.get_mut(&req).is_some_and(|task| {
+                    if task.current == Some(site) {
+                        task.current = None;
+                        task.acked.push(site);
+                        true
+                    } else {
+                        false
+                    }
+                });
                 if advance {
                     self.push_next(req, sink);
                 }
@@ -511,8 +565,7 @@ impl SiteDaemon {
                 let apply = self
                     .cache_stamps
                     .get(&replica)
-                    .map(|local| incoming > *local)
-                    .unwrap_or(true);
+                    .is_none_or(|local| incoming > *local);
                 if apply {
                     self.cache_stamps.insert(replica, incoming);
                     self.store.insert(replica, payload);

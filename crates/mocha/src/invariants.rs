@@ -1,0 +1,544 @@
+//! Protocol safety invariants and the oracle that checks them.
+//!
+//! The entry-consistency protocol makes a handful of promises that must
+//! hold in *every* reachable state, no matter how messages interleave:
+//!
+//! 1. **Single writer** — at most one exclusive holder per lock, both in
+//!    the coordinator's books and among live application threads.
+//! 2. **Version monotonicity** — a site daemon's version for a lock never
+//!    decreases (the daemon's staleness guard discards older data).
+//! 3. **Up-to-date freshness** — every site the coordinator believes
+//!    up-to-date actually holds at least the coordinator's version.
+//! 4. **Single home** — no two live sites both run a coordinator.
+//! 5. **Push-set sanity** — the up-to-date set and holders stay within
+//!    the registered membership.
+//!
+//! The [`InvariantOracle`] evaluates these over [`ClusterView`] snapshots
+//! assembled from live sites (see `SimCluster::cluster_view`). It is
+//! *stateful*: version monotonicity compares against the highest version
+//! previously observed per `(site, lock)`, so it catches regressions even
+//! between two individually-plausible snapshots.
+//!
+//! Legal transients the oracle deliberately tolerates:
+//!
+//! * a daemon ahead of the coordinator (release in flight after a local
+//!   `disseminate`) — freshness only bounds up-to-date members from below;
+//! * double holders during the lease-break window — app-side writer
+//!   counting is skipped once any lock has been broken, and revoked holds
+//!   are excluded by the snapshot accessor;
+//! * version drops adopted by §4 recovery (weakened consistency) — those
+//!   lower the *coordinator's* version, never a daemon's, and freshness is
+//!   not checked while a recovery is in progress.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use mocha_wire::message::LockMode;
+use mocha_wire::{LockId, SiteId, ThreadId, Version};
+
+/// One holder entry in a [`LockView`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HolderView {
+    /// Holding site.
+    pub site: SiteId,
+    /// Holding thread at that site.
+    pub thread: ThreadId,
+    /// Exclusive or shared.
+    pub mode: LockMode,
+    /// The coordinator has an unanswered heartbeat out to this holder.
+    pub suspected: bool,
+}
+
+/// Coordinator-side snapshot of one lock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockView {
+    /// The lock.
+    pub lock: LockId,
+    /// Coordinator's current version for the lock's replica set.
+    pub version: Version,
+    /// Current holders.
+    pub holders: Vec<HolderView>,
+    /// Sites the coordinator believes hold the current version.
+    pub up_to_date: Vec<SiteId>,
+    /// All registered member sites.
+    pub members: Vec<SiteId>,
+    /// A §4 recovery is in progress for this lock.
+    pub recovering: bool,
+}
+
+/// Snapshot of one coordinator instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoordinatorView {
+    /// Site hosting this coordinator.
+    pub site: SiteId,
+    /// Per-lock state, sorted by lock id.
+    pub locks: Vec<LockView>,
+    /// How many locks this coordinator has broken so far.
+    pub locks_broken: u64,
+}
+
+/// Snapshot of one live site (daemon + application threads).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteView {
+    /// The site.
+    pub site: SiteId,
+    /// The daemon's newest version per lock, sorted by lock id.
+    pub versions: Vec<(LockId, Version)>,
+    /// Locks actively held by application threads here (revoked holds and
+    /// grants still awaiting data excluded), sorted by lock id.
+    pub holds: Vec<(LockId, LockMode)>,
+    /// Whether this site currently runs a coordinator.
+    pub hosts_coordinator: bool,
+}
+
+/// A cluster-wide snapshot of every live site.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterView {
+    /// Every live coordinator (normally exactly one).
+    pub coordinators: Vec<CoordinatorView>,
+    /// Every live site.
+    pub sites: Vec<SiteView>,
+}
+
+/// A violated safety property, with enough context to debug it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// More than one writer (or a writer plus other holders) at once.
+    MultipleWriters {
+        /// The affected lock.
+        lock: LockId,
+        /// Human-readable description of the conflicting holders.
+        detail: String,
+    },
+    /// A site daemon's version for a lock went backwards.
+    VersionRegression {
+        /// The regressing site.
+        site: SiteId,
+        /// The affected lock.
+        lock: LockId,
+        /// Highest version previously observed at that site.
+        from: Version,
+        /// The lower version observed now.
+        to: Version,
+    },
+    /// A site the coordinator believes up-to-date holds an older version.
+    StaleUpToDate {
+        /// The affected lock.
+        lock: LockId,
+        /// The supposedly up-to-date site.
+        site: SiteId,
+        /// The coordinator's version.
+        coordinator: Version,
+        /// What the site actually holds.
+        held: Version,
+    },
+    /// Two or more live sites both believe they are the home site.
+    SplitHome {
+        /// The sites hosting coordinators.
+        sites: Vec<SiteId>,
+    },
+    /// Up-to-date set or holder outside the registered membership.
+    PushSetInconsistent {
+        /// The affected lock.
+        lock: LockId,
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+}
+
+impl Violation {
+    /// Stable short name of the violated invariant (trace files, stats).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::MultipleWriters { .. } => "multiple_writers",
+            Violation::VersionRegression { .. } => "version_regression",
+            Violation::StaleUpToDate { .. } => "stale_up_to_date",
+            Violation::SplitHome { .. } => "split_home",
+            Violation::PushSetInconsistent { .. } => "push_set_inconsistent",
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::MultipleWriters { lock, detail } => {
+                write!(f, "multiple writers on {lock}: {detail}")
+            }
+            Violation::VersionRegression {
+                site,
+                lock,
+                from,
+                to,
+            } => write!(f, "version regression at {site} for {lock}: {from} -> {to}"),
+            Violation::StaleUpToDate {
+                lock,
+                site,
+                coordinator,
+                held,
+            } => write!(
+                f,
+                "{site} marked up-to-date for {lock} but holds {held} < coordinator {coordinator}"
+            ),
+            Violation::SplitHome { sites } => {
+                write!(f, "split home: coordinators live at {sites:?}")
+            }
+            Violation::PushSetInconsistent { lock, detail } => {
+                write!(f, "push-set inconsistency on {lock}: {detail}")
+            }
+        }
+    }
+}
+
+/// Stateful invariant oracle. Feed it a [`ClusterView`] after every
+/// delivered event; it returns the violations that snapshot exhibits.
+#[derive(Debug, Clone, Default)]
+pub struct InvariantOracle {
+    /// Highest daemon version ever observed per (site, lock).
+    seen_versions: HashMap<(SiteId, LockId), Version>,
+}
+
+impl InvariantOracle {
+    /// A fresh oracle with no version history.
+    #[must_use]
+    pub fn new() -> InvariantOracle {
+        InvariantOracle::default()
+    }
+
+    /// Drops version history for `site`. Call when a site reboots with a
+    /// fresh (empty) store — its versions legitimately restart at zero.
+    pub fn forget_site(&mut self, site: SiteId) {
+        self.seen_versions.retain(|(s, _), _| *s != site);
+    }
+
+    /// Checks every invariant against `view`, updating version history.
+    pub fn check(&mut self, view: &ClusterView) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        Self::check_split_home(view, &mut violations);
+        self.check_version_monotonicity(view, &mut violations);
+        for coordinator in &view.coordinators {
+            for lv in &coordinator.locks {
+                Self::check_coordinator_writers(lv, &mut violations);
+                Self::check_push_set(lv, &mut violations);
+                Self::check_freshness(view, lv, &mut violations);
+            }
+            Self::check_app_writers(view, coordinator, &mut violations);
+        }
+        violations
+    }
+
+    fn check_split_home(view: &ClusterView, out: &mut Vec<Violation>) {
+        let homes: Vec<SiteId> = view
+            .sites
+            .iter()
+            .filter(|s| s.hosts_coordinator)
+            .map(|s| s.site)
+            .collect();
+        if homes.len() > 1 {
+            out.push(Violation::SplitHome { sites: homes });
+        }
+    }
+
+    fn check_version_monotonicity(&mut self, view: &ClusterView, out: &mut Vec<Violation>) {
+        for site in &view.sites {
+            for &(lock, version) in &site.versions {
+                let seen = self
+                    .seen_versions
+                    .entry((site.site, lock))
+                    .or_insert(version);
+                if version < *seen {
+                    out.push(Violation::VersionRegression {
+                        site: site.site,
+                        lock,
+                        from: *seen,
+                        to: version,
+                    });
+                } else {
+                    *seen = version;
+                }
+            }
+        }
+    }
+
+    /// Coordinator-side single-writer check: an exclusive holder excludes
+    /// every other holder, always (grants enforce this directly, so there
+    /// is no legal transient to tolerate).
+    fn check_coordinator_writers(lv: &LockView, out: &mut Vec<Violation>) {
+        let exclusive = lv
+            .holders
+            .iter()
+            .filter(|h| h.mode == LockMode::Exclusive)
+            .count();
+        if exclusive > 1 || (exclusive == 1 && lv.holders.len() > 1) {
+            out.push(Violation::MultipleWriters {
+                lock: lv.lock,
+                detail: format!("coordinator holders {:?}", lv.holders),
+            });
+        }
+    }
+
+    /// Application-side single-writer check: counts live threads holding
+    /// the lock exclusively across sites. Skipped once the coordinator has
+    /// broken any lock — a revoked-but-slow holder may legally overlap its
+    /// successor until its stale release is discarded.
+    fn check_app_writers(
+        view: &ClusterView,
+        coordinator: &CoordinatorView,
+        out: &mut Vec<Violation>,
+    ) {
+        if coordinator.locks_broken > 0 {
+            return;
+        }
+        let mut writers: HashMap<LockId, Vec<SiteId>> = HashMap::new();
+        for site in &view.sites {
+            for &(lock, mode) in &site.holds {
+                if mode == LockMode::Exclusive {
+                    writers.entry(lock).or_default().push(site.site);
+                }
+            }
+        }
+        for (lock, sites) in writers {
+            if sites.len() > 1 {
+                out.push(Violation::MultipleWriters {
+                    lock,
+                    detail: format!("application writers at {sites:?}"),
+                });
+            }
+        }
+    }
+
+    /// Up-to-date members must hold at least the coordinator's version.
+    /// Not checked while a §4 recovery is adjusting the version downward.
+    fn check_freshness(view: &ClusterView, lv: &LockView, out: &mut Vec<Violation>) {
+        if lv.recovering {
+            return;
+        }
+        for &site in &lv.up_to_date {
+            let Some(sv) = view.sites.iter().find(|s| s.site == site) else {
+                continue; // crashed or unknown: nothing to compare
+            };
+            let held = sv
+                .versions
+                .iter()
+                .find(|(l, _)| *l == lv.lock)
+                .map_or(Version::INITIAL, |(_, v)| *v);
+            if held < lv.version {
+                out.push(Violation::StaleUpToDate {
+                    lock: lv.lock,
+                    site,
+                    coordinator: lv.version,
+                    held,
+                });
+            }
+        }
+    }
+
+    /// Bookkeeping sanity: the up-to-date set stays within membership, and
+    /// (outside failure handling) so do the holders.
+    fn check_push_set(lv: &LockView, out: &mut Vec<Violation>) {
+        for &site in &lv.up_to_date {
+            if !lv.members.contains(&site) {
+                out.push(Violation::PushSetInconsistent {
+                    lock: lv.lock,
+                    detail: format!("{site} up-to-date but not a member of {:?}", lv.members),
+                });
+            }
+        }
+        if !lv.recovering {
+            for holder in &lv.holders {
+                if !holder.suspected && !lv.members.contains(&holder.site) {
+                    out.push(Violation::PushSetInconsistent {
+                        lock: lv.lock,
+                        detail: format!("holder {} not a member of {:?}", holder.site, lv.members),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L: LockId = LockId(1);
+    const S0: SiteId = SiteId(0);
+    const S1: SiteId = SiteId(1);
+    const S2: SiteId = SiteId(2);
+
+    fn holder(site: SiteId, mode: LockMode) -> HolderView {
+        HolderView {
+            site,
+            thread: ThreadId(0),
+            mode,
+            suspected: false,
+        }
+    }
+
+    fn lock_view() -> LockView {
+        LockView {
+            lock: L,
+            version: Version(0),
+            holders: Vec::new(),
+            up_to_date: Vec::new(),
+            members: vec![S0, S1, S2],
+            recovering: false,
+        }
+    }
+
+    fn site_view(site: SiteId) -> SiteView {
+        SiteView {
+            site,
+            versions: Vec::new(),
+            holds: Vec::new(),
+            hosts_coordinator: site == S0,
+        }
+    }
+
+    fn cluster(locks: Vec<LockView>, sites: Vec<SiteView>) -> ClusterView {
+        ClusterView {
+            coordinators: vec![CoordinatorView {
+                site: S0,
+                locks,
+                locks_broken: 0,
+            }],
+            sites,
+        }
+    }
+
+    #[test]
+    fn clean_view_passes() {
+        let mut lv = lock_view();
+        lv.holders = vec![holder(S1, LockMode::Exclusive)];
+        lv.up_to_date = vec![S1];
+        let mut s1 = site_view(S1);
+        s1.versions = vec![(L, Version(0))];
+        s1.holds = vec![(L, LockMode::Exclusive)];
+        let view = cluster(vec![lv], vec![site_view(S0), s1]);
+        assert_eq!(InvariantOracle::new().check(&view), Vec::new());
+    }
+
+    #[test]
+    fn two_exclusive_holders_flagged() {
+        let mut lv = lock_view();
+        lv.holders = vec![
+            holder(S1, LockMode::Exclusive),
+            holder(S2, LockMode::Exclusive),
+        ];
+        let view = cluster(vec![lv], vec![site_view(S0)]);
+        let vs = InvariantOracle::new().check(&view);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].kind(), "multiple_writers");
+    }
+
+    #[test]
+    fn exclusive_plus_shared_flagged() {
+        let mut lv = lock_view();
+        lv.holders = vec![
+            holder(S1, LockMode::Exclusive),
+            holder(S2, LockMode::Shared),
+        ];
+        let view = cluster(vec![lv], vec![site_view(S0)]);
+        assert_eq!(InvariantOracle::new().check(&view).len(), 1);
+    }
+
+    #[test]
+    fn shared_holders_are_fine() {
+        let mut lv = lock_view();
+        lv.holders = vec![holder(S1, LockMode::Shared), holder(S2, LockMode::Shared)];
+        let view = cluster(vec![lv], vec![site_view(S0)]);
+        assert_eq!(InvariantOracle::new().check(&view), Vec::new());
+    }
+
+    #[test]
+    fn app_side_double_writer_flagged_only_without_breaks() {
+        let mut s1 = site_view(S1);
+        s1.holds = vec![(L, LockMode::Exclusive)];
+        let mut s2 = site_view(S2);
+        s2.holds = vec![(L, LockMode::Exclusive)];
+        let mut view = cluster(vec![lock_view()], vec![site_view(S0), s1, s2]);
+        assert_eq!(InvariantOracle::new().check(&view).len(), 1);
+        // After a lock break the overlap is a legal transient.
+        view.coordinators[0].locks_broken = 1;
+        assert_eq!(InvariantOracle::new().check(&view), Vec::new());
+    }
+
+    #[test]
+    fn version_regression_detected_across_snapshots() {
+        let mut oracle = InvariantOracle::new();
+        let mut s1 = site_view(S1);
+        s1.versions = vec![(L, Version(5))];
+        let view = cluster(vec![lock_view()], vec![s1.clone()]);
+        assert_eq!(oracle.check(&view), Vec::new());
+        s1.versions = vec![(L, Version(3))];
+        let view = cluster(vec![lock_view()], vec![s1]);
+        let vs = oracle.check(&view);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].kind(), "version_regression");
+        assert!(vs[0].to_string().contains("v5 -> v3"));
+    }
+
+    #[test]
+    fn forget_site_resets_history() {
+        let mut oracle = InvariantOracle::new();
+        let mut s1 = site_view(S1);
+        s1.versions = vec![(L, Version(5))];
+        oracle.check(&cluster(vec![lock_view()], vec![s1.clone()]));
+        oracle.forget_site(S1);
+        s1.versions = vec![(L, Version(0))];
+        assert_eq!(
+            oracle.check(&cluster(vec![lock_view()], vec![s1])),
+            Vec::new()
+        );
+    }
+
+    #[test]
+    fn stale_up_to_date_member_flagged() {
+        let mut lv = lock_view();
+        lv.version = Version(4);
+        lv.up_to_date = vec![S1];
+        let mut s1 = site_view(S1);
+        s1.versions = vec![(L, Version(2))];
+        let view = cluster(vec![lv.clone()], vec![site_view(S0), s1.clone()]);
+        let vs = InvariantOracle::new().check(&view);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].kind(), "stale_up_to_date");
+        // ...but not while a recovery is rewinding the version.
+        lv.recovering = true;
+        let view = cluster(vec![lv], vec![site_view(S0), s1]);
+        assert_eq!(InvariantOracle::new().check(&view), Vec::new());
+    }
+
+    #[test]
+    fn daemon_ahead_of_coordinator_is_legal() {
+        let mut lv = lock_view();
+        lv.version = Version(2);
+        lv.up_to_date = vec![S1];
+        let mut s1 = site_view(S1);
+        s1.versions = vec![(L, Version(3))]; // release still in flight
+        let view = cluster(vec![lv], vec![site_view(S0), s1]);
+        assert_eq!(InvariantOracle::new().check(&view), Vec::new());
+    }
+
+    #[test]
+    fn split_home_flagged() {
+        let mut s1 = site_view(S1);
+        s1.hosts_coordinator = true;
+        let view = cluster(vec![], vec![site_view(S0), s1]);
+        let vs = InvariantOracle::new().check(&view);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].kind(), "split_home");
+    }
+
+    #[test]
+    fn up_to_date_outside_membership_flagged() {
+        let mut lv = lock_view();
+        lv.members = vec![S0, S1];
+        lv.up_to_date = vec![S2];
+        let view = cluster(vec![lv], vec![site_view(S0)]);
+        let vs = InvariantOracle::new().check(&view);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].kind(), "push_set_inconsistent");
+    }
+}

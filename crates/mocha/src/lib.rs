@@ -94,6 +94,7 @@ pub mod config;
 pub mod daemon;
 pub mod error;
 pub mod hostfile;
+pub mod invariants;
 pub mod replica;
 pub mod runtime;
 pub mod spawn;
@@ -103,7 +104,7 @@ pub mod travelbag;
 #[doc(hidden)]
 pub use replica::__private;
 
-pub use config::{AvailabilityConfig, MochaConfig};
+pub use config::{AvailabilityConfig, FaultPlan, MochaConfig};
 pub use error::MochaError;
 pub use replica::{replica_id, ObjectReplica, SharedState};
 pub use travelbag::{Parameter, TravelBag, Value};

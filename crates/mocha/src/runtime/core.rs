@@ -14,7 +14,7 @@
 //! processing, timers (a wall-clock [`TimerWheel`]), signals, the
 //! application request surface — is identical and lives here.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -232,7 +232,7 @@ pub(crate) struct SiteCore<L: Link> {
     /// Held locks with their granted versions and access modes.
     held: HashMap<LockId, (Version, LockMode)>,
     /// Locks revoked while held.
-    revoked: HashMap<LockId, ()>,
+    revoked: HashSet<LockId>,
     /// Local FIFO of lock requests behind the current one.
     local_queue: HashMap<LockId, VecDeque<LockWaiter>>,
     /// Releases deferred until dissemination acks arrive:
@@ -281,7 +281,7 @@ impl<L: Link> SiteCore<L> {
             pending_grant: HashMap::new(),
             wait_data: HashMap::new(),
             held: HashMap::new(),
-            revoked: HashMap::new(),
+            revoked: HashSet::new(),
             local_queue: HashMap::new(),
             wait_push: HashMap::new(),
             pending_spawns: HashMap::new(),
@@ -413,7 +413,7 @@ impl<L: Link> SiteCore<L> {
                 }
             }
             Msg::LockRevoked { lock, .. } if self.held.contains_key(&lock) => {
-                self.revoked.insert(lock, ());
+                self.revoked.insert(lock);
             }
             _ => {}
         }
@@ -458,7 +458,7 @@ impl<L: Link> SiteCore<L> {
                     let _ = reply.send(Err(MochaError::NotLocked { lock }));
                     return;
                 };
-                let was_revoked = self.revoked.remove(&lock).is_some();
+                let was_revoked = self.revoked.remove(&lock);
                 // A shared hold cannot have written.
                 let dirty = dirty && mode == LockMode::Exclusive;
                 let new_version = if dirty { granted.next() } else { granted };
@@ -471,12 +471,7 @@ impl<L: Link> SiteCore<L> {
                 // The release (or its deferral) is queued BEFORE the local
                 // hand-off, so a successor's acquire can never overtake it
                 // to the coordinator.
-                if !disseminated.is_empty() {
-                    // Defer the release until the pushes are acknowledged,
-                    // so the coordinator's up-to-date set is accurate.
-                    self.wait_push
-                        .insert(lock, (new_version, reply, was_revoked));
-                } else {
+                if disseminated.is_empty() {
                     self.sink.send(
                         self.home,
                         ports::SYNC,
@@ -493,6 +488,11 @@ impl<L: Link> SiteCore<L> {
                     } else {
                         let _ = reply.send(Ok(()));
                     }
+                } else {
+                    // Defer the release until the pushes are acknowledged,
+                    // so the coordinator's up-to-date set is accurate.
+                    self.wait_push
+                        .insert(lock, (new_version, reply, was_revoked));
                 }
                 // Local hand-off: the next queued request now contacts the
                 // coordinator (never handed data locally — fairness rule).
@@ -503,7 +503,7 @@ impl<L: Link> SiteCore<L> {
             AppRequest::Read { replica, reply } => {
                 let result = self
                     .guard_check(replica, false)
-                    .and_then(|_| self.daemon.read(replica).cloned());
+                    .and_then(|()| self.daemon.read(replica).cloned());
                 let _ = reply.send(result);
             }
             AppRequest::Write {
@@ -513,7 +513,7 @@ impl<L: Link> SiteCore<L> {
             } => {
                 let result = self
                     .guard_check(replica, true)
-                    .and_then(|_| self.daemon.write(replica, payload));
+                    .and_then(|()| self.daemon.write(replica, payload));
                 let _ = reply.send(result);
             }
             AppRequest::Publish { replica, reply } => {
@@ -719,9 +719,9 @@ impl<L: Link> SiteCore<L> {
                             }
                         }
                     }
-                    Cmd::Charge(_) | Cmd::ChargeTime(_) => {
-                        // Real time passes on its own in these runtimes.
-                    }
+                    // Real time passes on its own in these runtimes, and
+                    // simulator-only notes have no wall-clock meaning.
+                    Cmd::Charge(_) | Cmd::ChargeTime(_) | Cmd::Note(_) => {}
                     Cmd::SetTimer { token, after } => {
                         self.timers.set(token, after, Instant::now());
                     }
@@ -729,7 +729,6 @@ impl<L: Link> SiteCore<L> {
                         self.timers.cancel(token);
                     }
                     Cmd::Signal(signal) => self.handle_signal(signal),
-                    Cmd::Note(_) => {}
                     Cmd::Print(text) => self.prints.push(text),
                 }
             }

@@ -59,11 +59,19 @@ impl SiteHost {
         registry: Arc<TaskRegistry>,
     ) -> SiteHost {
         let coordinator = (site == home).then(|| SyncCoordinator::new(home, config));
+        let mut daemon = SiteDaemon::new(site, home, config.codec);
+        daemon.set_faults(config.faults);
+        let mut mux = TransportMux::new(site, config.net);
+        // Deterministic first-incarnation epoch: simulated wire bytes
+        // become a pure function of (site, config, schedule), which the
+        // schedule explorer's state fingerprints and trace replays rely
+        // on. Reboots get fresh epochs via [`SiteHost::set_transport_epoch`].
+        mux.set_epoch(site.as_raw() + 1);
         SiteHost {
             site,
             config,
-            mux: TransportMux::new(site, config.net),
-            daemon: SiteDaemon::new(site, home, config.codec),
+            mux,
+            daemon,
             coordinator,
             runner: AppRunner::new(site, home),
             manager: SiteManager::new(site, registry, site == home),
@@ -105,6 +113,13 @@ impl SiteHost {
         &mut self.manager
     }
 
+    /// Overrides the transport incarnation epoch. The simulator calls
+    /// this on reboot so each incarnation stamps distinct (but still
+    /// deterministic) epochs on the wire.
+    pub fn set_transport_epoch(&mut self, epoch: u32) {
+        self.mux.set_epoch(epoch);
+    }
+
     /// `mochaPrintln` output that reached this site.
     pub fn prints(&self) -> &[String] {
         &self.prints
@@ -127,7 +142,7 @@ impl SiteHost {
             mocha_net::ports::DAEMON => self.daemon.on_msg(now, from, msg, &mut self.sink),
             mocha_net::ports::APP => {
                 self.runner
-                    .on_msg(now, from, msg, &mut self.daemon, &mut self.sink)
+                    .on_msg(now, from, msg, &mut self.daemon, &mut self.sink);
             }
             mocha_net::ports::SITE_MANAGER => self.manager.on_msg(now, from, msg, &mut self.sink),
             other => self.notes.push(format!("message on unknown port {other}")),
@@ -254,9 +269,12 @@ impl SiteHost {
         }
     }
 
-    fn handle_harness(&mut self, ctx: &mut HostCtx<'_>, bytes: &[u8]) {
+    fn handle_harness(&mut self, ctx: &HostCtx<'_>, bytes: &[u8]) {
         let mut r = ByteReader::new(bytes);
-        let _proto = r.get_u8().expect("harness datagram");
+        if r.get_u8().is_err() {
+            self.notes.push("truncated harness datagram".into());
+            return;
+        }
         match r.get_u8() {
             Ok(HARNESS_KICK) => {
                 let now = ctx.now();
@@ -266,12 +284,20 @@ impl SiteHost {
                 // Become the surrogate coordinator: rebuild state from the
                 // predecessor's log, announce to every member daemon, and
                 // redirect local components.
-                let n = r.get_u32().expect("log length") as usize;
-                let mut log = Vec::with_capacity(n);
+                let Ok(n) = r.get_u32() else {
+                    self.notes.push("malformed harness promote".into());
+                    return;
+                };
+                let mut log = Vec::with_capacity(n as usize);
                 for _ in 0..n {
-                    let from = SiteId::decode(&mut r).expect("log entry site");
-                    let bytes = r.get_bytes().expect("log entry msg");
-                    let msg = Msg::decode(bytes).expect("log entry decode");
+                    let entry = SiteId::decode(&mut r).and_then(|from| {
+                        let bytes = r.get_bytes()?;
+                        Ok((from, Msg::decode(bytes)?))
+                    });
+                    let Ok((from, msg)) = entry else {
+                        self.notes.push("malformed harness promote log".into());
+                        return;
+                    };
                     log.push((from, msg));
                 }
                 let me = self.site;
@@ -296,10 +322,15 @@ impl SiteHost {
                 );
             }
             Ok(HARNESS_SPAWN) => {
-                let dest = SiteId::decode(&mut r).expect("harness spawn dest");
-                let class = r.get_string().expect("harness spawn class");
-                let params = Parameter::decode(r.get_bytes().expect("harness spawn params"))
-                    .expect("harness spawn params decode");
+                let decoded = SiteId::decode(&mut r).and_then(|dest| {
+                    let class = r.get_string()?;
+                    let params = Parameter::decode(r.get_bytes()?)?;
+                    Ok((dest, class, params))
+                });
+                let Ok((dest, class, params)) = decoded else {
+                    self.notes.push("malformed harness spawn".into());
+                    return;
+                };
                 self.manager.spawn(dest, &class, &params, &mut self.sink);
             }
             _ => {}
@@ -328,8 +359,7 @@ impl Host for SiteHost {
             || self
                 .coordinator
                 .as_mut()
-                .map(|c| c.on_timer(now, token, &mut self.sink))
-                .unwrap_or(false)
+                .is_some_and(|c| c.on_timer(now, token, &mut self.sink))
             || self
                 .runner
                 .on_timer(now, token, &mut self.daemon, &mut self.sink);
@@ -341,6 +371,29 @@ impl Host for SiteHost {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        use std::hash::{Hash, Hasher};
+        // Protocol-state digest for the schedule explorer. Deliberately
+        // excludes the transport mux (RTO estimators, retransmit queues):
+        // pending retransmissions surface as pending events in the world's
+        // fingerprint, and folding estimator state in here would make
+        // almost every interleaving look distinct, defeating dedup. The
+        // resulting fingerprint is a sound-enough heuristic for a bounded
+        // checker, not a full bisimulation key.
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.site.hash(&mut h);
+        match &self.coordinator {
+            Some(c) => {
+                1u8.hash(&mut h);
+                c.hash_state(&mut h);
+            }
+            None => 0u8.hash(&mut h),
+        }
+        self.daemon.hash_state(&mut h);
+        self.runner.hash_state(&mut h);
+        Some(h.finish())
     }
 }
 
@@ -440,12 +493,14 @@ impl SimClusterBuilder {
             }
             nodes.push(node);
         }
+        let incarnations = vec![0; self.sites];
         let mut cluster = SimCluster {
             world,
             nodes,
             home,
             restart_config: self.config,
             registry,
+            incarnations,
         };
         // Let on_start events fire so hosts are initialised.
         cluster.world.run_until(SimTime::ZERO);
@@ -462,6 +517,9 @@ pub struct SimCluster {
     /// Configuration used for rebooted sites (same as the original build).
     restart_config: MochaConfig,
     registry: Arc<TaskRegistry>,
+    /// Reboot count per site, for deterministic per-incarnation transport
+    /// epochs.
+    incarnations: Vec<u32>,
 }
 
 impl std::fmt::Debug for SimCluster {
@@ -596,12 +654,17 @@ impl SimCluster {
     /// from its previous incarnation.
     pub fn restart_site(&mut self, site: usize) {
         let node = self.nodes[site];
-        let host = SiteHost::new(
+        let mut host = SiteHost::new(
             SiteId(site as u32),
             self.home,
             self.restart_config,
             self.registry.clone(),
         );
+        // A fresh incarnation must stamp a distinct epoch so peers detect
+        // the reboot — but a deterministic one, so explorer replays stay
+        // byte-identical.
+        self.incarnations[site] += 1;
+        host.set_transport_epoch((self.incarnations[site] << 16) | (site as u32 + 1));
         self.world.restart(node, Box::new(host));
     }
 
@@ -683,6 +746,36 @@ impl SimCluster {
     /// Diagnostic notes at a site.
     pub fn notes(&mut self, site: usize) -> Vec<String> {
         self.host_mut(site).notes().to_vec()
+    }
+
+    /// Snapshots the protocol state of every live site for the invariant
+    /// oracle ([`crate::invariants::InvariantOracle`]). Crashed sites are
+    /// omitted — their state is unobservable and their invariants moot
+    /// until restart.
+    pub fn cluster_view(&mut self) -> crate::invariants::ClusterView {
+        let mut view = crate::invariants::ClusterView::default();
+        for i in 0..self.nodes.len() {
+            let node = self.nodes[i];
+            if self.world.is_crashed(node) {
+                continue;
+            }
+            let host = self.world.host_mut::<SiteHost>(node);
+            let site = host.site;
+            view.sites.push(crate::invariants::SiteView {
+                site,
+                versions: host.daemon().versions(),
+                holds: host.runner().active_holds(),
+                hosts_coordinator: host.coordinator().is_some(),
+            });
+            if let Some(c) = host.coordinator() {
+                view.coordinators.push(crate::invariants::CoordinatorView {
+                    site,
+                    locks: c.lock_views(),
+                    locks_broken: c.stats().locks_broken,
+                });
+            }
+        }
+        view
     }
 
     /// Finds the duration between two record labels for a thread,

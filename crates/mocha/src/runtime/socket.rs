@@ -320,15 +320,16 @@ fn run_site(
         pump(&mut core, &driver, &book);
         let timeout = core
             .next_deadline()
-            .map(|d| d.saturating_duration_since(Instant::now()))
-            .unwrap_or(Duration::from_millis(200));
+            .map_or(Duration::from_millis(200), |d| {
+                d.saturating_duration_since(Instant::now())
+            });
         match driver.recv(timeout.max(Duration::from_millis(1))) {
             Ok(mocha_net::udp::Recv::Datagram(inc)) => {
                 core.counters.inc_datagrams_delivered();
                 core.link.endpoint.set_now(core.epoch.elapsed());
                 core.link.endpoint.on_datagram(inc.from, &inc.datagram);
             }
-            Ok(mocha_net::udp::Recv::Woken) | Ok(mocha_net::udp::Recv::TimedOut) => {}
+            Ok(mocha_net::udp::Recv::Woken | mocha_net::udp::Recv::TimedOut) => {}
             Err(_) => {
                 // Transient socket error; don't spin.
                 std::thread::sleep(Duration::from_millis(5));

@@ -96,8 +96,9 @@ fn run_site(mut core: SiteCore<ThreadLink>, rx: Receiver<LoopInput>) {
         core.process_cmds();
         let timeout = core
             .next_deadline()
-            .map(|d| d.saturating_duration_since(Instant::now()))
-            .unwrap_or(Duration::from_millis(200));
+            .map_or(Duration::from_millis(200), |d| {
+                d.saturating_duration_since(Instant::now())
+            });
         match rx.recv_timeout(timeout) {
             Ok(input) => {
                 note_delivery(&core, &input);

@@ -240,6 +240,66 @@ impl SyncCoordinator {
             .unwrap_or_default()
     }
 
+    /// Read-only snapshots of every lock's coordinator-side state, sorted
+    /// by lock id — the invariant oracle's view of this coordinator.
+    pub fn lock_views(&self) -> Vec<crate::invariants::LockView> {
+        let mut views: Vec<crate::invariants::LockView> = self
+            .locks
+            .iter()
+            .map(|(lock, s)| crate::invariants::LockView {
+                lock: *lock,
+                version: s.version,
+                holders: s
+                    .holders
+                    .iter()
+                    .map(|h| crate::invariants::HolderView {
+                        site: h.who.site,
+                        thread: h.who.thread,
+                        mode: h.who.mode,
+                        suspected: h.suspected,
+                    })
+                    .collect(),
+                up_to_date: s.up_to_date.iter().copied().collect(),
+                members: s.members.iter().copied().collect(),
+                recovering: s.recovery.is_some(),
+            })
+            .collect();
+        views.sort_by_key(|v| v.lock);
+        views
+    }
+
+    /// Feeds the coordinator's protocol-relevant state into `h`, in a
+    /// deterministic order, for explorer state fingerprinting.
+    pub fn hash_state(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        self.home.hash(h);
+        for view in self.lock_views() {
+            view.lock.hash(h);
+            view.version.hash(h);
+            view.recovering.hash(h);
+            for holder in &view.holders {
+                holder.site.hash(h);
+                holder.thread.hash(h);
+                holder.mode.hash(h);
+                holder.suspected.hash(h);
+            }
+            view.up_to_date.hash(h);
+            view.members.hash(h);
+        }
+        // Queued requesters matter: they decide future grant order.
+        let mut locks: Vec<&LockId> = self.locks.keys().collect();
+        locks.sort_unstable();
+        for lock in locks {
+            for r in &self.locks[lock].queue {
+                r.site.hash(h);
+                r.thread.hash(h);
+                r.mode.hash(h);
+            }
+        }
+        self.blacklist.hash(h);
+        self.scan_running.hash(h);
+    }
+
     fn fresh_req(&mut self) -> RequestId {
         let r = self.next_req;
         self.next_req = self.next_req.next();
@@ -283,7 +343,7 @@ impl SyncCoordinator {
                 req,
             } => self.on_poll_response(now, lock, version, site, req, sink),
             Msg::HeartbeatAck { site, req, holding } => {
-                self.on_heartbeat_ack(now, site, req, holding, sink)
+                self.on_heartbeat_ack(now, site, req, holding, sink);
             }
             other => {
                 sink.note(format!(
@@ -371,10 +431,13 @@ impl SyncCoordinator {
                     && state.holders.iter().all(|h| h.who.mode == LockMode::Shared)
             }
         };
+        // Mutant-harness hook: re-introduce the "grant while held" bug so
+        // the single-writer invariant can be shown to fire. Inert unless
+        // built with `fault-injection` AND the flag is set at runtime.
+        let compatible = compatible || self.cfg.faults.active().grant_second_writer;
         if compatible {
             self.grant(now, lock, requester, sink);
-        } else {
-            let state = self.locks.get_mut(&lock).expect("lock exists");
+        } else if let Some(state) = self.locks.get_mut(&lock) {
             state.queue.push_back(requester);
         }
     }
@@ -383,7 +446,11 @@ impl SyncCoordinator {
     /// transferred and directing the transfer if so.
     fn grant(&mut self, now: SimTime, lock: LockId, to: Requester, sink: &mut CmdSink) {
         let break_locks = self.cfg.break_locks;
-        let state = self.locks.get_mut(&lock).expect("lock exists");
+        let faults = self.cfg.faults.active();
+        let Some(state) = self.locks.get_mut(&lock) else {
+            sink.note(format!("grant of unknown {lock} dropped"));
+            return;
+        };
         let version = state.version;
         let current = version == Version::INITIAL || state.up_to_date.contains(&to.site);
         let deadline = now + to.lease;
@@ -392,6 +459,19 @@ impl SyncCoordinator {
             deadline,
             suspected: false,
         });
+        // Mutant-harness hook: optimistically mark the grantee up-to-date
+        // before its transfer completes (the freshness bug the oracle's
+        // StaleUpToDate invariant exists to catch).
+        if faults.optimistic_up_to_date {
+            state.up_to_date.insert(to.site);
+        }
+        debug_assert!(
+            faults.grant_second_writer
+                || state.holders.len() <= 1
+                || state.holders.iter().all(|h| h.who.mode == LockMode::Shared),
+            "exclusive {lock} granted alongside existing holders: {:?}",
+            state.holders
+        );
         self.stats.grants += 1;
         let flag = if current {
             VersionFlag::VersionOk
@@ -421,7 +501,10 @@ impl SyncCoordinator {
     /// Asks the freshest daemon to send its replicas to `dest`.
     fn direct_transfer(&mut self, lock: LockId, dest: SiteId, sink: &mut CmdSink) {
         let req = self.fresh_req();
-        let state = self.locks.get_mut(&lock).expect("lock exists");
+        let Some(state) = self.locks.get_mut(&lock) else {
+            sink.note(format!("transfer for unknown {lock} dropped"));
+            return;
+        };
         // Prefer the last owner; otherwise any up-to-date site.
         let source = state
             .last_owner
@@ -506,17 +589,11 @@ impl SyncCoordinator {
     /// Grants the next compatible batch from the queue: one exclusive
     /// requester, or every consecutive shared requester at the front.
     fn grant_next_batch(&mut self, now: SimTime, lock: LockId, sink: &mut CmdSink) {
-        if !self
-            .locks
-            .get(&lock)
-            .map(|s| s.holders.is_empty())
-            .unwrap_or(false)
-        {
+        if !self.locks.get(&lock).is_some_and(|s| s.holders.is_empty()) {
             return; // still held (remaining shared holders)
         }
         let mut granted_any = false;
-        loop {
-            let state = self.locks.get_mut(&lock).expect("lock exists");
+        while let Some(state) = self.locks.get_mut(&lock) {
             let Some(next) = state.queue.front().copied() else {
                 break;
             };
@@ -784,7 +861,9 @@ impl SyncCoordinator {
 
     /// Removes a failed site from a lock's membership and freshness sets.
     fn fail_site_in_lock(&mut self, lock: LockId, dead: SiteId) {
-        let state = self.locks.get_mut(&lock).expect("lock exists");
+        let Some(state) = self.locks.get_mut(&lock) else {
+            return;
+        };
         state.members.remove(&dead);
         state.up_to_date.remove(&dead);
         if state.last_owner == Some(dead) {
@@ -822,7 +901,10 @@ impl SyncCoordinator {
     fn start_recovery(&mut self, lock: LockId, dest: SiteId, sink: &mut CmdSink) {
         let req = self.fresh_req();
         let window = self.cfg.recovery_poll_window;
-        let state = self.locks.get_mut(&lock).expect("lock exists");
+        let Some(state) = self.locks.get_mut(&lock) else {
+            sink.note(format!("recovery for unknown {lock} dropped"));
+            return;
+        };
         if state.recovery.is_some() {
             return; // already recovering; the grantee will be served by it
         }

@@ -5,6 +5,8 @@
 //! the repository's `README.md` / `DESIGN.md` / `EXPERIMENTS.md` for the
 //! reproduction story.
 
+#![forbid(unsafe_code)]
+
 pub use mocha;
 pub use mocha_apps as apps;
 pub use mocha_net as net;
