@@ -68,7 +68,7 @@ impl Whiteboard {
             BOARD_LOCK,
             vec![ReplicaSpec::new(
                 "whiteboard:drawing",
-                ObjectReplica::new("drawing", Drawing::default()).to_payload(),
+                ObjectReplica::new("drawing", Drawing::default()).to_payload()?,
             )],
         )?;
         let pointers = participants
@@ -101,7 +101,7 @@ impl Whiteboard {
             drawing.strokes.push(stroke);
             self.handle.write(
                 drawing_replica(),
-                ObjectReplica::new("drawing", drawing).to_payload(),
+                ObjectReplica::new("drawing", drawing).to_payload()?,
             )
         })();
         self.handle.unlock(BOARD_LOCK, result.is_ok())?;

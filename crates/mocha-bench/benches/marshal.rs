@@ -21,10 +21,10 @@ fn bench_model(c: &mut Criterion) {
 fn bench_real_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("codec_encode_decode");
     for size in [1024usize, 65536, 262_144] {
-        let updates = vec![ReplicaUpdate {
-            replica: ReplicaId(1),
-            payload: ReplicaPayload::Bytes(vec![0xAB; size]),
-        }];
+        let updates = vec![ReplicaUpdate::new(
+            ReplicaId(1),
+            ReplicaPayload::Bytes(vec![0xAB; size]),
+        )];
         group.bench_with_input(BenchmarkId::new("roundtrip", size), &size, |b, _| {
             b.iter(|| {
                 let m = CodecKind::Bulk.marshaller();

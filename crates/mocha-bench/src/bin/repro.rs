@@ -87,6 +87,12 @@ fn main() {
     if what == "transport-smoke" {
         transport_smoke();
     }
+    if all || what == "delta" {
+        delta();
+    }
+    if what == "delta-smoke" {
+        delta_smoke();
+    }
     if all || what == "app" {
         app();
     }
@@ -411,6 +417,81 @@ fn transport_smoke() {
         );
         failed |= !ok;
     }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn delta() {
+    use mocha_bench::delta::{delta_sweep, write_json, DELTA_ROUNDS};
+
+    println!();
+    println!("Delta dissemination sweep: sequential full pushes vs delta + pipeline");
+    println!("({DELTA_ROUNDS} small-write releases per point, wide-area links)");
+    println!("-----------------------------------------------------------------------");
+    println!(
+        "  {:<16} {:>8} {:>7} {:>8} {:>13} {:>7} {:>6} {:>12}",
+        "mode", "payload", "write", "targets", "bytes sent", "deltas", "nacks", "rel→acks ms"
+    );
+    let points = delta_sweep();
+    for p in &points {
+        println!(
+            "  {:<16} {:>7}K {:>6}B {:>8} {:>13} {:>7} {:>6} {:>12.1}",
+            p.mode,
+            p.payload_bytes / 1024,
+            p.write_bytes,
+            p.targets,
+            p.replica_bytes_sent,
+            p.delta_pushes,
+            p.delta_nacks,
+            p.mean_release_to_acks_ms,
+        );
+    }
+    let path = std::path::Path::new("BENCH_delta.json");
+    write_json(path, &points).expect("write BENCH_delta.json");
+    println!("  wrote {}", path.display());
+}
+
+/// The CI smoke point: the two acceptance claims on the small-write /
+/// large-object workload — ≥5× fewer replica bytes than the sequential
+/// baseline, and 3-target release-to-acks latency within 1.5× of the
+/// 1-target case.
+fn delta_smoke() {
+    use mocha_bench::delta::run_point;
+
+    println!();
+    println!("Delta smoke (64K payload, 64B writes)");
+    println!("--------------------------------------");
+    let mut failed = false;
+    let mut check = |name: &str, ok: bool, detail: String| {
+        println!(
+            "  [{}] {:<44} {}",
+            if ok { "PASS" } else { "FAIL" },
+            name,
+            detail
+        );
+        failed |= !ok;
+    };
+    let full = run_point(64 * 1024, 64, 3, false);
+    let delta = run_point(64 * 1024, 64, 3, true);
+    let ratio = full.replica_bytes_sent as f64 / delta.replica_bytes_sent.max(1) as f64;
+    check(
+        "delta moves ≥5x fewer replica bytes",
+        ratio >= 5.0 && delta.delta_nacks == 0,
+        format!(
+            "{} vs {} bytes ({ratio:.0}x, {} nacks)",
+            full.replica_bytes_sent, delta.replica_bytes_sent, delta.delta_nacks
+        ),
+    );
+    let one = run_point(64 * 1024, 64, 1, true);
+    let scaling = delta.mean_release_to_acks_ms / one.mean_release_to_acks_ms;
+    let seq_scaling =
+        full.mean_release_to_acks_ms / run_point(64 * 1024, 64, 1, false).mean_release_to_acks_ms;
+    check(
+        "pipelined 3-target latency ≤1.5x of 1-target",
+        scaling <= 1.5,
+        format!("{scaling:.2}x (sequential baseline: {seq_scaling:.2}x)"),
+    );
     if failed {
         std::process::exit(1);
     }

@@ -29,6 +29,7 @@ use mocha_wire::codec::CodecKind;
 use mocha_wire::message::ReplicaUpdate;
 use mocha_wire::{LockId, ReplicaId, ReplicaPayload};
 
+pub mod delta;
 pub mod smallmsg;
 pub mod transport;
 
@@ -146,10 +147,10 @@ pub fn lock_acquire_time(testbed: Testbed, iters: usize) -> Duration {
 /// `CodecKind::Bulk` is the "custom marshaling library" it plans as
 /// future work (our codec ablation).
 pub fn marshal_time(size: usize, codec: CodecKind) -> Duration {
-    let updates = vec![ReplicaUpdate {
-        replica: ReplicaId(1),
-        payload: ReplicaPayload::Bytes(vec![0xAB; size]),
-    }];
+    let updates = vec![ReplicaUpdate::new(
+        ReplicaId(1),
+        ReplicaPayload::Bytes(vec![0xAB; size]),
+    )];
     let cost = codec.marshaller().marshal_cost(&updates);
     profiles::ultra1().cost(&Work::marshal_ops(cost.ops))
 }
@@ -261,22 +262,10 @@ pub fn home_service_breakdown(testbed: Testbed) -> (Duration, Duration, Duration
 
     // Marshal cost of the four replicas on the source machine.
     let updates = vec![
-        ReplicaUpdate {
-            replica: flatware,
-            payload: ReplicaPayload::I32s(vec![1, 0, 0, 0, 0]),
-        },
-        ReplicaUpdate {
-            replica: plates,
-            payload: ReplicaPayload::I32s(vec![2, 0, 0, 0, 0]),
-        },
-        ReplicaUpdate {
-            replica: glassware,
-            payload: ReplicaPayload::I32s(vec![3, 0, 0, 0, 0]),
-        },
-        ReplicaUpdate {
-            replica: text,
-            payload: ReplicaPayload::Utf8("Good Choice".into()),
-        },
+        ReplicaUpdate::new(flatware, ReplicaPayload::I32s(vec![1, 0, 0, 0, 0])),
+        ReplicaUpdate::new(plates, ReplicaPayload::I32s(vec![2, 0, 0, 0, 0])),
+        ReplicaUpdate::new(glassware, ReplicaPayload::I32s(vec![3, 0, 0, 0, 0])),
+        ReplicaUpdate::new(text, ReplicaPayload::Utf8("Good Choice".into())),
     ];
     let cost = mocha_wire::Marshaller::marshal_cost(CodecKind::ByteAtATime.marshaller(), &updates);
     let marshal = profiles::ultra1().cost(&Work::marshal_ops(cost.ops));

@@ -7,7 +7,7 @@
 use std::time::Duration;
 
 use mocha::app::Script;
-use mocha::config::AvailabilityConfig;
+use mocha::config::{AvailabilityConfig, PushConfig};
 use mocha::runtime::sim::SimCluster;
 use mocha::{FaultPlan, MochaConfig};
 use mocha_wire::LockId;
@@ -162,6 +162,50 @@ fn push_chain(seed: u64, faults: FaultPlan) -> SimCluster {
     c
 }
 
+/// Four sites with `UR = 3`, ack-waiting on, and the delta + pipelined
+/// push path enabled: every release has all three targets in flight at
+/// once, and a second small write rides the delta path. The explorer can
+/// defer any target's ack past the push timer, forcing a mid-window
+/// timeout + replacement that push-set consistency must survive.
+fn push_window(seed: u64, faults: FaultPlan) -> SimCluster {
+    let mut c = SimCluster::builder()
+        .sites(4)
+        .seed(seed)
+        .config(MochaConfig {
+            push: PushConfig {
+                delta: true,
+                pipeline: true,
+            },
+            ..config(faults)
+        })
+        .build();
+    let idx = mocha::replica_id("idx");
+    let avail = AvailabilityConfig {
+        ur: 3,
+        wait_for_acks: true,
+    };
+    for site in [0usize, 2, 3] {
+        c.add_script(site, Script::new().register(L, &["idx"]));
+    }
+    let mut base: Vec<i32> = (0..48).collect();
+    let full = mocha_wire::ReplicaPayload::I32s(base.clone());
+    base[7] = -7;
+    let tweaked = mocha_wire::ReplicaPayload::I32s(base);
+    c.add_script(
+        1,
+        Script::new()
+            .register(L, &["idx"])
+            .set_availability(L, avail)
+            .lock(L)
+            .write(idx, full)
+            .unlock_dirty(L)
+            .lock(L)
+            .write(idx, tweaked)
+            .unlock_dirty(L),
+    );
+    c
+}
+
 /// Harness-level mutant: promotes site 1 to surrogate coordinator while
 /// site 0 — the real home — is still alive. Violates the single-home
 /// invariant by construction; exists to prove `split_home` fires.
@@ -202,6 +246,12 @@ static ALL: &[Scenario] = &[
         summary: "two successive producers, UR=2 pushes without ack-wait",
         expected: None,
         builder: push_chain,
+    },
+    Scenario {
+        name: "push_window",
+        summary: "UR=3 pipelined delta pushes with ack-wait, timeout + replacement",
+        expected: None,
+        builder: push_window,
     },
     Scenario {
         name: "split_home",

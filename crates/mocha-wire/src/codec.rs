@@ -109,7 +109,7 @@ pub fn decode_updates(bytes: &[u8]) -> Result<Vec<ReplicaUpdate>, WireError> {
     for _ in 0..n {
         let replica = crate::ids::ReplicaId::decode(&mut r)?;
         let payload = crate::payload::ReplicaPayload::decode(&mut r)?;
-        updates.push(ReplicaUpdate { replica, payload });
+        updates.push(ReplicaUpdate::new(replica, payload));
     }
     r.finish()?;
     Ok(updates)
@@ -214,9 +214,8 @@ mod tests {
         sizes
             .iter()
             .enumerate()
-            .map(|(i, &n)| ReplicaUpdate {
-                replica: ReplicaId(i as u32),
-                payload: ReplicaPayload::Bytes(vec![i as u8; n]),
+            .map(|(i, &n)| {
+                ReplicaUpdate::new(ReplicaId(i as u32), ReplicaPayload::Bytes(vec![i as u8; n]))
             })
             .collect()
     }
@@ -277,10 +276,10 @@ mod tests {
 
     #[test]
     fn i32_payload_costs_four_bytes_per_element() {
-        let ups = vec![ReplicaUpdate {
-            replica: ReplicaId(0),
-            payload: ReplicaPayload::I32s(vec![0; 100]),
-        }];
+        let ups = vec![ReplicaUpdate::new(
+            ReplicaId(0),
+            ReplicaPayload::I32s(vec![0; 100]),
+        )];
         let c = ByteAtATime.marshal_cost(&ups);
         assert_eq!(
             c.ops,

@@ -373,7 +373,7 @@ mod tests {
         assert_eq!(r.get_u64().unwrap(), 0x0123_4567_89AB_CDEF);
         assert_eq!(r.get_i32().unwrap(), -42);
         assert_eq!(r.get_i64().unwrap(), -1_000_000_000_000);
-        assert_eq!(r.get_f64().unwrap(), 3.5);
+        assert_eq!(r.get_f64().unwrap().to_bits(), 3.5f64.to_bits());
         assert_eq!(r.get_bytes().unwrap(), b"abc");
         assert_eq!(r.get_string().unwrap(), "héllo");
         r.finish().unwrap();

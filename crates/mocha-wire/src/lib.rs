@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod delta;
 pub mod ids;
 pub mod io;
 pub mod message;
@@ -34,6 +35,7 @@ pub mod payload;
 pub mod serbin;
 
 pub use codec::{Bulk, ByteAtATime, MarshalCost, Marshaller};
+pub use delta::{PayloadDelta, Seg};
 pub use ids::{LockId, ReplicaId, RequestId, SiteId, ThreadId, Version};
 pub use message::Msg;
 pub use payload::ReplicaPayload;

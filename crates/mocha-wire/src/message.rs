@@ -8,6 +8,9 @@
 //! revocation, push-based dissemination) and the §2 remote-evaluation
 //! (spawn / code shipping) messages.
 
+use std::sync::Arc;
+
+use crate::delta::PayloadDelta;
 use crate::ids::{LockId, ReplicaId, RequestId, SiteId, ThreadId, Version};
 use crate::io::{ByteReader, ByteWriter, WireError};
 use crate::payload::ReplicaPayload;
@@ -75,15 +78,32 @@ impl VersionFlag {
 }
 
 /// One versioned replica value as carried in transfers and pushes.
+///
+/// The payload is reference-counted so that a `UR = 4` release clones
+/// pointers, not bytes: the daemon's store, its shadow snapshot, and every
+/// in-flight push share one allocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReplicaUpdate {
     /// Which replica this value belongs to.
     pub replica: ReplicaId,
-    /// The value.
-    pub payload: ReplicaPayload,
+    /// The value (shared, immutable once published).
+    pub payload: Arc<ReplicaPayload>,
 }
 
 impl ReplicaUpdate {
+    /// Wraps an owned payload for sending.
+    pub fn new(replica: ReplicaId, payload: ReplicaPayload) -> ReplicaUpdate {
+        ReplicaUpdate {
+            replica,
+            payload: Arc::new(payload),
+        }
+    }
+
+    /// Builds an update around an already-shared payload without copying.
+    pub fn shared(replica: ReplicaId, payload: Arc<ReplicaPayload>) -> ReplicaUpdate {
+        ReplicaUpdate { replica, payload }
+    }
+
     fn encode(&self, w: &mut ByteWriter) {
         self.replica.encode(w);
         self.payload.encode(w);
@@ -92,7 +112,30 @@ impl ReplicaUpdate {
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
         Ok(ReplicaUpdate {
             replica: ReplicaId::decode(r)?,
-            payload: ReplicaPayload::decode(r)?,
+            payload: Arc::new(ReplicaPayload::decode(r)?),
+        })
+    }
+}
+
+/// One replica's edit script as carried in delta transfers and pushes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaDeltaUpdate {
+    /// Which replica the script belongs to.
+    pub replica: ReplicaId,
+    /// The edit script against the receiver's base copy.
+    pub delta: PayloadDelta,
+}
+
+impl ReplicaDeltaUpdate {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.replica.encode(w);
+        self.delta.encode(w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        Ok(ReplicaDeltaUpdate {
+            replica: ReplicaId::decode(r)?,
+            delta: PayloadDelta::decode(r)?,
         })
     }
 }
@@ -199,6 +242,56 @@ pub enum Msg {
         /// Acking site.
         site: SiteId,
         /// Echo of the push request id.
+        req: RequestId,
+    },
+
+    // ------------------------------------------------------------------
+    // Delta dissemination (bandwidth refinement over §4's full-payload
+    // transfers; strictly an optimization, never required for correctness)
+    // ------------------------------------------------------------------
+    /// Daemon → requesting site: replica values as edit scripts against
+    /// `base_version`, replacing a full [`Msg::ReplicaData`] when the
+    /// sender believes the receiver holds that base. A receiver on any
+    /// other version answers [`Msg::DeltaNack`].
+    ReplicaDelta {
+        /// Lock whose replica set this is.
+        lock: LockId,
+        /// Version the scripts apply against.
+        base_version: Version,
+        /// Version the scripts produce.
+        version: Version,
+        /// Per-replica edit scripts.
+        deltas: Vec<ReplicaDeltaUpdate>,
+        /// Echo of the `TransferReplica` request id (0 for owner-initiated
+        /// sends).
+        req: RequestId,
+    },
+    /// Daemon → daemon: push-based dissemination as edit scripts against
+    /// `base_version`; the delta form of [`Msg::PushUpdate`]. Applied and
+    /// acknowledged with [`Msg::PushAck`] exactly like a full push, or
+    /// refused with [`Msg::DeltaNack`].
+    PushDelta {
+        /// Lock whose replica set this is.
+        lock: LockId,
+        /// Version the scripts apply against.
+        base_version: Version,
+        /// Version the scripts produce.
+        version: Version,
+        /// Per-replica edit scripts.
+        deltas: Vec<ReplicaDeltaUpdate>,
+        /// Correlates the push with its ack for failure detection.
+        req: RequestId,
+    },
+    /// Receiver → delta sender: my base version does not match (or the
+    /// script failed to apply) — send the full payload instead.
+    DeltaNack {
+        /// Lock refused.
+        lock: LockId,
+        /// Refusing site.
+        site: SiteId,
+        /// The version the refusing site actually holds.
+        have: Version,
+        /// Echo of the delta's request id.
         req: RequestId,
     },
 
@@ -386,6 +479,9 @@ const T_PONG: u8 = 20;
 const T_SYNC_MOVED: u8 = 21;
 const T_EXPECT_RELAY: u8 = 22;
 const T_CACHE_UPDATE: u8 = 23;
+const T_REPLICA_DELTA: u8 = 24;
+const T_PUSH_DELTA: u8 = 25;
+const T_DELTA_NACK: u8 = 26;
 
 impl Msg {
     /// Encodes the message to a fresh byte vector.
@@ -489,6 +585,38 @@ impl Msg {
                 lock.encode(w);
                 version.encode(w);
                 site.encode(w);
+                req.encode(w);
+            }
+            Msg::ReplicaDelta {
+                lock,
+                base_version,
+                version,
+                deltas,
+                req,
+            } => {
+                w.put_u8(T_REPLICA_DELTA);
+                Self::encode_deltas(w, *lock, *base_version, *version, deltas, *req);
+            }
+            Msg::PushDelta {
+                lock,
+                base_version,
+                version,
+                deltas,
+                req,
+            } => {
+                w.put_u8(T_PUSH_DELTA);
+                Self::encode_deltas(w, *lock, *base_version, *version, deltas, *req);
+            }
+            Msg::DeltaNack {
+                lock,
+                site,
+                have,
+                req,
+            } => {
+                w.put_u8(T_DELTA_NACK);
+                lock.encode(w);
+                site.encode(w);
+                have.encode(w);
                 req.encode(w);
             }
             Msg::PollVersion { lock, req } => {
@@ -612,6 +740,48 @@ impl Msg {
         req.encode(w);
     }
 
+    fn encode_deltas(
+        w: &mut ByteWriter,
+        lock: LockId,
+        base_version: Version,
+        version: Version,
+        deltas: &[ReplicaDeltaUpdate],
+        req: RequestId,
+    ) {
+        lock.encode(w);
+        base_version.encode(w);
+        version.encode(w);
+        w.put_u32(deltas.len() as u32);
+        for d in deltas {
+            d.encode(w);
+        }
+        req.encode(w);
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn decode_deltas(
+        r: &mut ByteReader<'_>,
+    ) -> Result<(LockId, Version, Version, Vec<ReplicaDeltaUpdate>, RequestId), WireError> {
+        let lock = LockId::decode(r)?;
+        let base_version = Version::decode(r)?;
+        let version = Version::decode(r)?;
+        let n = r.get_u32()? as usize;
+        // Each delta update is at least 9 bytes (replica id + delta variant
+        // tag + segment count); reject counts the input cannot satisfy.
+        if n.saturating_mul(9) > r.remaining() {
+            return Err(WireError::LengthOverrun {
+                declared: n * 9,
+                remaining: r.remaining(),
+            });
+        }
+        let mut deltas = Vec::with_capacity(n);
+        for _ in 0..n {
+            deltas.push(ReplicaDeltaUpdate::decode(r)?);
+        }
+        let req = RequestId::decode(r)?;
+        Ok((lock, base_version, version, deltas, req))
+    }
+
     fn decode_updates(
         r: &mut ByteReader<'_>,
     ) -> Result<(LockId, Version, Vec<ReplicaUpdate>, RequestId), WireError> {
@@ -724,6 +894,32 @@ impl Msg {
                 site: SiteId::decode(r)?,
                 req: RequestId::decode(r)?,
             }),
+            T_REPLICA_DELTA => {
+                let (lock, base_version, version, deltas, req) = Self::decode_deltas(r)?;
+                Ok(Msg::ReplicaDelta {
+                    lock,
+                    base_version,
+                    version,
+                    deltas,
+                    req,
+                })
+            }
+            T_PUSH_DELTA => {
+                let (lock, base_version, version, deltas, req) = Self::decode_deltas(r)?;
+                Ok(Msg::PushDelta {
+                    lock,
+                    base_version,
+                    version,
+                    deltas,
+                    req,
+                })
+            }
+            T_DELTA_NACK => Ok(Msg::DeltaNack {
+                lock: LockId::decode(r)?,
+                site: SiteId::decode(r)?,
+                have: Version::decode(r)?,
+                req: RequestId::decode(r)?,
+            }),
             T_POLL => Ok(Msg::PollVersion {
                 lock: LockId::decode(r)?,
                 req: RequestId::decode(r)?,
@@ -818,7 +1014,11 @@ impl Msg {
     pub fn is_bulk(&self) -> bool {
         matches!(
             self,
-            Msg::ReplicaData { .. } | Msg::PushUpdate { .. } | Msg::CacheUpdate { .. }
+            Msg::ReplicaData { .. }
+                | Msg::PushUpdate { .. }
+                | Msg::CacheUpdate { .. }
+                | Msg::ReplicaDelta { .. }
+                | Msg::PushDelta { .. }
         )
     }
 }
@@ -875,24 +1075,52 @@ mod tests {
                 lock: LockId(1),
                 version: Version(10),
                 updates: vec![
-                    ReplicaUpdate {
-                        replica: ReplicaId(5),
-                        payload: ReplicaPayload::I32s(vec![1, 2, 3]),
-                    },
-                    ReplicaUpdate {
-                        replica: ReplicaId(6),
-                        payload: ReplicaPayload::Utf8("Good Choice".into()),
-                    },
+                    ReplicaUpdate::new(ReplicaId(5), ReplicaPayload::I32s(vec![1, 2, 3])),
+                    ReplicaUpdate::new(ReplicaId(6), ReplicaPayload::Utf8("Good Choice".into())),
                 ],
                 req: RequestId(42),
             },
             Msg::PushUpdate {
                 lock: LockId(1),
                 version: Version(11),
-                updates: vec![ReplicaUpdate {
+                updates: vec![ReplicaUpdate::new(
+                    ReplicaId(5),
+                    ReplicaPayload::Bytes(vec![0; 64]),
+                )],
+                req: RequestId(7),
+            },
+            Msg::ReplicaDelta {
+                lock: LockId(1),
+                base_version: Version(10),
+                version: Version(11),
+                deltas: vec![ReplicaDeltaUpdate {
                     replica: ReplicaId(5),
-                    payload: ReplicaPayload::Bytes(vec![0; 64]),
+                    delta: PayloadDelta::diff(
+                        &ReplicaPayload::I32s(vec![1, 2, 3]),
+                        &ReplicaPayload::I32s(vec![1, 9, 3]),
+                    )
+                    .unwrap(),
                 }],
+                req: RequestId(42),
+            },
+            Msg::PushDelta {
+                lock: LockId(1),
+                base_version: Version(11),
+                version: Version(12),
+                deltas: vec![ReplicaDeltaUpdate {
+                    replica: ReplicaId(5),
+                    delta: PayloadDelta::diff(
+                        &ReplicaPayload::Bytes(vec![0; 64]),
+                        &ReplicaPayload::Bytes(vec![1; 64]),
+                    )
+                    .unwrap(),
+                }],
+                req: RequestId(7),
+            },
+            Msg::DeltaNack {
+                lock: LockId(1),
+                site: SiteId(3),
+                have: Version(9),
                 req: RequestId(7),
             },
             Msg::PushAck {
@@ -1050,6 +1278,21 @@ mod tests {
             req: RequestId(0),
         }
         .is_bulk());
+        assert!(Msg::PushDelta {
+            lock: LockId(1),
+            base_version: Version(1),
+            version: Version(2),
+            deltas: vec![],
+            req: RequestId(0),
+        }
+        .is_bulk());
+        assert!(!Msg::DeltaNack {
+            lock: LockId(1),
+            site: SiteId(2),
+            have: Version(1),
+            req: RequestId(0),
+        }
+        .is_bulk());
         assert!(!Msg::Heartbeat {
             lock: LockId(1),
             req: RequestId(1)
@@ -1087,5 +1330,29 @@ mod tests {
         }
         .encode();
         assert!(grant.len() <= 32, "Grant is {} bytes", grant.len());
+        let nack = Msg::DeltaNack {
+            lock: LockId(1),
+            site: SiteId(2),
+            have: Version(3),
+            req: RequestId(4),
+        }
+        .encode();
+        assert!(nack.len() <= 32, "DeltaNack is {} bytes", nack.len());
+    }
+
+    #[test]
+    fn hostile_delta_count_rejected() {
+        // Hand-craft a PushDelta header claiming 2^31 delta updates.
+        let mut w = ByteWriter::new();
+        w.put_u8(25); // T_PUSH_DELTA
+        LockId(1).encode(&mut w);
+        Version(1).encode(&mut w);
+        Version(2).encode(&mut w);
+        w.put_u32(1 << 31);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            Msg::decode(&bytes),
+            Err(WireError::LengthOverrun { .. })
+        ));
     }
 }

@@ -34,6 +34,27 @@ impl Default for AvailabilityConfig {
     }
 }
 
+/// Dissemination hot-path tuning: delta transfer and the concurrent push
+/// window.
+///
+/// Both default **off**, which preserves the paper-faithful behaviour the
+/// calibration benchmarks (Figure 12's `UR` scaling) assert against:
+/// sequential full-payload pushes. Turning them on makes replica movement
+/// proportional to *what changed* (delta) and release latency proportional
+/// to one RTT instead of `UR` (pipeline). Neither switch affects
+/// correctness — a receiver that cannot use a delta NACKs back to a full
+/// transfer, and the pipelined window keeps the same per-target
+/// timeout/replacement semantics as the sequential path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PushConfig {
+    /// Send edit scripts against the receiver's last-acked version instead
+    /// of full payloads when the sender's shadow copy permits it.
+    pub delta: bool,
+    /// Keep every remaining push target in flight at once instead of
+    /// send-one-await-ack.
+    pub pipeline: bool,
+}
+
 /// Deliberate protocol faults for invariant-oracle testing.
 ///
 /// Each flag re-introduces a specific protocol bug so the mutant harness
@@ -139,6 +160,10 @@ pub struct MochaConfig {
     /// Deliberate protocol faults for oracle testing; inert unless the
     /// `fault-injection` feature is compiled in.
     pub faults: FaultPlan,
+    /// Dissemination hot-path tuning (delta transfer, concurrent push
+    /// window). Defaults to the paper-faithful sequential/full-payload
+    /// behaviour.
+    pub push: PushConfig,
 }
 
 impl Default for MochaConfig {
@@ -153,6 +178,7 @@ impl Default for MochaConfig {
             break_locks: true,
             relay_transfers: false,
             faults: FaultPlan::default(),
+            push: PushConfig::default(),
         }
     }
 }
@@ -239,6 +265,14 @@ mod tests {
         let a = AvailabilityConfig::default();
         assert_eq!(a.ur, 1);
         assert!(!a.wait_for_acks);
+    }
+
+    #[test]
+    fn push_config_defaults_to_paper_behaviour() {
+        let p = PushConfig::default();
+        assert!(!p.delta);
+        assert!(!p.pipeline);
+        assert_eq!(MochaConfig::default().push, PushConfig::default());
     }
 
     #[test]

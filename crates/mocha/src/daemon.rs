@@ -13,32 +13,42 @@
 //!   choosing replacement targets when a push times out.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
 
 use mocha_net::{ports, MsgClass};
 use mocha_sim::{SimTime, Work};
 use mocha_wire::codec::CodecKind;
-use mocha_wire::message::ReplicaUpdate;
+use mocha_wire::delta::PayloadDelta;
+use mocha_wire::message::{ReplicaDeltaUpdate, ReplicaUpdate};
 use mocha_wire::{LockId, Msg, ReplicaId, ReplicaPayload, RequestId, SiteId, Version};
 
 use crate::cmd::{CmdSink, SendTag, Signal};
-use crate::config::FaultPlan;
+use crate::config::{FaultPlan, PushConfig};
 use crate::error::MochaError;
 use crate::replica::ReplicaSpec;
 
 /// A dissemination task: one release's pushes.
 ///
-/// Pushes are **sequential and synchronous**: the daemon sends to one
-/// target, waits for its `PushAck`, then moves to the next. This matches
-/// the simple reliable-send loop of the paper's implementation and is
-/// what makes the cost of keeping `UR` copies up to date scale linearly
+/// By default pushes are **sequential and synchronous**: the daemon sends
+/// to one target, waits for its `PushAck`, then moves to the next. This
+/// matches the simple reliable-send loop of the paper's implementation and
+/// is what makes the cost of keeping `UR` copies up to date scale linearly
 /// in `UR` ("the overhead for consistency maintenance approximately
-/// doubles" when UR goes from 1 to 2 — §5, Figure 12).
+/// doubles" when UR goes from 1 to 2 — §5, Figure 12). With
+/// [`PushConfig::pipeline`] the same task instead keeps **every** remaining
+/// target in flight at once, so release latency is one RTT rather than
+/// `UR × RTT`; per-target timeout/replacement semantics are identical in
+/// both modes.
 #[derive(Debug)]
 struct PushTask {
     lock: LockId,
     version: Version,
-    /// The target currently awaiting acknowledgement.
-    current: Option<SiteId>,
+    /// The values of this release, marshaled once (payloads Arc-shared
+    /// with the store): every target receives the same snapshot even if
+    /// the store advances mid-window.
+    updates: Vec<ReplicaUpdate>,
+    /// Targets awaiting acknowledgement (at most one unless pipelining).
+    inflight: BTreeSet<SiteId>,
     /// Targets not yet pushed to, in order.
     remaining: VecDeque<SiteId>,
     /// Every site tried so far (successful or not), to avoid retrying the
@@ -46,6 +56,24 @@ struct PushTask {
     tried: BTreeSet<SiteId>,
     /// Targets that acknowledged.
     acked: Vec<SiteId>,
+}
+
+/// The most recent edit script a release produced: turns the lock's
+/// previous disseminated version into the current one. Push targets and
+/// transfer destinations whose last-acked version equals `base` receive
+/// this instead of the full payload.
+#[derive(Debug)]
+struct LockDelta {
+    /// Version the scripts apply against.
+    base: Version,
+    /// Version the scripts produce.
+    version: Version,
+    /// Per-replica edit scripts.
+    scripts: Vec<ReplicaDeltaUpdate>,
+    /// Approximate wire size of the scripts.
+    cost_bytes: usize,
+    /// Wire size of the equivalent full payloads.
+    full_bytes: usize,
 }
 
 /// Statistics the daemon accumulates.
@@ -57,12 +85,23 @@ pub struct DaemonStats {
     pub updates_applied: u64,
     /// Stale (older-version) data messages discarded.
     pub stale_updates_discarded: u64,
-    /// Pushes sent (including replacements).
+    /// Pushes sent (including replacements and delta pushes).
     pub pushes_sent: u64,
     /// Push targets replaced after timeout.
     pub push_replacements: u64,
     /// Version polls answered.
     pub polls_answered: u64,
+    /// Pushes and transfers sent as edit scripts instead of full payloads.
+    pub delta_pushes_sent: u64,
+    /// Payload bytes avoided by sending edit scripts (full size minus
+    /// script size, summed over every delta send).
+    pub delta_bytes_saved: u64,
+    /// Delta sends refused by the receiver (stale base or failed apply),
+    /// each answered with a full-payload resend.
+    pub delta_nacks: u64,
+    /// Replica payload bytes actually put on the wire by pushes and
+    /// transfers (full sends count payload size, delta sends script size).
+    pub replica_bytes_sent: u64,
 }
 
 /// The daemon thread's state machine.
@@ -72,8 +111,10 @@ pub struct SiteDaemon {
     home: SiteId,
     codec: CodecKind,
     /// Replica values, directly accessible (the paper registers shared
-    /// objects with the local daemon).
-    store: HashMap<ReplicaId, ReplicaPayload>,
+    /// objects with the local daemon). Payloads are Arc-shared with
+    /// in-flight pushes and the delta shadow so dissemination never copies
+    /// bytes.
+    store: HashMap<ReplicaId, Arc<ReplicaPayload>>,
     names: HashMap<ReplicaId, String>,
     /// Replicas guarded by each lock.
     lock_replicas: HashMap<LockId, BTreeSet<ReplicaId>>,
@@ -96,6 +137,17 @@ pub struct SiteDaemon {
     /// Deliberate faults for oracle testing (inert unless built with the
     /// `fault-injection` feature).
     faults: FaultPlan,
+    /// Dissemination tuning (delta transfer, concurrent push window).
+    push_cfg: PushConfig,
+    /// Shadow copy per lock: the values as of the last disseminated
+    /// version, diffed against at the next release (delta mode only;
+    /// payloads Arc-shared with the store at snapshot time).
+    shadow: HashMap<LockId, (Version, Vec<ReplicaUpdate>)>,
+    /// The most recent release's edit script per lock (delta mode only).
+    deltas: HashMap<LockId, LockDelta>,
+    /// Last version each peer site acknowledged, per lock — the sender's
+    /// basis for choosing delta over full transfer.
+    acked_versions: HashMap<LockId, BTreeMap<SiteId, Version>>,
 }
 
 impl SiteDaemon {
@@ -117,6 +169,10 @@ impl SiteDaemon {
             next_req: RequestId(1),
             stats: DaemonStats::default(),
             faults: FaultPlan::default(),
+            push_cfg: PushConfig::default(),
+            shadow: HashMap::new(),
+            deltas: HashMap::new(),
+            acked_versions: HashMap::new(),
         }
     }
 
@@ -124,6 +180,18 @@ impl SiteDaemon {
     /// are inert unless built with the `fault-injection` feature).
     pub fn set_faults(&mut self, faults: FaultPlan) {
         self.faults = faults;
+    }
+
+    /// Installs the dissemination tuning (delta transfer, concurrent push
+    /// window). Defaults to the paper-faithful sequential/full behaviour.
+    pub fn set_push_options(&mut self, push: PushConfig) {
+        self.push_cfg = push;
+    }
+
+    /// Total push targets currently awaiting acknowledgement across all
+    /// in-flight dissemination tasks (the pipeline window occupancy).
+    pub fn inflight_pushes(&self) -> usize {
+        self.pushes.values().map(|t| t.inflight.len()).sum()
     }
 
     /// Accumulated statistics.
@@ -186,9 +254,38 @@ impl SiteDaemon {
             req.hash(h);
             task.lock.hash(h);
             task.version.hash(h);
-            task.current.hash(h);
+            // BTreeSet: deterministic iteration order.
+            for s in &task.inflight {
+                s.hash(h);
+            }
             task.remaining.hash(h);
             task.acked.hash(h);
+        }
+        // Delta-sender state decides whether the next release ships a
+        // script or a full payload.
+        let mut locks: Vec<&LockId> = self.shadow.keys().collect();
+        locks.sort_unstable();
+        for lock in locks {
+            lock.hash(h);
+            self.shadow[lock].0.hash(h);
+        }
+        let mut locks: Vec<&LockId> = self.deltas.keys().collect();
+        locks.sort_unstable();
+        for lock in locks {
+            let d = &self.deltas[lock];
+            lock.hash(h);
+            d.base.hash(h);
+            d.version.hash(h);
+            d.cost_bytes.hash(h);
+        }
+        let mut locks: Vec<&LockId> = self.acked_versions.keys().collect();
+        locks.sort_unstable();
+        for lock in locks {
+            lock.hash(h);
+            for (site, version) in &self.acked_versions[lock] {
+                site.hash(h);
+                version.hash(h);
+            }
         }
     }
 
@@ -200,6 +297,7 @@ impl SiteDaemon {
     pub fn read(&self, replica: ReplicaId) -> Result<&ReplicaPayload, MochaError> {
         self.store
             .get(&replica)
+            .map(Arc::as_ref)
             .ok_or(MochaError::UnknownReplica { replica })
     }
 
@@ -212,7 +310,7 @@ impl SiteDaemon {
     pub fn write(&mut self, replica: ReplicaId, payload: ReplicaPayload) -> Result<(), MochaError> {
         match self.store.get_mut(&replica) {
             Some(slot) => {
-                *slot = payload;
+                *slot = Arc::new(payload);
                 Ok(())
             }
             None => Err(MochaError::UnknownReplica { replica }),
@@ -225,7 +323,9 @@ impl SiteDaemon {
         self.lock_members.entry(lock).or_default().insert(self.me);
         for spec in specs {
             let id = spec.id();
-            self.store.entry(id).or_insert_with(|| spec.initial.clone());
+            self.store
+                .entry(id)
+                .or_insert_with(|| Arc::new(spec.initial.clone()));
             self.names.insert(id, spec.name.clone());
             self.lock_replicas.entry(lock).or_default().insert(id);
             sink.send(
@@ -258,26 +358,35 @@ impl SiteDaemon {
             .unwrap_or_default()
     }
 
-    /// Marshals the current values of `lock`'s replicas, charging the
-    /// configured codec's cost.
-    fn marshal_for(&self, lock: LockId, sink: &mut CmdSink) -> Vec<ReplicaUpdate> {
-        let updates: Vec<ReplicaUpdate> = self
-            .lock_replicas
+    /// Snapshots the current values of `lock`'s replicas. Payloads are
+    /// Arc-shared with the store: no bytes are copied.
+    fn snapshot_for(&self, lock: LockId) -> Vec<ReplicaUpdate> {
+        self.lock_replicas
             .get(&lock)
             .map(|ids| {
                 ids.iter()
                     .filter_map(|id| {
-                        self.store.get(id).map(|p| ReplicaUpdate {
-                            replica: *id,
-                            payload: p.clone(),
-                        })
+                        self.store
+                            .get(id)
+                            .map(|p| ReplicaUpdate::shared(*id, p.clone()))
                     })
                     .collect()
             })
-            .unwrap_or_default();
+            .unwrap_or_default()
+    }
+
+    /// Marshals the current values of `lock`'s replicas, charging the
+    /// configured codec's cost.
+    fn marshal_for(&self, lock: LockId, sink: &mut CmdSink) -> Vec<ReplicaUpdate> {
+        let updates = self.snapshot_for(lock);
         let cost = self.codec.marshaller().marshal_cost(&updates);
         sink.charge(Work::marshal_ops(cost.ops));
         updates
+    }
+
+    /// Total payload data bytes across `updates`.
+    fn payload_bytes(updates: &[ReplicaUpdate]) -> u64 {
+        updates.iter().map(|u| u.payload.data_bytes() as u64).sum()
     }
 
     /// Charges the unmarshal cost for received updates.
@@ -382,34 +491,116 @@ impl SiteDaemon {
         if targets.is_empty() {
             return Vec::new();
         }
+        // Snapshot the release's values once; every target receives this
+        // snapshot even if the store advances mid-window.
+        let updates = self.snapshot_for(lock);
+        if self.push_cfg.pipeline {
+            // Pipelined dissemination marshals the window once. (The
+            // sequential default instead charges per destination inside
+            // `send_push`, matching the paper's per-send pack loop.)
+            let cost = self.codec.marshaller().marshal_cost(&updates);
+            sink.charge(Work::marshal_ops(cost.ops));
+        }
+        if self.push_cfg.delta {
+            self.refresh_delta(lock, new_version, &updates);
+        }
         let req = self.next_req;
         self.next_req = self.next_req.next();
         let mut task = PushTask {
             lock,
             version: new_version,
-            current: None,
+            updates,
+            inflight: BTreeSet::new(),
             remaining: targets.iter().copied().collect(),
             tried: BTreeSet::new(),
             acked: Vec::new(),
         };
         task.tried.insert(self.me);
         self.pushes.insert(req, task);
-        self.push_next(req, sink);
+        self.fill_window(req, sink);
         targets
     }
 
-    /// Sends the next pending push of task `req`, or signals completion.
-    fn push_next(&mut self, req: RequestId, sink: &mut CmdSink) {
-        let (lock, version, target) = {
+    /// Diffs the release's values against the lock's shadow copy, records
+    /// the edit script for delta-eligible sends, and advances the shadow
+    /// (delta mode only).
+    fn refresh_delta(&mut self, lock: LockId, version: Version, updates: &[ReplicaUpdate]) {
+        if let Some((base, prev)) = self.shadow.get(&lock) {
+            let scripts = Self::diff_updates(prev, updates);
+            match scripts {
+                Some(scripts) => {
+                    let cost_bytes: usize = scripts.iter().map(|s| s.delta.cost_bytes()).sum();
+                    let full_bytes = Self::payload_bytes(updates) as usize;
+                    if cost_bytes < full_bytes {
+                        self.deltas.insert(
+                            lock,
+                            LockDelta {
+                                base: *base,
+                                version,
+                                scripts,
+                                cost_bytes,
+                                full_bytes,
+                            },
+                        );
+                    } else {
+                        self.deltas.remove(&lock);
+                    }
+                }
+                None => {
+                    self.deltas.remove(&lock);
+                }
+            }
+        }
+        self.shadow.insert(lock, (version, updates.to_vec()));
+    }
+
+    /// Per-replica edit scripts turning `prev` into `next`, or `None` when
+    /// the replica sets differ or any payload pair cannot be diffed.
+    fn diff_updates(
+        prev: &[ReplicaUpdate],
+        next: &[ReplicaUpdate],
+    ) -> Option<Vec<ReplicaDeltaUpdate>> {
+        if prev.len() != next.len() {
+            return None;
+        }
+        prev.iter()
+            .zip(next)
+            .map(|(a, b)| {
+                if a.replica != b.replica {
+                    return None;
+                }
+                PayloadDelta::diff(&a.payload, &b.payload).map(|delta| ReplicaDeltaUpdate {
+                    replica: b.replica,
+                    delta,
+                })
+            })
+            .collect()
+    }
+
+    /// Whether a send to `target` about `lock` at `version` can go as the
+    /// recorded edit script instead of the full payload.
+    fn delta_eligible(&self, lock: LockId, version: Version, target: SiteId) -> bool {
+        self.push_cfg.delta
+            && self.deltas.get(&lock).is_some_and(|d| {
+                d.version == version
+                    && self.acked_versions.get(&lock).and_then(|m| m.get(&target)) == Some(&d.base)
+            })
+    }
+
+    /// Starts pushes of task `req` until the window is full (one target in
+    /// sequential mode, every remaining target when pipelining), or signals
+    /// completion when no targets are left anywhere.
+    fn fill_window(&mut self, req: RequestId, sink: &mut CmdSink) {
+        let window = if self.push_cfg.pipeline {
+            usize::MAX
+        } else {
+            1
+        };
+        loop {
             let Some(task) = self.pushes.get_mut(&req) else {
                 return;
             };
-            if let Some(target) = task.remaining.pop_front() {
-                task.current = Some(target);
-                task.tried.insert(target);
-                (task.lock, task.version, target)
-            } else {
-                task.current = None;
+            if task.inflight.is_empty() && task.remaining.is_empty() {
                 if let Some(task) = self.pushes.remove(&req) {
                     sink.signal(Signal::PushesComplete {
                         lock: task.lock,
@@ -418,10 +609,63 @@ impl SiteDaemon {
                 }
                 return;
             }
+            if task.inflight.len() >= window {
+                return;
+            }
+            let Some(target) = task.remaining.pop_front() else {
+                return;
+            };
+            task.tried.insert(target);
+            task.inflight.insert(target);
+            self.send_push(req, target, sink);
+        }
+    }
+
+    /// Sends one push of task `req` to `target`, as an edit script when the
+    /// target's last-acked version matches the recorded delta base, as the
+    /// full payload otherwise.
+    fn send_push(&mut self, req: RequestId, target: SiteId, sink: &mut CmdSink) {
+        let Some(task) = self.pushes.get(&req) else {
+            return;
         };
-        // Re-marshaled per destination, as a per-send pack loop would.
-        let updates = self.marshal_for(lock, sink);
+        let (lock, version) = (task.lock, task.version);
         self.stats.pushes_sent += 1;
+        if self.delta_eligible(lock, version, target) {
+            let d = &self.deltas[&lock];
+            let cost = self
+                .codec
+                .marshaller()
+                .unmarshal_cost(d.cost_bytes, d.scripts.len());
+            sink.charge(Work::marshal_ops(cost.ops));
+            self.stats.delta_pushes_sent += 1;
+            self.stats.delta_bytes_saved += (d.full_bytes - d.cost_bytes) as u64;
+            self.stats.replica_bytes_sent += d.cost_bytes as u64;
+            sink.send_tagged(
+                target,
+                ports::DAEMON,
+                Msg::PushDelta {
+                    lock,
+                    base_version: d.base,
+                    version,
+                    deltas: d.scripts.clone(),
+                    req,
+                },
+                MsgClass::Bulk,
+                SendTag::Push {
+                    lock,
+                    to: target,
+                    req,
+                },
+            );
+            return;
+        }
+        let updates = self.pushes[&req].updates.clone();
+        if !self.push_cfg.pipeline {
+            // Re-marshaled per destination, as a per-send pack loop would.
+            let cost = self.codec.marshaller().marshal_cost(&updates);
+            sink.charge(Work::marshal_ops(cost.ops));
+        }
+        self.stats.replica_bytes_sent += Self::payload_bytes(&updates);
         sink.send_tagged(
             target,
             ports::DAEMON,
@@ -440,6 +684,41 @@ impl SiteDaemon {
         );
     }
 
+    /// Applies per-replica edit scripts atomically: either every script
+    /// matches a locally held base of the right shape and the whole set
+    /// commits, or nothing changes. Returns whether it committed.
+    fn try_apply_delta(
+        &mut self,
+        lock: LockId,
+        version: Version,
+        deltas: &[ReplicaDeltaUpdate],
+    ) -> bool {
+        let mut next = Vec::with_capacity(deltas.len());
+        for d in deltas {
+            let Some(base) = self.store.get(&d.replica) else {
+                return false;
+            };
+            match d.delta.apply(base) {
+                Ok(p) => next.push((d.replica, p)),
+                Err(_) => return false,
+            }
+        }
+        for (id, p) in next {
+            self.store.insert(id, Arc::new(p));
+            self.lock_replicas.entry(lock).or_default().insert(id);
+        }
+        self.lock_version.insert(lock, version);
+        self.stats.updates_applied += 1;
+        true
+    }
+
+    /// Charges the unmarshal cost of a received edit-script set.
+    fn charge_delta_unmarshal(&self, deltas: &[ReplicaDeltaUpdate], sink: &mut CmdSink) {
+        let bytes: usize = deltas.iter().map(|d| d.delta.cost_bytes()).sum();
+        let cost = self.codec.marshaller().unmarshal_cost(bytes, deltas.len());
+        sink.charge(Work::marshal_ops(cost.ops));
+    }
+
     /// Handles a protocol message addressed to the DAEMON port.
     pub fn on_msg(&mut self, _now: SimTime, from: SiteId, msg: Msg, sink: &mut CmdSink) {
         sink.charge(Work::events(1));
@@ -451,8 +730,33 @@ impl SiteDaemon {
                 req,
             } => {
                 self.stats.transfers_served += 1;
-                let updates = self.marshal_for(lock, sink);
                 let version = self.version_of(lock);
+                if self.delta_eligible(lock, version, dest) {
+                    let d = &self.deltas[&lock];
+                    self.stats.delta_pushes_sent += 1;
+                    self.stats.delta_bytes_saved += (d.full_bytes - d.cost_bytes) as u64;
+                    self.stats.replica_bytes_sent += d.cost_bytes as u64;
+                    let cost = self
+                        .codec
+                        .marshaller()
+                        .unmarshal_cost(d.cost_bytes, d.scripts.len());
+                    sink.charge(Work::marshal_ops(cost.ops));
+                    sink.send(
+                        dest,
+                        ports::DAEMON,
+                        Msg::ReplicaDelta {
+                            lock,
+                            base_version: d.base,
+                            version,
+                            deltas: d.scripts.clone(),
+                            req,
+                        },
+                        MsgClass::Bulk,
+                    );
+                    return;
+                }
+                let updates = self.marshal_for(lock, sink);
+                self.stats.replica_bytes_sent += Self::payload_bytes(&updates);
                 sink.send(
                     dest,
                     ports::DAEMON,
@@ -525,10 +829,171 @@ impl SiteDaemon {
                     sink.signal(Signal::DataArrived { lock, version });
                 }
             }
-            Msg::PushAck { req, site, .. } => {
+            Msg::PushDelta {
+                lock,
+                base_version,
+                version,
+                deltas,
+                req,
+            } => {
+                let local = self.version_of(lock);
+                if local == base_version && self.try_apply_delta(lock, version, &deltas) {
+                    self.charge_delta_unmarshal(&deltas, sink);
+                    sink.send(
+                        from,
+                        ports::DAEMON,
+                        Msg::PushAck {
+                            lock,
+                            version,
+                            site: self.me,
+                            req,
+                        },
+                        MsgClass::Control,
+                    );
+                    sink.signal(Signal::DataArrived { lock, version });
+                } else {
+                    // Wrong base (or unappliable script): ask the sender
+                    // for the full payload. No ack yet — the sender keeps
+                    // this target in flight and resends.
+                    sink.send(
+                        from,
+                        ports::DAEMON,
+                        Msg::DeltaNack {
+                            lock,
+                            site: self.me,
+                            have: local,
+                            req,
+                        },
+                        MsgClass::Control,
+                    );
+                }
+            }
+            Msg::ReplicaDelta {
+                lock,
+                base_version,
+                version,
+                deltas,
+                req,
+            } => {
+                if let Some(dest) = self.expect_relays.get(&req).copied() {
+                    if dest != self.me {
+                        // Relays cannot forward edit scripts they have no
+                        // base for: NACK back to a full transfer. The relay
+                        // mapping stays for the resent ReplicaData.
+                        sink.send(
+                            from,
+                            ports::DAEMON,
+                            Msg::DeltaNack {
+                                lock,
+                                site: self.me,
+                                have: self.version_of(lock),
+                                req,
+                            },
+                            MsgClass::Control,
+                        );
+                        return;
+                    }
+                    self.expect_relays.remove(&req);
+                }
+                let local = self.version_of(lock);
+                if local == base_version && self.try_apply_delta(lock, version, &deltas) {
+                    self.charge_delta_unmarshal(&deltas, sink);
+                    sink.signal(Signal::DataArrived { lock, version });
+                } else {
+                    // No DataArrived: the full data is on its way back.
+                    sink.send(
+                        from,
+                        ports::DAEMON,
+                        Msg::DeltaNack {
+                            lock,
+                            site: self.me,
+                            have: local,
+                            req,
+                        },
+                        MsgClass::Control,
+                    );
+                }
+            }
+            Msg::DeltaNack {
+                lock,
+                site,
+                have,
+                req,
+            } => {
+                self.stats.delta_nacks += 1;
+                // The refuser's actual version informs future delta choices.
+                self.acked_versions
+                    .entry(lock)
+                    .or_default()
+                    .insert(site, have);
+                let live = self
+                    .pushes
+                    .get(&req)
+                    .is_some_and(|t| t.lock == lock && t.inflight.contains(&site));
+                if live {
+                    // Push path: resend this release's snapshot as a full
+                    // payload; the target stays in flight until it acks.
+                    let task = &self.pushes[&req];
+                    let (version, updates) = (task.version, task.updates.clone());
+                    if !self.push_cfg.pipeline {
+                        let cost = self.codec.marshaller().marshal_cost(&updates);
+                        sink.charge(Work::marshal_ops(cost.ops));
+                    }
+                    self.stats.pushes_sent += 1;
+                    self.stats.replica_bytes_sent += Self::payload_bytes(&updates);
+                    sink.send_tagged(
+                        site,
+                        ports::DAEMON,
+                        Msg::PushUpdate {
+                            lock,
+                            version,
+                            updates,
+                            req,
+                        },
+                        MsgClass::Bulk,
+                        SendTag::Push {
+                            lock,
+                            to: site,
+                            req,
+                        },
+                    );
+                } else {
+                    // Transfer path: fresh full ReplicaData under the same
+                    // request id (so a pending relay mapping still matches).
+                    let updates = self.marshal_for(lock, sink);
+                    let version = self.version_of(lock);
+                    self.stats.replica_bytes_sent += Self::payload_bytes(&updates);
+                    sink.send(
+                        from,
+                        ports::DAEMON,
+                        Msg::ReplicaData {
+                            lock,
+                            version,
+                            updates,
+                            req,
+                        },
+                        MsgClass::Bulk,
+                    );
+                }
+            }
+            Msg::PushAck {
+                lock,
+                version,
+                req,
+                site,
+            } => {
+                // Even a stale ack proves the peer holds `version`.
+                let slot = self
+                    .acked_versions
+                    .entry(lock)
+                    .or_default()
+                    .entry(site)
+                    .or_insert(version);
+                if version > *slot {
+                    *slot = version;
+                }
                 let advance = self.pushes.get_mut(&req).is_some_and(|task| {
-                    if task.current == Some(site) {
-                        task.current = None;
+                    if task.inflight.remove(&site) {
                         task.acked.push(site);
                         true
                     } else {
@@ -536,7 +1001,7 @@ impl SiteDaemon {
                     }
                 });
                 if advance {
-                    self.push_next(req, sink);
+                    self.fill_window(req, sink);
                 }
             }
             Msg::PollVersion { lock, req } => {
@@ -568,7 +1033,7 @@ impl SiteDaemon {
                     .is_none_or(|local| incoming > *local);
                 if apply {
                     self.cache_stamps.insert(replica, incoming);
-                    self.store.insert(replica, payload);
+                    self.store.insert(replica, Arc::new(payload));
                     self.stats.updates_applied += 1;
                 } else {
                     self.stats.stale_updates_discarded += 1;
@@ -595,7 +1060,7 @@ impl SiteDaemon {
                 self.names.entry(replica).or_insert(name);
                 self.store
                     .entry(replica)
-                    .or_insert_with(ReplicaPayload::empty);
+                    .or_insert_with(|| Arc::new(ReplicaPayload::empty()));
             }
             other => {
                 sink.note(format!("daemon {me} ignoring {other:?}", me = self.me));
@@ -615,16 +1080,15 @@ impl SiteDaemon {
             let Some(task) = self.pushes.get_mut(req) else {
                 return;
             };
-            if task.current != Some(*to) {
+            if !task.inflight.remove(to) {
                 return; // stale failure for an already-advanced push
             }
-            task.current = None;
             let replacement = self
                 .lock_members
                 .get(lock)
                 .and_then(|m| m.iter().copied().find(|s| !task.tried.contains(s)));
             if let Some(r) = replacement {
-                // Put the replacement at the head of the queue; push_next
+                // Put the replacement at the head of the queue; fill_window
                 // will pick it up.
                 task.remaining.push_front(r);
             }
@@ -633,7 +1097,7 @@ impl SiteDaemon {
         if replacement.is_some() {
             self.stats.push_replacements += 1;
         }
-        self.push_next(*req, sink);
+        self.fill_window(*req, sink);
     }
 }
 
@@ -647,6 +1111,7 @@ mod tests {
     const HOME: SiteId = SiteId(0);
     const S2: SiteId = SiteId(2);
     const S3: SiteId = SiteId(3);
+    const S4: SiteId = SiteId(4);
     const L: LockId = LockId(1);
 
     fn daemon() -> SiteDaemon {
@@ -764,10 +1229,7 @@ mod tests {
             Msg::ReplicaData {
                 lock: L,
                 version: Version(3),
-                updates: vec![ReplicaUpdate {
-                    replica: id,
-                    payload: ReplicaPayload::I32s(vec![42]),
-                }],
+                updates: vec![ReplicaUpdate::new(id, ReplicaPayload::I32s(vec![42]))],
                 req: RequestId(0),
             },
             &mut sink,
@@ -796,10 +1258,7 @@ mod tests {
             Msg::ReplicaData {
                 lock: L,
                 version: Version(5),
-                updates: vec![ReplicaUpdate {
-                    replica: id,
-                    payload: ReplicaPayload::I32s(vec![5]),
-                }],
+                updates: vec![ReplicaUpdate::new(id, ReplicaPayload::I32s(vec![5]))],
                 req: RequestId(0),
             },
             &mut sink,
@@ -811,10 +1270,7 @@ mod tests {
             Msg::ReplicaData {
                 lock: L,
                 version: Version(2),
-                updates: vec![ReplicaUpdate {
-                    replica: id,
-                    payload: ReplicaPayload::I32s(vec![2]),
-                }],
+                updates: vec![ReplicaUpdate::new(id, ReplicaPayload::I32s(vec![2]))],
                 req: RequestId(0),
             },
             &mut sink,
@@ -844,10 +1300,10 @@ mod tests {
             Msg::PushUpdate {
                 lock: L,
                 version: Version(1),
-                updates: vec![ReplicaUpdate {
-                    replica: replica_id("idx"),
-                    payload: ReplicaPayload::I32s(vec![1]),
-                }],
+                updates: vec![ReplicaUpdate::new(
+                    replica_id("idx"),
+                    ReplicaPayload::I32s(vec![1]),
+                )],
                 req: RequestId(9),
             },
             &mut sink,
@@ -1083,14 +1539,343 @@ mod tests {
             Msg::ReplicaData {
                 lock: L,
                 version: Version(1),
-                updates: vec![ReplicaUpdate {
-                    replica: foreign,
-                    payload: ReplicaPayload::Utf8("hi".into()),
-                }],
+                updates: vec![ReplicaUpdate::new(
+                    foreign,
+                    ReplicaPayload::Utf8("hi".into()),
+                )],
                 req: RequestId(0),
             },
             &mut sink,
         );
         assert_eq!(d.read(foreign).unwrap(), &ReplicaPayload::Utf8("hi".into()));
+    }
+
+    fn member(d: &mut SiteDaemon, s: SiteId, sink: &mut CmdSink) {
+        d.on_msg(
+            now(),
+            HOME,
+            Msg::RegisterReplica {
+                lock: L,
+                replica: replica_id("idx"),
+                site: s,
+                name: "idx".into(),
+            },
+            sink,
+        );
+    }
+
+    fn ack(d: &mut SiteDaemon, s: SiteId, version: Version, req: RequestId, sink: &mut CmdSink) {
+        d.on_msg(
+            now(),
+            s,
+            Msg::PushAck {
+                lock: L,
+                version,
+                site: s,
+                req,
+            },
+            sink,
+        );
+    }
+
+    #[test]
+    fn pipeline_mode_fans_out_all_targets_at_once() {
+        let mut d = daemon();
+        d.set_push_options(PushConfig {
+            delta: false,
+            pipeline: true,
+        });
+        let mut sink = CmdSink::new();
+        d.register_local(L, &[spec("idx", &[1])], &mut sink);
+        for s in [S2, S3, S4] {
+            member(&mut d, s, &mut sink);
+        }
+        sink.drain();
+        let targets = d.disseminate(L, Version(1), 4, &mut sink);
+        assert_eq!(targets, vec![S2, S3, S4]);
+        let msgs = sends(&mut sink);
+        let pushed: Vec<SiteId> = msgs
+            .iter()
+            .filter_map(|(to, m)| matches!(m, Msg::PushUpdate { .. }).then_some(*to))
+            .collect();
+        assert_eq!(pushed, vec![S2, S3, S4], "whole window in flight at once");
+        assert_eq!(d.inflight_pushes(), 3);
+        // Acks in any order; completion only after the last.
+        ack(&mut d, S3, Version(1), RequestId(1), &mut sink);
+        ack(&mut d, S2, Version(1), RequestId(1), &mut sink);
+        assert!(signals(&mut sink).is_empty());
+        ack(&mut d, S4, Version(1), RequestId(1), &mut sink);
+        assert_eq!(
+            signals(&mut sink),
+            vec![Signal::PushesComplete {
+                lock: L,
+                acked: vec![S3, S2, S4]
+            }]
+        );
+        assert_eq!(d.inflight_pushes(), 0);
+    }
+
+    #[test]
+    fn pipeline_mid_window_failure_picks_replacement() {
+        let mut d = daemon();
+        d.set_push_options(PushConfig {
+            delta: false,
+            pipeline: true,
+        });
+        let mut sink = CmdSink::new();
+        d.register_local(L, &[spec("idx", &[1])], &mut sink);
+        for s in [S2, S3, S4] {
+            member(&mut d, s, &mut sink);
+        }
+        sink.drain();
+        // UR=3: window is {S2, S3}; S4 is the spare.
+        let targets = d.disseminate(L, Version(1), 3, &mut sink);
+        assert_eq!(targets, vec![S2, S3]);
+        sink.drain();
+        d.on_send_failed(
+            &SendTag::Push {
+                lock: L,
+                to: S2,
+                req: RequestId(1),
+            },
+            &mut sink,
+        );
+        let msgs = sends(&mut sink);
+        assert!(
+            msgs.iter()
+                .any(|(to, m)| *to == S4 && matches!(m, Msg::PushUpdate { .. })),
+            "replacement filled the freed window slot"
+        );
+        assert_eq!(d.stats().push_replacements, 1);
+        ack(&mut d, S3, Version(1), RequestId(1), &mut sink);
+        ack(&mut d, S4, Version(1), RequestId(1), &mut sink);
+        assert_eq!(
+            signals(&mut sink),
+            vec![Signal::PushesComplete {
+                lock: L,
+                acked: vec![S3, S4]
+            }]
+        );
+    }
+
+    fn big() -> Vec<i32> {
+        (0..256).collect()
+    }
+
+    /// Drives a delta-mode daemon through a full v1 push + ack so the next
+    /// release is delta-eligible for S2; returns the daemon.
+    fn delta_primed() -> (SiteDaemon, CmdSink) {
+        let mut d = daemon();
+        d.set_push_options(PushConfig {
+            delta: true,
+            pipeline: false,
+        });
+        let mut sink = CmdSink::new();
+        d.register_local(L, &[spec("idx", &big())], &mut sink);
+        member(&mut d, S2, &mut sink);
+        sink.drain();
+        d.disseminate(L, Version(1), 2, &mut sink);
+        let msgs = sends(&mut sink);
+        assert!(
+            msgs.iter()
+                .any(|(_, m)| matches!(m, Msg::PushUpdate { .. })),
+            "first release has no shadow: full push"
+        );
+        ack(&mut d, S2, Version(1), RequestId(1), &mut sink);
+        sink.drain();
+        // Small write inside the big object.
+        let mut v = big();
+        v[7] = -7;
+        d.write(replica_id("idx"), ReplicaPayload::I32s(v)).unwrap();
+        (d, sink)
+    }
+
+    #[test]
+    fn second_release_pushes_delta_to_acked_target() {
+        let (mut d, mut sink) = delta_primed();
+        d.disseminate(L, Version(2), 2, &mut sink);
+        let msgs = sends(&mut sink);
+        match &msgs[0] {
+            (
+                to,
+                Msg::PushDelta {
+                    lock,
+                    base_version,
+                    version,
+                    deltas,
+                    ..
+                },
+            ) => {
+                assert_eq!(*to, S2);
+                assert_eq!(*lock, L);
+                assert_eq!(*base_version, Version(1));
+                assert_eq!(*version, Version(2));
+                assert_eq!(deltas.len(), 1);
+            }
+            other => panic!("expected PushDelta, got {other:?}"),
+        }
+        let s = d.stats();
+        assert_eq!(s.delta_pushes_sent, 1);
+        assert!(s.delta_bytes_saved > 0);
+        // The delta send put far fewer payload bytes on the wire than the
+        // full v1 push did.
+        assert!(s.replica_bytes_sent < 1024 + 64, "{}", s.replica_bytes_sent);
+    }
+
+    #[test]
+    fn delta_nack_falls_back_to_full_push() {
+        let (mut d, mut sink) = delta_primed();
+        d.disseminate(L, Version(2), 2, &mut sink);
+        sink.drain();
+        // S2 lost its copy meanwhile and refuses the script.
+        d.on_msg(
+            now(),
+            S2,
+            Msg::DeltaNack {
+                lock: L,
+                site: S2,
+                have: Version::INITIAL,
+                req: RequestId(2),
+            },
+            &mut sink,
+        );
+        let msgs = sends(&mut sink);
+        assert!(
+            msgs.iter().any(|(to, m)| *to == S2
+                && matches!(m, Msg::PushUpdate { version, .. } if *version == Version(2))),
+            "full resend after NACK"
+        );
+        assert_eq!(d.stats().delta_nacks, 1);
+        // The target stayed in flight; its ack still completes the task.
+        ack(&mut d, S2, Version(2), RequestId(2), &mut sink);
+        assert_eq!(
+            signals(&mut sink),
+            vec![Signal::PushesComplete {
+                lock: L,
+                acked: vec![S2]
+            }]
+        );
+    }
+
+    #[test]
+    fn transfer_uses_delta_for_acked_dest() {
+        let (mut d, mut sink) = delta_primed();
+        d.disseminate(L, Version(2), 2, &mut sink);
+        sink.drain();
+        // S2 has not acked v2 yet; its last-acked version is the delta
+        // base v1, so a coordinator-directed transfer goes as a script.
+        d.on_msg(
+            now(),
+            HOME,
+            Msg::TransferReplica {
+                lock: L,
+                dest: S2,
+                version: Version(2),
+                req: RequestId(77),
+            },
+            &mut sink,
+        );
+        let msgs = sends(&mut sink);
+        assert!(
+            msgs.iter().any(|(to, m)| *to == S2
+                && matches!(m, Msg::ReplicaDelta { base_version, req, .. }
+                    if *base_version == Version(1) && *req == RequestId(77))),
+            "transfer to an acked dest ships the script"
+        );
+    }
+
+    #[test]
+    fn receiver_applies_push_delta_and_acks() {
+        let mut d = daemon();
+        let mut sink = CmdSink::new();
+        d.register_local(L, &[spec("idx", &[1, 2, 3])], &mut sink);
+        sink.drain();
+        let id = replica_id("idx");
+        // Bring the receiver to v1 via a full push.
+        d.on_msg(
+            now(),
+            S2,
+            Msg::PushUpdate {
+                lock: L,
+                version: Version(1),
+                updates: vec![ReplicaUpdate::new(id, ReplicaPayload::I32s(vec![1, 2, 3]))],
+                req: RequestId(8),
+            },
+            &mut sink,
+        );
+        sink.drain();
+        let delta = PayloadDelta::diff(
+            &ReplicaPayload::I32s(vec![1, 2, 3]),
+            &ReplicaPayload::I32s(vec![1, 9, 3]),
+        )
+        .unwrap();
+        d.on_msg(
+            now(),
+            S2,
+            Msg::PushDelta {
+                lock: L,
+                base_version: Version(1),
+                version: Version(2),
+                deltas: vec![ReplicaDeltaUpdate { replica: id, delta }],
+                req: RequestId(9),
+            },
+            &mut sink,
+        );
+        assert_eq!(d.read(id).unwrap(), &ReplicaPayload::I32s(vec![1, 9, 3]));
+        assert_eq!(d.version_of(L), Version(2));
+        let cmds = sink.drain();
+        assert!(cmds.iter().any(|c| matches!(c,
+            Cmd::Send { to, msg: Msg::PushAck { req, .. }, .. } if *to == S2 && *req == RequestId(9))));
+        assert!(cmds.iter().any(|c| matches!(
+            c,
+            Cmd::Signal(Signal::DataArrived {
+                version: Version(2),
+                ..
+            })
+        )));
+    }
+
+    #[test]
+    fn stale_base_receiver_nacks_push_delta() {
+        let mut d = daemon();
+        let mut sink = CmdSink::new();
+        d.register_local(L, &[spec("idx", &[1, 2, 3])], &mut sink);
+        sink.drain();
+        let id = replica_id("idx");
+        // Receiver is still at v0; the script needs base v1.
+        let delta = PayloadDelta::diff(
+            &ReplicaPayload::I32s(vec![1, 2, 3]),
+            &ReplicaPayload::I32s(vec![1, 9, 3]),
+        )
+        .unwrap();
+        d.on_msg(
+            now(),
+            S2,
+            Msg::PushDelta {
+                lock: L,
+                base_version: Version(1),
+                version: Version(2),
+                deltas: vec![ReplicaDeltaUpdate { replica: id, delta }],
+                req: RequestId(9),
+            },
+            &mut sink,
+        );
+        // Value untouched, no ack, no wakeup — just the NACK.
+        assert_eq!(d.read(id).unwrap(), &ReplicaPayload::I32s(vec![1, 2, 3]));
+        assert_eq!(d.version_of(L), Version::INITIAL);
+        let cmds = sink.drain();
+        assert!(cmds.iter().any(|c| matches!(c,
+            Cmd::Send { to, msg: Msg::DeltaNack { have, .. }, .. }
+                if *to == S2 && *have == Version::INITIAL)));
+        assert!(!cmds
+            .iter()
+            .any(|c| matches!(c, Cmd::Signal(Signal::DataArrived { .. }))));
+        assert!(!cmds.iter().any(|c| matches!(
+            c,
+            Cmd::Send {
+                msg: Msg::PushAck { .. },
+                ..
+            }
+        )));
     }
 }

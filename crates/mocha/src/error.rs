@@ -64,6 +64,14 @@ pub enum MochaError {
     Shutdown,
     /// A malformed message arrived where a well-formed one was required.
     Wire(WireError),
+    /// Serialization of a complex shared object failed (the value contains
+    /// something the pickle format cannot represent).
+    ObjectEncode {
+        /// The object's type name.
+        type_name: String,
+        /// Human-readable reason.
+        reason: String,
+    },
     /// Deserialization of a complex shared object failed.
     ObjectDecode {
         /// The object's advertised type name.
@@ -111,6 +119,9 @@ impl fmt::Display for MochaError {
             }
             MochaError::Shutdown => write!(f, "runtime has shut down"),
             MochaError::Wire(e) => write!(f, "malformed message: {e}"),
+            MochaError::ObjectEncode { type_name, reason } => {
+                write!(f, "failed to encode shared object {type_name:?}: {reason}")
+            }
             MochaError::ObjectDecode { type_name, reason } => {
                 write!(f, "failed to decode shared object {type_name:?}: {reason}")
             }
@@ -148,6 +159,12 @@ mod tests {
         assert!(e.to_string().contains("start"));
         let e = MochaError::LockBroken { lock: LockId(3) };
         assert!(e.to_string().contains("lock3"));
+        let e = MochaError::ObjectEncode {
+            type_name: "Catalog".into(),
+            reason: "unrepresentable map key".into(),
+        };
+        assert!(e.to_string().contains("encode"));
+        assert!(e.to_string().contains("Catalog"));
     }
 
     #[test]

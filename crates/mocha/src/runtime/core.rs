@@ -29,7 +29,7 @@ use mocha_wire::{LockId, Msg, ReplicaId, ReplicaPayload, RequestId, SiteId, Thre
 use crate::app::UNGUARDED;
 use crate::cmd::{timer_ns, Cmd, CmdSink, SendTag, Signal};
 use crate::config::{AvailabilityConfig, MochaConfig};
-use crate::daemon::SiteDaemon;
+use crate::daemon::{DaemonStats, SiteDaemon};
 use crate::error::MochaError;
 use crate::replica::ReplicaSpec;
 use crate::runtime::metrics::RuntimeCounters;
@@ -250,6 +250,9 @@ pub(crate) struct SiteCore<L: Link> {
     /// runtime, the transport) — one wheel per site, like the
     /// simulator's single event queue.
     pub(crate) timers: TimerWheel,
+    /// Daemon stats at the last mirror point, so only the increments are
+    /// fed into the shared runtime counters.
+    last_daemon_stats: DaemonStats,
     next_thread: u32,
     pub(crate) stop: bool,
 }
@@ -265,11 +268,13 @@ impl<L: Link> SiteCore<L> {
             stable_log,
             counters,
         } = seed;
+        let mut daemon = SiteDaemon::new(site, home, config.codec);
+        daemon.set_push_options(config.push);
         SiteCore {
             site,
             home,
             config,
-            daemon: SiteDaemon::new(site, home, config.codec),
+            daemon,
             coordinator: (site == home).then(|| SyncCoordinator::new(home, config)),
             manager: SiteManager::new(site, registry, site == home),
             sink: CmdSink::new(),
@@ -277,6 +282,7 @@ impl<L: Link> SiteCore<L> {
             epoch,
             counters,
             stable_log,
+            last_daemon_stats: DaemonStats::default(),
             avail: HashMap::new(),
             pending_grant: HashMap::new(),
             wait_data: HashMap::new(),
@@ -737,6 +743,25 @@ impl<L: Link> SiteCore<L> {
                 self.route_msg(site, port, msg);
             }
         }
+        self.mirror_daemon_stats();
+    }
+
+    /// Feeds the daemon's delta-dissemination counters (as increments
+    /// since the last mirror point) and the push-window gauge into the
+    /// runtime metrics.
+    fn mirror_daemon_stats(&mut self) {
+        let s = self.daemon.stats();
+        let prev = self.last_daemon_stats;
+        self.counters
+            .add_delta_pushes(s.delta_pushes_sent - prev.delta_pushes_sent);
+        self.counters
+            .add_delta_bytes_saved(s.delta_bytes_saved - prev.delta_bytes_saved);
+        self.counters
+            .add_delta_nacks(s.delta_nacks - prev.delta_nacks);
+        self.last_daemon_stats = s;
+        self.counters.set_push_window_inflight(
+            u64::try_from(self.daemon.inflight_pushes()).unwrap_or(u64::MAX),
+        );
     }
 }
 

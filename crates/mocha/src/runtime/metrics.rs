@@ -27,6 +27,12 @@ pub(crate) struct RuntimeCounters {
     /// Gauge, not a counter: congestion window of the most recently
     /// active peer, in fragments.
     cwnd: AtomicU64,
+    delta_pushes: AtomicU64,
+    delta_bytes_saved: AtomicU64,
+    delta_nacks: AtomicU64,
+    /// Gauge: push targets awaiting acknowledgement across this
+    /// runtime's daemons at the last sample point.
+    push_window_inflight: AtomicU64,
 }
 
 impl RuntimeCounters {
@@ -81,6 +87,28 @@ impl RuntimeCounters {
         self.cwnd.store(v, Relaxed);
     }
 
+    pub(crate) fn add_delta_pushes(&self, n: u64) {
+        if n > 0 {
+            self.delta_pushes.fetch_add(n, Relaxed);
+        }
+    }
+
+    pub(crate) fn add_delta_bytes_saved(&self, n: u64) {
+        if n > 0 {
+            self.delta_bytes_saved.fetch_add(n, Relaxed);
+        }
+    }
+
+    pub(crate) fn add_delta_nacks(&self, n: u64) {
+        if n > 0 {
+            self.delta_nacks.fetch_add(n, Relaxed);
+        }
+    }
+
+    pub(crate) fn set_push_window_inflight(&self, v: u64) {
+        self.push_window_inflight.store(v, Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> RuntimeMetrics {
         RuntimeMetrics {
             datagrams_sent: self.datagrams_sent.load(Relaxed),
@@ -95,6 +123,10 @@ impl RuntimeCounters {
             fast_retransmits: self.fast_retransmits.load(Relaxed),
             rto_backoffs: self.rto_backoffs.load(Relaxed),
             cwnd: self.cwnd.load(Relaxed),
+            delta_pushes: self.delta_pushes.load(Relaxed),
+            delta_bytes_saved: self.delta_bytes_saved.load(Relaxed),
+            delta_nacks: self.delta_nacks.load(Relaxed),
+            push_window_inflight: self.push_window_inflight.load(Relaxed),
         }
     }
 }
@@ -136,6 +168,18 @@ pub struct RuntimeMetrics {
     /// Congestion window (fragments) of the most recently active peer —
     /// a gauge, not a counter.
     pub cwnd: u64,
+    /// Pushes and transfers sent as edit scripts instead of full
+    /// payloads (delta dissemination enabled and applicable).
+    pub delta_pushes: u64,
+    /// Payload bytes avoided by delta sends (full size minus script
+    /// size, summed).
+    pub delta_bytes_saved: u64,
+    /// Delta sends the receiver refused, each answered with a full
+    /// resend.
+    pub delta_nacks: u64,
+    /// Push targets awaiting acknowledgement at the last sample point —
+    /// a gauge, not a counter (> 1 only with the pipelined window).
+    pub push_window_inflight: u64,
 }
 
 impl RuntimeMetrics {
@@ -155,7 +199,8 @@ impl std::fmt::Display for RuntimeMetrics {
             f,
             "datagrams sent={} delivered={} lost={} ({} bytes); \
              msgs sent={} delivered={} failed={}; timers fired={}; \
-             retx={} fast={} backoffs={} cwnd={}",
+             retx={} fast={} backoffs={} cwnd={}; \
+             delta pushes={} saved={} nacks={} inflight={}",
             self.datagrams_sent,
             self.datagrams_delivered,
             self.datagrams_lost,
@@ -168,6 +213,10 @@ impl std::fmt::Display for RuntimeMetrics {
             self.fast_retransmits,
             self.rto_backoffs,
             self.cwnd,
+            self.delta_pushes,
+            self.delta_bytes_saved,
+            self.delta_nacks,
+            self.push_window_inflight,
         )
     }
 }
@@ -193,6 +242,12 @@ mod tests {
         c.add_rto_backoffs(1);
         c.set_cwnd(16);
         c.set_cwnd(8); // gauge: last write wins
+        c.add_delta_pushes(2);
+        c.add_delta_bytes_saved(4096);
+        c.add_delta_nacks(0); // no-op
+        c.add_delta_nacks(1);
+        c.set_push_window_inflight(3);
+        c.set_push_window_inflight(2); // gauge: last write wins
         let m = c.snapshot();
         assert_eq!(m.datagrams_sent, 2);
         assert_eq!(m.bytes_sent, 150);
@@ -206,6 +261,10 @@ mod tests {
         assert_eq!(m.fast_retransmits, 2);
         assert_eq!(m.rto_backoffs, 1);
         assert_eq!(m.cwnd, 8);
+        assert_eq!(m.delta_pushes, 2);
+        assert_eq!(m.delta_bytes_saved, 4096);
+        assert_eq!(m.delta_nacks, 1);
+        assert_eq!(m.push_window_inflight, 2);
         assert!((m.loss_rate() - 0.5).abs() < 1e-12);
     }
 

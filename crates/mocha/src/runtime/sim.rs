@@ -61,6 +61,7 @@ impl SiteHost {
         let coordinator = (site == home).then(|| SyncCoordinator::new(home, config));
         let mut daemon = SiteDaemon::new(site, home, config.codec);
         daemon.set_faults(config.faults);
+        daemon.set_push_options(config.push);
         let mut mux = TransportMux::new(site, config.net);
         // Deterministic first-incarnation epoch: simulated wire bytes
         // become a pure function of (site, config, schedule), which the

@@ -20,7 +20,7 @@
 //! * Failed sites are removed from membership and "prevented from making
 //!   future requests".
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::time::Duration;
 
 use mocha_net::{ports, MsgClass};
@@ -77,6 +77,10 @@ struct LockState {
     /// Sites known to hold the current version (owner + dissemination
     /// targets).
     up_to_date: BTreeSet<SiteId>,
+    /// Last version each site is known to have held (the owner and its
+    /// acknowledged dissemination targets, recorded at every release) —
+    /// the coordinator-side mirror of the daemons' delta-base tables.
+    site_versions: BTreeMap<SiteId, Version>,
     /// All sites registered for this lock's replicas (the `R` set).
     members: BTreeSet<SiteId>,
     /// Replicas associated with this lock.
@@ -286,7 +290,8 @@ impl SyncCoordinator {
             view.up_to_date.hash(h);
             view.members.hash(h);
         }
-        // Queued requesters matter: they decide future grant order.
+        // Queued requesters matter: they decide future grant order; the
+        // per-site version records steer future freshness bookkeeping.
         let mut locks: Vec<&LockId> = self.locks.keys().collect();
         locks.sort_unstable();
         for lock in locks {
@@ -295,9 +300,22 @@ impl SyncCoordinator {
                 r.thread.hash(h);
                 r.mode.hash(h);
             }
+            for (site, version) in &self.locks[lock].site_versions {
+                site.hash(h);
+                version.hash(h);
+            }
         }
         self.blacklist.hash(h);
         self.scan_running.hash(h);
+    }
+
+    /// Last version `site` is known to have held for `lock`, as recorded
+    /// at releases — `None` if the site never appeared as an owner or an
+    /// acknowledged dissemination target.
+    pub fn site_version(&self, lock: LockId, site: SiteId) -> Option<Version> {
+        self.locks
+            .get(&lock)
+            .and_then(|s| s.site_versions.get(&site).copied())
     }
 
     fn fresh_req(&mut self) -> RequestId {
@@ -575,13 +593,16 @@ impl SyncCoordinator {
             state.version = new_version;
             state.up_to_date.clear();
             state.up_to_date.insert(site);
+            state.site_versions.insert(site, new_version);
             for s in disseminated_to {
                 state.up_to_date.insert(*s);
+                state.site_versions.insert(*s, new_version);
             }
             state.last_owner = Some(site);
         } else {
             // Read-only hold: the releaser now also has the current copy.
             state.up_to_date.insert(site);
+            state.site_versions.insert(site, state.version);
         }
         self.grant_next_batch(now, lock, sink);
     }
@@ -756,6 +777,7 @@ impl SyncCoordinator {
                     state.holders.swap_remove(idx);
                     // The site still has the data it wrote.
                     state.up_to_date.insert(site);
+                    state.site_versions.insert(site, state.version);
                     if state.last_owner.is_none() {
                         state.last_owner = Some(site);
                     }
@@ -866,6 +888,7 @@ impl SyncCoordinator {
         };
         state.members.remove(&dead);
         state.up_to_date.remove(&dead);
+        state.site_versions.remove(&dead);
         if state.last_owner == Some(dead) {
             state.last_owner = state.up_to_date.iter().copied().next();
         }
@@ -966,6 +989,7 @@ impl SyncCoordinator {
                 }
                 state.last_owner = Some(site);
                 state.up_to_date.insert(site);
+                state.site_versions.insert(site, state.version);
                 let req = recovery.req;
                 let dest = recovery.dest;
                 sink.send_tagged(
@@ -1078,6 +1102,37 @@ mod tests {
             Msg::Grant { flag, .. } if *site == to => Some(*flag),
             _ => None,
         })
+    }
+
+    #[test]
+    fn release_records_per_site_versions() {
+        let mut c = coord();
+        let mut sink = CmdSink::new();
+        c.on_msg(t(0), S1, acquire(S1), &mut sink);
+        sink.drain();
+        // S1 wrote v1 and pushed it to S2.
+        c.on_msg(
+            t(1),
+            S1,
+            Msg::ReleaseLock {
+                lock: L,
+                site: S1,
+                new_version: Version(1),
+                disseminated_to: vec![S2],
+            },
+            &mut sink,
+        );
+        assert_eq!(c.site_version(L, S1), Some(Version(1)));
+        assert_eq!(c.site_version(L, S2), Some(Version(1)));
+        assert_eq!(c.site_version(L, HOME), None);
+        // S2 writes v2 without dissemination: its record advances, S1's
+        // stays at the version it last held.
+        c.on_msg(t(2), S2, acquire(S2), &mut sink);
+        sink.drain();
+        c.on_msg(t(3), S2, release(S2, 2), &mut sink);
+        assert_eq!(c.site_version(L, S2), Some(Version(2)));
+        assert_eq!(c.site_version(L, S1), Some(Version(1)));
+        assert_eq!(c.site_version(L, SiteId(9)), None);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Property-based tests of delta dissemination's wire layer: diffing any
+//! two same-variant payloads and applying the script to the base is
+//! always equivalent to shipping the full replacement, and delta scripts
+//! roundtrip through their encoding.
+
+use proptest::prelude::*;
+
+use mocha_wire::delta::PayloadDelta;
+use mocha_wire::io::{ByteReader, ByteWriter};
+use mocha_wire::ReplicaPayload;
+
+fn array_payload_strategy() -> impl Strategy<Value = ReplicaPayload> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..600).prop_map(ReplicaPayload::Bytes),
+        proptest::collection::vec(any::<i32>(), 0..200).prop_map(ReplicaPayload::I32s),
+        proptest::collection::vec(any::<i64>(), 0..100).prop_map(ReplicaPayload::I64s),
+        proptest::collection::vec(any::<f64>(), 0..100).prop_map(ReplicaPayload::F64s),
+        "[ -~]{0,200}".prop_map(ReplicaPayload::Utf8),
+    ]
+}
+
+/// Two payloads of the same variant, usually sharing a common prefix so
+/// the diff exercises both the copy and fresh segment kinds.
+fn same_variant_pair() -> impl Strategy<Value = (ReplicaPayload, ReplicaPayload)> {
+    prop_oneof![
+        (
+            proptest::collection::vec(any::<i32>(), 0..200),
+            proptest::collection::vec(any::<i32>(), 0..20),
+            any::<prop::sample::Index>(),
+        )
+            .prop_map(|(base, patch, at)| {
+                let mut new = base.clone();
+                let start = if new.is_empty() {
+                    0
+                } else {
+                    at.index(new.len())
+                };
+                for (i, v) in patch.into_iter().enumerate() {
+                    if start + i < new.len() {
+                        new[start + i] = v;
+                    } else {
+                        new.push(v);
+                    }
+                }
+                (ReplicaPayload::I32s(base), ReplicaPayload::I32s(new))
+            }),
+        (array_payload_strategy(), array_payload_strategy())
+            .prop_filter_map("same variant only", |(a, b)| (a.signature()
+                == b.signature())
+            .then_some((a, b)),),
+    ]
+}
+
+fn wire_bytes(p: &ReplicaPayload) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    p.encode(&mut w);
+    w.into_bytes()
+}
+
+proptest! {
+    #[test]
+    fn diff_then_apply_equals_full_replacement((base, new) in same_variant_pair()) {
+        let delta = PayloadDelta::diff(&base, &new).expect("same-variant arrays are diffable");
+        let rebuilt = delta.apply(&base).unwrap();
+        // Compare encodings, not values: F64s may contain NaN, which is
+        // preserved bit-for-bit but breaks PartialEq.
+        prop_assert_eq!(wire_bytes(&rebuilt), wire_bytes(&new));
+    }
+
+    #[test]
+    fn deltas_roundtrip_through_encoding((base, new) in same_variant_pair()) {
+        let delta = PayloadDelta::diff(&base, &new).unwrap();
+        let mut w = ByteWriter::new();
+        delta.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = PayloadDelta::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        let rebuilt = back.apply(&base).unwrap();
+        prop_assert_eq!(wire_bytes(&rebuilt), wire_bytes(&new));
+    }
+
+    #[test]
+    fn mismatched_variants_never_diff(
+        a in proptest::collection::vec(any::<i32>(), 0..50),
+        b in proptest::collection::vec(any::<i64>(), 0..50),
+    ) {
+        let x = ReplicaPayload::I32s(a);
+        let y = ReplicaPayload::I64s(b);
+        prop_assert!(PayloadDelta::diff(&x, &y).is_none());
+        prop_assert!(PayloadDelta::diff(&y, &x).is_none());
+    }
+
+    #[test]
+    fn apply_on_wrong_variant_base_errors(
+        base in proptest::collection::vec(any::<i32>(), 0..50),
+        new in proptest::collection::vec(any::<i32>(), 0..50),
+        other in proptest::collection::vec(any::<i64>(), 0..50),
+    ) {
+        let delta = PayloadDelta::diff(
+            &ReplicaPayload::I32s(base),
+            &ReplicaPayload::I32s(new),
+        ).unwrap();
+        prop_assert!(delta.apply(&ReplicaPayload::I64s(other)).is_err());
+    }
+
+    #[test]
+    fn random_bytes_never_panic_the_delta_decoder(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let mut r = ByteReader::new(&bytes);
+        let _ = PayloadDelta::decode(&mut r); // must not panic
+    }
+}

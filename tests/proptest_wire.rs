@@ -23,10 +23,8 @@ fn payload_strategy() -> impl Strategy<Value = ReplicaPayload> {
 }
 
 fn update_strategy() -> impl Strategy<Value = ReplicaUpdate> {
-    (any::<u32>(), payload_strategy()).prop_map(|(id, payload)| ReplicaUpdate {
-        replica: ReplicaId(id),
-        payload,
-    })
+    (any::<u32>(), payload_strategy())
+        .prop_map(|(id, payload)| ReplicaUpdate::new(ReplicaId(id), payload))
 }
 
 fn msg_strategy() -> impl Strategy<Value = Msg> {
