@@ -93,6 +93,12 @@ fn main() {
     if what == "delta-smoke" {
         delta_smoke();
     }
+    if what == "swarm" {
+        swarm();
+    }
+    if what == "swarm-smoke" {
+        swarm_smoke();
+    }
     if all || what == "app" {
         app();
     }
@@ -491,6 +497,97 @@ fn delta_smoke() {
         "pipelined 3-target latency ≤1.5x of 1-target",
         scaling <= 1.5,
         format!("{scaling:.2}x (sequential baseline: {seq_scaling:.2}x)"),
+    );
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn swarm() {
+    use mocha::runtime::socket::loopback_available;
+    use mocha_bench::swarm::{swarm_sweep, write_json};
+
+    println!();
+    println!("Swarm sweep: many sites on a fixed reactor pool (real loopback UDP)");
+    println!("(2 acquire/release cycles per site, 16 join/leave churn events)");
+    println!("-----------------------------------------------------------------------");
+    if !loopback_available() {
+        println!("  skipped: no loopback sockets in this environment");
+        return;
+    }
+    println!(
+        "  {:>6} {:>7} {:>6} {:>7} {:>10} {:>10} {:>11} {:>10}",
+        "sites", "shards", "churn", "ops", "failed", "elapsed ms", "ops/sec", "datagrams"
+    );
+    let points = swarm_sweep().expect("swarm sweep");
+    for p in &points {
+        println!(
+            "  {:>6} {:>7} {:>6} {:>7} {:>10} {:>10.0} {:>11.0} {:>10}",
+            p.sites,
+            p.shards,
+            p.churn,
+            p.ops,
+            p.failed_ops,
+            p.elapsed_ms,
+            p.ops_per_sec,
+            p.datagrams_sent,
+        );
+    }
+    let path = std::path::Path::new("BENCH_swarm.json");
+    write_json(path, &points).expect("write BENCH_swarm.json");
+    println!("  wrote {}", path.display());
+}
+
+/// The CI smoke point: a 256-site swarm on 2 reactor threads must finish
+/// every acquire/release cycle with zero failures and live churn.
+fn swarm_smoke() {
+    use mocha::runtime::socket::loopback_available;
+    use mocha_bench::swarm::run_swarm;
+
+    println!();
+    println!("Swarm smoke (256 sites, 2 shards)");
+    println!("----------------------------------");
+    if !loopback_available() {
+        println!("  skipped: no loopback sockets in this environment");
+        return;
+    }
+    let p = run_swarm(256, 2, 2, 8, 64).expect("swarm run");
+    let mut failed = false;
+    let mut check = |name: &str, ok: bool, detail: String| {
+        println!(
+            "  [{}] {:<44} {}",
+            if ok { "PASS" } else { "FAIL" },
+            name,
+            detail
+        );
+        failed |= !ok;
+    };
+    check(
+        "every cycle completed",
+        p.ops == 512 && p.failed_ops == 0,
+        format!("{} ops, {} failed", p.ops, p.failed_ops),
+    );
+    check(
+        "sites multiplexed onto 2 shards",
+        p.shards == 2,
+        format!("{} shards for {} sites", p.shards, p.sites),
+    );
+    check(
+        "churn ran mid-workload",
+        p.churn == 8,
+        format!("{} joins/leaves", p.churn),
+    );
+    check(
+        "real datagrams flowed",
+        p.datagrams_sent > 0 && p.datagrams_delivered > 0,
+        format!(
+            "{} sent / {} delivered",
+            p.datagrams_sent, p.datagrams_delivered
+        ),
+    );
+    println!(
+        "  {:.0} ops/sec over {:.0} ms ({} socket errors absorbed)",
+        p.ops_per_sec, p.elapsed_ms, p.socket_errors
     );
     if failed {
         std::process::exit(1);

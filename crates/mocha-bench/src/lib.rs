@@ -31,6 +31,7 @@ use mocha_wire::{LockId, ReplicaId, ReplicaPayload};
 
 pub mod delta;
 pub mod smallmsg;
+pub mod swarm;
 pub mod transport;
 
 /// The network environment of a scenario — the paper's two testbeds.

@@ -145,7 +145,9 @@ impl TcpSender {
                 progressed = true;
                 match event {
                     TcpEvent::Connected(conn) => {
-                        self.tcp.send_msg(conn, &self.payload.clone());
+                        self.tcp
+                            .send_msg(conn, &self.payload.clone())
+                            .expect("bench payload within frame limit");
                     }
                     TcpEvent::AllAcked(conn) => self.tcp.close(conn),
                     _ => {}

@@ -1,0 +1,348 @@
+//! Swarm bench: many sites multiplexed onto a few reactor shards over
+//! real loopback sockets, with join/leave churn in the middle of a
+//! sustained acquire/release workload.
+//!
+//! The point under measurement is the event-driven socket runtime: a
+//! 1k-site cluster used to need a thousand blocking site loops; the shard
+//! reactor runs it on a handful of OS threads. Each site owns a private
+//! lock, so the workload measures runtime scheduling and the home
+//! coordinator's service path rather than lock contention. A single
+//! driver thread keeps a bounded window of `lock_async`/`unlock_async`
+//! requests in flight across the whole swarm — the async handle API this
+//! runtime exists to serve.
+//!
+//! `repro -- swarm` prints the sweep and writes `BENCH_swarm.json`;
+//! `repro -- swarm-smoke` checks a 256-site point in CI.
+
+use std::io::Write as _;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use mocha::config::MochaConfig;
+use mocha::runtime::socket::SocketRuntime;
+use mocha::replica::ReplicaSpec;
+use mocha::runtime::thread::{Freshness, MochaHandle, Pending};
+use mocha_wire::{LockId, ReplicaPayload};
+
+/// One measured swarm run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwarmPoint {
+    /// Sites in the initial cluster (excluding churned ones).
+    pub sites: usize,
+    /// Reactor shards (OS threads running site loops).
+    pub shards: usize,
+    /// Acquire/release cycles per site.
+    pub rounds: usize,
+    /// Sites added and then removed while the workload ran.
+    pub churn: usize,
+    /// Completed acquire+release cycles across the swarm.
+    pub ops: u64,
+    /// Cycles that failed (lock or release error); must be 0 on loopback.
+    pub failed_ops: u64,
+    /// Wall-clock time for the measured phase.
+    pub elapsed_ms: f64,
+    /// Completed cycles per wall-clock second.
+    pub ops_per_sec: f64,
+    /// UDP datagrams the runtime put on the wire (whole run).
+    pub datagrams_sent: u64,
+    /// UDP datagrams delivered to site loops (whole run).
+    pub datagrams_delivered: u64,
+    /// Transient socket errors absorbed by backoff (whole run).
+    pub socket_errors: u64,
+}
+
+/// Per-site driver state: which half of the acquire/release cycle is in
+/// flight, if any.
+enum St {
+    Idle,
+    Locking(Pending<Freshness>),
+    Unlocking(Pending<()>),
+    Done,
+}
+
+struct Slot {
+    handle: MochaHandle,
+    lock: LockId,
+    st: St,
+    remaining: usize,
+}
+
+impl Slot {
+    fn active(&self) -> bool {
+        matches!(self.st, St::Locking(_) | St::Unlocking(_))
+    }
+}
+
+/// Runs one swarm point: `sites` sites on `shards` reactor threads, each
+/// site completing `rounds` private-lock acquire/release cycles, with
+/// `churn` extra sites joining (register + one cycle) and leaving while
+/// the swarm is busy. At most `window` sites have a request in flight at
+/// once, bounding pressure on the home shard's UDP socket.
+///
+/// # Errors
+///
+/// Propagates socket-runtime construction errors (no loopback, invalid
+/// config) and churn-site failures.
+pub fn run_swarm(
+    sites: usize,
+    shards: usize,
+    rounds: usize,
+    churn: usize,
+    window: usize,
+) -> std::io::Result<SwarmPoint> {
+    assert!(sites >= 2 && rounds >= 1 && window >= 1);
+    let config = MochaConfig {
+        // The driver round-robins over the whole swarm; a grant can sit
+        // in its reply channel for a while before the release is issued.
+        // A long lease keeps the lease scanner from breaking such holds.
+        default_lease: Duration::from_secs(30),
+        ..MochaConfig::default()
+    };
+    let mut rt = SocketRuntime::builder()
+        .sites(sites)
+        .shards(shards)
+        .config(config)
+        .build()?;
+
+    // Registration: every site owns lock i+1 guarding one small replica.
+    let mut slots: Vec<Slot> = Vec::with_capacity(sites);
+    for i in 0..sites {
+        let handle = rt.handle(i);
+        let lock = LockId(i as u32 + 1);
+        handle
+            .register(
+                lock,
+                vec![ReplicaSpec::new(format!("r{i}"), ReplicaPayload::empty())],
+            )
+            .map_err(|e| std::io::Error::other(format!("register site {i}: {e}")))?;
+        slots.push(Slot {
+            handle,
+            lock,
+            st: St::Idle,
+            remaining: rounds,
+        });
+    }
+
+    // Churn points: spread evenly through the measured ops.
+    let total_ops = (sites * rounds) as u64;
+    let churn_every = if churn == 0 {
+        u64::MAX
+    } else {
+        (total_ops / (churn as u64 + 1)).max(1)
+    };
+    let mut churned = 0usize;
+
+    let started = Instant::now();
+    let mut ops = 0u64;
+    let mut failed = 0u64;
+    let mut done = 0usize;
+    while done < slots.len() {
+        let mut progressed = false;
+        let mut active = slots.iter().filter(|s| s.active()).count();
+        for slot in &mut slots {
+            match &slot.st {
+                St::Idle => {
+                    if active < window {
+                        match slot.handle.lock_async(slot.lock) {
+                            Ok(p) => {
+                                slot.st = St::Locking(p);
+                                active += 1;
+                                progressed = true;
+                            }
+                            Err(_) => {
+                                failed += 1;
+                                slot.remaining -= 1;
+                                if slot.remaining == 0 {
+                                    slot.st = St::Done;
+                                    done += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                St::Locking(p) => {
+                    if let Some(result) = p.poll() {
+                        progressed = true;
+                        active -= 1;
+                        match result {
+                            Ok(_) => match slot.handle.unlock_async(slot.lock, false) {
+                                Ok(p) => {
+                                    slot.st = St::Unlocking(p);
+                                    active += 1;
+                                }
+                                Err(_) => {
+                                    failed += 1;
+                                    slot.st = St::Idle;
+                                    slot.remaining -= 1;
+                                    if slot.remaining == 0 {
+                                        slot.st = St::Done;
+                                        done += 1;
+                                    }
+                                }
+                            },
+                            Err(_) => {
+                                failed += 1;
+                                slot.st = St::Idle;
+                                slot.remaining -= 1;
+                                if slot.remaining == 0 {
+                                    slot.st = St::Done;
+                                    done += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                St::Unlocking(p) => {
+                    if let Some(result) = p.poll() {
+                        progressed = true;
+                        active -= 1;
+                        match result {
+                            Ok(()) => ops += 1,
+                            Err(_) => failed += 1,
+                        }
+                        slot.remaining -= 1;
+                        slot.st = if slot.remaining == 0 {
+                            done += 1;
+                            St::Done
+                        } else {
+                            St::Idle
+                        };
+                        // Join/leave churn in the middle of the run: a new
+                        // site boots onto a live shard, registers its own
+                        // lock, runs one blocking cycle, and leaves.
+                        if churned < churn && ops / churn_every > churned as u64 {
+                            churned += 1;
+                            let h = rt.add_site()?;
+                            let lock = LockId(100_000 + churned as u32);
+                            let name = format!("churn{churned}");
+                            h.register(lock, vec![ReplicaSpec::new(name, ReplicaPayload::empty())])
+                                .map_err(|e| std::io::Error::other(format!("churn register: {e}")))?;
+                            h.lock(lock)
+                                .map_err(|e| std::io::Error::other(format!("churn lock: {e}")))?;
+                            h.unlock(lock, false)
+                                .map_err(|e| std::io::Error::other(format!("churn unlock: {e}")))?;
+                            rt.remove_site(h.site());
+                        }
+                    }
+                }
+                St::Done => {}
+            }
+        }
+        if !progressed {
+            // Single-CPU friendliness: hand the timeslice to the shard
+            // threads instead of spinning on empty reply channels.
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    let elapsed = started.elapsed();
+    let m = rt.metrics();
+    let actual_shards = rt.shard_count();
+    rt.shutdown();
+
+    let elapsed_ms = elapsed.as_secs_f64() * 1e3;
+    Ok(SwarmPoint {
+        sites,
+        shards: actual_shards,
+        rounds,
+        churn: churned,
+        ops,
+        failed_ops: failed,
+        elapsed_ms,
+        ops_per_sec: ops as f64 / elapsed.as_secs_f64().max(1e-9),
+        datagrams_sent: m.datagrams_sent,
+        datagrams_delivered: m.datagrams_delivered,
+        socket_errors: m.socket_errors,
+    })
+}
+
+/// The full sweep: scaling the swarm while the thread pool stays small.
+///
+/// # Errors
+///
+/// Propagates the first failing point.
+pub fn swarm_sweep() -> std::io::Result<Vec<SwarmPoint>> {
+    let mut out = Vec::new();
+    for &(sites, shards) in &[(256usize, 2usize), (512, 3), (1024, 4)] {
+        out.push(run_swarm(sites, shards, 2, 16, 128)?);
+    }
+    Ok(out)
+}
+
+/// Renders the sweep as a JSON array (hand-rolled — no serde in tree).
+pub fn to_json(points: &[SwarmPoint]) -> String {
+    let mut s = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            concat!(
+                "  {{\"sites\": {}, \"shards\": {}, \"rounds\": {}, \"churn\": {}, ",
+                "\"ops\": {}, \"failed_ops\": {}, \"elapsed_ms\": {:.1}, ",
+                "\"ops_per_sec\": {:.1}, \"datagrams_sent\": {}, ",
+                "\"datagrams_delivered\": {}, \"socket_errors\": {}}}{}\n"
+            ),
+            p.sites,
+            p.shards,
+            p.rounds,
+            p.churn,
+            p.ops,
+            p.failed_ops,
+            p.elapsed_ms,
+            p.ops_per_sec,
+            p.datagrams_sent,
+            p.datagrams_delivered,
+            p.socket_errors,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("]\n");
+    s
+}
+
+/// Writes the sweep to `path` as JSON.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_json(path: &Path, points: &[SwarmPoint]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_json(points).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocha::runtime::socket::loopback_available;
+
+    #[test]
+    fn small_swarm_completes_with_churn() {
+        if !loopback_available() {
+            eprintln!("skipping: no loopback sockets");
+            return;
+        }
+        let p = run_swarm(24, 2, 1, 2, 8).unwrap();
+        assert_eq!(p.ops, 24, "{p:?}");
+        assert_eq!(p.failed_ops, 0, "{p:?}");
+        assert_eq!(p.churn, 2, "{p:?}");
+        assert_eq!(p.shards, 2, "{p:?}");
+        assert!(p.datagrams_sent > 0, "{p:?}");
+    }
+
+    #[test]
+    fn json_has_one_object_per_point() {
+        let p = SwarmPoint {
+            sites: 4,
+            shards: 2,
+            rounds: 1,
+            churn: 0,
+            ops: 4,
+            failed_ops: 0,
+            elapsed_ms: 1.0,
+            ops_per_sec: 4000.0,
+            datagrams_sent: 10,
+            datagrams_delivered: 10,
+            socket_errors: 0,
+        };
+        let json = to_json(&[p, p]);
+        assert_eq!(json.matches("\"sites\"").count(), 2);
+        assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+    }
+}

@@ -139,6 +139,10 @@ pub struct TcpConfig {
     pub max_syn_retries: u32,
     /// Data retransmission rounds before the connection is reset.
     pub max_retries: u32,
+    /// Largest message `send_msg` will frame, in bytes. Hard-capped by
+    /// the `u32` length prefix regardless of this setting; lower it to
+    /// make oversized-send failure paths cheap to exercise.
+    pub max_msg_bytes: usize,
 }
 
 impl Default for TcpConfig {
@@ -149,6 +153,7 @@ impl Default for TcpConfig {
             rto: Duration::from_millis(200),
             max_syn_retries: 4,
             max_retries: 6,
+            max_msg_bytes: u32::MAX as usize,
         }
     }
 }
@@ -168,6 +173,9 @@ impl TcpConfig {
         }
         if self.rto.is_zero() {
             return Err("rto must be positive".into());
+        }
+        if self.max_msg_bytes == 0 {
+            return Err("max_msg_bytes must be positive".into());
         }
         Ok(())
     }
@@ -256,6 +264,9 @@ mod tests {
         assert!(t.validate().is_err());
         let mut t = TcpConfig::default();
         t.rto = Duration::ZERO;
+        assert!(t.validate().is_err());
+        let mut t = TcpConfig::default();
+        t.max_msg_bytes = 0;
         assert!(t.validate().is_err());
     }
 

@@ -37,7 +37,8 @@ pub use action::{Action, MsgClass, Port, SendHandle, TransportEvent};
 pub use config::{ArqMode, MochaNetConfig, NetConfig, ProtocolMode, TcpConfig, MIN_PATIENCE};
 pub use mochanet::TransportStats;
 pub use mux::TransportMux;
-pub use udp::{AddressBook, TimerWheel, UdpDriver, Waker};
+pub use tcp::TcpSendError;
+pub use udp::{AddressBook, Backoff, TimerWheel, UdpDriver, Waker};
 
 /// Well-known MochaNet ports ("upward multiplexing") used by the Mocha
 /// runtime.

@@ -102,6 +102,15 @@ impl TransportMux {
         self.next_handle += 1;
         let use_tcp = self.cfg.mode == ProtocolMode::Hybrid && class == MsgClass::Bulk;
         if use_tcp {
+            // Refuse frames the TCP endpoint would reject before spending
+            // a rendezvous and a handshake on them. The 2-byte port
+            // header travels inside the framed message.
+            let max = self.cfg.tcp.max_msg_bytes.min(u32::MAX as usize);
+            if bytes.len().saturating_add(2) > max {
+                self.out
+                    .push(Action::Event(TransportEvent::SendFailed { to, handle }));
+                return handle;
+            }
             // 1. Rendezvous over MochaNet: announce the incoming TCP
             //    transfer (the paper's port-number propagation). The
             //    receiving mux swallows this message.
@@ -237,7 +246,17 @@ impl TransportMux {
                     let mut frame = ByteWriter::with_capacity(pending.bytes.len() + 2);
                     frame.put_u16(pending.port);
                     frame.put_raw(&pending.bytes);
-                    self.tcp.send_msg(conn, frame.as_slice());
+                    // A refused write fails this transfer only — the
+                    // connection (if still alive) is closed and the
+                    // caller sees SendFailed, not a dead site.
+                    if let Err(_e) = self.tcp.send_msg(conn, frame.as_slice()) {
+                        self.tcp.close(conn);
+                        self.out.push(Action::Event(TransportEvent::SendFailed {
+                            to: pending.to,
+                            handle: pending.handle,
+                        }));
+                        return;
+                    }
                     self.open_sends.insert(
                         conn,
                         OpenSend {
@@ -458,6 +477,40 @@ mod tests {
         p.b.on_datagram(A, &[]);
         p.pump();
         assert!(p.delivered_to_b().is_empty());
+    }
+
+    #[test]
+    fn oversized_hybrid_bulk_fails_gracefully() {
+        let mut cfg = NetConfig::hybrid();
+        cfg.tcp.max_msg_bytes = 1024;
+        let mut p = Pair {
+            a: TransportMux::new(A, cfg),
+            b: TransportMux::new(B, cfg),
+            events_a: Vec::new(),
+            events_b: Vec::new(),
+        };
+        let h = p.a.send(B, 4, &vec![0u8; 2000], MsgClass::Bulk);
+        p.pump();
+        assert!(
+            p.events_a
+                .iter()
+                .any(|e| matches!(e, TransportEvent::SendFailed { to: B, handle } if *handle == h)),
+            "oversized bulk must fail the send, got {:?}",
+            p.events_a
+        );
+        // The peer is NOT declared unreachable — this was a local refusal.
+        assert!(!p
+            .events_a
+            .iter()
+            .any(|e| matches!(e, TransportEvent::PeerUnreachable { .. })));
+        // The mux keeps working: an in-limit transfer still goes through.
+        let ok = p.a.send(B, 4, &vec![5u8; 500], MsgClass::Bulk);
+        p.pump();
+        assert_eq!(p.delivered_to_b(), vec![(4, vec![5u8; 500])]);
+        assert!(p.events_a.iter().any(
+            |e| matches!(e, TransportEvent::MsgAcked { to: B, handle, .. } if *handle == ok)
+        ));
+        assert_eq!(p.a.tcp.conn_count(), 0);
     }
 
     #[test]

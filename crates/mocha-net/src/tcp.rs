@@ -80,6 +80,40 @@ impl ConnId {
     }
 }
 
+/// Why [`TcpEndpoint::send_msg`] refused to queue a message.
+///
+/// These used to be panics; a bad bulk transfer must fail the transfer,
+/// not kill the site hosting it, so they are surfaced as typed errors the
+/// mux converts into `TransportEvent::SendFailed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpSendError {
+    /// The connection does not exist (never opened, or already closed /
+    /// aborted — e.g. the peer died between `connect` and the write).
+    UnknownConn(ConnId),
+    /// The message exceeds the framing limit
+    /// ([`TcpConfig::max_msg_bytes`], itself capped by the `u32` length
+    /// prefix).
+    TooLarge {
+        /// Offered message length in bytes.
+        len: usize,
+        /// Largest length the endpoint accepts.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for TcpSendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TcpSendError::UnknownConn(conn) => write!(f, "unknown connection {conn}"),
+            TcpSendError::TooLarge { len, max } => {
+                write!(f, "message of {len} bytes exceeds frame limit {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TcpSendError {}
+
 /// Events a [`TcpEndpoint`] reports to the layer above (the hybrid mux).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TcpEvent {
@@ -220,13 +254,26 @@ impl TcpEndpoint {
     /// Writes a length-framed message onto the connection's stream. May be
     /// called before the handshake completes; data flows once established.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the connection does not exist (closed or never opened).
-    pub fn send_msg(&mut self, conn_id: ConnId, bytes: &[u8]) {
-        let conn = self.conns.get_mut(&conn_id).expect("unknown connection");
+    /// [`TcpSendError::UnknownConn`] if the connection does not exist
+    /// (closed, aborted, or never opened), [`TcpSendError::TooLarge`] if
+    /// `bytes` exceeds the framing limit. Neither queues anything; the
+    /// connection (if any) is unchanged.
+    pub fn send_msg(&mut self, conn_id: ConnId, bytes: &[u8]) -> Result<(), TcpSendError> {
+        let max = self.cfg.max_msg_bytes.min(u32::MAX as usize);
+        if bytes.len() > max {
+            return Err(TcpSendError::TooLarge {
+                len: bytes.len(),
+                max,
+            });
+        }
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return Err(TcpSendError::UnknownConn(conn_id));
+        };
         let mut frame = ByteWriter::with_capacity(bytes.len() + 4);
-        frame.put_u32(u32::try_from(bytes.len()).expect("message too large"));
+        #[allow(clippy::cast_possible_truncation)] // checked against u32::MAX above
+        frame.put_u32(bytes.len() as u32);
         frame.put_raw(bytes);
         let frame = frame.into_bytes();
         conn.snd_total += frame.len() as u64;
@@ -237,6 +284,7 @@ impl TcpEndpoint {
         self.sink
             .charge(Work::events(1).plus(Work::kernel_bytes(frame.len() as u64)));
         self.pump(conn_id);
+        Ok(())
     }
 
     /// Requests a clean close: a FIN goes out once all written data has
@@ -627,6 +675,7 @@ mod tests {
             rto: Duration::from_millis(100),
             max_syn_retries: 2,
             max_retries: 3,
+            ..TcpConfig::default()
         }
     }
 
@@ -704,7 +753,7 @@ mod tests {
         let mut p = Pair::new();
         let conn = p.a.connect(B);
         let msg: Vec<u8> = (0..1000).map(|i| (i % 256) as u8).collect();
-        p.a.send_msg(conn, &msg);
+        p.a.send_msg(conn, &msg).unwrap();
         p.pump_lossless();
         assert!(p
             .events_b
@@ -716,9 +765,9 @@ mod tests {
     fn multiple_messages_frame_correctly() {
         let mut p = Pair::new();
         let conn = p.a.connect(B);
-        p.a.send_msg(conn, b"first");
-        p.a.send_msg(conn, b"second message");
-        p.a.send_msg(conn, b"");
+        p.a.send_msg(conn, b"first").unwrap();
+        p.a.send_msg(conn, b"second message").unwrap();
+        p.a.send_msg(conn, b"").unwrap();
         p.pump_lossless();
         let received: Vec<Vec<u8>> = p
             .events_b
@@ -738,7 +787,7 @@ mod tests {
     fn close_exchanges_fin_and_reports_closed() {
         let mut p = Pair::new();
         let conn = p.a.connect(B);
-        p.a.send_msg(conn, b"data");
+        p.a.send_msg(conn, b"data").unwrap();
         p.pump_lossless();
         p.a.close(conn);
         p.pump_lossless();
@@ -771,7 +820,7 @@ mod tests {
         let conn = p.a.connect(B);
         p.pump_lossless();
         let msg: Vec<u8> = (0..250).map(|i| i as u8).collect(); // 3 segments
-        p.a.send_msg(conn, &msg);
+        p.a.send_msg(conn, &msg).unwrap();
         // Drop A's first data segment.
         let mut dropped = false;
         p.pump(&mut |from_a, _| {
@@ -797,7 +846,7 @@ mod tests {
         let mut p = Pair::new();
         let conn = p.a.connect(B);
         p.pump_lossless();
-        p.a.send_msg(conn, &vec![0u8; 1000]);
+        p.a.send_msg(conn, &vec![0u8; 1000]).unwrap();
         // Window is 300 bytes => exactly 3 mss-sized segments transmitted
         // before any acks.
         let segments =
@@ -813,7 +862,7 @@ mod tests {
         let mut p = Pair::new();
         let conn = p.a.connect(B);
         p.pump_lossless();
-        p.a.send_msg(conn, b"never arrives");
+        p.a.send_msg(conn, b"never arrives").unwrap();
         // Swallow all of A's transmissions.
         p.pump(&mut |from_a, _| from_a);
         for _ in 0..=cfg().max_retries {
@@ -830,7 +879,7 @@ mod tests {
         let mut p = Pair::new();
         let conn = p.a.connect(B);
         p.pump_lossless();
-        p.a.send_msg(conn, &vec![0u8; 100_000]);
+        p.a.send_msg(conn, &vec![0u8; 100_000]).unwrap();
         let mut kernel = 0u64;
         let mut events = 0u64;
         let mut user = 0u64;
@@ -894,6 +943,54 @@ mod tests {
             1
         );
         let _ = conn;
+    }
+
+    #[test]
+    fn send_on_unknown_conn_errors_without_panicking() {
+        let mut ep = TcpEndpoint::new(A, cfg());
+        let bogus = ConnId {
+            initiator: B,
+            id: 12345,
+        };
+        assert_eq!(
+            ep.send_msg(bogus, b"data"),
+            Err(TcpSendError::UnknownConn(bogus))
+        );
+        // A connection that failed its handshake is just as unknown: the
+        // hybrid mux may still hold its id when the bulk write lands.
+        let conn = ep.connect(B);
+        ep.drain_actions();
+        for _ in 0..=cfg().max_syn_retries {
+            assert!(ep.on_timer(TIMER_NS));
+            ep.drain_actions();
+        }
+        assert!(ep
+            .drain_events()
+            .contains(&TcpEvent::ConnectFailed(conn, B)));
+        assert_eq!(
+            ep.send_msg(conn, b"late"),
+            Err(TcpSendError::UnknownConn(conn))
+        );
+        // The endpoint survives and can open a fresh connection.
+        let _ = ep.connect(B);
+        assert_eq!(ep.conn_count(), 1);
+    }
+
+    #[test]
+    fn oversized_send_errors_without_panicking() {
+        let mut small = cfg();
+        small.max_msg_bytes = 64;
+        let mut ep = TcpEndpoint::new(A, small);
+        let conn = ep.connect(B);
+        assert_eq!(
+            ep.send_msg(conn, &vec![0u8; 65]),
+            Err(TcpSendError::TooLarge { len: 65, max: 64 })
+        );
+        // Nothing was queued and the connection still works at the limit.
+        ep.send_msg(conn, &vec![0u8; 64]).unwrap();
+        assert_eq!(ep.conn_count(), 1);
+        let msg = TcpSendError::TooLarge { len: 65, max: 64 }.to_string();
+        assert!(msg.contains("65") && msg.contains("64"), "{msg}");
     }
 
     #[test]

@@ -15,16 +15,18 @@
 //! Each UDP payload is a small envelope:
 //!
 //! ```text
-//! +----------------+---------------------------------------+
-//! | from: u32 (BE) | MochaNet datagram (proto byte + body) |
-//! +----------------+---------------------------------------+
+//! +----------------+--------------+---------------------------------------+
+//! | from: u32 (BE) | to: u32 (BE) | MochaNet datagram (proto byte + body) |
+//! +----------------+--------------+---------------------------------------+
 //! ```
 //!
-//! Carrying the sender's [`SiteId`] in-band (rather than reverse-mapping
-//! the UDP source address) lets sites live behind ephemeral ports and
-//! keeps the driver stateless about peers. The runtime is a research
-//! reproduction intended for trusted networks; the envelope is not
-//! authenticated.
+//! Carrying both the sender's and the destination's [`SiteId`] in-band
+//! (rather than reverse-mapping the UDP source address) lets sites live
+//! behind ephemeral ports, keeps the driver stateless about peers, and —
+//! crucially for the event-driven runtime — lets one shared socket serve
+//! many sites: the receiving shard demultiplexes on `to`. The runtime is
+//! a research reproduction intended for trusted networks; the envelope
+//! is not authenticated.
 //!
 //! A `from` field of [`WAKE_SENTINEL`] marks a *wake* datagram: an empty
 //! self-addressed message used by [`Waker`] to interrupt a site loop
@@ -100,11 +102,14 @@ impl AddressBook {
     }
 }
 
-/// One received envelope: who sent it and the MochaNet datagram inside.
+/// One received envelope: who sent it, which site it is addressed to,
+/// and the MochaNet datagram inside.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Incoming {
     /// Claimed originating site.
     pub from: SiteId,
+    /// Destination site (a shared socket demultiplexes on this).
+    pub to: SiteId,
     /// The MochaNet datagram (protocol discriminator included).
     pub datagram: Vec<u8>,
 }
@@ -120,19 +125,21 @@ pub enum Recv {
     TimedOut,
 }
 
-/// Encodes the on-wire envelope for a datagram from `from`.
-fn encode_envelope(from: u32, datagram: &[u8]) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(4 + datagram.len());
+/// Encodes the on-wire envelope for a datagram from `from` to `to`.
+fn encode_envelope(from: u32, to: u32, datagram: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8 + datagram.len());
     buf.extend_from_slice(&from.to_be_bytes());
+    buf.extend_from_slice(&to.to_be_bytes());
     buf.extend_from_slice(datagram);
     buf
 }
 
-/// Splits an envelope into `(from, datagram)`; `None` if malformed.
-fn decode_envelope(payload: &[u8]) -> Option<(u32, &[u8])> {
-    let head = payload.get(..4)?;
+/// Splits an envelope into `(from, to, datagram)`; `None` if malformed.
+fn decode_envelope(payload: &[u8]) -> Option<(u32, u32, &[u8])> {
+    let head = payload.get(..8)?;
     let from = u32::from_be_bytes([head[0], head[1], head[2], head[3]]);
-    Some((from, &payload[4..]))
+    let to = u32::from_be_bytes([head[4], head[5], head[6], head[7]]);
+    Some((from, to, &payload[8..]))
 }
 
 /// Interrupts a site loop blocked in [`UdpDriver::recv`].
@@ -164,9 +171,10 @@ impl Waker {
     /// ignored: the loop also wakes on its next timer deadline, so a lost
     /// wake only costs latency, never correctness.
     pub fn wake(&self) {
-        let _ = self
-            .socket
-            .send_to(&WAKE_SENTINEL.to_be_bytes(), self.target);
+        let mut payload = [0u8; 8];
+        payload[..4].copy_from_slice(&WAKE_SENTINEL.to_be_bytes());
+        payload[4..].copy_from_slice(&WAKE_SENTINEL.to_be_bytes());
+        let _ = self.socket.send_to(&payload, self.target);
     }
 }
 
@@ -181,6 +189,7 @@ pub struct UdpDriver {
     socket: UdpSocket,
     local_site: SiteId,
     buf: Vec<u8>,
+    inject: Option<ErrorInjector>,
 }
 
 impl UdpDriver {
@@ -192,8 +201,25 @@ impl UdpDriver {
         Ok(UdpDriver {
             socket,
             local_site,
-            buf: vec![0u8; MAX_DATAGRAM + 4],
+            buf: vec![0u8; MAX_DATAGRAM + 8],
+            inject: None,
         })
+    }
+
+    /// Testing facility: makes roughly one in `one_in` future
+    /// [`recv`](UdpDriver::recv) calls fail with a deterministic
+    /// (seeded) transient [`io::Error`], so error-recovery paths can be
+    /// exercised without a flapping interface. `one_in == 0` disables
+    /// injection.
+    pub fn inject_recv_errors(&mut self, seed: u64, one_in: u32) {
+        self.inject = if one_in == 0 {
+            None
+        } else {
+            Some(ErrorInjector {
+                state: seed | 1,
+                one_in,
+            })
+        };
     }
 
     /// The site this driver sends as.
@@ -215,18 +241,32 @@ impl UdpDriver {
         })
     }
 
-    /// Sends `datagram` to `to`, wrapped in the site envelope.
+    /// Sends `datagram` from this driver's own site to `to`, wrapped in
+    /// the site envelope. See [`send_as`](UdpDriver::send_as).
+    pub fn send(&self, book: &AddressBook, to: SiteId, datagram: &[u8]) -> io::Result<bool> {
+        self.send_as(self.local_site, book, to, datagram)
+    }
+
+    /// Sends `datagram` to `to`, wrapped in the site envelope, claiming
+    /// `from` as the originating site. Shards hosting many sites on one
+    /// socket use this to send on behalf of each hosted site.
     ///
     /// Returns `Ok(false)` when `to` has no address in `book` or the OS
     /// rejected the send (treated as a silent drop: MochaNet's
     /// retransmission and retry-exhaustion machinery turns persistent
     /// drops into `SendFailed`/`PeerUnreachable` events, which is exactly
     /// the paper's timeout-based failure detection path).
-    pub fn send(&self, book: &AddressBook, to: SiteId, datagram: &[u8]) -> io::Result<bool> {
+    pub fn send_as(
+        &self,
+        from: SiteId,
+        book: &AddressBook,
+        to: SiteId,
+        datagram: &[u8],
+    ) -> io::Result<bool> {
         let Some(addr) = book.addr_of(to) else {
             return Ok(false);
         };
-        let payload = encode_envelope(self.local_site.0, datagram);
+        let payload = encode_envelope(from.0, to.0, datagram);
         match self.socket.send_to(&payload, addr) {
             Ok(_) => Ok(true),
             // A full socket buffer or ICMP-induced error is a drop, not a
@@ -255,6 +295,11 @@ impl UdpDriver {
     /// a decodable peer envelope returns [`Recv::Datagram`], a wake
     /// envelope returns [`Recv::Woken`], garbage is skipped.
     pub fn recv(&mut self, timeout: Duration) -> io::Result<Recv> {
+        if let Some(inj) = self.inject.as_mut() {
+            if inj.should_fail() {
+                return Err(io::Error::other("injected transient socket error"));
+            }
+        }
         let deadline = Instant::now() + timeout;
         loop {
             let now = Instant::now();
@@ -268,10 +313,11 @@ impl UdpDriver {
                 .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))?;
             match self.socket.recv_from(&mut self.buf) {
                 Ok((n, _peer)) => match decode_envelope(&self.buf[..n]) {
-                    Some((WAKE_SENTINEL, _)) => return Ok(Recv::Woken),
-                    Some((from, datagram)) => {
+                    Some((WAKE_SENTINEL, _, _)) => return Ok(Recv::Woken),
+                    Some((from, to, datagram)) => {
                         return Ok(Recv::Datagram(Incoming {
                             from: SiteId(from),
+                            to: SiteId(to),
                             datagram: datagram.to_vec(),
                         }))
                     }
@@ -295,6 +341,77 @@ impl UdpDriver {
                 Err(e) => return Err(e),
             }
         }
+    }
+}
+
+/// Deterministic (xorshift-seeded) recv-error injector; see
+/// [`UdpDriver::inject_recv_errors`].
+#[derive(Debug)]
+struct ErrorInjector {
+    state: u64,
+    one_in: u32,
+}
+
+impl ErrorInjector {
+    fn should_fail(&mut self) -> bool {
+        // xorshift64: cheap, deterministic, good enough for fault spacing.
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        self.state % u64::from(self.one_in) == 0
+    }
+}
+
+/// Bounded exponential backoff for transient I/O errors.
+///
+/// Starts at `base`, doubles per consecutive failure, saturates at `cap`,
+/// and resets on success. Site loops sleep for
+/// [`next_delay`](Backoff::next_delay) after a socket error instead of a
+/// fixed pause, so a flapping interface neither spins the CPU nor parks
+/// the loop for longer than the error persists.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    current: Option<Duration>,
+}
+
+impl Backoff {
+    /// Creates a backoff that starts at `base` and saturates at `cap`.
+    pub fn new(base: Duration, cap: Duration) -> Backoff {
+        Backoff {
+            base,
+            cap: cap.max(base),
+            current: None,
+        }
+    }
+
+    /// Records a failure and returns how long to pause before retrying.
+    pub fn next_delay(&mut self) -> Duration {
+        let next = match self.current {
+            None => self.base,
+            Some(d) => d.saturating_mul(2).min(self.cap),
+        };
+        self.current = Some(next);
+        next
+    }
+
+    /// Records a success, resetting the delay sequence to `base`.
+    pub fn reset(&mut self) {
+        self.current = None;
+    }
+
+    /// True when no failure has been recorded since the last reset.
+    pub fn is_idle(&self) -> bool {
+        self.current.is_none()
+    }
+}
+
+impl Default for Backoff {
+    /// One millisecond doubling to a 100 ms cap — snappy recovery for
+    /// blips, bounded spin for persistent faults.
+    fn default() -> Backoff {
+        Backoff::new(Duration::from_millis(1), Duration::from_millis(100))
     }
 }
 
@@ -389,11 +506,51 @@ mod tests {
     #[test]
     fn envelope_roundtrips() {
         let dg = vec![1u8, 2, 3, 4, 5];
-        let enc = encode_envelope(42, &dg);
-        let (from, body) = decode_envelope(&enc).unwrap();
+        let enc = encode_envelope(42, 7, &dg);
+        let (from, to, body) = decode_envelope(&enc).unwrap();
         assert_eq!(from, 42);
+        assert_eq!(to, 7);
         assert_eq!(body, &dg[..]);
-        assert_eq!(decode_envelope(&[1, 2]), None);
+        assert_eq!(decode_envelope(&[1, 2, 3, 4, 5, 6]), None);
+    }
+
+    #[test]
+    fn backoff_doubles_saturates_and_resets() {
+        let mut b = Backoff::new(Duration::from_millis(1), Duration::from_millis(8));
+        assert!(b.is_idle());
+        assert_eq!(b.next_delay(), Duration::from_millis(1));
+        assert_eq!(b.next_delay(), Duration::from_millis(2));
+        assert_eq!(b.next_delay(), Duration::from_millis(4));
+        assert_eq!(b.next_delay(), Duration::from_millis(8));
+        assert_eq!(b.next_delay(), Duration::from_millis(8)); // saturated
+        assert!(!b.is_idle());
+        b.reset();
+        assert!(b.is_idle());
+        assert_eq!(b.next_delay(), Duration::from_millis(1));
+        // A cap below base is lifted to base rather than inverting.
+        let mut tight = Backoff::new(Duration::from_millis(10), Duration::from_millis(1));
+        assert_eq!(tight.next_delay(), Duration::from_millis(10));
+        assert_eq!(tight.next_delay(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn injected_recv_errors_are_deterministic() {
+        if !sock_available() {
+            eprintln!("skipping: no loopback sockets in this environment");
+            return;
+        }
+        let run = |seed: u64| {
+            let mut d = UdpDriver::bind(SiteId(0), "127.0.0.1:0".parse().unwrap()).unwrap();
+            d.inject_recv_errors(seed, 3);
+            (0..32)
+                .map(|_| d.recv(Duration::from_millis(1)).is_err())
+                .collect::<Vec<bool>>()
+        };
+        let a = run(0xDEAD_BEEF);
+        let b = run(0xDEAD_BEEF);
+        assert_eq!(a, b, "same seed must inject the same error pattern");
+        assert!(a.iter().any(|&e| e), "one-in-3 over 32 calls must fail");
+        assert!(!a.iter().all(|&e| e), "injection must not fail every call");
     }
 
     #[test]
@@ -445,6 +602,7 @@ mod tests {
         match b.recv(Duration::from_secs(2)).unwrap() {
             Recv::Datagram(inc) => {
                 assert_eq!(inc.from, SiteId(0));
+                assert_eq!(inc.to, SiteId(1));
                 assert_eq!(inc.datagram, vec![9, 8, 7]);
             }
             other => panic!("expected datagram, got {other:?}"),

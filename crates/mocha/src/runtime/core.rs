@@ -765,13 +765,54 @@ impl<L: Link> SiteCore<L> {
     }
 }
 
+/// An asynchronous reply in flight — the event-driven analogue of the
+/// blocking calls on [`MochaHandle`]. Obtain one from the `*_async`
+/// methods; consume it with [`poll`](Pending::poll) (non-blocking, for
+/// driver loops multiplexing many sites) or [`wait`](Pending::wait)
+/// (blocking, identical to the synchronous API).
+#[derive(Debug)]
+pub struct Pending<T> {
+    rx: Receiver<Result<T, MochaError>>,
+}
+
+impl<T> Pending<T> {
+    /// Returns the result if the site has replied, `None` while the
+    /// request is still in flight. Never blocks; a disconnected site
+    /// surfaces as `Some(Err(MochaError::Shutdown))`.
+    pub fn poll(&self) -> Option<Result<T, MochaError>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(crossbeam::channel::TryRecvError::Empty) => None,
+            Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                Some(Err(MochaError::Shutdown))
+            }
+        }
+    }
+
+    /// Blocks for the result, with the same timeout discipline as the
+    /// blocking API.
+    ///
+    /// # Errors
+    ///
+    /// [`MochaError::HomeUnreachable`] if no reply arrives within the
+    /// blocking timeout; otherwise whatever the operation returned.
+    pub fn wait(self) -> Result<T, MochaError> {
+        self.rx
+            .recv_timeout(BLOCKING_TIMEOUT)
+            .map_err(|_| MochaError::HomeUnreachable)?
+    }
+}
+
 /// A handle application threads use to talk to their site. Cloneable and
 /// shareable across threads; works identically against the thread and
 /// socket runtimes.
 #[derive(Clone)]
 pub struct MochaHandle {
     site: SiteId,
-    tx: Sender<LoopInput>,
+    /// Inputs are tagged with the site so many sites can share one
+    /// receiving loop (the socket runtime's shards); single-site loops
+    /// simply ignore the tag.
+    tx: Sender<(SiteId, LoopInput)>,
     /// Present in the socket runtime: interrupts the site loop blocked in
     /// a UDP receive after a request is queued. Shared through an `Arc`
     /// because duplicating a waker duplicates an OS socket handle, which
@@ -788,7 +829,7 @@ impl std::fmt::Debug for MochaHandle {
 impl MochaHandle {
     pub(crate) fn new(
         site: SiteId,
-        tx: Sender<LoopInput>,
+        tx: Sender<(SiteId, LoopInput)>,
         waker: Option<std::sync::Arc<mocha_net::Waker>>,
     ) -> MochaHandle {
         MochaHandle { site, tx, waker }
@@ -800,7 +841,9 @@ impl MochaHandle {
     }
 
     pub(crate) fn push(&self, input: LoopInput) -> Result<(), MochaError> {
-        self.tx.send(input).map_err(|_| MochaError::Shutdown)?;
+        self.tx
+            .send((self.site, input))
+            .map_err(|_| MochaError::Shutdown)?;
         if let Some(w) = &self.waker {
             w.wake();
         }
@@ -812,6 +855,15 @@ impl MochaHandle {
         self.push(LoopInput::App(build(tx)))?;
         rx.recv_timeout(BLOCKING_TIMEOUT)
             .map_err(|_| MochaError::HomeUnreachable)
+    }
+
+    fn call_async<T>(
+        &self,
+        build: impl FnOnce(Sender<Result<T, MochaError>>) -> AppRequest,
+    ) -> Result<Pending<T>, MochaError> {
+        let (tx, rx) = unbounded();
+        self.push(LoopInput::App(build(tx)))?;
+        Ok(Pending { rx })
     }
 
     /// Registers shared replicas guarded by `lock` at this site.
@@ -907,6 +959,59 @@ impl MochaHandle {
     /// held.
     pub fn unlock(&self, lock: LockId, dirty: bool) -> Result<(), MochaError> {
         self.call(|reply| AppRequest::Unlock { lock, dirty, reply })?
+    }
+
+    /// Starts acquiring `lock` exclusively without blocking, returning a
+    /// [`Pending`] to poll or wait on. A driver thread can keep hundreds
+    /// of sites' requests in flight at once this way — the swarm bench's
+    /// hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MochaError::Shutdown`] if the site has stopped.
+    pub fn lock_async(&self, lock: LockId) -> Result<Pending<Freshness>, MochaError> {
+        self.call_async(|reply| AppRequest::Lock {
+            lock,
+            lease_ms: 0,
+            mode: LockMode::Exclusive,
+            reply,
+        })
+    }
+
+    /// Starts releasing `lock` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MochaError::Shutdown`] if the site has stopped; release
+    /// failures surface through the [`Pending`].
+    pub fn unlock_async(&self, lock: LockId, dirty: bool) -> Result<Pending<()>, MochaError> {
+        self.call_async(|reply| AppRequest::Unlock { lock, dirty, reply })
+    }
+
+    /// Starts a replica read without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MochaError::Shutdown`] if the site has stopped.
+    pub fn read_async(&self, replica: ReplicaId) -> Result<Pending<ReplicaPayload>, MochaError> {
+        self.call_async(|reply| AppRequest::Read { replica, reply })
+    }
+
+    /// Starts a replica write without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MochaError::Shutdown`] if the site has stopped.
+    pub fn write_async(
+        &self,
+        replica: ReplicaId,
+        payload: ReplicaPayload,
+    ) -> Result<Pending<()>, MochaError> {
+        self.call_async(|reply| AppRequest::Write {
+            replica,
+            payload,
+            reply,
+        })
     }
 
     /// Reads a replica's current local value (requires holding its lock

@@ -33,6 +33,7 @@ pub(crate) struct RuntimeCounters {
     /// Gauge: push targets awaiting acknowledgement across this
     /// runtime's daemons at the last sample point.
     push_window_inflight: AtomicU64,
+    socket_errors: AtomicU64,
 }
 
 impl RuntimeCounters {
@@ -109,6 +110,10 @@ impl RuntimeCounters {
         self.push_window_inflight.store(v, Relaxed);
     }
 
+    pub(crate) fn inc_socket_errors(&self) {
+        self.socket_errors.fetch_add(1, Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> RuntimeMetrics {
         RuntimeMetrics {
             datagrams_sent: self.datagrams_sent.load(Relaxed),
@@ -127,6 +132,7 @@ impl RuntimeCounters {
             delta_bytes_saved: self.delta_bytes_saved.load(Relaxed),
             delta_nacks: self.delta_nacks.load(Relaxed),
             push_window_inflight: self.push_window_inflight.load(Relaxed),
+            socket_errors: self.socket_errors.load(Relaxed),
         }
     }
 }
@@ -180,6 +186,10 @@ pub struct RuntimeMetrics {
     /// Push targets awaiting acknowledgement at the last sample point —
     /// a gauge, not a counter (> 1 only with the pipelined window).
     pub push_window_inflight: u64,
+    /// Transient OS socket errors absorbed by the runtime's
+    /// exponential-backoff recovery (each one paused the affected shard
+    /// loop briefly; none are fatal).
+    pub socket_errors: u64,
 }
 
 impl RuntimeMetrics {
@@ -200,7 +210,8 @@ impl std::fmt::Display for RuntimeMetrics {
             "datagrams sent={} delivered={} lost={} ({} bytes); \
              msgs sent={} delivered={} failed={}; timers fired={}; \
              retx={} fast={} backoffs={} cwnd={}; \
-             delta pushes={} saved={} nacks={} inflight={}",
+             delta pushes={} saved={} nacks={} inflight={}; \
+             sock errs={}",
             self.datagrams_sent,
             self.datagrams_delivered,
             self.datagrams_lost,
@@ -217,6 +228,7 @@ impl std::fmt::Display for RuntimeMetrics {
             self.delta_bytes_saved,
             self.delta_nacks,
             self.push_window_inflight,
+            self.socket_errors,
         )
     }
 }
@@ -248,6 +260,8 @@ mod tests {
         c.add_delta_nacks(1);
         c.set_push_window_inflight(3);
         c.set_push_window_inflight(2); // gauge: last write wins
+        c.inc_socket_errors();
+        c.inc_socket_errors();
         let m = c.snapshot();
         assert_eq!(m.datagrams_sent, 2);
         assert_eq!(m.bytes_sent, 150);
@@ -265,6 +279,7 @@ mod tests {
         assert_eq!(m.delta_bytes_saved, 4096);
         assert_eq!(m.delta_nacks, 1);
         assert_eq!(m.push_window_inflight, 2);
+        assert_eq!(m.socket_errors, 2);
         assert!((m.loss_rate() - 0.5).abs() < 1e-12);
     }
 

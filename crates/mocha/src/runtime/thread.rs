@@ -34,20 +34,20 @@ use crate::runtime::core::{
 use crate::runtime::metrics::{RuntimeCounters, RuntimeMetrics};
 use crate::spawn::TaskRegistry;
 
-pub use crate::runtime::core::{Freshness, MochaHandle, ResultHandle};
+pub use crate::runtime::core::{Freshness, MochaHandle, Pending, ResultHandle};
 
 /// Routes envelopes between site event loops. A killed site's entry is
 /// removed; sends to it fail, which is the runtime's failure signal.
 #[derive(Default)]
 struct Router {
-    senders: RwLock<HashMap<SiteId, Sender<LoopInput>>>,
+    senders: RwLock<HashMap<SiteId, Sender<(SiteId, LoopInput)>>>,
 }
 
 impl Router {
     fn send(&self, to: SiteId, env: Envelope) -> Result<(), ()> {
         let senders = self.senders.read();
         match senders.get(&to) {
-            Some(tx) => tx.send(LoopInput::Env(env)).map_err(|_| ()),
+            Some(tx) => tx.send((to, LoopInput::Env(env))).map_err(|_| ()),
             None => Err(()),
         }
     }
@@ -91,7 +91,7 @@ impl Link for ThreadLink {
 
 /// Site event loop: blocks on the input channel up to the next timer
 /// deadline.
-fn run_site(mut core: SiteCore<ThreadLink>, rx: Receiver<LoopInput>) {
+fn run_site(mut core: SiteCore<ThreadLink>, rx: Receiver<(SiteId, LoopInput)>) {
     while !core.stop {
         core.process_cmds();
         let timeout = core
@@ -100,11 +100,11 @@ fn run_site(mut core: SiteCore<ThreadLink>, rx: Receiver<LoopInput>) {
                 d.saturating_duration_since(Instant::now())
             });
         match rx.recv_timeout(timeout) {
-            Ok(input) => {
+            Ok((_, input)) => {
                 note_delivery(&core, &input);
                 core.handle_input(input);
                 // Drain any further queued inputs without blocking.
-                while let Ok(more) = rx.try_recv() {
+                while let Ok((_, more)) = rx.try_recv() {
                     core.process_cmds();
                     note_delivery(&core, &more);
                     core.handle_input(more);
@@ -630,6 +630,11 @@ mod surrogate_tests {
         h1.write(idx, ReplicaPayload::Utf8("pre-crash".into()))
             .unwrap();
         h1.unlock(lock, true).unwrap();
+        // The unlock reply races the ReleaseLock message still in flight
+        // to the home's loop; let it reach the stable log before the home
+        // dies, or the surrogate replays a log without the release (a
+        // near-certain loss on single-CPU schedulers).
+        std::thread::sleep(Duration::from_millis(50));
 
         // The home dies; site 2 becomes the surrogate.
         rt.kill_site(0);

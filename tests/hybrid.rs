@@ -144,6 +144,82 @@ fn hybrid_uses_tcp_for_bulk_and_mochanet_for_control() {
     );
 }
 
+/// An oversized bulk message must fail that one transfer with a
+/// `SendFailed` event — the hybrid mux used to panic in the TCP framing
+/// path instead, taking the whole site down.
+#[test]
+fn oversized_bulk_send_fails_gracefully() {
+    use mocha_net::{Action, MsgClass, NetConfig, TransportEvent, TransportMux};
+    use mocha_wire::SiteId;
+
+    let mut cfg = NetConfig::hybrid();
+    cfg.tcp.max_msg_bytes = 1024;
+    let mut mux = TransportMux::new(SiteId(0), cfg);
+    let handle = mux.send(SiteId(1), 7, &vec![0u8; 4096], MsgClass::Bulk);
+    let failed = mux.drain_actions().into_iter().any(|a| {
+        matches!(
+            a,
+            Action::Event(TransportEvent::SendFailed { to, handle: h })
+                if to == SiteId(1) && h == handle
+        )
+    });
+    assert!(failed, "oversized bulk send must surface SendFailed");
+    // The mux stays usable: a normal-sized bulk send on the same mux
+    // still starts its rendezvous instead of being poisoned.
+    let next = mux.send(SiteId(1), 7, &[0u8; 16], MsgClass::Bulk);
+    assert_ne!(next, handle);
+}
+
+/// Sending on a connection that died (SYN retries exhausted) is a typed
+/// error, not a panic: the transfer fails, the endpoint survives.
+#[test]
+fn stale_connection_send_is_a_typed_error() {
+    use mocha_net::tcp::{TcpEndpoint, TcpEvent};
+    use mocha_net::{Action, TcpConfig, TcpSendError};
+    use mocha_wire::SiteId;
+
+    let mut ep = TcpEndpoint::new(SiteId(0), TcpConfig::default());
+    let conn = ep.connect(SiteId(9));
+    // The peer never answers; fire every retransmission timer the
+    // endpoint sets until the active open gives up.
+    let mut conn_failed = false;
+    for _ in 0..64 {
+        let timers: Vec<u64> = ep
+            .drain_actions()
+            .into_iter()
+            .filter_map(|a| match a {
+                Action::SetTimer { token, .. } => Some(token),
+                _ => None,
+            })
+            .collect();
+        for token in timers {
+            ep.on_timer(token);
+        }
+        if ep
+            .drain_events()
+            .into_iter()
+            .any(|e| matches!(e, TcpEvent::ConnectFailed(c, _) if c == conn))
+        {
+            conn_failed = true;
+            break;
+        }
+    }
+    assert!(conn_failed, "SYN retries should exhaust with a silent peer");
+    assert_eq!(
+        ep.send_msg(conn, b"late write"),
+        Err(TcpSendError::UnknownConn(conn))
+    );
+    // Oversized sends are refused up front with the same error type.
+    let mut small = TcpConfig::default();
+    small.max_msg_bytes = 8;
+    let mut ep = TcpEndpoint::new(SiteId(0), small);
+    let conn = ep.connect(SiteId(1));
+    assert_eq!(
+        ep.send_msg(conn, &[0u8; 64]),
+        Err(TcpSendError::TooLarge { len: 64, max: 8 })
+    );
+}
+
 #[test]
 fn hybrid_dissemination_with_failures_still_replaces_targets() {
     let mut config = MochaConfig::hybrid();
