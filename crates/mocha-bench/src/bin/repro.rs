@@ -27,6 +27,10 @@ fn main() {
         check(&args[1..]);
         return;
     }
+    if what == "lint" {
+        lint(&args[1..]);
+        return;
+    }
     let all = what == "all";
     println!("Mocha reproduction — paper evaluation artifacts (simulated testbeds)");
     println!("====================================================================");
@@ -141,6 +145,57 @@ fn main() {
 /// delay runs and 16 random walks, each capped at 4000 delivered events.
 /// Exit codes: 0 clean (or replay reproduced), 1 violation found (or
 /// replay failed to reproduce), 2 usage error.
+/// `repro -- lint [--analysis <name>]`: run the mocha-lint static
+/// analysis wall over the workspace. Exit 0 clean, 1 on diagnostics,
+/// 2 on usage/IO errors — the same contract as `check`.
+fn lint(args: &[String]) {
+    let mut analysis: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--analysis" => {
+                analysis = it.next().cloned();
+                if analysis.is_none() {
+                    eprintln!("lint: --analysis needs a value");
+                    std::process::exit(2);
+                }
+            }
+            other => {
+                eprintln!("lint: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|e| {
+        eprintln!("lint: cannot determine cwd: {e}");
+        std::process::exit(2);
+    });
+    let root = mocha_lint::find_root(&cwd).unwrap_or_else(|| {
+        eprintln!("lint: no workspace root above {}", cwd.display());
+        std::process::exit(2);
+    });
+    let report = mocha_lint::run(&root, analysis.as_deref()).unwrap_or_else(|e| {
+        eprintln!("lint: {e}");
+        std::process::exit(2);
+    });
+    for note in &report.notes {
+        println!("note: {note}");
+    }
+    for diag in &report.diags {
+        println!("{diag}");
+    }
+    if report.clean() {
+        println!(
+            "mocha-lint: clean ({} over {})",
+            analysis.as_deref().unwrap_or("all analyses"),
+            root.display()
+        );
+    } else {
+        eprintln!("mocha-lint: {} diagnostic(s)", report.diags.len());
+        std::process::exit(1);
+    }
+}
+
 fn check(args: &[String]) {
     use mocha::FaultPlan;
     use mocha_check::{all_scenarios, check_scenario, replay, Budget, ReplayTrace};

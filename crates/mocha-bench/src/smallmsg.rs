@@ -238,13 +238,13 @@ pub fn one_way_latency(testbed: Testbed, size: usize, wire: Wire) -> Duration {
     match wire {
         Wire::MochaNet => {
             let receiver = world.add_host(Box::new(MochaReceiver {
-                mux: TransportMux::new(SiteId(0), NetConfig::basic()),
+                mux: TransportMux::new(SiteId(0), NetConfig::basic()).expect("valid"),
                 delivered_at: None,
             }));
             let _sender = world.add_host(Box::new(MochaSender {
                 peer: receiver,
                 payload,
-                mux: TransportMux::new(SiteId(1), NetConfig::basic()),
+                mux: TransportMux::new(SiteId(1), NetConfig::basic()).expect("valid"),
             }));
             world.run_until_idle();
             world
@@ -255,13 +255,13 @@ pub fn one_way_latency(testbed: Testbed, size: usize, wire: Wire) -> Duration {
         }
         Wire::Tcp => {
             let receiver = world.add_host(Box::new(TcpReceiver {
-                tcp: TcpEndpoint::new(SiteId(0), TcpConfig::default()),
+                tcp: TcpEndpoint::new(SiteId(0), TcpConfig::default()).expect("valid"),
                 delivered_at: None,
             }));
             let _sender = world.add_host(Box::new(TcpSender {
                 peer: receiver,
                 payload,
-                tcp: TcpEndpoint::new(SiteId(1), TcpConfig::default()),
+                tcp: TcpEndpoint::new(SiteId(1), TcpConfig::default()).expect("valid"),
             }));
             world.run_until_idle();
             world

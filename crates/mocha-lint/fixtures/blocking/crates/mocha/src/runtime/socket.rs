@@ -1,0 +1,37 @@
+//! Blocking-lint fixture: a reactor shard loop that commits every sin the
+//! analysis knows about, plus one sanctioned (allowed) pause. The file is
+//! never compiled — it exists so `tests/fixtures.rs` can prove the
+//! analysis fires on each shape.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub struct Shard {
+    pub book: Mutex<u32>,
+}
+
+impl Shard {
+    pub fn run_shard(&mut self) {
+        self.poll_once();
+        std::thread::sleep(Duration::from_millis(1));
+        self.backoff_pause();
+        helper_wait(self);
+    }
+
+    fn poll_once(&mut self) {
+        let g = self.book.lock();
+        let _ = g;
+    }
+
+    fn backoff_pause(&self) {
+        // Bounded, designed pause: suppressed by the escape hatch.
+        // lint: allow(blocking)
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+fn helper_wait(_shard: &Shard) {
+    let (tx, rx) = std::sync::mpsc::channel::<u32>();
+    let _ = tx;
+    let _ = rx.recv_timeout(Duration::from_millis(5));
+}

@@ -1,0 +1,48 @@
+//! Lock-order fixture: an ABBA pair, a re-acquisition, a send under a
+//! held guard, and an allowed send. Never compiled; scanned by
+//! `tests/fixtures.rs`.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub alpha: Mutex<u32>,
+    pub beta: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }
+
+    pub fn backward(&self) {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        drop(a);
+        drop(b);
+    }
+
+    pub fn reacquire(&self) {
+        let g = self.alpha.lock();
+        let h = self.alpha.lock();
+        drop(h);
+        drop(g);
+    }
+
+    pub fn ship(&self, tx: &Sender<u32>) {
+        let g = self.alpha.lock();
+        let _ = tx.send(1);
+        drop(g);
+    }
+
+    pub fn ship_allowed(&self, tx: &Sender<u32>) {
+        let g = self.alpha.lock();
+        // Replying under the guard is safe here: bounded channel owned by us.
+        // lint: allow(send-under-lock)
+        let _ = tx.send(2);
+        drop(g);
+    }
+}

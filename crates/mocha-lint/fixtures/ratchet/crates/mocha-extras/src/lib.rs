@@ -1,0 +1,6 @@
+//! Ratchet fixture, non-protocol crate: one panic site, baseline of
+//! five — reported as a ratchet-down note, never a failure.
+
+pub fn lookup(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,37 @@
+//! Wire-tag fixture: a tag table with a duplicate value, a tag without an
+//! encode arm, a tag without a decode arm, and a decodable variant no
+//! dispatcher handles. Never compiled; scanned by `tests/fixtures.rs`.
+
+pub const T_ACQUIRE: u8 = 1;
+pub const T_RELEASE: u8 = 2;
+pub const T_ORPHAN: u8 = 3;
+pub const T_DUP: u8 = 3;
+pub const T_NO_ENCODE: u8 = 5;
+pub const T_NO_DECODE: u8 = 6;
+
+pub enum Msg {
+    Acquire,
+    Release,
+    Orphan,
+}
+
+pub fn encode(msg: &Msg, w: &mut Writer) {
+    match msg {
+        Msg::Acquire => w.put_u8(T_ACQUIRE),
+        Msg::Release => w.put_u8(T_RELEASE),
+        Msg::Orphan => w.put_u8(T_ORPHAN),
+    }
+    w.put_u8(T_DUP);
+    w.put_u8(T_NO_DECODE);
+}
+
+pub fn decode(r: &mut Reader) -> Result<Msg, WireError> {
+    match r.get_u8()? {
+        T_ACQUIRE => Ok(Msg::Acquire),
+        T_RELEASE => Ok(Msg::Release),
+        T_ORPHAN => Ok(Msg::Orphan),
+        T_DUP => Ok(Msg::Acquire),
+        T_NO_ENCODE => Ok(Msg::Release),
+        other => Err(WireError::BadTag(other)),
+    }
+}

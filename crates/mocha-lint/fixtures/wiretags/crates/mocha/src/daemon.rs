@@ -1,0 +1,14 @@
+//! Wire-tag fixture dispatcher: handles `Acquire` and `Release` but not
+//! `Orphan`, so the exhaustiveness check has something to report.
+
+pub fn handle(msg: Msg) {
+    match msg {
+        Msg::Acquire => on_acquire(),
+        Msg::Release => on_release(),
+        _ => {}
+    }
+}
+
+fn on_acquire() {}
+
+fn on_release() {}

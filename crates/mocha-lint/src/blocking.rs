@@ -1,0 +1,166 @@
+//! Reactor-blocking lint.
+//!
+//! A reactor shard (`run_shard` in `crates/mocha/src/runtime/socket.rs`)
+//! multiplexes every site assigned to it; anything that blocks the shard
+//! thread stalls *all* of them. This analysis walks the call graph rooted
+//! at the shard loop and flags operations that can block indefinitely (or
+//! for a fixed wall-clock time) on that path:
+//!
+//! * `thread::sleep`
+//! * channel `recv_timeout` waits
+//! * blocking `TcpStream` I/O (`connect*`, `read_exact`, `write_all`,
+//!   `read_to_end`)
+//! * `JoinHandle::join`
+//! * exclusive `Mutex::lock` on a known lock field
+//!
+//! Calls inside `spawn(...)` arguments run on their own thread and are
+//! not charged to the caller. Additionally, every `recv_timeout` in
+//! `crates/mocha/src/runtime/` is flagged regardless of reachability —
+//! the app-side blocking reply waits must be funnelled through the single
+//! sanctioned helper. Escape hatch: `// lint: allow(blocking)` on the
+//! offending line or the line above, with a justification comment.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::body::{walk, AcqKind, Event};
+use crate::model::Workspace;
+use crate::Diag;
+
+/// The function the reactor call graph is rooted at.
+const ROOT_FN: &str = "run_shard";
+/// File (suffix) that must define the root for the analysis to arm.
+const ROOT_FILE: &str = "runtime/socket.rs";
+/// Directory (infix) where stray `recv_timeout` is flagged even off the
+/// reactor path.
+const RUNTIME_DIR: &str = "/src/runtime/";
+
+/// Runs the analysis.
+pub fn run(ws: &Workspace) -> Vec<Diag> {
+    let mut diags = Vec::new();
+    let mut seen = BTreeSet::new();
+
+    // Function table: global id -> (file index, fn index), name -> ids.
+    let mut ids: Vec<(usize, usize)> = Vec::new();
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        for (di, def) in file.fns.iter().enumerate() {
+            by_name
+                .entry(def.name.as_str())
+                .or_default()
+                .push(ids.len());
+            ids.push((fi, di));
+        }
+    }
+    let events: Vec<Vec<Event>> = ids
+        .iter()
+        .map(|&(fi, di)| walk(&ws.files[fi], &ws.files[fi].fns[di], &ws.lock_names))
+        .collect();
+
+    // BFS from the shard loop, remembering parents for path reporting.
+    let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut reached: BTreeSet<usize> = BTreeSet::new();
+    for (id, &(fi, di)) in ids.iter().enumerate() {
+        if ws.files[fi].fns[di].name == ROOT_FN && ws.files[fi].rel.ends_with(ROOT_FILE) {
+            reached.insert(id);
+            queue.push_back(id);
+        }
+    }
+    while let Some(id) = queue.pop_front() {
+        for ev in &events[id] {
+            if let Event::Call { name, .. } = ev {
+                for &callee in by_name.get(name.as_str()).map_or(&[][..], Vec::as_slice) {
+                    if reached.insert(callee) {
+                        parent.insert(callee, id);
+                        queue.push_back(callee);
+                    }
+                }
+            }
+        }
+    }
+
+    let chain = |mut id: usize| -> String {
+        let mut names = vec![ws.files[ids[id].0].fns[ids[id].1].qual.clone()];
+        while let Some(&p) = parent.get(&id) {
+            names.push(ws.files[ids[p].0].fns[ids[p].1].qual.clone());
+            id = p;
+        }
+        names.reverse();
+        names.join(" -> ")
+    };
+
+    for &id in &reached {
+        let (fi, _) = ids[id];
+        let file = &ws.files[fi];
+        for ev in &events[id] {
+            let (line, what) = match ev {
+                Event::Call {
+                    name,
+                    qualifier,
+                    line,
+                    empty_args,
+                    ..
+                } => match name.as_str() {
+                    "sleep" if qualifier.as_deref() == Some("thread") => {
+                        (*line, "thread::sleep".to_string())
+                    }
+                    "recv_timeout" => (*line, "channel recv_timeout".to_string()),
+                    "connect" | "connect_timeout" if qualifier.as_deref() == Some("TcpStream") => {
+                        (*line, format!("TcpStream::{name}"))
+                    }
+                    "read_exact" | "write_all" | "read_to_end" => {
+                        (*line, format!("blocking stream I/O `{name}`"))
+                    }
+                    "join" if *empty_args => (*line, "JoinHandle::join".to_string()),
+                    _ => continue,
+                },
+                Event::Acquire {
+                    lock, kind, line, ..
+                } if *kind == AcqKind::Lock => {
+                    (*line, format!("unbounded Mutex::lock on `{lock}`"))
+                }
+                _ => continue,
+            };
+            if Workspace::is_allowed(file, "blocking", line) {
+                continue;
+            }
+            if seen.insert((fi, line, what.clone())) {
+                diags.push(Diag {
+                    rule: "blocking",
+                    file: file.rel.clone(),
+                    line,
+                    msg: format!("{what} on reactor path {}", chain(id)),
+                });
+            }
+        }
+    }
+
+    // Stray blocking reply waits anywhere in the runtime layer.
+    for (fi, file) in ws.files.iter().enumerate() {
+        if !file.rel.contains(RUNTIME_DIR) {
+            continue;
+        }
+        for def in &file.fns {
+            for ev in walk(file, def, &ws.lock_names) {
+                if let Event::Call { name, line, .. } = ev {
+                    if name == "recv_timeout"
+                        && !Workspace::is_allowed(file, "blocking", line)
+                        && seen.insert((fi, line, "channel recv_timeout".to_string()))
+                    {
+                        diags.push(Diag {
+                            rule: "blocking",
+                            file: file.rel.clone(),
+                            line,
+                            msg: format!(
+                                "channel recv_timeout in runtime layer ({}): blocking reply \
+                                 waits must go through the sanctioned helper",
+                                def.qual
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    diags
+}

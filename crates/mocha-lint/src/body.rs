@@ -1,0 +1,313 @@
+//! Function-body walker: turns a body token range into an ordered event
+//! stream of calls, lock acquisitions and guard drops. Shared by the
+//! reactor-blocking and lock-order analyses.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{Tok, TokKind};
+use crate::model::{FnDef, SourceFile};
+
+/// How a lock was acquired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcqKind {
+    /// `Mutex::lock` — exclusive.
+    Lock,
+    /// `RwLock::read` — shared.
+    Read,
+    /// `RwLock::write` — exclusive.
+    Write,
+}
+
+impl AcqKind {
+    /// True for acquisitions that exclude all other holders.
+    pub fn exclusive(self) -> bool {
+        matches!(self, AcqKind::Lock | AcqKind::Write)
+    }
+}
+
+/// One event inside a function body, in source order.
+#[derive(Debug)]
+pub enum Event {
+    /// A call site: `name(...)`, `recv.name(...)` or `Path::name(...)`.
+    Call {
+        /// Called function/method name.
+        name: String,
+        /// The path segment or receiver identifier immediately before the
+        /// name (`thread` in `thread::sleep`, `stream` in
+        /// `stream.write_all`), if any.
+        qualifier: Option<String>,
+        /// Token index of the name.
+        at: usize,
+        /// 1-based source line.
+        line: u32,
+        /// Number of argument tokens is zero (`f()`).
+        empty_args: bool,
+        /// True for `recv.name(...)` method calls. Name-based call-graph
+        /// resolution is unreliable for methods (`Vec::push` vs a
+        /// workspace `push`), so some analyses only follow free calls.
+        method: bool,
+    },
+    /// A lock acquisition on a known lock name.
+    Acquire {
+        /// The lock's field/binding name (its identity in the graph).
+        lock: String,
+        /// Shared or exclusive.
+        kind: AcqKind,
+        /// Token index of the acquisition.
+        at: usize,
+        /// Token index past which the guard is no longer held.
+        released: usize,
+        /// Guard binding (`let g = x.lock();`), when block-scoped.
+        binding: Option<String>,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// An explicit `drop(binding)` of a named guard.
+    Drop {
+        /// The dropped binding.
+        binding: String,
+        /// Token index of the drop.
+        at: usize,
+    },
+}
+
+/// Walks `def`'s body in `file`, producing events in source order.
+///
+/// Calls that appear inside the argument list of a `spawn(...)` call are
+/// skipped: a closure handed to `thread::spawn` (or `Builder::spawn`)
+/// runs on its own thread, so its blocking behaviour and lock usage do
+/// not belong to the enclosing function.
+pub fn walk(file: &SourceFile, def: &FnDef, lock_names: &BTreeSet<String>) -> Vec<Event> {
+    let toks = &file.toks;
+    let mut events = Vec::new();
+    let mut i = def.body_open + 1;
+    let mut stmt_start = i;
+    while i < def.body_close {
+        match &toks[i].kind {
+            TokKind::Punct(';' | '{' | '}') => stmt_start = i + 1,
+            TokKind::Ident(name) if i + 1 < def.body_close && toks[i + 1].is_punct('(') => {
+                if name == "spawn" {
+                    // Skip the whole argument list: code in there runs on
+                    // another thread.
+                    i = skip_parens(toks, i + 1, def.body_close);
+                    continue;
+                }
+                if let Some(ev) = acquisition(toks, i, def, lock_names, stmt_start) {
+                    events.push(ev);
+                } else if name == "drop"
+                    && toks[i + 2].ident().is_some()
+                    && toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
+                {
+                    events.push(Event::Drop {
+                        binding: toks[i + 2].ident().unwrap_or_default().to_string(),
+                        at: i,
+                    });
+                } else {
+                    events.push(Event::Call {
+                        name: name.clone(),
+                        qualifier: qualifier_before(toks, i),
+                        at: i,
+                        line: toks[i].line,
+                        empty_args: toks[i + 2].is_punct(')'),
+                        method: i > 0 && toks[i - 1].is_punct('.'),
+                    });
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    events
+}
+
+/// The identifier immediately before `name` through `.` or `::`.
+fn qualifier_before(toks: &[Tok], i: usize) -> Option<String> {
+    if i < 1 {
+        return None;
+    }
+    if toks[i - 1].is_punct('.') && i >= 2 {
+        return toks[i - 2].ident().map(str::to_string);
+    }
+    if toks[i - 1].is_punct(':') && i >= 3 && toks[i - 2].is_punct(':') {
+        return toks[i - 3].ident().map(str::to_string);
+    }
+    None
+}
+
+/// Detects `known_lock . lock/read/write ( )` at name index `i` and
+/// computes the guard's scope.
+fn acquisition(
+    toks: &[Tok],
+    i: usize,
+    def: &FnDef,
+    lock_names: &BTreeSet<String>,
+    stmt_start: usize,
+) -> Option<Event> {
+    let kind = match toks[i].ident()? {
+        "lock" => AcqKind::Lock,
+        "read" => AcqKind::Read,
+        "write" => AcqKind::Write,
+        _ => return None,
+    };
+    // Zero-argument method call on a known lock name.
+    if !toks.get(i + 2)?.is_punct(')') {
+        return None;
+    }
+    let recv = qualifier_before(toks, i)?;
+    if !toks[i - 1].is_punct('.') || !lock_names.contains(&recv) {
+        return None;
+    }
+    // `let g = x.lock();` binds the guard for the rest of the enclosing
+    // block; any other shape is a temporary dropped at the end of its
+    // statement.
+    let after_call = i + 3;
+    let is_let = toks[stmt_start].is_ident("let");
+    let direct_bind = is_let && toks.get(after_call).is_some_and(|t| t.is_punct(';'));
+    let (released, binding) = if direct_bind {
+        let mut b = toks[stmt_start + 1].ident();
+        if b == Some("mut") {
+            b = toks[stmt_start + 2].ident();
+        }
+        (
+            enclosing_block_end(toks, i, def.body_close),
+            b.map(str::to_string),
+        )
+    } else {
+        (statement_end(toks, after_call, def.body_close), None)
+    };
+    Some(Event::Acquire {
+        lock: recv,
+        kind,
+        at: i,
+        released,
+        binding,
+        line: toks[i].line,
+    })
+}
+
+/// With `toks[open]` a `(`, returns the index just past the matching `)`.
+fn skip_parens(toks: &[Tok], open: usize, limit: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < limit {
+        if toks[i].is_punct('(') {
+            depth += 1;
+        } else if toks[i].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    limit
+}
+
+/// First `;` at brace depth 0 after `i` (end of the current statement).
+fn statement_end(toks: &[Tok], mut i: usize, limit: usize) -> usize {
+    let mut depth = 0i32;
+    while i < limit {
+        match &toks[i].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                if depth == 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            TokKind::Punct(';') if depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    limit
+}
+
+/// The `}` closing the block that encloses token `i`.
+fn enclosing_block_end(toks: &[Tok], mut i: usize, limit: usize) -> usize {
+    let mut depth = 0i32;
+    while i < limit {
+        match &toks[i].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                if depth == 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    limit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Workspace;
+
+    fn events(src: &str, locks: &[&str]) -> Vec<String> {
+        let ws = Workspace {
+            root: std::path::PathBuf::new(),
+            files: vec![crate::model::load_file_for_tests(src)],
+            lock_names: locks.iter().map(|s| (*s).to_string()).collect(),
+        };
+        let f = &ws.files[0];
+        let def = &f.fns[0];
+        walk(f, def, &ws.lock_names)
+            .iter()
+            .map(|e| match e {
+                Event::Call { name, .. } => format!("call:{name}"),
+                Event::Acquire {
+                    lock,
+                    kind,
+                    binding,
+                    ..
+                } => format!(
+                    "acq:{lock}:{kind:?}:{}",
+                    binding.as_deref().unwrap_or("tmp")
+                ),
+                Event::Drop { binding, .. } => format!("drop:{binding}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn temporary_vs_bound_guards() {
+        let evs = events(
+            "fn f(&self) { self.log.lock().push(1); let g = self.book.read(); use_it(); }",
+            &["log", "book"],
+        );
+        assert_eq!(
+            evs,
+            vec![
+                "acq:log:Lock:tmp",
+                "call:push",
+                "acq:book:Read:g",
+                "call:use_it"
+            ]
+        );
+    }
+
+    #[test]
+    fn spawn_args_are_invisible() {
+        let evs = events(
+            "fn f() { before(); thread::spawn(move || { inner_blocking(); }); after(); }",
+            &[],
+        );
+        assert_eq!(evs, vec!["call:before", "call:after"]);
+    }
+
+    #[test]
+    fn drop_releases_named_guard() {
+        let evs = events(
+            "fn f(&self) { let g = self.log.lock(); work(); drop(g); more(); }",
+            &["log"],
+        );
+        assert_eq!(
+            evs,
+            vec!["acq:log:Lock:g", "call:work", "drop:g", "call:more"]
+        );
+    }
+}

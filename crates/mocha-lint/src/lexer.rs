@@ -1,0 +1,427 @@
+//! A minimal Rust lexer: just enough token structure for the four
+//! analyses, with exact line numbers and `// lint: allow(...)` capture.
+//!
+//! This is deliberately *not* a full parser. Every analysis in this crate
+//! works on shapes that survive tokenization — function boundaries via
+//! brace matching, call sites via `ident (`, lock acquisitions via
+//! `. lock ( )` — so a hand-rolled lexer keeps the lint wall free of any
+//! external dependency. The lexer must, however, be exactly right about
+//! what is *not* code: comments, string/char literals (including raw and
+//! byte strings), and lifetimes, since a `"panic!"` inside a string must
+//! never count as a panic site.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token kind plus payload.
+    pub kind: TokKind,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// The token kinds the analyses distinguish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword; the text is preserved.
+    Ident(String),
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// String/char/byte-string literal. Contents are dropped.
+    Str,
+    /// Numeric literal; the raw text is preserved (the wire-tag analysis
+    /// reads `const T_* : u8 = <number>`).
+    Num(String),
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+}
+
+/// A `// lint: allow(rule, ...)` escape comment.
+///
+/// An allow on line *N* suppresses matching diagnostics reported on line
+/// *N* or *N + 1*, so it can sit at the end of the offending line or on
+/// its own line directly above.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule names listed inside `allow(...)`.
+    pub rules: Vec<String>,
+    /// 1-based line of the comment.
+    pub line: u32,
+}
+
+/// Lexer output: the token stream plus all escape comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Escape comments in source order.
+    pub allows: Vec<Allow>,
+}
+
+/// Tokenizes `src`. Unterminated literals/comments end the scan early
+/// rather than panicking: a file the lexer cannot finish still yields the
+/// tokens seen so far (rustc will reject it anyway).
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_whitespace() => self.pos += 1,
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                'r' | 'b' if self.raw_or_byte_prefix() => self.raw_or_byte(),
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphanumeric() => self.ident(),
+                c => {
+                    self.push(TokKind::Punct(c));
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind) {
+        self.out.toks.push(Tok {
+            kind,
+            line: self.line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while self.peek(0).is_some_and(|c| c != '\n') {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        if let Some(allow) = parse_allow(&text, self.line) {
+            self.out.allows.push(allow);
+        }
+    }
+
+    fn block_comment(&mut self) {
+        // Rust block comments nest.
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.pos += 2;
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                if c == '\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.pos += 1; // opening quote
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => self.pos += 2,
+                '"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {
+                    if c == '\n' {
+                        self.line += 1;
+                    }
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out.toks.push(Tok {
+            kind: TokKind::Str,
+            line,
+        });
+    }
+
+    /// True when the `r`/`b` at the cursor starts a raw/byte literal
+    /// rather than an identifier (`r"`, `r#"`, `b"`, `b'`, `br"`, ...).
+    fn raw_or_byte_prefix(&self) -> bool {
+        let mut i = if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            2
+        } else {
+            1
+        };
+        loop {
+            match self.peek(i) {
+                Some('#') => i += 1,
+                Some('"') => return true,
+                Some('\'') => return i == 1 && self.peek(0) == Some('b'),
+                _ => return false,
+            }
+        }
+    }
+
+    fn raw_or_byte(&mut self) {
+        let line = self.line;
+        if self.peek(0) == Some('b') && self.peek(1) == Some('\'') {
+            // Byte char literal b'x' / b'\n'.
+            self.pos += 2;
+            if self.peek(0) == Some('\\') {
+                self.pos += 1;
+            }
+            while self.peek(0).is_some_and(|c| c != '\'') {
+                self.pos += 1;
+            }
+            self.pos += 1;
+            self.out.toks.push(Tok {
+                kind: TokKind::Str,
+                line,
+            });
+            return;
+        }
+        // r/br with zero or more #s, then a quote.
+        self.pos += 1; // r or b
+        if self.peek(0) == Some('r') {
+            self.pos += 1;
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        'scan: while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                self.line += 1;
+            }
+            if c == '"' {
+                for h in 0..hashes {
+                    if self.peek(1 + h) != Some('#') {
+                        self.pos += 1;
+                        continue 'scan;
+                    }
+                }
+                self.pos += 1 + hashes;
+                break;
+            }
+            self.pos += 1;
+        }
+        self.out.toks.push(Tok {
+            kind: TokKind::Str,
+            line,
+        });
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // `'a` / `'static` (not followed by a closing quote) is a
+        // lifetime; everything else is a char literal.
+        let is_lifetime = self.peek(1).is_some_and(|c| c == '_' || c.is_alphabetic())
+            && self.peek(2) != Some('\'');
+        if is_lifetime {
+            self.pos += 1;
+            while self
+                .peek(0)
+                .is_some_and(|c| c == '_' || c.is_alphanumeric())
+            {
+                self.pos += 1;
+            }
+            self.out.toks.push(Tok {
+                kind: TokKind::Lifetime,
+                line,
+            });
+            return;
+        }
+        self.pos += 1; // opening quote
+        if self.peek(0) == Some('\\') {
+            self.pos += 2;
+            // \u{...}
+            if self.peek(0) == Some('{') {
+                while self.peek(0).is_some_and(|c| c != '}') {
+                    self.pos += 1;
+                }
+                self.pos += 1;
+            }
+        } else {
+            self.pos += 1;
+        }
+        while self.peek(0).is_some_and(|c| c != '\'') {
+            self.pos += 1;
+        }
+        self.pos += 1; // closing quote
+        self.out.toks.push(Tok {
+            kind: TokKind::Str,
+            line,
+        });
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                self.pos += 1;
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the number; `1..26` does not.
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(TokKind::Num(text));
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|c| c == '_' || c.is_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(TokKind::Ident(text));
+    }
+}
+
+/// Parses `// lint: allow(a, b)` out of a line comment.
+fn parse_allow(comment: &str, line: u32) -> Option<Allow> {
+    let rest = comment.trim_start_matches('/').trim_start();
+    let rest = rest.strip_prefix("lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let inner = rest.split(')').next()?;
+    let rules: Vec<String> = inner
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return None;
+    }
+    Some(Allow { rules, line })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let src = r##"
+            // unwrap() in a comment
+            /* panic!() in /* a nested */ block */
+            let s = "unwrap()";
+            let r = r#"expect("x")"#;
+            let c = '\'';
+            real.unwrap();
+        "##;
+        let ids = idents(src);
+        assert_eq!(
+            ids.iter().filter(|i| i.as_str() == "unwrap").count(),
+            1,
+            "only the real unwrap survives: {ids:?}"
+        );
+        assert!(!ids.iter().any(|i| i == "panic" || i == "expect"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let lexed = lex(src);
+        assert_eq!(
+            lexed
+                .toks
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            3
+        );
+        assert!(lexed.toks.iter().all(|t| t.kind != TokKind::Str));
+    }
+
+    #[test]
+    fn allow_comments_are_captured() {
+        let src = "x();\ny(); // lint: allow(blocking, lock-order)\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].line, 2);
+        assert_eq!(lexed.allows[0].rules, vec!["blocking", "lock-order"]);
+    }
+
+    #[test]
+    fn numbers_keep_text_and_ranges_split() {
+        let lexed = lex("const T: u8 = 26; for i in 1..26 {}");
+        let nums: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Num(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["26", "1", "26"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nlines\"\nb";
+        let lexed = lex(src);
+        let b = lexed.toks.iter().find(|t| t.is_ident("b")).expect("b");
+        assert_eq!(b.line, 4);
+    }
+}

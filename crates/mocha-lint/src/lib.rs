@@ -1,0 +1,127 @@
+//! # mocha-lint — workspace-aware static analysis wall
+//!
+//! Four analyses clippy cannot express, run over the whole workspace
+//! (`cargo run -p mocha-lint`, or `repro -- lint`):
+//!
+//! * [`blocking`] — nothing reachable from the reactor shard loop may
+//!   block the shard thread.
+//! * [`lockorder`] — the interprocedural lock graph must stay acyclic,
+//!   and nothing may send while holding a guard.
+//! * [`wiretags`] — every `T_*` wire tag is unique, encodable, decodable
+//!   and handled.
+//! * [`ratchet`] — the per-crate panic-site count only goes down
+//!   (`lint-baseline.toml`).
+//!
+//! All analyses work on a hand-rolled token scan ([`lexer`], [`model`]):
+//! no syntax-tree dependency, nothing outside std, so the wall adds zero
+//! supply-chain surface. Escape hatch: `// lint: allow(<rule>)` on the
+//! offending line or the line directly above, always with a justification
+//! comment. Fixtures under `fixtures/` prove each analysis fires; the
+//! crate's tests run them and also run the full wall over this very
+//! workspace.
+
+#![forbid(unsafe_code)]
+
+pub mod blocking;
+pub mod body;
+pub mod lexer;
+pub mod lockorder;
+pub mod model;
+pub mod ratchet;
+pub mod wiretags;
+
+use std::io;
+use std::path::Path;
+
+use model::Workspace;
+
+/// One diagnostic. Any diagnostic fails the lint run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag {
+    /// Rule family: `blocking`, `lock-order`, `send-under-lock`,
+    /// `wire-tags`, `panic-ratchet`.
+    pub rule: &'static str,
+    /// Workspace-relative file the diagnostic anchors to.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Diag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Result of a full lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Failing diagnostics, sorted by file/line.
+    pub diags: Vec<Diag>,
+    /// Non-fatal observations (ratchet-down opportunities etc.).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// True when the run found nothing.
+    pub fn clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+}
+
+/// Runs one named analysis (`blocking`, `lock-order`, `wire-tags`,
+/// `panic-ratchet`) or all of them (`None`) over the workspace at `root`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the workspace scan; an unknown analysis
+/// name is an [`io::ErrorKind::InvalidInput`] error.
+pub fn run(root: &Path, analysis: Option<&str>) -> io::Result<Report> {
+    let ws = Workspace::scan(root)?;
+    let mut report = Report::default();
+    let all = analysis.is_none();
+    match analysis {
+        None | Some("blocking" | "lock-order" | "wire-tags" | "panic-ratchet") => {}
+        Some(other) => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("unknown analysis `{other}`"),
+            ))
+        }
+    }
+    if all || analysis == Some("blocking") {
+        report.diags.extend(blocking::run(&ws));
+    }
+    if all || analysis == Some("lock-order") {
+        report.diags.extend(lockorder::run(&ws));
+    }
+    if all || analysis == Some("wire-tags") {
+        report.diags.extend(wiretags::run(&ws));
+    }
+    if all || analysis == Some("panic-ratchet") {
+        report.diags.extend(ratchet::run(&ws, &mut report.notes));
+    }
+    report
+        .diags
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Locates the workspace root from a starting directory by walking up to
+/// the first directory containing both `Cargo.toml` and `crates/`.
+pub fn find_root(start: &Path) -> Option<std::path::PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d.to_path_buf());
+        }
+        dir = d.parent();
+    }
+    None
+}

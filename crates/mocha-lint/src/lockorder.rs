@@ -1,0 +1,274 @@
+//! Lock-order graph.
+//!
+//! Extracts Mutex/RwLock acquisition sequences per function (lock
+//! identity = the field/binding name, harvested in [`crate::model`]),
+//! propagates them through the call graph, and fails on:
+//!
+//! * a cycle in the may-be-held-while-acquiring graph (the classic ABBA
+//!   deadlock shape),
+//! * re-acquiring a lock that is already held,
+//! * a channel/socket send while a guard is held (`send`, `send_as`,
+//!   `send_to`, `try_send` — directly or via a callee).
+//!
+//! Escape hatches: `// lint: allow(lock-order)` and
+//! `// lint: allow(send-under-lock)`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::body::{walk, Event};
+use crate::model::Workspace;
+use crate::Diag;
+
+/// Call names that ship a message somewhere else.
+const SEND_NAMES: [&str; 4] = ["send", "send_as", "send_to", "try_send"];
+
+/// One directed edge: `from` was held while `to` was acquired.
+#[derive(Debug)]
+struct EdgeSite {
+    file: String,
+    line: u32,
+    via: String,
+}
+
+/// Runs the analysis.
+pub fn run(ws: &Workspace) -> Vec<Diag> {
+    let mut diags = Vec::new();
+
+    // Function table.
+    let mut ids: Vec<(usize, usize)> = Vec::new();
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        for (di, def) in file.fns.iter().enumerate() {
+            by_name
+                .entry(def.name.as_str())
+                .or_default()
+                .push(ids.len());
+            ids.push((fi, di));
+        }
+    }
+    let events: Vec<Vec<Event>> = ids
+        .iter()
+        .map(|&(fi, di)| walk(&ws.files[fi], &ws.files[fi].fns[di], &ws.lock_names))
+        .collect();
+
+    // Fixpoint: locks a call to each function may acquire, and whether it
+    // may (transitively) perform a send.
+    let mut acq_star: Vec<BTreeSet<String>> = vec![BTreeSet::new(); ids.len()];
+    let mut send_star: Vec<bool> = vec![false; ids.len()];
+    for (id, evs) in events.iter().enumerate() {
+        for ev in evs {
+            match ev {
+                Event::Acquire { lock, .. } => {
+                    acq_star[id].insert(lock.clone());
+                }
+                Event::Call { name, .. } if SEND_NAMES.contains(&name.as_str()) => {
+                    send_star[id] = true;
+                }
+                Event::Call { .. } | Event::Drop { .. } => {}
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for (id, evs) in events.iter().enumerate() {
+            for ev in evs {
+                // Method calls are excluded from interprocedural
+                // propagation: resolving `x.push(...)` to any workspace
+                // fn named `push` conflates std methods with unrelated
+                // protocol helpers and fabricates edges.
+                let Event::Call {
+                    name,
+                    method: false,
+                    ..
+                } = ev
+                else {
+                    continue;
+                };
+                for &callee in by_name.get(name.as_str()).map_or(&[][..], Vec::as_slice) {
+                    if callee == id {
+                        continue;
+                    }
+                    if send_star[callee] && !send_star[id] {
+                        send_star[id] = true;
+                        changed = true;
+                    }
+                    if !acq_star[callee].is_subset(&acq_star[id]) {
+                        let extra: Vec<String> = acq_star[callee]
+                            .difference(&acq_star[id])
+                            .cloned()
+                            .collect();
+                        acq_star[id].extend(extra);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Per-function simulation of the held-guards set.
+    let mut edges: BTreeMap<(String, String), EdgeSite> = BTreeMap::new();
+    for (id, evs) in events.iter().enumerate() {
+        let (fi, di) = ids[id];
+        let file = &ws.files[fi];
+        let qual = &file.fns[di].qual;
+        // (lock name, exclusive, released-at index, binding)
+        let mut held: Vec<(String, bool, usize, Option<String>)> = Vec::new();
+        for ev in evs {
+            let at = match ev {
+                Event::Call { at, .. } | Event::Acquire { at, .. } | Event::Drop { at, .. } => *at,
+            };
+            held.retain(|(_, _, released, _)| *released > at);
+            match ev {
+                Event::Drop { binding, .. } => {
+                    held.retain(|(_, _, _, b)| b.as_deref() != Some(binding));
+                }
+                Event::Acquire {
+                    lock,
+                    kind,
+                    released,
+                    binding,
+                    line,
+                    ..
+                } => {
+                    for (h, _, _, _) in &held {
+                        if h == lock {
+                            if !Workspace::is_allowed(file, "lock-order", *line) {
+                                diags.push(Diag {
+                                    rule: "lock-order",
+                                    file: file.rel.clone(),
+                                    line: *line,
+                                    msg: format!(
+                                        "`{lock}` re-acquired while already held in {qual}"
+                                    ),
+                                });
+                            }
+                        } else {
+                            edges
+                                .entry((h.clone(), lock.clone()))
+                                .or_insert_with(|| EdgeSite {
+                                    file: file.rel.clone(),
+                                    line: *line,
+                                    via: qual.clone(),
+                                });
+                        }
+                    }
+                    held.push((lock.clone(), kind.exclusive(), *released, binding.clone()));
+                }
+                Event::Call {
+                    name, line, method, ..
+                } => {
+                    if held.is_empty() {
+                        continue;
+                    }
+                    let callees = if *method {
+                        &[][..]
+                    } else {
+                        by_name.get(name.as_str()).map_or(&[][..], Vec::as_slice)
+                    };
+                    let direct_send = SEND_NAMES.contains(&name.as_str());
+                    let transitive_send = callees.iter().any(|&c| send_star[c]);
+                    if (direct_send || transitive_send)
+                        && !Workspace::is_allowed(file, "send-under-lock", *line)
+                    {
+                        let locks: Vec<&str> = held.iter().map(|(l, _, _, _)| l.as_str()).collect();
+                        let how = if direct_send { "sends" } else { "may send" };
+                        diags.push(Diag {
+                            rule: "send-under-lock",
+                            file: file.rel.clone(),
+                            line: *line,
+                            msg: format!(
+                                "`{name}` {how} while holding [{}] in {qual}",
+                                locks.join(", ")
+                            ),
+                        });
+                    }
+                    for &callee in callees {
+                        for l in &acq_star[callee] {
+                            for (h, _, _, _) in &held {
+                                if h != l {
+                                    edges.entry((h.clone(), l.clone())).or_insert_with(|| {
+                                        EdgeSite {
+                                            file: file.rel.clone(),
+                                            line: *line,
+                                            via: format!("{qual} -> {name}"),
+                                        }
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection over the lock graph.
+    if let Some(cycle) = find_cycle(&edges) {
+        let site = &edges[&(cycle[0].clone(), cycle[1].clone())];
+        if !ws
+            .files
+            .iter()
+            .find(|f| f.rel == site.file)
+            .is_some_and(|f| Workspace::is_allowed(f, "lock-order", site.line))
+        {
+            diags.push(Diag {
+                rule: "lock-order",
+                file: site.file.clone(),
+                line: site.line,
+                msg: format!(
+                    "lock-order cycle {} (first edge via {})",
+                    cycle.join(" -> "),
+                    site.via
+                ),
+            });
+        }
+    }
+    diags
+}
+
+/// Finds one cycle in the edge set, returned as `[a, b, ..., a]`.
+fn find_cycle(edges: &BTreeMap<(String, String), EdgeSite>) -> Option<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from.as_str()).or_default().push(to.as_str());
+    }
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    for start in adj.keys().copied() {
+        if done.contains(start) {
+            continue;
+        }
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        let mut path: Vec<&str> = vec![start];
+        let mut on_path = BTreeSet::from([start]);
+        while let Some((node, next)) = stack.last().copied() {
+            let succs = adj.get(node).map_or(&[][..], Vec::as_slice);
+            if next < succs.len() {
+                if let Some(s) = stack.last_mut() {
+                    s.1 += 1;
+                }
+                let succ = succs[next];
+                if on_path.contains(succ) {
+                    let from = path.iter().position(|n| *n == succ).unwrap_or(0);
+                    let mut cycle: Vec<String> =
+                        path[from..].iter().map(|s| (*s).to_string()).collect();
+                    cycle.push(succ.to_string());
+                    return Some(cycle);
+                }
+                if !done.contains(succ) {
+                    stack.push((succ, 0));
+                    path.push(succ);
+                    on_path.insert(succ);
+                }
+            } else {
+                stack.pop();
+                path.pop();
+                on_path.remove(node);
+                done.insert(node);
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,107 @@
+//! CLI for the static analysis wall.
+//!
+//! ```text
+//! cargo run -p mocha-lint                         # all four analyses
+//! cargo run -p mocha-lint -- --analysis blocking  # one analysis
+//! cargo run -p mocha-lint -- --root <dir>         # explicit workspace
+//! cargo run -p mocha-lint -- --write-baseline     # regenerate ratchet
+//! ```
+//!
+//! Exit codes: 0 clean, 1 diagnostics found, 2 usage/I-O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut analysis: Option<String> = None;
+    let mut write_baseline = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" if i + 1 < args.len() => {
+                root = Some(PathBuf::from(&args[i + 1]));
+                i += 1;
+            }
+            "--analysis" if i + 1 < args.len() => {
+                analysis = Some(args[i + 1].clone());
+                i += 1;
+            }
+            "--write-baseline" => write_baseline = true,
+            other => {
+                eprintln!("mocha-lint: unknown argument `{other}`");
+                eprintln!(
+                    "usage: mocha-lint [--root <dir>] [--analysis \
+                     blocking|lock-order|wire-tags|panic-ratchet] [--write-baseline]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let root = root
+        .or_else(|| {
+            // When run via cargo, the manifest dir is crates/mocha-lint.
+            std::env::var_os("CARGO_MANIFEST_DIR")
+                .map(PathBuf::from)
+                .and_then(|p| mocha_lint::find_root(&p))
+        })
+        .or_else(|| {
+            std::env::current_dir()
+                .ok()
+                .and_then(|p| mocha_lint::find_root(&p))
+        });
+    let Some(root) = root else {
+        eprintln!("mocha-lint: cannot locate the workspace root (try --root)");
+        return ExitCode::from(2);
+    };
+
+    if write_baseline {
+        return match mocha_lint::model::Workspace::scan(&root)
+            .and_then(|ws| mocha_lint::ratchet::write_baseline(&ws))
+        {
+            Ok(rendered) => {
+                print!("{rendered}");
+                println!(
+                    "wrote {}",
+                    root.join(mocha_lint::ratchet::BASELINE_FILE).display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("mocha-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    match mocha_lint::run(&root, analysis.as_deref()) {
+        Ok(report) => {
+            for note in &report.notes {
+                println!("note: {note}");
+            }
+            if report.clean() {
+                println!(
+                    "mocha-lint: clean ({} over {})",
+                    analysis.as_deref().unwrap_or("all analyses"),
+                    root.display()
+                );
+                ExitCode::SUCCESS
+            } else {
+                for d in &report.diags {
+                    println!("{d}");
+                }
+                println!("mocha-lint: {} diagnostic(s)", report.diags.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("mocha-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

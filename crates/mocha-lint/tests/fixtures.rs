@@ -1,0 +1,141 @@
+//! Runs each analysis over its fixture tree under `fixtures/` and pins
+//! the exact diagnostics it must produce. The fixtures are never
+//! compiled — they are token-scanned, like the real workspace — so each
+//! one can concentrate every shape its analysis knows about, including
+//! the `// lint: allow(...)` escape hatch.
+
+use std::path::PathBuf;
+
+/// The mocha-lint crate directory, under cargo or a bare test runner.
+fn lint_crate_dir() -> PathBuf {
+    option_env!("CARGO_MANIFEST_DIR").map_or_else(
+        || {
+            let cwd = std::env::current_dir().expect("cwd");
+            mocha_lint::find_root(&cwd)
+                .expect("workspace root above cwd")
+                .join("crates")
+                .join("mocha-lint")
+        },
+        PathBuf::from,
+    )
+}
+
+fn lint_fixture(name: &str, analysis: &str) -> mocha_lint::Report {
+    let root = lint_crate_dir().join("fixtures").join(name);
+    assert!(root.is_dir(), "missing fixture tree {}", root.display());
+    mocha_lint::run(&root, Some(analysis)).expect("lint run")
+}
+
+fn rendered(report: &mocha_lint::Report) -> Vec<String> {
+    report.diags.iter().map(ToString::to_string).collect()
+}
+
+#[test]
+fn blocking_flags_sleep_wait_and_lock_on_reactor_path() {
+    let report = lint_fixture("blocking", "blocking");
+    let msgs = rendered(&report);
+    assert!(
+        msgs.iter().any(|m| m.contains("thread::sleep")),
+        "sleep not flagged: {msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("channel recv_timeout")),
+        "recv_timeout not flagged: {msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("Mutex::lock on `book`")),
+        "lock not flagged: {msgs:?}"
+    );
+    // The allowed backoff sleep is suppressed, everything else is not:
+    // exactly the three sites above.
+    assert_eq!(report.diags.len(), 3, "{msgs:?}");
+    // Path reporting names the root.
+    assert!(
+        msgs.iter().all(|m| m.contains("run_shard")),
+        "missing reactor path: {msgs:?}"
+    );
+}
+
+#[test]
+fn lockorder_finds_cycle_reacquire_and_send_under_lock() {
+    let report = lint_fixture("lockorder", "lock-order");
+    let msgs = rendered(&report);
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("lock-order cycle") && m.contains("alpha") && m.contains("beta")),
+        "ABBA cycle not found: {msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("`alpha` re-acquired")),
+        "re-acquisition not found: {msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("send-under-lock") && m.contains("Pair::ship")),
+        "send under lock not found: {msgs:?}"
+    );
+    // `ship_allowed` is suppressed by its escape hatch.
+    assert!(
+        !msgs.iter().any(|m| m.contains("ship_allowed")),
+        "allow(send-under-lock) ignored: {msgs:?}"
+    );
+    assert_eq!(report.diags.len(), 3, "{msgs:?}");
+}
+
+#[test]
+fn wiretags_flags_dup_missing_arms_and_unhandled_variant() {
+    let report = lint_fixture("wiretags", "wire-tags");
+    let msgs = rendered(&report);
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("tag value 3") && m.contains("T_ORPHAN") && m.contains("T_DUP")),
+        "duplicate tag not found: {msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("T_NO_ENCODE has no encode arm")),
+        "missing encode arm not found: {msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("T_NO_DECODE has no decode arm")),
+        "missing decode arm not found: {msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("Msg::Orphan") && m.contains("no handler match arm")),
+        "unhandled variant not found: {msgs:?}"
+    );
+    assert_eq!(report.diags.len(), 4, "{msgs:?}");
+}
+
+#[test]
+fn ratchet_fails_protocol_rise_and_notes_ratchet_down() {
+    let report = lint_fixture("ratchet", "panic-ratchet");
+    let msgs = rendered(&report);
+    // mocha-net (protocol): 4 sites vs baseline 2 → hard failure.
+    assert_eq!(report.diags.len(), 1, "{msgs:?}");
+    assert!(
+        msgs[0].contains("mocha-net") && msgs[0].contains('4') && msgs[0].contains('2'),
+        "rise not reported: {msgs:?}"
+    );
+    // mocha-extras (non-protocol): 1 vs baseline 5 → ratchet-down note.
+    assert!(
+        report
+            .notes
+            .iter()
+            .any(|n| n.contains("mocha-extras") && n.contains("ratchet the baseline down")),
+        "ratchet-down note missing: {:?}",
+        report.notes
+    );
+}
+
+#[test]
+fn unknown_analysis_name_is_rejected() {
+    let err = mocha_lint::run(
+        &lint_crate_dir().join("fixtures").join("blocking"),
+        Some("nope"),
+    )
+    .expect_err("unknown analysis must error");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+}

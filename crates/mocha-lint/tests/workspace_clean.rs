@@ -1,0 +1,37 @@
+//! The wall, pointed at this very workspace: every analysis must come
+//! back clean, and the checked-in panic baseline must match the tree
+//! exactly (a burn-down that forgets to ratchet `lint-baseline.toml`
+//! down fails here).
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    let start = option_env!("CARGO_MANIFEST_DIR")
+        .map_or_else(|| std::env::current_dir().expect("cwd"), PathBuf::from);
+    mocha_lint::find_root(&start).expect("workspace root")
+}
+
+#[test]
+fn workspace_passes_the_wall() {
+    let report = mocha_lint::run(&workspace_root(), None).expect("lint run");
+    assert!(
+        report.clean(),
+        "the workspace must lint clean:\n{}",
+        report
+            .diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn baseline_matches_tree_exactly() {
+    let root = workspace_root();
+    assert!(
+        mocha_lint::ratchet::baseline_in_sync(&root).expect("scan"),
+        "lint-baseline.toml is stale; regenerate with \
+         `cargo run -p mocha-lint -- --write-baseline`"
+    );
+}

@@ -66,21 +66,22 @@ impl std::fmt::Debug for TransportMux {
 impl TransportMux {
     /// Creates a transport stack for site `me`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration fails [`NetConfig::validate`].
-    pub fn new(me: SiteId, cfg: NetConfig) -> TransportMux {
-        cfg.validate().expect("invalid NetConfig");
-        TransportMux {
+    /// Returns the [`NetConfig::validate`] message when the configuration
+    /// is rejected.
+    pub fn new(me: SiteId, cfg: NetConfig) -> Result<TransportMux, String> {
+        cfg.validate()?;
+        Ok(TransportMux {
             me,
             cfg,
             mochanet: MochaNetEndpoint::new(cfg.mochanet),
-            tcp: TcpEndpoint::new(me, cfg.tcp),
+            tcp: TcpEndpoint::new(me, cfg.tcp)?,
             next_handle: 1,
             out: Vec::new(),
             pending_bulk: HashMap::new(),
             open_sends: HashMap::new(),
-        }
+        })
     }
 
     /// The configured protocol mode.
@@ -345,8 +346,8 @@ mod tests {
                 ..NetConfig::default()
             };
             Pair {
-                a: TransportMux::new(A, cfg),
-                b: TransportMux::new(B, cfg),
+                a: TransportMux::new(A, cfg).unwrap(),
+                b: TransportMux::new(B, cfg).unwrap(),
                 events_a: Vec::new(),
                 events_b: Vec::new(),
             }
@@ -484,8 +485,8 @@ mod tests {
         let mut cfg = NetConfig::hybrid();
         cfg.tcp.max_msg_bytes = 1024;
         let mut p = Pair {
-            a: TransportMux::new(A, cfg),
-            b: TransportMux::new(B, cfg),
+            a: TransportMux::new(A, cfg).unwrap(),
+            b: TransportMux::new(B, cfg).unwrap(),
             events_a: Vec::new(),
             events_b: Vec::new(),
         };
@@ -507,9 +508,10 @@ mod tests {
         let ok = p.a.send(B, 4, &vec![5u8; 500], MsgClass::Bulk);
         p.pump();
         assert_eq!(p.delivered_to_b(), vec![(4, vec![5u8; 500])]);
-        assert!(p.events_a.iter().any(
-            |e| matches!(e, TransportEvent::MsgAcked { to: B, handle, .. } if *handle == ok)
-        ));
+        assert!(p
+            .events_a
+            .iter()
+            .any(|e| matches!(e, TransportEvent::MsgAcked { to: B, handle, .. } if *handle == ok)));
         assert_eq!(p.a.tcp.conn_count(), 0);
     }
 

@@ -215,12 +215,13 @@ impl std::fmt::Debug for TcpEndpoint {
 impl TcpEndpoint {
     /// Creates an endpoint for site `me`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration fails [`TcpConfig::validate`].
-    pub fn new(me: SiteId, cfg: TcpConfig) -> TcpEndpoint {
-        cfg.validate().expect("invalid TcpConfig");
-        TcpEndpoint {
+    /// Returns the [`TcpConfig::validate`] message when the
+    /// configuration is rejected.
+    pub fn new(me: SiteId, cfg: TcpConfig) -> Result<TcpEndpoint, String> {
+        cfg.validate()?;
+        Ok(TcpEndpoint {
             me,
             cfg,
             conns: HashMap::new(),
@@ -229,7 +230,7 @@ impl TcpEndpoint {
             timer_conn: HashMap::new(),
             sink: ActionSink::default(),
             events: Vec::new(),
-        }
+        })
     }
 
     /// Initiates a connection to `peer` (active open). Emits a SYN and
@@ -416,7 +417,9 @@ impl TcpEndpoint {
             self.sink.charge(Work::events(2));
             self.events.push(TcpEvent::Accepted(conn_id, from));
         }
-        let conn = self.conns.get_mut(&conn_id).expect("present");
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
         if offset == conn.rcv_next {
             conn.rcv_next += payload.len() as u64;
             conn.recv_buf.extend_from_slice(&payload);
@@ -430,7 +433,9 @@ impl TcpEndpoint {
             conn.ooo.insert(offset, payload);
         }
         // else: duplicate of already-received data — just re-ack.
-        let conn = self.conns.get_mut(&conn_id).expect("present");
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
         let ack = conn.rcv_next;
         let peer = conn.peer;
         self.transmit_dack(peer, conn_id, ack);
@@ -438,11 +443,13 @@ impl TcpEndpoint {
 
     fn deliver_frames(&mut self, conn_id: ConnId, from: SiteId) {
         loop {
-            let conn = self.conns.get_mut(&conn_id).expect("present");
-            if conn.recv_buf.len() < 4 {
+            let Some(conn) = self.conns.get_mut(&conn_id) else {
                 return;
-            }
-            let len = u32::from_le_bytes(conn.recv_buf[0..4].try_into().unwrap()) as usize;
+            };
+            let Some(Ok(hdr)) = conn.recv_buf.get(0..4).map(<[u8; 4]>::try_from) else {
+                return;
+            };
+            let len = u32::from_le_bytes(hdr) as usize;
             if conn.recv_buf.len() < 4 + len {
                 return;
             }
@@ -474,8 +481,11 @@ impl TcpEndpoint {
         self.pump(conn_id);
         self.maybe_send_fin(conn_id);
         // Timer management: nothing outstanding → cancel.
-        let conn = self.conns.get(&conn_id).expect("present");
-        if conn.snd_una == conn.snd_nxt && !conn.fin_sent {
+        if self
+            .conns
+            .get(&conn_id)
+            .is_some_and(|c| c.snd_una == c.snd_nxt && !c.fin_sent)
+        {
             self.cancel_conn_timer(conn_id);
         }
     }
@@ -689,8 +699,8 @@ mod tests {
     impl Pair {
         fn new() -> Pair {
             Pair {
-                a: TcpEndpoint::new(A, cfg()),
-                b: TcpEndpoint::new(B, cfg()),
+                a: TcpEndpoint::new(A, cfg()).unwrap(),
+                b: TcpEndpoint::new(B, cfg()).unwrap(),
                 events_a: Vec::new(),
                 events_b: Vec::new(),
             }
@@ -799,7 +809,7 @@ mod tests {
 
     #[test]
     fn connect_failure_after_syn_retries() {
-        let mut ep = TcpEndpoint::new(A, cfg());
+        let mut ep = TcpEndpoint::new(A, cfg()).unwrap();
         let conn = ep.connect(B);
         ep.drain_actions();
         let timer = TIMER_NS; // first allocated timer
@@ -947,7 +957,7 @@ mod tests {
 
     #[test]
     fn send_on_unknown_conn_errors_without_panicking() {
-        let mut ep = TcpEndpoint::new(A, cfg());
+        let mut ep = TcpEndpoint::new(A, cfg()).unwrap();
         let bogus = ConnId {
             initiator: B,
             id: 12345,
@@ -980,7 +990,7 @@ mod tests {
     fn oversized_send_errors_without_panicking() {
         let mut small = cfg();
         small.max_msg_bytes = 64;
-        let mut ep = TcpEndpoint::new(A, small);
+        let mut ep = TcpEndpoint::new(A, small).unwrap();
         let conn = ep.connect(B);
         assert_eq!(
             ep.send_msg(conn, &vec![0u8; 65]),

@@ -358,7 +358,7 @@ impl ErrorInjector {
         self.state ^= self.state << 13;
         self.state ^= self.state >> 7;
         self.state ^= self.state << 17;
-        self.state % u64::from(self.one_in) == 0
+        self.state.is_multiple_of(u64::from(self.one_in))
     }
 }
 

@@ -202,12 +202,12 @@ fn hybrid_interleaves_control_and_bulk_under_jittery_lossy_link() {
         let mut world = World::new(seed);
         world.set_default_link(link);
         let receiver = world.add_host(Box::new(Mixed {
-            mux: TransportMux::new(SiteId(0), NetConfig::hybrid()),
+            mux: TransportMux::new(SiteId(0), NetConfig::hybrid()).unwrap(),
             peer: None,
             received: Vec::new(),
         }));
         let _sender = world.add_host(Box::new(Mixed {
-            mux: TransportMux::new(SiteId(1), NetConfig::hybrid()),
+            mux: TransportMux::new(SiteId(1), NetConfig::hybrid()).unwrap(),
             peer: Some(receiver),
             received: Vec::new(),
         }));

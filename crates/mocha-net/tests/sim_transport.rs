@@ -23,7 +23,7 @@ struct Node {
 impl Node {
     fn new(me: SiteId, cfg: NetConfig) -> Node {
         Node {
-            mux: TransportMux::new(me, cfg),
+            mux: TransportMux::new(me, cfg).unwrap(),
             peer: None,
             to_send: Vec::new(),
             class: MsgClass::Control,

@@ -40,6 +40,28 @@ use crate::travelbag::{Parameter, TravelBag};
 /// How long blocking calls wait before concluding the home site is gone.
 pub(crate) const BLOCKING_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// A blocking reply-wait gave up after [`BLOCKING_TIMEOUT`]: whoever was
+/// supposed to answer (the home site, or the site's own loop) is gone.
+/// Surfaces to applications as [`MochaError::HomeUnreachable`] via `?`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ReplyTimeout;
+
+impl From<ReplyTimeout> for MochaError {
+    fn from(_: ReplyTimeout) -> MochaError {
+        MochaError::HomeUnreachable
+    }
+}
+
+/// The single sanctioned blocking reply wait: every synchronous API call
+/// that parks an application thread on a reply channel funnels through
+/// here, so the timeout discipline (and the reactor-blocking lint's
+/// allowlist) has exactly one site.
+pub(crate) fn await_reply<T>(rx: &Receiver<T>) -> Result<T, ReplyTimeout> {
+    // Application-thread side only: reactor shards never call this.
+    // lint: allow(blocking)
+    rx.recv_timeout(BLOCKING_TIMEOUT).map_err(|_| ReplyTimeout)
+}
+
 /// A release deferred until dissemination acks: (new version, the
 /// caller's reply channel, whether the lock was revoked while held).
 type PendingRelease = (Version, Sender<Result<(), MochaError>>, bool);
@@ -75,9 +97,7 @@ impl ResultHandle {
     /// [`MochaError::SpawnFailed`] if the task errored remotely or its
     /// site is unreachable; [`MochaError::HomeUnreachable`] on timeout.
     pub fn wait(self) -> Result<TravelBag, MochaError> {
-        self.rx
-            .recv_timeout(BLOCKING_TIMEOUT)
-            .map_err(|_| MochaError::HomeUnreachable)?
+        await_reply(&self.rx)?
     }
 
     /// Returns the result if it is already available, or the handle back
@@ -368,6 +388,9 @@ impl<L: Link> SiteCore<L> {
                 Msg::AcquireLock { .. } | Msg::ReleaseLock { .. } | Msg::RegisterReplica { .. }
             )
         {
+            // Held for one Vec::push on an uncontended parking_lot mutex;
+            // the reactor shard cannot wedge on it.
+            // lint: allow(blocking)
             self.stable_log.lock().push((from, msg.clone()));
         }
         // Debug facility (the paper's "event logging ... insight into
@@ -797,9 +820,7 @@ impl<T> Pending<T> {
     /// [`MochaError::HomeUnreachable`] if no reply arrives within the
     /// blocking timeout; otherwise whatever the operation returned.
     pub fn wait(self) -> Result<T, MochaError> {
-        self.rx
-            .recv_timeout(BLOCKING_TIMEOUT)
-            .map_err(|_| MochaError::HomeUnreachable)?
+        await_reply(&self.rx)?
     }
 }
 
@@ -853,8 +874,7 @@ impl MochaHandle {
     fn call<T>(&self, build: impl FnOnce(Sender<T>) -> AppRequest) -> Result<T, MochaError> {
         let (tx, rx) = unbounded();
         self.push(LoopInput::App(build(tx)))?;
-        rx.recv_timeout(BLOCKING_TIMEOUT)
-            .map_err(|_| MochaError::HomeUnreachable)
+        Ok(await_reply(&rx)?)
     }
 
     fn call_async<T>(

@@ -62,7 +62,8 @@ impl SiteHost {
         let mut daemon = SiteDaemon::new(site, home, config.codec);
         daemon.set_faults(config.faults);
         daemon.set_push_options(config.push);
-        let mut mux = TransportMux::new(site, config.net);
+        let mut mux =
+            TransportMux::new(site, config.net).expect("MochaConfig validated before host build");
         // Deterministic first-incarnation epoch: simulated wire bytes
         // become a pure function of (site, config, schedule), which the
         // schedule explorer's state fingerprints and trace replays rely

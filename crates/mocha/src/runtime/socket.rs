@@ -361,6 +361,9 @@ impl Shard {
         if let Some(core) = self.cores.get_mut(&site) {
             core.link.endpoint.set_now(core.epoch.elapsed());
             let book = self.book.read();
+            // Non-blocking UDP sends under a read guard; the book is only
+            // written on add/remove_site, never on the send path.
+            // lint: allow(send-under-lock)
             pump(core, &self.driver, &book);
         }
         self.update_deadline(site);
@@ -500,6 +503,10 @@ fn run_shard(mut shard: Shard) {
                 // Transient OS error: pause this shard briefly, doubling
                 // up to the cap while the condition persists.
                 shard.counters.inc_socket_errors();
+                // The one sanctioned reactor sleep: exponential backoff
+                // (1ms..100ms) after an OS-level socket error, when there
+                // is nothing useful the shard could do anyway.
+                // lint: allow(blocking)
                 std::thread::sleep(shard.backoff.next_delay());
             }
         }

@@ -29,7 +29,7 @@ use mocha_wire::{Msg, SiteId};
 use crate::cmd::SendTag;
 use crate::config::MochaConfig;
 use crate::runtime::core::{
-    AppRequest, CoreSeed, Envelope, Link, LoopInput, SiteCore, BLOCKING_TIMEOUT,
+    await_reply, AppRequest, CoreSeed, Envelope, Link, LoopInput, SiteCore,
 };
 use crate::runtime::metrics::{RuntimeCounters, RuntimeMetrics};
 use crate::spawn::TaskRegistry;
@@ -47,6 +47,9 @@ impl Router {
     fn send(&self, to: SiteId, env: Envelope) -> Result<(), ()> {
         let senders = self.senders.read();
         match senders.get(&to) {
+            // Unbounded crossbeam send: never blocks, and the read guard
+            // is only ever held against other readers here.
+            // lint: allow(send-under-lock)
             Some(tx) => tx.send((to, LoopInput::Env(env))).map_err(|_| ()),
             None => Err(()),
         }
@@ -99,6 +102,9 @@ fn run_site(mut core: SiteCore<ThreadLink>, rx: Receiver<(SiteId, LoopInput)>) {
             .map_or(Duration::from_millis(200), |d| {
                 d.saturating_duration_since(Instant::now())
             });
+        // The thread runtime's designed wait: one site per thread, parked
+        // until the next input or timer deadline. Not a reactor shard.
+        // lint: allow(blocking)
         match rx.recv_timeout(timeout) {
             Ok((_, input)) => {
                 note_delivery(&core, &input);
@@ -325,7 +331,7 @@ impl ThreadRuntime {
         let log = self.stable_log.lock().clone();
         let (tx, rx) = unbounded();
         let _ = self.handles[i].push(LoopInput::App(AppRequest::Promote { log, reply: tx }));
-        let _ = rx.recv_timeout(BLOCKING_TIMEOUT);
+        let _ = await_reply(&rx);
     }
 
     /// Stops every site and joins their threads.

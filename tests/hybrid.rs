@@ -154,7 +154,7 @@ fn oversized_bulk_send_fails_gracefully() {
 
     let mut cfg = NetConfig::hybrid();
     cfg.tcp.max_msg_bytes = 1024;
-    let mut mux = TransportMux::new(SiteId(0), cfg);
+    let mut mux = TransportMux::new(SiteId(0), cfg).unwrap();
     let handle = mux.send(SiteId(1), 7, &vec![0u8; 4096], MsgClass::Bulk);
     let failed = mux.drain_actions().into_iter().any(|a| {
         matches!(
@@ -178,7 +178,7 @@ fn stale_connection_send_is_a_typed_error() {
     use mocha_net::{Action, TcpConfig, TcpSendError};
     use mocha_wire::SiteId;
 
-    let mut ep = TcpEndpoint::new(SiteId(0), TcpConfig::default());
+    let mut ep = TcpEndpoint::new(SiteId(0), TcpConfig::default()).unwrap();
     let conn = ep.connect(SiteId(9));
     // The peer never answers; fire every retransmission timer the
     // endpoint sets until the active open gives up.
@@ -212,7 +212,7 @@ fn stale_connection_send_is_a_typed_error() {
     // Oversized sends are refused up front with the same error type.
     let mut small = TcpConfig::default();
     small.max_msg_bytes = 8;
-    let mut ep = TcpEndpoint::new(SiteId(0), small);
+    let mut ep = TcpEndpoint::new(SiteId(0), small).unwrap();
     let conn = ep.connect(SiteId(1));
     assert_eq!(
         ep.send_msg(conn, &[0u8; 64]),

@@ -4,8 +4,14 @@
 use proptest::prelude::*;
 
 use mocha::travelbag::{TravelBag, Value};
-use mocha_wire::message::{LockMode, ReplicaUpdate, VersionFlag};
-use mocha_wire::{LockId, Msg, ReplicaId, ReplicaPayload, RequestId, SiteId, ThreadId, Version};
+use mocha_wire::io::WireError;
+use mocha_wire::message::{LockMode, ReplicaDeltaUpdate, ReplicaUpdate, VersionFlag};
+use mocha_wire::{
+    LockId, Msg, PayloadDelta, ReplicaId, ReplicaPayload, RequestId, Seg, SiteId, ThreadId, Version,
+};
+
+/// Highest wire tag in use; `message.rs` assigns 1..=MAX_TAG densely.
+const MAX_TAG: u8 = 26;
 
 fn payload_strategy() -> impl Strategy<Value = ReplicaPayload> {
     prop_oneof![
@@ -27,7 +33,37 @@ fn update_strategy() -> impl Strategy<Value = ReplicaUpdate> {
         .prop_map(|(id, payload)| ReplicaUpdate::new(ReplicaId(id), payload))
 }
 
+fn seg_u8_strategy() -> impl Strategy<Value = Seg<u8>> {
+    prop_oneof![
+        (0u32..1000, 0u32..1000).prop_map(|(offset, len)| Seg::Copy { offset, len }),
+        proptest::collection::vec(any::<u8>(), 0..40).prop_map(Seg::Fresh),
+    ]
+}
+
+fn delta_strategy() -> impl Strategy<Value = PayloadDelta> {
+    proptest::collection::vec(seg_u8_strategy(), 0..4).prop_map(PayloadDelta::Bytes)
+}
+
+fn delta_update_strategy() -> impl Strategy<Value = ReplicaDeltaUpdate> {
+    (any::<u32>(), delta_strategy()).prop_map(|(id, delta)| ReplicaDeltaUpdate {
+        replica: ReplicaId(id),
+        delta,
+    })
+}
+
+/// Every wire message, split into tag-order groups because `prop_oneof!`
+/// caps out well below 26 arms. Together the groups cover all of
+/// 1..=`MAX_TAG` (pinned by `every_wire_tag_has_a_variant_and_roundtrips`).
 fn msg_strategy() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        msg_strategy_core(),
+        msg_strategy_replicas(),
+        msg_strategy_spawn_misc(),
+        msg_strategy_delta(),
+    ]
+}
+
+fn msg_strategy_core() -> impl Strategy<Value = Msg> {
     prop_oneof![
         (
             any::<u32>(),
@@ -101,6 +137,370 @@ fn msg_strategy() -> impl Strategy<Value = Msg> {
     ]
 }
 
+fn msg_strategy_replicas() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        (any::<u32>(), any::<u32>(), any::<u32>(), "[A-Za-z.]{0,40}").prop_map(
+            |(l, rep, s, name)| Msg::RegisterReplica {
+                lock: LockId(l),
+                replica: ReplicaId(rep),
+                site: SiteId(s),
+                name,
+            }
+        ),
+        (any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>()).prop_map(|(l, d, v, r)| {
+            Msg::TransferReplica {
+                lock: LockId(l),
+                dest: SiteId(d),
+                version: Version(v),
+                req: RequestId(r),
+            }
+        }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            proptest::collection::vec(update_strategy(), 0..4),
+            any::<u64>()
+        )
+            .prop_map(|(l, v, updates, r)| Msg::PushUpdate {
+                lock: LockId(l),
+                version: Version(v),
+                updates,
+                req: RequestId(r),
+            }),
+        (any::<u32>(), any::<u64>(), any::<u32>(), any::<u64>()).prop_map(|(l, v, s, r)| {
+            Msg::PushAck {
+                lock: LockId(l),
+                version: Version(v),
+                site: SiteId(s),
+                req: RequestId(r),
+            }
+        }),
+        (any::<u32>(), any::<u64>(), any::<u32>(), any::<u64>()).prop_map(|(l, v, s, r)| {
+            Msg::PollResponse {
+                lock: LockId(l),
+                version: Version(v),
+                site: SiteId(s),
+                req: RequestId(r),
+            }
+        }),
+        (any::<u32>(), any::<u64>()).prop_map(|(l, r)| Msg::Heartbeat {
+            lock: LockId(l),
+            req: RequestId(r),
+        }),
+        (any::<u32>(), any::<u64>(), any::<bool>()).prop_map(|(s, r, holding)| {
+            Msg::HeartbeatAck {
+                site: SiteId(s),
+                req: RequestId(r),
+                holding,
+            }
+        }),
+        (any::<u32>(), any::<u64>()).prop_map(|(l, v)| Msg::LockRevoked {
+            lock: LockId(l),
+            version: Version(v),
+        }),
+    ]
+}
+
+fn msg_strategy_spawn_misc() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        (
+            "[A-Za-z.]{1,30}",
+            proptest::collection::vec(any::<u8>(), 0..100),
+            proptest::collection::vec("[A-Za-z.]{1,20}", 0..3),
+            any::<u64>()
+        )
+            .prop_map(
+                |(task_class, params, pushed_classes, r)| Msg::SpawnRequest {
+                    task_class,
+                    params,
+                    pushed_classes,
+                    req: RequestId(r),
+                }
+            ),
+        (
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..100),
+            any::<bool>()
+        )
+            .prop_map(|(r, result, ok)| Msg::SpawnResult {
+                req: RequestId(r),
+                result,
+                ok,
+            }),
+        ("[A-Za-z.]{1,30}", any::<u64>()).prop_map(|(class, r)| Msg::CodeRequest {
+            class,
+            req: RequestId(r),
+        }),
+        any::<u32>().prop_map(|s| Msg::SyncMoved {
+            new_home: SiteId(s)
+        }),
+        (any::<u32>(), any::<u32>(), any::<u64>()).prop_map(|(l, d, r)| Msg::ExpectRelay {
+            lock: LockId(l),
+            dest: SiteId(d),
+            req: RequestId(r),
+        }),
+        (any::<u32>(), any::<u64>(), any::<u32>(), payload_strategy()).prop_map(
+            |(rep, counter, o, payload)| Msg::CacheUpdate {
+                replica: ReplicaId(rep),
+                counter,
+                origin: SiteId(o),
+                payload,
+            }
+        ),
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..100)).prop_map(|(r, payload)| {
+            Msg::Ping {
+                req: RequestId(r),
+                payload,
+            }
+        }),
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..100)).prop_map(|(r, payload)| {
+            Msg::Pong {
+                req: RequestId(r),
+                payload,
+            }
+        }),
+    ]
+}
+
+fn msg_strategy_delta() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(delta_update_strategy(), 0..3),
+            any::<u64>()
+        )
+            .prop_map(|(l, b, v, deltas, r)| Msg::ReplicaDelta {
+                lock: LockId(l),
+                base_version: Version(b),
+                version: Version(v),
+                deltas,
+                req: RequestId(r),
+            }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(delta_update_strategy(), 0..3),
+            any::<u64>()
+        )
+            .prop_map(|(l, b, v, deltas, r)| Msg::PushDelta {
+                lock: LockId(l),
+                base_version: Version(b),
+                version: Version(v),
+                deltas,
+                req: RequestId(r),
+            }),
+        (any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>()).prop_map(|(l, s, h, r)| {
+            Msg::DeltaNack {
+                lock: LockId(l),
+                site: SiteId(s),
+                have: Version(h),
+                req: RequestId(r),
+            }
+        }),
+    ]
+}
+
+/// One hand-built sample per wire tag, in tag order 1..=`MAX_TAG`.
+fn sample_msgs() -> Vec<Msg> {
+    vec![
+        Msg::AcquireLock {
+            lock: LockId(1),
+            site: SiteId(2),
+            thread: ThreadId(3),
+            lease_hint_ms: 4,
+            mode: LockMode::Exclusive,
+        },
+        Msg::Grant {
+            lock: LockId(1),
+            version: Version(2),
+            flag: VersionFlag::VersionOk,
+        },
+        Msg::ReleaseLock {
+            lock: LockId(1),
+            site: SiteId(2),
+            new_version: Version(3),
+            disseminated_to: vec![SiteId(4)],
+        },
+        Msg::RegisterReplica {
+            lock: LockId(1),
+            replica: ReplicaId(2),
+            site: SiteId(3),
+            name: "counter".to_string(),
+        },
+        Msg::TransferReplica {
+            lock: LockId(1),
+            dest: SiteId(2),
+            version: Version(3),
+            req: RequestId(4),
+        },
+        Msg::ReplicaData {
+            lock: LockId(1),
+            version: Version(2),
+            updates: vec![ReplicaUpdate::new(
+                ReplicaId(3),
+                ReplicaPayload::Bytes(vec![4]),
+            )],
+            req: RequestId(5),
+        },
+        Msg::PushUpdate {
+            lock: LockId(1),
+            version: Version(2),
+            updates: Vec::new(),
+            req: RequestId(3),
+        },
+        Msg::PushAck {
+            lock: LockId(1),
+            version: Version(2),
+            site: SiteId(3),
+            req: RequestId(4),
+        },
+        Msg::PollVersion {
+            lock: LockId(1),
+            req: RequestId(2),
+        },
+        Msg::PollResponse {
+            lock: LockId(1),
+            version: Version(2),
+            site: SiteId(3),
+            req: RequestId(4),
+        },
+        Msg::Heartbeat {
+            lock: LockId(1),
+            req: RequestId(2),
+        },
+        Msg::HeartbeatAck {
+            site: SiteId(1),
+            req: RequestId(2),
+            holding: true,
+        },
+        Msg::LockRevoked {
+            lock: LockId(1),
+            version: Version(2),
+        },
+        Msg::SpawnRequest {
+            task_class: "task".to_string(),
+            params: vec![1],
+            pushed_classes: vec!["cls".to_string()],
+            req: RequestId(2),
+        },
+        Msg::SpawnResult {
+            req: RequestId(1),
+            result: vec![2],
+            ok: true,
+        },
+        Msg::CodeRequest {
+            class: "cls".to_string(),
+            req: RequestId(1),
+        },
+        Msg::CodeResponse {
+            class: "cls".to_string(),
+            code: vec![1],
+            req: RequestId(2),
+        },
+        Msg::RemotePrint {
+            site: SiteId(1),
+            text: "hello".to_string(),
+        },
+        Msg::Ping {
+            req: RequestId(1),
+            payload: vec![2],
+        },
+        Msg::Pong {
+            req: RequestId(1),
+            payload: vec![2],
+        },
+        Msg::SyncMoved {
+            new_home: SiteId(1),
+        },
+        Msg::ExpectRelay {
+            lock: LockId(1),
+            dest: SiteId(2),
+            req: RequestId(3),
+        },
+        Msg::CacheUpdate {
+            replica: ReplicaId(1),
+            counter: 2,
+            origin: SiteId(3),
+            payload: ReplicaPayload::Bytes(vec![4]),
+        },
+        Msg::ReplicaDelta {
+            lock: LockId(1),
+            base_version: Version(2),
+            version: Version(3),
+            deltas: vec![ReplicaDeltaUpdate {
+                replica: ReplicaId(4),
+                delta: PayloadDelta::Bytes(vec![
+                    Seg::Copy { offset: 0, len: 2 },
+                    Seg::Fresh(vec![5, 6]),
+                ]),
+            }],
+            req: RequestId(7),
+        },
+        Msg::PushDelta {
+            lock: LockId(1),
+            base_version: Version(2),
+            version: Version(3),
+            deltas: Vec::new(),
+            req: RequestId(4),
+        },
+        Msg::DeltaNack {
+            lock: LockId(1),
+            site: SiteId(2),
+            have: Version(3),
+            req: RequestId(4),
+        },
+    ]
+}
+
+/// The codec is *total* over the tag space: the sample set covers every
+/// tag exactly once (1..=`MAX_TAG`, dense, no duplicates) and each sample
+/// survives an encode→decode roundtrip. A new `T_*` constant without a
+/// sample here — or a re-used tag value — fails this test.
+#[test]
+fn every_wire_tag_has_a_variant_and_roundtrips() {
+    let msgs = sample_msgs();
+    let mut tags: Vec<u8> = msgs.iter().map(|m| m.encode()[0]).collect();
+    tags.sort_unstable();
+    let expected: Vec<u8> = (1..=MAX_TAG).collect();
+    assert_eq!(tags, expected, "wire tags must be exactly 1..=MAX_TAG");
+    for msg in msgs {
+        let bytes = msg.encode();
+        let back = Msg::decode(&bytes).expect("sample must decode");
+        assert_eq!(back, msg);
+    }
+}
+
+/// Encoding is injective across the sample set: distinct messages never
+/// share a byte representation.
+#[test]
+fn sample_encodings_are_pairwise_distinct() {
+    let encoded: Vec<Vec<u8>> = sample_msgs().iter().map(Msg::encode).collect();
+    for (i, a) in encoded.iter().enumerate() {
+        for b in encoded.iter().skip(i + 1) {
+            assert_ne!(a, b);
+        }
+    }
+}
+
+/// Every tag outside 1..=`MAX_TAG` is rejected with `BadTag` — never a
+/// panic, never a bogus decode — regardless of what follows the tag byte.
+#[test]
+fn unknown_tags_yield_bad_tag() {
+    for tag in (0..=u8::MAX).filter(|t| *t == 0 || *t > MAX_TAG) {
+        for tail in [&[][..], &[0u8; 16][..], &[0xFF_u8; 3][..]] {
+            let mut bytes = vec![tag];
+            bytes.extend_from_slice(tail);
+            match Msg::decode(&bytes) {
+                Err(WireError::BadTag { tag: t, .. }) => assert_eq!(t, tag),
+                other => panic!("tag {tag}: expected BadTag, got {other:?}"),
+            }
+        }
+    }
+}
+
 fn value_strategy() -> impl Strategy<Value = Value> {
     prop_oneof![
         any::<i32>().prop_map(Value::I32),
@@ -131,6 +531,28 @@ proptest! {
         let bytes = msg.encode();
         let back = Msg::decode(&bytes).unwrap();
         prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn encoding_is_injective(m1 in msg_strategy(), m2 in msg_strategy()) {
+        if m1 != m2 {
+            prop_assert_ne!(m1.encode(), m2.encode());
+        }
+    }
+
+    #[test]
+    fn random_unknown_tags_never_decode(
+        tag in proptest::sample::select(
+            (0..=u8::MAX).filter(|t| *t == 0 || *t > MAX_TAG).collect::<Vec<u8>>()
+        ),
+        tail in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut bytes = vec![tag];
+        bytes.extend_from_slice(&tail);
+        prop_assert!(matches!(
+            Msg::decode(&bytes),
+            Err(WireError::BadTag { what: "Msg", tag: t }) if t == tag
+        ));
     }
 
     #[test]
