@@ -97,6 +97,12 @@ fn main() {
     if what == "delta-smoke" {
         delta_smoke();
     }
+    if all || what == "recovery" {
+        recovery();
+    }
+    if what == "recovery-smoke" {
+        recovery_smoke();
+    }
     if what == "swarm" {
         swarm();
     }
@@ -448,8 +454,19 @@ fn transport() {
         );
     }
     let path = std::path::Path::new("BENCH_transport.json");
-    write_json(path, &points).expect("write BENCH_transport.json");
-    println!("  wrote {}", path.display());
+    report_written(path, write_json(path, &points));
+}
+
+/// Reports a bench artifact write, exiting non-zero on failure (the same
+/// CI outcome as the panic it replaces, without the backtrace noise).
+fn report_written(path: &std::path::Path, result: std::io::Result<()>) {
+    match result {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("repro: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
 }
 
 /// The CI smoke point: both strategies at 0 % loss must deliver everything
@@ -509,8 +526,7 @@ fn delta() {
         );
     }
     let path = std::path::Path::new("BENCH_delta.json");
-    write_json(path, &points).expect("write BENCH_delta.json");
-    println!("  wrote {}", path.display());
+    report_written(path, write_json(path, &points));
 }
 
 /// The CI smoke point: the two acceptance claims on the small-write /
@@ -558,6 +574,75 @@ fn delta_smoke() {
     }
 }
 
+fn recovery() {
+    use mocha_bench::recovery::{recovery_sweep, write_json};
+
+    println!();
+    println!("Crash recovery: durable snapshot + WAL replay vs cold full transfer");
+    println!("(one missed small-write release while the site was down)");
+    println!("---------------------------------------------------------------------");
+    println!(
+        "  {:<14} {:>8} {:>13} {:>15} {:>6}",
+        "mode", "payload", "recovery ms", "catch-up bytes", "nacks"
+    );
+    let points = recovery_sweep();
+    for p in &points {
+        println!(
+            "  {:<14} {:>7}K {:>13.1} {:>15} {:>6}",
+            p.mode,
+            p.payload_bytes / 1024,
+            p.recovery_ms,
+            p.catchup_replica_bytes,
+            p.delta_nacks,
+        );
+    }
+    let path = std::path::Path::new("BENCH_recovery.json");
+    report_written(path, write_json(path, &points));
+}
+
+/// The CI smoke point: a durability-enabled reboot recovers via snapshot
+/// + delta catch-up with measurably fewer holder bytes than the cold
+/// full-transfer baseline, and without the delta-NACK round trip.
+fn recovery_smoke() {
+    use mocha_bench::recovery::run_point;
+
+    println!();
+    println!("Recovery smoke (64K payload, one missed release)");
+    println!("-------------------------------------------------");
+    let mut failed = false;
+    let mut check = |name: &str, ok: bool, detail: String| {
+        println!(
+            "  [{}] {:<44} {}",
+            if ok { "PASS" } else { "FAIL" },
+            name,
+            detail
+        );
+        failed |= !ok;
+    };
+    let cold = run_point(64 * 1024, false);
+    let durable = run_point(64 * 1024, true);
+    let ratio = cold.catchup_replica_bytes as f64 / durable.catchup_replica_bytes.max(1) as f64;
+    check(
+        "durable catch-up moves fewer bytes than cold",
+        cold.catchup_replica_bytes > 2 * durable.catchup_replica_bytes,
+        format!(
+            "{} vs {} bytes ({ratio:.0}x)",
+            cold.catchup_replica_bytes, durable.catchup_replica_bytes
+        ),
+    );
+    check(
+        "durable catch-up needs no delta NACK",
+        durable.delta_nacks == 0 && cold.delta_nacks >= 1,
+        format!(
+            "durable {} nacks, cold {} nacks",
+            durable.delta_nacks, cold.delta_nacks
+        ),
+    );
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn swarm() {
     use mocha::runtime::socket::loopback_available;
     use mocha_bench::swarm::{swarm_sweep, write_json};
@@ -589,8 +674,7 @@ fn swarm() {
         );
     }
     let path = std::path::Path::new("BENCH_swarm.json");
-    write_json(path, &points).expect("write BENCH_swarm.json");
-    println!("  wrote {}", path.display());
+    report_written(path, write_json(path, &points));
 }
 
 /// The CI smoke point: a 256-site swarm on 2 reactor threads must finish

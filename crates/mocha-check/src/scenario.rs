@@ -10,6 +10,8 @@ use mocha::app::Script;
 use mocha::config::{AvailabilityConfig, PushConfig};
 use mocha::runtime::sim::SimCluster;
 use mocha::{FaultPlan, MochaConfig};
+use mocha_sim::SimTime;
+use mocha_store::StoreConfig;
 use mocha_wire::LockId;
 
 const L: LockId = LockId(1);
@@ -206,6 +208,44 @@ fn push_window(seed: u64, faults: FaultPlan) -> SimCluster {
     c
 }
 
+/// Three durable sites: site 1 releases twice under `UR = 2` (pushes and
+/// WAL appends interleave), crashes mid-run, and restarts replaying its
+/// snapshot + write-ahead log. The oracle watches every invariant across
+/// the incarnation boundary — in particular `version_regression`: a
+/// recovered site must never resume behind a version it durably applied
+/// and announced. The `stale_recovery` fault flag turns this scenario
+/// into the mutant proving that invariant fires.
+fn crash_recover(seed: u64, faults: FaultPlan) -> SimCluster {
+    let mut c = SimCluster::builder()
+        .sites(3)
+        .seed(seed)
+        .config(config(faults))
+        .durable(StoreConfig::default())
+        .build();
+    let idx = mocha::replica_id("idx");
+    let avail = AvailabilityConfig {
+        ur: 2,
+        wait_for_acks: true,
+    };
+    c.add_script(0, Script::new().register(L, &["idx"]));
+    c.add_script(2, Script::new().register(L, &["idx"]));
+    c.add_script(
+        1,
+        Script::new()
+            .register(L, &["idx"])
+            .set_availability(L, avail)
+            .lock(L)
+            .write(idx, mocha_wire::ReplicaPayload::I32s(vec![1]))
+            .unlock_dirty(L)
+            .lock(L)
+            .write(idx, mocha_wire::ReplicaPayload::I32s(vec![1, 2]))
+            .unlock_dirty(L),
+    );
+    c.crash_site_at(SimTime::ZERO + Duration::from_millis(40), 1);
+    c.restart_site_at(SimTime::ZERO + Duration::from_millis(120), 1);
+    c
+}
+
 /// Harness-level mutant: promotes site 1 to surrogate coordinator while
 /// site 0 — the real home — is still alive. Violates the single-home
 /// invariant by construction; exists to prove `split_home` fires.
@@ -252,6 +292,12 @@ static ALL: &[Scenario] = &[
         summary: "UR=3 pipelined delta pushes with ack-wait, timeout + replacement",
         expected: None,
         builder: push_window,
+    },
+    Scenario {
+        name: "crash_recover",
+        summary: "durable site crashes mid-release, restarts off snapshot + WAL",
+        expected: None,
+        builder: crash_recover,
     },
     Scenario {
         name: "split_home",

@@ -72,6 +72,22 @@ fn accept_any_version_trips_version_regression() {
 }
 
 #[test]
+fn stale_recovery_trips_version_regression() {
+    // The recovery mutant: the restarted durable site replays its WAL one
+    // release behind what it actually applied, resuming at a version the
+    // oracle already saw it pass — version monotonicity must fire across
+    // the incarnation boundary.
+    assert_mutant_fires(
+        "crash_recover",
+        FaultPlan {
+            stale_recovery: true,
+            ..FaultPlan::default()
+        },
+        "version_regression",
+    );
+}
+
+#[test]
 fn promote_without_crash_trips_split_home() {
     assert_mutant_fires("split_home", FaultPlan::default(), "split_home");
 }

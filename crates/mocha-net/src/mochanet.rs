@@ -113,6 +113,14 @@ pub fn timer_peer(token: u64) -> Option<SiteId> {
 const T_DATA: u8 = 0;
 const T_ACK: u8 = 1;
 
+/// Byte offsets of the stream-generation and sequence fields inside a
+/// pre-encoded `T_DATA` datagram (after proto + type bytes + epoch), so
+/// [`MochaNetEndpoint::restage_for_new_incarnation`] can renumber stored
+/// fragments without re-fragmenting. Must track the header layout written
+/// by [`MochaNetEndpoint::send`].
+const DATAGRAM_GEN_RANGE: std::ops::Range<usize> = 6..10;
+const DATAGRAM_SEQ_RANGE: std::ops::Range<usize> = 10..18;
+
 /// Counters describing the endpoint's retransmission machinery, for
 /// surfacing through runtime metrics and the loss-sweep benchmarks.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -178,6 +186,10 @@ struct PeerSend {
     dup_acks: u32,
     /// Highest cumulative ack seen for the current stream.
     last_cum_seen: u64,
+    /// The peer's incarnation epoch as reported in its acks (0 until the
+    /// first ack arrives). A change means the peer rebooted and lost its
+    /// receive state: the current stream must be restaged from scratch.
+    acker_epoch: u32,
 }
 
 impl Default for PeerSend {
@@ -196,6 +208,7 @@ impl Default for PeerSend {
             ssthresh: usize::MAX,
             dup_acks: 0,
             last_cum_seen: 0,
+            acker_epoch: 0,
         }
     }
 }
@@ -389,6 +402,9 @@ impl MochaNetEndpoint {
             w.put_u8(PROTO_MOCHANET);
             w.put_u8(T_DATA);
             w.put_u32(self.epoch);
+            // Generation and sequence offsets are fixed by
+            // `DATAGRAM_GEN_RANGE` / `DATAGRAM_SEQ_RANGE`: restaging
+            // patches them in place in stored fragments.
             w.put_u32(state.stream_gen);
             w.put_u64(seq);
             w.put_u64(handle.0);
@@ -454,6 +470,7 @@ impl MochaNetEndpoint {
             T_ACK => {
                 let epoch = r.get_u32()?;
                 let gen = r.get_u32()?;
+                let acker_epoch = r.get_u32()?;
                 let cum = r.get_u64()?;
                 let nblocks = r.get_u8()?;
                 let mut sacks = Vec::with_capacity(usize::from(nblocks));
@@ -463,7 +480,7 @@ impl MochaNetEndpoint {
                     sacks.push((start, end));
                 }
                 r.finish()?;
-                self.on_ack(from, epoch, gen, cum, &sacks);
+                self.on_ack(from, epoch, gen, acker_epoch, cum, &sacks);
                 Ok(())
             }
             tag => Err(WireError::BadTag {
@@ -616,11 +633,15 @@ impl MochaNetEndpoint {
             ),
             None => (0, 0, 0, Vec::new()),
         };
-        let mut w = ByteWriter::with_capacity(19 + blocks.len() * 16);
+        let mut w = ByteWriter::with_capacity(23 + blocks.len() * 16);
         w.put_u8(PROTO_MOCHANET);
         w.put_u8(T_ACK);
         w.put_u32(epoch);
         w.put_u32(gen);
+        // The acker's own incarnation: a sender seeing this change knows
+        // the peer rebooted and lost its receive state, so the current
+        // stream's sequence space means nothing to it any more.
+        w.put_u32(self.epoch);
         // Wire carries "next expected seq"; everything below it is acked.
         w.put_u64(cum);
         w.put_u8(blocks.len() as u8);
@@ -637,6 +658,7 @@ impl MochaNetEndpoint {
         from: SiteId,
         epoch: u32,
         gen: u32,
+        acker_epoch: u32,
         next_expected: u64,
         sacks: &[(u64, u64)],
     ) {
@@ -649,6 +671,19 @@ impl MochaNetEndpoint {
         };
         if gen != state.stream_gen {
             return; // ack for an earlier, abandoned stream
+        }
+        if acker_epoch != 0 && state.acker_epoch != acker_epoch {
+            let rebooted = state.acker_epoch != 0;
+            state.acker_epoch = acker_epoch;
+            if rebooted {
+                // The peer rebooted and lost its receive state: its
+                // cumulative ack restarted at zero and will never advance
+                // past our old sequence numbers. Re-stage everything
+                // outstanding on a fresh stream generation, which the new
+                // incarnation accepts from sequence zero.
+                self.restage_for_new_incarnation(from);
+                return;
+            }
         }
         state.unreachable = false;
         let now = self.now;
@@ -797,6 +832,51 @@ impl MochaNetEndpoint {
         }
         self.arm_timer(peer);
         true
+    }
+
+    /// Re-stages every outstanding fragment toward a peer whose acks
+    /// revealed a new incarnation: the rebooted receiver holds (or will
+    /// accept) our datagrams but its cumulative ack restarted at zero, so
+    /// the stream deadlocks unless the sequence space restarts too. The
+    /// fragments themselves are intact — only their stream identity
+    /// (generation + sequence) is renumbered in the pre-encoded headers
+    /// (offsets fixed by [`MochaNetEndpoint::send`]) — so delivery is
+    /// transparent to the layers above: no [`TransportEvent::SendFailed`]
+    /// and no lost messages, just one extra round trip.
+    fn restage_for_new_incarnation(&mut self, peer: SiteId) {
+        let Some(state) = self.send_states.get_mut(&peer) else {
+            return;
+        };
+        let frags: Vec<Frag> = state
+            .inflight
+            .drain(..)
+            .chain(state.pending.drain(..))
+            .collect();
+        state.reset_stream();
+        let gen = state.stream_gen;
+        for mut f in frags {
+            let seq = state.next_seq;
+            state.next_seq += 1;
+            f.seq = seq;
+            // Every staged datagram carries the full header send() wrote,
+            // so the ranges are always in bounds; get_mut keeps this off
+            // the panic ratchet.
+            if let Some(b) = f.datagram.get_mut(DATAGRAM_GEN_RANGE) {
+                b.copy_from_slice(&gen.to_le_bytes());
+            }
+            if let Some(b) = f.datagram.get_mut(DATAGRAM_SEQ_RANGE) {
+                b.copy_from_slice(&seq.to_le_bytes());
+            }
+            // Karn's rule: these copies are retransmissions of earlier
+            // wire traffic, so they must not produce RTT samples.
+            f.retransmitted = true;
+            f.acked = false;
+            f.sent_at = None;
+            state.pending.push_back(f);
+        }
+        state.timer_armed = false;
+        self.sink.cancel_timer(timer_token(peer));
+        self.pump(peer);
     }
 
     /// Voids all in-flight traffic toward a peer that has visibly
@@ -1468,6 +1548,99 @@ mod epoch_tests {
             vec![b"after-reboot".to_vec()],
             "the new incarnation's first message must be delivered, not treated as a duplicate"
         );
+    }
+
+    /// The mirror-image reboot: the *receiver* loses its state while the
+    /// sender keeps a mature stream. The new incarnation's acks (cumulative
+    /// zero, new acker epoch) must make the sender restage the outstanding
+    /// fragments on a fresh generation — delivering the message instead of
+    /// deadlocking until retries exhaust.
+    #[test]
+    fn receiver_reboot_restages_stream_transparently() {
+        let cfg = MochaNetConfig::default();
+        let mut sender = MochaNetEndpoint::new(cfg);
+
+        // Mature the stream: one message delivered to the first
+        // incarnation, advancing the sender's sequence numbers past zero.
+        let mut peer1 = MochaNetEndpoint::new(cfg);
+        sender.send(B, 1, b"before-reboot", SendHandle(1));
+        deliver_all(&mut sender, &mut peer1, A);
+        deliver_all(&mut peer1, &mut sender, B);
+        let acked = sender
+            .drain_actions()
+            .into_iter()
+            .filter(|a| matches!(a, Action::Event(TransportEvent::MsgAcked { .. })))
+            .count();
+        assert_eq!(acked, 1);
+
+        // The peer reboots (fresh endpoint, new epoch, empty receive
+        // state); the sender, unaware, sends mid-stream.
+        let mut peer2 = MochaNetEndpoint::new(cfg);
+        sender.send(B, 1, b"after-reboot", SendHandle(2));
+        // Data reaches the new incarnation, which buffers it out-of-order
+        // (it never saw the earlier sequence numbers) and dup-acks zero.
+        deliver_all(&mut sender, &mut peer2, A);
+        // The ack's changed acker epoch triggers the restage, which goes
+        // straight back on the wire as a fresh generation from seq 0.
+        deliver_all(&mut peer2, &mut sender, B);
+        deliver_all(&mut sender, &mut peer2, A);
+        // One drain: collect what was delivered AND forward the acks.
+        let mut delivered = Vec::new();
+        for action in peer2.drain_actions() {
+            match action {
+                Action::Event(TransportEvent::Delivered { bytes, .. }) => delivered.push(bytes),
+                Action::Transmit { datagram, .. } => sender.on_datagram(B, &datagram),
+                _ => {}
+            }
+        }
+        assert_eq!(
+            delivered,
+            vec![b"after-reboot".to_vec()],
+            "the restaged message must reach the new incarnation"
+        );
+        // And the sender sees a normal acknowledgement — no SendFailed, no
+        // unreachable verdict.
+        let events: Vec<TransportEvent> = sender
+            .drain_actions()
+            .into_iter()
+            .filter_map(|a| match a {
+                Action::Event(e) => Some(e),
+                _ => None,
+            })
+            .collect();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TransportEvent::MsgAcked {
+                to: B,
+                handle: SendHandle(2),
+                ..
+            }
+        )));
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, TransportEvent::SendFailed { .. })));
+        assert!(!sender.is_unreachable(B));
+    }
+
+    /// Restaging patches generation and sequence in the pre-encoded
+    /// datagrams; this pins the header offsets it relies on.
+    #[test]
+    fn datagram_header_offsets_match_send_layout() {
+        let cfg = MochaNetConfig::default();
+        let mut ep = MochaNetEndpoint::new(cfg);
+        ep.send(B, 7, b"x", SendHandle(3));
+        let datagram = ep
+            .drain_actions()
+            .into_iter()
+            .find_map(|a| match a {
+                Action::Transmit { datagram, .. } => Some(datagram),
+                _ => None,
+            })
+            .expect("one datagram transmitted");
+        let gen = u32::from_le_bytes(datagram[DATAGRAM_GEN_RANGE].try_into().unwrap());
+        let seq = u64::from_le_bytes(datagram[DATAGRAM_SEQ_RANGE].try_into().unwrap());
+        assert_eq!(gen, 1, "fresh stream generation");
+        assert_eq!(seq, 0, "first sequence number");
     }
 
     /// In-flight sends toward the old incarnation fail once the new one is

@@ -1,0 +1,46 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`), computed
+//! bitwise.
+//!
+//! Hand-rolled so the store has no dependency beyond `mocha-wire`. The
+//! framing only needs error *detection* against torn writes and media bit
+//! rot on a local device, where the classic reflected CRC-32 is the
+//! standard choice; throughput is irrelevant next to the fsync.
+
+/// Computes the CRC-32 checksum of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            // Branch-free reflected update: `mask` is all-ones when the
+            // low bit is set, all-zeros otherwise.
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_vector() {
+        // The canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let base = crc32(b"mocha");
+        let mut flipped = *b"mocha";
+        flipped[2] ^= 0x10;
+        assert_ne!(base, crc32(&flipped));
+    }
+}

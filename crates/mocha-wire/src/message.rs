@@ -294,6 +294,18 @@ pub enum Msg {
         /// Echo of the delta's request id.
         req: RequestId,
     },
+    /// Restarted durable daemon → coordinator: the versions it recovered
+    /// from its snapshot + write-ahead log. The coordinator records them
+    /// in its dissemination bookkeeping and forwards the announcement to
+    /// each lock's member daemons so subsequent transfers to the rebooted
+    /// site can ship `(recovered → current)` edit scripts instead of full
+    /// payloads.
+    SiteRecovered {
+        /// The rebooted site.
+        site: SiteId,
+        /// `(lock, version)` pairs recovered from stable storage.
+        versions: Vec<(LockId, Version)>,
+    },
 
     // ------------------------------------------------------------------
     // §4 failure handling
@@ -482,6 +494,7 @@ const T_CACHE_UPDATE: u8 = 23;
 const T_REPLICA_DELTA: u8 = 24;
 const T_PUSH_DELTA: u8 = 25;
 const T_DELTA_NACK: u8 = 26;
+const T_SITE_RECOVERED: u8 = 27;
 
 impl Msg {
     /// Encodes the message to a fresh byte vector.
@@ -618,6 +631,15 @@ impl Msg {
                 site.encode(w);
                 have.encode(w);
                 req.encode(w);
+            }
+            Msg::SiteRecovered { site, versions } => {
+                w.put_u8(T_SITE_RECOVERED);
+                site.encode(w);
+                w.put_u32(versions.len() as u32);
+                for (lock, version) in versions {
+                    lock.encode(w);
+                    version.encode(w);
+                }
             }
             Msg::PollVersion { lock, req } => {
                 w.put_u8(T_POLL);
@@ -920,6 +942,23 @@ impl Msg {
                 have: Version::decode(r)?,
                 req: RequestId::decode(r)?,
             }),
+            T_SITE_RECOVERED => {
+                let site = SiteId::decode(r)?;
+                let n = r.get_u32()? as usize;
+                // Each pair is exactly 12 bytes (u32 lock + u64 version);
+                // reject counts the input cannot possibly satisfy.
+                if n.saturating_mul(12) > r.remaining() {
+                    return Err(WireError::LengthOverrun {
+                        declared: n * 12,
+                        remaining: r.remaining(),
+                    });
+                }
+                let mut versions = Vec::with_capacity(n);
+                for _ in 0..n {
+                    versions.push((LockId::decode(r)?, Version::decode(r)?));
+                }
+                Ok(Msg::SiteRecovered { site, versions })
+            }
             T_POLL => Ok(Msg::PollVersion {
                 lock: LockId::decode(r)?,
                 req: RequestId::decode(r)?,
@@ -1122,6 +1161,10 @@ mod tests {
                 site: SiteId(3),
                 have: Version(9),
                 req: RequestId(7),
+            },
+            Msg::SiteRecovered {
+                site: SiteId(3),
+                versions: vec![(LockId(1), Version(9)), (LockId(2), Version(4))],
             },
             Msg::PushAck {
                 lock: LockId(1),

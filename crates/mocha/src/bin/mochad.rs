@@ -22,8 +22,10 @@
 //!   counter under it each time; print `FINAL <value>` when done.
 //! * `read` — acquire once, print `VALUE <value>`, release clean.
 //!
-//! Every run prints a `METRICS <counters>` line at exit — the runtime's
-//! mirror of the simulator's per-run metrics.
+//! Every run prints a `RECOVERED <n>` line at boot (how many locks were
+//! replayed from the `--store-dir` journal; 0 without one) and a
+//! `METRICS <counters>` line at exit — the runtime's mirror of the
+//! simulator's per-run metrics.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -32,6 +34,7 @@ use mocha::config::{AvailabilityConfig, MochaConfig};
 use mocha::hostfile::HostFile;
 use mocha::replica::{replica_id, ReplicaSpec};
 use mocha::runtime::socket::{address_book, MochaHandle, SocketRuntime};
+use mocha_store::StoreConfig;
 use mocha_wire::{LockId, ReplicaPayload, SiteId};
 
 /// The demo lock every workload contends on.
@@ -43,6 +46,7 @@ struct Args {
     home: u32,
     hybrid: bool,
     ur: usize,
+    store_dir: Option<String>,
     workload: Workload,
 }
 
@@ -55,7 +59,7 @@ enum Workload {
 fn usage() -> ! {
     eprintln!(
         "usage: mochad --hostfile PATH --site N [--home N] [--hybrid] [--ur K] \
-         --workload serve|incr:N|read"
+         [--store-dir PATH] --workload serve|incr:N|read"
     );
     std::process::exit(2);
 }
@@ -67,6 +71,7 @@ fn parse_args() -> Args {
         home: 0,
         hybrid: false,
         ur: 1,
+        store_dir: None,
         workload: Workload::Serve,
     };
     let mut it = std::env::args().skip(1);
@@ -77,6 +82,7 @@ fn parse_args() -> Args {
             "--site" => args.site = value().parse().unwrap_or_else(|_| usage()),
             "--home" => args.home = value().parse().unwrap_or_else(|_| usage()),
             "--ur" => args.ur = value().parse().unwrap_or_else(|_| usage()),
+            "--store-dir" => args.store_dir = Some(value()),
             "--hybrid" => args.hybrid = true,
             "--workload" => {
                 let w = value();
@@ -178,17 +184,24 @@ fn main() -> ExitCode {
     } else {
         MochaConfig::basic()
     };
-    let site = match SocketRuntime::builder().config(config).build_site(
-        SiteId(args.site),
-        SiteId(args.home),
-        book,
-    ) {
+    let mut builder = SocketRuntime::builder().config(config);
+    if let Some(dir) = &args.store_dir {
+        // Durable mode: journal applied versions under dir/site-<N>/ so a
+        // restarted process replays them and rejoins with its state.
+        builder = builder.store_dir(dir, StoreConfig::default());
+    }
+    let site = match builder.build_site(SiteId(args.site), SiteId(args.home), book) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("mochad: cannot boot site {}: {e}", args.site);
             return ExitCode::FAILURE;
         }
     };
+    // Observable recovery: how many locks came back from this site's own
+    // journal (0 without --store-dir or on a first boot). The
+    // kill-and-restart test keys on this to prove the state survived the
+    // process, not merely the cluster.
+    println!("RECOVERED {}", site.recovered_locks());
     let handle = site.handle();
     if let Err(e) = handle.register(
         LOCK,

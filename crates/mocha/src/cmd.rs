@@ -12,6 +12,7 @@ use std::time::Duration;
 
 use mocha_net::{MsgClass, Port};
 use mocha_sim::Work;
+use mocha_wire::message::ReplicaUpdate;
 use mocha_wire::{LockId, Msg, RequestId, SiteId, Version};
 
 use crate::travelbag::TravelBag;
@@ -140,6 +141,17 @@ pub enum Cmd {
         /// Namespaced token.
         token: u64,
     },
+    /// Append an applied `(lock, version, full payloads)` statement to the
+    /// site's durable store, if one is attached. Drivers without a store
+    /// (the default) drop this command — durability is strictly opt-in.
+    Persist {
+        /// The lock whose replica set reached `version` locally.
+        lock: LockId,
+        /// The version now held.
+        version: Version,
+        /// Full payloads of every replica guarded by the lock.
+        updates: Vec<ReplicaUpdate>,
+    },
     /// Notify another component on the same site.
     Signal(Signal),
     /// Record a diagnostic annotation (goes to the sim trace / log).
@@ -204,6 +216,15 @@ impl CmdSink {
     /// Queues a timer cancel.
     pub fn cancel_timer(&mut self, token: u64) {
         self.cmds.push(Cmd::CancelTimer { token });
+    }
+
+    /// Queues a durable-store append.
+    pub fn persist(&mut self, lock: LockId, version: Version, updates: Vec<ReplicaUpdate>) {
+        self.cmds.push(Cmd::Persist {
+            lock,
+            version,
+            updates,
+        });
     }
 
     /// Queues a local signal.

@@ -75,6 +75,10 @@ pub struct FaultPlan {
     /// Skip the daemon's staleness guard and apply any incoming version
     /// (violates per-site version monotonicity under reordering).
     pub accept_any_version: bool,
+    /// Replay a stale write-ahead log at recovery: the restored daemon
+    /// resumes one release behind what it durably held (violates version
+    /// monotonicity across an incarnation boundary).
+    pub stale_recovery: bool,
 }
 
 impl FaultPlan {
@@ -92,7 +96,10 @@ impl FaultPlan {
     /// Whether any fault flag is set (before feature gating).
     #[must_use]
     pub fn any(self) -> bool {
-        self.grant_second_writer || self.optimistic_up_to_date || self.accept_any_version
+        self.grant_second_writer
+            || self.optimistic_up_to_date
+            || self.accept_any_version
+            || self.stale_recovery
     }
 
     /// Names of the enabled flags, for trace files.
@@ -107,6 +114,9 @@ impl FaultPlan {
         }
         if self.accept_any_version {
             names.push("accept_any_version");
+        }
+        if self.stale_recovery {
+            names.push("stale_recovery");
         }
         names
     }
@@ -123,6 +133,7 @@ impl FaultPlan {
                 "grant_second_writer" => plan.grant_second_writer = true,
                 "optimistic_up_to_date" => plan.optimistic_up_to_date = true,
                 "accept_any_version" => plan.accept_any_version = true,
+                "stale_recovery" => plan.stale_recovery = true,
                 other => return Err(format!("unknown fault flag {other:?}")),
             }
         }
@@ -280,10 +291,14 @@ mod tests {
         let plan = FaultPlan {
             grant_second_writer: true,
             accept_any_version: true,
+            stale_recovery: true,
             ..FaultPlan::default()
         };
         let names = plan.enabled_names();
-        assert_eq!(names, vec!["grant_second_writer", "accept_any_version"]);
+        assert_eq!(
+            names,
+            vec!["grant_second_writer", "accept_any_version", "stale_recovery"]
+        );
         assert_eq!(FaultPlan::from_names(&names).unwrap(), plan);
         assert!(FaultPlan::from_names(&["bogus"]).is_err());
         assert!(plan.any());
@@ -296,6 +311,7 @@ mod tests {
             grant_second_writer: true,
             optimistic_up_to_date: true,
             accept_any_version: true,
+            stale_recovery: true,
         };
         if cfg!(feature = "fault-injection") {
             assert_eq!(plan.active(), plan);

@@ -17,6 +17,7 @@ use std::sync::Arc;
 
 use mocha_net::{ports, MsgClass};
 use mocha_sim::{SimTime, Work};
+use mocha_store::RecoveredState;
 use mocha_wire::codec::CodecKind;
 use mocha_wire::delta::PayloadDelta;
 use mocha_wire::message::{ReplicaDeltaUpdate, ReplicaUpdate};
@@ -148,6 +149,13 @@ pub struct SiteDaemon {
     /// Last version each peer site acknowledged, per lock — the sender's
     /// basis for choosing delta over full transfer.
     acked_versions: HashMap<LockId, BTreeMap<SiteId, Version>>,
+    /// Whether this site has a durable store attached. When set, every
+    /// applied or released version emits a [`Cmd::Persist`] for the driver
+    /// to append to the write-ahead log. Off by default: non-durable sites
+    /// emit nothing and behave byte-identically to before.
+    ///
+    /// [`Cmd::Persist`]: crate::cmd::Cmd::Persist
+    durable: bool,
 }
 
 impl SiteDaemon {
@@ -173,6 +181,72 @@ impl SiteDaemon {
             shadow: HashMap::new(),
             deltas: HashMap::new(),
             acked_versions: HashMap::new(),
+            durable: false,
+        }
+    }
+
+    /// Marks this daemon as having a durable store attached, without any
+    /// recovered state (a fresh durable site). Applied and released
+    /// versions will emit [`Cmd::Persist`](crate::cmd::Cmd::Persist).
+    pub fn mark_durable(&mut self) {
+        self.durable = true;
+    }
+
+    /// Pre-seeds the daemon from state recovered off stable storage
+    /// (snapshot + write-ahead log replay) and announces the recovered
+    /// versions to the coordinator, so holders can ship
+    /// `(recovered → current)` edit scripts instead of full payloads when
+    /// this site next needs data. Must run before [`register_local`]
+    /// re-registers the site's replicas: registration's `or_insert_with`
+    /// keeps recovered values over initial ones.
+    ///
+    /// Marks the daemon durable as a side effect.
+    ///
+    /// [`register_local`]: SiteDaemon::register_local
+    pub fn restore(&mut self, recovered: &RecoveredState, sink: &mut CmdSink) {
+        self.durable = true;
+        for (lock, version) in &recovered.lock_versions {
+            let mut version = *version;
+            // Mutant-harness hook: replaying a stale WAL (one release
+            // behind what the site actually held) must trip the oracle's
+            // VersionRegression invariant across the incarnation boundary.
+            if self.faults.active().stale_recovery && version > Version::INITIAL {
+                version = Version(version.0 - 1);
+            }
+            self.lock_version.insert(*lock, version);
+        }
+        for (lock, replicas) in &recovered.replicas {
+            self.lock_members.entry(*lock).or_default().insert(self.me);
+            for (id, payload) in replicas {
+                self.store.insert(*id, Arc::new(payload.clone()));
+                self.lock_replicas.entry(*lock).or_default().insert(*id);
+            }
+        }
+        let versions: Vec<(LockId, Version)> = self
+            .lock_version
+            .iter()
+            .filter(|(_, v)| **v > Version::INITIAL)
+            .map(|(l, v)| (*l, *v))
+            .collect();
+        if !versions.is_empty() {
+            sink.send(
+                self.home,
+                ports::SYNC,
+                Msg::SiteRecovered {
+                    site: self.me,
+                    versions,
+                },
+                MsgClass::Control,
+            );
+        }
+    }
+
+    /// Emits a [`Cmd::Persist`](crate::cmd::Cmd::Persist) recording the
+    /// current `(lock, version, full payloads)` statement, if a durable
+    /// store is attached.
+    fn persist_state(&self, lock: LockId, sink: &mut CmdSink) {
+        if self.durable {
+            sink.persist(lock, self.version_of(lock), self.snapshot_for(lock));
         }
     }
 
@@ -237,20 +311,20 @@ impl SiteDaemon {
             version.hash(h);
         }
         // Replica contents, via their wire encoding (payloads hold f64s
-        // and so cannot derive Hash).
-        let mut replicas: Vec<&ReplicaId> = self.store.keys().collect();
-        replicas.sort_unstable();
-        for id in replicas {
+        // and so cannot derive Hash). Entries are collected and key-sorted
+        // because the maps are HashMaps with arbitrary iteration order.
+        let mut replicas: Vec<_> = self.store.iter().collect();
+        replicas.sort_unstable_by_key(|(id, _)| *id);
+        for (id, payload) in replicas {
             id.hash(h);
             let mut w = mocha_wire::io::ByteWriter::new();
-            self.store[id].encode(&mut w);
+            payload.encode(&mut w);
             w.into_bytes().hash(h);
         }
         // In-flight pushes decide which acks advance the dissemination.
-        let mut reqs: Vec<&RequestId> = self.pushes.keys().collect();
-        reqs.sort_unstable();
-        for req in reqs {
-            let task = &self.pushes[req];
+        let mut pushes: Vec<_> = self.pushes.iter().collect();
+        pushes.sort_unstable_by_key(|(req, _)| *req);
+        for (req, task) in pushes {
             req.hash(h);
             task.lock.hash(h);
             task.version.hash(h);
@@ -263,26 +337,25 @@ impl SiteDaemon {
         }
         // Delta-sender state decides whether the next release ships a
         // script or a full payload.
-        let mut locks: Vec<&LockId> = self.shadow.keys().collect();
-        locks.sort_unstable();
-        for lock in locks {
+        let mut shadows: Vec<_> = self.shadow.iter().collect();
+        shadows.sort_unstable_by_key(|(lock, _)| *lock);
+        for (lock, (version, _)) in shadows {
             lock.hash(h);
-            self.shadow[lock].0.hash(h);
+            version.hash(h);
         }
-        let mut locks: Vec<&LockId> = self.deltas.keys().collect();
-        locks.sort_unstable();
-        for lock in locks {
-            let d = &self.deltas[lock];
+        let mut deltas: Vec<_> = self.deltas.iter().collect();
+        deltas.sort_unstable_by_key(|(lock, _)| *lock);
+        for (lock, d) in deltas {
             lock.hash(h);
             d.base.hash(h);
             d.version.hash(h);
             d.cost_bytes.hash(h);
         }
-        let mut locks: Vec<&LockId> = self.acked_versions.keys().collect();
-        locks.sort_unstable();
-        for lock in locks {
+        let mut acked: Vec<_> = self.acked_versions.iter().collect();
+        acked.sort_unstable_by_key(|(lock, _)| *lock);
+        for (lock, table) in acked {
             lock.hash(h);
-            for (site, version) in &self.acked_versions[lock] {
+            for (site, version) in table {
                 site.hash(h);
                 version.hash(h);
             }
@@ -479,6 +552,7 @@ impl SiteDaemon {
         sink: &mut CmdSink,
     ) -> Vec<SiteId> {
         self.lock_version.insert(lock, new_version);
+        self.persist_state(lock, sink);
         if ur <= 1 {
             return Vec::new();
         }
@@ -628,38 +702,40 @@ impl SiteDaemon {
         let Some(task) = self.pushes.get(&req) else {
             return;
         };
-        let (lock, version) = (task.lock, task.version);
+        let (lock, version, updates) = (task.lock, task.version, task.updates.clone());
         self.stats.pushes_sent += 1;
         if self.delta_eligible(lock, version, target) {
-            let d = &self.deltas[&lock];
-            let cost = self
-                .codec
-                .marshaller()
-                .unmarshal_cost(d.cost_bytes, d.scripts.len());
-            sink.charge(Work::marshal_ops(cost.ops));
-            self.stats.delta_pushes_sent += 1;
-            self.stats.delta_bytes_saved += (d.full_bytes - d.cost_bytes) as u64;
-            self.stats.replica_bytes_sent += d.cost_bytes as u64;
-            sink.send_tagged(
-                target,
-                ports::DAEMON,
-                Msg::PushDelta {
-                    lock,
-                    base_version: d.base,
-                    version,
-                    deltas: d.scripts.clone(),
-                    req,
-                },
-                MsgClass::Bulk,
-                SendTag::Push {
-                    lock,
-                    to: target,
-                    req,
-                },
-            );
-            return;
+            // delta_eligible guarantees the entry; fall through to the
+            // full-payload push if it is somehow gone.
+            if let Some(d) = self.deltas.get(&lock) {
+                let cost = self
+                    .codec
+                    .marshaller()
+                    .unmarshal_cost(d.cost_bytes, d.scripts.len());
+                sink.charge(Work::marshal_ops(cost.ops));
+                self.stats.delta_pushes_sent += 1;
+                self.stats.delta_bytes_saved += (d.full_bytes - d.cost_bytes) as u64;
+                self.stats.replica_bytes_sent += d.cost_bytes as u64;
+                sink.send_tagged(
+                    target,
+                    ports::DAEMON,
+                    Msg::PushDelta {
+                        lock,
+                        base_version: d.base,
+                        version,
+                        deltas: d.scripts.clone(),
+                        req,
+                    },
+                    MsgClass::Bulk,
+                    SendTag::Push {
+                        lock,
+                        to: target,
+                        req,
+                    },
+                );
+                return;
+            }
         }
-        let updates = self.pushes[&req].updates.clone();
         if !self.push_cfg.pipeline {
             // Re-marshaled per destination, as a per-send pack loop would.
             let cost = self.codec.marshaller().marshal_cost(&updates);
@@ -731,29 +807,32 @@ impl SiteDaemon {
             } => {
                 self.stats.transfers_served += 1;
                 let version = self.version_of(lock);
+                // delta_eligible guarantees the entry; fall through to the
+                // full transfer if it is somehow gone.
                 if self.delta_eligible(lock, version, dest) {
-                    let d = &self.deltas[&lock];
-                    self.stats.delta_pushes_sent += 1;
-                    self.stats.delta_bytes_saved += (d.full_bytes - d.cost_bytes) as u64;
-                    self.stats.replica_bytes_sent += d.cost_bytes as u64;
-                    let cost = self
-                        .codec
-                        .marshaller()
-                        .unmarshal_cost(d.cost_bytes, d.scripts.len());
-                    sink.charge(Work::marshal_ops(cost.ops));
-                    sink.send(
-                        dest,
-                        ports::DAEMON,
-                        Msg::ReplicaDelta {
-                            lock,
-                            base_version: d.base,
-                            version,
-                            deltas: d.scripts.clone(),
-                            req,
-                        },
-                        MsgClass::Bulk,
-                    );
-                    return;
+                    if let Some(d) = self.deltas.get(&lock) {
+                        self.stats.delta_pushes_sent += 1;
+                        self.stats.delta_bytes_saved += (d.full_bytes - d.cost_bytes) as u64;
+                        self.stats.replica_bytes_sent += d.cost_bytes as u64;
+                        let cost = self
+                            .codec
+                            .marshaller()
+                            .unmarshal_cost(d.cost_bytes, d.scripts.len());
+                        sink.charge(Work::marshal_ops(cost.ops));
+                        sink.send(
+                            dest,
+                            ports::DAEMON,
+                            Msg::ReplicaDelta {
+                                lock,
+                                base_version: d.base,
+                                version,
+                                deltas: d.scripts.clone(),
+                                req,
+                            },
+                            MsgClass::Bulk,
+                        );
+                        return;
+                    }
                 }
                 let updates = self.marshal_for(lock, sink);
                 self.stats.replica_bytes_sent += Self::payload_bytes(&updates);
@@ -797,7 +876,9 @@ impl SiteDaemon {
                     }
                 }
                 self.charge_unmarshal(&updates, sink);
-                self.apply(lock, version, updates);
+                if self.apply(lock, version, updates) {
+                    self.persist_state(lock, sink);
+                }
                 // Even stale data unblocks a waiter: it is the freshest
                 // available (weakened consistency path).
                 let local = self.version_of(lock);
@@ -814,6 +895,9 @@ impl SiteDaemon {
             } => {
                 self.charge_unmarshal(&updates, sink);
                 let applied = self.apply(lock, version, updates);
+                if applied {
+                    self.persist_state(lock, sink);
+                }
                 sink.send(
                     from,
                     ports::DAEMON,
@@ -839,6 +923,7 @@ impl SiteDaemon {
                 let local = self.version_of(lock);
                 if local == base_version && self.try_apply_delta(lock, version, &deltas) {
                     self.charge_delta_unmarshal(&deltas, sink);
+                    self.persist_state(lock, sink);
                     sink.send(
                         from,
                         ports::DAEMON,
@@ -898,6 +983,7 @@ impl SiteDaemon {
                 let local = self.version_of(lock);
                 if local == base_version && self.try_apply_delta(lock, version, &deltas) {
                     self.charge_delta_unmarshal(&deltas, sink);
+                    self.persist_state(lock, sink);
                     sink.signal(Signal::DataArrived { lock, version });
                 } else {
                     // No DataArrived: the full data is on its way back.
@@ -929,12 +1015,11 @@ impl SiteDaemon {
                 let live = self
                     .pushes
                     .get(&req)
-                    .is_some_and(|t| t.lock == lock && t.inflight.contains(&site));
-                if live {
+                    .filter(|t| t.lock == lock && t.inflight.contains(&site))
+                    .map(|t| (t.version, t.updates.clone()));
+                if let Some((version, updates)) = live {
                     // Push path: resend this release's snapshot as a full
                     // payload; the target stays in flight until it acks.
-                    let task = &self.pushes[&req];
-                    let (version, updates) = (task.version, task.updates.clone());
                     if !self.push_cfg.pipeline {
                         let cost = self.codec.marshaller().marshal_cost(&updates);
                         sink.charge(Work::marshal_ops(cost.ops));
@@ -1037,6 +1122,20 @@ impl SiteDaemon {
                     self.stats.updates_applied += 1;
                 } else {
                     self.stats.stale_updates_discarded += 1;
+                }
+            }
+            Msg::SiteRecovered { site, versions } => {
+                // Coordinator forward: a rebooted durable peer holds
+                // exactly these versions now — whatever it acked in its
+                // previous incarnation is moot. Recording them lets the
+                // next transfer or push to it go as an edit script off the
+                // recovered base; a mismatch just NACKs back to a full
+                // transfer.
+                for (lock, version) in versions {
+                    self.acked_versions
+                        .entry(lock)
+                        .or_default()
+                        .insert(site, version);
                 }
             }
             Msg::ExpectRelay { dest, req, .. } => {

@@ -23,6 +23,7 @@ use parking_lot::Mutex;
 
 use mocha_net::{ports, MsgClass, Port, TimerWheel};
 use mocha_sim::SimTime;
+use mocha_store::{SiteStore, StoreHandle};
 use mocha_wire::message::{LockMode, VersionFlag};
 use mocha_wire::{LockId, Msg, ReplicaId, ReplicaPayload, RequestId, SiteId, ThreadId, Version};
 
@@ -229,6 +230,8 @@ pub(crate) struct CoreSeed {
     pub(crate) epoch: Instant,
     pub(crate) stable_log: Arc<Mutex<Vec<(SiteId, Msg)>>>,
     pub(crate) counters: Arc<RuntimeCounters>,
+    /// Durable store to open and recover from, if this site opted in.
+    pub(crate) store: Option<StoreHandle>,
 }
 
 /// The per-site event loop state, generic over the outbound transport.
@@ -270,6 +273,14 @@ pub(crate) struct SiteCore<L: Link> {
     /// runtime, the transport) — one wheel per site, like the
     /// simulator's single event queue.
     pub(crate) timers: TimerWheel,
+    /// Durable site store, if this site opted in: applied and released
+    /// versions are appended to its write-ahead log via [`Cmd::Persist`].
+    store: Option<SiteStore>,
+    /// How many locks the store recovered a post-initial version for at
+    /// open — 0 for a fresh store, no store, or an unusable one. Captured
+    /// at open so runtime surfaces (`mochad`'s `RECOVERED` line) can
+    /// report it without racing the event loop.
+    pub(crate) recovered_locks: usize,
     /// Daemon stats at the last mirror point, so only the increments are
     /// fed into the shared runtime counters.
     last_daemon_stats: DaemonStats,
@@ -287,21 +298,49 @@ impl<L: Link> SiteCore<L> {
             epoch,
             stable_log,
             counters,
+            store,
         } = seed;
         let mut daemon = SiteDaemon::new(site, home, config.codec);
         daemon.set_push_options(config.push);
+        daemon.set_faults(config.faults);
+        let mut sink = CmdSink::new();
+        // Open the durable store (if any) and replay snapshot + WAL into
+        // the daemon before the event loop starts; the recovery
+        // announcement it queues goes out with the first command drain.
+        let store = store.and_then(|handle| match handle.open() {
+            Ok(opened) => {
+                if opened.recovered().is_empty() {
+                    daemon.mark_durable();
+                } else {
+                    daemon.restore(opened.recovered(), &mut sink);
+                }
+                Some(opened)
+            }
+            Err(e) => {
+                // A site whose stable storage cannot even open runs
+                // non-durable rather than not at all; full transfers keep
+                // it correct.
+                eprintln!("site {site}: durable store unavailable ({e}); running non-durable");
+                None
+            }
+        });
+        let recovered_locks = store
+            .as_ref()
+            .map_or(0, |s| s.recovered().announcement().len());
         SiteCore {
             site,
             home,
             config,
             daemon,
+            recovered_locks,
             coordinator: (site == home).then(|| SyncCoordinator::new(home, config)),
             manager: SiteManager::new(site, registry, site == home),
-            sink: CmdSink::new(),
+            sink,
             link,
             epoch,
             counters,
             stable_log,
+            store,
             last_daemon_stats: DaemonStats::default(),
             avail: HashMap::new(),
             pending_grant: HashMap::new(),
@@ -385,7 +424,10 @@ impl<L: Link> SiteCore<L> {
             && port == ports::SYNC
             && matches!(
                 msg,
-                Msg::AcquireLock { .. } | Msg::ReleaseLock { .. } | Msg::RegisterReplica { .. }
+                Msg::AcquireLock { .. }
+                    | Msg::ReleaseLock { .. }
+                    | Msg::RegisterReplica { .. }
+                    | Msg::SiteRecovered { .. }
             )
         {
             // Held for one Vec::push on an uncontended parking_lot mutex;
@@ -745,6 +787,23 @@ impl<L: Link> SiteCore<L> {
                                 // timeout would in the wide area.
                                 self.counters.inc_sends_failed();
                                 self.on_send_failed(&tag);
+                            }
+                        }
+                    }
+                    Cmd::Persist {
+                        lock,
+                        version,
+                        updates,
+                    } => {
+                        if let Some(store) = self.store.as_mut() {
+                            if let Err(e) = store.append(lock, version, &updates) {
+                                // Durability degrades, the protocol does
+                                // not: the site keeps running and recovers
+                                // whatever did reach the log.
+                                eprintln!(
+                                    "site {site}: WAL append failed ({e})",
+                                    site = self.site
+                                );
                             }
                         }
                     }

@@ -16,6 +16,7 @@ use std::time::Duration;
 
 use mocha_net::{Action, Port, SendHandle, TransportEvent, TransportMux};
 use mocha_sim::{profiles, CpuProfile, Host, HostCtx, LinkProfile, NodeId, SimTime, World};
+use mocha_store::{SiteStore, StoreConfig, StoreHandle};
 use mocha_wire::io::{ByteReader, ByteWriter};
 use mocha_wire::{LockId, Msg, ReplicaId, ReplicaPayload, SiteId, ThreadId, Version};
 
@@ -44,6 +45,7 @@ pub struct SiteHost {
     runner: AppRunner,
     manager: SiteManager,
     sink: CmdSink,
+    store: Option<SiteStore>,
     tags: HashMap<SendHandle, SendTag>,
     local_queue: VecDeque<(Port, Msg)>,
     prints: Vec<String>,
@@ -78,6 +80,7 @@ impl SiteHost {
             runner: AppRunner::new(site, home),
             manager: SiteManager::new(site, registry, site == home),
             sink: CmdSink::new(),
+            store: None,
             tags: HashMap::new(),
             local_queue: VecDeque::new(),
             prints: Vec::new(),
@@ -120,6 +123,31 @@ impl SiteHost {
     /// deterministic) epochs on the wire.
     pub fn set_transport_epoch(&mut self, epoch: u32) {
         self.mux.set_epoch(epoch);
+    }
+
+    /// Attaches a durable store, replaying any recovered state into the
+    /// daemon before the site rejoins. Recovery output (the
+    /// [`Msg::SiteRecovered`] announcement to the coordinator) queues in
+    /// the command sink and flushes on the next pump. A store that fails
+    /// to open degrades to a note and a non-durable site — never a panic.
+    pub fn attach_store(&mut self, handle: &StoreHandle) {
+        match handle.open() {
+            Ok(opened) => {
+                if let Some(c) = &opened.report().wal_corruption {
+                    self.notes
+                        .push(format!("store recovery truncated WAL: {c}"));
+                }
+                if opened.recovered().is_empty() {
+                    self.daemon.mark_durable();
+                } else {
+                    self.daemon.restore(opened.recovered(), &mut self.sink);
+                }
+                self.store = Some(opened);
+            }
+            Err(e) => self
+                .notes
+                .push(format!("durable store unavailable ({e}); running non-durable")),
+        }
     }
 
     /// `mochaPrintln` output that reached this site.
@@ -235,6 +263,17 @@ impl SiteHost {
                     Cmd::SetTimer { token, after } => ctx.set_timer(after, token),
                     Cmd::CancelTimer { token } => {
                         ctx.cancel_timer(token);
+                    }
+                    Cmd::Persist {
+                        lock,
+                        version,
+                        updates,
+                    } => {
+                        if let Some(store) = self.store.as_mut() {
+                            if let Err(e) = store.append(lock, version, &updates) {
+                                self.notes.push(format!("WAL append failed: {e}"));
+                            }
+                        }
                     }
                     Cmd::Signal(signal) => match &signal {
                         Signal::DataArrived { .. }
@@ -417,6 +456,7 @@ pub struct SimClusterBuilder {
     per_site_cpu: HashMap<usize, CpuProfile>,
     config: MochaConfig,
     registry: TaskRegistry,
+    durable: Option<StoreConfig>,
 }
 
 impl SimClusterBuilder {
@@ -469,6 +509,16 @@ impl SimClusterBuilder {
         self
     }
 
+    /// Enables per-site durability: each site journals applied replica
+    /// versions to an in-memory durable device (WAL + snapshots) that
+    /// survives [`SimCluster::restart_site`], so a rebooted site recovers
+    /// its state and announces it instead of starting empty.
+    #[must_use]
+    pub fn durable(mut self, config: StoreConfig) -> Self {
+        self.durable = Some(config);
+        self
+    }
+
     /// Builds the cluster.
     ///
     /// # Panics
@@ -482,14 +532,16 @@ impl SimClusterBuilder {
         world.set_default_cpu(self.cpu);
         let registry = Arc::new(self.registry);
         let home = SiteId(0);
+        let store_handles: Vec<Option<StoreHandle>> = (0..self.sites)
+            .map(|_| self.durable.map(StoreHandle::mem))
+            .collect();
         let mut nodes = Vec::with_capacity(self.sites);
         for i in 0..self.sites {
-            let node = world.add_host(Box::new(SiteHost::new(
-                SiteId(i as u32),
-                home,
-                self.config,
-                registry.clone(),
-            )));
+            let mut host = SiteHost::new(SiteId(i as u32), home, self.config, registry.clone());
+            if let Some(handle) = &store_handles[i] {
+                host.attach_store(handle);
+            }
+            let node = world.add_host(Box::new(host));
             if let Some(cpu) = self.per_site_cpu.get(&i) {
                 world.set_cpu_profile(node, *cpu);
             }
@@ -503,6 +555,7 @@ impl SimClusterBuilder {
             restart_config: self.config,
             registry,
             incarnations,
+            store_handles,
         };
         // Let on_start events fire so hosts are initialised.
         cluster.world.run_until(SimTime::ZERO);
@@ -522,6 +575,10 @@ pub struct SimCluster {
     /// Reboot count per site, for deterministic per-incarnation transport
     /// epochs.
     incarnations: Vec<u32>,
+    /// Per-site durable devices (when built with
+    /// [`SimClusterBuilder::durable`]); these outlive crashes, so a
+    /// restarted site reopens the same device and recovers.
+    store_handles: Vec<Option<StoreHandle>>,
 }
 
 impl std::fmt::Debug for SimCluster {
@@ -545,6 +602,7 @@ impl SimCluster {
             per_site_cpu: HashMap::new(),
             config: MochaConfig::default(),
             registry: TaskRegistry::new(),
+            durable: None,
         }
     }
 
@@ -650,10 +708,13 @@ impl SimCluster {
         self.world.crash(node);
     }
 
-    /// Reboots a crashed site with a fresh, empty Mocha stack (daemon,
-    /// runner, manager). The rebooted site must re-register its replicas
-    /// to rejoin; registration also lifts any coordinator blacklist entry
-    /// from its previous incarnation.
+    /// Reboots a crashed site with a fresh Mocha stack (daemon, runner,
+    /// manager). Without durability the site comes back empty and must
+    /// re-register its replicas to rejoin; with
+    /// [`SimClusterBuilder::durable`] it reopens its surviving device,
+    /// replays snapshot + WAL, and announces the recovered versions to
+    /// the coordinator. Either way, rejoining lifts any coordinator
+    /// blacklist entry from its previous incarnation.
     pub fn restart_site(&mut self, site: usize) {
         let node = self.nodes[site];
         let mut host = SiteHost::new(
@@ -667,7 +728,55 @@ impl SimCluster {
         // byte-identical.
         self.incarnations[site] += 1;
         host.set_transport_epoch((self.incarnations[site] << 16) | (site as u32 + 1));
+        let durable = self.store_handles[site].is_some();
+        if let Some(handle) = &self.store_handles[site] {
+            host.attach_store(handle);
+        }
         self.world.restart(node, Box::new(host));
+        if durable {
+            // Flush the queued recovery announcement (and any restored
+            // daemon state) through the host's first pump.
+            self.world
+                .inject_datagram(node, node, vec![HARNESS_PROTO, HARNESS_KICK]);
+        }
+    }
+
+    /// Schedules a reboot of `site` at an absolute time, for harnesses
+    /// (like the schedule explorer) that cannot intervene mid-run. The
+    /// incarnation epoch is computed eagerly so wire bytes stay a pure
+    /// function of the schedule; if the site is not actually crashed when
+    /// the closure fires (e.g. the crash was reordered away), the restart
+    /// is a no-op.
+    pub fn restart_site_at(&mut self, at: SimTime, site: usize) {
+        let node = self.nodes[site];
+        let home = self.home;
+        let config = self.restart_config;
+        let registry = self.registry.clone();
+        self.incarnations[site] += 1;
+        let epoch = (self.incarnations[site] << 16) | (site as u32 + 1);
+        let handle = self.store_handles[site].clone();
+        self.world.schedule_at(at, move |world| {
+            if !world.is_crashed(node) {
+                return;
+            }
+            let mut host = SiteHost::new(SiteId(site as u32), home, config, registry);
+            host.set_transport_epoch(epoch);
+            let durable = handle.is_some();
+            if let Some(handle) = &handle {
+                host.attach_store(handle);
+            }
+            world.restart(node, Box::new(host));
+            if durable {
+                world.inject_datagram(node, node, vec![HARNESS_PROTO, HARNESS_KICK]);
+            }
+        });
+    }
+
+    /// The durable store handle for a site, when the cluster was built
+    /// with [`SimClusterBuilder::durable`]. Tests use this to inject
+    /// corruption into the backing device between crash and restart.
+    pub fn store_handle(&self, site: usize) -> Option<StoreHandle> {
+        self.store_handles.get(site).cloned().flatten()
     }
 
     /// Schedules a site crash at an absolute time.

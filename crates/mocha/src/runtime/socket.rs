@@ -49,6 +49,7 @@
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::io::{self, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -62,6 +63,7 @@ use mocha_net::{
     Action, AddressBook, Backoff, MsgClass, Port, ProtocolMode, SendHandle, TransportEvent,
     UdpDriver, Waker,
 };
+use mocha_store::{StoreConfig, StoreHandle};
 use mocha_wire::{Msg, SiteId};
 
 use crate::cmd::SendTag;
@@ -542,6 +544,8 @@ struct ClusterShared {
     home: SiteId,
     book: SharedBook,
     tcp_book: SharedBook,
+    /// Per-site durable storage root (`<dir>/site-<id>/`), when enabled.
+    durable: Option<(PathBuf, StoreConfig)>,
 }
 
 /// Builds one site's core wired to its shard's channels and sockets.
@@ -560,15 +564,29 @@ fn make_core(
     } else {
         None
     };
+    // The default endpoint epoch is a per-process counter, so a restarted
+    // OS process would repeat its predecessor's epochs and peers would
+    // mistake its fresh streams for duplicates of the old ones. Fold in
+    // boot-time entropy so every process incarnation is distinct on the
+    // wire (zero means "unset", so it is avoided).
+    let mut endpoint = MochaNetEndpoint::new(shared.config.net.mochanet);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.subsec_nanos());
+    endpoint.set_epoch((nanos ^ std::process::id() ^ (site.0 << 20)).max(1));
     let link = SocketLink {
         site,
-        endpoint: MochaNetEndpoint::new(shared.config.net.mochanet),
+        endpoint,
         tags: HashMap::new(),
         next_handle: 0,
         mode: shared.config.net.mode,
         tcp: leg,
         last_stats: TransportStats::default(),
     };
+    let store = shared
+        .durable
+        .as_ref()
+        .map(|(dir, cfg)| StoreHandle::disk(dir.join(format!("site-{}", site.0)), *cfg));
     Ok(SiteCore::new(
         CoreSeed {
             site,
@@ -578,6 +596,7 @@ fn make_core(
             epoch: shared.epoch,
             stable_log: shared.stable_log.clone(),
             counters: shared.counters.clone(),
+            store,
         },
         link,
     ))
@@ -602,6 +621,7 @@ pub struct SocketRuntimeBuilder {
     registry: TaskRegistry,
     shards: Option<usize>,
     inject: Option<(u64, u32)>,
+    durable: Option<(PathBuf, StoreConfig)>,
 }
 
 impl SocketRuntimeBuilder {
@@ -644,6 +664,17 @@ impl SocketRuntimeBuilder {
     #[must_use]
     pub fn inject_socket_errors(mut self, seed: u64, one_in: u32) -> Self {
         self.inject = Some((seed, one_in));
+        self
+    }
+
+    /// Enables per-site durability: each site journals applied replica
+    /// versions under `dir/site-<id>/` (append-only WAL plus compacting
+    /// snapshots), and a restarted site — in-process or a whole restarted
+    /// `mochad` — replays them and announces its recovered versions
+    /// before rejoining. The `mochad --store-dir` flag maps here.
+    #[must_use]
+    pub fn store_dir(mut self, dir: impl Into<PathBuf>, config: StoreConfig) -> Self {
+        self.durable = Some((dir.into(), config));
         self
     }
 
@@ -742,6 +773,7 @@ impl SocketRuntimeBuilder {
             home: SiteId(0),
             book: book.clone(),
             tcp_book,
+            durable: self.durable,
         };
 
         // Build every core, grouped by shard, then start the loops.
@@ -854,6 +886,7 @@ impl SocketRuntimeBuilder {
             home,
             book: shared_book.clone(),
             tcp_book: Arc::new(RwLock::new(book)),
+            durable: self.durable,
         };
         let mut harness = ShardHarness {
             input_tx,
@@ -882,6 +915,7 @@ impl SocketRuntimeBuilder {
                 join: Some(join),
             });
         }
+        let recovered_locks = core.recovered_locks;
         let mut cores = HashMap::new();
         cores.insert(site, core);
         let shard = Shard {
@@ -905,6 +939,7 @@ impl SocketRuntimeBuilder {
             harness,
             handle,
             counters: shared.counters,
+            recovered_locks,
         })
     }
 }
@@ -953,6 +988,7 @@ impl SocketRuntime {
             registry: TaskRegistry::new(),
             shards: None,
             inject: None,
+            durable: None,
         }
     }
 
@@ -1045,6 +1081,7 @@ pub struct SocketSite {
     harness: ShardHarness,
     handle: MochaHandle,
     counters: Arc<RuntimeCounters>,
+    recovered_locks: usize,
 }
 
 impl std::fmt::Debug for SocketSite {
@@ -1062,6 +1099,14 @@ impl SocketSite {
     /// A snapshot of this process's transport/timer counters.
     pub fn metrics(&self) -> RuntimeMetrics {
         self.counters.snapshot()
+    }
+
+    /// How many locks the durable store recovered a post-initial version
+    /// for when this site booted — 0 when durability is off or the store
+    /// was fresh. A restarted `mochad` uses this to report that it came
+    /// back from its journal rather than from a peer's full transfer.
+    pub fn recovered_locks(&self) -> usize {
+        self.recovered_locks
     }
 
     /// Stops the site loop and joins all helper threads.

@@ -24,6 +24,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Mutex, RwLock};
 
 use mocha_net::{MsgClass, Port};
+use mocha_store::{StoreConfig, StoreHandle};
 use mocha_wire::{Msg, SiteId};
 
 use crate::cmd::SendTag;
@@ -136,6 +137,7 @@ pub struct ThreadRuntimeBuilder {
     sites: usize,
     config: MochaConfig,
     registry: TaskRegistry,
+    durable: Option<StoreConfig>,
 }
 
 impl ThreadRuntimeBuilder {
@@ -160,6 +162,16 @@ impl ThreadRuntimeBuilder {
         self
     }
 
+    /// Gives every site a durable store (in-memory backing, shared across
+    /// restarts): applied and released versions are logged, and
+    /// [`ThreadRuntime::restart_site`] recovers from snapshot + WAL
+    /// instead of rebooting empty.
+    #[must_use]
+    pub fn durable(mut self, config: StoreConfig) -> Self {
+        self.durable = Some(config);
+        self
+    }
+
     /// Starts all site event loops.
     ///
     /// # Panics
@@ -174,6 +186,9 @@ impl ThreadRuntimeBuilder {
         let epoch = Instant::now();
         let home = SiteId(0);
         let stable_log: Arc<Mutex<Vec<(SiteId, Msg)>>> = Arc::new(Mutex::new(Vec::new()));
+        let stores: Vec<Option<StoreHandle>> = (0..self.sites)
+            .map(|_| self.durable.map(StoreHandle::mem))
+            .collect();
         let mut handles = Vec::new();
         let mut joins = Vec::new();
         for i in 0..self.sites {
@@ -189,6 +204,7 @@ impl ThreadRuntimeBuilder {
                     epoch,
                     stable_log: stable_log.clone(),
                     counters: counters.clone(),
+                    store: stores[i].clone(),
                 },
                 ThreadLink {
                     site,
@@ -213,6 +229,7 @@ impl ThreadRuntimeBuilder {
             epoch,
             stable_log,
             counters,
+            stores,
         }
     }
 }
@@ -228,6 +245,9 @@ pub struct ThreadRuntime {
     epoch: Instant,
     stable_log: Arc<Mutex<Vec<(SiteId, Msg)>>>,
     counters: Arc<RuntimeCounters>,
+    /// Per-site durable stores (all `None` unless the builder opted in).
+    /// The backing outlives a site's incarnation — that is the point.
+    stores: Vec<Option<StoreHandle>>,
 }
 
 impl std::fmt::Debug for ThreadRuntime {
@@ -246,6 +266,7 @@ impl ThreadRuntime {
             sites: 2,
             config: MochaConfig::default(),
             registry: TaskRegistry::new(),
+            durable: None,
         }
     }
 
@@ -307,6 +328,7 @@ impl ThreadRuntime {
                 epoch: self.epoch,
                 stable_log: self.stable_log.clone(),
                 counters: self.counters.clone(),
+                store: self.stores.get(i).cloned().flatten(),
             },
             ThreadLink {
                 site,
@@ -321,6 +343,14 @@ impl ThreadRuntime {
         self.joins[i] = Some(join);
         self.handles[i] = MochaHandle::new(site, tx, None);
         self.handles[i].clone()
+    }
+
+    /// Site `i`'s durable store handle, if the builder opted in — the
+    /// hostile-recovery tests use it to corrupt the stable image between
+    /// [`kill_site`](Self::kill_site) and
+    /// [`restart_site`](Self::restart_site).
+    pub fn store_handle(&self, i: usize) -> Option<StoreHandle> {
+        self.stores.get(i).cloned().flatten()
     }
 
     /// Promotes site `i` to surrogate coordinator, replaying the home's

@@ -330,7 +330,10 @@ impl SyncCoordinator {
         sink.charge(Work::events(1));
         if matches!(
             msg,
-            Msg::AcquireLock { .. } | Msg::ReleaseLock { .. } | Msg::RegisterReplica { .. }
+            Msg::AcquireLock { .. }
+                | Msg::ReleaseLock { .. }
+                | Msg::RegisterReplica { .. }
+                | Msg::SiteRecovered { .. }
         ) {
             self.log.push((from, msg.clone()));
         }
@@ -362,6 +365,9 @@ impl SyncCoordinator {
             } => self.on_poll_response(now, lock, version, site, req, sink),
             Msg::HeartbeatAck { site, req, holding } => {
                 self.on_heartbeat_ack(now, site, req, holding, sink);
+            }
+            Msg::SiteRecovered { site, versions } => {
+                self.on_site_recovered(site, &versions, sink);
             }
             other => {
                 sink.note(format!(
@@ -707,6 +713,61 @@ impl SyncCoordinator {
                         replica,
                         site,
                         name: name.to_string(),
+                    },
+                    MsgClass::Control,
+                );
+            }
+        }
+    }
+
+    /// Handles a durable site's recovery announcement: it rebooted and
+    /// holds exactly these versions, replayed off its snapshot and
+    /// write-ahead log. Records them in the dissemination bookkeeping
+    /// (replacing anything its previous incarnation was credited with) and
+    /// forwards the announcement to each lock's other member daemons, so
+    /// their next transfer or push to the rebooted site can ship a
+    /// `(recovered → current)` edit script instead of a full payload.
+    fn on_site_recovered(
+        &mut self,
+        site: SiteId,
+        versions: &[(LockId, Version)],
+        sink: &mut CmdSink,
+    ) {
+        // Like re-registration, an announcement proves the site is alive.
+        if self.blacklist.remove(&site) {
+            sink.note(format!("{site} recovered; blacklist lifted"));
+        }
+        for (lock, version) in versions {
+            let Some(state) = self.locks.get_mut(lock) else {
+                // The coordinator has no state for this lock (e.g. a
+                // surrogate that never saw it); the site's re-registration
+                // will rebuild membership, and transfers fall back to full
+                // payloads.
+                continue;
+            };
+            state.members.insert(site);
+            state.site_versions.insert(site, *version);
+            if *version == state.version && state.version > Version::INITIAL {
+                state.up_to_date.insert(site);
+            } else {
+                // The recovered copy is stale (writes happened past its
+                // snapshot, or its WAL tail was truncated): it must catch
+                // up before counting as current.
+                state.up_to_date.remove(&site);
+            }
+            let others: Vec<SiteId> = state
+                .members
+                .iter()
+                .copied()
+                .filter(|s| *s != site)
+                .collect();
+            for other in others {
+                sink.send(
+                    other,
+                    ports::DAEMON,
+                    Msg::SiteRecovered {
+                        site,
+                        versions: vec![(*lock, *version)],
                     },
                     MsgClass::Control,
                 );

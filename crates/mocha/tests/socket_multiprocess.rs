@@ -26,15 +26,28 @@ struct Daemon {
 
 impl Daemon {
     fn spawn(hostfile: &std::path::Path, site: u32, workload: &str) -> Daemon {
-        let mut child = Command::new(env!("CARGO_BIN_EXE_mochad"))
-            .arg("--hostfile")
+        Daemon::spawn_with_store(hostfile, site, workload, None)
+    }
+
+    fn spawn_with_store(
+        hostfile: &std::path::Path,
+        site: u32,
+        workload: &str,
+        store_dir: Option<&std::path::Path>,
+    ) -> Daemon {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_mochad"));
+        cmd.arg("--hostfile")
             .arg(hostfile)
             .arg("--site")
             .arg(site.to_string())
             .arg("--ur")
             .arg("3")
             .arg("--workload")
-            .arg(workload)
+            .arg(workload);
+        if let Some(dir) = store_dir {
+            cmd.arg("--store-dir").arg(dir);
+        }
+        let mut child = cmd
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit())
@@ -140,6 +153,82 @@ fn two_workers_increment_across_processes() {
     drop(home.child.stdin.take());
     let out_home = home.wait_success();
     assert!(out_home.iter().any(|l| l.starts_with("METRICS ")));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A durable `mochad` is SIGKILLed mid-life and restarted from the same
+/// `--store-dir`: the new process must report that it replayed its
+/// journal (`RECOVERED 1`, not a fresh boot's `RECOVERED 0`) and must
+/// still serve the value it had durably applied before the kill.
+#[test]
+fn killed_durable_daemon_recovers_from_its_journal() {
+    let Some(ports) = reserve_ports(3) else {
+        eprintln!("skipping: no loopback sockets in this environment");
+        return;
+    };
+    let dir = std::env::temp_dir().join(format!("mocha-kill-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let store_dir = dir.join("store");
+    let hostfile = dir.join("hosts.txt");
+    let contents: String = ports
+        .iter()
+        .enumerate()
+        .map(|(i, p)| format!("site{i}=127.0.0.1:{p}\n"))
+        .collect();
+    std::fs::write(&hostfile, contents).expect("write hostfile");
+
+    let mut home = Daemon::spawn(&hostfile, 0, "serve");
+    home.expect_line("READY");
+
+    // The durable worker sits in serve mode, applying the writer's UR=3
+    // dissemination pushes into its write-ahead log as they arrive.
+    let mut worker = Daemon::spawn_with_store(&hostfile, 2, "serve", Some(&store_dir));
+    assert_eq!(
+        worker.expect_line("RECOVERED ").trim(),
+        "RECOVERED 0",
+        "first boot starts from an empty store"
+    );
+    worker.expect_line("READY");
+
+    let writer = Daemon::spawn(&hostfile, 1, "incr:5");
+    assert_eq!(writer.expect_line("FINAL ").trim(), "FINAL 5");
+    writer.wait_success();
+
+    // Force the worker through a lock acquire so every push it was sent
+    // is applied (and journaled) before the kill.
+    let stdin = worker.child.stdin.as_mut().expect("piped stdin");
+    stdin.write_all(b"read\n").expect("request read");
+    stdin.flush().expect("flush");
+    assert_eq!(worker.expect_line("VALUE ").trim(), "VALUE 5");
+
+    // Crash, not shutdown: SIGKILL gives the process no chance to flush
+    // anything it had not already made durable.
+    worker.child.kill().expect("kill worker");
+    let _ = worker.child.wait();
+
+    // Same site, same store: the restarted daemon replays snapshot + WAL,
+    // announces its recovered version, and rejoins.
+    let mut worker = Daemon::spawn_with_store(&hostfile, 2, "serve", Some(&store_dir));
+    assert_eq!(
+        worker.expect_line("RECOVERED ").trim(),
+        "RECOVERED 1",
+        "restart must come back from the journal"
+    );
+    worker.expect_line("READY");
+    let stdin = worker.child.stdin.as_mut().expect("piped stdin");
+    stdin.write_all(b"read\n").expect("request read");
+    stdin.flush().expect("flush");
+    assert_eq!(
+        worker.expect_line("VALUE ").trim(),
+        "VALUE 5",
+        "recovered state must serve the pre-kill value"
+    );
+
+    drop(worker.child.stdin.take());
+    worker.wait_success();
+    drop(home.child.stdin.take());
+    home.wait_success();
 
     let _ = std::fs::remove_dir_all(&dir);
 }
