@@ -109,6 +109,12 @@ fn main() {
     if what == "swarm-smoke" {
         swarm_smoke();
     }
+    if all || what == "hotspot" {
+        hotspot();
+    }
+    if what == "hotspot-smoke" {
+        hotspot_smoke();
+    }
     if all || what == "app" {
         app();
     }
@@ -727,6 +733,87 @@ fn swarm_smoke() {
     println!(
         "  {:.0} ops/sec over {:.0} ms ({} socket errors absorbed)",
         p.ops_per_sec, p.elapsed_ms, p.socket_errors
+    );
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn hotspot() {
+    use mocha_bench::hotspot::{hotspot_sweep, write_json, Placement};
+
+    println!();
+    println!("Hotspot: Zipfian per-site lock popularity, steady-state acquire latency");
+    println!("(4 WAN sites x 4 private locks, fixed home vs hash directory vs migration)");
+    println!("---------------------------------------------------------------------------");
+    println!(
+        "  {:<12} {:>6} {:>8} {:>9} {:>9} {:>9} {:>11} {:>10}",
+        "placement", "ops", "failed", "p50 ms", "p99 ms", "mean ms", "migrations", "redirects"
+    );
+    let points = hotspot_sweep();
+    for p in &points {
+        println!(
+            "  {:<12} {:>6} {:>8} {:>9.2} {:>9.2} {:>9.2} {:>11} {:>10}",
+            p.placement.name(),
+            p.ops,
+            p.failed_ops,
+            p.p50_ms,
+            p.p99_ms,
+            p.mean_ms,
+            p.migrations,
+            p.stale_home_redirects,
+        );
+    }
+    let stat = points.iter().find(|p| p.placement == Placement::HashStatic);
+    let mig = points.iter().find(|p| p.placement == Placement::Migration);
+    if let (Some(stat), Some(mig)) = (stat, mig) {
+        println!(
+            "  migration p99 improvement over static hash: {:.1}x",
+            stat.p99_ms / mig.p99_ms.max(1e-9)
+        );
+    }
+    let path = std::path::Path::new("BENCH_hotspot.json");
+    report_written(path, write_json(path, &points));
+}
+
+/// The CI smoke point: on a small skewed workload the migrating
+/// directory must commit at least one home migration, complete every
+/// operation, and beat the static placement's steady-state tail.
+fn hotspot_smoke() {
+    use mocha_bench::hotspot::{run_point, Placement};
+
+    println!();
+    println!("Hotspot smoke (3 sites, 2 locks/site)");
+    println!("--------------------------------------");
+    let mut failed = false;
+    let mut check = |name: &str, ok: bool, detail: String| {
+        println!(
+            "  [{}] {:<44} {}",
+            if ok { "PASS" } else { "FAIL" },
+            name,
+            detail
+        );
+        failed |= !ok;
+    };
+    let stat = run_point(Placement::HashStatic, 3, 2, 8, 42);
+    let mig = run_point(Placement::Migration, 3, 2, 8, 42);
+    check(
+        "every operation completed",
+        stat.failed_ops == 0 && mig.failed_ops == 0,
+        format!(
+            "static {}/{} failed, migration {}/{} failed",
+            stat.failed_ops, stat.ops, mig.failed_ops, mig.ops
+        ),
+    );
+    check(
+        "hot locks migrated to their acquirer",
+        mig.migrations >= 1 && stat.migrations == 0,
+        format!("{} migrations (static: {})", mig.migrations, stat.migrations),
+    );
+    check(
+        "steady-state p99 at least 2x better",
+        mig.p99_ms * 2.0 <= stat.p99_ms,
+        format!("{:.2} ms vs {:.2} ms static", mig.p99_ms, stat.p99_ms),
     );
     if failed {
         std::process::exit(1);

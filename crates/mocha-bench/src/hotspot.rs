@@ -1,0 +1,342 @@
+//! Hotspot bench: skewed (Zipfian) per-site object popularity under three
+//! home placements — the paper's fixed cluster home, the static
+//! consistent-hash directory, and the directory with dynamic home
+//! migration.
+//!
+//! Each site owns a small set of locks it acquires with Zipfian
+//! popularity; no other site touches them. Under the paper's placement
+//! every acquire is served by the single cluster home, so three of four
+//! sites pay a wide-area round trip per acquire and the home serialises
+//! everything. The static hash directory spreads coordination across
+//! sites but still leaves ~(S-1)/S of each site's traffic remote. With
+//! migration, each lock's home moves to its dominant acquirer after a
+//! short warm-up, and steady-state acquires complete locally.
+//!
+//! Latency is measured per acquire (`lock_request` → `lock_acquired`)
+//! over the steady-state window: the warm-up cycles that prime every
+//! lock past the migration threshold are excluded, matching how the
+//! placements are expected to be used (migration pays a handshake once,
+//! then serves locally forever).
+//!
+//! `repro -- hotspot` prints the comparison and writes
+//! `BENCH_hotspot.json`; `repro -- hotspot-smoke` checks a small point
+//! in CI (≥1 migration committed, zero failed operations).
+
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Duration;
+
+use mocha::app::Script;
+use mocha::config::{HomeConfig, MochaConfig};
+use mocha::runtime::sim::SimCluster;
+use mocha_sim::profiles;
+use mocha_wire::LockId;
+
+/// Home placement mode under measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Every lock's home is the fixed cluster home — the paper's
+    /// creator-is-home-forever behaviour.
+    FixedHome,
+    /// Consistent-hash directory, no migration.
+    HashStatic,
+    /// Consistent-hash directory plus dynamic home migration.
+    Migration,
+}
+
+impl Placement {
+    /// Short stable name for reports and JSON.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Placement::FixedHome => "fixed_home",
+            Placement::HashStatic => "hash_static",
+            Placement::Migration => "migration",
+        }
+    }
+
+    fn home_config(self) -> HomeConfig {
+        match self {
+            Placement::FixedHome => HomeConfig::default(),
+            Placement::HashStatic => HomeConfig {
+                hash_directory: true,
+                ..HomeConfig::default()
+            },
+            Placement::Migration => HomeConfig {
+                hash_directory: true,
+                migration: true,
+                migrate_threshold: 2,
+                ..HomeConfig::default()
+            },
+        }
+    }
+}
+
+/// One measured hotspot run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotspotPoint {
+    /// Placement mode of this run.
+    pub placement: Placement,
+    /// Number of sites.
+    pub sites: usize,
+    /// Locks per site (each site's private hot set).
+    pub locks_per_site: usize,
+    /// Measured steady-state acquire/release cycles across the cluster.
+    pub ops: u64,
+    /// Script steps that failed; must be 0.
+    pub failed_ops: u64,
+    /// Median steady-state acquire latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile steady-state acquire latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean steady-state acquire latency, milliseconds.
+    pub mean_ms: f64,
+    /// Home migrations committed by coordinators (whole run).
+    pub migrations: u64,
+    /// `StaleHome` NACK redirects answered by coordinators (whole run).
+    pub stale_home_redirects: u64,
+}
+
+/// Warm-up acquires of each lock before measurement starts — enough to
+/// clear `migrate_threshold = 2` and let the commit + gossip settle.
+const PRIME_ROUNDS: usize = 3;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Draws a rank in `0..n` with Zipf(s=1) popularity: rank r has weight
+/// 1/(r+1).
+fn zipf_rank(state: &mut u64, n: usize) -> usize {
+    let total: f64 = (1..=n).map(|r| 1.0 / r as f64).sum();
+    let u = (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64 * total;
+    let mut acc = 0.0;
+    for r in 0..n {
+        acc += 1.0 / (r + 1) as f64;
+        if u < acc {
+            return r;
+        }
+    }
+    n - 1
+}
+
+fn percentile_ms(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    let idx = idx.min(sorted.len() - 1);
+    sorted.get(idx).map_or(0.0, |d| d.as_secs_f64() * 1e3)
+}
+
+/// Runs one hotspot point: `sites` wide-area sites, each owning
+/// `locks_per_site` private locks it acquires with Zipfian popularity,
+/// `measured` steady-state cycles per site after the warm-up.
+pub fn run_point(
+    placement: Placement,
+    sites: usize,
+    locks_per_site: usize,
+    measured: usize,
+    seed: u64,
+) -> HotspotPoint {
+    assert!(sites >= 2 && locks_per_site >= 1 && measured >= 1);
+    let config = MochaConfig {
+        home: placement.home_config(),
+        ..MochaConfig::default()
+    };
+    let mut c = SimCluster::builder()
+        .sites(sites)
+        .seed(seed)
+        .link(profiles::wan_lossless())
+        .cpu(profiles::ultra1())
+        .config(config)
+        .build();
+
+    // A pause after each release lets it fully settle at the coordinator
+    // (and lets a free-lock migration offer fire) before the next acquire.
+    let settle = Duration::from_millis(30);
+    let warmup_pairs = locks_per_site * PRIME_ROUNDS;
+    let mut threads = Vec::with_capacity(sites);
+    for site in 0..sites {
+        let mut rng = seed ^ (site as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let lock_of = |j: usize| LockId((site * locks_per_site + j) as u32 + 1);
+        let mut script = Script::new();
+        for j in 0..locks_per_site {
+            let name = format!("r{site}_{j}");
+            script = script.register(lock_of(j), &[&name]);
+        }
+        // Warm-up: prime every lock past the migration threshold.
+        for j in 0..locks_per_site {
+            for _ in 0..PRIME_ROUNDS {
+                script = script.lock(lock_of(j)).unlock(lock_of(j)).sleep(settle);
+            }
+        }
+        // Measured phase: Zipfian draws over this site's hot set.
+        for _ in 0..measured {
+            let j = zipf_rank(&mut rng, locks_per_site);
+            script = script.lock(lock_of(j)).unlock(lock_of(j)).sleep(settle);
+        }
+        threads.push((site, c.add_script(site, script)));
+    }
+    c.run_until_idle();
+
+    let mut failed = 0u64;
+    let mut latencies: Vec<Duration> = Vec::new();
+    for &(site, th) in &threads {
+        failed += c.failures(site).len() as u64;
+        let records = c.records(site, th);
+        let mut pair = 0usize;
+        let mut request_at = None;
+        for r in &records {
+            if r.label.starts_with("lock_request:") {
+                request_at = Some(r.at);
+            } else if r.label.starts_with("lock_acquired:") {
+                if let Some(req) = request_at.take() {
+                    if pair >= warmup_pairs {
+                        latencies.push(r.at - req);
+                    }
+                    pair += 1;
+                }
+            }
+        }
+    }
+    latencies.sort_unstable();
+
+    let mut migrations = 0u64;
+    let mut redirects = 0u64;
+    for site in 0..sites {
+        if let Some(s) = c.try_coordinator_stats_at(site) {
+            migrations += s.migrations;
+            redirects += s.stale_home_redirects;
+        }
+    }
+    let mean_ms = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().map(|d| d.as_secs_f64() * 1e3).sum::<f64>() / latencies.len() as f64
+    };
+    HotspotPoint {
+        placement,
+        sites,
+        locks_per_site,
+        ops: latencies.len() as u64,
+        failed_ops: failed,
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+        mean_ms,
+        migrations,
+        stale_home_redirects: redirects,
+    }
+}
+
+/// The full comparison: all three placements on the same workload.
+#[must_use]
+pub fn hotspot_sweep() -> Vec<HotspotPoint> {
+    [Placement::FixedHome, Placement::HashStatic, Placement::Migration]
+        .into_iter()
+        .map(|p| run_point(p, 4, 4, 32, 42))
+        .collect()
+}
+
+/// Renders the sweep as a JSON array (hand-rolled — no serde in tree).
+#[must_use]
+pub fn to_json(points: &[HotspotPoint]) -> String {
+    let mut s = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            concat!(
+                "  {{\"placement\": \"{}\", \"sites\": {}, \"locks_per_site\": {}, ",
+                "\"ops\": {}, \"failed_ops\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, ",
+                "\"mean_ms\": {:.3}, \"migrations\": {}, \"stale_home_redirects\": {}}}{}\n"
+            ),
+            p.placement.name(),
+            p.sites,
+            p.locks_per_site,
+            p.ops,
+            p.failed_ops,
+            p.p50_ms,
+            p.p99_ms,
+            p.mean_ms,
+            p.migrations,
+            p.stale_home_redirects,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("]\n");
+    s
+}
+
+/// Writes the sweep to `path` as JSON.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_json(path: &Path, points: &[HotspotPoint]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_json(points).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_total() {
+        let mut rng = 7u64;
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[zipf_rank(&mut rng, 4)] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[3], "{counts:?}");
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    #[test]
+    fn migration_beats_static_hash_on_steady_state_p99() {
+        let stat = run_point(Placement::HashStatic, 3, 2, 8, 42);
+        let mig = run_point(Placement::Migration, 3, 2, 8, 42);
+        assert_eq!(stat.failed_ops, 0, "{stat:?}");
+        assert_eq!(mig.failed_ops, 0, "{mig:?}");
+        assert_eq!(stat.migrations, 0, "{stat:?}");
+        assert!(mig.migrations >= 1, "{mig:?}");
+        assert!(
+            mig.p99_ms * 2.0 <= stat.p99_ms,
+            "migration p99 {:.3} ms vs static {:.3} ms",
+            mig.p99_ms,
+            stat.p99_ms
+        );
+    }
+
+    #[test]
+    fn fixed_home_funnels_everything_through_one_site() {
+        let p = run_point(Placement::FixedHome, 3, 2, 6, 42);
+        assert_eq!(p.failed_ops, 0, "{p:?}");
+        assert_eq!(p.migrations, 0, "{p:?}");
+        // Two of three sites are remote from the fixed home, so the
+        // median steady-state acquire pays a wide-area round trip.
+        assert!(p.p50_ms > 5.0, "{p:?}");
+    }
+
+    #[test]
+    fn json_has_one_object_per_point() {
+        let p = HotspotPoint {
+            placement: Placement::Migration,
+            sites: 4,
+            locks_per_site: 4,
+            ops: 128,
+            failed_ops: 0,
+            p50_ms: 0.2,
+            p99_ms: 1.0,
+            mean_ms: 0.3,
+            migrations: 16,
+            stale_home_redirects: 2,
+        };
+        let json = to_json(&[p, p]);
+        assert_eq!(json.matches("\"placement\"").count(), 2);
+        assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+    }
+}

@@ -30,6 +30,7 @@ use mocha_wire::message::ReplicaUpdate;
 use mocha_wire::{LockId, ReplicaId, ReplicaPayload};
 
 pub mod delta;
+pub mod hotspot;
 pub mod recovery;
 pub mod smallmsg;
 pub mod swarm;

@@ -7,12 +7,12 @@
 use std::time::Duration;
 
 use mocha::app::Script;
-use mocha::config::{AvailabilityConfig, PushConfig};
+use mocha::config::{AvailabilityConfig, HomeConfig, PushConfig};
 use mocha::runtime::sim::SimCluster;
-use mocha::{FaultPlan, MochaConfig};
+use mocha::{Directory, FaultPlan, MochaConfig};
 use mocha_sim::SimTime;
 use mocha_store::StoreConfig;
-use mocha_wire::LockId;
+use mocha_wire::{LockId, SiteId};
 
 const L: LockId = LockId(1);
 
@@ -246,6 +246,61 @@ fn crash_recover(seed: u64, faults: FaultPlan) -> SimCluster {
     c
 }
 
+/// Config for the directory scenarios: consistent-hash placement with
+/// dynamic migration on and a low threshold so a short script trips it.
+fn directory_config(faults: FaultPlan) -> MochaConfig {
+    MochaConfig {
+        home: HomeConfig {
+            hash_directory: true,
+            migration: true,
+            migrate_threshold: 2,
+            ..HomeConfig::default()
+        },
+        ..config(faults)
+    }
+}
+
+/// Three sites in hash-directory mode. A site that is *not* the lock's
+/// ring home acquires it repeatedly; its decayed acquire heat clears the
+/// migration threshold, the home migrates to it mid-run, and the later
+/// acquires exercise the `StaleHome` redirect path. Clean by design; the
+/// `commit_unfenced` mutant reuses this cluster with the fence disabled.
+fn hot_migration(seed: u64, faults: FaultPlan) -> SimCluster {
+    let cfg = directory_config(faults);
+    // Every site computes the same ring, so the builder can ask a scratch
+    // directory where L lives and aim the hot traffic elsewhere.
+    let members: Vec<SiteId> = (0..3).map(SiteId).collect();
+    let ring_home = Directory::new(&members, cfg.home.virtual_shards)
+        .home_of(L)
+        .unwrap_or(SiteId(0));
+    let hot = SiteId((ring_home.0 + 1) % 3);
+    let mut c = SimCluster::builder().sites(3).seed(seed).config(cfg).build();
+    for site in 0..3u32 {
+        let mut script = Script::new().register(L, &["idx"]);
+        if SiteId(site) == hot {
+            for _ in 0..4 {
+                script = script.lock(L).unlock(L);
+            }
+        }
+        c.add_script(site as usize, script);
+    }
+    c
+}
+
+/// Harness-level mutant: `hot_migration` with the `commit_unfenced` fault
+/// forced on — the old home sends `MigrateCommit` but skips the fence and
+/// keeps serving the lock, so two coordinators own it. Exists to prove the
+/// per-lock `split_home` invariant fires in directory mode.
+fn commit_unfenced(seed: u64, faults: FaultPlan) -> SimCluster {
+    hot_migration(
+        seed,
+        FaultPlan {
+            commit_unfenced: true,
+            ..faults
+        },
+    )
+}
+
 /// Harness-level mutant: promotes site 1 to surrogate coordinator while
 /// site 0 — the real home — is still alive. Violates the single-home
 /// invariant by construction; exists to prove `split_home` fires.
@@ -300,10 +355,22 @@ static ALL: &[Scenario] = &[
         builder: crash_recover,
     },
     Scenario {
+        name: "hot_migration",
+        summary: "hash-directory mode, hot remote site pulls a lock's home to itself",
+        expected: None,
+        builder: hot_migration,
+    },
+    Scenario {
         name: "split_home",
         summary: "surrogate promotion without crashing the old home (mutant)",
         expected: Some("split_home"),
         builder: split_home,
+    },
+    Scenario {
+        name: "commit_unfenced",
+        summary: "home migration committed without fencing the old home (mutant)",
+        expected: Some("split_home"),
+        builder: commit_unfenced,
     },
 ];
 

@@ -93,6 +93,14 @@ fn promote_without_crash_trips_split_home() {
 }
 
 #[test]
+fn commit_unfenced_trips_split_home() {
+    // The migration mutant: the old home sends `MigrateCommit` without
+    // retiring its lock state, so two coordinators serve the same lock —
+    // the per-lock single-home invariant of directory mode must fire.
+    assert_mutant_fires("commit_unfenced", FaultPlan::default(), "split_home");
+}
+
+#[test]
 fn mutant_traces_record_their_fault_flags() {
     let scenario = scenario_by_name("contended_writers").unwrap();
     let faults = FaultPlan {

@@ -447,6 +447,78 @@ pub enum Msg {
     },
 
     // ------------------------------------------------------------------
+    // Directory and home migration (consistent-hash object directory with
+    // dynamic coordinator handoff; opt-in via `HomeConfig`)
+    // ------------------------------------------------------------------
+    /// Current home coordinator → proposed new home: offer to hand over
+    /// coordination of `lock`, fenced at `epoch`. The offer carries no
+    /// state; the receiver only records its willingness.
+    MigrateOffer {
+        /// Lock whose coordination is offered.
+        lock: LockId,
+        /// Fence epoch the handoff will commit at (strictly greater than
+        /// any epoch either side has seen for this lock).
+        epoch: u64,
+        /// Correlation id for the accept.
+        req: RequestId,
+    },
+    /// Proposed new home → old home: offer accepted, ship the state.
+    MigrateAccept {
+        /// Lock being migrated.
+        lock: LockId,
+        /// Echo of the offer's fence epoch.
+        epoch: u64,
+        /// Accepting site (the new home).
+        site: SiteId,
+        /// Echo of the offer's correlation id.
+        req: RequestId,
+    },
+    /// Old home → new home: the fenced per-lock coordinator state. On
+    /// receipt the new home installs the lock and takes over; the old home
+    /// retired the lock when it sent this (the version fence).
+    MigrateCommit {
+        /// Lock being migrated.
+        lock: LockId,
+        /// Fence epoch of this handoff.
+        epoch: u64,
+        /// Replica-set version at the fence point.
+        version: Version,
+        /// Site that produced the current version, if any.
+        last_owner: Option<SiteId>,
+        /// Registered member sites.
+        members: Vec<SiteId>,
+        /// Sites known to hold the current version.
+        up_to_date: Vec<SiteId>,
+        /// Last version each site is known to have held.
+        site_versions: Vec<(SiteId, Version)>,
+        /// Replicas associated with the lock.
+        replicas: Vec<ReplicaId>,
+        /// Echo of the offer's correlation id.
+        req: RequestId,
+    },
+    /// Any site → the sender of a SYNC-port message it does not
+    /// coordinate: redirect to the best home this site knows. The NACK of
+    /// the directory protocol — stale directory caches self-correct on
+    /// first contact, so correctness never depends on gossip freshness.
+    StaleHome {
+        /// Lock the refused message was about.
+        lock: LockId,
+        /// Best known home for that lock.
+        home: SiteId,
+        /// Directory epoch of that knowledge (0 = hash-ring default).
+        epoch: u64,
+    },
+    /// New home → member daemons: directory-update gossip after a commit.
+    HomeUpdate {
+        /// Migrated lock.
+        lock: LockId,
+        /// Its new home.
+        home: SiteId,
+        /// Fence epoch of the migration (receivers ignore stale epochs).
+        epoch: u64,
+    },
+
+    // ------------------------------------------------------------------
     // Benchmarks
     // ------------------------------------------------------------------
     /// Round-trip probe used by the small-message benchmark (§5's claim
@@ -495,6 +567,11 @@ const T_REPLICA_DELTA: u8 = 24;
 const T_PUSH_DELTA: u8 = 25;
 const T_DELTA_NACK: u8 = 26;
 const T_SITE_RECOVERED: u8 = 27;
+const T_MIGRATE_OFFER: u8 = 28;
+const T_MIGRATE_ACCEPT: u8 = 29;
+const T_MIGRATE_COMMIT: u8 = 30;
+const T_STALE_HOME: u8 = 31;
+const T_HOME_UPDATE: u8 = 32;
 
 impl Msg {
     /// Encodes the message to a fresh byte vector.
@@ -733,6 +810,74 @@ impl Msg {
                 origin.encode(w);
                 payload.encode(w);
             }
+            Msg::MigrateOffer { lock, epoch, req } => {
+                w.put_u8(T_MIGRATE_OFFER);
+                lock.encode(w);
+                w.put_u64(*epoch);
+                req.encode(w);
+            }
+            Msg::MigrateAccept {
+                lock,
+                epoch,
+                site,
+                req,
+            } => {
+                w.put_u8(T_MIGRATE_ACCEPT);
+                lock.encode(w);
+                w.put_u64(*epoch);
+                site.encode(w);
+                req.encode(w);
+            }
+            Msg::MigrateCommit {
+                lock,
+                epoch,
+                version,
+                last_owner,
+                members,
+                up_to_date,
+                site_versions,
+                replicas,
+                req,
+            } => {
+                w.put_u8(T_MIGRATE_COMMIT);
+                lock.encode(w);
+                w.put_u64(*epoch);
+                version.encode(w);
+                w.put_bool(last_owner.is_some());
+                if let Some(owner) = last_owner {
+                    owner.encode(w);
+                }
+                w.put_u32(members.len() as u32);
+                for s in members {
+                    s.encode(w);
+                }
+                w.put_u32(up_to_date.len() as u32);
+                for s in up_to_date {
+                    s.encode(w);
+                }
+                w.put_u32(site_versions.len() as u32);
+                for (site, version) in site_versions {
+                    site.encode(w);
+                    version.encode(w);
+                }
+                w.put_u32(replicas.len() as u32);
+                for r in replicas {
+                    r.encode(w);
+                }
+                req.encode(w);
+            }
+            Msg::StaleHome { lock, home, epoch } => {
+                w.put_u8(T_STALE_HOME);
+                lock.encode(w);
+                home.encode(w);
+                w.put_u64(*epoch);
+            }
+            Msg::HomeUpdate { lock, home, epoch } => {
+                w.put_u8(T_HOME_UPDATE);
+                lock.encode(w);
+                home.encode(w);
+                w.put_u64(*epoch);
+            }
             Msg::Ping { req, payload } => {
                 w.put_u8(T_PING);
                 req.encode(w);
@@ -802,6 +947,23 @@ impl Msg {
         }
         let req = RequestId::decode(r)?;
         Ok((lock, base_version, version, deltas, req))
+    }
+
+    /// Decodes a `u32`-prefixed list of site ids, rejecting counts the
+    /// input cannot possibly satisfy (each id is exactly 4 bytes).
+    fn decode_sites(r: &mut ByteReader<'_>) -> Result<Vec<SiteId>, WireError> {
+        let n = r.get_u32()? as usize;
+        if n.saturating_mul(4) > r.remaining() {
+            return Err(WireError::LengthOverrun {
+                declared: n * 4,
+                remaining: r.remaining(),
+            });
+        }
+        let mut sites = Vec::with_capacity(n);
+        for _ in 0..n {
+            sites.push(SiteId::decode(r)?);
+        }
+        Ok(sites)
     }
 
     fn decode_updates(
@@ -1036,6 +1198,74 @@ impl Msg {
                 origin: SiteId::decode(r)?,
                 payload: ReplicaPayload::decode(r)?,
             }),
+            T_MIGRATE_OFFER => Ok(Msg::MigrateOffer {
+                lock: LockId::decode(r)?,
+                epoch: r.get_u64()?,
+                req: RequestId::decode(r)?,
+            }),
+            T_MIGRATE_ACCEPT => Ok(Msg::MigrateAccept {
+                lock: LockId::decode(r)?,
+                epoch: r.get_u64()?,
+                site: SiteId::decode(r)?,
+                req: RequestId::decode(r)?,
+            }),
+            T_MIGRATE_COMMIT => {
+                let lock = LockId::decode(r)?;
+                let epoch = r.get_u64()?;
+                let version = Version::decode(r)?;
+                let last_owner = if r.get_bool()? {
+                    Some(SiteId::decode(r)?)
+                } else {
+                    None
+                };
+                let members = Self::decode_sites(r)?;
+                let up_to_date = Self::decode_sites(r)?;
+                let n = r.get_u32()? as usize;
+                // Each pair is exactly 12 bytes (u32 site + u64 version).
+                if n.saturating_mul(12) > r.remaining() {
+                    return Err(WireError::LengthOverrun {
+                        declared: n * 12,
+                        remaining: r.remaining(),
+                    });
+                }
+                let mut site_versions = Vec::with_capacity(n);
+                for _ in 0..n {
+                    site_versions.push((SiteId::decode(r)?, Version::decode(r)?));
+                }
+                let n = r.get_u32()? as usize;
+                if n.saturating_mul(4) > r.remaining() {
+                    return Err(WireError::LengthOverrun {
+                        declared: n * 4,
+                        remaining: r.remaining(),
+                    });
+                }
+                let mut replicas = Vec::with_capacity(n);
+                for _ in 0..n {
+                    replicas.push(ReplicaId::decode(r)?);
+                }
+                let req = RequestId::decode(r)?;
+                Ok(Msg::MigrateCommit {
+                    lock,
+                    epoch,
+                    version,
+                    last_owner,
+                    members,
+                    up_to_date,
+                    site_versions,
+                    replicas,
+                    req,
+                })
+            }
+            T_STALE_HOME => Ok(Msg::StaleHome {
+                lock: LockId::decode(r)?,
+                home: SiteId::decode(r)?,
+                epoch: r.get_u64()?,
+            }),
+            T_HOME_UPDATE => Ok(Msg::HomeUpdate {
+                lock: LockId::decode(r)?,
+                home: SiteId::decode(r)?,
+                epoch: r.get_u64()?,
+            }),
             T_PING => Ok(Msg::Ping {
                 req: RequestId::decode(r)?,
                 payload: r.get_bytes()?.to_vec(),
@@ -1233,6 +1463,49 @@ mod tests {
                 origin: SiteId(2),
                 payload: ReplicaPayload::Bytes(vec![1, 2, 3]),
             },
+            Msg::MigrateOffer {
+                lock: LockId(1),
+                epoch: 3,
+                req: RequestId(13),
+            },
+            Msg::MigrateAccept {
+                lock: LockId(1),
+                epoch: 3,
+                site: SiteId(4),
+                req: RequestId(13),
+            },
+            Msg::MigrateCommit {
+                lock: LockId(1),
+                epoch: 3,
+                version: Version(11),
+                last_owner: Some(SiteId(2)),
+                members: vec![SiteId(2), SiteId(3), SiteId(4)],
+                up_to_date: vec![SiteId(2)],
+                site_versions: vec![(SiteId(2), Version(11)), (SiteId(3), Version(9))],
+                replicas: vec![ReplicaId(5), ReplicaId(6)],
+                req: RequestId(13),
+            },
+            Msg::MigrateCommit {
+                lock: LockId(2),
+                epoch: 1,
+                version: Version(0),
+                last_owner: None,
+                members: vec![],
+                up_to_date: vec![],
+                site_versions: vec![],
+                replicas: vec![],
+                req: RequestId(14),
+            },
+            Msg::StaleHome {
+                lock: LockId(1),
+                home: SiteId(4),
+                epoch: 3,
+            },
+            Msg::HomeUpdate {
+                lock: LockId(1),
+                home: SiteId(4),
+                epoch: 3,
+            },
             Msg::Ping {
                 req: RequestId(12),
                 payload: vec![0; 256],
@@ -1381,6 +1654,13 @@ mod tests {
         }
         .encode();
         assert!(nack.len() <= 32, "DeltaNack is {} bytes", nack.len());
+        let stale = Msg::StaleHome {
+            lock: LockId(1),
+            home: SiteId(2),
+            epoch: 3,
+        }
+        .encode();
+        assert!(stale.len() <= 32, "StaleHome is {} bytes", stale.len());
     }
 
     #[test]

@@ -533,14 +533,16 @@ impl AppRunner {
         sink: &mut CmdSink,
     ) {
         loop {
-            if self.threads[idx].state != TState::Ready {
+            let Some(t) = self.threads.get_mut(idx) else {
+                return; // stale index from a caller's token: nothing to run
+            };
+            if t.state != TState::Ready {
                 return;
             }
-            if self.threads[idx].pc >= self.threads[idx].ops.len() {
-                self.threads[idx].state = TState::Done;
+            let Some(op) = t.ops.get(t.pc).cloned() else {
+                t.state = TState::Done;
                 return;
-            }
-            let op = self.threads[idx].ops[self.threads[idx].pc].clone();
+            };
             match op {
                 Op::Register { lock, specs } => {
                     daemon.register_local(lock, &specs, sink);
@@ -568,7 +570,9 @@ impl AppRunner {
                         return;
                     }
                     let site = self.site;
-                    let home = self.home;
+                    // Per-lock routing via the daemon's directory; `None`
+                    // (single-home mode) falls back to the fixed home.
+                    let home = daemon.home_for(lock).unwrap_or(self.home);
                     let thread = &mut self.threads[idx];
                     Self::record(thread, now, format!("lock_request:{lock}"));
                     let msg = Msg::AcquireLock {
@@ -618,7 +622,7 @@ impl AppRunner {
                     // acquire can never overtake it to the coordinator.
                     if disseminated.is_empty() {
                         sink.send(
-                            self.home,
+                            daemon.home_for(lock).unwrap_or(self.home),
                             ports::SYNC,
                             Msg::ReleaseLock {
                                 lock,
@@ -850,7 +854,7 @@ impl AppRunner {
             }
             Signal::PushesComplete { lock, acked } => {
                 let site = self.site;
-                let home = self.home;
+                let home = daemon.home_for(*lock).unwrap_or(self.home);
                 for t in &mut self.threads {
                     if let TState::WaitPush {
                         lock: l,
@@ -909,17 +913,22 @@ impl AppRunner {
             // location of the newly created surrogate synchronization
             // thread").
             self.home = daemon.home();
-            let mode = self.threads[idx]
-                .granted
-                .get(&lock)
-                .map(|(_, m)| *m)
+            // Directory mode routes the retry per lock — the directory may
+            // have learned a migrated home while this thread waited.
+            let home = daemon.home_for(lock).unwrap_or(self.home);
+            let mode = self
+                .threads
+                .get(idx)
+                .and_then(|t| t.granted.get(&lock).map(|(_, m)| *m))
                 .or_else(|| self.pending_mode.get(&lock).copied())
                 .unwrap_or(LockMode::Exclusive);
             self.pending_mode.insert(lock, mode);
-            let t = &mut self.threads[idx];
+            let Some(t) = self.threads.get_mut(idx) else {
+                return true;
+            };
             Self::record(t, now, format!("reacquire_retry:{lock}"));
             sink.send_tagged(
-                self.home,
+                home,
                 ports::SYNC,
                 Msg::AcquireLock {
                     lock,

@@ -63,6 +63,17 @@ pub enum SendTag {
         /// The requested lock.
         lock: LockId,
     },
+    /// Coordinator → coordinator home-migration handshake message (offer
+    /// or fenced commit); failure aborts the migration — or, for a commit,
+    /// reinstates the retired lock at the old home.
+    Migrate {
+        /// The lock being re-homed.
+        lock: LockId,
+        /// The unreachable counterpart coordinator.
+        site: SiteId,
+        /// The migration's fence epoch.
+        epoch: u64,
+    },
     /// Site manager → remote site spawn request; failure means the
     /// destination is dead and the spawn must report an error.
     Spawn {

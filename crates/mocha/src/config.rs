@@ -55,6 +55,45 @@ pub struct PushConfig {
     pub pipeline: bool,
 }
 
+/// Object-directory and home-migration tuning.
+///
+/// Both switches default **off**, which preserves the paper's
+/// creator-is-home-forever placement: every lock is coordinated at the
+/// cluster's fixed home site and no new wire messages are ever sent, so
+/// the Figure 12 calibration and all existing benches are byte-identical
+/// to before. With `hash_directory` on, every site hosts a coordinator
+/// and locks hash onto sites through a virtual-shard consistent-hash
+/// ring; with `migration` also on, a coordinator that sees a remote site
+/// dominate a lock's acquire traffic hands the coordinator role to it
+/// via a version-fenced offer/accept/commit handshake. Neither switch
+/// affects correctness: a site holding a stale directory entry is
+/// redirected by a `StaleHome` NACK on first contact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HomeConfig {
+    /// Place each lock's coordinator by consistent hash instead of at the
+    /// fixed cluster home.
+    pub hash_directory: bool,
+    /// Dynamically migrate a lock's coordinator to the site dominating
+    /// its acquire traffic (requires `hash_directory`).
+    pub migration: bool,
+    /// Decayed acquire-count lead a remote site needs over the current
+    /// home before a migration is offered.
+    pub migrate_threshold: u32,
+    /// Virtual shards per site on the consistent-hash ring.
+    pub virtual_shards: u32,
+}
+
+impl Default for HomeConfig {
+    fn default() -> Self {
+        HomeConfig {
+            hash_directory: false,
+            migration: false,
+            migrate_threshold: 4,
+            virtual_shards: 16,
+        }
+    }
+}
+
 /// Deliberate protocol faults for invariant-oracle testing.
 ///
 /// Each flag re-introduces a specific protocol bug so the mutant harness
@@ -79,6 +118,10 @@ pub struct FaultPlan {
     /// resumes one release behind what it durably held (violates version
     /// monotonicity across an incarnation boundary).
     pub stale_recovery: bool,
+    /// Commit a home migration without fencing: the old coordinator sends
+    /// `MigrateCommit` but keeps serving the lock, so both sites act as
+    /// home (violates the single-home invariant, `split_home`).
+    pub commit_unfenced: bool,
 }
 
 impl FaultPlan {
@@ -100,6 +143,7 @@ impl FaultPlan {
             || self.optimistic_up_to_date
             || self.accept_any_version
             || self.stale_recovery
+            || self.commit_unfenced
     }
 
     /// Names of the enabled flags, for trace files.
@@ -118,6 +162,9 @@ impl FaultPlan {
         if self.stale_recovery {
             names.push("stale_recovery");
         }
+        if self.commit_unfenced {
+            names.push("commit_unfenced");
+        }
         names
     }
 
@@ -134,6 +181,7 @@ impl FaultPlan {
                 "optimistic_up_to_date" => plan.optimistic_up_to_date = true,
                 "accept_any_version" => plan.accept_any_version = true,
                 "stale_recovery" => plan.stale_recovery = true,
+                "commit_unfenced" => plan.commit_unfenced = true,
                 other => return Err(format!("unknown fault flag {other:?}")),
             }
         }
@@ -175,6 +223,9 @@ pub struct MochaConfig {
     /// window). Defaults to the paper-faithful sequential/full-payload
     /// behaviour.
     pub push: PushConfig,
+    /// Object-directory placement and dynamic home migration. Defaults to
+    /// the paper-faithful fixed-home behaviour.
+    pub home: HomeConfig,
 }
 
 impl Default for MochaConfig {
@@ -190,6 +241,7 @@ impl Default for MochaConfig {
             relay_transfers: false,
             faults: FaultPlan::default(),
             push: PushConfig::default(),
+            home: HomeConfig::default(),
         }
     }
 }
@@ -231,6 +283,15 @@ impl MochaConfig {
         }
         if self.recovery_poll_window.is_zero() {
             return Err("recovery_poll_window must be positive".into());
+        }
+        if self.home.migration && !self.home.hash_directory {
+            return Err("home.migration requires home.hash_directory".into());
+        }
+        if self.home.hash_directory && self.home.virtual_shards == 0 {
+            return Err("home.virtual_shards must be positive".into());
+        }
+        if self.home.migration && self.home.migrate_threshold == 0 {
+            return Err("home.migrate_threshold must be positive".into());
         }
         Ok(())
     }
@@ -287,17 +348,43 @@ mod tests {
     }
 
     #[test]
+    fn home_config_defaults_to_paper_behaviour() {
+        let h = HomeConfig::default();
+        assert!(!h.hash_directory);
+        assert!(!h.migration);
+        assert_eq!(MochaConfig::default().home, HomeConfig::default());
+
+        let mut c = MochaConfig::default();
+        c.home.migration = true;
+        assert!(c.validate().is_err(), "migration without directory");
+        c.home.hash_directory = true;
+        c.validate().unwrap();
+        c.home.migrate_threshold = 0;
+        assert!(c.validate().is_err(), "zero threshold");
+        let mut c = MochaConfig::default();
+        c.home.hash_directory = true;
+        c.home.virtual_shards = 0;
+        assert!(c.validate().is_err(), "zero shards");
+    }
+
+    #[test]
     fn fault_plan_names_roundtrip() {
         let plan = FaultPlan {
             grant_second_writer: true,
             accept_any_version: true,
             stale_recovery: true,
+            commit_unfenced: true,
             ..FaultPlan::default()
         };
         let names = plan.enabled_names();
         assert_eq!(
             names,
-            vec!["grant_second_writer", "accept_any_version", "stale_recovery"]
+            vec![
+                "grant_second_writer",
+                "accept_any_version",
+                "stale_recovery",
+                "commit_unfenced"
+            ]
         );
         assert_eq!(FaultPlan::from_names(&names).unwrap(), plan);
         assert!(FaultPlan::from_names(&["bogus"]).is_err());
@@ -312,6 +399,7 @@ mod tests {
             optimistic_up_to_date: true,
             accept_any_version: true,
             stale_recovery: true,
+            commit_unfenced: true,
         };
         if cfg!(feature = "fault-injection") {
             assert_eq!(plan.active(), plan);

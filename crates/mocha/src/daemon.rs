@@ -25,6 +25,7 @@ use mocha_wire::{LockId, Msg, ReplicaId, ReplicaPayload, RequestId, SiteId, Vers
 
 use crate::cmd::{CmdSink, SendTag, Signal};
 use crate::config::{FaultPlan, PushConfig};
+use crate::directory::Directory;
 use crate::error::MochaError;
 use crate::replica::ReplicaSpec;
 
@@ -103,6 +104,9 @@ pub struct DaemonStats {
     /// Replica payload bytes actually put on the wire by pushes and
     /// transfers (full sends count payload size, delta sends script size).
     pub replica_bytes_sent: u64,
+    /// `StaleHome` redirects received: how often this site addressed a
+    /// coordinator that had handed the lock off (directory mode only).
+    pub home_corrections: u64,
 }
 
 /// The daemon thread's state machine.
@@ -156,6 +160,13 @@ pub struct SiteDaemon {
     ///
     /// [`Cmd::Persist`]: crate::cmd::Cmd::Persist
     durable: bool,
+    /// Consistent-hash object directory, when the cluster runs with
+    /// [`HomeConfig::hash_directory`](crate::config::HomeConfig): decides
+    /// which coordinator this site's lock traffic is addressed to, and
+    /// absorbs `HomeUpdate` gossip and `StaleHome` corrections. `None` in
+    /// the paper-faithful single-home mode — every routing fall back is
+    /// then the fixed `home`.
+    directory: Option<Directory>,
 }
 
 impl SiteDaemon {
@@ -182,6 +193,49 @@ impl SiteDaemon {
             deltas: HashMap::new(),
             acked_versions: HashMap::new(),
             durable: false,
+            directory: None,
+        }
+    }
+
+    /// Installs the consistent-hash object directory. Lock traffic from
+    /// this site then routes per lock instead of to the fixed home.
+    pub fn install_directory(&mut self, dir: Directory) {
+        self.directory = Some(dir);
+    }
+
+    /// The directory, when one is installed.
+    pub fn directory(&self) -> Option<&Directory> {
+        self.directory.as_ref()
+    }
+
+    /// The coordinator responsible for `lock` according to the local
+    /// directory, or `None` in single-home mode (callers fall back to the
+    /// fixed [`home`](SiteDaemon::home)). A hint, never an authority: a
+    /// stale answer is corrected by the coordinator's `StaleHome` NACK.
+    pub fn home_for(&self, lock: LockId) -> Option<SiteId> {
+        self.directory.as_ref().and_then(|d| d.home_of(lock))
+    }
+
+    /// Where this daemon addresses coordinator traffic for `lock`.
+    fn sync_home(&self, lock: LockId) -> SiteId {
+        self.home_for(lock).unwrap_or(self.home)
+    }
+
+    /// Adds a site to the directory ring on membership growth. No-op in
+    /// single-home mode.
+    pub fn add_ring_site(&mut self, site: SiteId) {
+        if let Some(dir) = &mut self.directory {
+            dir.add_site(site);
+        }
+    }
+
+    /// Drops a departed site from the directory ring, returning the locks
+    /// whose migrated home just died (they fall back to ring placement and
+    /// need coordinator-side re-homing). No-op in single-home mode.
+    pub fn remove_ring_site(&mut self, site: SiteId) -> Vec<LockId> {
+        match &mut self.directory {
+            Some(dir) => dir.remove_site(site),
+            None => Vec::new(),
         }
     }
 
@@ -222,15 +276,21 @@ impl SiteDaemon {
                 self.lock_replicas.entry(*lock).or_default().insert(*id);
             }
         }
-        let versions: Vec<(LockId, Version)> = self
-            .lock_version
-            .iter()
-            .filter(|(_, v)| **v > Version::INITIAL)
-            .map(|(l, v)| (*l, *v))
-            .collect();
-        if !versions.is_empty() {
+        // In directory mode different locks live at different coordinators:
+        // group the recovered versions per home and announce to each. The
+        // single-home path collapses to one message to the fixed home.
+        let mut by_home: BTreeMap<SiteId, Vec<(LockId, Version)>> = BTreeMap::new();
+        for (lock, version) in &self.lock_version {
+            if *version > Version::INITIAL {
+                by_home
+                    .entry(self.sync_home(*lock))
+                    .or_default()
+                    .push((*lock, *version));
+            }
+        }
+        for (home, versions) in by_home {
             sink.send(
-                self.home,
+                home,
                 ports::SYNC,
                 Msg::SiteRecovered {
                     site: self.me,
@@ -309,6 +369,13 @@ impl SiteDaemon {
         for (lock, version) in &self.lock_version {
             lock.hash(h);
             version.hash(h);
+            // Where this daemon would route the lock, and behind which
+            // fence: two states that differ only in directory knowledge
+            // behave differently and must fingerprint differently.
+            if let Some(dir) = &self.directory {
+                dir.home_of(*lock).hash(h);
+                dir.epoch_of(*lock).hash(h);
+            }
         }
         // Replica contents, via their wire encoding (payloads hold f64s
         // and so cannot derive Hash). Entries are collected and key-sorted
@@ -394,6 +461,7 @@ impl SiteDaemon {
     /// values, and announces the registration to the coordinator.
     pub fn register_local(&mut self, lock: LockId, specs: &[ReplicaSpec], sink: &mut CmdSink) {
         self.lock_members.entry(lock).or_default().insert(self.me);
+        let home = self.sync_home(lock);
         for spec in specs {
             let id = spec.id();
             self.store
@@ -402,7 +470,7 @@ impl SiteDaemon {
             self.names.insert(id, spec.name.clone());
             self.lock_replicas.entry(lock).or_default().insert(id);
             sink.send(
-                self.home,
+                home,
                 ports::SYNC,
                 Msg::RegisterReplica {
                     lock,
@@ -1091,8 +1159,11 @@ impl SiteDaemon {
             }
             Msg::PollVersion { lock, req } => {
                 self.stats.polls_answered += 1;
+                // Answer the coordinator that asked: in directory mode the
+                // poll can come from any site's coordinator, not the fixed
+                // home (legacy: `from` and `home` coincide).
                 sink.send(
-                    self.home,
+                    from,
                     ports::SYNC,
                     Msg::PollResponse {
                         lock,
@@ -1160,6 +1231,24 @@ impl SiteDaemon {
                 self.store
                     .entry(replica)
                     .or_insert_with(|| Arc::new(ReplicaPayload::empty()));
+            }
+            Msg::StaleHome { lock, home, epoch } => {
+                // NACK from a coordinator we addressed after its lock moved
+                // away: self-correct the local directory. The original
+                // request was forwarded to the true home by the redirecting
+                // site, so nothing needs resending here.
+                self.stats.home_corrections += 1;
+                if let Some(dir) = &mut self.directory {
+                    dir.record(lock, home, epoch);
+                }
+            }
+            Msg::HomeUpdate { lock, home, epoch } => {
+                // Post-migration gossip from the new home. Epoch fencing in
+                // `record` discards reordered announcements from an older
+                // migration.
+                if let Some(dir) = &mut self.directory {
+                    dir.record(lock, home, epoch);
+                }
             }
             other => {
                 sink.note(format!("daemon {me} ignoring {other:?}", me = self.me));

@@ -1,0 +1,258 @@
+//! Consistent-hash object directory: which site is a lock's home.
+//!
+//! The paper fixes every object's home at the creating site forever, so a
+//! skewed workload funnels all coordination traffic through one site. This
+//! module replaces that placement with a virtual-shard consistent-hash ring
+//! (object → home), plus an **override table** recording homes moved by
+//! dynamic migration. Every site computes the same ring from the same
+//! membership, so no directory lookups cross the network; overrides are
+//! gossiped with `HomeUpdate` and fenced by a per-lock epoch.
+//!
+//! The directory is a *hint*, never an authority: a site that sends SYNC
+//! traffic to a stale home is redirected by a `StaleHome` NACK and records
+//! the correction here. Correctness therefore never depends on directory
+//! freshness — only the redirect round-trip count does.
+
+use std::collections::BTreeMap;
+
+use mocha_wire::{LockId, SiteId};
+
+/// FNV-1a, the same hash family the codec fingerprints use: deterministic
+/// across sites and runs, which the ring requires (two sites disagreeing on
+/// `home_of` would both answer `StaleHome` to each other forever).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    // FNV alone clusters small little-endian integer keys (nearby ids map
+    // to nearby ring points, starving some sites entirely); a
+    // splitmix64-style finalizer scatters them across the full 64-bit ring.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+fn shard_point(site: SiteId, shard: u32) -> u64 {
+    let key = (u64::from(site.0) << 32) | u64::from(shard);
+    fnv1a(&key.to_le_bytes())
+}
+
+fn lock_point(lock: LockId) -> u64 {
+    fnv1a(&lock.0.to_le_bytes())
+}
+
+/// The object directory one site maintains: a consistent-hash ring over the
+/// current membership plus epoch-fenced per-lock overrides from migration.
+#[derive(Debug, Clone)]
+pub struct Directory {
+    /// Ring points: hash point → site owning the virtual shard there.
+    ring: BTreeMap<u64, SiteId>,
+    /// Virtual shards per site.
+    shards: u32,
+    /// Sites currently on the ring (kept for rebuild / membership queries).
+    sites: Vec<SiteId>,
+    /// Migrated homes: lock → (home, fence epoch). Newer epochs win;
+    /// entries for locks still at their ring home are absent.
+    overrides: BTreeMap<LockId, (SiteId, u64)>,
+}
+
+impl Directory {
+    /// Builds a directory over `sites` with `shards` virtual shards each
+    /// (zero is clamped to one so `home_of` stays total).
+    #[must_use]
+    pub fn new(sites: &[SiteId], shards: u32) -> Directory {
+        let mut dir = Directory {
+            ring: BTreeMap::new(),
+            shards: shards.max(1),
+            sites: Vec::new(),
+            overrides: BTreeMap::new(),
+        };
+        for &site in sites {
+            dir.add_site(site);
+        }
+        dir
+    }
+
+    /// Adds a site's virtual shards to the ring. Idempotent.
+    pub fn add_site(&mut self, site: SiteId) {
+        if self.sites.contains(&site) {
+            return;
+        }
+        self.sites.push(site);
+        for shard in 0..self.shards {
+            // On a point collision the numerically larger site wins on both
+            // sites deterministically; with 64-bit points this is theoretical.
+            let point = shard_point(site, shard);
+            let entry = self.ring.entry(point).or_insert(site);
+            if site.0 > entry.0 {
+                *entry = site;
+            }
+        }
+    }
+
+    /// Removes a site from the ring and drops any overrides pointing at it
+    /// (their locks fall back to ring placement on surviving sites).
+    /// Returns the locks whose override was dropped — each needs a forced
+    /// re-home by the caller.
+    pub fn remove_site(&mut self, site: SiteId) -> Vec<LockId> {
+        self.sites.retain(|&s| s != site);
+        self.ring.retain(|_, &mut s| s != site);
+        let orphaned: Vec<LockId> = self
+            .overrides
+            .iter()
+            .filter(|(_, &(home, _))| home == site)
+            .map(|(&lock, _)| lock)
+            .collect();
+        for lock in &orphaned {
+            self.overrides.remove(lock);
+        }
+        orphaned
+    }
+
+    /// The current home for `lock`: the override if one exists, else the
+    /// first ring shard clockwise from the lock's hash point. `None` only
+    /// when the ring is empty.
+    #[must_use]
+    pub fn home_of(&self, lock: LockId) -> Option<SiteId> {
+        if let Some(&(home, _)) = self.overrides.get(&lock) {
+            return Some(home);
+        }
+        let point = lock_point(lock);
+        self.ring
+            .range(point..)
+            .next()
+            .or_else(|| self.ring.iter().next())
+            .map(|(_, &site)| site)
+    }
+
+    /// The fence epoch recorded for `lock` (0 when it has never migrated).
+    #[must_use]
+    pub fn epoch_of(&self, lock: LockId) -> u64 {
+        self.overrides.get(&lock).map_or(0, |&(_, epoch)| epoch)
+    }
+
+    /// Records a migrated home learned from `MigrateCommit`, `HomeUpdate`
+    /// gossip, or a `StaleHome` redirect. Older epochs lose — gossip can
+    /// arrive out of order after a lock migrates twice. Returns whether the
+    /// entry was applied.
+    pub fn record(&mut self, lock: LockId, home: SiteId, epoch: u64) -> bool {
+        if epoch < self.epoch_of(lock) {
+            return false;
+        }
+        self.overrides.insert(lock, (home, epoch));
+        true
+    }
+
+    /// Sites currently on the ring.
+    #[must_use]
+    pub fn sites(&self) -> &[SiteId] {
+        &self.sites
+    }
+
+    /// Number of locks with a migrated (non-ring) home.
+    #[must_use]
+    pub fn override_count(&self) -> usize {
+        self.overrides.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sites(n: u32) -> Vec<SiteId> {
+        (0..n).map(SiteId).collect()
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_total() {
+        let a = Directory::new(&sites(4), 16);
+        let b = Directory::new(&sites(4), 16);
+        for i in 0..200 {
+            let lock = LockId(i);
+            let home = a.home_of(lock).unwrap();
+            assert_eq!(Some(home), b.home_of(lock));
+            assert!(home.0 < 4);
+        }
+    }
+
+    #[test]
+    fn placement_spreads_across_sites() {
+        let dir = Directory::new(&sites(4), 16);
+        let mut counts = [0usize; 4];
+        for i in 0..400 {
+            counts[dir.home_of(LockId(i)).unwrap().0 as usize] += 1;
+        }
+        for (site, &n) in counts.iter().enumerate() {
+            assert!(n > 0, "site {site} got no locks: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let fwd = Directory::new(&[SiteId(0), SiteId(1), SiteId(2)], 8);
+        let rev = Directory::new(&[SiteId(2), SiteId(1), SiteId(0)], 8);
+        for i in 0..100 {
+            assert_eq!(fwd.home_of(LockId(i)), rev.home_of(LockId(i)));
+        }
+    }
+
+    #[test]
+    fn remove_site_only_moves_its_locks() {
+        let mut dir = Directory::new(&sites(4), 16);
+        let before: Vec<_> = (0..200).map(|i| dir.home_of(LockId(i)).unwrap()).collect();
+        dir.remove_site(SiteId(2));
+        for (i, &old) in before.iter().enumerate() {
+            let new = dir.home_of(LockId(i as u32)).unwrap();
+            assert_ne!(new, SiteId(2));
+            if old != SiteId(2) {
+                assert_eq!(new, old, "lock {i} moved though its home survived");
+            }
+        }
+    }
+
+    #[test]
+    fn overrides_win_and_fence_by_epoch() {
+        let mut dir = Directory::new(&sites(3), 8);
+        let lock = LockId(7);
+        let ring_home = dir.home_of(lock).unwrap();
+        assert_eq!(dir.epoch_of(lock), 0);
+
+        assert!(dir.record(lock, SiteId(1), 2));
+        assert_eq!(dir.home_of(lock), Some(SiteId(1)));
+        assert_eq!(dir.epoch_of(lock), 2);
+        // Stale gossip from the first migration loses.
+        assert!(!dir.record(lock, ring_home, 1));
+        assert_eq!(dir.home_of(lock), Some(SiteId(1)));
+        // A newer migration wins.
+        assert!(dir.record(lock, SiteId(2), 3));
+        assert_eq!(dir.home_of(lock), Some(SiteId(2)));
+        assert_eq!(dir.override_count(), 1);
+    }
+
+    #[test]
+    fn remove_site_reports_orphaned_overrides() {
+        let mut dir = Directory::new(&sites(3), 8);
+        dir.record(LockId(1), SiteId(2), 1);
+        dir.record(LockId(2), SiteId(1), 1);
+        let orphaned = dir.remove_site(SiteId(2));
+        assert_eq!(orphaned, vec![LockId(1)]);
+        // The orphaned lock falls back to ring placement on a survivor.
+        let fallback = dir.home_of(LockId(1)).unwrap();
+        assert_ne!(fallback, SiteId(2));
+        // The untouched override survives.
+        assert_eq!(dir.home_of(LockId(2)), Some(SiteId(1)));
+    }
+
+    #[test]
+    fn empty_ring_has_no_home() {
+        let mut dir = Directory::new(&sites(1), 4);
+        assert_eq!(dir.home_of(LockId(1)), Some(SiteId(0)));
+        dir.remove_site(SiteId(0));
+        assert_eq!(dir.home_of(LockId(1)), None);
+    }
+}

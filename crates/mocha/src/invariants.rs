@@ -98,6 +98,11 @@ pub struct ClusterView {
     pub coordinators: Vec<CoordinatorView>,
     /// Every live site.
     pub sites: Vec<SiteView>,
+    /// Whether this cluster runs the consistent-hash directory, where a
+    /// coordinator at every site is the design rather than a fault. The
+    /// single-home invariant then applies *per lock* — no lock may have
+    /// coordinator state at two live sites — instead of cluster-wide.
+    pub multi_home_ok: bool,
 }
 
 /// A violated safety property, with enough context to debug it.
@@ -229,6 +234,25 @@ impl InvariantOracle {
     }
 
     fn check_split_home(view: &ClusterView, out: &mut Vec<Violation>) {
+        if view.multi_home_ok {
+            // Directory mode: every site hosts a coordinator by design,
+            // but each lock must have coordinator state at exactly one of
+            // them. An unfenced migration leaves the lock installed at
+            // both the old and the new home — that is the split.
+            let mut owners: HashMap<LockId, Vec<SiteId>> = HashMap::new();
+            for coordinator in &view.coordinators {
+                for lv in &coordinator.locks {
+                    owners.entry(lv.lock).or_default().push(coordinator.site);
+                }
+            }
+            let mut split: Vec<_> = owners.into_iter().filter(|(_, s)| s.len() > 1).collect();
+            split.sort_unstable_by_key(|(lock, _)| *lock);
+            for (_, mut sites) in split {
+                sites.sort_unstable();
+                out.push(Violation::SplitHome { sites });
+            }
+            return;
+        }
         let homes: Vec<SiteId> = view
             .sites
             .iter()
@@ -404,6 +428,7 @@ mod tests {
                 locks_broken: 0,
             }],
             sites,
+            multi_home_ok: false,
         }
     }
 
@@ -529,6 +554,28 @@ mod tests {
         let vs = InvariantOracle::new().check(&view);
         assert_eq!(vs.len(), 1);
         assert_eq!(vs[0].kind(), "split_home");
+    }
+
+    #[test]
+    fn multi_home_tolerates_many_coordinators_but_not_shared_locks() {
+        let mut s1 = site_view(S1);
+        s1.hosts_coordinator = true;
+        let mut view = cluster(vec![lock_view()], vec![site_view(S0), s1]);
+        view.multi_home_ok = true;
+        view.coordinators.push(CoordinatorView {
+            site: S1,
+            locks: Vec::new(),
+            locks_broken: 0,
+        });
+        // Two coordinators, disjoint lock sets: the directory design.
+        assert_eq!(InvariantOracle::new().check(&view), Vec::new());
+        // The same lock installed at both homes: an unfenced migration.
+        view.coordinators[1].locks = vec![lock_view()];
+        let vs = InvariantOracle::new().check(&view);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].kind(), "split_home");
+        assert!(vs[0].to_string().contains("site0"));
+        assert!(vs[0].to_string().contains("site1"));
     }
 
     #[test]

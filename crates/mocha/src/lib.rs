@@ -92,6 +92,7 @@ pub mod app;
 pub mod cmd;
 pub mod config;
 pub mod daemon;
+pub mod directory;
 pub mod error;
 pub mod hostfile;
 pub mod invariants;
@@ -104,7 +105,8 @@ pub mod travelbag;
 #[doc(hidden)]
 pub use replica::__private;
 
-pub use config::{AvailabilityConfig, FaultPlan, MochaConfig};
+pub use config::{AvailabilityConfig, FaultPlan, HomeConfig, MochaConfig};
+pub use directory::Directory;
 pub use error::MochaError;
 pub use replica::{replica_id, ObjectReplica, SharedState};
 pub use travelbag::{Parameter, TravelBag, Value};

@@ -31,11 +31,12 @@ use crate::app::UNGUARDED;
 use crate::cmd::{timer_ns, Cmd, CmdSink, SendTag, Signal};
 use crate::config::{AvailabilityConfig, MochaConfig};
 use crate::daemon::{DaemonStats, SiteDaemon};
+use crate::directory::Directory;
 use crate::error::MochaError;
 use crate::replica::ReplicaSpec;
 use crate::runtime::metrics::RuntimeCounters;
 use crate::spawn::{SiteManager, TaskRegistry};
-use crate::sync::SyncCoordinator;
+use crate::sync::{CoordinatorStats, SyncCoordinator};
 use crate::travelbag::{Parameter, TravelBag};
 
 /// How long blocking calls wait before concluding the home site is gone.
@@ -190,6 +191,10 @@ pub(crate) enum AppRequest {
         log: Vec<(SiteId, Msg)>,
         reply: Sender<()>,
     },
+    /// Membership churn notification for the consistent-hash directory
+    /// ring (no-op in single-home mode). `joined` distinguishes a new site
+    /// from a departed one.
+    RingChange { site: SiteId, joined: bool },
     Stop,
 }
 
@@ -225,6 +230,9 @@ pub(crate) struct LockWaiter {
 pub(crate) struct CoreSeed {
     pub(crate) site: SiteId,
     pub(crate) home: SiteId,
+    /// Cluster membership, for the consistent-hash directory ring. Only
+    /// consulted when `config.home.hash_directory` is set.
+    pub(crate) sites: Vec<SiteId>,
     pub(crate) config: MochaConfig,
     pub(crate) registry: Arc<TaskRegistry>,
     pub(crate) epoch: Instant,
@@ -284,6 +292,9 @@ pub(crate) struct SiteCore<L: Link> {
     /// Daemon stats at the last mirror point, so only the increments are
     /// fed into the shared runtime counters.
     last_daemon_stats: DaemonStats,
+    /// Coordinator stats at the last mirror point (zero when this site
+    /// hosts no coordinator).
+    last_coord_stats: CoordinatorStats,
     next_thread: u32,
     pub(crate) stop: bool,
 }
@@ -293,6 +304,7 @@ impl<L: Link> SiteCore<L> {
         let CoreSeed {
             site,
             home,
+            sites,
             config,
             registry,
             epoch,
@@ -303,6 +315,9 @@ impl<L: Link> SiteCore<L> {
         let mut daemon = SiteDaemon::new(site, home, config.codec);
         daemon.set_push_options(config.push);
         daemon.set_faults(config.faults);
+        if config.home.hash_directory {
+            daemon.install_directory(Directory::new(&sites, config.home.virtual_shards));
+        }
         let mut sink = CmdSink::new();
         // Open the durable store (if any) and replay snapshot + WAL into
         // the daemon before the event loop starts; the recovery
@@ -333,7 +348,13 @@ impl<L: Link> SiteCore<L> {
             config,
             daemon,
             recovered_locks,
-            coordinator: (site == home).then(|| SyncCoordinator::new(home, config)),
+            // Hash-directory mode: every site hosts a coordinator owning
+            // its ring share. Legacy mode: only the fixed home does.
+            coordinator: if config.home.hash_directory {
+                Some(SyncCoordinator::with_directory(site, config, &sites))
+            } else {
+                (site == home).then(|| SyncCoordinator::new(home, config))
+            },
             manager: SiteManager::new(site, registry, site == home),
             sink,
             link,
@@ -342,6 +363,7 @@ impl<L: Link> SiteCore<L> {
             stable_log,
             store,
             last_daemon_stats: DaemonStats::default(),
+            last_coord_stats: CoordinatorStats::default(),
             avail: HashMap::new(),
             pending_grant: HashMap::new(),
             wait_data: HashMap::new(),
@@ -544,7 +566,7 @@ impl<L: Link> SiteCore<L> {
                 // to the coordinator.
                 if disseminated.is_empty() {
                     self.sink.send(
-                        self.home,
+                        self.daemon.home_for(lock).unwrap_or(self.home),
                         ports::SYNC,
                         Msg::ReleaseLock {
                             lock,
@@ -612,6 +634,9 @@ impl<L: Link> SiteCore<L> {
                 let members = coordinator.all_members();
                 coordinator.resume(&mut self.sink);
                 self.coordinator = Some(coordinator);
+                // The replayed coordinator's stats restart from zero; the
+                // mirror baseline must restart with them.
+                self.last_coord_stats = CoordinatorStats::default();
                 self.home = me;
                 for member in members {
                     if member != me {
@@ -631,6 +656,31 @@ impl<L: Link> SiteCore<L> {
                     &mut self.sink,
                 );
                 let _ = reply.send(());
+            }
+            AppRequest::RingChange { site, joined } => {
+                if joined {
+                    self.daemon.add_ring_site(site);
+                    if let Some(c) = self.coordinator.as_mut() {
+                        c.add_ring_site(site);
+                    }
+                } else {
+                    // A departed site may have been the migrated home of
+                    // some locks: dropping it from the ring forces those
+                    // locks back to ring placement on a survivor, whose
+                    // coordinator rebuilds state from the freshest
+                    // surviving replica on first contact (§4 poll).
+                    self.daemon.remove_ring_site(site);
+                    if let Some(c) = self.coordinator.as_mut() {
+                        let orphaned = c.remove_ring_site(site);
+                        if !orphaned.is_empty() {
+                            self.sink.note(format!(
+                                "{me}: re-homing {n} lock(s) orphaned by {site} leaving",
+                                me = self.site,
+                                n = orphaned.len()
+                            ));
+                        }
+                    }
+                }
             }
             AppRequest::Stop => {
                 self.stop = true;
@@ -656,8 +706,10 @@ impl<L: Link> SiteCore<L> {
         let mode = waiter.mode;
         let thread = waiter.thread;
         self.pending_grant.insert(lock, waiter);
+        // Per-lock routing via the daemon's directory; `None` (single-home
+        // mode) falls back to the fixed home.
         self.sink.send_tagged(
-            self.home,
+            self.daemon.home_for(lock).unwrap_or(self.home),
             ports::SYNC,
             Msg::AcquireLock {
                 lock,
@@ -688,7 +740,7 @@ impl<L: Link> SiteCore<L> {
             Signal::PushesComplete { lock, acked } => {
                 if let Some((new_version, reply, was_revoked)) = self.wait_push.remove(&lock) {
                     self.sink.send(
-                        self.home,
+                        self.daemon.home_for(lock).unwrap_or(self.home),
                         ports::SYNC,
                         Msg::ReleaseLock {
                             lock,
@@ -738,7 +790,9 @@ impl<L: Link> SiteCore<L> {
     pub(crate) fn on_send_failed(&mut self, tag: &SendTag) {
         let now = self.now();
         match tag {
-            SendTag::TransferDirective { .. } | SendTag::Heartbeat { .. } => {
+            SendTag::TransferDirective { .. }
+            | SendTag::Heartbeat { .. }
+            | SendTag::Migrate { .. } => {
                 if let Some(c) = self.coordinator.as_mut() {
                     c.on_send_failed(now, tag, &mut self.sink);
                 }
@@ -844,6 +898,14 @@ impl<L: Link> SiteCore<L> {
         self.counters.set_push_window_inflight(
             u64::try_from(self.daemon.inflight_pushes()).unwrap_or(u64::MAX),
         );
+        if let Some(c) = self.coordinator.as_ref() {
+            let s = c.stats();
+            let prev = self.last_coord_stats;
+            self.counters.add_migrations(s.migrations - prev.migrations);
+            self.counters
+                .add_stale_home_redirects(s.stale_home_redirects - prev.stale_home_redirects);
+            self.last_coord_stats = s;
+        }
     }
 }
 

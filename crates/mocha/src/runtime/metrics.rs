@@ -34,6 +34,8 @@ pub(crate) struct RuntimeCounters {
     /// runtime's daemons at the last sample point.
     push_window_inflight: AtomicU64,
     socket_errors: AtomicU64,
+    migrations: AtomicU64,
+    stale_home_redirects: AtomicU64,
 }
 
 impl RuntimeCounters {
@@ -114,6 +116,18 @@ impl RuntimeCounters {
         self.socket_errors.fetch_add(1, Relaxed);
     }
 
+    pub(crate) fn add_migrations(&self, n: u64) {
+        if n > 0 {
+            self.migrations.fetch_add(n, Relaxed);
+        }
+    }
+
+    pub(crate) fn add_stale_home_redirects(&self, n: u64) {
+        if n > 0 {
+            self.stale_home_redirects.fetch_add(n, Relaxed);
+        }
+    }
+
     pub(crate) fn snapshot(&self) -> RuntimeMetrics {
         RuntimeMetrics {
             datagrams_sent: self.datagrams_sent.load(Relaxed),
@@ -133,6 +147,8 @@ impl RuntimeCounters {
             delta_nacks: self.delta_nacks.load(Relaxed),
             push_window_inflight: self.push_window_inflight.load(Relaxed),
             socket_errors: self.socket_errors.load(Relaxed),
+            migrations: self.migrations.load(Relaxed),
+            stale_home_redirects: self.stale_home_redirects.load(Relaxed),
         }
     }
 }
@@ -190,6 +206,12 @@ pub struct RuntimeMetrics {
     /// exponential-backoff recovery (each one paused the affected shard
     /// loop briefly; none are fatal).
     pub socket_errors: u64,
+    /// Completed dynamic home migrations (directory mode): locks whose
+    /// coordinator moved to the site dominating their acquire traffic.
+    pub migrations: u64,
+    /// `StaleHome` redirects served by this runtime's coordinators —
+    /// how often a site addressed a home the lock had moved away from.
+    pub stale_home_redirects: u64,
 }
 
 impl RuntimeMetrics {
@@ -211,7 +233,7 @@ impl std::fmt::Display for RuntimeMetrics {
              msgs sent={} delivered={} failed={}; timers fired={}; \
              retx={} fast={} backoffs={} cwnd={}; \
              delta pushes={} saved={} nacks={} inflight={}; \
-             sock errs={}",
+             sock errs={}; migrations={} stale homes={}",
             self.datagrams_sent,
             self.datagrams_delivered,
             self.datagrams_lost,
@@ -229,6 +251,8 @@ impl std::fmt::Display for RuntimeMetrics {
             self.delta_nacks,
             self.push_window_inflight,
             self.socket_errors,
+            self.migrations,
+            self.stale_home_redirects,
         )
     }
 }
@@ -262,6 +286,9 @@ mod tests {
         c.set_push_window_inflight(2); // gauge: last write wins
         c.inc_socket_errors();
         c.inc_socket_errors();
+        c.add_migrations(0); // no-op
+        c.add_migrations(2);
+        c.add_stale_home_redirects(3);
         let m = c.snapshot();
         assert_eq!(m.datagrams_sent, 2);
         assert_eq!(m.bytes_sent, 150);
@@ -280,6 +307,8 @@ mod tests {
         assert_eq!(m.delta_nacks, 1);
         assert_eq!(m.push_window_inflight, 2);
         assert_eq!(m.socket_errors, 2);
+        assert_eq!(m.migrations, 2);
+        assert_eq!(m.stale_home_redirects, 3);
         assert!((m.loss_rate() - 0.5).abs() < 1e-12);
     }
 

@@ -24,6 +24,7 @@ use crate::app::{AppRunner, Record, Script};
 use crate::cmd::{Cmd, CmdSink, SendTag, Signal};
 use crate::config::MochaConfig;
 use crate::daemon::{DaemonStats, SiteDaemon};
+use crate::directory::Directory;
 use crate::spawn::{SiteManager, SpawnOutcome, TaskRegistry};
 use crate::sync::{CoordinatorStats, SyncCoordinator};
 use crate::travelbag::Parameter;
@@ -86,6 +87,20 @@ impl SiteHost {
             prints: Vec::new(),
             notes: Vec::new(),
         }
+    }
+
+    /// Switches this host into consistent-hash directory mode over
+    /// `sites`: the daemon routes per lock, and a coordinator runs here
+    /// owning this site's ring share (replacing the fixed-home-only
+    /// coordinator, if any).
+    pub fn install_directory(&mut self, sites: &[SiteId]) {
+        self.daemon
+            .install_directory(Directory::new(sites, self.config.home.virtual_shards));
+        self.coordinator = Some(SyncCoordinator::with_directory(
+            self.site,
+            self.config,
+            sites,
+        ));
     }
 
     /// The application runner (scripts, records, observations).
@@ -193,7 +208,9 @@ impl SiteHost {
             TransportEvent::SendFailed { handle, .. } => {
                 if let Some(tag) = self.tags.remove(&handle) {
                     match &tag {
-                        SendTag::TransferDirective { .. } | SendTag::Heartbeat { .. } => {
+                        SendTag::TransferDirective { .. }
+                        | SendTag::Heartbeat { .. }
+                        | SendTag::Migrate { .. } => {
                             if let Some(c) = self.coordinator.as_mut() {
                                 c.on_send_failed(now, &tag, &mut self.sink);
                             }
@@ -536,8 +553,12 @@ impl SimClusterBuilder {
             .map(|_| self.durable.map(StoreHandle::mem))
             .collect();
         let mut nodes = Vec::with_capacity(self.sites);
+        let membership: Vec<SiteId> = (0..self.sites as u32).map(SiteId).collect();
         for i in 0..self.sites {
             let mut host = SiteHost::new(SiteId(i as u32), home, self.config, registry.clone());
+            if self.config.home.hash_directory {
+                host.install_directory(&membership);
+            }
             if let Some(handle) = &store_handles[i] {
                 host.attach_store(handle);
             }
@@ -723,6 +744,10 @@ impl SimCluster {
             self.restart_config,
             self.registry.clone(),
         );
+        if self.restart_config.home.hash_directory {
+            let membership: Vec<SiteId> = (0..self.nodes.len() as u32).map(SiteId).collect();
+            host.install_directory(&membership);
+        }
         // A fresh incarnation must stamp a distinct epoch so peers detect
         // the reboot — but a deterministic one, so explorer replays stay
         // byte-identical.
@@ -755,11 +780,16 @@ impl SimCluster {
         self.incarnations[site] += 1;
         let epoch = (self.incarnations[site] << 16) | (site as u32 + 1);
         let handle = self.store_handles[site].clone();
+        let site_count = self.nodes.len() as u32;
         self.world.schedule_at(at, move |world| {
             if !world.is_crashed(node) {
                 return;
             }
             let mut host = SiteHost::new(SiteId(site as u32), home, config, registry);
+            if config.home.hash_directory {
+                let membership: Vec<SiteId> = (0..site_count).map(SiteId).collect();
+                host.install_directory(&membership);
+            }
             host.set_transport_epoch(epoch);
             let durable = handle.is_some();
             if let Some(handle) = &handle {
@@ -839,6 +869,12 @@ impl SimCluster {
             .stats()
     }
 
+    /// Coordinator statistics at a site, or `None` when it hosts no
+    /// coordinator (every non-home site outside hash-directory mode).
+    pub fn try_coordinator_stats_at(&mut self, site: usize) -> Option<CoordinatorStats> {
+        self.host_mut(site).coordinator().map(SyncCoordinator::stats)
+    }
+
     /// Spawn outcomes observed at a site.
     pub fn spawn_outcomes(&mut self, site: usize) -> Vec<SpawnOutcome> {
         self.host_mut(site).manager().outcomes().to_vec()
@@ -865,6 +901,9 @@ impl SimCluster {
     /// until restart.
     pub fn cluster_view(&mut self) -> crate::invariants::ClusterView {
         let mut view = crate::invariants::ClusterView::default();
+        // Directory mode hosts a coordinator everywhere by design; the
+        // oracle then checks single-home *per lock* instead.
+        view.multi_home_ok = self.restart_config.home.hash_directory;
         for i in 0..self.nodes.len() {
             let node = self.nodes[i];
             if self.world.is_crashed(node) {

@@ -587,10 +587,15 @@ fn make_core(
         .durable
         .as_ref()
         .map(|(dir, cfg)| StoreHandle::disk(dir.join(format!("site-{}", site.0)), *cfg));
+    // Membership for the consistent-hash directory ring: the current
+    // address book, sorted so every site builds the identical ring.
+    let mut sites: Vec<SiteId> = shared.book.read().iter().map(|(s, _)| s).collect();
+    sites.sort_unstable();
     Ok(SiteCore::new(
         CoreSeed {
             site,
             home: shared.home,
+            sites,
             config: shared.config,
             registry: shared.registry.clone(),
             epoch: shared.epoch,
@@ -1042,6 +1047,12 @@ impl SocketRuntime {
             .map_err(|_| io::Error::other("shard loop has stopped"))?;
         shard.waker.wake();
         let handle = MochaHandle::new(site, shard.input_tx.clone(), Some(shard.waker.clone()));
+        // Existing sites learn the newcomer's ring shards (directory mode;
+        // a no-op for single-home cores). The new core itself was built
+        // from the already-updated address book.
+        for peer in &self.handles {
+            let _ = peer.push(LoopInput::App(AppRequest::RingChange { site, joined: true }));
+        }
         self.handles.push(handle.clone());
         Ok(handle)
     }
@@ -1053,6 +1064,16 @@ impl SocketRuntime {
         if let Some(pos) = self.handles.iter().position(|h| h.site() == site) {
             let handle = self.handles.swap_remove(pos);
             let _ = handle.push(LoopInput::App(AppRequest::Stop));
+            // Survivors drop the departed site's ring shards, forcing any
+            // lock whose (migrated) home just died back to ring placement
+            // on a live site — without this the directory would keep
+            // routing those locks at a dead coordinator forever.
+            for peer in &self.handles {
+                let _ = peer.push(LoopInput::App(AppRequest::RingChange {
+                    site,
+                    joined: false,
+                }));
+            }
         }
     }
 

@@ -199,6 +199,7 @@ impl ThreadRuntimeBuilder {
                 CoreSeed {
                     site,
                     home,
+                    sites: (0..self.sites as u32).map(SiteId).collect(),
                     config: self.config,
                     registry: registry.clone(),
                     epoch,
@@ -323,6 +324,7 @@ impl ThreadRuntime {
             CoreSeed {
                 site,
                 home: SiteId(0),
+                sites: (0..self.handles.len() as u32).map(SiteId).collect(),
                 config: self.config,
                 registry: self.registry.clone(),
                 epoch: self.epoch,

@@ -30,10 +30,16 @@ use mocha_wire::{LockId, Msg, ReplicaId, RequestId, SiteId, ThreadId, Version};
 
 use crate::cmd::{timer_ns, CmdSink, SendTag};
 use crate::config::MochaConfig;
+use crate::directory::Directory;
 
 const SCAN_TOKEN: u64 = timer_ns::COORD;
 const HEARTBEAT_SUB: u64 = 1 << 48;
 const RECOVERY_SUB: u64 = 2 << 48;
+
+/// When a lock's hottest per-site acquire counter reaches this ceiling,
+/// every counter is halved — a decaying window so old traffic stops
+/// outvoting the current access pattern.
+const HEAT_CEILING: u32 = 32;
 
 /// A queued lock requester.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +93,21 @@ struct LockState {
     replicas: BTreeSet<ReplicaId>,
     /// Recovery in progress, if any.
     recovery: Option<Recovery>,
+    /// Decayed per-site acquire counters (only maintained when dynamic
+    /// home migration is enabled): the evidence a remote site dominates.
+    heat: BTreeMap<SiteId, u32>,
+}
+
+/// An in-flight outgoing home migration for one lock.
+#[derive(Debug, Clone, Copy)]
+struct OutgoingMigration {
+    /// Candidate new home.
+    target: SiteId,
+    /// Fence epoch this migration will commit under.
+    epoch: u64,
+    /// The candidate has sent `MigrateAccept`; commit at the next moment
+    /// the lock is free.
+    accepted: bool,
 }
 
 /// Statistics the coordinator accumulates, for tests and reports.
@@ -105,6 +126,11 @@ pub struct CoordinatorStats {
     pub stale_recoveries: u64,
     /// Requests ignored because the sender was blacklisted.
     pub blacklisted_requests: u64,
+    /// Home migrations committed away from this coordinator.
+    pub migrations: u64,
+    /// SYNC messages redirected with a `StaleHome` NACK because this
+    /// coordinator is not (or no longer) the lock's home.
+    pub stale_home_redirects: u64,
 }
 
 /// The synchronization thread's state machine.
@@ -125,6 +151,20 @@ pub struct SyncCoordinator {
     /// accepted, in order. A production system would write this to stable
     /// storage; the harness extracts it when promoting a surrogate.
     log: Vec<(SiteId, Msg)>,
+    /// Consistent-hash object directory, present only when
+    /// `home.hash_directory` is on. `None` preserves the legacy
+    /// single-coordinator behaviour exactly.
+    dir: Option<Directory>,
+    /// In-flight outgoing migrations by lock.
+    outgoing: HashMap<LockId, OutgoingMigration>,
+    /// Lock state retired at commit-send (the fence), kept until the new
+    /// home's `HomeUpdate` confirms it is live — reinstated if the commit
+    /// send fails.
+    retired: HashMap<LockId, LockState>,
+    /// Incoming migrations: SYNC traffic for a lock buffered between
+    /// `MigrateAccept` and `MigrateCommit`, so the handshake window never
+    /// produces redirect ping-pong.
+    incoming: HashMap<LockId, Vec<(SiteId, Msg)>>,
 }
 
 impl SyncCoordinator {
@@ -141,6 +181,48 @@ impl SyncCoordinator {
             scan_running: false,
             stats: CoordinatorStats::default(),
             log: Vec::new(),
+            dir: None,
+            outgoing: HashMap::new(),
+            retired: HashMap::new(),
+            incoming: HashMap::new(),
+        }
+    }
+
+    /// Creates a coordinator for `home` in hash-directory mode: every site
+    /// in `sites` hosts a coordinator, and this one owns exactly the locks
+    /// the shared consistent-hash ring (plus migration overrides) maps to
+    /// `home`. Traffic for any other lock is answered with a `StaleHome`
+    /// redirect and forwarded to the right coordinator.
+    pub fn with_directory(home: SiteId, cfg: MochaConfig, sites: &[SiteId]) -> SyncCoordinator {
+        let mut c = SyncCoordinator::new(home, cfg);
+        c.dir = Some(Directory::new(sites, cfg.home.virtual_shards));
+        c
+    }
+
+    /// The object directory, when running in hash-directory mode.
+    pub fn directory(&self) -> Option<&Directory> {
+        self.dir.as_ref()
+    }
+
+    /// Adds a site to the directory ring (membership growth). No-op in
+    /// legacy fixed-home mode.
+    pub fn add_ring_site(&mut self, site: SiteId) {
+        if let Some(dir) = self.dir.as_mut() {
+            dir.add_site(site);
+        }
+    }
+
+    /// Removes a dead site from the directory ring, dropping any migration
+    /// overrides that pointed at it — their locks fall back to ring
+    /// placement on a surviving site, and the next acquire re-creates
+    /// coordinator state there through the §4 recovery poll. Abandons any
+    /// in-flight migration toward the dead site. Returns the locks whose
+    /// override was dropped.
+    pub fn remove_ring_site(&mut self, site: SiteId) -> Vec<LockId> {
+        self.outgoing.retain(|_, m| m.target != site);
+        match self.dir.as_mut() {
+            Some(dir) => dir.remove_site(site),
+            None => Vec::new(),
         }
     }
 
@@ -304,6 +386,15 @@ impl SyncCoordinator {
                 site.hash(h);
                 version.hash(h);
             }
+            for (site, count) in &self.locks[lock].heat {
+                site.hash(h);
+                count.hash(h);
+            }
+            // Directory placement steers future routing and fencing.
+            if let Some(dir) = &self.dir {
+                dir.home_of(*lock).hash(h);
+                dir.epoch_of(*lock).hash(h);
+            }
         }
         self.blacklist.hash(h);
         self.scan_running.hash(h);
@@ -324,10 +415,63 @@ impl SyncCoordinator {
         r
     }
 
+    /// The lock a SYNC message is *routed by* — the messages that must
+    /// reach the lock's current home (and only those; poll answers,
+    /// heartbeat acks and the migration handshake are correlated by
+    /// request id or handled at any coordinator).
+    fn routed_lock(msg: &Msg) -> Option<LockId> {
+        match msg {
+            Msg::AcquireLock { lock, .. }
+            | Msg::ReleaseLock { lock, .. }
+            | Msg::RegisterReplica { lock, .. } => Some(*lock),
+            _ => None,
+        }
+    }
+
+    /// `Some((home, epoch))` when this coordinator is not the lock's home
+    /// under the directory. Always `None` in legacy fixed-home mode, and
+    /// for locks with installed state here (mid-handshake the old home
+    /// keeps serving until the fence).
+    fn foreign_home(&self, lock: LockId) -> Option<(SiteId, u64)> {
+        let dir = self.dir.as_ref()?;
+        if self.locks.contains_key(&lock) {
+            return None;
+        }
+        match dir.home_of(lock) {
+            Some(home) if home != self.home => Some((home, dir.epoch_of(lock))),
+            _ => None,
+        }
+    }
+
     /// Handles a protocol message addressed to the SYNC port.
     pub fn on_msg(&mut self, now: SimTime, from: SiteId, msg: Msg, sink: &mut CmdSink) {
         // One event handling's worth of JVM dispatch.
         sink.charge(Work::events(1));
+        if let Some(lock) = Self::routed_lock(&msg) {
+            // A migration toward this site is in flight: hold the traffic
+            // until `MigrateCommit` installs the lock here.
+            if let Some(buffer) = self.incoming.get_mut(&lock) {
+                buffer.push((from, msg));
+                return;
+            }
+            // Not this coordinator's lock: NACK the sender's stale
+            // directory entry and forward the message to the real home, so
+            // correctness never depends on directory freshness.
+            if let Some((home, epoch)) = self.foreign_home(lock) {
+                self.stats.stale_home_redirects += 1;
+                sink.note(format!(
+                    "redirecting {lock} traffic from {from}: home is {home} (epoch {epoch})"
+                ));
+                sink.send(
+                    from,
+                    ports::DAEMON,
+                    Msg::StaleHome { lock, home, epoch },
+                    MsgClass::Control,
+                );
+                sink.send(home, ports::SYNC, msg, MsgClass::Control);
+                return;
+            }
+        }
         if matches!(
             msg,
             Msg::AcquireLock { .. }
@@ -369,6 +513,36 @@ impl SyncCoordinator {
             Msg::SiteRecovered { site, versions } => {
                 self.on_site_recovered(site, &versions, sink);
             }
+            Msg::MigrateOffer { lock, epoch, req } => {
+                self.on_migrate_offer(from, lock, epoch, req, sink);
+            }
+            Msg::MigrateAccept {
+                lock, epoch, site, ..
+            } => self.on_migrate_accept(now, lock, epoch, site, sink),
+            Msg::MigrateCommit {
+                lock,
+                epoch,
+                version,
+                last_owner,
+                members,
+                up_to_date,
+                site_versions,
+                replicas,
+                ..
+            } => self.on_migrate_commit(
+                now,
+                from,
+                lock,
+                epoch,
+                version,
+                last_owner,
+                &members,
+                &up_to_date,
+                &site_versions,
+                &replicas,
+                sink,
+            ),
+            Msg::HomeUpdate { lock, home, epoch } => self.on_home_update(lock, home, epoch),
             other => {
                 sink.note(format!(
                     "coordinator ignoring unexpected {other:?} from {from}"
@@ -404,6 +578,7 @@ impl SyncCoordinator {
             lease,
             mode,
         };
+        self.note_heat(lock, site);
         let state = self.locks.entry(lock).or_default();
         state.members.insert(site);
         // After a surrogate takeover, clients re-send acquires that may
@@ -611,6 +786,10 @@ impl SyncCoordinator {
             state.site_versions.insert(site, state.version);
         }
         self.grant_next_batch(now, lock, sink);
+        // The lock may now be free: land an accepted migration, or see
+        // whether the traffic pattern warrants offering one.
+        self.try_commit(lock, sink);
+        self.maybe_migrate(lock, sink);
     }
 
     /// Grants the next compatible batch from the queue: one exclusive
@@ -775,6 +954,265 @@ impl SyncCoordinator {
         }
     }
 
+    /// Records acquire traffic for migration heat tracking, with a decaying
+    /// window: when any counter reaches the ceiling, all are halved.
+    fn note_heat(&mut self, lock: LockId, site: SiteId) {
+        if self.dir.is_none() || !self.cfg.home.migration {
+            return;
+        }
+        let state = self.locks.entry(lock).or_default();
+        let count = state.heat.entry(site).or_insert(0);
+        *count += 1;
+        if *count >= HEAT_CEILING {
+            state.heat.retain(|_, c| {
+                *c /= 2;
+                *c > 0
+            });
+        }
+    }
+
+    /// Offers the coordinator role to a remote site that dominates this
+    /// lock's acquire traffic. Only called with the lock free; the offer
+    /// does not pause service — the lock keeps being granted here until
+    /// the fence at commit-send.
+    fn maybe_migrate(&mut self, lock: LockId, sink: &mut CmdSink) {
+        if !self.cfg.home.migration
+            || self.outgoing.contains_key(&lock)
+            || self.retired.contains_key(&lock)
+        {
+            return;
+        }
+        let Some(dir) = self.dir.as_ref() else {
+            return;
+        };
+        let me = self.home;
+        let threshold = self.cfg.home.migrate_threshold;
+        let Some(state) = self.locks.get(&lock) else {
+            return;
+        };
+        if !state.holders.is_empty() || !state.queue.is_empty() || state.recovery.is_some() {
+            return;
+        }
+        let local = state.heat.get(&me).copied().unwrap_or(0);
+        let candidate = state
+            .heat
+            .iter()
+            .filter(|(site, _)| **site != me && !self.blacklist.contains(site))
+            .max_by_key(|(_, count)| **count)
+            .map(|(site, count)| (*site, *count));
+        let Some((target, heat)) = candidate else {
+            return;
+        };
+        if heat < local.saturating_add(threshold) {
+            return;
+        }
+        let epoch = dir.epoch_of(lock) + 1;
+        let req = self.fresh_req();
+        self.outgoing.insert(
+            lock,
+            OutgoingMigration {
+                target,
+                epoch,
+                accepted: false,
+            },
+        );
+        sink.note(format!(
+            "offering home of {lock} to {target} (heat {heat} vs local {local}, epoch {epoch})"
+        ));
+        sink.send_tagged(
+            target,
+            ports::SYNC,
+            Msg::MigrateOffer { lock, epoch, req },
+            MsgClass::Control,
+            SendTag::Migrate {
+                lock,
+                site: target,
+                epoch,
+            },
+        );
+    }
+
+    /// A coordinator elsewhere wants to hand this site a lock's home role.
+    /// Accept and start buffering the lock's SYNC traffic until the commit
+    /// installs its state here.
+    fn on_migrate_offer(
+        &mut self,
+        from: SiteId,
+        lock: LockId,
+        epoch: u64,
+        req: RequestId,
+        sink: &mut CmdSink,
+    ) {
+        if self.dir.is_none() {
+            sink.note(format!(
+                "ignoring migrate offer for {lock} from {from}: not in hash-directory mode"
+            ));
+            return;
+        }
+        self.incoming.entry(lock).or_default();
+        sink.send(
+            from,
+            ports::SYNC,
+            Msg::MigrateAccept {
+                lock,
+                epoch,
+                site: self.home,
+                req,
+            },
+            MsgClass::Control,
+        );
+    }
+
+    /// The candidate accepted: commit now if the lock is free, else at the
+    /// next release that leaves it free.
+    fn on_migrate_accept(
+        &mut self,
+        _now: SimTime,
+        lock: LockId,
+        epoch: u64,
+        site: SiteId,
+        sink: &mut CmdSink,
+    ) {
+        let Some(migration) = self.outgoing.get_mut(&lock) else {
+            return; // aborted in the meantime
+        };
+        if migration.epoch != epoch || migration.target != site {
+            return; // stale accept from an earlier attempt
+        }
+        migration.accepted = true;
+        self.try_commit(lock, sink);
+    }
+
+    /// Commits an accepted migration if the lock is currently free. The
+    /// commit-send IS the fence: this coordinator retires the lock state in
+    /// the same step, so no acquire can ever be granted by both homes.
+    fn try_commit(&mut self, lock: LockId, sink: &mut CmdSink) {
+        let Some(migration) = self.outgoing.get(&lock).copied() else {
+            return;
+        };
+        if !migration.accepted {
+            return;
+        }
+        {
+            let Some(state) = self.locks.get(&lock) else {
+                self.outgoing.remove(&lock);
+                return;
+            };
+            if !state.holders.is_empty() || !state.queue.is_empty() || state.recovery.is_some() {
+                return; // busy again; retried at the next release
+            }
+        }
+        self.outgoing.remove(&lock);
+        let req = self.fresh_req();
+        let OutgoingMigration { target, epoch, .. } = migration;
+        let msg = {
+            let Some(state) = self.locks.get(&lock) else {
+                return;
+            };
+            Msg::MigrateCommit {
+                lock,
+                epoch,
+                version: state.version,
+                last_owner: state.last_owner,
+                members: state.members.iter().copied().collect(),
+                up_to_date: state.up_to_date.iter().copied().collect(),
+                site_versions: state.site_versions.iter().map(|(s, v)| (*s, *v)).collect(),
+                replicas: state.replicas.iter().copied().collect(),
+                req,
+            }
+        };
+        self.stats.migrations += 1;
+        if self.cfg.faults.active().commit_unfenced {
+            // Mutant-harness hook: skip the fence — keep serving the lock
+            // after handing its home away, so both coordinators own it and
+            // the per-lock split-home invariant can be shown to fire.
+            sink.note(format!(
+                "MUTANT commit_unfenced: {lock} committed to {target} without retiring"
+            ));
+        } else if let Some(state) = self.locks.remove(&lock) {
+            self.retired.insert(lock, state);
+            if let Some(dir) = self.dir.as_mut() {
+                dir.record(lock, target, epoch);
+            }
+            sink.note(format!("home of {lock} migrated to {target} (epoch {epoch})"));
+        }
+        sink.send_tagged(
+            target,
+            ports::SYNC,
+            msg,
+            MsgClass::Control,
+            SendTag::Migrate {
+                lock,
+                site: target,
+                epoch,
+            },
+        );
+    }
+
+    /// Installs a lock whose home was migrated here, gossips the new
+    /// placement, and drains any traffic buffered during the handshake.
+    #[allow(clippy::too_many_arguments)]
+    fn on_migrate_commit(
+        &mut self,
+        now: SimTime,
+        from: SiteId,
+        lock: LockId,
+        epoch: u64,
+        version: Version,
+        last_owner: Option<SiteId>,
+        members: &[SiteId],
+        up_to_date: &[SiteId],
+        site_versions: &[(SiteId, Version)],
+        replicas: &[ReplicaId],
+        sink: &mut CmdSink,
+    ) {
+        let mut state = LockState {
+            version,
+            last_owner,
+            ..LockState::default()
+        };
+        state.members.extend(members.iter().copied());
+        state.up_to_date.extend(up_to_date.iter().copied());
+        state
+            .site_versions
+            .extend(site_versions.iter().copied());
+        state.replicas.extend(replicas.iter().copied());
+        self.locks.insert(lock, state);
+        if let Some(dir) = self.dir.as_mut() {
+            dir.record(lock, self.home, epoch);
+        }
+        // Gossip the new placement to every member daemon and coordinator,
+        // and always to the committer — receiving it is its fence ack.
+        let mut targets: BTreeSet<SiteId> = members.iter().copied().collect();
+        targets.insert(from);
+        targets.remove(&self.home);
+        for target in targets {
+            let update = Msg::HomeUpdate {
+                lock,
+                home: self.home,
+                epoch,
+            };
+            sink.send(target, ports::DAEMON, update.clone(), MsgClass::Control);
+            sink.send(target, ports::SYNC, update, MsgClass::Control);
+        }
+        if let Some(buffered) = self.incoming.remove(&lock) {
+            for (buffered_from, buffered_msg) in buffered {
+                self.on_msg(now, buffered_from, buffered_msg, sink);
+            }
+        }
+    }
+
+    /// Directory gossip: a lock's home moved. Also serves as the fence ack
+    /// releasing any retired state held against commit-send failure.
+    fn on_home_update(&mut self, lock: LockId, home: SiteId, epoch: u64) {
+        if home != self.home {
+            self.retired.remove(&lock);
+        }
+        if let Some(dir) = self.dir.as_mut() {
+            dir.record(lock, home, epoch);
+        }
+    }
+
     fn on_poll_response(
         &mut self,
         _now: SimTime,
@@ -926,16 +1364,14 @@ impl SyncCoordinator {
         };
         self.stats.locks_broken += 1;
         state.holders.swap_remove(idx);
+        let version = state.version;
         self.fail_site_in_lock(lock, dead);
         self.blacklist.insert(dead);
         // A live-but-slow owner must learn its grant is void.
         sink.send(
             dead,
             ports::APP,
-            Msg::LockRevoked {
-                lock,
-                version: self.locks[&lock].version,
-            },
+            Msg::LockRevoked { lock, version },
             MsgClass::Control,
         );
         sink.note(format!("broke {lock}: owner {dead} presumed failed"));
@@ -950,6 +1386,7 @@ impl SyncCoordinator {
         state.members.remove(&dead);
         state.up_to_date.remove(&dead);
         state.site_versions.remove(&dead);
+        state.heat.remove(&dead);
         if state.last_owner == Some(dead) {
             state.last_owner = state.up_to_date.iter().copied().next();
         }
@@ -974,6 +1411,26 @@ impl SyncCoordinator {
                 self.pending_heartbeats.remove(req);
                 sink.cancel_timer(token);
                 self.break_lock(now, *lock, *site, sink);
+            }
+            SendTag::Migrate { lock, site, epoch } => {
+                // The counterpart coordinator is unreachable. An offer (or
+                // unacked commit-retry window) simply aborts; a fenced
+                // commit reinstates the retired lock here, re-recording
+                // this site as home under a fresher epoch so the failed
+                // fence can never win.
+                self.outgoing.remove(lock);
+                if let Some(state) = self.retired.remove(lock) {
+                    sink.note(format!(
+                        "migrate commit of {lock} to {site} failed; reinstating home here"
+                    ));
+                    self.locks.insert(*lock, state);
+                    if let Some(dir) = self.dir.as_mut() {
+                        dir.record(*lock, self.home, epoch + 1);
+                    }
+                } else {
+                    sink.note(format!("migrate offer of {lock} to {site} failed; aborted"));
+                }
+                self.fail_site_in_lock(*lock, *site);
             }
             _ => {}
         }
@@ -1670,6 +2127,208 @@ mod tests {
             .any(|(to, m)| *to == S1 && matches!(m, Msg::Grant { .. })));
         // Still exactly one holder.
         assert_eq!(c.lock_holders(L), vec![S1]);
+    }
+
+    /// Delivers SYNC-port sends between the given coordinators until the
+    /// cluster quiesces, collecting every other send as `(to, msg)` for
+    /// inspection.
+    fn pump(
+        coords: &mut [SyncCoordinator],
+        sinks: &mut [CmdSink],
+        now: SimTime,
+        observed: &mut Vec<(SiteId, Msg)>,
+    ) {
+        loop {
+            let mut queue: Vec<(usize, SiteId, Msg)> = Vec::new();
+            for i in 0..coords.len() {
+                let from = coords[i].home();
+                for cmd in sinks[i].drain() {
+                    if let Cmd::Send { to, port, msg, .. } = cmd {
+                        if port == ports::SYNC {
+                            if let Some(j) = coords.iter().position(|c| c.home() == to) {
+                                queue.push((j, from, msg));
+                                continue;
+                            }
+                        }
+                        observed.push((to, msg));
+                    }
+                }
+            }
+            if queue.is_empty() {
+                break;
+            }
+            for (j, from, msg) in queue {
+                coords[j].on_msg(now, from, msg, &mut sinks[j]);
+            }
+        }
+    }
+
+    fn hash_cfg(threshold: u32) -> MochaConfig {
+        let mut cfg = MochaConfig::default();
+        cfg.home.hash_directory = true;
+        cfg.home.migration = threshold > 0;
+        if threshold > 0 {
+            cfg.home.migrate_threshold = threshold;
+        }
+        cfg
+    }
+
+    fn hash_pair(threshold: u32) -> (Vec<SyncCoordinator>, Vec<CmdSink>, usize, usize) {
+        let cfg = hash_cfg(threshold);
+        let sites = [SiteId(0), SiteId(1)];
+        let coords: Vec<SyncCoordinator> = sites
+            .iter()
+            .map(|s| SyncCoordinator::with_directory(*s, cfg, &sites))
+            .collect();
+        let sinks = vec![CmdSink::new(), CmdSink::new()];
+        let home = coords[0].directory().unwrap().home_of(L).unwrap();
+        let home_idx = home.0 as usize;
+        (coords, sinks, home_idx, 1 - home_idx)
+    }
+
+    #[test]
+    fn foreign_acquire_redirects_and_forwards() {
+        let (mut coords, mut sinks, home_idx, other_idx) = hash_pair(0);
+        let requester = SiteId(other_idx as u32); // any site works as sender
+        // The acquire lands at the WRONG coordinator: it must NACK the
+        // sender's stale directory entry and forward, and the true home
+        // must still grant — correctness independent of directory
+        // freshness.
+        coords[other_idx].on_msg(t(0), requester, acquire(requester), &mut sinks[other_idx]);
+        let mut observed = Vec::new();
+        pump(&mut coords, &mut sinks, t(0), &mut observed);
+        assert_eq!(coords[other_idx].stats().stale_home_redirects, 1);
+        let home = coords[0].directory().unwrap().home_of(L).unwrap();
+        assert!(observed.iter().any(|(to, m)| *to == requester
+            && matches!(m, Msg::StaleHome { lock, home: h, .. } if *lock == L && *h == home)));
+        assert!(observed
+            .iter()
+            .any(|(to, m)| *to == requester && matches!(m, Msg::Grant { .. })));
+        assert_eq!(coords[home_idx].lock_owner(L), Some(requester));
+        assert!(coords[other_idx].known_locks().is_empty());
+    }
+
+    #[test]
+    fn hot_lock_migrates_to_dominating_site() {
+        let (mut coords, mut sinks, home_idx, hot_idx) = hash_pair(2);
+        let hot = SiteId(hot_idx as u32);
+        let mut observed = Vec::new();
+        // The remote site hammers the lock; every message is addressed to
+        // the ORIGINAL home, exercising the post-fence redirect path too.
+        for v in 1..=4u64 {
+            coords[home_idx].on_msg(t(v), hot, acquire(hot), &mut sinks[home_idx]);
+            pump(&mut coords, &mut sinks, t(v), &mut observed);
+            coords[home_idx].on_msg(t(v), hot, release(hot, v), &mut sinks[home_idx]);
+            pump(&mut coords, &mut sinks, t(v), &mut observed);
+        }
+        // The home role moved to the hot site, exactly once.
+        assert_eq!(coords[home_idx].stats().migrations, 1);
+        assert!(coords[home_idx].known_locks().is_empty());
+        assert_eq!(coords[hot_idx].known_locks(), vec![L]);
+        for c in &coords {
+            assert_eq!(c.directory().unwrap().home_of(L), Some(hot));
+            assert_eq!(c.directory().unwrap().epoch_of(L), 1);
+        }
+        // Post-fence traffic to the old home was redirected, not lost:
+        // every acquire produced a grant.
+        assert!(coords[home_idx].stats().stale_home_redirects >= 1);
+        let grants = observed
+            .iter()
+            .filter(|(to, m)| *to == hot && matches!(m, Msg::Grant { .. }))
+            .count();
+        assert_eq!(grants, 4);
+        // The migrated state carried versions across: the new home knows
+        // the last committed version.
+        assert_eq!(coords[hot_idx].lock_version(L), Some(Version(4)));
+    }
+
+    #[test]
+    fn migration_waits_until_lock_is_free() {
+        let (mut coords, mut sinks, home_idx, hot_idx) = hash_pair(2);
+        let hot = SiteId(hot_idx as u32);
+        let mut observed = Vec::new();
+        // Build dominance but keep the lock held: re-acquires by the exact
+        // holder re-grant without a release.
+        coords[home_idx].on_msg(t(0), hot, acquire(hot), &mut sinks[home_idx]);
+        pump(&mut coords, &mut sinks, t(0), &mut observed);
+        for v in 1..=4u64 {
+            coords[home_idx].on_msg(t(v), hot, acquire(hot), &mut sinks[home_idx]);
+            pump(&mut coords, &mut sinks, t(v), &mut observed);
+        }
+        // Held throughout: no migration can have committed.
+        assert_eq!(coords[home_idx].stats().migrations, 0);
+        assert_eq!(coords[home_idx].lock_owner(L), Some(hot));
+        // The release frees the lock and the pending dominance lands it.
+        coords[home_idx].on_msg(t(9), hot, release(hot, 1), &mut sinks[home_idx]);
+        pump(&mut coords, &mut sinks, t(9), &mut observed);
+        assert_eq!(coords[home_idx].stats().migrations, 1);
+        assert_eq!(coords[hot_idx].known_locks(), vec![L]);
+    }
+
+    #[test]
+    fn failed_commit_send_reinstates_retired_lock() {
+        let (mut coords, mut sinks, home_idx, hot_idx) = hash_pair(2);
+        let hot = SiteId(hot_idx as u32);
+        let home = SiteId(home_idx as u32);
+        let mut observed = Vec::new();
+        coords[home_idx].on_msg(t(1), hot, acquire(hot), &mut sinks[home_idx]);
+        pump(&mut coords, &mut sinks, t(1), &mut observed);
+        coords[home_idx].on_msg(t(1), hot, release(hot, 1), &mut sinks[home_idx]);
+        pump(&mut coords, &mut sinks, t(1), &mut observed);
+        coords[home_idx].on_msg(t(2), hot, acquire(hot), &mut sinks[home_idx]);
+        pump(&mut coords, &mut sinks, t(2), &mut observed);
+        // The second release crosses the threshold: step the handshake by
+        // hand so the commit can be failed before delivery.
+        coords[home_idx].on_msg(t(2), hot, release(hot, 2), &mut sinks[home_idx]);
+        let offer = sinks[home_idx]
+            .drain()
+            .into_iter()
+            .find_map(|c| match c {
+                Cmd::Send {
+                    msg: m @ Msg::MigrateOffer { .. },
+                    ..
+                } => Some(m),
+                _ => None,
+            })
+            .expect("offer sent");
+        coords[hot_idx].on_msg(t(2), home, offer, &mut sinks[hot_idx]);
+        let accept = sinks[hot_idx]
+            .drain()
+            .into_iter()
+            .find_map(|c| match c {
+                Cmd::Send {
+                    msg: m @ Msg::MigrateAccept { .. },
+                    ..
+                } => Some(m),
+                _ => None,
+            })
+            .expect("accept sent");
+        coords[home_idx].on_msg(t(2), hot, accept, &mut sinks[home_idx]);
+        // The fence is down: the lock is retired at the old home...
+        assert!(coords[home_idx].known_locks().is_empty());
+        // ...but the commit send fails — the new home just died.
+        let tag = sinks[home_idx]
+            .drain()
+            .into_iter()
+            .find_map(|c| match c {
+                Cmd::Send {
+                    tag,
+                    msg: Msg::MigrateCommit { .. },
+                    ..
+                } => Some(tag),
+                _ => None,
+            })
+            .expect("commit sent");
+        coords[home_idx].on_send_failed(t(3), &tag, &mut sinks[home_idx]);
+        sinks[home_idx].drain();
+        // The lock is back home and serves again, under a fresher epoch so
+        // the failed fence can never win.
+        assert_eq!(coords[home_idx].known_locks(), vec![L]);
+        assert_eq!(coords[home_idx].directory().unwrap().home_of(L), Some(home));
+        assert_eq!(coords[home_idx].directory().unwrap().epoch_of(L), 2);
+        coords[home_idx].on_msg(t(20), home, acquire(home), &mut sinks[home_idx]);
+        let msgs = sends(&mut sinks[home_idx]);
+        assert!(grant_flag(&msgs, home).is_some());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use mocha_wire::{
 };
 
 /// Highest wire tag in use; `message.rs` assigns 1..=MAX_TAG densely.
-const MAX_TAG: u8 = 26;
+const MAX_TAG: u8 = 32;
 
 fn payload_strategy() -> impl Strategy<Value = ReplicaPayload> {
     prop_oneof![
@@ -60,6 +60,7 @@ fn msg_strategy() -> impl Strategy<Value = Msg> {
         msg_strategy_replicas(),
         msg_strategy_spawn_misc(),
         msg_strategy_delta(),
+        msg_strategy_directory(),
     ]
 }
 
@@ -303,6 +304,72 @@ fn msg_strategy_delta() -> impl Strategy<Value = Msg> {
     ]
 }
 
+fn msg_strategy_directory() -> impl Strategy<Value = Msg> {
+    let site_versions = proptest::collection::vec(
+        (any::<u32>(), any::<u64>()).prop_map(|(s, v)| (SiteId(s), Version(v))),
+        0..6,
+    );
+    let lock_versions = proptest::collection::vec(
+        (any::<u32>(), any::<u64>()).prop_map(|(l, v)| (LockId(l), Version(v))),
+        0..6,
+    );
+    prop_oneof![
+        (any::<u32>(), lock_versions).prop_map(|(s, versions)| Msg::SiteRecovered {
+            site: SiteId(s),
+            versions,
+        }),
+        (any::<u32>(), any::<u64>(), any::<u64>()).prop_map(|(l, e, r)| Msg::MigrateOffer {
+            lock: LockId(l),
+            epoch: e,
+            req: RequestId(r),
+        }),
+        (any::<u32>(), any::<u64>(), any::<u32>(), any::<u64>()).prop_map(|(l, e, s, r)| {
+            Msg::MigrateAccept {
+                lock: LockId(l),
+                epoch: e,
+                site: SiteId(s),
+                req: RequestId(r),
+            }
+        }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            proptest::option::of(any::<u32>()),
+            proptest::collection::vec(any::<u32>(), 0..6),
+            proptest::collection::vec(any::<u32>(), 0..6),
+            site_versions,
+            proptest::collection::vec(any::<u32>(), 0..6),
+            any::<u64>(),
+        )
+            .prop_map(
+                |(l, e, v, owner, members, fresh, site_versions, replicas, r)| {
+                    Msg::MigrateCommit {
+                        lock: LockId(l),
+                        epoch: e,
+                        version: Version(v),
+                        last_owner: owner.map(SiteId),
+                        members: members.into_iter().map(SiteId).collect(),
+                        up_to_date: fresh.into_iter().map(SiteId).collect(),
+                        site_versions,
+                        replicas: replicas.into_iter().map(ReplicaId).collect(),
+                        req: RequestId(r),
+                    }
+                }
+            ),
+        (any::<u32>(), any::<u32>(), any::<u64>()).prop_map(|(l, h, e)| Msg::StaleHome {
+            lock: LockId(l),
+            home: SiteId(h),
+            epoch: e,
+        }),
+        (any::<u32>(), any::<u32>(), any::<u64>()).prop_map(|(l, h, e)| Msg::HomeUpdate {
+            lock: LockId(l),
+            home: SiteId(h),
+            epoch: e,
+        }),
+    ]
+}
+
 /// One hand-built sample per wire tag, in tag order 1..=`MAX_TAG`.
 fn sample_msgs() -> Vec<Msg> {
     vec![
@@ -451,6 +518,42 @@ fn sample_msgs() -> Vec<Msg> {
             site: SiteId(2),
             have: Version(3),
             req: RequestId(4),
+        },
+        Msg::SiteRecovered {
+            site: SiteId(1),
+            versions: vec![(LockId(2), Version(3))],
+        },
+        Msg::MigrateOffer {
+            lock: LockId(1),
+            epoch: 2,
+            req: RequestId(3),
+        },
+        Msg::MigrateAccept {
+            lock: LockId(1),
+            epoch: 2,
+            site: SiteId(3),
+            req: RequestId(4),
+        },
+        Msg::MigrateCommit {
+            lock: LockId(1),
+            epoch: 2,
+            version: Version(3),
+            last_owner: Some(SiteId(4)),
+            members: vec![SiteId(4), SiteId(5)],
+            up_to_date: vec![SiteId(4)],
+            site_versions: vec![(SiteId(4), Version(3))],
+            replicas: vec![ReplicaId(6)],
+            req: RequestId(7),
+        },
+        Msg::StaleHome {
+            lock: LockId(1),
+            home: SiteId(2),
+            epoch: 3,
+        },
+        Msg::HomeUpdate {
+            lock: LockId(1),
+            home: SiteId(2),
+            epoch: 3,
         },
     ]
 }

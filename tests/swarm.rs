@@ -5,11 +5,12 @@
 
 use std::time::Duration;
 
-use mocha::config::MochaConfig;
+use mocha::config::{HomeConfig, MochaConfig};
 use mocha::replica::ReplicaSpec;
 use mocha::runtime::socket::{loopback_available, SocketRuntime};
 use mocha::runtime::thread::Pending;
-use mocha_wire::{LockId, ReplicaPayload};
+use mocha::Directory;
+use mocha_wire::{LockId, ReplicaPayload, SiteId};
 
 /// 300 sites on 3 reactor threads: every site registers its own lock,
 /// runs an overlapped acquire/release cycle, and a churn site joins and
@@ -86,5 +87,78 @@ fn three_hundred_sites_on_three_shards() {
     let m = rt.metrics();
     assert!(m.datagrams_sent > 0, "real sockets carried the swarm: {m:?}");
     assert!(m.datagrams_delivered > 0, "{m:?}");
+    rt.shutdown();
+}
+
+/// Directory-mode churn: a hot lock's home migrates to its dominant
+/// acquirer, that site then leaves the swarm, and the survivors must
+/// re-home the lock through ring fallback — without the forced re-home
+/// the directory keeps pointing at the dead coordinator and every later
+/// acquire exhausts its retries.
+#[test]
+fn migrated_home_survives_owner_departure() {
+    if !loopback_available() {
+        eprintln!("skipping: no loopback sockets");
+        return;
+    }
+    let config = MochaConfig {
+        default_lease: Duration::from_secs(30),
+        home: HomeConfig {
+            hash_directory: true,
+            migration: true,
+            migrate_threshold: 2,
+            ..HomeConfig::default()
+        },
+        ..MochaConfig::default()
+    };
+    let virtual_shards = config.home.virtual_shards;
+    let mut rt = SocketRuntime::builder()
+        .sites(3)
+        .shards(2)
+        .config(config)
+        .build()
+        .expect("directory swarm boots");
+
+    // Every site computes the same ring, so the test can pick a lock
+    // whose ring home is site 0 — acquires from site 1 are then remote,
+    // and migration moves the home onto the site we are about to kill.
+    let members: Vec<SiteId> = (0..3).map(SiteId).collect();
+    let dir = Directory::new(&members, virtual_shards);
+    let lock = (1..)
+        .map(LockId)
+        .find(|&l| dir.home_of(l) == Some(SiteId(0)))
+        .expect("ring is non-empty");
+
+    for i in [1usize, 2] {
+        rt.handle(i)
+            .register(
+                lock,
+                vec![ReplicaSpec::new(format!("hot{i}"), ReplicaPayload::empty())],
+            )
+            .unwrap_or_else(|e| panic!("register site {i}: {e}"));
+    }
+    let hot = rt.handle(1);
+    for _ in 0..4 {
+        hot.lock(lock).expect("hot acquire");
+        hot.unlock(lock, false).expect("hot release");
+    }
+    // The free-lock offer/accept/commit handshake completes async of the
+    // releases; wait for the commit to land before pulling the plug.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while rt.metrics().migrations == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no migration committed: {:?}",
+            rt.metrics()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let h2 = rt.handle(2);
+    rt.remove_site(SiteId(1));
+
+    // The surviving acquirer re-routes through ring fallback and the
+    // lock stays serviceable at its original ring home.
+    h2.lock(lock).expect("post-departure lock");
+    h2.unlock(lock, false).expect("post-departure unlock");
     rt.shutdown();
 }
