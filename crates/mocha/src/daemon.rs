@@ -223,20 +223,85 @@ impl SiteDaemon {
 
     /// Adds a site to the directory ring on membership growth. No-op in
     /// single-home mode.
+    ///
+    /// The newcomer has no coordinator state, so every lock this daemon
+    /// already knows is pinned at its pre-join home with a local override:
+    /// traffic keeps flowing to the coordinator that actually holds the
+    /// state instead of bouncing off the empty newcomer. The pin sits at
+    /// the lock's current epoch, so the coordinators' own `HomeUpdate`
+    /// gossip (same or newer epoch) confirms or corrects it.
     pub fn add_ring_site(&mut self, site: SiteId) {
-        if let Some(dir) = &mut self.directory {
-            dir.add_site(site);
+        let Some(dir) = &mut self.directory else {
+            return;
+        };
+        let known: BTreeSet<LockId> = self
+            .lock_members
+            .keys()
+            .copied()
+            .chain(self.lock_version.keys().copied())
+            .collect();
+        let before: Vec<(LockId, SiteId)> = known
+            .iter()
+            .filter_map(|&lock| dir.home_of(lock).map(|home| (lock, home)))
+            .collect();
+        dir.add_site(site);
+        for (lock, old_home) in before {
+            if dir.home_of(lock) != Some(old_home) {
+                let epoch = dir.epoch_of(lock);
+                dir.record(lock, old_home, epoch);
+            }
         }
     }
 
     /// Drops a departed site from the directory ring, returning the locks
     /// whose migrated home just died (they fall back to ring placement and
     /// need coordinator-side re-homing). No-op in single-home mode.
-    pub fn remove_ring_site(&mut self, site: SiteId) -> Vec<LockId> {
-        match &mut self.directory {
-            Some(dir) => dir.remove_site(site),
-            None => Vec::new(),
+    ///
+    /// For every known lock whose home just moved, this daemon re-announces
+    /// its newest version (`SiteRecovered`) to the lock's new ring home —
+    /// the raw material the inheriting coordinator's state rebuild polls
+    /// and adopts, so a survivor holding a stale replica is never told it
+    /// is current.
+    pub fn remove_ring_site(&mut self, site: SiteId, sink: &mut CmdSink) -> Vec<LockId> {
+        let Some(dir) = &mut self.directory else {
+            return Vec::new();
+        };
+        let known: BTreeSet<LockId> = self
+            .lock_members
+            .keys()
+            .copied()
+            .chain(self.lock_version.keys().copied())
+            .collect();
+        let displaced: Vec<LockId> = known
+            .iter()
+            .copied()
+            .filter(|&lock| dir.home_of(lock) == Some(site))
+            .collect();
+        let orphaned = dir.remove_site(site);
+        let mut by_home: BTreeMap<SiteId, Vec<(LockId, Version)>> = BTreeMap::new();
+        for lock in displaced {
+            let Some(new_home) = dir.home_of(lock) else {
+                continue;
+            };
+            let version = self
+                .lock_version
+                .get(&lock)
+                .copied()
+                .unwrap_or(Version::INITIAL);
+            by_home.entry(new_home).or_default().push((lock, version));
         }
+        for (home, versions) in by_home {
+            sink.send(
+                home,
+                ports::SYNC,
+                Msg::SiteRecovered {
+                    site: self.me,
+                    versions,
+                },
+                MsgClass::Control,
+            );
+        }
+        orphaned
     }
 
     /// Marks this daemon as having a durable store attached, without any
@@ -2065,5 +2130,52 @@ mod tests {
                 ..
             }
         )));
+    }
+
+    #[test]
+    fn ring_growth_pins_known_locks_at_their_old_home() {
+        let mut d = daemon();
+        let mut sink = CmdSink::new();
+        d.install_directory(Directory::new(&[ME, HOME], 64));
+        d.register_local(L, &[spec("idx", &[1])], &mut sink);
+        sink.drain();
+        let old_home = d.home_for(L).expect("directory installed");
+        // Pick a joiner the bare ring would hand L to: without the pin the
+        // daemon would start addressing lock traffic to a coordinator that
+        // has no state for it.
+        let joiner = (3..=64)
+            .map(SiteId)
+            .find(|&s| Directory::new(&[ME, HOME, s], 64).home_of(L) == Some(s))
+            .expect("some joiner claims L on the bare ring");
+        d.add_ring_site(joiner);
+        assert_eq!(d.home_for(L), Some(old_home));
+    }
+
+    #[test]
+    fn departure_reannounces_versions_to_the_new_home() {
+        let mut d = daemon();
+        let mut sink = CmdSink::new();
+        // A two-site ring where the OTHER site homes L, so its departure
+        // displaces the lock onto this daemon's own site.
+        let dying = (2..=64)
+            .map(SiteId)
+            .find(|&s| Directory::new(&[ME, s], 64).home_of(L) == Some(s))
+            .expect("some site homes L");
+        d.install_directory(Directory::new(&[ME, dying], 64));
+        d.register_local(L, &[spec("idx", &[1])], &mut sink);
+        d.disseminate(L, Version(3), 1, &mut sink);
+        sink.drain();
+        d.remove_ring_site(dying, &mut sink);
+        // The survivor inherits the ring home, and the daemon re-announces
+        // its newest durable version to the inheriting coordinator — the
+        // raw material of the rebuild poll.
+        assert_eq!(d.home_for(L), Some(ME));
+        let msgs = sends(&mut sink);
+        assert!(msgs.iter().any(|(to, m)| *to == ME
+            && matches!(
+                m,
+                Msg::SiteRecovered { site, versions }
+                    if *site == ME && versions.contains(&(L, Version(3)))
+            )));
     }
 }

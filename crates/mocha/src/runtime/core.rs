@@ -658,20 +658,25 @@ impl<L: Link> SiteCore<L> {
                 let _ = reply.send(());
             }
             AppRequest::RingChange { site, joined } => {
+                let now = self.now();
                 if joined {
+                    // The daemon pins known locks at their pre-join homes;
+                    // the coordinator pins (and gossips) the locks it has
+                    // installed state for — the ring re-map only applies to
+                    // locks with no live state anywhere.
                     self.daemon.add_ring_site(site);
                     if let Some(c) = self.coordinator.as_mut() {
-                        c.add_ring_site(site);
+                        c.add_ring_site(site, &mut self.sink);
                     }
                 } else {
                     // A departed site may have been the migrated home of
                     // some locks: dropping it from the ring forces those
                     // locks back to ring placement on a survivor, whose
-                    // coordinator rebuilds state from the freshest
-                    // surviving replica on first contact (§4 poll).
-                    self.daemon.remove_ring_site(site);
+                    // coordinator rebuilds state from the members' version
+                    // re-announcements and a deferred-grant rebuild poll.
+                    self.daemon.remove_ring_site(site, &mut self.sink);
                     if let Some(c) = self.coordinator.as_mut() {
-                        let orphaned = c.remove_ring_site(site);
+                        let orphaned = c.remove_ring_site(site, now, &mut self.sink);
                         if !orphaned.is_empty() {
                             self.sink.note(format!(
                                 "{me}: re-homing {n} lock(s) orphaned by {site} leaving",

@@ -35,6 +35,7 @@ use crate::directory::Directory;
 const SCAN_TOKEN: u64 = timer_ns::COORD;
 const HEARTBEAT_SUB: u64 = 1 << 48;
 const RECOVERY_SUB: u64 = 2 << 48;
+const MIGRATE_SUB: u64 = 4 << 48;
 
 /// When a lock's hottest per-site acquire counter reaches this ceiling,
 /// every counter is halved — a decaying window so old traffic stops
@@ -68,6 +69,12 @@ struct Recovery {
     dest: SiteId,
     responses: Vec<(SiteId, Version)>,
     expected: usize,
+    /// A state-rebuild poll (directory mode): the coordinator has no
+    /// trustworthy version for this lock yet (churn re-homed it here), so
+    /// grants are deferred until the poll adopts the freshest surviving
+    /// version — instead of the §4 data-supply poll that runs after a
+    /// grant.
+    rebuild: bool,
 }
 
 /// Per-lock coordinator state (the paper's `Lock` object).
@@ -96,6 +103,12 @@ struct LockState {
     /// Decayed per-site acquire counters (only maintained when dynamic
     /// home migration is enabled): the evidence a remote site dominates.
     heat: BTreeMap<SiteId, u32>,
+    /// Directory mode only: this state was created locally (first contact
+    /// or churn re-home) rather than installed by a `MigrateCommit`, so
+    /// its version may trail surviving replicas elsewhere. Grants are
+    /// deferred behind a member poll until the flag clears — otherwise a
+    /// survivor holding a stale copy would be told it is current.
+    rebuilt: bool,
 }
 
 /// An in-flight outgoing home migration for one lock.
@@ -108,6 +121,21 @@ struct OutgoingMigration {
     /// The candidate has sent `MigrateAccept`; commit at the next moment
     /// the lock is free.
     accepted: bool,
+}
+
+/// An incoming home migration for one lock: SYNC traffic buffered between
+/// `MigrateAccept` and `MigrateCommit`, so the handshake window never
+/// produces redirect ping-pong. The buffer is bounded in time — if the
+/// offering site dies or the commit never arrives, the held traffic is
+/// re-processed (and then routes to whichever home is authoritative).
+#[derive(Debug)]
+struct PendingInstall {
+    /// The coordinator that offered the handshake.
+    from: SiteId,
+    /// Fence epoch of the offer.
+    epoch: u64,
+    /// Routed SYNC traffic held until the commit installs the lock here.
+    msgs: Vec<(SiteId, Msg)>,
 }
 
 /// Statistics the coordinator accumulates, for tests and reports.
@@ -157,14 +185,14 @@ pub struct SyncCoordinator {
     dir: Option<Directory>,
     /// In-flight outgoing migrations by lock.
     outgoing: HashMap<LockId, OutgoingMigration>,
-    /// Lock state retired at commit-send (the fence), kept until the new
-    /// home's `HomeUpdate` confirms it is live — reinstated if the commit
-    /// send fails.
-    retired: HashMap<LockId, LockState>,
-    /// Incoming migrations: SYNC traffic for a lock buffered between
-    /// `MigrateAccept` and `MigrateCommit`, so the handshake window never
-    /// produces redirect ping-pong.
-    incoming: HashMap<LockId, Vec<(SiteId, Msg)>>,
+    /// Lock state retired at commit-send (the fence), kept with its fence
+    /// epoch until the new home's `HomeUpdate` confirms it is live —
+    /// reinstated if the commit send fails. Only an update at or above the
+    /// fence epoch releases it: a reordered announcement from an *earlier*
+    /// migration of the same lock must not discard a newer retirement.
+    retired: HashMap<LockId, (u64, LockState)>,
+    /// Incoming migrations by lock (see [`PendingInstall`]).
+    incoming: HashMap<LockId, PendingInstall>,
 }
 
 impl SyncCoordinator {
@@ -206,24 +234,90 @@ impl SyncCoordinator {
 
     /// Adds a site to the directory ring (membership growth). No-op in
     /// legacy fixed-home mode.
-    pub fn add_ring_site(&mut self, site: SiteId) {
-        if let Some(dir) = self.dir.as_mut() {
-            dir.add_site(site);
+    ///
+    /// Growing the ring re-maps ~1/n of the hash space onto the newcomer,
+    /// but the newcomer has no state for any existing lock — so every lock
+    /// with *installed state here* whose ring home just moved is pinned by
+    /// an override to this site, and the pin is gossiped (`HomeUpdate`) to
+    /// the lock's members and the newcomer. The re-map therefore only
+    /// applies to locks with no live state; installed locks move later, if
+    /// at all, through the fenced migration handshake.
+    pub fn add_ring_site(&mut self, site: SiteId, sink: &mut CmdSink) {
+        let Some(dir) = self.dir.as_mut() else {
+            return;
+        };
+        dir.add_site(site);
+        let me = self.home;
+        let mut pinned: Vec<(LockId, u64)> = Vec::new();
+        for &lock in self.locks.keys() {
+            if dir.home_of(lock) != Some(me) {
+                let epoch = dir.epoch_of(lock);
+                dir.record(lock, me, epoch);
+                pinned.push((lock, epoch));
+            }
+        }
+        for (lock, epoch) in pinned {
+            sink.note(format!(
+                "{site} joined the ring; pinning live {lock} at {me} (epoch {epoch})"
+            ));
+            let mut targets: BTreeSet<SiteId> = self
+                .locks
+                .get(&lock)
+                .map(|s| s.members.iter().copied().collect())
+                .unwrap_or_default();
+            targets.insert(site);
+            targets.remove(&me);
+            for target in targets {
+                let update = Msg::HomeUpdate {
+                    lock,
+                    home: me,
+                    epoch,
+                };
+                sink.send(target, ports::DAEMON, update.clone(), MsgClass::Control);
+                sink.send(target, ports::SYNC, update, MsgClass::Control);
+            }
         }
     }
 
     /// Removes a dead site from the directory ring, dropping any migration
     /// overrides that pointed at it — their locks fall back to ring
-    /// placement on a surviving site, and the next acquire re-creates
-    /// coordinator state there through the §4 recovery poll. Abandons any
-    /// in-flight migration toward the dead site. Returns the locks whose
+    /// placement on a surviving site, whose coordinator rebuilds state
+    /// from member re-announcements and a deferred-grant recovery poll.
+    /// Abandons any in-flight migration toward the dead site, and releases
+    /// any traffic buffered for a handshake the dead site offered (the
+    /// commit can no longer arrive; the messages re-route to whichever
+    /// home the updated ring makes authoritative). Returns the locks whose
     /// override was dropped.
-    pub fn remove_ring_site(&mut self, site: SiteId) -> Vec<LockId> {
+    pub fn remove_ring_site(
+        &mut self,
+        site: SiteId,
+        now: SimTime,
+        sink: &mut CmdSink,
+    ) -> Vec<LockId> {
         self.outgoing.retain(|_, m| m.target != site);
-        match self.dir.as_mut() {
+        let orphaned = match self.dir.as_mut() {
             Some(dir) => dir.remove_site(site),
             None => Vec::new(),
+        };
+        let stranded: Vec<LockId> = self
+            .incoming
+            .iter()
+            .filter(|(_, p)| p.from == site)
+            .map(|(&lock, _)| lock)
+            .collect();
+        for lock in stranded {
+            sink.cancel_timer(timer_ns::COORD | MIGRATE_SUB | u64::from(lock.as_raw()));
+            if let Some(pending) = self.incoming.remove(&lock) {
+                sink.note(format!(
+                    "offerer {site} left before committing {lock}; releasing {n} buffered message(s)",
+                    n = pending.msgs.len()
+                ));
+                for (from, msg) in pending.msgs {
+                    self.on_msg(now, from, msg, sink);
+                }
+            }
         }
+        orphaned
     }
 
     /// The surrogate-recovery state log.
@@ -395,6 +489,29 @@ impl SyncCoordinator {
                 dir.home_of(*lock).hash(h);
                 dir.epoch_of(*lock).hash(h);
             }
+            if let Some(state) = self.locks.get(lock) {
+                state.rebuilt.hash(h);
+            }
+        }
+        // Migration staging decides whether traffic is buffered or served
+        // and whether a failed commit can be rolled back.
+        let mut staged: Vec<(&LockId, &PendingInstall)> = self.incoming.iter().collect();
+        staged.sort_by_key(|(lock, _)| **lock);
+        for (lock, pending) in staged {
+            lock.hash(h);
+            pending.from.hash(h);
+            pending.epoch.hash(h);
+            pending.msgs.len().hash(h);
+        }
+        let mut retired: Vec<(&LockId, u64)> = self
+            .retired
+            .iter()
+            .map(|(lock, (fence, _))| (lock, *fence))
+            .collect();
+        retired.sort_unstable();
+        for (lock, fence) in retired {
+            lock.hash(h);
+            fence.hash(h);
         }
         self.blacklist.hash(h);
         self.scan_running.hash(h);
@@ -450,8 +567,8 @@ impl SyncCoordinator {
         if let Some(lock) = Self::routed_lock(&msg) {
             // A migration toward this site is in flight: hold the traffic
             // until `MigrateCommit` installs the lock here.
-            if let Some(buffer) = self.incoming.get_mut(&lock) {
-                buffer.push((from, msg));
+            if let Some(pending) = self.incoming.get_mut(&lock) {
+                pending.msgs.push((from, msg));
                 return;
             }
             // Not this coordinator's lock: NACK the sender's stale
@@ -578,9 +695,22 @@ impl SyncCoordinator {
             lease,
             mode,
         };
+        // In directory mode an unknown lock may be one whose coordinator
+        // state died with a re-homed site: mark it rebuilt so the first
+        // grant waits behind a member poll instead of inventing
+        // `Version::INITIAL` as current.
+        let dir_mode = self.dir.is_some();
+        {
+            let state = self.locks.entry(lock).or_insert_with(|| LockState {
+                rebuilt: dir_mode,
+                ..LockState::default()
+            });
+            state.members.insert(site);
+        }
         self.note_heat(lock, site);
-        let state = self.locks.entry(lock).or_default();
-        state.members.insert(site);
+        let Some(state) = self.locks.get_mut(&lock) else {
+            return;
+        };
         // After a surrogate takeover, clients re-send acquires that may
         // already be queued or granted. A queued duplicate is dropped (its
         // grant will come); a duplicate from the exact (site, thread) the
@@ -618,6 +748,15 @@ impl SyncCoordinator {
             .iter()
             .any(|r| r.site == site && r.thread == thread)
         {
+            return;
+        }
+        // A rebuilt state has no trustworthy version yet: queue the
+        // requester and poll the member daemons for the freshest surviving
+        // copy first — the grant flows from `finish_recovery` once the
+        // poll adopts it (or its window expires with nothing better).
+        if state.rebuilt {
+            state.queue.push_back(requester);
+            self.start_rebuild(lock, sink);
             return;
         }
         let compatible = match mode {
@@ -836,7 +975,15 @@ impl SyncCoordinator {
         if self.blacklist.remove(&site) {
             sink.note(format!("{site} re-registered; blacklist lifted"));
         }
-        let state = self.locks.entry(lock).or_default();
+        // Directory mode: a registration may be the first contact for a
+        // lock whose prior coordinator state died elsewhere — mark the
+        // fresh state rebuilt so the first grant polls before trusting
+        // `Version::INITIAL`.
+        let dir_mode = self.dir.is_some();
+        let state = self.locks.entry(lock).or_insert_with(|| LockState {
+            rebuilt: dir_mode,
+            ..LockState::default()
+        });
         let new_member = state.members.insert(site);
         state.replicas.insert(replica);
         // Propagate membership so every daemon can disseminate (§4: the
@@ -917,16 +1064,46 @@ impl SyncCoordinator {
             sink.note(format!("{site} recovered; blacklist lifted"));
         }
         for (lock, version) in versions {
+            if !self.locks.contains_key(lock) {
+                // In directory mode, an announcement for a lock the ring
+                // now homes here is how churn re-homing rebuilds
+                // coordinator state: create it marked rebuilt so the first
+                // grant still polls the full member set. (No creation while
+                // a migration toward this site is buffering — its commit
+                // installs the real state.)
+                let is_home = self
+                    .dir
+                    .as_ref()
+                    .is_some_and(|d| d.home_of(*lock) == Some(self.home));
+                if !is_home || self.incoming.contains_key(lock) {
+                    // Legacy mode keeps the old behaviour: a surrogate
+                    // that never saw the lock skips it; re-registration
+                    // rebuilds membership and transfers fall back to
+                    // full payloads.
+                    continue;
+                }
+                self.locks.insert(
+                    *lock,
+                    LockState {
+                        rebuilt: true,
+                        ..LockState::default()
+                    },
+                );
+            }
             let Some(state) = self.locks.get_mut(lock) else {
-                // The coordinator has no state for this lock (e.g. a
-                // surrogate that never saw it); the site's re-registration
-                // will rebuild membership, and transfers fall back to full
-                // payloads.
                 continue;
             };
             state.members.insert(site);
             state.site_versions.insert(site, *version);
-            if *version == state.version && state.version > Version::INITIAL {
+            if state.rebuilt && *version > state.version {
+                // Rebuilding from announcements: adopt the freshest
+                // surviving version rather than letting a default-INITIAL
+                // state call stale replicas current.
+                state.version = *version;
+                state.last_owner = Some(site);
+                state.up_to_date.clear();
+                state.up_to_date.insert(site);
+            } else if *version == state.version && state.version > Version::INITIAL {
                 state.up_to_date.insert(site);
             } else {
                 // The recovered copy is stale (writes happened past its
@@ -960,7 +1137,9 @@ impl SyncCoordinator {
         if self.dir.is_none() || !self.cfg.home.migration {
             return;
         }
-        let state = self.locks.entry(lock).or_default();
+        let Some(state) = self.locks.get_mut(&lock) else {
+            return;
+        };
         let count = state.heat.entry(site).or_insert(0);
         *count += 1;
         if *count >= HEAT_CEILING {
@@ -1043,13 +1222,45 @@ impl SyncCoordinator {
         req: RequestId,
         sink: &mut CmdSink,
     ) {
-        if self.dir.is_none() {
+        let Some(dir) = self.dir.as_ref() else {
             sink.note(format!(
                 "ignoring migrate offer for {lock} from {from}: not in hash-directory mode"
             ));
             return;
+        };
+        // A replayed offer for a lock already installed here (or one whose
+        // fence epoch our directory has already moved past) must not start
+        // buffering live traffic — answer with the authoritative placement
+        // instead of an accept.
+        if self.locks.contains_key(&lock) || epoch <= dir.epoch_of(lock) {
+            sink.note(format!(
+                "rejecting stale migrate offer for {lock} from {from} (epoch {epoch})"
+            ));
+            let update = Msg::HomeUpdate {
+                lock,
+                home: dir.home_of(lock).unwrap_or(self.home),
+                epoch: dir.epoch_of(lock),
+            };
+            sink.send(from, ports::DAEMON, update.clone(), MsgClass::Control);
+            sink.send(from, ports::SYNC, update, MsgClass::Control);
+            return;
         }
-        self.incoming.entry(lock).or_default();
+        let pending = self.incoming.entry(lock).or_insert_with(|| PendingInstall {
+            from,
+            epoch,
+            msgs: Vec::new(),
+        });
+        pending.from = from;
+        pending.epoch = epoch;
+        // Bound the buffering window: the offerer commits only once the
+        // lock goes free, which can take a full lease — but if the commit
+        // never arrives (offerer died, lock never freed), the buffered
+        // traffic must not be swallowed forever. On expiry it is
+        // re-processed and redirects to whichever home is authoritative.
+        sink.set_timer(
+            timer_ns::COORD | MIGRATE_SUB | u64::from(lock.as_raw()),
+            self.cfg.default_lease + self.cfg.heartbeat_timeout,
+        );
         sink.send(
             from,
             ports::SYNC,
@@ -1130,7 +1341,7 @@ impl SyncCoordinator {
                 "MUTANT commit_unfenced: {lock} committed to {target} without retiring"
             ));
         } else if let Some(state) = self.locks.remove(&lock) {
-            self.retired.insert(lock, state);
+            self.retired.insert(lock, (epoch, state));
             if let Some(dir) = self.dir.as_mut() {
                 dir.record(lock, target, epoch);
             }
@@ -1166,6 +1377,45 @@ impl SyncCoordinator {
         replicas: &[ReplicaId],
         sink: &mut CmdSink,
     ) {
+        sink.cancel_timer(timer_ns::COORD | MIGRATE_SUB | u64::from(lock.as_raw()));
+        let Some(current_epoch) = self.dir.as_ref().map(|d| d.epoch_of(lock)) else {
+            sink.note(format!(
+                "ignoring migrate commit for {lock} from {from}: not in hash-directory mode"
+            ));
+            return;
+        };
+        // Epoch fence: a delayed or replayed commit must never re-install
+        // state at a site the directory has since moved past — that would
+        // recreate exactly the split-home condition the fence prevents.
+        // (An equal epoch with state already installed is a duplicate of a
+        // commit we applied; only the fence re-ack is worth resending.)
+        let stale =
+            epoch < current_epoch || (epoch == current_epoch && self.locks.contains_key(&lock));
+        if stale {
+            sink.note(format!(
+                "stale migrate commit for {lock} from {from} (epoch {epoch} < {current_epoch}); redirecting"
+            ));
+            let authoritative = self
+                .dir
+                .as_ref()
+                .and_then(|d| d.home_of(lock))
+                .unwrap_or(self.home);
+            let update = Msg::HomeUpdate {
+                lock,
+                home: authoritative,
+                epoch: current_epoch,
+            };
+            sink.send(from, ports::DAEMON, update.clone(), MsgClass::Control);
+            sink.send(from, ports::SYNC, update, MsgClass::Control);
+            // Anything buffered for this dead handshake re-routes to the
+            // authoritative home.
+            if let Some(pending) = self.incoming.remove(&lock) {
+                for (buffered_from, buffered_msg) in pending.msgs {
+                    self.on_msg(now, buffered_from, buffered_msg, sink);
+                }
+            }
+            return;
+        }
         let mut state = LockState {
             version,
             last_owner,
@@ -1195,17 +1445,25 @@ impl SyncCoordinator {
             sink.send(target, ports::DAEMON, update.clone(), MsgClass::Control);
             sink.send(target, ports::SYNC, update, MsgClass::Control);
         }
-        if let Some(buffered) = self.incoming.remove(&lock) {
-            for (buffered_from, buffered_msg) in buffered {
+        if let Some(pending) = self.incoming.remove(&lock) {
+            for (buffered_from, buffered_msg) in pending.msgs {
                 self.on_msg(now, buffered_from, buffered_msg, sink);
             }
         }
     }
 
     /// Directory gossip: a lock's home moved. Also serves as the fence ack
-    /// releasing any retired state held against commit-send failure.
+    /// releasing any retired state held against commit-send failure — but
+    /// only at or above the epoch the retirement was fenced at: a
+    /// reordered `HomeUpdate` from an *earlier* migration of the same lock
+    /// must not discard the fallback of a newer in-flight commit.
     fn on_home_update(&mut self, lock: LockId, home: SiteId, epoch: u64) {
-        if home != self.home {
+        if home != self.home
+            && self
+                .retired
+                .get(&lock)
+                .is_some_and(|(fence, _)| epoch >= *fence)
+        {
             self.retired.remove(&lock);
         }
         if let Some(dir) = self.dir.as_mut() {
@@ -1215,7 +1473,7 @@ impl SyncCoordinator {
 
     fn on_poll_response(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         lock: LockId,
         version: Version,
         site: SiteId,
@@ -1234,7 +1492,7 @@ impl SyncCoordinator {
         recovery.responses.push((site, version));
         if recovery.responses.len() >= recovery.expected {
             sink.cancel_timer(timer_ns::COORD | RECOVERY_SUB | u64::from(lock.as_raw()));
-            self.finish_recovery(lock, sink);
+            self.finish_recovery(now, lock, sink);
         }
     }
 
@@ -1305,9 +1563,26 @@ impl SyncCoordinator {
             }
             return true;
         }
+        if token & MIGRATE_SUB != 0 {
+            // An incoming handshake's commit never arrived: stop buffering
+            // and re-process the held traffic (it re-routes to whichever
+            // home is authoritative; a late commit can still install).
+            let lock = LockId((token & 0xffff_ffff) as u32);
+            if let Some(pending) = self.incoming.remove(&lock) {
+                sink.note(format!(
+                    "migrate commit for {lock} from {from} never arrived; releasing {n} buffered message(s)",
+                    from = pending.from,
+                    n = pending.msgs.len()
+                ));
+                for (from, msg) in pending.msgs {
+                    self.on_msg(now, from, msg, sink);
+                }
+            }
+            return true;
+        }
         if token & RECOVERY_SUB != 0 {
             let lock = LockId((token & 0xffff_ffff) as u32);
-            self.finish_recovery(lock, sink);
+            self.finish_recovery(now, lock, sink);
             return true;
         }
         true
@@ -1417,18 +1692,30 @@ impl SyncCoordinator {
                 // unacked commit-retry window) simply aborts; a fenced
                 // commit reinstates the retired lock here, re-recording
                 // this site as home under a fresher epoch so the failed
-                // fence can never win.
+                // fence can never win. Only the retirement fenced at THIS
+                // attempt's epoch is reinstated — a stale tag must not
+                // resurrect state a newer migration already moved.
                 self.outgoing.remove(lock);
-                if let Some(state) = self.retired.remove(lock) {
-                    sink.note(format!(
-                        "migrate commit of {lock} to {site} failed; reinstating home here"
-                    ));
-                    self.locks.insert(*lock, state);
-                    if let Some(dir) = self.dir.as_mut() {
-                        dir.record(*lock, self.home, epoch + 1);
+                match self.retired.remove(lock) {
+                    Some((fence, state)) if fence == *epoch => {
+                        sink.note(format!(
+                            "migrate commit of {lock} to {site} failed; reinstating home here"
+                        ));
+                        self.locks.insert(*lock, state);
+                        if let Some(dir) = self.dir.as_mut() {
+                            dir.record(*lock, self.home, epoch + 1);
+                        }
                     }
-                } else {
-                    sink.note(format!("migrate offer of {lock} to {site} failed; aborted"));
+                    Some(other) => {
+                        // A different attempt's retirement: put it back.
+                        self.retired.insert(*lock, other);
+                        sink.note(format!(
+                            "stale migrate failure for {lock} (epoch {epoch}) ignored"
+                        ));
+                    }
+                    None => {
+                        sink.note(format!("migrate offer of {lock} to {site} failed; aborted"));
+                    }
                 }
                 self.fail_site_in_lock(*lock, *site);
             }
@@ -1456,6 +1743,48 @@ impl SyncCoordinator {
             dest,
             responses: Vec::new(),
             expected: members.len(),
+            rebuild: false,
+        });
+        for m in &members {
+            sink.send(
+                *m,
+                ports::DAEMON,
+                Msg::PollVersion { lock, req },
+                MsgClass::Control,
+            );
+        }
+        sink.set_timer(
+            timer_ns::COORD | RECOVERY_SUB | u64::from(lock.as_raw()),
+            window,
+        );
+    }
+
+    /// Starts the state-rebuild poll for a rebuilt lock (directory mode):
+    /// every known member daemon is asked for its newest version, and the
+    /// queued grants wait until `finish_recovery` adopts the freshest
+    /// surviving answer — this is how a coordinator that inherited a lock
+    /// through churn avoids calling stale replicas current.
+    fn start_rebuild(&mut self, lock: LockId, sink: &mut CmdSink) {
+        let req = self.fresh_req();
+        let window = self.cfg.recovery_poll_window;
+        let me = self.home;
+        let Some(state) = self.locks.get_mut(&lock) else {
+            return;
+        };
+        if state.recovery.is_some() {
+            return; // poll already running; queued grants ride on it
+        }
+        self.stats.recoveries += 1;
+        sink.note(format!(
+            "rebuilding {lock} at {me}: polling members for the freshest surviving version"
+        ));
+        let members: Vec<SiteId> = state.members.iter().copied().collect();
+        state.recovery = Some(Recovery {
+            req,
+            dest: me,
+            responses: Vec::new(),
+            expected: members.len(),
+            rebuild: true,
         });
         for m in &members {
             sink.send(
@@ -1472,13 +1801,42 @@ impl SyncCoordinator {
     }
 
     /// Concludes a recovery with whatever poll responses arrived.
-    fn finish_recovery(&mut self, lock: LockId, sink: &mut CmdSink) {
+    fn finish_recovery(&mut self, now: SimTime, lock: LockId, sink: &mut CmdSink) {
         let Some(state) = self.locks.get_mut(&lock) else {
             return;
         };
         let Some(recovery) = state.recovery.take() else {
             return;
         };
+        if recovery.rebuild {
+            // State-rebuild poll (directory mode): adopt the freshest
+            // surviving version as current, remember who has it, then let
+            // the deferred grants through. A silent majority only weakens
+            // what the §4 model already concedes — the freshest *answering*
+            // replica defines current.
+            let best = recovery.responses.iter().max_by_key(|(_, v)| *v).copied();
+            if let Some((site, version)) = best {
+                if version > state.version {
+                    state.version = version;
+                    state.last_owner = Some(site);
+                    state.up_to_date.clear();
+                }
+            }
+            for (site, version) in &recovery.responses {
+                state.site_versions.insert(*site, *version);
+                if *version == state.version && state.version > Version::INITIAL {
+                    state.up_to_date.insert(*site);
+                }
+            }
+            state.rebuilt = false;
+            let adopted = state.version;
+            sink.note(format!(
+                "rebuilt {lock} from {0} member answers: adopted version {adopted}",
+                recovery.responses.len()
+            ));
+            self.grant_next_batch(now, lock, sink);
+            return;
+        }
         let expected_version = state.version;
         let best = recovery
             .responses
@@ -2131,7 +2489,9 @@ mod tests {
 
     /// Delivers SYNC-port sends between the given coordinators until the
     /// cluster quiesces, collecting every other send as `(to, msg)` for
-    /// inspection.
+    /// inspection. Version polls addressed to member daemons are answered
+    /// by a stand-in holding nothing (`Version::INITIAL`), so rebuild and
+    /// recovery polls conclude instead of stalling the pump.
     fn pump(
         coords: &mut [SyncCoordinator],
         sinks: &mut [CmdSink],
@@ -2147,6 +2507,21 @@ mod tests {
                         if port == ports::SYNC {
                             if let Some(j) = coords.iter().position(|c| c.home() == to) {
                                 queue.push((j, from, msg));
+                                continue;
+                            }
+                        }
+                        if port == ports::DAEMON {
+                            if let Msg::PollVersion { lock, req } = msg {
+                                queue.push((
+                                    i,
+                                    to,
+                                    Msg::PollResponse {
+                                        lock,
+                                        version: Version::INITIAL,
+                                        site: to,
+                                        req,
+                                    },
+                                ));
                                 continue;
                             }
                         }
@@ -2329,6 +2704,347 @@ mod tests {
         coords[home_idx].on_msg(t(20), home, acquire(home), &mut sinks[home_idx]);
         let msgs = sends(&mut sinks[home_idx]);
         assert!(grant_flag(&msgs, home).is_some());
+    }
+
+    /// Drives heat past the migration threshold and steps the handshake by
+    /// hand, stopping just after the commit send: the old home has retired
+    /// the lock, the new home has only seen (and accepted) the offer.
+    /// Returns the captured offer and commit messages plus the commit's
+    /// send tag, so tests can replay, lose, or fail them at will.
+    fn handshake_to_commit(
+        coords: &mut [SyncCoordinator],
+        sinks: &mut [CmdSink],
+        home_idx: usize,
+        hot_idx: usize,
+    ) -> (Msg, Msg, SendTag) {
+        let hot = SiteId(hot_idx as u32);
+        let home = SiteId(home_idx as u32);
+        let mut observed = Vec::new();
+        coords[home_idx].on_msg(t(1), hot, acquire(hot), &mut sinks[home_idx]);
+        pump(coords, sinks, t(1), &mut observed);
+        coords[home_idx].on_msg(t(1), hot, release(hot, 1), &mut sinks[home_idx]);
+        pump(coords, sinks, t(1), &mut observed);
+        coords[home_idx].on_msg(t(2), hot, acquire(hot), &mut sinks[home_idx]);
+        pump(coords, sinks, t(2), &mut observed);
+        // The second release crosses the threshold and produces the offer.
+        coords[home_idx].on_msg(t(2), hot, release(hot, 2), &mut sinks[home_idx]);
+        let offer = sinks[home_idx]
+            .drain()
+            .into_iter()
+            .find_map(|c| match c {
+                Cmd::Send {
+                    msg: m @ Msg::MigrateOffer { .. },
+                    ..
+                } => Some(m),
+                _ => None,
+            })
+            .expect("offer sent");
+        coords[hot_idx].on_msg(t(2), home, offer.clone(), &mut sinks[hot_idx]);
+        let accept = sinks[hot_idx]
+            .drain()
+            .into_iter()
+            .find_map(|c| match c {
+                Cmd::Send {
+                    msg: m @ Msg::MigrateAccept { .. },
+                    ..
+                } => Some(m),
+                _ => None,
+            })
+            .expect("accept sent");
+        coords[home_idx].on_msg(t(2), hot, accept, &mut sinks[home_idx]);
+        let (commit, tag) = sinks[home_idx]
+            .drain()
+            .into_iter()
+            .find_map(|c| match c {
+                Cmd::Send {
+                    msg: m @ Msg::MigrateCommit { .. },
+                    tag,
+                    ..
+                } => Some((m, tag)),
+                _ => None,
+            })
+            .expect("commit sent");
+        (offer, commit, tag)
+    }
+
+    #[test]
+    fn ring_growth_pins_installed_locks() {
+        // One-site ring: this coordinator homes every lock and holds live
+        // state for L once the first acquire is granted.
+        let cfg = hash_cfg(0);
+        let shards = cfg.home.virtual_shards;
+        let mut coords = vec![SyncCoordinator::with_directory(HOME, cfg, &[HOME])];
+        let mut sinks = vec![CmdSink::new()];
+        let mut observed = Vec::new();
+        coords[0].on_msg(t(0), S1, acquire(S1), &mut sinks[0]);
+        pump(&mut coords, &mut sinks, t(0), &mut observed);
+        assert!(observed
+            .iter()
+            .any(|(to, m)| *to == S1 && matches!(m, Msg::Grant { .. })));
+        // Pick a joiner the bare ring would hand L to: without the pin,
+        // the stateless newcomer would become L's home while this
+        // coordinator still serves the granted holder — a split home.
+        let joiner = (2..=64)
+            .map(SiteId)
+            .find(|&s| Directory::new(&[HOME, s], shards).home_of(L) == Some(s))
+            .expect("some joiner claims L on the bare ring");
+        coords[0].add_ring_site(joiner, &mut sinks[0]);
+        let msgs = sends(&mut sinks[0]);
+        assert_eq!(coords[0].directory().unwrap().home_of(L), Some(HOME));
+        // The pin is gossiped so the joiner's directory agrees.
+        assert!(msgs.iter().any(|(to, m)| *to == joiner
+            && matches!(m, Msg::HomeUpdate { lock, home, .. } if *lock == L && *home == HOME)));
+        // The old home still serves: release + re-acquire flow straight
+        // through with no redirect.
+        coords[0].on_msg(t(1), S1, release(S1, 1), &mut sinks[0]);
+        sinks[0].drain();
+        coords[0].on_msg(t(2), S1, acquire(S1), &mut sinks[0]);
+        let msgs = sends(&mut sinks[0]);
+        assert!(grant_flag(&msgs, S1).is_some());
+        assert_eq!(coords[0].stats().stale_home_redirects, 0);
+    }
+
+    #[test]
+    fn rebuild_poll_adopts_survivor_version() {
+        // Single-site ring standing in for the survivor that inherits a
+        // dead home's locks: it has no coordinator state for L.
+        let mut c = SyncCoordinator::with_directory(HOME, hash_cfg(0), &[HOME]);
+        let mut sink = CmdSink::new();
+        // A member daemon re-announces its durable version on ring churn.
+        c.on_msg(
+            t(0),
+            S1,
+            Msg::SiteRecovered {
+                site: S1,
+                versions: vec![(L, Version(3))],
+            },
+            &mut sink,
+        );
+        sink.drain();
+        // The first acquire must NOT be granted VersionOk at INITIAL — it
+        // queues behind a member poll.
+        c.on_msg(t(1), S2, acquire(S2), &mut sink);
+        let msgs = sends(&mut sink);
+        assert!(
+            grant_flag(&msgs, S2).is_none(),
+            "grant deferred behind the rebuild poll"
+        );
+        let req = msgs
+            .iter()
+            .find_map(|(_, m)| match m {
+                Msg::PollVersion { lock, req } if *lock == L => Some(*req),
+                _ => None,
+            })
+            .expect("rebuild poll sent");
+        // Poll answers: S1 still holds version 3, S2 holds nothing.
+        c.on_msg(
+            t(2),
+            S1,
+            Msg::PollResponse {
+                lock: L,
+                version: Version(3),
+                site: S1,
+                req,
+            },
+            &mut sink,
+        );
+        c.on_msg(
+            t(2),
+            S2,
+            Msg::PollResponse {
+                lock: L,
+                version: Version::INITIAL,
+                site: S2,
+                req,
+            },
+            &mut sink,
+        );
+        let msgs = sends(&mut sink);
+        // The grant adopts the freshest surviving version and orders a
+        // transfer: the stale requester is never told it is current.
+        assert_eq!(grant_flag(&msgs, S2), Some(VersionFlag::NeedNewVersion));
+        assert!(msgs.iter().any(|(_, m)| matches!(
+            m,
+            Msg::Grant { lock, version, .. } if *lock == L && *version == Version(3)
+        )));
+        assert_eq!(c.lock_version(L), Some(Version(3)));
+    }
+
+    #[test]
+    fn stranded_migration_buffer_drains_on_timeout() {
+        let (mut coords, mut sinks, home_idx, hot_idx) = hash_pair(2);
+        let hot = SiteId(hot_idx as u32);
+        let home = SiteId(home_idx as u32);
+        let mut observed = Vec::new();
+        // Build dominance so the second release produces an offer.
+        coords[home_idx].on_msg(t(1), hot, acquire(hot), &mut sinks[home_idx]);
+        pump(&mut coords, &mut sinks, t(1), &mut observed);
+        coords[home_idx].on_msg(t(1), hot, release(hot, 1), &mut sinks[home_idx]);
+        pump(&mut coords, &mut sinks, t(1), &mut observed);
+        coords[home_idx].on_msg(t(2), hot, acquire(hot), &mut sinks[home_idx]);
+        pump(&mut coords, &mut sinks, t(2), &mut observed);
+        coords[home_idx].on_msg(t(2), hot, release(hot, 2), &mut sinks[home_idx]);
+        let offer = sinks[home_idx]
+            .drain()
+            .into_iter()
+            .find_map(|c| match c {
+                Cmd::Send {
+                    msg: m @ Msg::MigrateOffer { .. },
+                    ..
+                } => Some(m),
+                _ => None,
+            })
+            .expect("offer sent");
+        // The offer arrives, the accept is LOST, and the offerer never
+        // commits: traffic addressed to the proposed new home buffers.
+        coords[hot_idx].on_msg(t(2), home, offer, &mut sinks[hot_idx]);
+        sinks[hot_idx].drain(); // the accept dies on the wire
+        coords[hot_idx].on_msg(t(3), S2, acquire(S2), &mut sinks[hot_idx]);
+        assert!(
+            sends(&mut sinks[hot_idx]).is_empty(),
+            "handshake in flight: the acquire is buffered, not answered"
+        );
+        // The buffering window expires: the held acquire is re-processed
+        // and redirects to the (still-authoritative) old home, which
+        // grants — the lock is never permanently swallowed.
+        let fired = coords[hot_idx].on_timer(
+            t(10),
+            timer_ns::COORD | MIGRATE_SUB | u64::from(L.as_raw()),
+            &mut sinks[hot_idx],
+        );
+        assert!(fired);
+        observed.clear();
+        pump(&mut coords, &mut sinks, t(10), &mut observed);
+        assert!(observed.iter().any(|(to, m)| *to == S2
+            && matches!(m, Msg::StaleHome { lock, home: h, .. } if *lock == L && *h == home)));
+        assert!(observed
+            .iter()
+            .any(|(to, m)| *to == S2 && matches!(m, Msg::Grant { .. })));
+    }
+
+    #[test]
+    fn replayed_handshake_messages_are_fenced() {
+        let (mut coords, mut sinks, home_idx, hot_idx) = hash_pair(2);
+        let hot = SiteId(hot_idx as u32);
+        let home = SiteId(home_idx as u32);
+        let mut observed = Vec::new();
+        let (offer, commit, _tag) =
+            handshake_to_commit(&mut coords, &mut sinks, home_idx, hot_idx);
+        // The commit lands and the migration completes normally.
+        coords[hot_idx].on_msg(t(3), home, commit.clone(), &mut sinks[hot_idx]);
+        pump(&mut coords, &mut sinks, t(3), &mut observed);
+        assert_eq!(coords[hot_idx].known_locks(), vec![L]);
+        assert_eq!(coords[hot_idx].lock_version(L), Some(Version(2)));
+        // The new home serves on: the version advances past the commit's
+        // snapshot.
+        coords[hot_idx].on_msg(t(4), hot, acquire(hot), &mut sinks[hot_idx]);
+        pump(&mut coords, &mut sinks, t(4), &mut observed);
+        coords[hot_idx].on_msg(t(4), hot, release(hot, 3), &mut sinks[hot_idx]);
+        pump(&mut coords, &mut sinks, t(4), &mut observed);
+        assert_eq!(coords[hot_idx].lock_version(L), Some(Version(3)));
+        // A duplicate of the already-applied commit arrives late: it must
+        // not roll the installed state back to the fence-point snapshot.
+        coords[hot_idx].on_msg(t(5), home, commit, &mut sinks[hot_idx]);
+        let msgs = sends(&mut sinks[hot_idx]);
+        assert_eq!(coords[hot_idx].lock_version(L), Some(Version(3)));
+        assert!(msgs.iter().any(|(to, m)| *to == home
+            && matches!(m, Msg::HomeUpdate { lock, home: h, epoch } if *lock == L && *h == hot && *epoch == 1)));
+        // A replayed offer for the installed lock must not start buffering
+        // live traffic either: it is answered with the authoritative
+        // placement and the lock keeps serving.
+        coords[hot_idx].on_msg(t(6), home, offer, &mut sinks[hot_idx]);
+        let msgs = sends(&mut sinks[hot_idx]);
+        assert!(msgs
+            .iter()
+            .all(|(_, m)| !matches!(m, Msg::MigrateAccept { .. })));
+        assert!(msgs.iter().any(|(to, m)| *to == home
+            && matches!(m, Msg::HomeUpdate { lock, home: h, epoch } if *lock == L && *h == hot && *epoch == 1)));
+        coords[hot_idx].on_msg(t(7), hot, acquire(hot), &mut sinks[hot_idx]);
+        let msgs = sends(&mut sinks[hot_idx]);
+        assert!(
+            grant_flag(&msgs, hot).is_some(),
+            "acquire after the replayed offer is served, not buffered"
+        );
+    }
+
+    #[test]
+    fn stale_home_update_keeps_retired_fallback() {
+        let (mut coords, mut sinks, home_idx, hot_idx) = hash_pair(2);
+        let hot = SiteId(hot_idx as u32);
+        let home = SiteId(home_idx as u32);
+        let (_offer, _commit, tag) =
+            handshake_to_commit(&mut coords, &mut sinks, home_idx, hot_idx);
+        // The fence is down: the lock is retired at the old home.
+        assert!(coords[home_idx].known_locks().is_empty());
+        // A reordered HomeUpdate from an EARLIER migration attempt (epoch 0
+        // predates the fence) arrives while the commit is in flight: it
+        // must not discard the fallback kept against commit-send failure.
+        coords[home_idx].on_msg(
+            t(3),
+            hot,
+            Msg::HomeUpdate {
+                lock: L,
+                home: hot,
+                epoch: 0,
+            },
+            &mut sinks[home_idx],
+        );
+        sinks[home_idx].drain();
+        // The commit send then fails — only the retained fallback can
+        // bring the lock back.
+        coords[home_idx].on_send_failed(t(4), &tag, &mut sinks[home_idx]);
+        sinks[home_idx].drain();
+        assert_eq!(coords[home_idx].known_locks(), vec![L]);
+        assert_eq!(coords[home_idx].directory().unwrap().home_of(L), Some(home));
+        assert_eq!(coords[home_idx].directory().unwrap().epoch_of(L), 2);
+    }
+
+    #[test]
+    fn offerer_departure_releases_buffered_traffic() {
+        let (mut coords, mut sinks, home_idx, hot_idx) = hash_pair(2);
+        let hot = SiteId(hot_idx as u32);
+        let home = SiteId(home_idx as u32);
+        let mut observed = Vec::new();
+        // Same stranded handshake as the timeout test, but this time the
+        // offerer dies before committing.
+        coords[home_idx].on_msg(t(1), hot, acquire(hot), &mut sinks[home_idx]);
+        pump(&mut coords, &mut sinks, t(1), &mut observed);
+        coords[home_idx].on_msg(t(1), hot, release(hot, 1), &mut sinks[home_idx]);
+        pump(&mut coords, &mut sinks, t(1), &mut observed);
+        coords[home_idx].on_msg(t(2), hot, acquire(hot), &mut sinks[home_idx]);
+        pump(&mut coords, &mut sinks, t(2), &mut observed);
+        coords[home_idx].on_msg(t(2), hot, release(hot, 2), &mut sinks[home_idx]);
+        let offer = sinks[home_idx]
+            .drain()
+            .into_iter()
+            .find_map(|c| match c {
+                Cmd::Send {
+                    msg: m @ Msg::MigrateOffer { .. },
+                    ..
+                } => Some(m),
+                _ => None,
+            })
+            .expect("offer sent");
+        coords[hot_idx].on_msg(t(2), home, offer, &mut sinks[hot_idx]);
+        sinks[hot_idx].drain();
+        coords[hot_idx].on_msg(t(3), S2, acquire(S2), &mut sinks[hot_idx]);
+        assert!(sends(&mut sinks[hot_idx]).is_empty(), "buffered");
+        // The offerer leaves the ring: the commit can never arrive. The
+        // buffer must drain immediately — and with the old home gone the
+        // surviving coordinator now IS the ring home, so it rebuilds and
+        // grants itself.
+        coords[hot_idx].remove_ring_site(home, t(4), &mut sinks[hot_idx]);
+        let mut survivors = [coords.swap_remove(hot_idx)];
+        let mut survivor_sinks = [sinks.swap_remove(hot_idx)];
+        observed.clear();
+        pump(&mut survivors, &mut survivor_sinks, t(4), &mut observed);
+        assert!(
+            observed
+                .iter()
+                .any(|(to, m)| *to == S2 && matches!(m, Msg::Grant { .. })),
+            "buffered acquire was re-processed and granted: {observed:?}"
+        );
+        assert_eq!(survivors[0].lock_owner(L), Some(S2));
     }
 
     #[test]

@@ -6,10 +6,10 @@
 use std::time::Duration;
 
 use mocha::config::{HomeConfig, MochaConfig};
-use mocha::replica::ReplicaSpec;
-use mocha::runtime::socket::{loopback_available, SocketRuntime};
+use mocha::replica::{replica_id, ReplicaSpec};
+use mocha::runtime::socket::{loopback_available, Freshness, SocketRuntime};
 use mocha::runtime::thread::Pending;
-use mocha::Directory;
+use mocha::{AvailabilityConfig, Directory};
 use mocha_wire::{LockId, ReplicaPayload, SiteId};
 
 /// 300 sites on 3 reactor threads: every site registers its own lock,
@@ -129,18 +129,34 @@ fn migrated_home_survives_owner_departure() {
         .find(|&l| dir.home_of(l) == Some(SiteId(0)))
         .expect("ring is non-empty");
 
-    for i in [1usize, 2] {
+    // All three sites share one replica object under the lock. UR=2 makes
+    // site 1's dirty releases push to site 0 (the lowest-id other member),
+    // so after site 1 dies the current copy survives ONLY at site 0 —
+    // site 2 holds a stale initial copy. The post-churn grant to site 2 is
+    // then correct only if the inheriting coordinator rebuilds the true
+    // version from the members' re-announcements and poll answers (and
+    // orders a transfer), instead of calling site 2's stale copy current.
+    let replica = replica_id("hot");
+    for i in [0usize, 1, 2] {
         rt.handle(i)
-            .register(
-                lock,
-                vec![ReplicaSpec::new(format!("hot{i}"), ReplicaPayload::empty())],
-            )
+            .register(lock, vec![ReplicaSpec::new("hot", ReplicaPayload::empty())])
             .unwrap_or_else(|e| panic!("register site {i}: {e}"));
     }
+    rt.handle(1)
+        .set_availability(
+            lock,
+            AvailabilityConfig {
+                ur: 2,
+                wait_for_acks: true,
+            },
+        )
+        .expect("set availability");
     let hot = rt.handle(1);
-    for _ in 0..4 {
+    for v in 1..=4u8 {
         hot.lock(lock).expect("hot acquire");
-        hot.unlock(lock, false).expect("hot release");
+        hot.write(replica, ReplicaPayload::Bytes(vec![v; 4]))
+            .expect("hot write");
+        hot.unlock(lock, true).expect("hot release");
     }
     // The free-lock offer/accept/commit handshake completes async of the
     // releases; wait for the commit to land before pulling the plug.
@@ -156,9 +172,17 @@ fn migrated_home_survives_owner_departure() {
     let h2 = rt.handle(2);
     rt.remove_site(SiteId(1));
 
-    // The surviving acquirer re-routes through ring fallback and the
-    // lock stays serviceable at its original ring home.
-    h2.lock(lock).expect("post-departure lock");
-    h2.unlock(lock, false).expect("post-departure unlock");
+    // The surviving acquirer re-routes through ring fallback. Site 2's own
+    // copy is stale: only a coordinator that rebuilt the surviving version
+    // (held at site 0) grants it NeedNewVersion and ships the data — a
+    // broken rebuild would call site 2's empty copy current.
+    let fresh = h2.lock_reporting(lock).expect("post-departure lock");
+    assert_eq!(fresh, Freshness::Current, "freshest surviving copy arrived");
+    assert_eq!(
+        h2.read(replica).expect("post-departure read"),
+        ReplicaPayload::Bytes(vec![4; 4]),
+        "site 1's last write survived its departure"
+    );
+    h2.unlock(lock, true).expect("post-departure unlock");
     rt.shutdown();
 }
